@@ -1,0 +1,161 @@
+//! Criterion benchmarks for the mining engine: lazy DAG generation,
+//! order/inference checks, and full algorithm runs on the synthetic
+//! instances behind Figures 4f and 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use oassis_core::{HorizontalMiner, MinerConfig, NaiveMiner, VerticalMiner};
+use oassis_crowd::MemberId;
+use oassis_datagen::{plant_msps, MspDistribution, PlantedOracle, SynthConfig, SynthInstance};
+
+fn small_instance() -> SynthInstance {
+    SynthInstance::generate(&SynthConfig {
+        width: 200,
+        depth: 5,
+        threshold: 0.2,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn bench_space_ops(c: &mut Criterion) {
+    let inst = small_instance();
+    let mid = inst.all_nodes[inst.all_nodes.len() / 2].clone();
+    c.bench_function("space/successors", |b| {
+        b.iter(|| black_box(inst.space.successors(&mid).len()))
+    });
+    c.bench_function("space/predecessors", |b| {
+        b.iter(|| black_box(inst.space.predecessors(&mid).len()))
+    });
+    c.bench_function("space/in_space", |b| {
+        b.iter(|| black_box(inst.space.in_space(&mid)))
+    });
+    c.bench_function("space/instantiate", |b| {
+        b.iter(|| black_box(inst.space.instantiate(&mid).len()))
+    });
+    c.bench_function("space/enumerate_single_valued", |b| {
+        b.iter(|| black_box(inst.space.enumerate_single_valued(1_000_000).unwrap().len()))
+    });
+}
+
+fn bench_assignment_order(c: &mut Criterion) {
+    let inst = small_instance();
+    let vocab = inst.space.ontology().vocabulary();
+    let a = inst.all_nodes.first().unwrap();
+    let z = inst.all_nodes.last().unwrap();
+    c.bench_function("assignment/leq", |b| b.iter(|| black_box(a.leq(z, vocab))));
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let inst = small_instance();
+    let planted = plant_msps(
+        &inst.space,
+        &inst.valid_nodes,
+        8,
+        MspDistribution::Uniform,
+        11,
+    );
+    let mut group = c.benchmark_group("miners");
+    group.sample_size(20);
+    for (name, which) in [("vertical", 0usize), ("horizontal", 1), ("naive", 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &which, |b, &which| {
+            b.iter(|| {
+                let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+                let cfg = MinerConfig::new(0.2);
+                let out = match which {
+                    0 => VerticalMiner::run(&inst.space, &mut oracle, &cfg),
+                    1 => HorizontalMiner::run(&inst.space, &mut oracle, &cfg),
+                    _ => NaiveMiner::run(&inst.space, &mut oracle, &cfg, &inst.valid_nodes),
+                };
+                black_box(out.stats.total_questions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_space_ops,
+    bench_assignment_order,
+    bench_miners
+);
+
+mod multiuser_benches {
+    use super::*;
+    use oassis_core::{EngineConfig, Oassis};
+    use oassis_crowd::CrowdMember;
+    use oassis_datagen::{generate_crowd, self_treatment_domain, CrowdGenConfig};
+
+    pub fn bench_multiuser(c: &mut Criterion) {
+        let domain = self_treatment_domain();
+        let engine = Oassis::new(domain.ontology.clone());
+        let query = engine.parse(&domain.query).unwrap();
+        let crowd_cfg = CrowdGenConfig {
+            members: 12,
+            transactions_per_member: 12,
+            popular_patterns: 6,
+            popularity: 0.8,
+            zipf: 1.0,
+            facts_per_transaction: 1,
+            discretize: false,
+            seed: 1,
+        };
+        let mut group = c.benchmark_group("engine");
+        group.sample_size(10);
+        group.bench_function("multiuser_self_treatment_0.2", |b| {
+            b.iter(|| {
+                let crowd = generate_crowd(&domain, &crowd_cfg);
+                let mut members: Vec<Box<dyn CrowdMember>> = crowd
+                    .members
+                    .into_iter()
+                    .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+                    .collect();
+                let result = engine
+                    .execute_parsed(&query, 0.2, &mut members, &EngineConfig::default())
+                    .unwrap();
+                black_box(result.stats.total_questions)
+            })
+        });
+        group.finish();
+    }
+}
+
+mod border_benches {
+    use super::*;
+    use oassis_core::ClassificationState;
+
+    pub fn bench_border(c: &mut Criterion) {
+        let inst = small_instance();
+        let vocab = inst.space.ontology().vocabulary();
+        // Build a state with a realistic border from a planted run.
+        let planted = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            10,
+            MspDistribution::Uniform,
+            3,
+        );
+        let mut state = ClassificationState::new();
+        for m in &planted {
+            state.mark_significant(m, vocab);
+        }
+        for m in &planted {
+            for s in inst.space.successors(m) {
+                state.mark_insignificant(&s, vocab);
+            }
+        }
+        let probe = inst.all_nodes[inst.all_nodes.len() / 3].clone();
+        c.bench_function("border/status_check", |b| {
+            b.iter(|| black_box(state.status(&probe, vocab)))
+        });
+    }
+}
+
+criterion_group!(
+    extended,
+    multiuser_benches::bench_multiuser,
+    border_benches::bench_border
+);
+criterion_main!(benches, extended);

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the substrate layers: taxonomy closure,
+//! triple-store pattern matching, SPARQL evaluation, fact-set implication
+//! and personal-DB support computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use oassis_crowd::transaction::table3_dbs;
+use oassis_datagen::{culinary_domain, travel_domain};
+use oassis_ql::parse_query;
+use oassis_sparql::{evaluate, parse_patterns, MatchMode, VarTable};
+use oassis_store::ontology::figure1_ontology;
+use oassis_vocab::{Fact, FactSet};
+
+fn bench_taxonomy_closure(c: &mut Criterion) {
+    // Building the culinary ontology computes two taxonomy closures over
+    // ~190 terms; this measures the end-to-end substrate build.
+    c.bench_function("ontology/build_culinary_domain", |b| {
+        b.iter(|| black_box(culinary_domain()))
+    });
+}
+
+fn bench_store_matching(c: &mut Criterion) {
+    let domain = travel_domain();
+    let store = domain.ontology.store();
+    let v = domain.ontology.vocabulary();
+    let sub_class_of = v.relation("subClassOf").unwrap();
+    c.bench_function("store/match_by_relation", |b| {
+        b.iter(|| black_box(store.matching(None, Some(sub_class_of), None).count()))
+    });
+    let act = v.element("Activity").unwrap();
+    c.bench_function("store/match_by_object", |b| {
+        b.iter(|| black_box(store.matching(None, None, Some(act.into())).count()))
+    });
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let o = figure1_ontology();
+    let src = r#"
+        $w subClassOf* Attraction.
+        $x instanceOf $w.
+        $x inside NYC.
+        $x hasLabel "child-friendly".
+        $y subClassOf* Activity.
+        $z instanceOf Restaurant.
+        $z nearBy $x
+    "#;
+    c.bench_function("sparql/parse_running_example", |b| {
+        b.iter_batched(
+            VarTable::new,
+            |mut vars| black_box(parse_patterns(src, &o, &mut vars).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut vars = VarTable::new();
+    let pats = parse_patterns(src, &o, &mut vars).unwrap();
+    c.bench_function("sparql/evaluate_running_example", |b| {
+        b.iter(|| black_box(evaluate(&o, &pats, &vars, MatchMode::Semantic).len()))
+    });
+
+    let travel = travel_domain();
+    let q = parse_query(&travel.query, &travel.ontology).unwrap();
+    c.bench_function("sparql/evaluate_travel_where", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate(
+                    &travel.ontology,
+                    &q.where_patterns,
+                    &q.vars,
+                    MatchMode::Semantic,
+                )
+                .len(),
+            )
+        })
+    });
+}
+
+fn bench_support(c: &mut Criterion) {
+    let o = figure1_ontology();
+    let v = o.vocabulary();
+    let (d1, _) = table3_dbs(v);
+    let fs = FactSet::from_facts([
+        Fact::new(
+            v.element("Sport").unwrap(),
+            v.relation("doAt").unwrap(),
+            v.element("Central Park").unwrap(),
+        ),
+        Fact::new(
+            v.element("Food").unwrap(),
+            v.relation("eatAt").unwrap(),
+            v.element("Restaurant").unwrap(),
+        ),
+    ]);
+    c.bench_function("crowd/personal_db_support", |b| {
+        b.iter(|| black_box(d1.support(&fs, v)))
+    });
+    c.bench_function("ontology/implies_fact", |b| {
+        let f = Fact::new(
+            v.element("Place").unwrap(),
+            v.relation("nearBy").unwrap(),
+            v.element("NYC").unwrap(),
+        );
+        b.iter(|| black_box(o.implies_fact(&f)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_taxonomy_closure,
+    bench_store_matching,
+    bench_sparql,
+    bench_support
+);
+criterion_main!(benches);

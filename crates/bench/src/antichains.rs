@@ -1,0 +1,113 @@
+//! Counting antichains by size in a tree taxonomy.
+//!
+//! The §6.4 multiplicity experiment compares the *lazy* generator's
+//! materialized node count against an "eager" algorithm that generates all
+//! assignments up to the same multiplicity. For a single-variable query
+//! over a tree taxonomy, the eager node count is exactly the number of
+//! non-empty antichains of size ≤ m — computable by a product of truncated
+//! subtree polynomials: `E_v(x) = x + ∏_children E_c(x)` (either `v` itself,
+//! or any combination of antichains from its children's subtrees).
+
+use oassis_vocab::{ElementId, Taxonomy};
+
+/// Multiply two size-indexed count polynomials, truncated at `max_size`.
+fn poly_mul(a: &[u128], b: &[u128], max_size: usize) -> Vec<u128> {
+    let mut out = vec![0u128; (a.len() + b.len() - 1).min(max_size + 1)];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            if i + j > max_size {
+                break;
+            }
+            if y != 0 {
+                out[i + j] = out[i + j].saturating_add(x.saturating_mul(y));
+            }
+        }
+    }
+    out
+}
+
+/// Antichain-size counts (index = size) of the subtree rooted at `v`,
+/// truncated at `max_size`. Index 0 counts the empty antichain.
+fn subtree_poly(tax: &Taxonomy<ElementId>, v: ElementId, max_size: usize) -> Vec<u128> {
+    let children = tax.children(v);
+    // Product over children (the "don't use v" case), starting from the
+    // constant 1 (empty antichain).
+    let mut prod = vec![1u128];
+    for &c in children {
+        let cp = subtree_poly(tax, c, max_size);
+        prod = poly_mul(&prod, &cp, max_size);
+    }
+    // Plus "v alone" (size 1).
+    if prod.len() < 2 {
+        prod.resize(2, 0);
+    }
+    prod[1] = prod[1].saturating_add(1);
+    prod
+}
+
+/// Number of non-empty antichains of size ≤ `max_size` in the subtree of
+/// `root` (the eager node count of the multiplicity experiment).
+pub fn count_antichains_up_to(tax: &Taxonomy<ElementId>, root: ElementId, max_size: usize) -> u128 {
+    let poly = subtree_poly(tax, root, max_size);
+    poly.iter().skip(1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::TaxonomyBuilder;
+
+    /// A chain a > b > c: antichains are exactly the singletons.
+    #[test]
+    fn chain_has_only_singletons() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(ElementId(1), ElementId(0));
+        b.add_isa(ElementId(2), ElementId(1));
+        let t = b.build(3).unwrap();
+        assert_eq!(count_antichains_up_to(&t, ElementId(0), 3), 3);
+        assert_eq!(count_antichains_up_to(&t, ElementId(0), 1), 3);
+    }
+
+    /// Root with two leaf children: {r}, {a}, {b}, {a,b}.
+    #[test]
+    fn cherry_counts() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(ElementId(1), ElementId(0));
+        b.add_isa(ElementId(2), ElementId(0));
+        let t = b.build(3).unwrap();
+        assert_eq!(count_antichains_up_to(&t, ElementId(0), 2), 4);
+        assert_eq!(count_antichains_up_to(&t, ElementId(0), 1), 3);
+    }
+
+    /// Star with n leaves: singletons (n+1) plus all subsets of leaves of
+    /// size 2..=m.
+    #[test]
+    fn star_matches_binomials() {
+        let n = 6u32;
+        let mut b = TaxonomyBuilder::new();
+        for i in 1..=n {
+            b.add_isa(ElementId(i), ElementId(0));
+        }
+        let t = b.build(n as usize + 1).unwrap();
+        // m=3: 7 singletons + C(6,2)=15 + C(6,3)=20.
+        assert_eq!(count_antichains_up_to(&t, ElementId(0), 3), 7 + 15 + 20);
+    }
+
+    #[test]
+    fn truncation_is_monotone() {
+        let mut b = TaxonomyBuilder::new();
+        for i in 1..=8u32 {
+            b.add_isa(ElementId(i), ElementId((i - 1) / 2));
+        }
+        let t = b.build(9).unwrap();
+        let mut prev = 0;
+        for m in 1..=4 {
+            let c = count_antichains_up_to(&t, ElementId(0), m);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

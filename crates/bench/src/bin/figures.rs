@@ -1,0 +1,319 @@
+//! Regenerate every figure of the paper's evaluation (Section 6).
+//!
+//! ```text
+//! cargo run --release -p oassis-bench --bin figures -- all
+//! cargo run --release -p oassis-bench --bin figures -- fig4a fig5
+//! ```
+//!
+//! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
+//! dist mult crowdmix bounds` (or `all`).
+
+use oassis_bench::experiments::{
+    algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
+    crowd_statistics, distribution_variation, multiplicity_variation, pace_of_collection,
+    shape_variation, CurveSeries, PaceResult,
+};
+use oassis_bench::table::render;
+use oassis_datagen::{
+    culinary_domain, self_treatment_domain, travel_domain, CrowdGenConfig, Domain,
+};
+
+const THRESHOLDS: [f64; 4] = [0.2, 0.3, 0.4, 0.5];
+
+/// Crowd configuration emulating the paper's recruited crowd (248 members,
+/// ~20 answers each on the queries they contributed to). Per-domain pattern
+/// counts reflect the paper's observation that question counts correlate
+/// with the number of MSPs: the travel query needed the most questions
+/// (1416) and self-treatment the fewest (340).
+fn paper_crowd(domain: &Domain, seed: u64) -> CrowdGenConfig {
+    let (popular_patterns, popularity, zipf, facts_per_transaction) = match domain.name {
+        "travel" => (40, 0.9, 0.3, 3),
+        "culinary" => (18, 0.8, 0.6, 2),
+        _ => (8, 0.75, 1.0, 1),
+    };
+    CrowdGenConfig {
+        members: 48,
+        transactions_per_member: 20,
+        popular_patterns,
+        popularity,
+        zipf,
+        facts_per_transaction,
+        discretize: false,
+        seed,
+    }
+}
+
+fn fig4_stats(tag: &str, domain: &Domain, seed: u64) {
+    println!("== Figure 4{tag}: crowd statistics — {} ==", domain.name);
+    let rows = crowd_statistics(domain, &THRESHOLDS, &paper_crowd(domain, seed));
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.threshold),
+                r.msps.to_string(),
+                r.valid_msps.to_string(),
+                r.questions.to_string(),
+                format!("{:.1}%", r.baseline_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["threshold", "#MSPs", "#valid", "#questions", "baseline%"],
+            &table_rows
+        )
+    );
+}
+
+fn print_pace(tag: &str, pace: &PaceResult) {
+    println!(
+        "== Figure 4{tag}: pace of data collection — {} (threshold {:.1}, DAG {} nodes, {} questions total) ==",
+        pace.domain, pace.threshold, pace.dag_nodes, pace.total_questions
+    );
+    let fmt = |v: &Option<usize>| v.map_or("-".to_owned(), |q| q.to_string());
+    let rows: Vec<Vec<String>> = pace
+        .fractions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            vec![
+                format!("{:.0}%", f * 100.0),
+                fmt(&pace.classified[i]),
+                fmt(&pace.valid_msps[i]),
+                fmt(&pace.all_msps[i]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "% discovered",
+                "classified assign.",
+                "valid MSPs",
+                "all MSPs"
+            ],
+            &rows
+        )
+    );
+}
+
+fn print_curves(title: &str, series: &[CurveSeries]) {
+    println!("== {title} ==");
+    let mut headers: Vec<String> = vec!["% valid MSPs".to_owned()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let n = series.first().map_or(0, |s| s.fractions.len());
+    let mut rows = Vec::new();
+    for i in 0..n {
+        let mut row = vec![format!("{:.0}%", series[0].fractions[i] * 100.0)];
+        for s in series {
+            row.push(s.questions[i].map_or("-".to_owned(), |q| format!("{q:.0}")));
+        }
+        rows.push(row);
+    }
+    let mut total_row = vec!["total".to_owned()];
+    for s in series {
+        total_row.push(format!("{:.0}", s.total_questions));
+    }
+    rows.push(total_row);
+    println!("{}", render(&header_refs, &rows));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
+            "crowdmix", "bounds", "growth",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let seed = 2014;
+
+    for w in wanted {
+        match w {
+            "fig4a" => fig4_stats("a", &travel_domain(), seed),
+            "fig4b" => fig4_stats("b", &culinary_domain(), seed),
+            "fig4c" => fig4_stats("c", &self_treatment_domain(), seed),
+            "fig4d" => {
+                let d = travel_domain();
+                let crowd = paper_crowd(&d, seed);
+                print_pace("d", &pace_of_collection(&d, 0.2, &crowd));
+            }
+            "fig4e" => {
+                let d = self_treatment_domain();
+                let crowd = paper_crowd(&d, seed);
+                print_pace("e", &pace_of_collection(&d, 0.2, &crowd));
+            }
+            "fig4f" => print_curves(
+                "Figure 4f: effect of answer types (synthetic, width 500 depth 7)",
+                &answer_type_effect(seed),
+            ),
+            "fig5" => {
+                for (tag, pct) in [("a", 0.02), ("b", 0.05), ("c", 0.10)] {
+                    print_curves(
+                        &format!(
+                            "Figure 5{tag}: {:.0}% total MSPs (avg of 6 trials)",
+                            pct * 100.0
+                        ),
+                        &algorithm_comparison(pct, 6, seed),
+                    );
+                }
+            }
+            "shape" => {
+                println!("== §6.4: varying the DAG shape (5% MSPs) ==");
+                let rows: Vec<Vec<String>> = shape_variation(0.05, seed)
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.label.clone(),
+                            r.dag_nodes.to_string(),
+                            r.planted.to_string(),
+                            r.questions.to_string(),
+                            r.to_all_targets.map_or("-".into(), |q| q.to_string()),
+                        ]
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "shape",
+                            "DAG nodes",
+                            "planted MSPs",
+                            "#questions",
+                            "to 100% MSPs"
+                        ],
+                        &rows
+                    )
+                );
+            }
+            "dist" => {
+                println!("== §6.4: varying the MSP distribution (5% MSPs, width 500 depth 7) ==");
+                let rows: Vec<Vec<String>> = distribution_variation(0.05, seed)
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.label.clone(),
+                            r.planted.to_string(),
+                            r.questions.to_string(),
+                            r.to_all_targets.map_or("-".into(), |q| q.to_string()),
+                        ]
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    render(
+                        &["distribution", "planted MSPs", "#questions", "to 100% MSPs"],
+                        &rows
+                    )
+                );
+            }
+            "mult" => {
+                println!("== §6.4: multiplicities and lazy generation ==");
+                let rows: Vec<Vec<String>> = multiplicity_variation(seed)
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            format!("{:.0}%", r.mult_pct * 100.0),
+                            r.size.to_string(),
+                            r.questions.to_string(),
+                            r.lazy_nodes.to_string(),
+                            r.eager_nodes.to_string(),
+                            format!("{:.4}%", r.lazy_pct),
+                        ]
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "mult MSPs",
+                            "size",
+                            "#questions",
+                            "lazy nodes",
+                            "eager nodes",
+                            "lazy%"
+                        ],
+                        &rows
+                    )
+                );
+            }
+            "crowdmix" => {
+                println!("== §6.3: answer-type mix (travel domain) ==");
+                let d = travel_domain();
+                let m = crowd_mix(&d, &paper_crowd(&d, seed));
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "#questions",
+                            "concrete%",
+                            "special.%",
+                            "none-of-these%",
+                            "pruning%"
+                        ],
+                        &[vec![
+                            m.questions.to_string(),
+                            format!("{:.1}%", m.concrete_pct),
+                            format!("{:.1}%", m.specialization_pct),
+                            format!("{:.1}%", m.none_of_these_pct),
+                            format!("{:.1}%", m.pruning_pct),
+                        ]]
+                    )
+                );
+            }
+            "bounds" => {
+                println!("== Propositions 4.7/4.8: crowd-complexity bounds (2% MSPs) ==");
+                let b = complexity_bounds(0.02, seed);
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "unique questions",
+                            "(|E|+|R|)·|msp|+|msp⁻|",
+                            "|msp_valid|+|msp⁻|"
+                        ],
+                        &[vec![
+                            b.unique_questions.to_string(),
+                            b.upper_bound_arg.to_string(),
+                            b.lower_bound_arg.to_string(),
+                        ]]
+                    )
+                );
+            }
+            "growth" => {
+                println!("== §6.3: crowd growth and the first MSP ==");
+                let rows: Vec<Vec<String>> =
+                    crowd_growth(&self_treatment_domain(), &[6, 12, 24, 48, 96], seed)
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.members.to_string(),
+                                r.to_first_msp.map_or("-".into(), |q| q.to_string()),
+                                r.rounds_to_first_msp.map_or("-".into(), |q| q.to_string()),
+                                r.total_questions.to_string(),
+                            ]
+                        })
+                        .collect();
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "members",
+                            "to 1st MSP (questions)",
+                            "to 1st MSP (rounds)",
+                            "#questions"
+                        ],
+                        &rows
+                    )
+                );
+            }
+            other => eprintln!("unknown experiment {other:?} (try: all)"),
+        }
+    }
+}

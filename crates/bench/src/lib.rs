@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # oassis-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (Section 6), plus Criterion micro-benchmarks for the
+//! substrate components.
+//!
+//! Run `cargo run --release -p oassis-bench --bin figures -- all` to print
+//! the paper-style tables and series; see `EXPERIMENTS.md` at the workspace
+//! root for the paper-vs-measured record.
+//!
+//! | Experiment | Paper | Entry point |
+//! |---|---|---|
+//! | Crowd statistics per threshold | Fig 4a–4c | [`experiments::crowd_statistics`] |
+//! | Pace of data collection | Fig 4d–4e | [`experiments::pace_of_collection`] |
+//! | Effect of answer types | Fig 4f | [`experiments::answer_type_effect`] |
+//! | Vertical vs Horizontal vs Naive | Fig 5a–5c | [`experiments::algorithm_comparison`] |
+//! | DAG shape variation | §6.4 in-text | [`experiments::shape_variation`] |
+//! | MSP distribution variation | §6.4 in-text | [`experiments::distribution_variation`] |
+//! | Multiplicities + lazy generation | §6.4 in-text | [`experiments::multiplicity_variation`] |
+//! | Answer-type mix vs real crowd | §6.3 in-text | [`experiments::crowd_mix`] |
+//! | Crowd-complexity bounds | Prop 4.7/4.8 | [`experiments::complexity_bounds`] |
+
+pub mod antichains;
+pub mod experiments;
+pub mod table;

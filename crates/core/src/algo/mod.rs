@@ -1,0 +1,12 @@
+//! The mining algorithms: vertical (Algorithm 1), horizontal (Apriori-style)
+//! and naive (random), plus the §6.3 baseline cost model.
+
+mod common;
+mod horizontal;
+mod naive;
+mod vertical;
+
+pub use common::{baseline_question_count, MinerConfig, MinerOutcome};
+pub use horizontal::HorizontalMiner;
+pub use naive::NaiveMiner;
+pub use vertical::VerticalMiner;

@@ -1,0 +1,333 @@
+//! Assignments with multiplicities and their partial order (Definition 4.1).
+//!
+//! An [`Assignment`] maps each `SATISFYING` variable to a *set* of values —
+//! kept as a canonical **antichain of most-specific values** (a value implied
+//! by another value of the same set is semantically redundant: the fact-sets
+//! they instantiate have identical support) — plus a set of concrete `MORE`
+//! facts.
+//!
+//! The order follows the paper: `φ ≤ φ'` iff for every variable `x` and
+//! every value `v ∈ φ(x)` there is `v' ∈ φ'(x)` with `v ≤ v'`, and
+//! additionally every MORE fact of `φ` is implied by one of `φ'`.
+
+use std::fmt;
+
+use oassis_vocab::{Fact, Vocabulary};
+
+use crate::value::AValue;
+
+/// A (possibly multi-valued) assignment node of the mining DAG.
+///
+/// Variables are indexed densely `0..nvars` in the order fixed by the
+/// [`AssignSpace`](crate::AssignSpace); an empty value set means the
+/// variable is unbound (multiplicity 0 — the meta-facts using it vanish).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Assignment {
+    sets: Vec<Vec<AValue>>,
+    more: Vec<Fact>,
+}
+
+impl Assignment {
+    /// The all-empty assignment over `nvars` variables.
+    pub fn empty(nvars: usize) -> Self {
+        Assignment {
+            sets: vec![Vec::new(); nvars],
+            more: Vec::new(),
+        }
+    }
+
+    /// Build a single-valued assignment from one value per variable.
+    pub fn single_valued<I: IntoIterator<Item = AValue>>(values: I) -> Self {
+        Assignment {
+            sets: values.into_iter().map(|v| vec![v]).collect(),
+            more: Vec::new(),
+        }
+    }
+
+    /// Build from per-variable value sets, canonicalizing each to the
+    /// antichain of most-specific values.
+    pub fn from_sets(sets: Vec<Vec<AValue>>, vocab: &Vocabulary) -> Self {
+        Assignment {
+            sets: sets
+                .into_iter()
+                .map(|s| canonical_antichain(s, vocab))
+                .collect(),
+            more: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The value set of variable `x`.
+    pub fn values(&self, x: usize) -> &[AValue] {
+        &self.sets[x]
+    }
+
+    /// The single value of `x`, if it has exactly one.
+    pub fn single(&self, x: usize) -> Option<AValue> {
+        match self.sets[x].as_slice() {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The MORE facts.
+    pub fn more_facts(&self) -> &[Fact] {
+        &self.more
+    }
+
+    /// Replace variable `x`'s value set (canonicalized). Returns a new node.
+    pub fn with_values(&self, x: usize, values: Vec<AValue>, vocab: &Vocabulary) -> Self {
+        let mut sets = self.sets.clone();
+        sets[x] = canonical_antichain(values, vocab);
+        Assignment {
+            sets,
+            more: self.more.clone(),
+        }
+    }
+
+    /// Add a MORE fact. Returns a new node (facts kept sorted + deduped).
+    pub fn with_more_fact(&self, fact: Fact) -> Self {
+        let mut more = self.more.clone();
+        if let Err(pos) = more.binary_search(&fact) {
+            more.insert(pos, fact);
+        }
+        Assignment {
+            sets: self.sets.clone(),
+            more,
+        }
+    }
+
+    /// Remove the MORE fact at index `i`. Returns a new node.
+    pub fn without_more_fact(&self, i: usize) -> Self {
+        let mut more = self.more.clone();
+        more.remove(i);
+        Assignment {
+            sets: self.sets.clone(),
+            more,
+        }
+    }
+
+    /// Total number of values across variables plus MORE facts (a size
+    /// measure used by generators and stats).
+    pub fn weight(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum::<usize>() + self.more.len()
+    }
+
+    /// Whether every variable has exactly one value and there are no MORE
+    /// facts (a "multiplicity-free" node).
+    pub fn is_single_valued(&self) -> bool {
+        self.more.is_empty() && self.sets.iter().all(|s| s.len() == 1)
+    }
+
+    /// The partial order of Definition 4.1 extended with MORE facts.
+    pub fn leq(&self, other: &Assignment, vocab: &Vocabulary) -> bool {
+        debug_assert_eq!(self.nvars(), other.nvars());
+        let vars_ok = self
+            .sets
+            .iter()
+            .zip(&other.sets)
+            .all(|(a, b)| a.iter().all(|v| b.iter().any(|v2| v.leq(v2, vocab))));
+        vars_ok
+            && self
+                .more
+                .iter()
+                .all(|f| other.more.iter().any(|g| vocab.fact_leq(f, g)))
+    }
+
+    /// Strict order.
+    pub fn lt(&self, other: &Assignment, vocab: &Vocabulary) -> bool {
+        self != other && self.leq(other, vocab)
+    }
+
+    /// Render with names, e.g. `{x: Central Park, y: {Biking, Ball Game}}`.
+    pub fn display(&self, names: &[String], vocab: &Vocabulary) -> String {
+        let mut parts = Vec::new();
+        for (i, set) in self.sets.iter().enumerate() {
+            let vals: Vec<&str> = set.iter().map(|v| v.name(vocab)).collect();
+            let rendered = match vals.as_slice() {
+                [] => "∅".to_owned(),
+                [v] => (*v).to_owned(),
+                many => format!("{{{}}}", many.join(", ")),
+            };
+            parts.push(format!("{}: {}", names.get(i).map_or("?", |s| s), rendered));
+        }
+        for f in &self.more {
+            parts.push(format!("more: {}", vocab.fact_to_string(f)));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Canonicalize a value set: sort, dedup, and drop every value that is a
+/// strict generalization of another member (keep most-specific values).
+pub fn canonical_antichain(mut values: Vec<AValue>, vocab: &Vocabulary) -> Vec<AValue> {
+    values.sort_unstable();
+    values.dedup();
+    let keep: Vec<AValue> = values
+        .iter()
+        .filter(|v| !values.iter().any(|w| *w != **v && v.leq(w, vocab)))
+        .copied()
+        .collect();
+    keep
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, set) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            for (j, v) in set.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+        }
+        if !self.more.is_empty() {
+            write!(f, " +{} more", self.more.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+
+    fn v(name: &str) -> (oassis_vocab::Vocabulary, AValue) {
+        let o = figure1_ontology();
+        let vocab = o.vocabulary().clone();
+        let val = AValue::Elem(vocab.element(name).unwrap());
+        (vocab, val)
+    }
+
+    fn elem(vocab: &oassis_vocab::Vocabulary, name: &str) -> AValue {
+        AValue::Elem(vocab.element(name).unwrap())
+    }
+
+    #[test]
+    fn canonical_antichain_keeps_most_specific() {
+        let (vocab, _) = v("Sport");
+        let sport = elem(&vocab, "Sport");
+        let biking = elem(&vocab, "Biking");
+        let ball = elem(&vocab, "Ball Game");
+        // Sport is implied by both Biking and Ball Game → dropped.
+        let set = canonical_antichain(vec![sport, biking, ball, biking], &vocab);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&biking) && set.contains(&ball));
+    }
+
+    #[test]
+    fn leq_single_valued_matches_pointwise_order() {
+        let (vocab, sport) = v("Sport");
+        let biking = elem(&vocab, "Biking");
+        let cp = elem(&vocab, "Central Park");
+        let a = Assignment::single_valued([cp, sport]);
+        let b = Assignment::single_valued([cp, biking]);
+        assert!(a.leq(&b, &vocab));
+        assert!(!b.leq(&a, &vocab));
+        assert!(a.leq(&a, &vocab));
+    }
+
+    #[test]
+    fn leq_with_sets_fig3_node16_17_18() {
+        // Node 16 = (CP, Biking), node 17 = (CP, Ball Game),
+        // node 18 = (CP, {Biking, Ball Game}): both ≤ 18, incomparable.
+        let (vocab, _) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let biking = elem(&vocab, "Biking");
+        let ball = elem(&vocab, "Ball Game");
+        let n16 = Assignment::single_valued([cp, biking]);
+        let n17 = Assignment::single_valued([cp, ball]);
+        let n18 = Assignment::from_sets(vec![vec![cp], vec![biking, ball]], &vocab);
+        assert!(n16.leq(&n18, &vocab));
+        assert!(n17.leq(&n18, &vocab));
+        assert!(!n18.leq(&n16, &vocab));
+        assert!(!n16.leq(&n17, &vocab) && !n17.leq(&n16, &vocab));
+    }
+
+    #[test]
+    fn empty_set_is_most_general() {
+        let (vocab, sport) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let empty_y = Assignment::from_sets(vec![vec![cp], vec![]], &vocab);
+        let with_y = Assignment::single_valued([cp, sport]);
+        assert!(empty_y.leq(&with_y, &vocab));
+        assert!(!with_y.leq(&empty_y, &vocab));
+    }
+
+    #[test]
+    fn more_facts_participate_in_the_order() {
+        let (vocab, _) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let biking = elem(&vocab, "Biking");
+        let rent = Fact::new(
+            vocab.element("Rent Bikes").unwrap(),
+            vocab.relation("doAt").unwrap(),
+            vocab.element("Boathouse").unwrap(),
+        );
+        let plain = Assignment::single_valued([cp, biking]);
+        let extended = plain.with_more_fact(rent);
+        assert!(plain.leq(&extended, &vocab));
+        assert!(!extended.leq(&plain, &vocab));
+        assert_eq!(extended.more_facts(), &[rent]);
+        assert_eq!(extended.without_more_fact(0), plain);
+    }
+
+    #[test]
+    fn with_more_fact_dedups() {
+        let (vocab, _) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let rent = Fact::new(
+            vocab.element("Rent Bikes").unwrap(),
+            vocab.relation("doAt").unwrap(),
+            vocab.element("Boathouse").unwrap(),
+        );
+        let a = Assignment::single_valued([cp])
+            .with_more_fact(rent)
+            .with_more_fact(rent);
+        assert_eq!(a.more_facts().len(), 1);
+    }
+
+    #[test]
+    fn weight_and_single_valued() {
+        let (vocab, _) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let biking = elem(&vocab, "Biking");
+        let ball = elem(&vocab, "Ball Game");
+        let a = Assignment::from_sets(vec![vec![cp], vec![biking, ball]], &vocab);
+        assert_eq!(a.weight(), 3);
+        assert!(!a.is_single_valued());
+        assert!(Assignment::single_valued([cp, biking]).is_single_valued());
+        assert!(!Assignment::empty(2).is_single_valued());
+    }
+
+    #[test]
+    fn with_values_canonicalizes() {
+        let (vocab, sport) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let biking = elem(&vocab, "Biking");
+        let a = Assignment::single_valued([cp, sport]);
+        let b = a.with_values(1, vec![sport, biking], &vocab);
+        assert_eq!(b.values(1), &[biking], "Sport absorbed by Biking");
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (vocab, sport) = v("Sport");
+        let cp = elem(&vocab, "Central Park");
+        let a = Assignment::single_valued([cp, sport]);
+        let s = a.display(&["x".into(), "y".into()], &vocab);
+        assert!(
+            s.contains("x: Central Park") && s.contains("y: Sport"),
+            "{s}"
+        );
+    }
+}

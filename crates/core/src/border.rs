@@ -1,0 +1,281 @@
+//! Classification by inference (Observation 4.4).
+//!
+//! One crowd answer classifies many assignments: if `φ` is significant, so
+//! is every generalization `φ' ≤ φ`; if `φ` is insignificant, so is every
+//! specialization `φ' ≥ φ`. [`ClassificationState`] stores the *borders* of
+//! that knowledge — the maximal known-significant and minimal
+//! known-insignificant assignments — plus explicit per-assignment decisions
+//! (which take precedence when noisy crowd answers conflict with inference)
+//! and the user-guided-pruning value list of Section 6.2.
+
+use std::collections::HashMap;
+
+use oassis_vocab::Vocabulary;
+
+use crate::assignment::Assignment;
+use crate::value::AValue;
+
+/// The classification of one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Known (or inferred) significant.
+    Significant,
+    /// Known (or inferred) insignificant.
+    Insignificant,
+    /// Not yet decidable.
+    Unclassified,
+}
+
+/// Border-based classification knowledge for one mining run.
+#[derive(Debug, Clone, Default)]
+pub struct ClassificationState {
+    /// Maximal known-significant assignments.
+    sig: Vec<Assignment>,
+    /// Minimal known-insignificant assignments.
+    insig: Vec<Assignment>,
+    /// Explicit decisions (override inference on conflicts).
+    explicit: HashMap<Assignment, bool>,
+    /// Values declared irrelevant by user-guided pruning: any assignment
+    /// containing a specialization of one of these is insignificant.
+    pruned: Vec<AValue>,
+}
+
+impl ClassificationState {
+    /// Fresh, all-unclassified state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an explicit significance decision for `phi`.
+    pub fn mark_significant(&mut self, phi: &Assignment, vocab: &Vocabulary) {
+        self.explicit.insert(phi.clone(), true);
+        // Keep only maximal significant witnesses.
+        if self.sig.iter().any(|w| phi.leq(w, vocab)) {
+            return;
+        }
+        self.sig.retain(|w| !w.leq(phi, vocab));
+        self.sig.push(phi.clone());
+    }
+
+    /// Record an explicit insignificance decision for `phi`.
+    pub fn mark_insignificant(&mut self, phi: &Assignment, vocab: &Vocabulary) {
+        self.explicit.insert(phi.clone(), false);
+        if self.insig.iter().any(|w| w.leq(phi, vocab)) {
+            return;
+        }
+        self.insig.retain(|w| !phi.leq(w, vocab));
+        self.insig.push(phi.clone());
+    }
+
+    /// Record a pruned (irrelevant) value: every assignment involving the
+    /// value or one of its specializations becomes insignificant.
+    pub fn mark_pruned(&mut self, value: AValue) {
+        if !self.pruned.contains(&value) {
+            self.pruned.push(value);
+        }
+    }
+
+    /// The pruned values recorded so far.
+    pub fn pruned_values(&self) -> &[AValue] {
+        &self.pruned
+    }
+
+    /// Classify `phi` from current knowledge.
+    pub fn status(&self, phi: &Assignment, vocab: &Vocabulary) -> Status {
+        if let Some(&sig) = self.explicit.get(phi) {
+            return if sig {
+                Status::Significant
+            } else {
+                Status::Insignificant
+            };
+        }
+        if self.prune_hits(phi, vocab) {
+            return Status::Insignificant;
+        }
+        if self.insig.iter().any(|w| w.leq(phi, vocab)) {
+            return Status::Insignificant;
+        }
+        if self.sig.iter().any(|w| phi.leq(w, vocab)) {
+            return Status::Significant;
+        }
+        Status::Unclassified
+    }
+
+    /// Whether `phi` contains a value that specializes a pruned value.
+    fn prune_hits(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
+        if self.pruned.is_empty() {
+            return false;
+        }
+        let value_hit = (0..phi.nvars()).any(|x| {
+            phi.values(x)
+                .iter()
+                .any(|v| self.pruned.iter().any(|p| p.leq(v, vocab)))
+        });
+        value_hit
+            || phi.more_facts().iter().any(|f| {
+                self.pruned.iter().any(|p| match p {
+                    AValue::Elem(e) => {
+                        vocab.elem_leq(*e, f.subject) || vocab.elem_leq(*e, f.object)
+                    }
+                    AValue::Rel(r) => vocab.rel_leq(*r, f.relation),
+                })
+            })
+    }
+
+    /// Shorthand for `status(...) == Significant`.
+    pub fn is_significant(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
+        self.status(phi, vocab) == Status::Significant
+    }
+
+    /// Shorthand for `status(...) == Insignificant`.
+    pub fn is_insignificant(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
+        self.status(phi, vocab) == Status::Insignificant
+    }
+
+    /// Shorthand for `status(...) == Unclassified`.
+    pub fn is_unclassified(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
+        self.status(phi, vocab) == Status::Unclassified
+    }
+
+    /// The maximal known-significant assignments (the positive border).
+    pub fn significant_border(&self) -> &[Assignment] {
+        &self.sig
+    }
+
+    /// The minimal known-insignificant assignments (the negative border).
+    pub fn insignificant_border(&self) -> &[Assignment] {
+        &self.insig
+    }
+
+    /// All explicitly decided assignments with their decision.
+    pub fn explicit_decisions(&self) -> impl Iterator<Item = (&Assignment, bool)> {
+        self.explicit.iter().map(|(a, &b)| (a, b))
+    }
+
+    /// Whether `phi` was explicitly decided (asked), not just inferred.
+    pub fn explicitly_decided(&self, phi: &Assignment) -> bool {
+        self.explicit.contains_key(phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+    use oassis_vocab::Vocabulary;
+
+    fn vocab() -> Vocabulary {
+        figure1_ontology().vocabulary().clone()
+    }
+
+    fn a(vocab: &Vocabulary, y: &str, x: &str) -> Assignment {
+        Assignment::single_valued([
+            AValue::Elem(vocab.element(y).unwrap()),
+            AValue::Elem(vocab.element(x).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn significance_propagates_to_generalizations() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        st.mark_significant(&a(&v, "Biking", "Central Park"), &v);
+        assert_eq!(
+            st.status(&a(&v, "Sport", "Central Park"), &v),
+            Status::Significant
+        );
+        assert_eq!(st.status(&a(&v, "Sport", "Park"), &v), Status::Significant);
+        // A specialization stays unclassified.
+        assert_eq!(
+            st.status(&a(&v, "Biking", "Central Park"), &v),
+            Status::Significant,
+            "explicit"
+        );
+        assert_eq!(
+            st.status(&a(&v, "Baseball", "Central Park"), &v),
+            Status::Unclassified
+        );
+    }
+
+    #[test]
+    fn insignificance_propagates_to_specializations() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        st.mark_insignificant(&a(&v, "Ball Game", "Park"), &v);
+        assert_eq!(
+            st.status(&a(&v, "Basketball", "Central Park"), &v),
+            Status::Insignificant
+        );
+        assert_eq!(st.status(&a(&v, "Sport", "Park"), &v), Status::Unclassified);
+    }
+
+    #[test]
+    fn borders_keep_only_extremes() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        st.mark_significant(&a(&v, "Sport", "Park"), &v);
+        st.mark_significant(&a(&v, "Biking", "Central Park"), &v);
+        assert_eq!(st.significant_border().len(), 1, "general witness absorbed");
+        st.mark_insignificant(&a(&v, "Baseball", "Central Park"), &v);
+        st.mark_insignificant(&a(&v, "Ball Game", "Central Park"), &v);
+        assert_eq!(
+            st.insignificant_border().len(),
+            1,
+            "specific witness absorbed"
+        );
+    }
+
+    #[test]
+    fn explicit_decision_overrides_inference() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        // Noisy crowd: general insignificant but specific answered significant.
+        st.mark_insignificant(&a(&v, "Sport", "Park"), &v);
+        st.mark_significant(&a(&v, "Biking", "Central Park"), &v);
+        assert_eq!(
+            st.status(&a(&v, "Biking", "Central Park"), &v),
+            Status::Significant,
+            "explicit answer wins over inherited insignificance"
+        );
+        assert!(st.explicitly_decided(&a(&v, "Biking", "Central Park")));
+        assert!(!st.explicitly_decided(&a(&v, "Baseball", "Park")));
+    }
+
+    #[test]
+    fn pruning_kills_value_and_specializations() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        st.mark_pruned(AValue::Elem(v.element("Ball Game").unwrap()));
+        assert_eq!(
+            st.status(&a(&v, "Basketball", "Central Park"), &v),
+            Status::Insignificant
+        );
+        assert_eq!(
+            st.status(&a(&v, "Ball Game", "Park"), &v),
+            Status::Insignificant
+        );
+        assert_eq!(
+            st.status(&a(&v, "Biking", "Central Park"), &v),
+            Status::Unclassified
+        );
+        assert_eq!(st.pruned_values().len(), 1);
+        st.mark_pruned(AValue::Elem(v.element("Ball Game").unwrap()));
+        assert_eq!(st.pruned_values().len(), 1, "dedup");
+    }
+
+    #[test]
+    fn pruning_applies_to_more_facts() {
+        let v = vocab();
+        let mut st = ClassificationState::new();
+        st.mark_pruned(AValue::Elem(v.element("Boathouse").unwrap()));
+        let rent = oassis_vocab::Fact::new(
+            v.element("Rent Bikes").unwrap(),
+            v.relation("doAt").unwrap(),
+            v.element("Boathouse").unwrap(),
+        );
+        let base = a(&v, "Biking", "Central Park");
+        let with_more = base.with_more_fact(rent);
+        assert_eq!(st.status(&with_more, &v), Status::Insignificant);
+        assert_eq!(st.status(&base, &v), Status::Unclassified);
+    }
+}

@@ -1,0 +1,146 @@
+//! Diversified top-k answer selection (Section 8's "returning the top-k
+//! answers or diversified answers" extension).
+//!
+//! When a query yields many MSPs, the user may prefer k answers that
+//! *differ* from each other over the k highest-support ones (ten biking
+//! variants are less useful than biking + the zoo + a museum). The greedy
+//! max-min procedure below starts from the best-supported answer and
+//! repeatedly adds the answer farthest (by fact-set symmetric difference)
+//! from everything chosen so far — the classic 2-approximation of the
+//! max-min dispersion problem.
+
+use oassis_vocab::FactSet;
+
+use crate::engine::QueryAnswer;
+
+/// Distance between two answers: the size of the symmetric difference of
+/// their fact-sets.
+pub fn factset_distance(a: &FactSet, b: &FactSet) -> usize {
+    let only_a = a.iter().filter(|f| !b.contains(f)).count();
+    let only_b = b.iter().filter(|f| !a.contains(f)).count();
+    only_a + only_b
+}
+
+/// Greedily select up to `k` mutually diverse items; returns indices into
+/// `items`. The first pick is the item with the highest score.
+pub fn select_diverse(items: &[(FactSet, f64)], k: usize) -> Vec<usize> {
+    if items.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k.min(items.len()));
+    let first = items
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    chosen.push(first);
+    while chosen.len() < k.min(items.len()) {
+        let next = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !chosen.contains(i))
+            .max_by_key(|(_, (fs, _))| {
+                chosen
+                    .iter()
+                    .map(|&c| factset_distance(fs, &items[c].0))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => chosen.push(i),
+            None => break,
+        }
+    }
+    chosen
+}
+
+/// Diversified top-k over query answers (valid answers preferred: they are
+/// considered before the generalized ones).
+pub fn diversify_answers(answers: &[QueryAnswer], k: usize) -> Vec<QueryAnswer> {
+    let mut pool: Vec<&QueryAnswer> = answers.iter().filter(|a| a.valid).collect();
+    if pool.len() < k {
+        pool.extend(answers.iter().filter(|a| !a.valid));
+    }
+    let items: Vec<(FactSet, f64)> = pool
+        .iter()
+        .map(|a| (a.factset.clone(), a.support.unwrap_or(0.0)))
+        .collect();
+    select_diverse(&items, k)
+        .into_iter()
+        .map(|i| pool[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use oassis_vocab::{ElementId, Fact, RelationId};
+
+    fn fs(ids: &[u32]) -> FactSet {
+        FactSet::from_facts(
+            ids.iter()
+                .map(|&i| Fact::new(ElementId(i), RelationId(0), ElementId(100))),
+        )
+    }
+
+    fn answer(ids: &[u32], support: f64, valid: bool) -> QueryAnswer {
+        QueryAnswer {
+            assignment: Assignment::empty(0),
+            factset: fs(ids),
+            valid,
+            support: Some(support),
+            rendered: format!("{ids:?}"),
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_difference() {
+        assert_eq!(factset_distance(&fs(&[1, 2]), &fs(&[2, 3])), 2);
+        assert_eq!(factset_distance(&fs(&[1]), &fs(&[1])), 0);
+        assert_eq!(factset_distance(&fs(&[]), &fs(&[1, 2])), 2);
+    }
+
+    #[test]
+    fn first_pick_is_highest_support() {
+        let items = vec![(fs(&[1]), 0.3), (fs(&[2]), 0.9), (fs(&[3]), 0.5)];
+        let chosen = select_diverse(&items, 1);
+        assert_eq!(chosen, vec![1]);
+    }
+
+    #[test]
+    fn greedy_prefers_far_items() {
+        // Item 0 (best): {1,2}. Item 1: {1,3} (distance 2). Item 2: {7,8}
+        // (distance 4) — the diverse pick takes item 2 before item 1.
+        let items = vec![(fs(&[1, 2]), 0.9), (fs(&[1, 3]), 0.8), (fs(&[7, 8]), 0.7)];
+        let chosen = select_diverse(&items, 2);
+        assert_eq!(chosen, vec![0, 2]);
+        let all = select_diverse(&items, 3);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_pool_returns_everything() {
+        let items = vec![(fs(&[1]), 0.5)];
+        assert_eq!(select_diverse(&items, 10).len(), 1);
+        assert!(select_diverse(&[], 3).is_empty());
+        assert!(select_diverse(&items, 0).is_empty());
+    }
+
+    #[test]
+    fn diversify_answers_prefers_valid() {
+        let answers = vec![
+            answer(&[1, 2], 0.9, false),
+            answer(&[3, 4], 0.5, true),
+            answer(&[5, 6], 0.4, true),
+        ];
+        let picked = diversify_answers(&answers, 2);
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().all(|a| a.valid), "valid answers fill k first");
+        // When valid answers cannot fill k, invalid ones complete the set.
+        let picked3 = diversify_answers(&answers, 3);
+        assert_eq!(picked3.len(), 3);
+    }
+}

@@ -1,0 +1,1161 @@
+//! The OASSIS engine: multi-user evaluation (Section 4.2) and the
+//! system facade (Section 6.1).
+//!
+//! [`MultiUserMiner`] implements the five modifications of Section 4.2 on
+//! top of the vertical traversal: per-member top-down sessions, answers
+//! recorded per assignment in the [`CrowdCache`], overall classification by
+//! a pluggable [`Aggregator`] black-box, member-positive descent
+//! (`s ≥ θ` **and** not overall-insignificant), and MSP confirmation on the
+//! closing answer. [`Oassis`] ties ontology + parser + SPARQL + mining
+//! together and supports the Section 6.3 cache-replay methodology for
+//! re-executing a query at a higher support threshold without new crowd
+//! work.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use oassis_crowd::{
+    Aggregator, CrowdCache, CrowdMember, Decision, FixedSampleAggregator, MemberId, ScriptedMember,
+};
+use oassis_ql::{parse_query, QlError, Query, SelectForm};
+use oassis_sparql::MatchMode;
+use oassis_store::Ontology;
+use oassis_vocab::{Fact, FactSet};
+
+use crate::assignment::Assignment;
+use crate::border::{ClassificationState, Status};
+use crate::space::{AssignSpace, SpaceError};
+use crate::stats::{ExecutionStats, QuestionKind, Recorder};
+use crate::value::AValue;
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// SPARQL matching mode for the WHERE clause.
+    pub mode: MatchMode,
+    /// Answers required before the aggregator decides (the paper uses 5).
+    pub aggregator_sample: usize,
+    /// Probability of a specialization question at a descend step.
+    pub specialization_ratio: f64,
+    /// Probability of a user-guided-pruning interaction per question.
+    pub pruning_ratio: f64,
+    /// RNG seed for question-type choices and scheduling.
+    pub seed: u64,
+    /// Safety cap on total questions.
+    pub max_questions: usize,
+    /// Record the per-question discovery curve.
+    pub track_curve: bool,
+    /// Universe for the "% classified" curve series.
+    pub curve_universe: Option<Vec<Assignment>>,
+    /// Ground-truth MSPs for target curves (synthetic runs).
+    pub targets: Option<Vec<Assignment>>,
+    /// Candidate facts for the `MORE` clause.
+    pub more_domain: Vec<Fact>,
+    /// Stop as soon as this many *valid* MSPs are confirmed (the paper's
+    /// §8 top-k extension). `None` = mine to completion.
+    pub top_k: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: MatchMode::Semantic,
+            aggregator_sample: 5,
+            specialization_ratio: 0.0,
+            pruning_ratio: 0.0,
+            seed: 0,
+            max_questions: 1_000_000,
+            track_curve: false,
+            curve_universe: None,
+            targets: None,
+            more_domain: Vec::new(),
+            top_k: None,
+        }
+    }
+}
+
+/// Errors surfaced by [`Oassis::execute`].
+#[derive(Debug)]
+pub enum OassisError {
+    /// Query parsing/validation failed.
+    Query(QlError),
+    /// Assignment-space construction failed.
+    Space(SpaceError),
+}
+
+impl std::fmt::Display for OassisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OassisError::Query(e) => write!(f, "{e}"),
+            OassisError::Space(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OassisError {}
+
+impl From<QlError> for OassisError {
+    fn from(e: QlError) -> Self {
+        OassisError::Query(e)
+    }
+}
+
+impl From<SpaceError> for OassisError {
+    fn from(e: SpaceError) -> Self {
+        OassisError::Space(e)
+    }
+}
+
+/// One answer of a query result.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The MSP assignment.
+    pub assignment: Assignment,
+    /// Its instantiated fact-set `φ(A_SAT)`.
+    pub factset: FactSet,
+    /// Whether the assignment is valid w.r.t. the query.
+    pub valid: bool,
+    /// The aggregated support estimate, if answers were collected for it.
+    pub support: Option<f64>,
+    /// Human-readable rendering (per the query's `SELECT` form).
+    pub rendered: String,
+}
+
+/// The result of executing a query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The MSP answers (most specific significant patterns).
+    pub answers: Vec<QueryAnswer>,
+    /// Execution statistics.
+    pub stats: ExecutionStats,
+    /// All collected crowd answers (reusable for threshold replay).
+    pub cache: CrowdCache,
+    /// The final classification state.
+    pub state: ClassificationState,
+}
+
+/// Per-member traversal session (Section 4.2's per-user outer loop).
+struct Session {
+    /// Current descend position (an overall- and member-positive node).
+    cursor: Option<Assignment>,
+    /// This member's own classification knowledge. Their "No" answers stop
+    /// only their *descent* (§4.2 modification 4); the outer loop may still
+    /// ask them about any unclassified assignment.
+    personal: ClassificationState,
+    /// Values the member declared irrelevant (user-guided pruning): these
+    /// genuinely imply support 0, so covered questions are auto-answered.
+    pruned: ClassificationState,
+    /// Set when the member has nothing left to contribute.
+    exhausted: bool,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            cursor: None,
+            personal: ClassificationState::new(),
+            pruned: ClassificationState::new(),
+            exhausted: false,
+        }
+    }
+}
+
+/// The multi-user mining engine.
+pub struct MultiUserMiner<'a> {
+    space: &'a AssignSpace,
+    threshold: f64,
+    aggregator: Box<dyn Aggregator + 'a>,
+    config: &'a EngineConfig,
+}
+
+impl<'a> MultiUserMiner<'a> {
+    /// Create a miner with the paper's fixed-sample aggregation rule.
+    pub fn new(space: &'a AssignSpace, threshold: f64, config: &'a EngineConfig) -> Self {
+        MultiUserMiner {
+            space,
+            threshold,
+            aggregator: Box::new(FixedSampleAggregator {
+                sample_size: config.aggregator_sample,
+            }),
+            config,
+        }
+    }
+
+    /// Replace the aggregation black-box.
+    pub fn with_aggregator(mut self, aggregator: Box<dyn Aggregator + 'a>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Run the crowd until every assignment is classified or the crowd is
+    /// exhausted. Members are scheduled round-robin, emulating parallel
+    /// sessions.
+    pub fn run(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
+        self.run_observed(members, |_| {})
+    }
+
+    /// Like [`run`](Self::run), but invokes `on_answer` the moment each MSP
+    /// is confirmed — the incremental-answer delivery the paper highlights
+    /// ("answers can be returned faster, as soon as they are identified").
+    /// With [`EngineConfig::top_k`] set, the run stops once that many valid
+    /// MSPs have been confirmed.
+    pub fn run_observed(
+        &self,
+        members: &mut [Box<dyn CrowdMember>],
+        mut on_answer: impl FnMut(&QueryAnswer),
+    ) -> (QueryResult, CrowdCache) {
+        let mut cache = CrowdCache::new();
+        let mut overall = ClassificationState::new();
+        let mut recorder = Recorder::new();
+        if self.config.track_curve {
+            recorder = recorder.with_curve();
+        }
+        if let Some(u) = &self.config.curve_universe {
+            recorder = recorder.with_universe(u.clone());
+        }
+        if let Some(t) = &self.config.targets {
+            recorder = recorder.with_targets(t.clone());
+        }
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut sessions: Vec<Session> = members.iter().map(|_| Session::new()).collect();
+        let mut msps: Vec<Assignment> = Vec::new();
+        let mut confirmed: HashSet<Assignment> = HashSet::new();
+
+        let mut delivered = 0usize;
+        let mut valid_confirmed = 0usize;
+        'run: loop {
+            if recorder.stats.total_questions >= self.config.max_questions {
+                break;
+            }
+            let mut progressed = false;
+            for (member, session) in members.iter_mut().zip(&mut sessions) {
+                if recorder.stats.total_questions >= self.config.max_questions {
+                    break;
+                }
+                if session.exhausted || !member.willing() {
+                    continue;
+                }
+                if self.step(
+                    member.as_mut(),
+                    session,
+                    &mut overall,
+                    &mut cache,
+                    &mut recorder,
+                    &mut rng,
+                    &mut msps,
+                    &mut confirmed,
+                ) {
+                    progressed = true;
+                }
+                // Deliver newly confirmed MSPs incrementally.
+                while delivered < msps.len() {
+                    let answers = self
+                        .render_answers(std::slice::from_ref(&msps[delivered]), &cache);
+                    for a in &answers {
+                        if a.valid {
+                            valid_confirmed += 1;
+                        }
+                        on_answer(a);
+                    }
+                    delivered += 1;
+                }
+                if let Some(k) = self.config.top_k {
+                    if valid_confirmed >= k {
+                        break 'run;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Final MSP set: the positive border of the overall knowledge.
+        let border_msps: Vec<Assignment> = overall.significant_border().to_vec();
+        let answers = self.render_answers(&border_msps, &cache);
+        let result = QueryResult {
+            answers,
+            stats: recorder.stats,
+            cache: cache.clone(),
+            state: overall,
+        };
+        (result, cache)
+    }
+
+    /// One scheduling step for `member`. Returns whether anything happened.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        member: &mut dyn CrowdMember,
+        session: &mut Session,
+        overall: &mut ClassificationState,
+        cache: &mut CrowdCache,
+        recorder: &mut Recorder,
+        rng: &mut SmallRng,
+        msps: &mut Vec<Assignment>,
+        confirmed: &mut HashSet<Assignment>,
+    ) -> bool {
+        let vocab = self.space.ontology().vocabulary();
+
+        if session.cursor.is_none() {
+            // Outer loop: find a minimal overall-unclassified assignment
+            // this member can still help with.
+            let Some(phi) = self.find_askable(overall, cache, member) else {
+                session.exhausted = true;
+                return false;
+            };
+            let positive = self.ask_member(member, session, &phi, overall, cache, recorder, rng);
+            if positive {
+                session.cursor = Some(phi);
+            }
+            return true;
+        }
+
+        let phi = session.cursor.clone().expect("checked above");
+        let succs = self.space.successors(&phi);
+        recorder.stats.nodes_generated += succs.len();
+
+        // Move freely into an overall-significant successor.
+        if let Some(s) = succs
+            .iter()
+            .find(|s| overall.status(s, vocab) == Status::Significant)
+        {
+            session.cursor = Some(s.clone());
+            return true;
+        }
+
+        // Candidate successors: overall-unclassified, not ruled out for this
+        // member personally.
+        let candidates: Vec<Assignment> = succs
+            .iter()
+            .filter(|s| overall.status(s, vocab) == Status::Unclassified)
+            .filter(|s| session.personal.status(s, vocab) != Status::Insignificant)
+            .cloned()
+            .collect();
+        let askable: Vec<Assignment> = candidates
+            .iter()
+            .filter(|s| {
+                let fs = self.space.instantiate(s);
+                !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
+            })
+            .cloned()
+            .collect();
+
+        if askable.is_empty() {
+            // Inner loop over: MSP confirmation (modification 5 of §4.2).
+            let is_msp = overall.status(&phi, vocab) == Status::Significant
+                && succs
+                    .iter()
+                    .all(|s| overall.status(s, vocab) != Status::Significant);
+            if is_msp && confirmed.insert(phi.clone()) {
+                msps.push(phi.clone());
+                recorder.on_msp(self.space.is_valid(&phi));
+            }
+            session.cursor = None;
+            return true;
+        }
+
+        // Specialization question, with the configured probability.
+        if self.config.specialization_ratio > 0.0
+            && rng.random::<f64>() < self.config.specialization_ratio
+        {
+            let base_fs = self.space.instantiate(&phi);
+            let cand_fs: Vec<FactSet> = askable.iter().map(|c| self.space.instantiate(c)).collect();
+            match member.ask_specialization(&base_fs, &cand_fs) {
+                Some((idx, s)) => {
+                    recorder.on_question(QuestionKind::Specialization, &base_fs);
+                    let positive =
+                        self.record_answer(member.id(), &askable[idx], s, session, overall, cache);
+                    recorder.on_state_change(overall, vocab);
+                    if positive {
+                        session.cursor = Some(askable[idx].clone());
+                    }
+                }
+                None => {
+                    recorder.on_question(QuestionKind::NoneOfThese, &base_fs);
+                    for c in &askable {
+                        self.record_answer(member.id(), c, 0.0, session, overall, cache);
+                    }
+                    recorder.on_state_change(overall, vocab);
+                }
+            }
+            return true;
+        }
+
+        // Concrete question about the first askable successor.
+        let target = askable[0].clone();
+        let positive = self.ask_member(member, session, &target, overall, cache, recorder, rng);
+        if positive {
+            session.cursor = Some(target);
+        }
+        true
+    }
+
+    /// Ask `member` a concrete question about `phi` (with optional pruning
+    /// interaction, personal-pruning auto-answers and cache reuse).
+    /// Returns the §4.2 member-positive verdict.
+    #[allow(clippy::too_many_arguments)]
+    fn ask_member(
+        &self,
+        member: &mut dyn CrowdMember,
+        session: &mut Session,
+        phi: &Assignment,
+        overall: &mut ClassificationState,
+        cache: &mut CrowdCache,
+        recorder: &mut Recorder,
+        rng: &mut SmallRng,
+    ) -> bool {
+        let vocab = self.space.ontology().vocabulary();
+        let fs = self.space.instantiate(phi);
+
+        // User-guided pruning: the member's single click is the answer when
+        // the question involves a value irrelevant to them (Section 6.2).
+        if self.config.pruning_ratio > 0.0 && rng.random::<f64>() < self.config.pruning_ratio {
+            let irrelevant = member.irrelevant_elements(&fs);
+            if !irrelevant.is_empty() {
+                recorder.on_question(QuestionKind::Pruning, &fs);
+                for e in irrelevant {
+                    session.pruned.mark_pruned(AValue::Elem(e));
+                }
+            }
+        }
+
+        let s = if session.pruned.status(phi, vocab) == Status::Insignificant {
+            // Covered by the member's own pruning: inferred support 0 at no
+            // question cost (Section 6.2).
+            0.0
+        } else if let Some(&(_, s)) = cache.answers(&fs).iter().find(|(m, _)| *m == member.id()) {
+            s
+        } else {
+            recorder.on_question(QuestionKind::Concrete, &fs);
+            member.ask_concrete(&fs)
+        };
+        let positive = self.record_answer(member.id(), phi, s, session, overall, cache);
+        recorder.on_state_change(overall, vocab);
+        positive
+    }
+
+    /// Record `s` as `member`'s answer for `phi`, update the member's
+    /// personal state, run the aggregator and update the overall state.
+    /// Returns the member-positive verdict.
+    fn record_answer(
+        &self,
+        member: MemberId,
+        phi: &Assignment,
+        s: f64,
+        session: &mut Session,
+        overall: &mut ClassificationState,
+        cache: &mut CrowdCache,
+    ) -> bool {
+        let vocab = self.space.ontology().vocabulary();
+        let fs = self.space.instantiate(phi);
+        cache.record(&fs, member, s);
+        if s >= self.threshold {
+            session.personal.mark_significant(phi, vocab);
+        } else {
+            session.personal.mark_insignificant(phi, vocab);
+        }
+        match self.aggregator.decide(&cache.supports(&fs), self.threshold) {
+            Decision::Significant => overall.mark_significant(phi, vocab),
+            Decision::Insignificant => overall.mark_insignificant(phi, vocab),
+            Decision::Undecided => {}
+        }
+        s >= self.threshold && overall.status(phi, vocab) != Status::Insignificant
+    }
+
+    /// Find a minimal overall-unclassified assignment that `member` has not
+    /// yet answered (directly or through pruning).
+    fn find_askable(
+        &self,
+        overall: &ClassificationState,
+        cache: &CrowdCache,
+        member: &dyn CrowdMember,
+    ) -> Option<Assignment> {
+        let vocab = self.space.ontology().vocabulary();
+        let askable = |a: &Assignment| {
+            let fs = self.space.instantiate(a);
+            !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
+        };
+        let mut stack: Vec<Assignment> = Vec::new();
+        let mut seen: HashSet<Assignment> = HashSet::new();
+        for root in self.space.roots() {
+            match overall.status(&root, vocab) {
+                Status::Unclassified if askable(&root) => return Some(root),
+                Status::Insignificant => {}
+                _ => {
+                    if seen.insert(root.clone()) {
+                        stack.push(root);
+                    }
+                }
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for s in self.space.successors(&n) {
+                match overall.status(&s, vocab) {
+                    Status::Unclassified if askable(&s) => return Some(s),
+                    Status::Insignificant => {}
+                    _ => {
+                        if seen.insert(s.clone()) {
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn render_answers(
+        &self,
+        msps: &[Assignment],
+        cache: &CrowdCache,
+    ) -> Vec<QueryAnswer> {
+        let vocab = self.space.ontology().vocabulary();
+        msps.iter()
+            .map(|a| {
+                let factset = self.space.instantiate(a);
+                let answers = cache.supports(&factset);
+                let support = if answers.is_empty() {
+                    None
+                } else {
+                    Some(answers.iter().sum::<f64>() / answers.len() as f64)
+                };
+                QueryAnswer {
+                    assignment: a.clone(),
+                    factset: factset.clone(),
+                    valid: self.space.is_valid(a),
+                    support,
+                    rendered: vocab.factset_to_string(&factset),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The OASSIS system facade: parse → SPARQL → mine → answers.
+///
+/// ```
+/// use oassis_core::{EngineConfig, Oassis};
+/// use oassis_crowd::transaction::table3_dbs;
+/// use oassis_crowd::{CrowdMember, DbMember, MemberId};
+/// use oassis_store::ontology::figure1_ontology;
+/// use std::sync::Arc;
+///
+/// let ontology = figure1_ontology();
+/// let vocab = Arc::new(ontology.vocabulary().clone());
+/// let (d1, _) = table3_dbs(&vocab);
+/// let mut members: Vec<Box<dyn CrowdMember>> =
+///     vec![Box::new(DbMember::new(MemberId(1), d1, vocab))];
+///
+/// let engine = Oassis::new(ontology);
+/// let config = EngineConfig { aggregator_sample: 1, ..EngineConfig::default() };
+/// let result = engine
+///     .execute(
+///         "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+///          SATISFYING $y doAt <Bronx Zoo> WITH SUPPORT = 0.5",
+///         &mut members,
+///         &config,
+///     )
+///     .unwrap();
+/// assert!(result.answers.iter().any(|a| a.rendered.contains("Feed a monkey")));
+/// ```
+pub struct Oassis {
+    ontology: Arc<Ontology>,
+}
+
+impl Oassis {
+    /// Create an engine over `ontology`.
+    pub fn new(ontology: Ontology) -> Self {
+        Oassis {
+            ontology: Arc::new(ontology),
+        }
+    }
+
+    /// Create from a shared ontology.
+    pub fn from_arc(ontology: Arc<Ontology>) -> Self {
+        Oassis { ontology }
+    }
+
+    /// The engine's ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Parse `query_src` against the ontology.
+    pub fn parse(&self, query_src: &str) -> Result<Query, OassisError> {
+        Ok(parse_query(query_src, &self.ontology)?)
+    }
+
+    /// Build the assignment space for a parsed query.
+    pub fn space(&self, query: &Query, config: &EngineConfig) -> Result<AssignSpace, OassisError> {
+        Ok(AssignSpace::build(
+            Arc::clone(&self.ontology),
+            query,
+            config.mode,
+            config.more_domain.clone(),
+        )?)
+    }
+
+    /// Execute `query_src` against `members` with the paper's multi-user
+    /// algorithm, at the query's own `WITH SUPPORT` threshold.
+    pub fn execute(
+        &self,
+        query_src: &str,
+        members: &mut [Box<dyn CrowdMember>],
+        config: &EngineConfig,
+    ) -> Result<QueryResult, OassisError> {
+        let query = self.parse(query_src)?;
+        self.execute_parsed(&query, query.satisfying.support, members, config)
+    }
+
+    /// Execute a parsed query at an explicit threshold (the §6.3 replay
+    /// methodology varies the threshold over one cached answer set).
+    pub fn execute_parsed(
+        &self,
+        query: &Query,
+        threshold: f64,
+        members: &mut [Box<dyn CrowdMember>],
+        config: &EngineConfig,
+    ) -> Result<QueryResult, OassisError> {
+        let space = self.space(query, config)?;
+        let miner = MultiUserMiner::new(&space, threshold, config);
+        let (mut result, _) = miner.run(members);
+        if query.all {
+            // `SELECT ... ALL`: besides the MSPs, return every explicitly
+            // classified significant assignment (the implied generalizations
+            // can be inferred by the caller via the returned state, as the
+            // paper notes in footnote 3).
+            let vocab = self.ontology.vocabulary();
+            let mut seen: std::collections::HashSet<Assignment> = result
+                .answers
+                .iter()
+                .map(|a| a.assignment.clone())
+                .collect();
+            let extra: Vec<Assignment> = result
+                .state
+                .explicit_decisions()
+                .filter(|(_, sig)| *sig)
+                .map(|(a, _)| a.clone())
+                .filter(|a| seen.insert(a.clone()))
+                .collect();
+            for a in extra {
+                let factset = space.instantiate(&a);
+                let answers = result.cache.supports(&factset);
+                let support = if answers.is_empty() {
+                    None
+                } else {
+                    Some(answers.iter().sum::<f64>() / answers.len() as f64)
+                };
+                result.answers.push(QueryAnswer {
+                    valid: space.is_valid(&a),
+                    support,
+                    rendered: vocab.factset_to_string(&factset),
+                    factset,
+                    assignment: a,
+                });
+            }
+        }
+        if query.select == SelectForm::Variables {
+            let names = space.var_names().to_vec();
+            for a in &mut result.answers {
+                a.rendered = a.assignment.display(&names, self.ontology.vocabulary());
+            }
+        }
+        Ok(result)
+    }
+
+    /// Survey the crowd for MORE-fact candidates (the "more" button of
+    /// Section 6.2): each member is prompted, for up to `contexts` base
+    /// assignments, with "what else do you do when ...?" and may volunteer
+    /// one extra fact per prompt. The deduplicated suggestions become the
+    /// `more_domain` for a subsequent execution.
+    pub fn discover_more_domain(
+        &self,
+        query: &Query,
+        members: &mut [Box<dyn CrowdMember>],
+        config: &EngineConfig,
+        contexts: usize,
+    ) -> Result<Vec<Fact>, OassisError> {
+        let space = self.space(query, config)?;
+        let bases = space.base_assignments(contexts);
+        let mut out: Vec<Fact> = Vec::new();
+        for member in members.iter_mut() {
+            for base in &bases {
+                if !member.willing() {
+                    break;
+                }
+                let fs = space.instantiate(base);
+                if fs.is_empty() {
+                    continue;
+                }
+                for f in member.suggest_more(&fs) {
+                    if !out.contains(&f) {
+                        out.push(f);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Re-execute a query at `threshold` using only cached answers from a
+    /// previous run (Section 6.3): members are replayed from the cache and
+    /// the statistics count only the answers the algorithm actually uses.
+    ///
+    /// Caveat: if the original run classified an assignment purely by
+    /// inference (a deeper pattern was significant at the lower threshold),
+    /// the cache may hold fewer answers for it than the aggregator's sample
+    /// size, and the replay leaves it undecided; the replayed MSP set is
+    /// then a subset of a fresh execution's. The figure harness therefore
+    /// measures per-threshold question counts with fresh executions, which
+    /// matches the paper's "answers used by the algorithm" accounting.
+    pub fn replay(
+        &self,
+        query: &Query,
+        threshold: f64,
+        cache: &CrowdCache,
+        config: &EngineConfig,
+    ) -> Result<QueryResult, OassisError> {
+        let mut members = replay_members(cache);
+        self.execute_parsed(query, threshold, &mut members, config)
+    }
+}
+
+/// Build replay members from a previous run's cache: each answers exactly
+/// what they answered before (and support 0 for anything never asked, which
+/// a completed run only reaches inside already-insignificant regions).
+pub fn replay_members(cache: &CrowdCache) -> Vec<Box<dyn CrowdMember>> {
+    use std::collections::HashMap;
+    let mut per_member: HashMap<MemberId, HashMap<FactSet, f64>> = HashMap::new();
+    for (fs, answers) in cache.iter() {
+        for &(m, s) in answers {
+            per_member.entry(m).or_default().insert(fs.clone(), s);
+        }
+    }
+    let mut ids: Vec<MemberId> = per_member.keys().copied().collect();
+    ids.sort();
+    ids.into_iter()
+        .map(|id| {
+            let answers = per_member.remove(&id).expect("key exists");
+            Box::new(ScriptedMember::new_strict(id, answers)) as Box<dyn CrowdMember>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::DbMember;
+    use oassis_store::ontology::figure1_ontology;
+
+    const QUERY: &str = r#"
+        SELECT FACT-SETS
+        WHERE
+          $w subClassOf* Attraction.
+          $x instanceOf $w.
+          $x inside NYC.
+          $x hasLabel "child-friendly".
+          $y subClassOf* Activity
+        SATISFYING
+          $y+ doAt $x
+        WITH SUPPORT = 0.4
+    "#;
+
+    /// A crowd of u1/u2 clones large enough for the 5-answer aggregator.
+    fn crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+        let o = figure1_ontology();
+        let vocab = Arc::new(o.vocabulary().clone());
+        let (d1, d2) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+        for i in 0..n_pairs {
+            members.push(Box::new(DbMember::new(
+                MemberId(2 * i),
+                d1.clone(),
+                Arc::clone(&vocab),
+            )));
+            members.push(Box::new(DbMember::new(
+                MemberId(2 * i + 1),
+                d2.clone(),
+                Arc::clone(&vocab),
+            )));
+        }
+        members
+    }
+
+    #[test]
+    fn multi_user_finds_phi16_style_msps() {
+        // With equal numbers of u1/u2 clones, average supports match
+        // u_avg of Example 4.6: Biking@CP = avg(2/6, 1/2) = 5/12 ≥ 0.4.
+        let engine = Oassis::new(figure1_ontology());
+        let mut members = crowd(3); // 6 members ≥ sample size 5
+        let cfg = EngineConfig::default();
+        let result = engine.execute(QUERY, &mut members, &cfg).unwrap();
+        assert!(!result.answers.is_empty());
+        let rendered: Vec<&str> = result.answers.iter().map(|a| a.rendered.as_str()).collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("Biking doAt Central Park")),
+            "answers: {rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("Feed a monkey doAt Bronx Zoo")),
+            "answers: {rendered:?}"
+        );
+        // Baseball@CP has avg 1/6, 1/2 → 1/3 < 0.4: must not be an MSP.
+        assert!(!rendered.iter().any(|r| r.contains("Baseball")));
+        // All reported supports meet the threshold (up to float tolerance).
+        for a in &result.answers {
+            if let Some(s) = a.support {
+                assert!(s + 1e-9 >= 0.4, "answer {} has support {s}", a.rendered);
+            }
+        }
+    }
+
+    #[test]
+    fn unwilling_members_stop_the_run_gracefully() {
+        let o = figure1_ontology();
+        let vocab = Arc::new(o.vocabulary().clone());
+        let (d1, _) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> = vec![Box::new(
+            DbMember::new(MemberId(0), d1, vocab).with_quota(3),
+        )];
+        let engine = Oassis::new(figure1_ontology());
+        let result = engine
+            .execute(QUERY, &mut members, &EngineConfig::default())
+            .unwrap();
+        assert!(result.stats.total_questions <= 3 + 1);
+    }
+
+    #[test]
+    fn single_member_sample_one_matches_vertical_semantics() {
+        let o = figure1_ontology();
+        let vocab = Arc::new(o.vocabulary().clone());
+        let (d1, _) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> =
+            vec![Box::new(DbMember::new(MemberId(0), d1, vocab))];
+        let engine = Oassis::new(figure1_ontology());
+        let cfg = EngineConfig {
+            aggregator_sample: 1,
+            ..EngineConfig::default()
+        };
+        let query = engine.parse(QUERY).unwrap();
+        let result = engine
+            .execute_parsed(&query, 0.3, &mut members, &cfg)
+            .unwrap();
+        // u1 at 0.3: monkey-feeding and the Biking/Ball-Game combo (2/6each).
+        let rendered: Vec<&str> = result.answers.iter().map(|a| a.rendered.as_str()).collect();
+        assert!(rendered.iter().any(|r| r.contains("Feed a monkey")));
+        assert!(rendered.iter().any(|r| r.contains("Biking")));
+    }
+
+    #[test]
+    fn replay_at_higher_threshold_uses_no_new_crowd_answers() {
+        let engine = Oassis::new(figure1_ontology());
+        let mut members = crowd(3);
+        let cfg = EngineConfig::default();
+        let query = engine.parse(QUERY).unwrap();
+        let base = engine
+            .execute_parsed(&query, 0.2, &mut members, &cfg)
+            .unwrap();
+
+        let replayed = engine.replay(&query, 0.4, &base.cache, &cfg).unwrap();
+        // Replay asks at most as many questions as the original run.
+        assert!(
+            replayed.stats.total_questions <= base.stats.total_questions,
+            "replay {} > base {}",
+            replayed.stats.total_questions,
+            base.stats.total_questions
+        );
+        // Its answers are a subset of a fresh execution at 0.4 (inference
+        // in the base run may have classified some assignments with fewer
+        // than sample-size direct answers — see `replay`'s caveat).
+        let mut fresh_members = crowd(3);
+        let fresh = engine
+            .execute_parsed(&query, 0.4, &mut fresh_members, &cfg)
+            .unwrap();
+        let fresh_set: std::collections::HashSet<String> =
+            fresh.answers.iter().map(|x| x.rendered.clone()).collect();
+        for a in &replayed.answers {
+            assert!(
+                fresh_set.contains(&a.rendered),
+                "replay invented answer {}",
+                a.rendered
+            );
+        }
+        assert!(!replayed.answers.is_empty());
+    }
+
+    #[test]
+    fn higher_threshold_never_finds_more_msps() {
+        let engine = Oassis::new(figure1_ontology());
+        let query = engine.parse(QUERY).unwrap();
+        let cfg = EngineConfig::default();
+        let mut counts = Vec::new();
+        let mut members = crowd(3);
+        let base = engine
+            .execute_parsed(&query, 0.2, &mut members, &cfg)
+            .unwrap();
+        for th in [0.2, 0.3, 0.4, 0.5] {
+            let r = engine.replay(&query, th, &base.cache, &cfg).unwrap();
+            counts.push(r.answers.len());
+        }
+        // MSP counts are not strictly monotone in the threshold in general
+        // (footnote 8: raising it can promote several predecessors to MSPs),
+        // but the strictest threshold cannot out-produce the loosest.
+        assert!(counts.last().unwrap() <= counts.first().unwrap());
+    }
+
+    #[test]
+    fn select_variables_renders_assignments() {
+        let engine = Oassis::new(figure1_ontology());
+        let mut members = crowd(3);
+        let cfg = EngineConfig::default();
+        let src = QUERY.replace("SELECT FACT-SETS", "SELECT VARIABLES");
+        let result = engine.execute(&src, &mut members, &cfg).unwrap();
+        assert!(
+            result
+                .answers
+                .iter()
+                .any(|a| a.rendered.contains("y:") && a.rendered.contains("x:")),
+            "{:?}",
+            result
+                .answers
+                .iter()
+                .map(|a| &a.rendered)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replay_members_reconstruct_cache() {
+        let mut cache = CrowdCache::new();
+        let fs = FactSet::new();
+        cache.record(&fs, MemberId(1), 0.5);
+        cache.record(&fs, MemberId(2), 0.75);
+        let mut members = replay_members(&cache);
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].ask_concrete(&fs), 0.5);
+        assert_eq!(members[1].ask_concrete(&fs), 0.75);
+    }
+}
+
+#[cfg(test)]
+mod all_keyword_tests {
+    use super::*;
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::DbMember;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn select_all_includes_non_maximal_significant_patterns() {
+        let ontology = figure1_ontology();
+        let vocab = Arc::new(ontology.vocabulary().clone());
+        let (d1, _) = table3_dbs(&vocab);
+        let engine = Oassis::new(figure1_ontology());
+        let cfg = EngineConfig {
+            aggregator_sample: 1,
+            ..EngineConfig::default()
+        };
+        let src = |all: &str| {
+            format!(
+                "SELECT FACT-SETS{all} WHERE \
+                   $x instanceOf Park. $y subClassOf* Activity \
+                 SATISFYING $y doAt $x WITH SUPPORT = 0.3"
+            )
+        };
+        let run = |q: &str| {
+            let mut members: Vec<Box<dyn CrowdMember>> = vec![Box::new(DbMember::new(
+                MemberId(0),
+                d1.clone(),
+                Arc::clone(&vocab),
+            ))];
+            engine.execute(q, &mut members, &cfg).unwrap()
+        };
+        let msps_only = run(&src(""));
+        let all = run(&src(" ALL"));
+        assert!(all.answers.len() > msps_only.answers.len());
+        // ALL includes the generalization `Sport doAt Central Park` even
+        // though `Biking doAt Central Park` is the MSP below it.
+        assert!(all
+            .answers
+            .iter()
+            .any(|a| a.rendered == "Sport doAt Central Park"));
+        assert!(!msps_only
+            .answers
+            .iter()
+            .any(|a| a.rendered == "Sport doAt Central Park"));
+        // The MSP set is a subset of the ALL set.
+        for m in &msps_only.answers {
+            assert!(all.answers.iter().any(|a| a.rendered == m.rendered));
+        }
+    }
+}
+
+#[cfg(test)]
+mod topk_tests {
+    use super::*;
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::DbMember;
+    use oassis_store::ontology::figure1_ontology;
+
+    const QUERY: &str = "SELECT FACT-SETS WHERE \
+          $x instanceOf $w. $w subClassOf* Attraction. $x inside NYC. \
+          $y subClassOf* Activity \
+        SATISFYING $y doAt $x WITH SUPPORT = 0.3";
+
+    fn member() -> Box<dyn CrowdMember> {
+        let o = figure1_ontology();
+        let vocab = Arc::new(o.vocabulary().clone());
+        let (d1, _) = table3_dbs(&vocab);
+        Box::new(DbMember::new(MemberId(0), d1, vocab))
+    }
+
+    #[test]
+    fn top_k_stops_early_and_saves_questions() {
+        let engine = Oassis::new(figure1_ontology());
+        let query = engine.parse(QUERY).unwrap();
+        let full_cfg = EngineConfig {
+            aggregator_sample: 1,
+            ..EngineConfig::default()
+        };
+        let mut m1 = vec![member()];
+        let full = engine
+            .execute_parsed(&query, 0.3, &mut m1, &full_cfg)
+            .unwrap();
+        assert!(full.answers.iter().filter(|a| a.valid).count() >= 2);
+
+        let topk_cfg = EngineConfig {
+            aggregator_sample: 1,
+            top_k: Some(1),
+            ..EngineConfig::default()
+        };
+        let mut m2 = vec![member()];
+        let topk = engine
+            .execute_parsed(&query, 0.3, &mut m2, &topk_cfg)
+            .unwrap();
+        assert!(
+            topk.stats.total_questions < full.stats.total_questions,
+            "top-1 ({}) should ask fewer questions than completion ({})",
+            topk.stats.total_questions,
+            full.stats.total_questions
+        );
+        assert!(topk.answers.iter().any(|a| a.valid));
+    }
+
+    #[test]
+    fn observer_sees_answers_incrementally_in_confirmation_order() {
+        let engine = Oassis::new(figure1_ontology());
+        let query = engine.parse(QUERY).unwrap();
+        let cfg = EngineConfig {
+            aggregator_sample: 1,
+            ..EngineConfig::default()
+        };
+        let space = engine.space(&query, &cfg).unwrap();
+        let miner = MultiUserMiner::new(&space, 0.3, &cfg);
+        let mut seen: Vec<String> = Vec::new();
+        let mut members = vec![member()];
+        let (result, _) = miner.run_observed(&mut members, |a| {
+            seen.push(a.rendered.clone());
+        });
+        assert_eq!(seen.len(), result.stats.msp_events.len());
+        // Everything the observer saw is in the final answer set.
+        for s in &seen {
+            assert!(result.answers.iter().any(|a| &a.rendered == s), "{s}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod discovery_tests {
+    use super::*;
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::DbMember;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn crowd_survey_discovers_the_boathouse_tip() {
+        let ontology = figure1_ontology();
+        let vocab = Arc::new(ontology.vocabulary().clone());
+        let (d1, d2) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> = vec![
+            Box::new(DbMember::new(MemberId(1), d1, Arc::clone(&vocab))),
+            Box::new(DbMember::new(MemberId(2), d2, Arc::clone(&vocab))),
+        ];
+        let engine = Oassis::new(ontology);
+        let cfg = EngineConfig::default();
+        let query = engine
+            .parse(
+                "SELECT FACT-SETS WHERE \
+                   $x instanceOf $w. $w subClassOf* Attraction. \
+                   $y subClassOf* Activity \
+                 SATISFYING $y doAt $x. MORE WITH SUPPORT = 0.3",
+            )
+            .unwrap();
+        let domain = engine
+            .discover_more_domain(&query, &mut members, &cfg, 500)
+            .unwrap();
+        let rendered: Vec<String> = domain
+            .iter()
+            .map(|f| engine.ontology().vocabulary().fact_to_string(f))
+            .collect();
+        assert!(
+            rendered.iter().any(|s| s == "Rent Bikes doAt Boathouse"),
+            "suggestions: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn more_facts_never_duplicate_pattern_facts_in_answers() {
+        let ontology = figure1_ontology();
+        let vocab = Arc::new(ontology.vocabulary().clone());
+        let (d1, d2) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> = vec![
+            Box::new(DbMember::new(MemberId(1), d1, Arc::clone(&vocab))),
+            Box::new(DbMember::new(MemberId(2), d2, Arc::clone(&vocab))),
+        ];
+        let engine = Oassis::new(ontology);
+        let query = engine
+            .parse(
+                "SELECT FACT-SETS WHERE \
+                   $x instanceOf $w. $w subClassOf* Attraction. \
+                   $y subClassOf* Activity. \
+                   $z instanceOf Restaurant \
+                 SATISFYING $y doAt $x. [] eatAt $z. MORE WITH SUPPORT = 0.4",
+            )
+            .unwrap();
+        let cfg = EngineConfig {
+            aggregator_sample: 2,
+            more_domain: engine
+                .discover_more_domain(&query, &mut members, &EngineConfig::default(), 500)
+                .unwrap(),
+            ..EngineConfig::default()
+        };
+        let result = engine
+            .execute_parsed(&query, 0.4, &mut members, &cfg)
+            .unwrap();
+        // No answer's MORE fact may be comparable with one of its own
+        // pattern facts (that would be a semantic duplicate).
+        let v = engine.ontology().vocabulary();
+        for a in &result.answers {
+            for f in a.assignment.more_facts() {
+                let inst_without_more: Vec<_> = a.factset.iter().filter(|g| *g != f).collect();
+                for g in inst_without_more {
+                    assert!(
+                        !v.fact_leq(f, g) && !v.fact_leq(g, f),
+                        "answer {} carries duplicate advice {}",
+                        a.rendered,
+                        v.fact_to_string(f)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # oassis-core
+//!
+//! The OASSIS query-evaluation engine (Sections 4 and 5 of the paper):
+//!
+//! * [`Assignment`]s with multiplicities — mappings from query variables to
+//!   *antichains* of vocabulary terms, plus `MORE` facts — and their semantic
+//!   partial order (Definition 4.1),
+//! * the [`AssignSpace`] — the lazily generated assignment DAG: validity
+//!   (`φ(A_WHERE) ≤ O`), membership in the expanded set
+//!   `𝒜 = {φ | ∃φ' ∈ 𝒜valid, φ ≤ φ'}`, immediate successors/predecessors,
+//!   and lazy combination of multiplicities (Proposition 5.1),
+//! * classification by inference ([`border`]): one crowd answer classifies
+//!   every generalization (if significant) or every specialization (if not)
+//!   — Observation 4.4,
+//! * the mining algorithms: the paper's top-down [`VerticalMiner`]
+//!   (Algorithm 1), the Apriori-style [`HorizontalMiner`], the random
+//!   [`NaiveMiner`], and the §6.3 *baseline* cost model,
+//! * the [`MultiUserMiner`] (Section 4.2): per-member traversal with a
+//!   global answer cache and a pluggable aggregation black-box,
+//! * natural-language [`question`] rendering (Section 6.2's templates),
+//! * [`ExecutionStats`] with the per-question discovery curve behind
+//!   Figures 4d–4f and 5.
+
+pub mod algo;
+pub mod assignment;
+pub mod border;
+pub mod diversity;
+pub mod engine;
+pub mod question;
+pub mod rules;
+pub mod space;
+pub mod stats;
+pub mod value;
+
+pub use algo::{
+    baseline_question_count, HorizontalMiner, MinerConfig, MinerOutcome, NaiveMiner, VerticalMiner,
+};
+pub use assignment::Assignment;
+pub use border::ClassificationState;
+pub use diversity::{diversify_answers, select_diverse};
+pub use engine::{EngineConfig, MultiUserMiner, Oassis, QueryAnswer, QueryResult};
+pub use rules::{mine_rules, AssociationRule};
+pub use space::AssignSpace;
+pub use stats::{DiscoveryPoint, ExecutionStats, QuestionKind};
+pub use value::AValue;

@@ -1,0 +1,170 @@
+//! Natural-language question rendering (Section 6.2).
+//!
+//! The prototype translates assignments into questions using manually
+//! created, domain-specific templates, e.g. the assignment φ17 becomes
+//! *"How often do you engage in ball games in Central Park?"*.
+//! [`QuestionTemplates`] holds one phrase template per relation with `{s}` /
+//! `{o}` placeholders and renders the three question kinds.
+
+use std::collections::HashMap;
+
+use oassis_vocab::{Fact, FactSet, RelationId, Vocabulary};
+
+/// Per-relation phrase templates.
+#[derive(Debug, Clone)]
+pub struct QuestionTemplates {
+    by_relation: HashMap<RelationId, String>,
+    fallback: String,
+}
+
+impl Default for QuestionTemplates {
+    fn default() -> Self {
+        QuestionTemplates {
+            by_relation: HashMap::new(),
+            fallback: "{s} {r} {o}".to_owned(),
+        }
+    }
+}
+
+impl QuestionTemplates {
+    /// Templates with only the generic fallback phrase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a phrase template for `relation`; `{s}` and `{o}` are
+    /// replaced by the subject/object names, e.g. `"do {s} in {o}"`.
+    pub fn set(&mut self, relation: RelationId, template: &str) -> &mut Self {
+        self.by_relation.insert(relation, template.to_owned());
+        self
+    }
+
+    /// The travel-domain templates used by the running example.
+    pub fn travel_defaults(vocab: &Vocabulary) -> Self {
+        let mut t = Self::new();
+        if let Some(r) = vocab.relation("doAt") {
+            t.set(r, "do {s} at {o}");
+        }
+        if let Some(r) = vocab.relation("eatAt") {
+            t.set(r, "eat {s} at {o}");
+        }
+        t
+    }
+
+    /// Render one fact as a verb phrase.
+    pub fn phrase(&self, fact: &Fact, vocab: &Vocabulary) -> String {
+        let template = self
+            .by_relation
+            .get(&fact.relation)
+            .map_or(self.fallback.as_str(), String::as_str);
+        template
+            .replace("{s}", vocab.element_name(fact.subject))
+            .replace("{r}", vocab.relation_name(fact.relation))
+            .replace("{o}", vocab.element_name(fact.object))
+    }
+
+    /// A concrete question: *"How often do you X and also Y?"*.
+    pub fn concrete(&self, fs: &FactSet, vocab: &Vocabulary) -> String {
+        let phrases: Vec<String> = fs.iter().map(|f| self.phrase(f, vocab)).collect();
+        match phrases.as_slice() {
+            [] => "How often does nothing in particular happen?".to_owned(),
+            [one] => format!("How often do you {one}?"),
+            many => format!(
+                "How often do you {} and also {}?",
+                many[..many.len() - 1].join(", "),
+                many[many.len() - 1]
+            ),
+        }
+    }
+
+    /// A specialization question: *"You sometimes X — can you specify what
+    /// kind? How often do you do that?"*.
+    pub fn specialization(&self, base: &FactSet, vocab: &Vocabulary) -> String {
+        let phrases: Vec<String> = base.iter().map(|f| self.phrase(f, vocab)).collect();
+        format!(
+            "You sometimes {} — can you specify what kind? How often do you do that?",
+            phrases.join(" and ")
+        )
+    }
+
+    /// A `MORE` prompt: *"What else do you do when you X?"*.
+    pub fn more(&self, base: &FactSet, vocab: &Vocabulary) -> String {
+        let phrases: Vec<String> = base.iter().map(|f| self.phrase(f, vocab)).collect();
+        format!("What else do you do when you {}?", phrases.join(" and "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+
+    fn fact(vocab: &Vocabulary, s: &str, r: &str, o: &str) -> Fact {
+        Fact::new(
+            vocab.element(s).unwrap(),
+            vocab.relation(r).unwrap(),
+            vocab.element(o).unwrap(),
+        )
+    }
+
+    #[test]
+    fn concrete_single_fact() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let t = QuestionTemplates::travel_defaults(v);
+        let fs = FactSet::from_facts([fact(v, "Biking", "doAt", "Central Park")]);
+        assert_eq!(
+            t.concrete(&fs, v),
+            "How often do you do Biking at Central Park?"
+        );
+    }
+
+    #[test]
+    fn concrete_bundles_facts_with_and_also() {
+        // "How often do you go to Central Park and also eat at Maoz
+        // Vegetarian?" — the paper's bundled-question example.
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let t = QuestionTemplates::travel_defaults(v);
+        let fs = FactSet::from_facts([
+            fact(v, "Biking", "doAt", "Central Park"),
+            fact(v, "Falafel", "eatAt", "Maoz Veg."),
+        ]);
+        let q = t.concrete(&fs, v);
+        assert!(q.starts_with("How often do you"), "{q}");
+        assert!(q.contains("and also"), "{q}");
+        assert!(q.contains("eat Falafel at Maoz Veg."), "{q}");
+    }
+
+    #[test]
+    fn fallback_template() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let t = QuestionTemplates::new();
+        let fs = FactSet::from_facts([fact(v, "Central Park", "inside", "NYC")]);
+        assert_eq!(
+            t.concrete(&fs, v),
+            "How often do you Central Park inside NYC?"
+        );
+    }
+
+    #[test]
+    fn specialization_and_more_prompts() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let t = QuestionTemplates::travel_defaults(v);
+        let fs = FactSet::from_facts([fact(v, "Sport", "doAt", "Central Park")]);
+        let q = t.specialization(&fs, v);
+        assert!(q.contains("specify what kind"), "{q}");
+        let m = t.more(&fs, v);
+        assert!(m.starts_with("What else do you do"), "{m}");
+    }
+
+    #[test]
+    fn empty_factset_has_a_defined_rendering() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let t = QuestionTemplates::new();
+        assert!(!t.concrete(&FactSet::new(), v).is_empty());
+    }
+}

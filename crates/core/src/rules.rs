@@ -1,0 +1,204 @@
+//! Association-rule mining over collected crowd answers.
+//!
+//! The paper lists association rules as an OASSIS-QL capability described in
+//! its language guide (Sections 3 and 8; the authors' earlier crowd-mining work mines
+//! them directly). This module derives rules *from the answers already
+//! collected for a fact-set query* — no additional crowd questions: for any
+//! two asked fact-sets `A ⊂ F`, the rule `A ⇒ F∖A` has
+//!
+//! * support   `supp(F)` (how often the whole pattern holds), and
+//! * confidence `supp(F) / supp(A)` (how often the consequent follows the
+//!   antecedent),
+//!
+//! both computable from the [`CrowdCache`].
+
+use oassis_crowd::CrowdCache;
+use oassis_vocab::{Fact, FactSet};
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// The rule body `A`.
+    pub antecedent: FactSet,
+    /// The rule head `F ∖ A`.
+    pub consequent: FactSet,
+    /// Aggregated support of the full pattern `A ∪ consequent`.
+    pub support: f64,
+    /// `supp(A ∪ consequent) / supp(A)`.
+    pub confidence: f64,
+}
+
+/// Mine association rules from a query execution's answer cache.
+///
+/// Every pair of asked fact-sets `(A, F)` with `A` a strict syntactic
+/// subset of `F` yields a candidate rule; rules below `min_support` or
+/// `min_confidence` are dropped. Supports are aggregated by averaging each
+/// fact-set's answers (the paper's default black-box).
+pub fn mine_rules(
+    cache: &CrowdCache,
+    min_support: f64,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let entries: Vec<(&FactSet, f64)> = cache
+        .iter()
+        .filter_map(|(fs, answers)| {
+            if fs.is_empty() || answers.is_empty() {
+                return None;
+            }
+            let avg = answers.iter().map(|(_, s)| s).sum::<f64>() / answers.len() as f64;
+            Some((fs, avg))
+        })
+        .collect();
+
+    let mut rules = Vec::new();
+    for &(full, full_support) in &entries {
+        if full_support < min_support || full.len() < 2 {
+            continue;
+        }
+        for &(ante, ante_support) in &entries {
+            if ante.len() >= full.len() || ante_support <= 0.0 {
+                continue;
+            }
+            if !is_strict_subset(ante, full) {
+                continue;
+            }
+            let confidence = (full_support / ante_support).min(1.0);
+            if confidence < min_confidence {
+                continue;
+            }
+            let consequent: FactSet = full
+                .iter()
+                .filter(|f| !ante.contains(f))
+                .copied()
+                .collect::<Vec<Fact>>()
+                .into_iter()
+                .collect();
+            rules.push(AssociationRule {
+                antecedent: ante.clone(),
+                consequent,
+                support: full_support,
+                confidence,
+            });
+        }
+    }
+    // Most confident first; ties broken by support, then deterministically.
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.total_cmp(&a.support))
+            .then_with(|| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)))
+    });
+    rules
+}
+
+fn is_strict_subset(a: &FactSet, b: &FactSet) -> bool {
+    a.len() < b.len() && a.iter().all(|f| b.contains(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_crowd::MemberId;
+    use oassis_store::ontology::figure1_ontology;
+    use oassis_vocab::Vocabulary;
+
+    fn fact(v: &Vocabulary, s: &str, r: &str, o: &str) -> Fact {
+        Fact::new(
+            v.element(s).unwrap(),
+            v.relation(r).unwrap(),
+            v.element(o).unwrap(),
+        )
+    }
+
+    fn cache_with(v: &Vocabulary) -> (CrowdCache, FactSet, FactSet) {
+        // supp(biking) = 0.5, supp(biking + falafel) = 0.4 ⇒ confidence 0.8.
+        let biking = FactSet::from_facts([fact(v, "Biking", "doAt", "Central Park")]);
+        let combo = FactSet::from_facts([
+            fact(v, "Biking", "doAt", "Central Park"),
+            fact(v, "Falafel", "eatAt", "Maoz Veg."),
+        ]);
+        let mut cache = CrowdCache::new();
+        cache.record(&biking, MemberId(1), 0.5);
+        cache.record(&combo, MemberId(1), 0.4);
+        (cache, biking, combo)
+    }
+
+    #[test]
+    fn derives_rule_with_expected_confidence() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let (cache, biking, combo) = cache_with(v);
+        let rules = mine_rules(&cache, 0.1, 0.5);
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.antecedent, biking);
+        assert_eq!(r.consequent.len(), 1);
+        assert!((r.confidence - 0.8).abs() < 1e-12);
+        assert!((r.support - 0.4).abs() < 1e-12);
+        assert_eq!(r.antecedent.union(&r.consequent), combo);
+    }
+
+    #[test]
+    fn thresholds_filter_rules() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let (cache, _, _) = cache_with(v);
+        assert!(mine_rules(&cache, 0.45, 0.5).is_empty(), "min_support");
+        assert!(mine_rules(&cache, 0.1, 0.9).is_empty(), "min_confidence");
+    }
+
+    #[test]
+    fn multi_fact_antecedents() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let f1 = fact(v, "Biking", "doAt", "Central Park");
+        let f2 = fact(v, "Falafel", "eatAt", "Maoz Veg.");
+        let f3 = fact(v, "Rent Bikes", "doAt", "Boathouse");
+        let mut cache = CrowdCache::new();
+        cache.record(&FactSet::from_facts([f1, f2]), MemberId(1), 0.4);
+        cache.record(&FactSet::from_facts([f1, f2, f3]), MemberId(1), 0.4);
+        let rules = mine_rules(&cache, 0.1, 0.5);
+        // {f1,f2} ⇒ {f3} with confidence 1.0.
+        let top = &rules[0];
+        assert_eq!(top.antecedent.len(), 2);
+        assert_eq!(top.consequent.as_slice(), &[f3]);
+        assert!((top.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_is_capped_at_one() {
+        // Noisy answers can make supp(full) > supp(subset).
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let f1 = fact(v, "Biking", "doAt", "Central Park");
+        let f2 = fact(v, "Falafel", "eatAt", "Maoz Veg.");
+        let mut cache = CrowdCache::new();
+        cache.record(&FactSet::from_facts([f1]), MemberId(1), 0.2);
+        cache.record(&FactSet::from_facts([f1, f2]), MemberId(1), 0.3);
+        let rules = mine_rules(&cache, 0.1, 0.5);
+        assert!(rules.iter().all(|r| r.confidence <= 1.0));
+    }
+
+    #[test]
+    fn empty_cache_yields_no_rules() {
+        assert!(mine_rules(&CrowdCache::new(), 0.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn rules_are_sorted_by_confidence() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let f1 = fact(v, "Biking", "doAt", "Central Park");
+        let f2 = fact(v, "Falafel", "eatAt", "Maoz Veg.");
+        let f3 = fact(v, "Pasta", "eatAt", "Pine");
+        let mut cache = CrowdCache::new();
+        cache.record(&FactSet::from_facts([f1]), MemberId(1), 0.8);
+        cache.record(&FactSet::from_facts([f1, f2]), MemberId(1), 0.4);
+        cache.record(&FactSet::from_facts([f3]), MemberId(1), 0.5);
+        cache.record(&FactSet::from_facts([f3, f2]), MemberId(1), 0.45);
+        let rules = mine_rules(&cache, 0.1, 0.1);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+}

@@ -1,0 +1,1026 @@
+//! The assignment space: validity, DAG membership and lazy generation
+//! (Section 5 of the paper).
+//!
+//! Starting from the SPARQL results of the `WHERE` clause (the *base valid*
+//! single-valued assignments), the space answers, without ever materializing
+//! the full DAG:
+//!
+//! * **membership** in the expanded set `𝒜 = {φ | ∃φ' ∈ 𝒜valid : φ ≤ φ'}`
+//!   (line 1 of Algorithm 1). By Proposition 5.1 a multi-valued assignment is
+//!   valid iff each of its single-valued *selections* is base-valid, so
+//!   `φ ∈ 𝒜` iff every selection over the WHERE-bound variables is pointwise
+//!   dominated by some base tuple — a check that needs only the base tuples;
+//! * **validity** (`φ(A_WHERE) ≤ O` plus multiplicity admission);
+//! * **immediate successors** — one-step specialization of a value, addition
+//!   of a value (lazy multiplicity combination), or addition of a `MORE`
+//!   fact — and **immediate predecessors** (one-step generalization, with
+//!   absorption into the canonical antichain);
+//! * **instantiation** `φ(A_SAT)` into the fact-set asked about.
+//!
+//! Variables never bound by the WHERE clause (`[]` blanks, relation
+//! variables, itemset-mining queries with an empty WHERE) are *free*: any
+//! vocabulary value is valid for them, and their generation domain is the
+//! whole element (or relation) taxonomy.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use oassis_ql::{Multiplicity, QlRel, QlTerm, Query, SatPattern};
+use oassis_sparql::{evaluate, MatchMode, Var};
+use oassis_store::{Ontology, Term};
+use oassis_vocab::{Fact, FactSet};
+
+use crate::assignment::Assignment;
+use crate::value::AValue;
+
+/// How a `SATISFYING` variable relates to the `WHERE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Bound by the WHERE clause: values come from SPARQL results.
+    Bound,
+    /// Free element variable (`[]`, or a named var absent from WHERE).
+    FreeElem,
+    /// Free relation variable (`$p`, `[]` in relation position).
+    FreeRel,
+}
+
+/// Errors raised while building an [`AssignSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// A variable is used both as an element and as a relation.
+    MixedVarUse(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::MixedVarUse(v) => {
+                write!(f, "variable ${v} is used both as element and as relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// The lazily generated assignment DAG for one query.
+#[derive(Debug, Clone)]
+pub struct AssignSpace {
+    ontology: Arc<Ontology>,
+    sat_patterns: Vec<SatPattern>,
+    more: bool,
+    sat_vars: Vec<Var>,
+    var_index: HashMap<Var, usize>,
+    var_names: Vec<String>,
+    mults: Vec<Multiplicity>,
+    kinds: Vec<VarKind>,
+    /// Positions (into `sat_vars`) of WHERE-bound variables.
+    bound_positions: Vec<usize>,
+    /// Base valid tuples: one value per bound position.
+    base_tuples: Vec<Vec<AValue>>,
+    /// Per-variable generation domain (ancestor closure of valid values for
+    /// bound vars; `None` = the whole taxonomy, for free vars).
+    domains: Vec<Option<HashSet<AValue>>>,
+    /// Candidate facts for the `MORE` clause.
+    more_domain: Vec<Fact>,
+}
+
+impl AssignSpace {
+    /// Build the space for `query` by evaluating its WHERE clause.
+    ///
+    /// `more_domain` supplies the candidate extra facts for the `MORE`
+    /// keyword (in the real system these come from open-ended crowd answers;
+    /// simulations extract them from the simulated members' histories).
+    pub fn build(
+        ontology: Arc<Ontology>,
+        query: &Query,
+        mode: MatchMode,
+        more_domain: Vec<Fact>,
+    ) -> Result<AssignSpace, SpaceError> {
+        let sat_vars = query.satisfying_vars();
+        let var_index: HashMap<Var, usize> =
+            sat_vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        let var_names: Vec<String> = sat_vars
+            .iter()
+            .map(|v| query.vars.name(*v).to_owned())
+            .collect();
+        let mults: Vec<Multiplicity> = sat_vars.iter().map(|v| query.multiplicity_of(*v)).collect();
+
+        // Classify variables; detect element/relation conflicts.
+        let mut kinds: Vec<Option<VarKind>> = vec![None; sat_vars.len()];
+        let where_vars: HashSet<Var> = query.where_vars().into_iter().collect();
+        for p in &query.satisfying.patterns {
+            for t in [&p.subject, &p.object] {
+                if let QlTerm::Var(v) = t {
+                    let i = var_index[v];
+                    let k = if where_vars.contains(v) {
+                        VarKind::Bound
+                    } else {
+                        VarKind::FreeElem
+                    };
+                    match kinds[i] {
+                        None => kinds[i] = Some(k),
+                        Some(VarKind::FreeRel) => {
+                            return Err(SpaceError::MixedVarUse(var_names[i].clone()))
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if let QlRel::Var(v) = &p.relation {
+                let i = var_index[v];
+                match kinds[i] {
+                    None => kinds[i] = Some(VarKind::FreeRel),
+                    Some(VarKind::FreeRel) => {}
+                    Some(_) => return Err(SpaceError::MixedVarUse(var_names[i].clone())),
+                }
+            }
+        }
+        let kinds: Vec<VarKind> = kinds
+            .into_iter()
+            .map(|k| k.expect("every sat var occurs in a sat pattern"))
+            .collect();
+
+        let bound_positions: Vec<usize> = (0..sat_vars.len())
+            .filter(|&i| kinds[i] == VarKind::Bound)
+            .collect();
+
+        // Evaluate WHERE and project bindings onto the bound sat vars.
+        let mut base_tuples: Vec<Vec<AValue>> = Vec::new();
+        if !bound_positions.is_empty() {
+            let bindings = evaluate(&ontology, &query.where_patterns, &query.vars, mode);
+            let mut seen = HashSet::new();
+            'bind: for b in &bindings {
+                let mut tuple = Vec::with_capacity(bound_positions.len());
+                for &i in &bound_positions {
+                    match b.get(sat_vars[i]) {
+                        Some(Term::Element(e)) => tuple.push(AValue::Elem(e)),
+                        // Literal-valued or unbound sat vars cannot form
+                        // facts; skip such bindings.
+                        _ => continue 'bind,
+                    }
+                }
+                if seen.insert(tuple.clone()) {
+                    base_tuples.push(tuple);
+                }
+            }
+        }
+
+        // Query anchors: a WHERE pattern chain like `$w subClassOf*
+        // Attraction. $x instanceOf $w` bounds the generalization of $w and
+        // $x at `Attraction` — the paper's Figure 3 DAG accordingly has
+        // (Attraction, Activity) as its most general node, not (Thing,
+        // Thing). Collect, per variable, the constant elements it must stay
+        // a taxonomy-descendant of, propagating through var-var
+        // subClassOf/instanceOf patterns to a fixpoint.
+        let taxo_rels: Vec<oassis_vocab::RelationId> =
+            [ontology.sub_class_of(), ontology.instance_of()]
+                .into_iter()
+                .flatten()
+                .collect();
+        let mut anchors: HashMap<Var, HashSet<oassis_vocab::ElementId>> = HashMap::new();
+        loop {
+            let mut changed = false;
+            for p in &query.where_patterns {
+                if !taxo_rels.contains(&p.path.relation()) {
+                    continue;
+                }
+                let Some(v) = p.subject.as_var() else {
+                    continue;
+                };
+                let additions: Vec<oassis_vocab::ElementId> = match &p.object {
+                    oassis_sparql::PatTerm::Const(Term::Element(c)) => vec![*c],
+                    oassis_sparql::PatTerm::Var(w) => anchors
+                        .get(w)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default(),
+                    _ => Vec::new(),
+                };
+                if !additions.is_empty() {
+                    let entry = anchors.entry(v).or_default();
+                    for c in additions {
+                        changed |= entry.insert(c);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Generation domains: ancestor closure of valid values per bound
+        // var, capped at the variable's anchors.
+        let vocab = ontology.vocabulary();
+        let mut domains: Vec<Option<HashSet<AValue>>> = Vec::with_capacity(sat_vars.len());
+        for (i, kind) in kinds.iter().enumerate() {
+            match kind {
+                VarKind::Bound => {
+                    let mut dom: HashSet<AValue> = HashSet::new();
+                    let bpos = bound_positions.iter().position(|&p| p == i).unwrap();
+                    for t in &base_tuples {
+                        if let AValue::Elem(e) = t[bpos] {
+                            for a in vocab.elements_order().ancestors(e) {
+                                dom.insert(AValue::Elem(a));
+                            }
+                        }
+                    }
+                    if let Some(anchor_set) = anchors.get(&sat_vars[i]) {
+                        dom.retain(|v| match v {
+                            AValue::Elem(e) => anchor_set.iter().all(|c| vocab.elem_leq(*c, *e)),
+                            AValue::Rel(_) => true,
+                        });
+                    }
+                    domains.push(Some(dom));
+                }
+                VarKind::FreeElem | VarKind::FreeRel => domains.push(None),
+            }
+        }
+
+        Ok(AssignSpace {
+            ontology,
+            sat_patterns: query.satisfying.patterns.clone(),
+            more: query.satisfying.more,
+            sat_vars,
+            var_index,
+            var_names,
+            mults,
+            kinds,
+            bound_positions,
+            base_tuples,
+            domains,
+            more_domain,
+        })
+    }
+
+    /// The ontology this space evaluates against.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Number of `SATISFYING` variables.
+    pub fn nvars(&self) -> usize {
+        self.sat_vars.len()
+    }
+
+    /// Display names of the variables, in dense order.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The kind of variable `x`.
+    pub fn kind(&self, x: usize) -> VarKind {
+        self.kinds[x]
+    }
+
+    /// The multiplicity of variable `x`.
+    pub fn mult(&self, x: usize) -> Multiplicity {
+        self.mults[x]
+    }
+
+    /// Number of base (mult-free, WHERE-bound) valid tuples.
+    pub fn base_count(&self) -> usize {
+        self.base_tuples.len()
+    }
+
+    /// The `MORE`-fact candidate domain.
+    pub fn more_domain(&self) -> &[Fact] {
+        &self.more_domain
+    }
+
+    /// `a ≤ b` under this space's vocabulary.
+    pub fn leq(&self, a: &Assignment, b: &Assignment) -> bool {
+        a.leq(b, self.ontology.vocabulary())
+    }
+
+    /// Whether `φ ∈ 𝒜` (a generalization of some valid assignment).
+    ///
+    /// Every selection of one value per bound variable must be pointwise
+    /// dominated by a single base tuple; free variables and MORE facts never
+    /// constrain membership.
+    pub fn in_space(&self, phi: &Assignment) -> bool {
+        self.selections_check(phi, |sel, tuple, vocab| {
+            sel.iter().zip(tuple).all(|(v, t)| v.leq(t, vocab))
+        })
+    }
+
+    /// Whether `φ` is *valid*: every bound selection is exactly a base
+    /// tuple, every variable's value count is admitted by its multiplicity,
+    /// and MORE facts only appear if the query requested them.
+    pub fn is_valid(&self, phi: &Assignment) -> bool {
+        if !self.more && !phi.more_facts().is_empty() {
+            return false;
+        }
+        for x in 0..self.nvars() {
+            if !self.mults[x].admits(phi.values(x).len() as u32) {
+                return false;
+            }
+        }
+        self.selections_check(phi, |sel, tuple, _| sel == tuple)
+    }
+
+    /// Check `pred(selection, base_tuple)` for every bound-variable
+    /// selection: each must have a witnessing base tuple.
+    fn selections_check<F>(&self, phi: &Assignment, pred: F) -> bool
+    where
+        F: Fn(&[AValue], &[AValue], &oassis_vocab::Vocabulary) -> bool,
+    {
+        if self.bound_positions.is_empty() {
+            return true;
+        }
+        if self.base_tuples.is_empty() {
+            // No valid WHERE bindings: only assignments with some empty
+            // bound set (which have no selections) are vacuously in 𝒜.
+            return self
+                .bound_positions
+                .iter()
+                .any(|&i| phi.values(i).is_empty());
+        }
+        let vocab = self.ontology.vocabulary();
+        let sets: Vec<&[AValue]> = self
+            .bound_positions
+            .iter()
+            .map(|&i| phi.values(i))
+            .collect();
+        // An empty bound set yields no selections over that variable; the
+        // remaining variables must still be coverable. Treat an empty set as
+        // the single "wildcard" choice by skipping it in the comparison.
+        let mut idx = vec![0usize; sets.len()];
+        loop {
+            let selection: Vec<Option<AValue>> = sets
+                .iter()
+                .zip(&idx)
+                .map(|(s, &i)| s.get(i).copied())
+                .collect();
+            let ok = self.base_tuples.iter().any(|tuple| {
+                selection.iter().zip(tuple).all(|(sv, tv)| match sv {
+                    None => true,
+                    Some(v) => pred(std::slice::from_ref(v), std::slice::from_ref(tv), vocab),
+                })
+            });
+            if !ok {
+                return false;
+            }
+            // Advance the mixed-radix counter.
+            let mut k = 0;
+            loop {
+                if k == sets.len() {
+                    return true;
+                }
+                let len = sets[k].len().max(1);
+                idx[k] += 1;
+                if idx[k] < len {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// The minimal (most general) assignments of `𝒜` — the traversal roots.
+    pub fn roots(&self) -> Vec<Assignment> {
+        let vocab = self.ontology.vocabulary();
+        let mut out: HashSet<Assignment> = HashSet::new();
+
+        // Per-variable minimal value sets.
+        let min_sets: Vec<Vec<Vec<AValue>>> = (0..self.nvars())
+            .map(|x| {
+                if self.mults[x].min() == 0 {
+                    return vec![Vec::new()];
+                }
+                match self.kinds[x] {
+                    VarKind::Bound => {
+                        // Minimal values of the (anchor-capped) domain.
+                        let dom = self.domains[x]
+                            .as_ref()
+                            .expect("bound vars have explicit domains");
+                        let mut roots: HashSet<AValue> = HashSet::new();
+                        for v in dom {
+                            if self.parents_of(x, *v).is_empty() {
+                                roots.insert(*v);
+                            }
+                        }
+                        roots.into_iter().map(|r| vec![r]).collect()
+                    }
+                    VarKind::FreeElem => vocab
+                        .elements_order()
+                        .roots()
+                        .map(|e| vec![AValue::Elem(e)])
+                        .collect(),
+                    VarKind::FreeRel => vocab
+                        .relations_order()
+                        .roots()
+                        .map(|r| vec![AValue::Rel(r)])
+                        .collect(),
+                }
+            })
+            .collect();
+
+        // Cartesian product of per-variable minimal sets.
+        let mut stack: Vec<(usize, Vec<Vec<AValue>>)> = vec![(0, Vec::new())];
+        while let Some((x, acc)) = stack.pop() {
+            if x == self.nvars() {
+                let cand = Assignment::from_sets(acc, vocab);
+                if self.in_space(&cand) {
+                    out.insert(cand);
+                }
+                continue;
+            }
+            for set in &min_sets[x] {
+                let mut next = acc.clone();
+                next.push(set.clone());
+                stack.push((x + 1, next));
+            }
+        }
+        let mut v: Vec<Assignment> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Values available for specializing / extending variable `x`.
+    fn children_of(&self, x: usize, v: AValue) -> Vec<AValue> {
+        let vocab = self.ontology.vocabulary();
+        match (self.kinds[x], v) {
+            (VarKind::FreeRel, AValue::Rel(r)) => vocab
+                .relations_order()
+                .children(r)
+                .iter()
+                .map(|&c| AValue::Rel(c))
+                .collect(),
+            (_, AValue::Elem(e)) => {
+                let children = vocab.elements_order().children(e);
+                match &self.domains[x] {
+                    Some(dom) => children
+                        .iter()
+                        .map(|&c| AValue::Elem(c))
+                        .filter(|c| dom.contains(c))
+                        .collect(),
+                    None => children.iter().map(|&c| AValue::Elem(c)).collect(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn parents_of(&self, x: usize, v: AValue) -> Vec<AValue> {
+        let vocab = self.ontology.vocabulary();
+        match (self.kinds[x], v) {
+            (VarKind::FreeRel, AValue::Rel(r)) => vocab
+                .relations_order()
+                .parents(r)
+                .iter()
+                .map(|&p| AValue::Rel(p))
+                .collect(),
+            (_, AValue::Elem(e)) => {
+                let parents = vocab.elements_order().parents(e);
+                match &self.domains[x] {
+                    // Generalization stops at the query anchors (the domain
+                    // is capped there), matching the Figure 3 DAG.
+                    Some(dom) => parents
+                        .iter()
+                        .map(|&p| AValue::Elem(p))
+                        .filter(|p| dom.contains(p))
+                        .collect(),
+                    None => parents.iter().map(|&p| AValue::Elem(p)).collect(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The full generation domain of variable `x`.
+    fn domain_values(&self, x: usize) -> Vec<AValue> {
+        let vocab = self.ontology.vocabulary();
+        match &self.domains[x] {
+            Some(dom) => dom.iter().copied().collect(),
+            None => match self.kinds[x] {
+                VarKind::FreeRel => vocab.relations().map(|(r, _)| AValue::Rel(r)).collect(),
+                _ => vocab.elements().map(|(e, _)| AValue::Elem(e)).collect(),
+            },
+        }
+    }
+
+    /// Immediate successors of `φ` within `𝒜` (lazy DAG edge generation).
+    pub fn successors(&self, phi: &Assignment) -> Vec<Assignment> {
+        let vocab = self.ontology.vocabulary();
+        let mut out: HashSet<Assignment> = HashSet::new();
+
+        for x in 0..self.nvars() {
+            let set = phi.values(x);
+
+            // (a) Specialize one value by one taxonomy step.
+            for &v in set {
+                for c in self.children_of(x, v) {
+                    let mut vals: Vec<AValue> = set.iter().copied().filter(|w| *w != v).collect();
+                    vals.push(c);
+                    let cand = phi.with_values(x, vals, vocab);
+                    if phi.lt(&cand, vocab) && self.in_space(&cand) {
+                        out.insert(cand);
+                    }
+                }
+            }
+
+            // (b) Extend the set by one value (multiplicity combination,
+            // Proposition 5.1), staying within the multiplicity's max and
+            // keeping the result an antichain. Immediacy: no strict
+            // generalization of the added value would also keep the
+            // antichain.
+            let max = self.mults[x].max();
+            if max.is_none_or(|m| (set.len() as u32) < m) && (set.is_empty() || max != Some(1)) {
+                for v in self.domain_values(x) {
+                    if set.iter().any(|w| v.leq(w, vocab) || w.leq(&v, vocab)) {
+                        continue; // not an antichain
+                    }
+                    // Immediate only if every parent of v collides with the set
+                    // (or v is a root).
+                    let parents = self.parents_of(x, v);
+                    let immediate = parents.is_empty()
+                        || parents
+                            .iter()
+                            .all(|p| set.iter().any(|w| p.leq(w, vocab) || w.leq(p, vocab)));
+                    if !immediate {
+                        continue;
+                    }
+                    let mut vals: Vec<AValue> = set.to_vec();
+                    vals.push(v);
+                    let cand = phi.with_values(x, vals, vocab);
+                    if phi.lt(&cand, vocab) && self.in_space(&cand) {
+                        out.insert(cand);
+                    }
+                }
+            }
+        }
+
+        // (c) Add one MORE fact. Guards: (i) MORE facts only decorate
+        // structurally complete nodes (every mandatory variable bound) —
+        // otherwise an empty-variable node plus a MORE fact shadows the
+        // assignment that binds the variable properly; (ii) skip facts
+        // comparable with the node's own instantiation — extra "advice"
+        // that merely restates or refines a mined fact belongs to the
+        // variable dimensions, not to MORE.
+        if self.more && !self.more_domain.is_empty() {
+            let complete =
+                (0..self.nvars()).all(|x| !phi.values(x).is_empty() || self.mults[x].min() == 0);
+            if complete {
+                let inst = self.instantiate(phi);
+                for &f in &self.more_domain {
+                    if phi.more_facts().contains(&f) {
+                        continue;
+                    }
+                    let overlaps = inst
+                        .iter()
+                        .any(|g| vocab.fact_leq(&f, g) || vocab.fact_leq(g, &f));
+                    if overlaps {
+                        continue;
+                    }
+                    out.insert(phi.with_more_fact(f));
+                }
+            }
+        }
+
+        let mut v: Vec<Assignment> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Immediate predecessors of `φ` (always within `𝒜`, which is downward
+    /// closed).
+    pub fn predecessors(&self, phi: &Assignment) -> Vec<Assignment> {
+        let vocab = self.ontology.vocabulary();
+        let mut out: HashSet<Assignment> = HashSet::new();
+
+        for x in 0..self.nvars() {
+            let set = phi.values(x);
+            for &v in set {
+                // Generalize v one step; absorption into the antichain also
+                // yields the "drop" predecessors.
+                for p in self.parents_of(x, v) {
+                    let mut vals: Vec<AValue> = set.iter().copied().filter(|w| *w != v).collect();
+                    vals.push(p);
+                    let cand = phi.with_values(x, vals, vocab);
+                    if cand.lt(phi, vocab) {
+                        out.insert(cand);
+                    }
+                }
+                // A root value can only be dropped.
+                if self.parents_of(x, v).is_empty() && (set.len() > 1 || self.min_floor(x) == 0) {
+                    let vals: Vec<AValue> = set.iter().copied().filter(|w| *w != v).collect();
+                    let cand = phi.with_values(x, vals, vocab);
+                    if cand.lt(phi, vocab) {
+                        out.insert(cand);
+                    }
+                }
+            }
+        }
+
+        for i in 0..phi.more_facts().len() {
+            out.insert(phi.without_more_fact(i));
+        }
+
+        let mut v: Vec<Assignment> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// The minimal admissible set size used when generating predecessors:
+    /// 0 when the multiplicity allows dropping the variable entirely, else 1.
+    fn min_floor(&self, x: usize) -> u32 {
+        self.mults[x].min().min(1)
+    }
+
+    /// Instantiate `φ(A_SAT)`: substitute value sets into the meta-facts
+    /// (cross product within each meta-fact; empty sets delete the
+    /// meta-fact) and append the MORE facts.
+    pub fn instantiate(&self, phi: &Assignment) -> FactSet {
+        let mut facts = Vec::new();
+        for p in &self.sat_patterns {
+            let subjects: Vec<AValue> = match &p.subject {
+                QlTerm::Var(v) => phi.values(self.var_index[v]).to_vec(),
+                QlTerm::Element(e) => vec![AValue::Elem(*e)],
+            };
+            let relations: Vec<AValue> = match &p.relation {
+                QlRel::Var(v) => phi.values(self.var_index[v]).to_vec(),
+                QlRel::Relation(r) => vec![AValue::Rel(*r)],
+            };
+            let objects: Vec<AValue> = match &p.object {
+                QlTerm::Var(v) => phi.values(self.var_index[v]).to_vec(),
+                QlTerm::Element(e) => vec![AValue::Elem(*e)],
+            };
+            for s in &subjects {
+                for r in &relations {
+                    for o in &objects {
+                        if let (AValue::Elem(s), AValue::Rel(r), AValue::Elem(o)) = (s, r, o) {
+                            facts.push(Fact::new(*s, *r, *o));
+                        }
+                    }
+                }
+            }
+        }
+        facts.extend_from_slice(phi.more_facts());
+        FactSet::from_facts(facts)
+    }
+
+    /// The base valid assignments (one per WHERE binding projected onto the
+    /// bound variables; free variables left empty), up to `limit`. Used to
+    /// seed MORE-fact discovery: their instantiations are the concrete
+    /// "when you do X..." contexts members can be prompted about.
+    pub fn base_assignments(&self, limit: usize) -> Vec<Assignment> {
+        let vocab = self.ontology.vocabulary();
+        self.base_tuples
+            .iter()
+            .take(limit)
+            .map(|t| {
+                let mut sets: Vec<Vec<AValue>> = vec![Vec::new(); self.nvars()];
+                for (bpos, &i) in self.bound_positions.iter().enumerate() {
+                    sets[i] = vec![t[bpos]];
+                }
+                Assignment::from_sets(sets, vocab)
+            })
+            .collect()
+    }
+
+    /// Enumerate all single-valued assignments of `𝒜` over the bound
+    /// variables (free variables and MORE excluded): the paper's "DAG
+    /// without multiplicities". Returns `None` if `cap` is exceeded.
+    pub fn enumerate_single_valued(&self, cap: usize) -> Option<Vec<Assignment>> {
+        if self.kinds.iter().any(|k| *k != VarKind::Bound) {
+            // Free variables make the single-valued closure the full
+            // cross-product with the vocabulary; callers should restrict to
+            // bound-only queries (all synthetic experiments do).
+            return None;
+        }
+        let vocab = self.ontology.vocabulary();
+        let mut seen: HashSet<Assignment> = HashSet::new();
+        let mut queue: Vec<Assignment> = Vec::new();
+        for t in &self.base_tuples {
+            let a = Assignment::single_valued(t.iter().copied());
+            if seen.insert(a.clone()) {
+                queue.push(a);
+            }
+        }
+        while let Some(a) = queue.pop() {
+            if seen.len() > cap {
+                return None;
+            }
+            for x in 0..self.nvars() {
+                let v = a.values(x)[0];
+                for p in self.parents_of(x, v) {
+                    let cand = a.with_values(x, vec![p], vocab);
+                    if seen.insert(cand.clone()) {
+                        queue.push(cand);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<Assignment> = seen.into_iter().collect();
+        v.sort();
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::parse_query;
+    use oassis_store::ontology::figure1_ontology;
+
+    /// The grey-highlighted fragment of the running example that Figure 3
+    /// illustrates: attractions in NYC and activities done there.
+    const FIG3_QUERY: &str = r#"
+        SELECT FACT-SETS
+        WHERE
+          $w subClassOf* Attraction.
+          $x instanceOf $w.
+          $x inside NYC.
+          $x hasLabel "child-friendly".
+          $y subClassOf* Activity
+        SATISFYING
+          $y+ doAt $x
+        WITH SUPPORT = 0.4
+    "#;
+
+    fn fig3_space() -> AssignSpace {
+        let o = Arc::new(figure1_ontology());
+        let q = parse_query(FIG3_QUERY, &o).unwrap();
+        AssignSpace::build(o, &q, MatchMode::Semantic, Vec::new()).unwrap()
+    }
+
+    fn val(space: &AssignSpace, name: &str) -> AValue {
+        AValue::Elem(space.ontology().vocabulary().element(name).unwrap())
+    }
+
+    /// Assignment over (y, x) — note the sat-var order is first-use order:
+    /// $y appears before $x in `$y+ doAt $x`.
+    fn assign(space: &AssignSpace, y: &str, x: &str) -> Assignment {
+        Assignment::single_valued([val(space, y), val(space, x)])
+    }
+
+    #[test]
+    fn sat_var_order_and_kinds() {
+        let s = fig3_space();
+        assert_eq!(s.var_names(), &["y".to_owned(), "x".to_owned()]);
+        assert_eq!(s.kind(0), VarKind::Bound);
+        assert_eq!(s.kind(1), VarKind::Bound);
+        assert!(s.base_count() > 0);
+    }
+
+    #[test]
+    fn validity_matches_figure3() {
+        let s = fig3_space();
+        // Node 16: (Biking, Central Park) — valid.
+        assert!(s.is_valid(&assign(&s, "Biking", "Central Park")));
+        // Node 15: (Sport, Central Park) — valid (Sport subClassOf* Activity).
+        assert!(s.is_valid(&assign(&s, "Sport", "Central Park")));
+        // Node 7 style: (Sport, Park) — x must be an instance ⇒ invalid,
+        // but still in 𝒜 (a generalization of node 15).
+        let n7 = assign(&s, "Sport", "Park");
+        assert!(!s.is_valid(&n7));
+        assert!(s.in_space(&n7));
+        // (Pasta, Central Park): Pasta is not an Activity ⇒ not even in 𝒜.
+        let bad = assign(&s, "Pasta", "Central Park");
+        assert!(!s.in_space(&bad));
+        assert!(!s.is_valid(&bad));
+    }
+
+    #[test]
+    fn multiplicity_validity() {
+        let s = fig3_space();
+        let vocab = s.ontology().vocabulary().clone();
+        // {Biking, Ball Game} at Central Park (node 18): valid for $y+.
+        let n18 = Assignment::from_sets(
+            vec![
+                vec![val(&s, "Biking"), val(&s, "Ball Game")],
+                vec![val(&s, "Central Park")],
+            ],
+            &vocab,
+        );
+        assert!(s.is_valid(&n18), "multiplicity-2 combination is valid");
+        assert!(s.in_space(&n18));
+        // Empty $y is not admitted by `+`.
+        let empty_y = Assignment::from_sets(vec![vec![], vec![val(&s, "Central Park")]], &vocab);
+        assert!(!s.is_valid(&empty_y));
+        assert!(s.in_space(&empty_y), "but it is a generalization");
+    }
+
+    #[test]
+    fn roots_are_most_general() {
+        let s = fig3_space();
+        let roots = s.roots();
+        assert!(!roots.is_empty());
+        for r in &roots {
+            assert!(s.in_space(r));
+            for p in s.predecessors(r) {
+                assert!(
+                    !s.in_space(&p) || !p.lt(r, s.ontology().vocabulary()),
+                    "root {r} has a predecessor {p} in 𝒜"
+                );
+            }
+        }
+        // The Figure 3 root (Activity, Attraction) — in sat-var order (y, x).
+        let expected = assign(&s, "Activity", "Attraction");
+        assert!(roots.contains(&expected), "roots: {roots:?}");
+    }
+
+    #[test]
+    fn successors_specialize_one_step() {
+        let s = fig3_space();
+        let root = assign(&s, "Activity", "Attraction");
+        let succs = s.successors(&root);
+        assert!(succs.contains(&assign(&s, "Sport", "Attraction")));
+        assert!(succs.contains(&assign(&s, "Activity", "Outdoor")));
+        // Two steps away — not immediate.
+        assert!(!succs.contains(&assign(&s, "Biking", "Attraction")));
+        for su in &succs {
+            assert!(root.lt(su, s.ontology().vocabulary()));
+            assert!(s.in_space(su));
+        }
+    }
+
+    #[test]
+    fn successors_include_multiplicity_combinations() {
+        let s = fig3_space();
+        let vocab = s.ontology().vocabulary().clone();
+        let n16 = assign(&s, "Biking", "Central Park");
+        let succs = s.successors(&n16);
+        // Node 18 = {Biking, Ball Game} is an immediate successor of 16
+        // (adding Ball Game: its parent Sport collides with Biking).
+        let n18 = Assignment::from_sets(
+            vec![
+                vec![val(&s, "Biking"), val(&s, "Ball Game")],
+                vec![val(&s, "Central Park")],
+            ],
+            &vocab,
+        );
+        assert!(succs.contains(&n18), "succs: {succs:?}");
+        // But not {Biking, Basketball} directly (Ball Game lies between).
+        let skip = Assignment::from_sets(
+            vec![
+                vec![val(&s, "Biking"), val(&s, "Basketball")],
+                vec![val(&s, "Central Park")],
+            ],
+            &vocab,
+        );
+        assert!(!succs.contains(&skip));
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let s = fig3_space();
+        let node = assign(&s, "Sport", "Park");
+        for su in s.successors(&node) {
+            assert!(
+                s.predecessors(&su).contains(&node),
+                "{node} should be a predecessor of {su}"
+            );
+        }
+        let preds = s.predecessors(&node);
+        assert!(preds.contains(&assign(&s, "Activity", "Park")));
+        assert!(preds.contains(&assign(&s, "Sport", "Outdoor")));
+    }
+
+    #[test]
+    fn multiplicity_node_predecessors_drop_or_generalize() {
+        let s = fig3_space();
+        let vocab = s.ontology().vocabulary().clone();
+        let n18 = Assignment::from_sets(
+            vec![
+                vec![val(&s, "Biking"), val(&s, "Ball Game")],
+                vec![val(&s, "Central Park")],
+            ],
+            &vocab,
+        );
+        let preds = s.predecessors(&n18);
+        // Generalizing Biking → Sport absorbs into Ball Game? No: Sport ≤
+        // Ball Game, so {Sport, Ball Game} canonicalizes to {Ball Game} = 17.
+        assert!(preds.contains(&assign(&s, "Ball Game", "Central Park")));
+        // Generalizing Ball Game → Sport absorbs Biking's side similarly.
+        assert!(preds.contains(&assign(&s, "Biking", "Central Park")));
+    }
+
+    #[test]
+    fn instantiate_cross_product_and_more() {
+        let s = fig3_space();
+        let vocab = s.ontology().vocabulary().clone();
+        let n18 = Assignment::from_sets(
+            vec![
+                vec![val(&s, "Biking"), val(&s, "Ball Game")],
+                vec![val(&s, "Central Park")],
+            ],
+            &vocab,
+        );
+        let fs = s.instantiate(&n18);
+        assert_eq!(fs.len(), 2, "{fs}");
+        let rendered = vocab.factset_to_string(&fs);
+        assert!(rendered.contains("Biking doAt Central Park"));
+        assert!(rendered.contains("Ball Game doAt Central Park"));
+
+        let rent = Fact::new(
+            vocab.element("Rent Bikes").unwrap(),
+            vocab.relation("doAt").unwrap(),
+            vocab.element("Boathouse").unwrap(),
+        );
+        let with_more = n18.with_more_fact(rent);
+        let fs2 = s.instantiate(&with_more);
+        assert_eq!(fs2.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_deletes_meta_fact() {
+        let s = fig3_space();
+        let vocab = s.ontology().vocabulary().clone();
+        let empty_y = Assignment::from_sets(vec![vec![], vec![val(&s, "Central Park")]], &vocab);
+        assert!(s.instantiate(&empty_y).is_empty());
+    }
+
+    #[test]
+    fn enumerate_single_valued_closure() {
+        let s = fig3_space();
+        let all = s.enumerate_single_valued(100_000).unwrap();
+        assert!(!all.is_empty());
+        // Every enumerated node is in 𝒜, single-valued, and the base valid
+        // assignments are included.
+        for a in &all {
+            assert!(a.is_single_valued());
+            assert!(s.in_space(a));
+        }
+        assert!(all.contains(&assign(&s, "Biking", "Central Park")));
+        assert!(all.contains(&assign(&s, "Activity", "Attraction")));
+        // Closed under predecessors.
+        for a in all.iter().take(50) {
+            for p in s.predecessors(a) {
+                if p.is_single_valued() {
+                    assert!(all.contains(&p), "missing predecessor {p} of {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_variable_space() {
+        let o = Arc::new(figure1_ontology());
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.1",
+            &o,
+        )
+        .unwrap();
+        let s = AssignSpace::build(Arc::clone(&o), &q, MatchMode::Semantic, Vec::new()).unwrap();
+        assert_eq!(s.kind(0), VarKind::FreeElem);
+        assert_eq!(s.kind(1), VarKind::FreeRel);
+        assert_eq!(s.kind(2), VarKind::FreeElem);
+        // Everything is in 𝒜 and single-valued assignments are valid.
+        let thing = AValue::Elem(o.vocabulary().element("Thing").unwrap());
+        let do_at = AValue::Rel(o.vocabulary().relation("doAt").unwrap());
+        let cp = AValue::Elem(o.vocabulary().element("Central Park").unwrap());
+        let a = Assignment::single_valued([thing, do_at, cp]);
+        assert!(s.in_space(&a));
+        assert!(s.is_valid(&a));
+        assert!(
+            s.enumerate_single_valued(1000).is_none(),
+            "free vars refuse enumeration"
+        );
+        assert!(!s.roots().is_empty());
+    }
+
+    #[test]
+    fn mixed_var_use_is_rejected() {
+        let o = Arc::new(figure1_ontology());
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $x doAt $y. $y $x $z WITH SUPPORT = 0.1",
+            &o,
+        )
+        .unwrap();
+        assert!(matches!(
+            AssignSpace::build(o, &q, MatchMode::Semantic, Vec::new()),
+            Err(SpaceError::MixedVarUse(_))
+        ));
+    }
+
+    #[test]
+    fn more_facts_generate_successors() {
+        let o = Arc::new(figure1_ontology());
+        let vocab = o.vocabulary().clone();
+        let rent = Fact::new(
+            vocab.element("Rent Bikes").unwrap(),
+            vocab.relation("doAt").unwrap(),
+            vocab.element("Boathouse").unwrap(),
+        );
+        let q = parse_query(
+            r#"SELECT FACT-SETS
+               WHERE $y subClassOf* Activity
+               SATISFYING $y doAt <Central Park>. MORE
+               WITH SUPPORT = 0.4"#,
+            &o,
+        )
+        .unwrap();
+        let s = AssignSpace::build(Arc::clone(&o), &q, MatchMode::Semantic, vec![rent]).unwrap();
+        let biking = Assignment::single_valued([AValue::Elem(vocab.element("Biking").unwrap())]);
+        let succs = s.successors(&biking);
+        assert!(succs.iter().any(|a| a.more_facts() == [rent]));
+        // And validity allows MORE facts.
+        let with_more = biking.with_more_fact(rent);
+        assert!(s.is_valid(&with_more));
+        // Dropping the MORE fact is a predecessor.
+        assert!(s.predecessors(&with_more).contains(&biking));
+    }
+}

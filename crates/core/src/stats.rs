@@ -1,0 +1,340 @@
+//! Execution statistics and the per-question discovery curve.
+//!
+//! The paper's evaluation reports, per query execution:
+//!
+//! * `#questions` — total questions posed, including repetitions across
+//!   members (user effort, Figures 4a–4c),
+//! * unique questions (crowd complexity, Propositions 4.7/4.8),
+//! * the answer-type mix (concrete / specialization / "none of these" /
+//!   pruning, Section 6.3),
+//! * the *pace of data collection* (Figures 4d–4f, 5): after every question,
+//!   how many MSPs / valid MSPs were discovered and how many of the DAG's
+//!   assignments were classified.
+
+use std::collections::HashSet;
+
+use oassis_vocab::Vocabulary;
+
+use crate::assignment::Assignment;
+use crate::border::{ClassificationState, Status};
+
+/// The kind of crowd interaction a question represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionKind {
+    /// A concrete "how often ...?" question.
+    Concrete,
+    /// A specialization ("what type of ...?") question that got an answer.
+    Specialization,
+    /// A specialization question answered "none of these".
+    NoneOfThese,
+    /// A user-guided pruning interaction.
+    Pruning,
+}
+
+/// One point of the discovery curve, captured after a question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryPoint {
+    /// Questions asked so far (including this one).
+    pub questions: usize,
+    /// MSPs confirmed so far.
+    pub msps: usize,
+    /// Valid MSPs confirmed so far.
+    pub valid_msps: usize,
+    /// Target (planted) MSPs discovered so far, when a target set is known.
+    pub targets_found: usize,
+    /// Assignments of the tracked universe classified so far.
+    pub classified: usize,
+}
+
+/// Statistics for one mining run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Total questions including repetitions across members.
+    pub total_questions: usize,
+    /// Distinct fact-sets asked about.
+    pub unique_questions: usize,
+    /// Concrete questions asked.
+    pub concrete: usize,
+    /// Specialization questions answered with a choice.
+    pub specialization: usize,
+    /// Specialization questions answered "none of these".
+    pub none_of_these: usize,
+    /// User-guided pruning interactions.
+    pub pruning: usize,
+    /// Question index at which each MSP was confirmed.
+    pub msp_events: Vec<usize>,
+    /// Question index at which each *valid* MSP was confirmed.
+    pub valid_msp_events: Vec<usize>,
+    /// The discovery curve (one point per question when tracking is on).
+    pub curve: Vec<DiscoveryPoint>,
+    /// Distinct assignment nodes materialized by the lazy generator.
+    pub nodes_generated: usize,
+}
+
+impl ExecutionStats {
+    /// Questions needed to reach `fraction` (0..=1) of the final MSP count;
+    /// `None` if no MSP was found.
+    pub fn questions_to_msp_fraction(&self, fraction: f64) -> Option<usize> {
+        questions_to_fraction(&self.msp_events, fraction)
+    }
+
+    /// Questions needed to reach `fraction` of the final valid-MSP count.
+    pub fn questions_to_valid_msp_fraction(&self, fraction: f64) -> Option<usize> {
+        questions_to_fraction(&self.valid_msp_events, fraction)
+    }
+
+    /// Questions needed to discover `fraction` of the *target* MSPs (planted
+    /// ground truth), read off the curve.
+    pub fn questions_to_target_fraction(
+        &self,
+        fraction: f64,
+        total_targets: usize,
+    ) -> Option<usize> {
+        if total_targets == 0 {
+            return None;
+        }
+        let needed = (fraction * total_targets as f64).ceil() as usize;
+        self.curve
+            .iter()
+            .find(|p| p.targets_found >= needed)
+            .map(|p| p.questions)
+    }
+}
+
+fn questions_to_fraction(events: &[usize], fraction: f64) -> Option<usize> {
+    if events.is_empty() {
+        return None;
+    }
+    let needed = ((fraction * events.len() as f64).ceil() as usize).max(1);
+    events.get(needed - 1).copied()
+}
+
+/// Live recorder used by the miners: counts questions, tracks borders over a
+/// fixed universe (for the "% classified" series) and a target MSP set (for
+/// the synthetic-experiment curves).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The statistics being accumulated.
+    pub stats: ExecutionStats,
+    asked: HashSet<oassis_vocab::FactSet>,
+    /// Universe whose classification progress is tracked (optional).
+    universe: Vec<Assignment>,
+    universe_classified: Vec<bool>,
+    classified_count: usize,
+    /// Ground-truth MSPs to measure discovery against (optional).
+    targets: Vec<Assignment>,
+    targets_found: Vec<bool>,
+    targets_found_count: usize,
+    track_curve: bool,
+}
+
+impl Recorder {
+    /// A recorder that only counts questions (no curve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track a per-question discovery curve.
+    pub fn with_curve(mut self) -> Self {
+        self.track_curve = true;
+        self
+    }
+
+    /// Track classification progress over `universe`.
+    pub fn with_universe(mut self, universe: Vec<Assignment>) -> Self {
+        self.universe_classified = vec![false; universe.len()];
+        self.universe = universe;
+        self
+    }
+
+    /// Track discovery of the ground-truth MSP set `targets`.
+    pub fn with_targets(mut self, targets: Vec<Assignment>) -> Self {
+        self.targets_found = vec![false; targets.len()];
+        self.targets = targets;
+        self
+    }
+
+    /// Number of tracked targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Record one question of `kind` about `fs`.
+    pub fn on_question(&mut self, kind: QuestionKind, fs: &oassis_vocab::FactSet) {
+        self.stats.total_questions += 1;
+        if self.asked.insert(fs.clone()) {
+            self.stats.unique_questions += 1;
+        }
+        match kind {
+            QuestionKind::Concrete => self.stats.concrete += 1,
+            QuestionKind::Specialization => self.stats.specialization += 1,
+            QuestionKind::NoneOfThese => self.stats.none_of_these += 1,
+            QuestionKind::Pruning => self.stats.pruning += 1,
+        }
+    }
+
+    /// Update universe/target progress after the classification state
+    /// changed, then (if enabled) append a curve point.
+    pub fn on_state_change(&mut self, state: &ClassificationState, vocab: &Vocabulary) {
+        if !self.universe.is_empty() {
+            for (i, a) in self.universe.iter().enumerate() {
+                if !self.universe_classified[i] && state.status(a, vocab) != Status::Unclassified {
+                    self.universe_classified[i] = true;
+                    self.classified_count += 1;
+                }
+            }
+        }
+        if !self.targets.is_empty() {
+            for (i, t) in self.targets.iter().enumerate() {
+                if !self.targets_found[i] && state.status(t, vocab) == Status::Significant {
+                    self.targets_found[i] = true;
+                    self.targets_found_count += 1;
+                }
+            }
+        }
+        if self.track_curve {
+            self.stats.curve.push(DiscoveryPoint {
+                questions: self.stats.total_questions,
+                msps: self.stats.msp_events.len(),
+                valid_msps: self.stats.valid_msp_events.len(),
+                targets_found: self.targets_found_count,
+                classified: self.classified_count,
+            });
+        }
+    }
+
+    /// Record a confirmed MSP.
+    pub fn on_msp(&mut self, valid: bool) {
+        self.stats.msp_events.push(self.stats.total_questions);
+        if valid {
+            self.stats.valid_msp_events.push(self.stats.total_questions);
+        }
+        if self.track_curve {
+            if let Some(last) = self.stats.curve.last_mut() {
+                last.msps = self.stats.msp_events.len();
+                last.valid_msps = self.stats.valid_msp_events.len();
+            }
+        }
+    }
+
+    /// Assignments of the universe classified so far.
+    pub fn classified_count(&self) -> usize {
+        self.classified_count
+    }
+
+    /// Targets found so far.
+    pub fn targets_found_count(&self) -> usize {
+        self.targets_found_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AValue;
+    use oassis_store::ontology::figure1_ontology;
+    use oassis_vocab::FactSet;
+
+    fn a(vocab: &Vocabulary, y: &str) -> Assignment {
+        Assignment::single_valued([AValue::Elem(vocab.element(y).unwrap())])
+    }
+
+    #[test]
+    fn question_counting() {
+        let mut r = Recorder::new();
+        let fs = FactSet::new();
+        r.on_question(QuestionKind::Concrete, &fs);
+        r.on_question(QuestionKind::Concrete, &fs);
+        r.on_question(QuestionKind::Pruning, &fs);
+        assert_eq!(r.stats.total_questions, 3);
+        assert_eq!(r.stats.unique_questions, 1);
+        assert_eq!(r.stats.concrete, 2);
+        assert_eq!(r.stats.pruning, 1);
+    }
+
+    #[test]
+    fn universe_classification_progress() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let universe = vec![
+            a(v, "Sport"),
+            a(v, "Biking"),
+            a(v, "Ball Game"),
+            a(v, "Falafel"),
+        ];
+        let mut r = Recorder::new().with_curve().with_universe(universe);
+        let mut st = ClassificationState::new();
+        st.mark_insignificant(&a(v, "Sport"), v);
+        r.on_state_change(&st, v);
+        // Sport insig ⇒ Biking and Ball Game inferred insig too.
+        assert_eq!(r.classified_count(), 3);
+        assert_eq!(r.stats.curve.len(), 1);
+        st.mark_significant(&a(v, "Falafel"), v);
+        r.on_state_change(&st, v);
+        assert_eq!(r.classified_count(), 4);
+    }
+
+    #[test]
+    fn target_discovery_and_msp_events() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let mut r = Recorder::new()
+            .with_curve()
+            .with_targets(vec![a(v, "Biking")]);
+        let fs = FactSet::new();
+        let mut st = ClassificationState::new();
+        r.on_question(QuestionKind::Concrete, &fs);
+        st.mark_significant(&a(v, "Biking"), v);
+        r.on_state_change(&st, v);
+        assert_eq!(r.targets_found_count(), 1);
+        r.on_msp(true);
+        assert_eq!(r.stats.msp_events, vec![1]);
+        assert_eq!(r.stats.valid_msp_events, vec![1]);
+        assert_eq!(r.stats.curve.last().unwrap().msps, 1);
+        assert_eq!(r.stats.curve.last().unwrap().targets_found, 1);
+    }
+
+    #[test]
+    fn fraction_queries() {
+        let stats = ExecutionStats {
+            msp_events: vec![10, 20, 30, 40],
+            valid_msp_events: vec![20, 40],
+            ..Default::default()
+        };
+        assert_eq!(stats.questions_to_msp_fraction(0.5), Some(20));
+        assert_eq!(stats.questions_to_msp_fraction(1.0), Some(40));
+        assert_eq!(stats.questions_to_msp_fraction(0.01), Some(10));
+        assert_eq!(stats.questions_to_valid_msp_fraction(1.0), Some(40));
+        assert_eq!(
+            ExecutionStats::default().questions_to_msp_fraction(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn target_fraction_reads_curve() {
+        let stats = ExecutionStats {
+            curve: vec![
+                DiscoveryPoint {
+                    questions: 5,
+                    msps: 0,
+                    valid_msps: 0,
+                    targets_found: 1,
+                    classified: 3,
+                },
+                DiscoveryPoint {
+                    questions: 9,
+                    msps: 1,
+                    valid_msps: 1,
+                    targets_found: 2,
+                    classified: 6,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.questions_to_target_fraction(0.5, 2), Some(5));
+        assert_eq!(stats.questions_to_target_fraction(1.0, 2), Some(9));
+        assert_eq!(stats.questions_to_target_fraction(1.0, 3), None);
+        assert_eq!(stats.questions_to_target_fraction(0.5, 0), None);
+    }
+}

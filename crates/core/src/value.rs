@@ -1,0 +1,115 @@
+//! Assignment values: vocabulary elements or relations.
+//!
+//! Definition 4.1 types an assignment as `φ : X → P(E) ∪ P(R)` — a variable
+//! is bound to a set of *elements* (subject/object positions) or a set of
+//! *relations* (relation positions). [`AValue`] is that union.
+
+use std::fmt;
+
+use oassis_vocab::{ElementId, RelationId, Vocabulary};
+
+/// One value in an assignment's value set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AValue {
+    /// An element value.
+    Elem(ElementId),
+    /// A relation value.
+    Rel(RelationId),
+}
+
+impl AValue {
+    /// The element, if this is one.
+    pub fn as_elem(&self) -> Option<ElementId> {
+        match self {
+            AValue::Elem(e) => Some(*e),
+            AValue::Rel(_) => None,
+        }
+    }
+
+    /// The relation, if this is one.
+    pub fn as_rel(&self) -> Option<RelationId> {
+        match self {
+            AValue::Rel(r) => Some(*r),
+            AValue::Elem(_) => None,
+        }
+    }
+
+    /// Semantic order between two values: defined within one sort only
+    /// (an element is never comparable with a relation).
+    pub fn leq(&self, other: &AValue, vocab: &Vocabulary) -> bool {
+        match (self, other) {
+            (AValue::Elem(a), AValue::Elem(b)) => vocab.elem_leq(*a, *b),
+            (AValue::Rel(a), AValue::Rel(b)) => vocab.rel_leq(*a, *b),
+            _ => false,
+        }
+    }
+
+    /// Display name against a vocabulary.
+    pub fn name<'a>(&self, vocab: &'a Vocabulary) -> &'a str {
+        match self {
+            AValue::Elem(e) => vocab.element_name(*e),
+            AValue::Rel(r) => vocab.relation_name(*r),
+        }
+    }
+}
+
+impl From<ElementId> for AValue {
+    fn from(e: ElementId) -> Self {
+        AValue::Elem(e)
+    }
+}
+
+impl From<RelationId> for AValue {
+    fn from(r: RelationId) -> Self {
+        AValue::Rel(r)
+    }
+}
+
+impl fmt::Display for AValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AValue::Elem(e) => write!(f, "{e}"),
+            AValue::Rel(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn leq_respects_sorts() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let sport: AValue = v.element("Sport").unwrap().into();
+        let biking: AValue = v.element("Biking").unwrap().into();
+        let near_by: AValue = v.relation("nearBy").unwrap().into();
+        let inside: AValue = v.relation("inside").unwrap().into();
+        assert!(sport.leq(&biking, v));
+        assert!(!biking.leq(&sport, v));
+        assert!(near_by.leq(&inside, v));
+        assert!(!sport.leq(&near_by, v), "cross-sort is incomparable");
+        assert!(!near_by.leq(&sport, v));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = AValue::Elem(ElementId(1));
+        let r = AValue::Rel(RelationId(2));
+        assert_eq!(e.as_elem(), Some(ElementId(1)));
+        assert_eq!(e.as_rel(), None);
+        assert_eq!(r.as_rel(), Some(RelationId(2)));
+    }
+
+    #[test]
+    fn names() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let biking: AValue = v.element("Biking").unwrap().into();
+        assert_eq!(biking.name(v), "Biking");
+        let do_at: AValue = v.relation("doAt").unwrap().into();
+        assert_eq!(do_at.name(v), "doAt");
+    }
+}

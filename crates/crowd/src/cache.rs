@@ -1,0 +1,238 @@
+//! The CrowdCache (Section 6.1, 6.3): per-fact-set answer storage.
+//!
+//! Answers are independent of the support threshold, so a query executed at
+//! threshold 0.2 can be *replayed* at higher thresholds without asking the
+//! crowd again — the methodology behind Figures 4a–4c. The cache records,
+//! for every fact-set ever asked about, which member answered what, and
+//! counts both unique questions (crowd complexity, Section 4.1) and total
+//! questions (overall user effort, Section 6.3).
+
+use std::collections::HashMap;
+
+use oassis_vocab::FactSet;
+
+use crate::member::MemberId;
+
+/// Answer storage for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct CrowdCache {
+    answers: HashMap<FactSet, Vec<(MemberId, f64)>>,
+    total_questions: usize,
+}
+
+impl CrowdCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `member`'s answer for `fs`. Counts one question; a repeat
+    /// answer by the same member overwrites (members are assumed
+    /// self-consistent; spam detection happens elsewhere).
+    pub fn record(&mut self, fs: &FactSet, member: MemberId, support: f64) {
+        self.total_questions += 1;
+        let entry = self.answers.entry(fs.clone()).or_default();
+        match entry.iter_mut().find(|(m, _)| *m == member) {
+            Some(slot) => slot.1 = support,
+            None => entry.push((member, support)),
+        }
+    }
+
+    /// All answers recorded for `fs`.
+    pub fn answers(&self, fs: &FactSet) -> &[(MemberId, f64)] {
+        self.answers.get(fs).map_or(&[], Vec::as_slice)
+    }
+
+    /// Just the support values for `fs` (aggregator input).
+    pub fn supports(&self, fs: &FactSet) -> Vec<f64> {
+        self.answers(fs).iter().map(|&(_, s)| s).collect()
+    }
+
+    /// Whether `member` already answered about `fs`.
+    pub fn has_answer_from(&self, fs: &FactSet, member: MemberId) -> bool {
+        self.answers(fs).iter().any(|(m, _)| *m == member)
+    }
+
+    /// Number of distinct fact-sets asked about (crowd complexity).
+    pub fn unique_questions(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Total questions asked, including repetitions across members.
+    pub fn total_questions(&self) -> usize {
+        self.total_questions
+    }
+
+    /// Iterate `(fact-set, answers)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FactSet, &[(MemberId, f64)])> {
+        self.answers.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, RelationId};
+
+    fn fs(n: u32) -> FactSet {
+        FactSet::from_facts([Fact::new(ElementId(n), RelationId(0), ElementId(0))])
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut c = CrowdCache::new();
+        c.record(&fs(1), MemberId(1), 0.5);
+        c.record(&fs(1), MemberId(2), 0.25);
+        assert_eq!(c.supports(&fs(1)), [0.5, 0.25]);
+        assert_eq!(c.answers(&fs(2)), []);
+        assert_eq!(c.unique_questions(), 1);
+        assert_eq!(c.total_questions(), 2);
+    }
+
+    #[test]
+    fn same_member_overwrites_but_still_counts_effort() {
+        let mut c = CrowdCache::new();
+        c.record(&fs(1), MemberId(1), 0.5);
+        c.record(&fs(1), MemberId(1), 0.75);
+        assert_eq!(c.supports(&fs(1)), [0.75]);
+        assert_eq!(c.total_questions(), 2, "effort counts repetitions");
+        assert_eq!(c.unique_questions(), 1);
+    }
+
+    #[test]
+    fn has_answer_from() {
+        let mut c = CrowdCache::new();
+        c.record(&fs(1), MemberId(1), 0.5);
+        assert!(c.has_answer_from(&fs(1), MemberId(1)));
+        assert!(!c.has_answer_from(&fs(1), MemberId(2)));
+        assert!(!c.has_answer_from(&fs(2), MemberId(1)));
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut c = CrowdCache::new();
+        c.record(&fs(1), MemberId(1), 0.5);
+        c.record(&fs(2), MemberId(1), 0.1);
+        assert_eq!(c.iter().count(), 2);
+    }
+}
+
+impl CrowdCache {
+    /// Serialize to a line-oriented text format (ids are vocabulary-interned
+    /// integers, so the dump is only meaningful against the same ontology
+    /// build): `member support s,r,o;s,r,o;...` with `-` for the empty
+    /// fact-set.
+    pub fn export_text(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (fs, answers) in self.iter() {
+            let facts = if fs.is_empty() {
+                "-".to_owned()
+            } else {
+                fs.iter()
+                    .map(|f| format!("{},{},{}", f.subject.0, f.relation.0, f.object.0))
+                    .collect::<Vec<_>>()
+                    .join(";")
+            };
+            for &(m, s) in answers {
+                lines.push(format!("{} {} {}", m.0, s, facts));
+            }
+        }
+        lines.sort();
+        let mut out = String::from("# oassis crowd cache v1\n");
+        out.push_str(&lines.join("\n"));
+        out.push('\n');
+        out
+    }
+
+    /// Parse a dump produced by [`export_text`](Self::export_text).
+    /// The total-question counter is restored as one question per answer.
+    pub fn import_text(input: &str) -> Result<CrowdCache, String> {
+        use oassis_vocab::{ElementId, Fact, RelationId};
+        let mut cache = CrowdCache::new();
+        for (no, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (Some(m), Some(s), Some(facts)) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {}: expected `member support facts`", no + 1));
+            };
+            let member = MemberId(
+                m.parse()
+                    .map_err(|e| format!("line {}: bad member id: {e}", no + 1))?,
+            );
+            let support: f64 = s
+                .parse()
+                .map_err(|e| format!("line {}: bad support: {e}", no + 1))?;
+            let fs = if facts == "-" {
+                FactSet::new()
+            } else {
+                let mut v = Vec::new();
+                for triple in facts.split(';') {
+                    let ids: Vec<&str> = triple.split(',').collect();
+                    let [s, r, o] = ids.as_slice() else {
+                        return Err(format!("line {}: bad fact {triple:?}", no + 1));
+                    };
+                    let parse = |x: &str| {
+                        x.parse::<u32>()
+                            .map_err(|e| format!("line {}: {e}", no + 1))
+                    };
+                    v.push(Fact::new(
+                        ElementId(parse(s)?),
+                        RelationId(parse(r)?),
+                        ElementId(parse(o)?),
+                    ));
+                }
+                FactSet::from_facts(v)
+            };
+            cache.record(&fs, member, support);
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, RelationId};
+
+    fn fs(n: u32) -> FactSet {
+        FactSet::from_facts([Fact::new(ElementId(n), RelationId(1), ElementId(n + 1))])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut c = CrowdCache::new();
+        c.record(&fs(1), MemberId(1), 0.5);
+        c.record(&fs(1), MemberId(2), 0.25);
+        c.record(&fs(7), MemberId(1), 1.0 / 3.0);
+        c.record(&FactSet::new(), MemberId(3), 1.0);
+        let text = c.export_text();
+        let back = CrowdCache::import_text(&text).unwrap();
+        assert_eq!(back.unique_questions(), c.unique_questions());
+        assert_eq!(back.total_questions(), 4);
+        let mut a = back.supports(&fs(1));
+        let mut b = c.supports(&fs(1));
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b);
+        assert_eq!(back.supports(&fs(7)), c.supports(&fs(7)));
+        assert_eq!(back.supports(&FactSet::new()), vec![1.0]);
+    }
+
+    #[test]
+    fn import_rejects_malformed_lines() {
+        assert!(CrowdCache::import_text("1 0.5").is_err());
+        assert!(CrowdCache::import_text("x 0.5 -").is_err());
+        assert!(CrowdCache::import_text("1 nope -").is_err());
+        assert!(CrowdCache::import_text("1 0.5 1,2").is_err());
+        assert!(CrowdCache::import_text("1 0.5 a,b,c").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let cache = CrowdCache::import_text("# header\n\n1 0.5 -\n").unwrap();
+        assert_eq!(cache.total_questions(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The five-level frequency scale of the prototype UI (Section 6.2).
+//!
+//! Crowd members answer "How often do you ...?" by clicking one of five
+//! options, which the system interprets as the support values
+//! `0, 0.25, 0.5, 0.75, 1`.
+
+/// A UI frequency answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrequencyScale {
+    /// "never" → 0.0
+    Never,
+    /// "rarely" → 0.25
+    Rarely,
+    /// "sometimes" → 0.5
+    Sometimes,
+    /// "often" → 0.75
+    Often,
+    /// "very often" → 1.0
+    VeryOften,
+}
+
+impl FrequencyScale {
+    /// All levels, ascending.
+    pub const ALL: [FrequencyScale; 5] = [
+        FrequencyScale::Never,
+        FrequencyScale::Rarely,
+        FrequencyScale::Sometimes,
+        FrequencyScale::Often,
+        FrequencyScale::VeryOften,
+    ];
+
+    /// The support value this level is interpreted as.
+    pub fn support(self) -> f64 {
+        match self {
+            FrequencyScale::Never => 0.0,
+            FrequencyScale::Rarely => 0.25,
+            FrequencyScale::Sometimes => 0.5,
+            FrequencyScale::Often => 0.75,
+            FrequencyScale::VeryOften => 1.0,
+        }
+    }
+
+    /// The level a member with true support `s` would click (nearest level).
+    pub fn from_support(s: f64) -> Self {
+        let s = s.clamp(0.0, 1.0);
+        let idx = (s * 4.0).round() as usize;
+        Self::ALL[idx]
+    }
+
+    /// The UI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrequencyScale::Never => "never",
+            FrequencyScale::Rarely => "rarely",
+            FrequencyScale::Sometimes => "sometimes",
+            FrequencyScale::Often => "often",
+            FrequencyScale::VeryOften => "very often",
+        }
+    }
+}
+
+/// Interpret a natural "n times per year" answer as support (n/365, capped),
+/// the interpretation used for concrete questions in Section 2.
+pub fn times_per_year_to_support(times: f64) -> f64 {
+    (times / 365.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_values_match_the_paper() {
+        let got: Vec<f64> = FrequencyScale::ALL.iter().map(|l| l.support()).collect();
+        assert_eq!(got, [0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn from_support_rounds_to_nearest() {
+        assert_eq!(FrequencyScale::from_support(0.0), FrequencyScale::Never);
+        assert_eq!(FrequencyScale::from_support(0.1), FrequencyScale::Never);
+        assert_eq!(FrequencyScale::from_support(0.13), FrequencyScale::Rarely);
+        assert_eq!(
+            FrequencyScale::from_support(0.49),
+            FrequencyScale::Sometimes
+        );
+        assert_eq!(FrequencyScale::from_support(0.9), FrequencyScale::VeryOften);
+        assert_eq!(FrequencyScale::from_support(2.0), FrequencyScale::VeryOften);
+        assert_eq!(FrequencyScale::from_support(-1.0), FrequencyScale::Never);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_scale_points() {
+        for l in FrequencyScale::ALL {
+            assert_eq!(FrequencyScale::from_support(l.support()), l);
+        }
+    }
+
+    #[test]
+    fn times_per_year() {
+        // "Once a month" ≈ 12/365 (the paper's example).
+        assert!((times_per_year_to_support(12.0) - 12.0 / 365.0).abs() < 1e-12);
+        assert_eq!(times_per_year_to_support(1000.0), 1.0);
+        assert_eq!(times_per_year_to_support(0.0), 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FrequencyScale::Sometimes.label(), "sometimes");
+    }
+}

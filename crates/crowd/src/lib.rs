@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # oassis-crowd
+//!
+//! The crowd model of Section 2 and the crowd-interaction machinery of
+//! Sections 4 and 6:
+//!
+//! * [`Transaction`]s and [`PersonalDb`]s — each crowd member's *virtual*
+//!   database of past occasions, with the personal support function
+//!   `supp_u(A) = |{T ∈ D_u : A ≤ T}| / |D_u|`,
+//! * the [`CrowdMember`] trait — the only way the engine may interact with a
+//!   member is by asking *concrete* and *specialization* questions (plus the
+//!   UI's user-guided pruning); the personal DB itself is never readable,
+//! * simulated members: [`DbMember`] (backed by a personal DB, with the
+//!   paper's five-level frequency scale and optional noise),
+//!   [`ScriptedMember`] (fixed answers, for tests) and [`SpammerMember`]
+//!   (random answers, for quality-control experiments),
+//! * the answer [`Aggregator`] black-box of Section 4.2 (default: the
+//!   paper's five-answers-then-average rule),
+//! * the [`CrowdCache`] — per-assignment answer storage enabling the
+//!   threshold-replay methodology of Section 6.3,
+//! * [`quality`] — the Section 4.2 consistency check (support monotonicity
+//!   across a member's own answers) used to filter spammers.
+
+pub mod aggregate;
+pub mod cache;
+pub mod frequency;
+pub mod member;
+pub mod profile;
+pub mod quality;
+pub mod transaction;
+
+pub use aggregate::{
+    Aggregator, Decision, FixedSampleAggregator, MajorityVoteAggregator, SequentialAggregator,
+    SingleUserAggregator,
+};
+pub use cache::CrowdCache;
+pub use frequency::FrequencyScale;
+pub use member::{CrowdMember, DbMember, MemberId, ScriptedMember, SpammerMember};
+pub use profile::{select_members, ProfiledMember};
+pub use transaction::{PersonalDb, Transaction};

@@ -1,0 +1,175 @@
+//! Crowd-member selection (Section 4.2 / Section 8).
+//!
+//! The paper proposes extending queries with "a special SPARQL-like
+//! selection on crowd members". We realize this with the machinery already
+//! at hand: a member's **profile** is a fact-set describing them
+//! (`u livesIn Tel Aviv. u memberOf Families`), and a selection
+//! *requirement* is a more general fact-set; the member qualifies iff the
+//! requirement is semantically implied by their profile
+//! (`requirement ≤ profile`, Definition 2.5) — so "lives in some city"
+//! selects everyone with a concrete `livesIn` fact.
+
+use oassis_vocab::{FactSet, Vocabulary};
+
+use crate::member::{CrowdMember, MemberId};
+
+/// Wraps any member with a profile fact-set.
+pub struct ProfiledMember<M> {
+    inner: M,
+    profile: FactSet,
+}
+
+impl<M: CrowdMember> ProfiledMember<M> {
+    /// Attach `profile` to `inner`.
+    pub fn new(inner: M, profile: FactSet) -> Self {
+        ProfiledMember { inner, profile }
+    }
+
+    /// The wrapped member.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// This member's profile.
+    pub fn profile(&self) -> &FactSet {
+        &self.profile
+    }
+
+    /// Whether this member satisfies `requirement` (`requirement ≤ profile`).
+    pub fn satisfies(&self, requirement: &FactSet, vocab: &Vocabulary) -> bool {
+        vocab.factset_leq(requirement, &self.profile)
+    }
+}
+
+impl<M: CrowdMember> CrowdMember for ProfiledMember<M> {
+    fn id(&self) -> MemberId {
+        self.inner.id()
+    }
+
+    fn ask_concrete(&mut self, a: &FactSet) -> f64 {
+        self.inner.ask_concrete(a)
+    }
+
+    fn ask_specialization(
+        &mut self,
+        base: &FactSet,
+        candidates: &[FactSet],
+    ) -> Option<(usize, f64)> {
+        self.inner.ask_specialization(base, candidates)
+    }
+
+    fn irrelevant_elements(&mut self, a: &FactSet) -> Vec<oassis_vocab::ElementId> {
+        self.inner.irrelevant_elements(a)
+    }
+
+    fn willing(&self) -> bool {
+        self.inner.willing()
+    }
+
+    fn can_answer(&self, a: &FactSet) -> bool {
+        self.inner.can_answer(a)
+    }
+}
+
+/// Retain only the members whose profiles satisfy `requirement`.
+pub fn select_members<M: CrowdMember>(
+    members: Vec<ProfiledMember<M>>,
+    requirement: &FactSet,
+    vocab: &Vocabulary,
+) -> Vec<ProfiledMember<M>> {
+    members
+        .into_iter()
+        .filter(|m| m.satisfies(requirement, vocab))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::ScriptedMember;
+    use oassis_vocab::{Fact, Vocabulary};
+
+    fn vocab() -> Vocabulary {
+        let mut b = Vocabulary::builder();
+        b.element_isa("Tel Aviv", "City")
+            .element_isa("NYC", "City")
+            .element_isa("Local", "Person")
+            .element_isa("Tourist", "Person");
+        b.relation("livesIn");
+        b.relation("isA");
+        b.build().unwrap()
+    }
+
+    fn profile(v: &Vocabulary, city: &str, kind: &str) -> FactSet {
+        FactSet::from_facts([
+            Fact::new(
+                v.element(kind).unwrap(),
+                v.relation("isA").unwrap(),
+                v.element(kind).unwrap(),
+            ),
+            Fact::new(
+                v.element(kind).unwrap(),
+                v.relation("livesIn").unwrap(),
+                v.element(city).unwrap(),
+            ),
+        ])
+    }
+
+    fn member(id: u32, v: &Vocabulary, city: &str, kind: &str) -> ProfiledMember<ScriptedMember> {
+        ProfiledMember::new(
+            ScriptedMember::new(MemberId(id), Default::default(), 0.3),
+            profile(v, city, kind),
+        )
+    }
+
+    #[test]
+    fn concrete_requirement_selects_exact_matches() {
+        let v = vocab();
+        let members = vec![
+            member(1, &v, "Tel Aviv", "Local"),
+            member(2, &v, "NYC", "Tourist"),
+        ];
+        let req = FactSet::from_facts([Fact::new(
+            v.element("Local").unwrap(),
+            v.relation("livesIn").unwrap(),
+            v.element("Tel Aviv").unwrap(),
+        )]);
+        let selected = select_members(members, &req, &v);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].id(), MemberId(1));
+    }
+
+    #[test]
+    fn general_requirement_selects_semantically() {
+        // "Lives in some city" — City generalizes both Tel Aviv and NYC,
+        // and Person generalizes both member kinds.
+        let v = vocab();
+        let members = vec![
+            member(1, &v, "Tel Aviv", "Local"),
+            member(2, &v, "NYC", "Tourist"),
+        ];
+        let req = FactSet::from_facts([Fact::new(
+            v.element("Person").unwrap(),
+            v.relation("livesIn").unwrap(),
+            v.element("City").unwrap(),
+        )]);
+        assert_eq!(select_members(members, &req, &v).len(), 2);
+    }
+
+    #[test]
+    fn empty_requirement_selects_everyone() {
+        let v = vocab();
+        let members = vec![member(1, &v, "NYC", "Tourist")];
+        assert_eq!(select_members(members, &FactSet::new(), &v).len(), 1);
+    }
+
+    #[test]
+    fn profiled_member_delegates_answers() {
+        let v = vocab();
+        let mut m = member(7, &v, "NYC", "Local");
+        assert_eq!(m.id(), MemberId(7));
+        assert_eq!(m.ask_concrete(&FactSet::new()), 0.3);
+        assert!(m.willing());
+        assert!(!m.profile().is_empty());
+    }
+}

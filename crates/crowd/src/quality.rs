@@ -1,0 +1,165 @@
+//! Crowd-member quality control (Section 4.2, "Crowd member selection").
+//!
+//! The paper proposes checking *consistency between the answers of the same
+//! user*, "taking advantage of the fact that the support for more specific
+//! assignments cannot be larger". This module implements that check over a
+//! member's answer log and a simple spammer filter on top of it.
+
+use oassis_vocab::{FactSet, Vocabulary};
+
+/// A monotonicity violation: `general ≤ specific` but the member reported a
+/// strictly larger support for the more specific fact-set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index (into the answer log) of the more general question.
+    pub general_idx: usize,
+    /// Index of the more specific question.
+    pub specific_idx: usize,
+    /// Reported support of the general fact-set.
+    pub general_support: f64,
+    /// Reported support of the specific fact-set.
+    pub specific_support: f64,
+}
+
+/// Find all support-monotonicity violations in one member's answer log.
+///
+/// `tolerance` allows small inconsistencies in a cooperative member's
+/// answers (the paper: "perhaps still allowing for small inconsistency");
+/// a violation is reported only when
+/// `specific_support > general_support + tolerance`.
+pub fn consistency_violations(
+    log: &[(FactSet, f64)],
+    vocab: &Vocabulary,
+    tolerance: f64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, (a, sa)) in log.iter().enumerate() {
+        for (j, (b, sb)) in log.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // a ≤ b: a is more general, so sa must be ≥ sb (up to tolerance).
+            if vocab.factset_leq(a, b) && *sb > *sa + tolerance {
+                out.push(Violation {
+                    general_idx: i,
+                    specific_idx: j,
+                    general_support: *sa,
+                    specific_support: *sb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The fraction of comparable answer pairs that violate monotonicity
+/// (0.0 = perfectly consistent; `None` if no pair is comparable).
+pub fn inconsistency_rate(
+    log: &[(FactSet, f64)],
+    vocab: &Vocabulary,
+    tolerance: f64,
+) -> Option<f64> {
+    let mut comparable = 0usize;
+    for (i, (a, _)) in log.iter().enumerate() {
+        for (j, (b, _)) in log.iter().enumerate() {
+            if i != j && vocab.factset_leq(a, b) && a != b {
+                comparable += 1;
+            }
+        }
+    }
+    if comparable == 0 {
+        return None;
+    }
+    let violations = consistency_violations(log, vocab, tolerance).len();
+    Some(violations as f64 / comparable as f64)
+}
+
+/// Simple spammer filter: flag a member whose inconsistency rate exceeds
+/// `max_rate` (members with no comparable pairs pass).
+pub fn is_spammer(
+    log: &[(FactSet, f64)],
+    vocab: &Vocabulary,
+    tolerance: f64,
+    max_rate: f64,
+) -> bool {
+    inconsistency_rate(log, vocab, tolerance).is_some_and(|r| r > max_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+    use oassis_vocab::Fact;
+
+    fn fs(vocab: &Vocabulary, s: &str) -> FactSet {
+        FactSet::from_facts([Fact::new(
+            vocab.element(s).unwrap(),
+            vocab.relation("doAt").unwrap(),
+            vocab.element("Central Park").unwrap(),
+        )])
+    }
+
+    #[test]
+    fn honest_log_has_no_violations() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let log = vec![
+            (fs(v, "Sport"), 0.5),
+            (fs(v, "Biking"), 0.3),
+            (fs(v, "Ball Game"), 0.2),
+        ];
+        assert!(consistency_violations(&log, v, 0.0).is_empty());
+        assert_eq!(inconsistency_rate(&log, v, 0.0), Some(0.0));
+        assert!(!is_spammer(&log, v, 0.0, 0.1));
+    }
+
+    #[test]
+    fn specific_larger_than_general_is_flagged() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let log = vec![(fs(v, "Sport"), 0.2), (fs(v, "Biking"), 0.8)];
+        let viol = consistency_violations(&log, v, 0.0);
+        assert_eq!(viol.len(), 1);
+        assert_eq!(viol[0].general_idx, 0);
+        assert_eq!(viol[0].specific_idx, 1);
+        assert!(is_spammer(&log, v, 0.0, 0.5));
+    }
+
+    #[test]
+    fn tolerance_forgives_small_inconsistencies() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let log = vec![(fs(v, "Sport"), 0.5), (fs(v, "Biking"), 0.55)];
+        assert_eq!(consistency_violations(&log, v, 0.1).len(), 0);
+        assert_eq!(consistency_violations(&log, v, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn incomparable_answers_are_ignored() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let log = vec![(fs(v, "Biking"), 0.1), (fs(v, "Falafel"), 0.9)];
+        assert!(consistency_violations(&log, v, 0.0).is_empty());
+        assert_eq!(inconsistency_rate(&log, v, 0.0), None);
+        assert!(!is_spammer(&log, v, 0.0, 0.0));
+    }
+
+    #[test]
+    fn spammer_member_is_caught() {
+        use crate::member::{CrowdMember, MemberId, SpammerMember};
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let mut spammer = SpammerMember::new(MemberId(1), 3);
+        // Build a log by asking about a chain Sport ≥ Ball Game ≥ Basketball
+        // repeatedly; random answers must eventually violate monotonicity.
+        let mut log = Vec::new();
+        for _ in 0..10 {
+            for name in ["Sport", "Ball Game", "Basketball"] {
+                let q = fs(v, name);
+                let s = spammer.ask_concrete(&q);
+                log.push((q, s));
+            }
+        }
+        assert!(is_spammer(&log, v, 0.0, 0.05));
+    }
+}

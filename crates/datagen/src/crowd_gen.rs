@@ -1,0 +1,225 @@
+//! Simulated crowds for the real-crowd-style experiments (Figures 4a–4e).
+//!
+//! The paper recruited 248 members via social networks; we generate members
+//! whose *personal transaction databases* realize a chosen set of popular
+//! patterns with chosen popularity, so that running the full multi-user
+//! engine produces the same kind of answer distribution the real crowd did.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use oassis_crowd::{DbMember, MemberId, PersonalDb};
+use oassis_vocab::{Fact, FactSet, Vocabulary};
+
+use crate::domains::Domain;
+
+/// Crowd generation parameters.
+#[derive(Debug, Clone)]
+pub struct CrowdGenConfig {
+    /// Number of members (the paper's crowd: 248).
+    pub members: usize,
+    /// Transactions per member.
+    pub transactions_per_member: usize,
+    /// Number of leaf-level (subject, object) patterns made popular.
+    pub popular_patterns: usize,
+    /// Probability that a transaction realizes a popular pattern (the rest
+    /// are uniform random leaf combinations — the long tail).
+    pub popularity: f64,
+    /// Zipf exponent of the popular-pattern weights: pattern `i` is chosen
+    /// with weight `1/(i+1)^zipf`. With exponent 1 the top pattern absorbs
+    /// a ≈`popularity / H(n)` share — enough to clear realistic support
+    /// thresholds at the instance level, like the paper's travel MSPs.
+    pub zipf: f64,
+    /// Popular facts drawn per transaction (≥ 1). Richer transactions
+    /// raise class-level supports and create co-occurrence (multiplicity)
+    /// patterns, which is what made the paper's travel query so much more
+    /// expensive than the others.
+    pub facts_per_transaction: usize,
+    /// Snap member answers to the five-level UI scale.
+    pub discretize: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdGenConfig {
+    fn default() -> Self {
+        CrowdGenConfig {
+            members: 40,
+            transactions_per_member: 20,
+            popular_patterns: 12,
+            popularity: 0.7,
+            zipf: 1.0,
+            facts_per_transaction: 1,
+            discretize: false,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated crowd plus the ground-truth popular pattern facts.
+#[derive(Debug)]
+pub struct GeneratedCrowd {
+    /// The members (honest, DB-backed).
+    pub members: Vec<DbMember>,
+    /// The leaf-level popular patterns the DBs realize.
+    pub popular: Vec<Fact>,
+}
+
+/// Generate a crowd for `domain`.
+pub fn generate_crowd(domain: &Domain, config: &CrowdGenConfig) -> GeneratedCrowd {
+    let vocab = Arc::new(domain.ontology.vocabulary().clone());
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let relation = vocab
+        .relation(domain.relation)
+        .expect("domain relation exists");
+
+    let leaf_fact = |rng: &mut SmallRng, vocab: &Vocabulary| -> Fact {
+        let s = &domain.subject_leaves[rng.random_range(0..domain.subject_leaves.len())];
+        let o = &domain.object_leaves[rng.random_range(0..domain.object_leaves.len())];
+        Fact::new(
+            vocab.element(s).expect("subject leaf"),
+            relation,
+            vocab.element(o).expect("object leaf"),
+        )
+    };
+
+    // Popular patterns: distinct leaf combinations, each with its own
+    // per-pattern weight so some MSPs are more specific than others.
+    let mut popular: Vec<Fact> = Vec::new();
+    while popular.len() < config.popular_patterns {
+        let f = leaf_fact(&mut rng, &vocab);
+        if !popular.contains(&f) {
+            popular.push(f);
+        }
+    }
+
+    // Zipf weights over the popular patterns (cumulative for sampling).
+    let weights: Vec<f64> = (0..popular.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_weight;
+        cumulative.push(acc);
+    }
+    let pick_popular = |rng: &mut SmallRng, cumulative: &[f64]| -> usize {
+        let x: f64 = rng.random();
+        cumulative.iter().position(|&c| x <= c).unwrap_or(0)
+    };
+
+    let mut members = Vec::with_capacity(config.members);
+    for m in 0..config.members {
+        let mut db = PersonalDb::new();
+        for t in 0..config.transactions_per_member {
+            let fact = if rng.random::<f64>() < config.popularity && !popular.is_empty() {
+                popular[pick_popular(&mut rng, &cumulative)]
+            } else {
+                leaf_fact(&mut rng, &vocab)
+            };
+            let mut facts = vec![fact];
+            for _ in 1..config.facts_per_transaction.max(1) {
+                facts.push(popular[pick_popular(&mut rng, &cumulative)]);
+            }
+            // Occasionally one extra co-occurring popular fact (source of
+            // multiplicity MSPs).
+            if rng.random::<f64>() < 0.25 {
+                facts.push(popular[pick_popular(&mut rng, &cumulative)]);
+            }
+            db.push(oassis_crowd::Transaction::new(
+                t as u64,
+                FactSet::from_facts(facts),
+            ));
+        }
+        let mut member = DbMember::new(MemberId(m as u32), db, Arc::clone(&vocab));
+        if config.discretize {
+            member = member.with_discretization();
+        }
+        members.push(member);
+    }
+    GeneratedCrowd { members, popular }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::self_treatment_domain;
+    use oassis_crowd::CrowdMember;
+
+    #[test]
+    fn crowd_has_requested_shape() {
+        let domain = self_treatment_domain();
+        let crowd = generate_crowd(
+            &domain,
+            &CrowdGenConfig {
+                members: 10,
+                transactions_per_member: 15,
+                popular_patterns: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(crowd.members.len(), 10);
+        assert_eq!(crowd.popular.len(), 5);
+    }
+
+    #[test]
+    fn popular_patterns_have_high_average_support() {
+        let domain = self_treatment_domain();
+        let crowd = generate_crowd(
+            &domain,
+            &CrowdGenConfig {
+                members: 20,
+                transactions_per_member: 30,
+                popular_patterns: 3,
+                popularity: 0.9,
+                ..Default::default()
+            },
+        );
+        let vocab = domain.ontology.vocabulary();
+        for &fact in &crowd.popular {
+            let fs = FactSet::from_facts([fact]);
+            let avg: f64 = crowd
+                .members
+                .iter()
+                .map(|m| m.true_support(&fs))
+                .sum::<f64>()
+                / crowd.members.len() as f64;
+            assert!(
+                avg > 0.05,
+                "popular pattern {} has avg support {avg}",
+                vocab.fact_to_string(&fact)
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let domain = self_treatment_domain();
+        let cfg = CrowdGenConfig {
+            members: 5,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = generate_crowd(&domain, &cfg);
+        let b = generate_crowd(&domain, &cfg);
+        assert_eq!(a.popular, b.popular);
+        let fs = FactSet::from_facts([a.popular[0]]);
+        for (x, y) in a.members.iter().zip(&b.members) {
+            assert_eq!(x.true_support(&fs), y.true_support(&fs));
+        }
+    }
+
+    #[test]
+    fn members_answer_consistently() {
+        let domain = self_treatment_domain();
+        let crowd = generate_crowd(&domain, &CrowdGenConfig::default());
+        let mut m = crowd.members[0].clone();
+        let fs = FactSet::from_facts([crowd.popular[0]]);
+        let a1 = m.ask_concrete(&fs);
+        let a2 = m.ask_concrete(&fs);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # oassis-datagen
+//!
+//! Synthetic data for the OASSIS experiments (Section 6):
+//!
+//! * [`domains`] — generated ontologies and canonical queries for the three
+//!   application domains of the real-crowd experiments (travel
+//!   recommendations, culinary preferences, self-treatment), sized so the
+//!   assignment DAGs match the paper's reported node counts (≈ 4773, 10512
+//!   and 2307),
+//! * [`synth`] — the Section 6.4 synthetic assignment DAGs with controlled
+//!   width and depth,
+//! * [`plant`] — MSP planting (uniform / nearby / far distributions, with or
+//!   without multiplicities) and the [`PlantedOracle`]
+//!   crowd member whose answers realize exactly the planted ground truth,
+//! * [`crowd_gen`] — simulated crowds whose personal transaction databases
+//!   realize a chosen set of popular patterns, for the real-crowd-style
+//!   figures.
+
+pub mod crowd_gen;
+pub mod domains;
+pub mod plant;
+pub mod synth;
+
+pub use crowd_gen::{generate_crowd, CrowdGenConfig};
+pub use domains::{culinary_domain, self_treatment_domain, travel_domain, Domain};
+pub use plant::{plant_msps, MspDistribution, PlantedOracle};
+pub use synth::{SynthConfig, SynthInstance};

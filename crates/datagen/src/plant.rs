@@ -1,0 +1,427 @@
+//! MSP planting and the planted-answer oracle (§6.4).
+//!
+//! The synthetic experiments choose a ground-truth MSP set — a random
+//! antichain covering a given fraction of the DAG — under three
+//! distributions (uniform; *nearby*, pairwise ≤ 4 apart; *far*, pairwise
+//! ≥ 6 apart), optionally including multiplicity nodes. The
+//! [`PlantedOracle`] then simulates a crowd member whose supports realize
+//! exactly that ground truth: a fact-set is frequent iff it is implied by a
+//! planted MSP.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use oassis_core::{AssignSpace, Assignment};
+use oassis_crowd::{CrowdMember, MemberId};
+use oassis_vocab::{ElementId, FactSet, Vocabulary};
+
+/// How planted MSPs are spread over the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MspDistribution {
+    /// Uniform random antichain.
+    Uniform,
+    /// Biased towards MSPs close together (pairwise Hasse distance ≤ 4).
+    Nearby,
+    /// Biased towards MSPs far apart (pairwise Hasse distance ≥ 6).
+    Far,
+}
+
+/// Undirected Hasse-graph ball of radius `radius` around `start`.
+fn ball(space: &AssignSpace, start: &Assignment, radius: usize) -> HashMap<Assignment, usize> {
+    let mut dist: HashMap<Assignment, usize> = HashMap::new();
+    dist.insert(start.clone(), 0);
+    let mut queue: VecDeque<Assignment> = VecDeque::new();
+    queue.push_back(start.clone());
+    while let Some(n) = queue.pop_front() {
+        let d = dist[&n];
+        if d == radius {
+            continue;
+        }
+        for m in space
+            .successors(&n)
+            .into_iter()
+            .chain(space.predecessors(&n))
+        {
+            if !dist.contains_key(&m) {
+                dist.insert(m.clone(), d + 1);
+                queue.push_back(m);
+            }
+        }
+    }
+    dist
+}
+
+/// Plant `count` MSPs among `candidates` (must be nodes of `space`),
+/// guaranteeing the result is an antichain. May return fewer than `count`
+/// when the distribution constraint runs out of room.
+pub fn plant_msps(
+    space: &AssignSpace,
+    candidates: &[Assignment],
+    count: usize,
+    distribution: MspDistribution,
+    seed: u64,
+) -> Vec<Assignment> {
+    let vocab = space.ontology().vocabulary();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<Assignment> = candidates.to_vec();
+    pool.shuffle(&mut rng);
+
+    let mut chosen: Vec<Assignment> = Vec::new();
+    let incomparable = |a: &Assignment, chosen: &[Assignment]| {
+        chosen.iter().all(|c| !a.leq(c, vocab) && !c.leq(a, vocab))
+    };
+
+    match distribution {
+        MspDistribution::Uniform => {
+            for a in pool {
+                if chosen.len() == count {
+                    break;
+                }
+                if incomparable(&a, &chosen) {
+                    chosen.push(a);
+                }
+            }
+        }
+        MspDistribution::Nearby => {
+            // Grow clusters: each new MSP within distance 4 of some chosen
+            // one; start a fresh cluster when stuck.
+            let mut near: HashSet<Assignment> = HashSet::new();
+            let mut pool_iter = pool.into_iter();
+            while chosen.len() < count {
+                let next = if chosen.is_empty() || near.is_empty() {
+                    pool_iter.find(|a| incomparable(a, &chosen))
+                } else {
+                    let mut cands: Vec<Assignment> = near
+                        .iter()
+                        .filter(|a| incomparable(a, &chosen))
+                        .cloned()
+                        .collect();
+                    cands.sort();
+                    if cands.is_empty() {
+                        near.clear();
+                        continue;
+                    }
+                    Some(cands.swap_remove(rng.random_range(0..cands.len())))
+                };
+                let Some(a) = next else { break };
+                for (n, _) in ball(space, &a, 4) {
+                    if n != a {
+                        near.insert(n);
+                    }
+                }
+                near.remove(&a);
+                chosen.push(a);
+            }
+        }
+        MspDistribution::Far => {
+            for a in pool {
+                if chosen.len() == count {
+                    break;
+                }
+                if !incomparable(&a, &chosen) {
+                    continue;
+                }
+                // Reject if within distance 5 of any chosen MSP.
+                let near = ball(space, &a, 5);
+                if chosen.iter().any(|c| near.contains_key(c)) {
+                    continue;
+                }
+                chosen.push(a);
+            }
+        }
+    }
+    chosen
+}
+
+/// Extend a planted set with multiplicity MSPs: combination nodes of the
+/// requested set `size`, built by walking value-adding successors from
+/// random single-valued nodes. Returns the additional MSPs.
+pub fn plant_multiplicity_msps(
+    space: &AssignSpace,
+    candidates: &[Assignment],
+    existing: &[Assignment],
+    count: usize,
+    size: usize,
+    seed: u64,
+) -> Vec<Assignment> {
+    let vocab = space.ontology().vocabulary();
+    // Mix the seed so this function never shares a stream with plant_msps.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut pool: Vec<Assignment> = candidates.to_vec();
+    pool.shuffle(&mut rng);
+    let mut out: Vec<Assignment> = Vec::new();
+    let incomparable = |a: &Assignment, sets: &[&[Assignment]]| {
+        sets.iter()
+            .all(|set| set.iter().all(|c| !a.leq(c, vocab) && !c.leq(a, vocab)))
+    };
+    for base in pool {
+        if out.len() == count {
+            break;
+        }
+        // Grow the node by value additions until the weight reaches `size`.
+        let mut node = base;
+        let mut ok = true;
+        while node.weight() < size {
+            let adds: Vec<Assignment> = space
+                .successors(&node)
+                .into_iter()
+                .filter(|s| s.weight() > node.weight())
+                .collect();
+            if adds.is_empty() {
+                ok = false;
+                break;
+            }
+            node = adds[rng.random_range(0..adds.len())].clone();
+        }
+        if ok && node.weight() == size && incomparable(&node, &[existing, &out]) {
+            out.push(node);
+        }
+    }
+    out
+}
+
+/// A crowd member whose answers realize a planted ground truth exactly:
+/// a fact-set has support `sig_support` iff it is implied by some planted
+/// MSP fact-set, else 0.
+#[derive(Debug, Clone)]
+pub struct PlantedOracle {
+    id: MemberId,
+    msp_factsets: Vec<FactSet>,
+    vocab: Arc<Vocabulary>,
+    sig_support: f64,
+}
+
+impl PlantedOracle {
+    /// Build an oracle from planted MSP assignments.
+    pub fn new(id: MemberId, space: &AssignSpace, msps: &[Assignment], sig_support: f64) -> Self {
+        PlantedOracle {
+            id,
+            msp_factsets: msps.iter().map(|m| space.instantiate(m)).collect(),
+            vocab: Arc::new(space.ontology().vocabulary().clone()),
+            sig_support,
+        }
+    }
+
+    /// Ground-truth significance of a fact-set.
+    pub fn is_frequent(&self, a: &FactSet) -> bool {
+        self.msp_factsets
+            .iter()
+            .any(|m| self.vocab.factset_leq(a, m))
+    }
+}
+
+impl CrowdMember for PlantedOracle {
+    fn id(&self) -> MemberId {
+        self.id
+    }
+
+    fn ask_concrete(&mut self, a: &FactSet) -> f64 {
+        if self.is_frequent(a) {
+            self.sig_support
+        } else {
+            0.0
+        }
+    }
+
+    fn ask_specialization(
+        &mut self,
+        _base: &FactSet,
+        candidates: &[FactSet],
+    ) -> Option<(usize, f64)> {
+        candidates
+            .iter()
+            .position(|c| self.is_frequent(c))
+            .map(|i| (i, self.sig_support))
+    }
+
+    fn irrelevant_elements(&mut self, a: &FactSet) -> Vec<ElementId> {
+        // An element is irrelevant when no planted MSP mentions it or a
+        // specialization of it.
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for f in a.iter() {
+            for e in [f.subject, f.object] {
+                if !seen.insert(e) {
+                    continue;
+                }
+                let relevant = self.msp_factsets.iter().any(|m| {
+                    m.iter().any(|mf| {
+                        self.vocab.elem_leq(e, mf.subject) || self.vocab.elem_leq(e, mf.object)
+                    })
+                });
+                if !relevant {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthInstance};
+    use oassis_core::{MinerConfig, VerticalMiner};
+
+    fn instance() -> SynthInstance {
+        SynthInstance::generate(&SynthConfig {
+            width: 60,
+            depth: 4,
+            threshold: 0.2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn planted_set_is_an_antichain_of_requested_size() {
+        let inst = instance();
+        let msps = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            8,
+            MspDistribution::Uniform,
+            1,
+        );
+        assert_eq!(msps.len(), 8);
+        let vocab = inst.space.ontology().vocabulary();
+        for (i, a) in msps.iter().enumerate() {
+            for (j, b) in msps.iter().enumerate() {
+                if i != j {
+                    assert!(!a.leq(b, vocab), "{a} ≤ {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_msps_are_clustered() {
+        let inst = instance();
+        let msps = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            5,
+            MspDistribution::Nearby,
+            3,
+        );
+        assert!(msps.len() >= 2);
+        // Every MSP after the first is within distance 4 of some other.
+        for (i, a) in msps.iter().enumerate().skip(1) {
+            let near = ball(&inst.space, a, 4);
+            assert!(
+                msps[..i].iter().any(|b| near.contains_key(b)),
+                "MSP {i} is isolated"
+            );
+        }
+    }
+
+    #[test]
+    fn far_msps_are_spread_out() {
+        let inst = instance();
+        let msps = plant_msps(&inst.space, &inst.valid_nodes, 4, MspDistribution::Far, 5);
+        assert!(msps.len() >= 2, "found {}", msps.len());
+        for (i, a) in msps.iter().enumerate() {
+            let near = ball(&inst.space, a, 5);
+            for (j, b) in msps.iter().enumerate() {
+                if i != j {
+                    assert!(!near.contains_key(b), "MSPs {i} and {j} are within 5");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_realizes_the_planted_truth() {
+        let inst = instance();
+        let msps = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            5,
+            MspDistribution::Uniform,
+            7,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &msps, 0.5);
+        let vocab = inst.space.ontology().vocabulary();
+        // Each MSP itself is frequent; each generalization too; strict
+        // specializations are not.
+        for m in &msps {
+            let fs = inst.space.instantiate(m);
+            assert_eq!(oracle.ask_concrete(&fs), 0.5);
+            for p in inst.space.predecessors(m) {
+                assert_eq!(oracle.ask_concrete(&inst.space.instantiate(&p)), 0.5);
+            }
+            for s in inst.space.successors(m) {
+                let frequent = msps.iter().any(|other| s.leq(other, vocab));
+                if !frequent {
+                    assert_eq!(oracle.ask_concrete(&inst.space.instantiate(&s)), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_miner_recovers_planted_msps() {
+        let inst = instance();
+        let mut planted = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            6,
+            MspDistribution::Uniform,
+            11,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+        let out = VerticalMiner::run(&inst.space, &mut oracle, &MinerConfig::new(0.2));
+        let mut found = out.msps.clone();
+        planted.sort();
+        found.sort();
+        assert_eq!(found, planted, "vertical recovers exactly the planted MSPs");
+    }
+
+    #[test]
+    fn multiplicity_msps_have_requested_size() {
+        let inst = SynthInstance::generate(&SynthConfig {
+            width: 40,
+            depth: 3,
+            multiplicities: true,
+            threshold: 0.2,
+            ..Default::default()
+        });
+        let base = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            3,
+            MspDistribution::Uniform,
+            2,
+        );
+        let extra = plant_multiplicity_msps(&inst.space, &inst.valid_nodes, &base, 3, 3, 2);
+        assert!(!extra.is_empty());
+        for m in &extra {
+            assert_eq!(m.weight(), 3);
+            assert!(!m.is_single_valued());
+        }
+    }
+
+    #[test]
+    fn oracle_pruning_flags_uncovered_elements() {
+        let inst = instance();
+        let msps = plant_msps(
+            &inst.space,
+            &inst.valid_nodes,
+            2,
+            MspDistribution::Uniform,
+            13,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &msps, 0.5);
+        // The root's fact-set mentions "Pattern" (ancestor of everything) —
+        // never irrelevant while MSPs exist.
+        let root = inst.space.roots()[0].clone();
+        let root_fs = inst.space.instantiate(&root);
+        let irr = oracle.irrelevant_elements(&root_fs);
+        let pattern = inst.ontology.vocabulary().element("Pattern").unwrap();
+        assert!(!irr.contains(&pattern));
+    }
+}

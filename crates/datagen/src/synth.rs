@@ -1,0 +1,273 @@
+//! Synthetic assignment DAGs with controlled shape (§6.4).
+//!
+//! The paper varies the DAG's *width* (500–2000) and *depth* (4–7) starting
+//! from a travel-like DAG. We generate a single-variable query over a
+//! synthesized taxonomy tree whose leaf count equals the requested width and
+//! whose height equals the requested depth; the assignment DAG is then
+//! isomorphic to the taxonomy, giving exact shape control.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use oassis_core::{AssignSpace, Assignment};
+use oassis_ql::parse_query;
+use oassis_sparql::MatchMode;
+use oassis_store::Ontology;
+
+/// Shape parameters for a synthetic DAG.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Number of leaves (the DAG's width). The paper uses 500–2000.
+    pub width: usize,
+    /// Tree height (the DAG's depth). The paper uses 4–7.
+    pub depth: usize,
+    /// Whether the `SATISFYING` variable carries a `+` multiplicity
+    /// (enables multiplicity-combination nodes).
+    pub multiplicities: bool,
+    /// Generate a *two-variable* query (`$y rel $z` over two taxonomies),
+    /// like the travel query the paper derived its synthetic DAG from. The
+    /// requested width is split across the two trees (`width/10 × 10`), so
+    /// the product DAG's widest level still approximates `width`. Pruning
+    /// experiments need this: flagging one value irrelevant then kills a
+    /// whole cross-product slice, which a single tree cannot exhibit.
+    pub two_vars: bool,
+    /// Support threshold written into the query.
+    pub threshold: f64,
+    /// Seed controlling the tree's (randomized) internal branching.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            width: 500,
+            depth: 7,
+            multiplicities: false,
+            two_vars: false,
+            threshold: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated synthetic instance: ontology, query, prebuilt space, and the
+/// enumerated single-valued DAG.
+#[derive(Debug)]
+pub struct SynthInstance {
+    /// The generated ontology (a taxonomy under `Pattern`, plus `Place`).
+    pub ontology: Arc<Ontology>,
+    /// The generated query.
+    pub query_src: String,
+    /// The assignment space for the query.
+    pub space: AssignSpace,
+    /// All single-valued DAG nodes.
+    pub all_nodes: Vec<Assignment>,
+    /// The valid nodes (here: all of them — class-level query).
+    pub valid_nodes: Vec<Assignment>,
+}
+
+impl SynthInstance {
+    /// Generate an instance for `config`.
+    pub fn generate(config: &SynthConfig) -> SynthInstance {
+        assert!(config.depth >= 2, "depth must be at least 2");
+        assert!(config.width >= 1);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        let mut b = Ontology::builder();
+        b.relation("doAt");
+
+        let mult = if config.multiplicities { "+" } else { "" };
+        let query_src = if config.two_vars {
+            // Split the width across two trees so the product DAG's widest
+            // level approximates the requested width.
+            let wb = 10usize.min(config.width);
+            let wa = (config.width / wb).max(1);
+            let db = 2usize.min(config.depth - 2).max(1);
+            let da = (config.depth - db).max(2);
+            build_level_tree(&mut b, &mut rng, "Pattern", "P", wa, da);
+            build_level_tree(&mut b, &mut rng, "Context", "C", wb, db);
+            format!(
+                "SELECT FACT-SETS WHERE $y subClassOf* Pattern. $z subClassOf* Context \
+                 SATISFYING $y{mult} doAt $z WITH SUPPORT = {}",
+                config.threshold
+            )
+        } else {
+            b.element("Somewhere");
+            build_level_tree(&mut b, &mut rng, "Pattern", "P", config.width, config.depth);
+            format!(
+                "SELECT FACT-SETS WHERE $y subClassOf* Pattern \
+                 SATISFYING $y{mult} doAt Somewhere WITH SUPPORT = {}",
+                config.threshold
+            )
+        };
+
+        let ontology = Arc::new(b.build().expect("synthetic taxonomy is a tree"));
+        let query = parse_query(&query_src, &ontology).expect("generated query parses");
+        let space = AssignSpace::build(
+            Arc::clone(&ontology),
+            &query,
+            MatchMode::Semantic,
+            Vec::new(),
+        )
+        .expect("generated space builds");
+        let all_nodes = space
+            .enumerate_single_valued(10_000_000)
+            .expect("bound-only query enumerates");
+        let valid_nodes: Vec<Assignment> = all_nodes
+            .iter()
+            .filter(|a| space.is_valid(a))
+            .cloned()
+            .collect();
+        SynthInstance {
+            ontology,
+            query_src,
+            space,
+            all_nodes,
+            valid_nodes,
+        }
+    }
+
+    /// The DAG's node count (without multiplicities).
+    pub fn node_count(&self) -> usize {
+        self.all_nodes.len()
+    }
+}
+
+/// Build a class tree under `root` whose level sizes grow geometrically to
+/// `width` leaves at depth `depth`. The first children of each level cover
+/// every parent (so internal nodes are never leaves); the rest attach to
+/// random parents, varying the branching as the paper did by "arbitrarily
+/// pruning/replicating parts of the DAG".
+fn build_level_tree(
+    b: &mut oassis_store::OntologyBuilder,
+    rng: &mut SmallRng,
+    root: &str,
+    prefix: &str,
+    width: usize,
+    depth: usize,
+) {
+    let levels = depth.max(1);
+    let mut sizes: Vec<usize> = (1..=levels)
+        .map(|l| {
+            let frac = l as f64 / levels as f64;
+            ((width as f64).powf(frac).round() as usize).max(1)
+        })
+        .collect();
+    *sizes.last_mut().expect("levels >= 1") = width;
+
+    b.element(root);
+    let mut prev: Vec<String> = vec![root.to_owned()];
+    for (level, &size) in sizes.iter().enumerate() {
+        let mut cur = Vec::with_capacity(size);
+        for i in 0..size {
+            let name = format!("{prefix}{level}-{i}");
+            let parent = if i < prev.len() {
+                prev[i].clone()
+            } else {
+                prev[rng.random_range(0..prev.len())].clone()
+            };
+            b.subclass(&name, &parent);
+            cur.push(name);
+        }
+        prev = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_and_depth_are_respected() {
+        let inst = SynthInstance::generate(&SynthConfig {
+            width: 50,
+            depth: 4,
+            ..Default::default()
+        });
+        let v = inst.ontology.vocabulary();
+        // Leaves of the taxonomy = width (plus "Somewhere", which is not in
+        // the Pattern tree).
+        let leaves = v
+            .elements_order()
+            .leaves()
+            .filter(|&e| v.element_name(e).starts_with('P'))
+            .count();
+        assert_eq!(leaves, 50);
+        assert_eq!(v.elements_order().height(), 4);
+    }
+
+    #[test]
+    fn all_nodes_are_valid_for_class_queries() {
+        let inst = SynthInstance::generate(&SynthConfig {
+            width: 30,
+            depth: 3,
+            ..Default::default()
+        });
+        assert_eq!(inst.all_nodes.len(), inst.valid_nodes.len());
+        // Node count = taxonomy size under Pattern (root tier included).
+        assert!(inst.node_count() > 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SynthInstance::generate(&SynthConfig {
+            width: 40,
+            depth: 5,
+            seed: 9,
+            ..Default::default()
+        });
+        let b = SynthInstance::generate(&SynthConfig {
+            width: 40,
+            depth: 5,
+            seed: 9,
+            ..Default::default()
+        });
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.query_src, b.query_src);
+        let c = SynthInstance::generate(&SynthConfig {
+            width: 40,
+            depth: 5,
+            seed: 10,
+            ..Default::default()
+        });
+        // Same width, possibly different internal wiring.
+        assert_eq!(c.all_nodes.len(), a.all_nodes.len());
+    }
+
+    #[test]
+    fn multiplicity_flag_changes_query() {
+        let inst = SynthInstance::generate(&SynthConfig {
+            width: 10,
+            depth: 2,
+            multiplicities: true,
+            ..Default::default()
+        });
+        assert!(inst.query_src.contains("$y+"));
+        // Successors of a leaf node include multiplicity combinations.
+        let leaf = inst
+            .all_nodes
+            .iter()
+            .find(|a| {
+                inst.space
+                    .successors(a)
+                    .iter()
+                    .any(|s| !s.is_single_valued())
+            })
+            .cloned();
+        assert!(leaf.is_some(), "some node has a multiplicity successor");
+    }
+
+    #[test]
+    fn paper_shapes_generate() {
+        for (w, d) in [(500usize, 7usize), (500, 4), (1000, 7)] {
+            let inst = SynthInstance::generate(&SynthConfig {
+                width: w,
+                depth: d,
+                ..Default::default()
+            });
+            assert!(inst.node_count() >= w);
+        }
+    }
+}

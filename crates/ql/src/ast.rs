@@ -1,0 +1,250 @@
+//! AST for OASSIS-QL queries.
+
+use oassis_sparql::{TriplePattern, Var, VarTable};
+use oassis_vocab::{ElementId, RelationId};
+
+/// The output form requested by the `SELECT` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectForm {
+    /// `SELECT FACT-SETS` — answers are instantiated fact-sets.
+    #[default]
+    FactSets,
+    /// `SELECT VARIABLES` — answers are variable assignments.
+    Variables,
+}
+
+/// A multiplicity annotation on a `SATISFYING` variable (Section 3,
+/// "Multiplicities"). It bounds how many distinct values the variable may
+/// take *within one assignment*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Multiplicity {
+    /// Default: exactly one value.
+    #[default]
+    One,
+    /// `+` — at least one value.
+    AtLeastOne,
+    /// `*` — any number of values, including zero.
+    Any,
+    /// `?` — zero or one value.
+    Optional,
+    /// `{n}` — exactly `n` values.
+    Exactly(u32),
+}
+
+impl Multiplicity {
+    /// Smallest admissible number of values.
+    pub fn min(&self) -> u32 {
+        match self {
+            Multiplicity::One => 1,
+            Multiplicity::AtLeastOne => 1,
+            Multiplicity::Any => 0,
+            Multiplicity::Optional => 0,
+            Multiplicity::Exactly(n) => *n,
+        }
+    }
+
+    /// Largest admissible number of values (`None` = unbounded).
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            Multiplicity::One => Some(1),
+            Multiplicity::AtLeastOne => None,
+            Multiplicity::Any => None,
+            Multiplicity::Optional => Some(1),
+            Multiplicity::Exactly(n) => Some(*n),
+        }
+    }
+
+    /// Whether `count` values satisfy this multiplicity.
+    pub fn admits(&self, count: u32) -> bool {
+        count >= self.min() && self.max().is_none_or(|m| count <= m)
+    }
+}
+
+/// A subject/object position in a `SATISFYING` meta-fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QlTerm {
+    /// A variable (named, or anonymous from `[]`).
+    Var(Var),
+    /// A constant element.
+    Element(ElementId),
+}
+
+impl QlTerm {
+    /// The variable, if this position is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            QlTerm::Var(v) => Some(*v),
+            QlTerm::Element(_) => None,
+        }
+    }
+}
+
+/// The relation position in a `SATISFYING` meta-fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QlRel {
+    /// A relation variable (e.g. `$p`, or anonymous from `[]`).
+    Var(Var),
+    /// A constant relation.
+    Relation(RelationId),
+}
+
+impl QlRel {
+    /// The variable, if this position is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            QlRel::Var(v) => Some(*v),
+            QlRel::Relation(_) => None,
+        }
+    }
+}
+
+/// One meta-fact of the `SATISFYING` clause, e.g. `$y+ doAt $x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatPattern {
+    /// Subject position.
+    pub subject: QlTerm,
+    /// Multiplicity attached to the subject (if it is a variable).
+    pub subject_mult: Multiplicity,
+    /// Relation position.
+    pub relation: QlRel,
+    /// Object position.
+    pub object: QlTerm,
+    /// Multiplicity attached to the object (if it is a variable).
+    pub object_mult: Multiplicity,
+}
+
+impl SatPattern {
+    /// All variables mentioned by this meta-fact.
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        self.subject
+            .as_var()
+            .into_iter()
+            .chain(self.relation.as_var())
+            .chain(self.object.as_var())
+    }
+
+    /// The multiplicity attached to `v` in this pattern, if `v` occurs here.
+    pub fn mult_of(&self, v: Var) -> Option<Multiplicity> {
+        if self.subject.as_var() == Some(v) {
+            Some(self.subject_mult)
+        } else if self.object.as_var() == Some(v) {
+            Some(self.object_mult)
+        } else if self.relation.as_var() == Some(v) {
+            Some(Multiplicity::One)
+        } else {
+            None
+        }
+    }
+}
+
+/// The `SATISFYING ... WITH SUPPORT = θ` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatisfyingClause {
+    /// The meta–fact-set to be mined.
+    pub patterns: Vec<SatPattern>,
+    /// Whether the `MORE` keyword was given (mine any co-occurring facts).
+    pub more: bool,
+    /// The support threshold θ ∈ [0, 1].
+    pub support: f64,
+}
+
+/// A complete OASSIS-QL query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Output form.
+    pub select: SelectForm,
+    /// Whether `ALL` significant patterns were requested (default: MSPs only).
+    pub all: bool,
+    /// The WHERE basic graph pattern (over the ontology).
+    pub where_patterns: Vec<TriplePattern>,
+    /// The mining clause.
+    pub satisfying: SatisfyingClause,
+    /// The query's variable namespace (shared by both clauses).
+    pub vars: VarTable,
+}
+
+impl Query {
+    /// Variables that appear in the `SATISFYING` clause, in first-use order.
+    pub fn satisfying_vars(&self) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in &self.satisfying.patterns {
+            for v in p.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables that appear in the `WHERE` clause.
+    pub fn where_vars(&self) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in &self.where_patterns {
+            for v in p.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The multiplicity of `v` across the `SATISFYING` clause (the first
+    /// annotated occurrence wins; validation rejects conflicts).
+    pub fn multiplicity_of(&self, v: Var) -> Multiplicity {
+        self.satisfying
+            .patterns
+            .iter()
+            .filter_map(|p| p.mult_of(v))
+            .find(|m| *m != Multiplicity::One)
+            .unwrap_or(Multiplicity::One)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicity_bounds() {
+        assert_eq!(Multiplicity::One.min(), 1);
+        assert_eq!(Multiplicity::One.max(), Some(1));
+        assert_eq!(Multiplicity::AtLeastOne.max(), None);
+        assert_eq!(Multiplicity::Any.min(), 0);
+        assert_eq!(Multiplicity::Optional.max(), Some(1));
+        assert_eq!(Multiplicity::Exactly(3).min(), 3);
+        assert_eq!(Multiplicity::Exactly(3).max(), Some(3));
+    }
+
+    #[test]
+    fn multiplicity_admits() {
+        assert!(Multiplicity::One.admits(1));
+        assert!(!Multiplicity::One.admits(2));
+        assert!(Multiplicity::AtLeastOne.admits(5));
+        assert!(!Multiplicity::AtLeastOne.admits(0));
+        assert!(Multiplicity::Any.admits(0));
+        assert!(Multiplicity::Optional.admits(0) && Multiplicity::Optional.admits(1));
+        assert!(!Multiplicity::Optional.admits(2));
+        assert!(Multiplicity::Exactly(2).admits(2) && !Multiplicity::Exactly(2).admits(1));
+    }
+
+    #[test]
+    fn sat_pattern_vars_and_mults() {
+        let v0 = Var(0);
+        let v1 = Var(1);
+        let p = SatPattern {
+            subject: QlTerm::Var(v0),
+            subject_mult: Multiplicity::AtLeastOne,
+            relation: QlRel::Relation(RelationId(0)),
+            object: QlTerm::Var(v1),
+            object_mult: Multiplicity::One,
+        };
+        assert_eq!(p.vars().collect::<Vec<_>>(), [v0, v1]);
+        assert_eq!(p.mult_of(v0), Some(Multiplicity::AtLeastOne));
+        assert_eq!(p.mult_of(v1), Some(Multiplicity::One));
+        assert_eq!(p.mult_of(Var(9)), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Pretty-printing of queries back to OASSIS-QL source.
+
+use oassis_sparql::{PatTerm, PropPath, TriplePattern};
+use oassis_store::{Ontology, Term};
+
+use crate::ast::{Multiplicity, QlRel, QlTerm, Query, SatPattern, SelectForm};
+
+/// Quote a name in `<...>` if it needs it (spaces, punctuation, or a
+/// collision with a language keyword).
+fn quote_name(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
+    if bare && !is_keyword_like(name) {
+        name.to_owned()
+    } else {
+        format!("<{name}>")
+    }
+}
+
+pub(crate) fn is_keyword_like(name: &str) -> bool {
+    matches!(
+        name,
+        "SELECT"
+            | "WHERE"
+            | "SATISFYING"
+            | "MORE"
+            | "WITH"
+            | "SUPPORT"
+            | "FACT-SETS"
+            | "VARIABLES"
+            | "ALL"
+    )
+}
+
+fn mult_suffix(m: Multiplicity) -> String {
+    match m {
+        Multiplicity::One => String::new(),
+        Multiplicity::AtLeastOne => "+".into(),
+        Multiplicity::Any => "*".into(),
+        Multiplicity::Optional => "?".into(),
+        Multiplicity::Exactly(n) => format!("{{{n}}}"),
+    }
+}
+
+impl Query {
+    /// Render the query back to parseable OASSIS-QL source.
+    pub fn to_ql_string(&self, ontology: &Ontology) -> String {
+        let mut out = String::new();
+        out.push_str("SELECT ");
+        out.push_str(match self.select {
+            SelectForm::FactSets => "FACT-SETS",
+            SelectForm::Variables => "VARIABLES",
+        });
+        if self.all {
+            out.push_str(" ALL");
+        }
+        out.push_str("\nWHERE\n");
+        for (i, p) in self.where_patterns.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&self.where_pattern_str(p, ontology));
+            if i + 1 < self.where_patterns.len() {
+                out.push('.');
+            }
+            out.push('\n');
+        }
+        out.push_str("SATISFYING\n");
+        let n = self.satisfying.patterns.len();
+        for (i, p) in self.satisfying.patterns.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&self.sat_pattern_str(p, ontology));
+            if i + 1 < n || self.satisfying.more {
+                out.push('.');
+            }
+            out.push('\n');
+        }
+        if self.satisfying.more {
+            out.push_str("  MORE\n");
+        }
+        out.push_str(&format!("WITH SUPPORT = {}\n", self.satisfying.support));
+        out
+    }
+
+    fn where_pattern_str(&self, p: &TriplePattern, ontology: &Ontology) -> String {
+        let term = |t: &PatTerm| match t {
+            PatTerm::Var(v) => format!("${}", self.vars.name(*v)),
+            PatTerm::Const(Term::Element(e)) => quote_name(ontology.vocabulary().element_name(*e)),
+            PatTerm::Const(Term::Literal(l)) => format!("{:?}", ontology.literal_str(*l)),
+        };
+        let path = |p: &PropPath| {
+            let name = quote_name(ontology.vocabulary().relation_name(p.relation()));
+            match p {
+                PropPath::Rel(_) => name,
+                PropPath::Star(_) => format!("{name}*"),
+                PropPath::Plus(_) => format!("{name}+"),
+            }
+        };
+        format!("{} {} {}", term(&p.subject), path(&p.path), term(&p.object))
+    }
+
+    fn sat_pattern_str(&self, p: &SatPattern, ontology: &Ontology) -> String {
+        let term = |t: &QlTerm, m: Multiplicity| match t {
+            QlTerm::Var(v) if self.vars.is_anon(*v) => "[]".to_owned(),
+            QlTerm::Var(v) => format!("${}{}", self.vars.name(*v), mult_suffix(m)),
+            QlTerm::Element(e) => quote_name(ontology.vocabulary().element_name(*e)),
+        };
+        let rel = |r: &QlRel| match r {
+            QlRel::Var(v) if self.vars.is_anon(*v) => "[]".to_owned(),
+            QlRel::Var(v) => format!("${}", self.vars.name(*v)),
+            QlRel::Relation(r) => quote_name(ontology.vocabulary().relation_name(*r)),
+        };
+        format!(
+            "{} {} {}",
+            term(&p.subject, p.subject_mult),
+            rel(&p.relation),
+            term(&p.object, p.object_mult)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn roundtrip_figure2() {
+        let o = figure1_ontology();
+        let src = r#"
+            SELECT FACT-SETS
+            WHERE
+              $w subClassOf* Attraction.
+              $x instanceOf $w.
+              $x inside NYC.
+              $x hasLabel "child-friendly".
+              $y subClassOf* Activity.
+              $z instanceOf Restaurant.
+              $z nearBy $x
+            SATISFYING
+              $y+ doAt $x.
+              [] eatAt $z.
+              MORE
+            WITH SUPPORT = 0.4
+        "#;
+        let q = parse_query(src, &o).unwrap();
+        let printed = q.to_ql_string(&o);
+        // The printed text must re-parse to an equivalent query.
+        let q2 = parse_query(&printed, &o).unwrap();
+        assert_eq!(q.select, q2.select);
+        assert_eq!(q.all, q2.all);
+        assert_eq!(q.where_patterns.len(), q2.where_patterns.len());
+        assert_eq!(q.satisfying.patterns.len(), q2.satisfying.patterns.len());
+        assert_eq!(q.satisfying.more, q2.satisfying.more);
+        assert_eq!(q.satisfying.support, q2.satisfying.support);
+    }
+
+    #[test]
+    fn multiword_names_are_angle_quoted() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE $y subClassOf* Activity SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.2",
+            &o,
+        )
+        .unwrap();
+        let printed = q.to_ql_string(&o);
+        assert!(printed.contains("<Central Park>"), "{printed}");
+        assert!(parse_query(&printed, &o).is_ok());
+    }
+
+    #[test]
+    fn multiplicities_render() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT VARIABLES ALL WHERE SATISFYING $y{2} doAt $x. $z? eatAt $x WITH SUPPORT = 0.25",
+            &o,
+        )
+        .unwrap();
+        let printed = q.to_ql_string(&o);
+        assert!(printed.contains("$y{2}"), "{printed}");
+        assert!(printed.contains("$z?"), "{printed}");
+        assert!(printed.contains("VARIABLES ALL"), "{printed}");
+        assert!(parse_query(&printed, &o).is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for OASSIS-QL parsing and validation.
+
+use std::fmt;
+
+use oassis_sparql::SparqlError;
+
+/// Errors raised while parsing or validating an OASSIS-QL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QlError {
+    /// An error in the embedded SPARQL fragment (lexing, WHERE patterns).
+    Sparql(SparqlError),
+    /// A structural error in the query.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A semantic validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Sparql(e) => write!(f, "{e}"),
+            QlError::Parse { line, msg } => write!(f, "query parse error at line {line}: {msg}"),
+            QlError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QlError::Sparql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparqlError> for QlError {
+    fn from(e: SparqlError) -> Self {
+        QlError::Sparql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = QlError::Parse {
+            line: 2,
+            msg: "missing WHERE".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+        assert!(QlError::Invalid("bad support".into())
+            .to_string()
+            .contains("bad support"));
+    }
+}

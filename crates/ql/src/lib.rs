@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # oassis-ql
+//!
+//! OASSIS-QL — the *Ontology ASSISted crowd mining Query Language* of
+//! Section 3 of the paper. A query has the shape of Figure 2:
+//!
+//! ```text
+//! SELECT FACT-SETS                      -- or VARIABLES, optionally ALL
+//! WHERE
+//!   $w subClassOf* Attraction.
+//!   $x instanceOf $w.
+//!   $x inside NYC.
+//!   $x hasLabel "child-friendly".
+//!   $y subClassOf* Activity.
+//!   $z instanceOf Restaurant.
+//!   $z nearBy $x
+//! SATISFYING
+//!   $y+ doAt $x.
+//!   [] eatAt $z.
+//!   MORE
+//! WITH SUPPORT = 0.4
+//! ```
+//!
+//! * the `WHERE` clause is a SPARQL basic graph pattern evaluated over the
+//!   ontology (delegated to `oassis-sparql`),
+//! * the `SATISFYING` clause is a *meta–fact-set* whose instantiations are
+//!   mined from the crowd; variables may carry multiplicities (`+`, `*`,
+//!   `?`, `{n}`), relation positions may be variables or `[]`, and the
+//!   `MORE` keyword asks for any co-occurring extra facts,
+//! * `WITH SUPPORT = θ` sets the significance threshold.
+//!
+//! This crate provides the AST ([`Query`]), the parser
+//! ([`parse_query`]), semantic validation, and pretty-printing.
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{Multiplicity, QlRel, QlTerm, Query, SatPattern, SatisfyingClause, SelectForm};
+pub use error::QlError;
+pub use parser::parse_query;
+pub use validate::validate_query;

@@ -1,0 +1,135 @@
+//! Semantic validation of parsed queries.
+
+use std::collections::HashMap;
+
+use oassis_sparql::Var;
+
+use crate::ast::{Multiplicity, Query};
+use crate::error::QlError;
+
+/// Check semantic well-formedness of a parsed query.
+///
+/// Rules:
+/// * the support threshold must lie in `[0, 1]`,
+/// * the `SATISFYING` clause must request something (a meta-fact or `MORE`),
+/// * a variable may carry at most one non-default multiplicity annotation,
+/// * a variable with a multiplicity other than exactly-one must not appear in
+///   a relation position (relation variables are single-valued).
+pub fn validate_query(q: &Query) -> Result<(), QlError> {
+    if !(0.0..=1.0).contains(&q.satisfying.support) || q.satisfying.support.is_nan() {
+        return Err(QlError::Invalid(format!(
+            "support threshold must be in [0, 1], got {}",
+            q.satisfying.support
+        )));
+    }
+    if q.satisfying.patterns.is_empty() && !q.satisfying.more {
+        return Err(QlError::Invalid(
+            "SATISFYING clause must contain at least one meta-fact or MORE".into(),
+        ));
+    }
+
+    let mut mults: HashMap<Var, Multiplicity> = HashMap::new();
+    for p in &q.satisfying.patterns {
+        for (v, m) in [
+            (p.subject.as_var(), p.subject_mult),
+            (p.object.as_var(), p.object_mult),
+        ] {
+            let Some(v) = v else { continue };
+            if m == Multiplicity::One {
+                continue;
+            }
+            if let Some(prev) = mults.insert(v, m) {
+                if prev != m {
+                    return Err(QlError::Invalid(format!(
+                        "conflicting multiplicities for ${}",
+                        q.vars.name(v)
+                    )));
+                }
+            }
+        }
+    }
+    for p in &q.satisfying.patterns {
+        if let Some(v) = p.relation.as_var() {
+            if let Some(m) = mults.get(&v) {
+                if *m != Multiplicity::One {
+                    return Err(QlError::Invalid(format!(
+                        "relation variable ${} cannot carry a multiplicity",
+                        q.vars.name(v)
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn rejects_out_of_range_support() {
+        let o = figure1_ontology();
+        assert!(parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $x doAt $y WITH SUPPORT = 1.5",
+            &o
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accepts_boundary_supports() {
+        let o = figure1_ontology();
+        for s in ["0", "1", "0.0", "1.0"] {
+            let src = format!("SELECT FACT-SETS WHERE SATISFYING $x doAt $y WITH SUPPORT = {s}");
+            assert!(parse_query(&src, &o).is_ok(), "support {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_satisfying() {
+        let o = figure1_ontology();
+        assert!(parse_query("SELECT FACT-SETS WHERE SATISFYING WITH SUPPORT = 0.2", &o).is_err());
+    }
+
+    #[test]
+    fn more_alone_is_enough() {
+        let o = figure1_ontology();
+        assert!(parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING MORE WITH SUPPORT = 0.2",
+            &o
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_conflicting_multiplicities() {
+        let o = figure1_ontology();
+        assert!(parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $y+ doAt $x. $y? doAt $x WITH SUPPORT = 0.2",
+            &o
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn repeated_same_multiplicity_is_fine() {
+        let o = figure1_ontology();
+        assert!(parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $y+ doAt $x. $y+ eatAt $x WITH SUPPORT = 0.2",
+            &o
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_multiplicity_on_relation_var() {
+        let o = figure1_ontology();
+        assert!(parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $p+ doAt $x. $y $p $x WITH SUPPORT = 0.2",
+            &o
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! AST for graph patterns: variables, pattern terms and property paths.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use oassis_store::Term;
+use oassis_vocab::RelationId;
+
+/// A query variable, dense per [`VarTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// Interns variable names (`$x`) within one query.
+///
+/// The blank node `[]` and the `MORE` clause allocate *anonymous* variables,
+/// which have generated names and are excluded from
+/// [`named`](VarTable::named) iteration.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+    anon: Vec<bool>,
+}
+
+impl VarTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named variable (without the `$` sigil).
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        self.anon.push(false);
+        v
+    }
+
+    /// Allocate a fresh anonymous variable (for `[]` / `MORE`).
+    pub fn fresh(&mut self, hint: &str) -> Var {
+        let v = Var(self.names.len() as u32);
+        self.names.push(format!("_{}{}", hint, v.0));
+        self.anon.push(true);
+        v
+    }
+
+    /// Look up an existing named variable.
+    pub fn get(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of `v` (anonymous names start with `_`).
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Whether `v` was allocated by [`fresh`](VarTable::fresh).
+    pub fn is_anon(&self, v: Var) -> bool {
+        self.anon[v.index()]
+    }
+
+    /// Number of variables (named + anonymous).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All variables in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len() as u32).map(Var)
+    }
+
+    /// Named (non-anonymous) variables in allocation order.
+    pub fn named(&self) -> impl Iterator<Item = Var> + '_ {
+        self.iter().filter(|v| !self.is_anon(*v))
+    }
+}
+
+/// A subject/object position in a triple pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatTerm {
+    /// A query variable.
+    Var(Var),
+    /// A constant term (element or literal).
+    Const(Term),
+}
+
+impl PatTerm {
+    /// The variable, if this position is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            PatTerm::Var(v) => Some(*v),
+            PatTerm::Const(_) => None,
+        }
+    }
+}
+
+/// A property path over one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropPath {
+    /// Exactly one `rel` edge.
+    Rel(RelationId),
+    /// Zero or more `rel` edges (`rel*`).
+    Star(RelationId),
+    /// One or more `rel` edges (`rel+`).
+    Plus(RelationId),
+}
+
+impl PropPath {
+    /// The underlying relation.
+    pub fn relation(&self) -> RelationId {
+        match self {
+            PropPath::Rel(r) | PropPath::Star(r) | PropPath::Plus(r) => *r,
+        }
+    }
+
+    /// Whether this is a multi-step path (`*` or `+`).
+    pub fn is_path(&self) -> bool {
+        !matches!(self, PropPath::Rel(_))
+    }
+}
+
+/// One triple pattern `subject path object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// The subject position.
+    pub subject: PatTerm,
+    /// The (possibly starred) relation.
+    pub path: PropPath,
+    /// The object position.
+    pub object: PatTerm,
+}
+
+impl TriplePattern {
+    /// Construct a pattern.
+    pub fn new(subject: PatTerm, path: PropPath, object: PatTerm) -> Self {
+        TriplePattern {
+            subject,
+            path,
+            object,
+        }
+    }
+
+    /// The variables this pattern mentions (0, 1 or 2).
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        self.subject
+            .as_var()
+            .into_iter()
+            .chain(self.object.as_var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::ElementId;
+
+    #[test]
+    fn var_table_interns() {
+        let mut t = VarTable::new();
+        let x = t.var("x");
+        assert_eq!(t.var("x"), x);
+        let y = t.var("y");
+        assert_ne!(x, y);
+        assert_eq!(t.name(x), "x");
+        assert_eq!(t.get("y"), Some(y));
+        assert_eq!(t.get("z"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fresh_vars_are_anonymous_and_unique() {
+        let mut t = VarTable::new();
+        let a = t.fresh("blank");
+        let b = t.fresh("blank");
+        assert_ne!(a, b);
+        assert!(t.is_anon(a));
+        let x = t.var("x");
+        assert!(!t.is_anon(x));
+        let named: Vec<_> = t.named().collect();
+        assert_eq!(named.len(), 1);
+    }
+
+    #[test]
+    fn pattern_vars() {
+        let mut t = VarTable::new();
+        let x = t.var("x");
+        let p = TriplePattern::new(
+            PatTerm::Var(x),
+            PropPath::Rel(oassis_vocab::RelationId(0)),
+            PatTerm::Const(Term::Element(ElementId(1))),
+        );
+        assert_eq!(p.vars().collect::<Vec<_>>(), [x]);
+        assert!(!p.path.is_path());
+        assert!(PropPath::Star(oassis_vocab::RelationId(0)).is_path());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for SPARQL lexing, parsing and evaluation.
+
+use std::fmt;
+
+/// Errors raised by the SPARQL subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqlError {
+    /// Tokenizer error.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parser error.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A name did not resolve against the ontology's vocabulary.
+    UnknownName {
+        /// 1-based line.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+        /// What kind of name was expected (element/relation/literal).
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            SparqlError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparqlError::UnknownName {
+                line,
+                name,
+                expected,
+            } => write!(f, "unknown {expected} {name:?} at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SparqlError::UnknownName {
+            line: 4,
+            name: "Skiing".into(),
+            expected: "element",
+        };
+        assert!(e.to_string().contains("Skiing"));
+        assert!(e.to_string().contains("line 4"));
+    }
+}

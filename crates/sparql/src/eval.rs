@@ -1,0 +1,537 @@
+//! Backtracking join evaluation of graph patterns over an [`Ontology`].
+//!
+//! The evaluator supports two matching modes:
+//!
+//! * [`MatchMode::Syntactic`] — standard SPARQL: a pattern relation matches
+//!   only triples with exactly that relation.
+//! * [`MatchMode::Semantic`] — the mode OASSIS validity (Definition 2.5)
+//!   calls for: a pattern relation `r` also matches stored triples whose
+//!   relation `r'` satisfies `r ≤R r'`. With the Figure 1 vocabulary this
+//!   makes `$z nearBy $x` match the stored `Maoz Veg. inside ...` style
+//!   facts (`nearBy ≤R inside`), and lets `subClassOf*` paths traverse
+//!   `instanceOf` edges when the ontology declares
+//!   `subClassOf ≤R instanceOf` (the RDFS-style convention the paper's
+//!   Figure 3 uses when it lists `Feed a Monkey` as an assignment for
+//!   `$y subClassOf* Activity`).
+//!
+//! Patterns are joined most-selective-first; `rel*`/`rel+` paths are
+//! evaluated by memoized BFS over the stored edges of the matching
+//! relation(s).
+
+use std::collections::{HashMap, HashSet};
+
+use oassis_store::{Ontology, Term};
+use oassis_vocab::RelationId;
+
+use crate::ast::{PatTerm, PropPath, TriplePattern, Var, VarTable};
+
+/// How pattern relations match stored relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Exact relation matching (standard SPARQL).
+    Syntactic,
+    /// A pattern relation also matches its `≤R`-specializations.
+    #[default]
+    Semantic,
+}
+
+/// A (partial) assignment of query variables to terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Binding {
+    values: Vec<Option<Term>>,
+}
+
+impl Binding {
+    /// An empty binding over `nvars` variables.
+    pub fn new(nvars: usize) -> Self {
+        Binding {
+            values: vec![None; nvars],
+        }
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<Term> {
+        self.values[v.index()]
+    }
+
+    /// Bind `v` to `t` (overwrites).
+    pub fn set(&mut self, v: Var, t: Term) {
+        self.values[v.index()] = Some(t);
+    }
+
+    /// Number of variable slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no variable slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(var, term)` pairs for bound variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Term)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (Var(i as u32), t)))
+    }
+}
+
+/// Evaluate `patterns` over `ontology`, returning all distinct bindings.
+///
+/// ```
+/// use oassis_sparql::{evaluate, parse_patterns, MatchMode, VarTable};
+/// use oassis_store::ontology::figure1_ontology;
+///
+/// let o = figure1_ontology();
+/// let mut vars = VarTable::new();
+/// let pats = parse_patterns("$x instanceOf Park", &o, &mut vars).unwrap();
+/// let bindings = evaluate(&o, &pats, &vars, MatchMode::Syntactic);
+/// assert_eq!(bindings.len(), 2); // Central Park, Madison Square
+/// ```
+pub fn evaluate(
+    ontology: &Ontology,
+    patterns: &[TriplePattern],
+    vars: &VarTable,
+    mode: MatchMode,
+) -> Vec<Binding> {
+    let mut ev = Evaluator {
+        ontology,
+        mode,
+        fwd_closure: HashMap::new(),
+        bwd_closure: HashMap::new(),
+    };
+    let order = plan(ontology, patterns);
+    let mut results = Vec::new();
+    let mut binding = Binding::new(vars.len());
+    ev.join(&order, 0, &mut binding, &mut results);
+    results.sort_by(|a, b| a.values.cmp(&b.values));
+    results.dedup();
+    results
+}
+
+/// Greedy join order: repeatedly pick the pattern with the most positions
+/// bound (constants or already-chosen variables), preferring non-path
+/// patterns, breaking ties by store selectivity.
+fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
+    let mut remaining: Vec<TriplePattern> = patterns.to_vec();
+    let mut bound: HashSet<Var> = HashSet::new();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let score = |p: &TriplePattern| -> (usize, usize, usize) {
+            let pos_bound = |t: &PatTerm| match t {
+                PatTerm::Const(_) => true,
+                PatTerm::Var(v) => bound.contains(v),
+            };
+            let n_bound = pos_bound(&p.subject) as usize + pos_bound(&p.object) as usize;
+            let path_penalty = p.path.is_path() as usize;
+            // Selectivity estimate: stored triple count for this relation.
+            let est = ontology
+                .store()
+                .count_matching(None, Some(p.path.relation()), None);
+            (2 - n_bound, path_penalty, est)
+        };
+        let (i, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| score(p))
+            .expect("remaining is non-empty");
+        let p = remaining.swap_remove(i);
+        bound.extend(p.vars());
+        order.push(p);
+    }
+    order
+}
+
+struct Evaluator<'a> {
+    ontology: &'a Ontology,
+    mode: MatchMode,
+    /// Memoized forward path closure per (relation, source).
+    fwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
+    /// Memoized backward path closure per (relation, target).
+    bwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn join(
+        &mut self,
+        patterns: &[TriplePattern],
+        idx: usize,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+    ) {
+        if idx == patterns.len() {
+            out.push(binding.clone());
+            return;
+        }
+        let p = &patterns[idx];
+        let s_bound = resolve(&p.subject, binding);
+        let o_bound = resolve(&p.object, binding);
+        for (s, o) in self.candidates(p, s_bound, o_bound) {
+            let mut saved = Vec::with_capacity(2);
+            let mut ok = true;
+            for (term, pos) in [(s, &p.subject), (o, &p.object)] {
+                if let PatTerm::Var(v) = pos {
+                    match binding.get(*v) {
+                        Some(existing) if existing != term => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.set(*v, term);
+                            saved.push(*v);
+                        }
+                    }
+                }
+            }
+            if ok {
+                self.join(patterns, idx + 1, binding, out);
+            }
+            for v in saved {
+                binding.values[v.index()] = None;
+            }
+        }
+    }
+
+    /// Relations a pattern relation matches under the current mode.
+    fn match_relations(&self, r: RelationId) -> Vec<RelationId> {
+        match self.mode {
+            MatchMode::Syntactic => vec![r],
+            MatchMode::Semantic => self
+                .ontology
+                .vocabulary()
+                .relations_order()
+                .descendants(r)
+                .collect(),
+        }
+    }
+
+    /// Enumerate `(subject, object)` term pairs matching `p` given the
+    /// already-bound endpoint constraints.
+    fn candidates(
+        &mut self,
+        p: &TriplePattern,
+        s: Option<Term>,
+        o: Option<Term>,
+    ) -> Vec<(Term, Term)> {
+        match p.path {
+            PropPath::Rel(r) => {
+                let mut pairs = Vec::new();
+                for r in self.match_relations(r) {
+                    pairs.extend(
+                        self.ontology
+                            .store()
+                            .matching(s, Some(r), o)
+                            .map(|t| (t.subject, t.object)),
+                    );
+                }
+                pairs
+            }
+            PropPath::Star(r) => self.path_pairs(r, s, o, true),
+            PropPath::Plus(r) => self.path_pairs(r, s, o, false),
+        }
+    }
+
+    /// Pairs `(a, b)` with `a —r→* b` (or `+` when `reflexive` is false).
+    fn path_pairs(
+        &mut self,
+        r: RelationId,
+        s: Option<Term>,
+        o: Option<Term>,
+        reflexive: bool,
+    ) -> Vec<(Term, Term)> {
+        match (s, o) {
+            (Some(s), Some(o)) => {
+                let reach = self.forward(r, s);
+                let hit = if s == o {
+                    reflexive || reach.contains(&o)
+                } else {
+                    reach.contains(&o)
+                };
+                if hit {
+                    vec![(s, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), None) => {
+                let mut v: Vec<(Term, Term)> = self.forward(r, s).iter().map(|&t| (s, t)).collect();
+                if reflexive {
+                    v.push((s, s));
+                }
+                v
+            }
+            (None, Some(o)) => {
+                let mut v: Vec<(Term, Term)> =
+                    self.backward(r, o).iter().map(|&t| (t, o)).collect();
+                if reflexive {
+                    v.push((o, o));
+                }
+                v
+            }
+            (None, None) => {
+                // Unconstrained path: enumerate from every node incident to a
+                // matching edge; reflexive pairs over all vocabulary elements.
+                let rels = self.match_relations(r);
+                let mut nodes: HashSet<Term> = HashSet::new();
+                for &rel in &rels {
+                    for t in self.ontology.store().matching(None, Some(rel), None) {
+                        nodes.insert(t.subject);
+                        nodes.insert(t.object);
+                    }
+                }
+                let mut pairs = Vec::new();
+                if reflexive {
+                    for (e, _) in self.ontology.vocabulary().elements() {
+                        pairs.push((Term::Element(e), Term::Element(e)));
+                    }
+                }
+                let nodes: Vec<Term> = nodes.into_iter().collect();
+                for n in nodes {
+                    for t in self.forward(r, n) {
+                        pairs.push((n, t));
+                    }
+                }
+                pairs
+            }
+        }
+    }
+
+    /// Nodes strictly reachable from `from` via matching edges (excludes
+    /// `from` unless it lies on a cycle).
+    fn forward(&mut self, r: RelationId, from: Term) -> Vec<Term> {
+        if let Some(v) = self.fwd_closure.get(&(r, from)) {
+            return v.clone();
+        }
+        let rels = self.match_relations(r);
+        let set = bfs(from, |n| {
+            let mut next = Vec::new();
+            for &rel in &rels {
+                next.extend(self.ontology.store().objects(n, rel));
+            }
+            next
+        });
+        self.fwd_closure.insert((r, from), set.clone());
+        set
+    }
+
+    /// Nodes that strictly reach `to` via matching edges.
+    fn backward(&mut self, r: RelationId, to: Term) -> Vec<Term> {
+        if let Some(v) = self.bwd_closure.get(&(r, to)) {
+            return v.clone();
+        }
+        let rels = self.match_relations(r);
+        let set = bfs(to, |n| {
+            let mut next = Vec::new();
+            for &rel in &rels {
+                next.extend(self.ontology.store().subjects(rel, n));
+            }
+            next
+        });
+        self.bwd_closure.insert((r, to), set.clone());
+        set
+    }
+}
+
+/// Distinct nodes reachable in ≥1 step from `start` under `next`.
+fn bfs<F>(start: Term, mut next: F) -> Vec<Term>
+where
+    F: FnMut(Term) -> Vec<Term>,
+{
+    let mut seen: HashSet<Term> = HashSet::new();
+    let mut queue = vec![start];
+    let mut out = Vec::new();
+    while let Some(n) = queue.pop() {
+        for m in next(n) {
+            if seen.insert(m) {
+                out.push(m);
+                queue.push(m);
+            }
+        }
+    }
+    out
+}
+
+fn resolve(t: &PatTerm, binding: &Binding) -> Option<Term> {
+    match t {
+        PatTerm::Const(c) => Some(*c),
+        PatTerm::Var(v) => binding.get(*v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_patterns;
+    use oassis_store::ontology::figure1_ontology;
+
+    fn eval(src: &str, mode: MatchMode) -> (Vec<Binding>, VarTable, oassis_store::Ontology) {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let pats = parse_patterns(src, &o, &mut vars).unwrap();
+        let res = evaluate(&o, &pats, &vars, mode);
+        (res, vars, o)
+    }
+
+    fn names(
+        results: &[Binding],
+        vars: &VarTable,
+        o: &oassis_store::Ontology,
+        var: &str,
+    ) -> Vec<String> {
+        let v = vars.get(var).unwrap();
+        let mut out: Vec<String> = results
+            .iter()
+            .filter_map(|b| b.get(v))
+            .filter_map(|t| t.as_element())
+            .map(|e| o.vocabulary().element_name(e).to_owned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn star_path_is_reflexive_transitive() {
+        let (res, vars, o) = eval("$w subClassOf* Attraction", MatchMode::Syntactic);
+        let ws = names(&res, &vars, &o, "w");
+        assert!(ws.contains(&"Attraction".to_owned()), "reflexive: {ws:?}");
+        assert!(ws.contains(&"Park".to_owned()), "transitive: {ws:?}");
+        assert!(ws.contains(&"Zoo".to_owned()));
+        // Instances are reached only via instanceOf, not subClassOf.
+        assert!(!ws.contains(&"Central Park".to_owned()));
+    }
+
+    #[test]
+    fn plus_path_excludes_reflexive() {
+        let (res, vars, o) = eval("$w subClassOf+ Attraction", MatchMode::Syntactic);
+        let ws = names(&res, &vars, &o, "w");
+        assert!(!ws.contains(&"Attraction".to_owned()));
+        assert!(ws.contains(&"Park".to_owned()));
+    }
+
+    #[test]
+    fn join_instances_of_star_classes() {
+        let (res, vars, o) = eval(
+            "$w subClassOf* Attraction. $x instanceOf $w",
+            MatchMode::Syntactic,
+        );
+        let xs = names(&res, &vars, &o, "x");
+        assert_eq!(xs, ["Bronx Zoo", "Central Park", "Madison Square"]);
+    }
+
+    #[test]
+    fn label_filter() {
+        let (res, vars, o) = eval(
+            r#"$x instanceOf Park. $x hasLabel "child-friendly""#,
+            MatchMode::Syntactic,
+        );
+        let xs = names(&res, &vars, &o, "x");
+        assert_eq!(xs, ["Central Park", "Madison Square"]);
+    }
+
+    #[test]
+    fn semantic_mode_matches_relation_specializations() {
+        // nearBy ≤R inside, so `$a nearBy NYC` semantically matches the
+        // stored `Central Park inside NYC`.
+        let (res, vars, o) = eval("$a nearBy NYC", MatchMode::Semantic);
+        let xs = names(&res, &vars, &o, "a");
+        assert!(xs.contains(&"Central Park".to_owned()), "{xs:?}");
+        let (res_syn, vars2, o2) = eval("$a nearBy NYC", MatchMode::Syntactic);
+        assert!(
+            !names(&res_syn, &vars2, &o2, "a").contains(&"Central Park".to_owned()),
+            "syntactic mode must not"
+        );
+    }
+
+    #[test]
+    fn running_example_where_clause_has_expected_assignments() {
+        let src = r#"
+            $w subClassOf* Attraction.
+            $x instanceOf $w.
+            $x inside NYC.
+            $x hasLabel "child-friendly".
+            $y subClassOf* Activity.
+            $z instanceOf Restaurant.
+            $z nearBy $x
+        "#;
+        let (res, vars, o) = eval(src, MatchMode::Syntactic);
+        assert!(!res.is_empty());
+        let xs = names(&res, &vars, &o, "x");
+        // Bronx Zoo (Pine nearBy), Central Park and Madison Square (Maoz).
+        assert_eq!(xs, ["Bronx Zoo", "Central Park", "Madison Square"]);
+        let ys = names(&res, &vars, &o, "y");
+        assert!(ys.contains(&"Biking".to_owned()));
+        assert!(ys.contains(&"Sport".to_owned()), "classes are included");
+        let zs = names(&res, &vars, &o, "z");
+        assert_eq!(zs, ["Maoz Veg.", "Pine"]);
+        // The φ16 combination exists: x=Central Park, y=Biking, z=Maoz Veg.
+        let (x, y, z) = (
+            vars.get("x").unwrap(),
+            vars.get("y").unwrap(),
+            vars.get("z").unwrap(),
+        );
+        let v = o.vocabulary();
+        let phi16 = res.iter().any(|b| {
+            b.get(x) == Some(v.element("Central Park").unwrap().into())
+                && b.get(y) == Some(v.element("Biking").unwrap().into())
+                && b.get(z) == Some(v.element("Maoz Veg.").unwrap().into())
+        });
+        assert!(phi16, "φ16 must be a valid assignment");
+    }
+
+    #[test]
+    fn fully_bound_pattern_checks_membership() {
+        let (res, _, _) = eval("<Central Park> inside NYC", MatchMode::Syntactic);
+        assert_eq!(res.len(), 1, "one empty binding = true");
+        let (res, _, _) = eval("NYC inside <Central Park>", MatchMode::Syntactic);
+        assert!(res.is_empty(), "no binding = false");
+    }
+
+    #[test]
+    fn both_free_star_includes_reflexive_pairs() {
+        let (res, vars, o) = eval("$a subClassOf* $b", MatchMode::Syntactic);
+        let v = o.vocabulary();
+        let biking: Term = v.element("Biking").unwrap().into();
+        let sport: Term = v.element("Sport").unwrap().into();
+        let a = vars.get("a").unwrap();
+        let b = vars.get("b").unwrap();
+        assert!(res
+            .iter()
+            .any(|r| r.get(a) == Some(biking) && r.get(b) == Some(biking)));
+        assert!(res
+            .iter()
+            .any(|r| r.get(a) == Some(biking) && r.get(b) == Some(sport)));
+        assert!(!res
+            .iter()
+            .any(|r| r.get(a) == Some(sport) && r.get(b) == Some(biking)));
+    }
+
+    #[test]
+    fn shared_variable_join_is_consistent() {
+        // $x must be the same element in both patterns.
+        let (res, vars, o) = eval(
+            "$x inside NYC. $x hasLabel \"child-friendly\"",
+            MatchMode::Syntactic,
+        );
+        let xs = names(&res, &vars, &o, "x");
+        assert_eq!(xs, ["Bronx Zoo", "Central Park", "Madison Square"]);
+    }
+
+    #[test]
+    fn no_matches_yields_empty() {
+        let (res, _, _) = eval("NYC nearBy NYC", MatchMode::Syntactic);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn results_are_distinct() {
+        let (res, _, _) = eval("$x inside NYC. $x inside NYC", MatchMode::Syntactic);
+        let mut seen = std::collections::HashSet::new();
+        for b in &res {
+            assert!(seen.insert(b.clone()), "duplicate binding {b:?}");
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Tokenizer shared by the SPARQL pattern parser and the OASSIS-QL parser.
+//!
+//! Names are bare identifiers (`Attraction`, `doAt`) or angle-bracketed when
+//! they contain spaces or punctuation (`<Central Park>`, `<Maoz Veg.>`).
+//! Variables are `$ident`; string literals are double-quoted; `[]` is the
+//! blank term; `*`, `+`, `?` modify paths or multiplicities; `.` separates
+//! patterns; `=` and numbers appear in `WITH SUPPORT = 0.4`; `{`/`}` delimit
+//! explicit multiplicities.
+
+use crate::error::SparqlError;
+
+/// A lexical token with its 1-based source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare or angle-bracketed name (also used for language keywords).
+    Name(String),
+    /// `$x` — a variable (payload excludes the sigil).
+    Var(String),
+    /// `"..."` — a string literal (payload excludes the quotes).
+    Literal(String),
+    /// `[]` — the blank / don't-care term.
+    Blank,
+    /// `.` — pattern separator.
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `=`
+    Equals,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// An unsigned decimal number, kept as text (`0.4`, `12`).
+    Number(String),
+}
+
+impl TokenKind {
+    /// The name payload, if this token is a name.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            TokenKind::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize `src`. Comments run from `#` to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '$' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_name_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(SparqlError::Lex {
+                        line,
+                        msg: "expected variable name after `$`".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Var(name),
+                    line,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(SparqlError::Lex {
+                        line,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Literal(s),
+                    line,
+                });
+            }
+            '<' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '>' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed || s.trim().is_empty() {
+                    return Err(SparqlError::Lex {
+                        line,
+                        msg: "unterminated or empty `<...>` name".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Name(s.trim().to_owned()),
+                    line,
+                });
+            }
+            '[' => {
+                chars.next();
+                if chars.next() != Some(']') {
+                    return Err(SparqlError::Lex {
+                        line,
+                        msg: "expected `]` after `[`".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Blank,
+                    line,
+                });
+            }
+            '.' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
+            }
+            '*' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
+            }
+            '+' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
+            }
+            '?' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Question,
+                    line,
+                });
+            }
+            '=' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
+            }
+            '{' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+            }
+            '}' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // A fractional part: only consume the `.` if a digit follows,
+                // so `5.` still lexes as number-then-separator.
+                let mut look = chars.clone();
+                if look.next() == Some('.') {
+                    if let Some(d) = look.next() {
+                        if d.is_ascii_digit() {
+                            s.push('.');
+                            chars.next();
+                            while let Some(&c) = chars.peek() {
+                                if c.is_ascii_digit() {
+                                    s.push(c);
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Number(s),
+                    line,
+                });
+            }
+            c if is_name_char(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_name_char(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Name(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(SparqlError::Lex {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_pattern_line() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("$w subClassOf* Attraction."),
+            vec![
+                Var("w".into()),
+                Name("subClassOf".into()),
+                Star,
+                Name("Attraction".into()),
+                Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn angle_names_and_literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"$x hasLabel "child-friendly". <Maoz Veg.> nearBy $x"#),
+            vec![
+                Var("x".into()),
+                Name("hasLabel".into()),
+                Literal("child-friendly".into()),
+                Dot,
+                Name("Maoz Veg.".into()),
+                Name("nearBy".into()),
+                Var("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_and_multiplicity_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("$y+ doAt $x. [] eatAt $z"),
+            vec![
+                Var("y".into()),
+                Plus,
+                Name("doAt".into()),
+                Var("x".into()),
+                Dot,
+                Blank,
+                Name("eatAt".into()),
+                Var("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_equals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("WITH SUPPORT = 0.4"),
+            vec![
+                Name("WITH".into()),
+                Name("SUPPORT".into()),
+                Equals,
+                Number("0.4".into())
+            ]
+        );
+        assert_eq!(kinds("{2}"), vec![LBrace, Number("2".into()), RBrace]);
+    }
+
+    #[test]
+    fn integer_followed_by_dot_separator() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("5. x"),
+            vec![Number("5".into()), Dot, Name("x".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("# hi\n$x doAt $y\n$z").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("$ x").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("<unclosed").is_err());
+        assert!(tokenize("[x]").is_err());
+        assert!(tokenize("%").is_err());
+        assert!(tokenize("<  >").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # oassis-sparql
+//!
+//! A from-scratch evaluator for the SPARQL fragment that OASSIS-QL builds on
+//! (the paper's prototype delegated this part to RDFLIB's SPARQL engine):
+//!
+//! * basic graph patterns over the ontology's triple store,
+//! * variables (`$x`), constants, string literals and the blank `[]`,
+//! * property paths `rel*` (reflexive-transitive) and `rel+` (transitive),
+//!   e.g. `$w subClassOf* Attraction`,
+//! * two matching modes: plain syntactic SPARQL matching, and *semantic*
+//!   matching where a pattern relation also matches its `≤R`-specializations
+//!   (`$z nearBy $x` matches a stored `inside` triple because
+//!   `nearBy ≤R inside`), which is what Definition 2.5's validity test
+//!   `φ(A_WHERE) ≤ O` requires.
+//!
+//! The evaluator performs a backtracking join with a greedy
+//! most-selective-pattern-first order, memoizing path closures per query.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{PatTerm, PropPath, TriplePattern, Var, VarTable};
+pub use error::SparqlError;
+pub use eval::{evaluate, Binding, MatchMode};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_patterns;

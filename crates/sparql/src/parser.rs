@@ -1,0 +1,287 @@
+//! Parser for basic graph patterns (the body of a WHERE clause).
+//!
+//! Grammar (one pattern per `.`-separated statement; final `.` optional):
+//!
+//! ```text
+//! patterns := pattern (DOT pattern)* DOT?
+//! pattern  := term path term
+//! term     := VAR | NAME | LITERAL | '[]'
+//! path     := NAME ('*' | '+')?
+//! ```
+//!
+//! Names resolve against the ontology at parse time: subjects/objects to
+//! elements (or literals when quoted), paths to relations. The blank `[]`
+//! becomes a fresh anonymous variable.
+
+use oassis_store::Ontology;
+
+use crate::ast::{PatTerm, PropPath, TriplePattern, VarTable};
+use crate::error::SparqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a WHERE-style pattern block into triple patterns.
+///
+/// `vars` is shared so OASSIS-QL can parse its WHERE and SATISFYING clauses
+/// against a single variable namespace.
+pub fn parse_patterns(
+    src: &str,
+    ontology: &Ontology,
+    vars: &mut VarTable,
+) -> Result<Vec<TriplePattern>, SparqlError> {
+    let tokens = tokenize(src)?;
+    let mut p = PatternParser {
+        tokens: &tokens,
+        pos: 0,
+        ontology,
+    };
+    p.patterns(vars)
+}
+
+/// Cursor-based pattern parser over a token slice.
+///
+/// Exposed (doc-hidden) so the OASSIS-QL parser can reuse the WHERE-clause
+/// grammar over its own token stream.
+#[doc(hidden)]
+pub struct PatternParser<'a> {
+    /// The full token stream.
+    pub tokens: &'a [Token],
+    /// Current cursor.
+    pub pos: usize,
+    /// Ontology used for name resolution.
+    pub ontology: &'a Ontology,
+}
+
+impl<'a> PatternParser<'a> {
+    /// Peek the current token.
+    pub fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Consume and return the current token.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    /// Line number at the cursor (for error messages).
+    pub fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    /// Parse `pattern (DOT pattern)* DOT?` until end of tokens.
+    pub fn patterns(&mut self, vars: &mut VarTable) -> Result<Vec<TriplePattern>, SparqlError> {
+        let mut out = Vec::new();
+        loop {
+            if self.peek().is_none() {
+                break;
+            }
+            out.push(self.pattern(vars)?);
+            match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Dot) => {
+                    self.next();
+                }
+                None => break,
+                Some(_) => {
+                    return Err(SparqlError::Parse {
+                        line: self.line(),
+                        msg: "expected `.` between patterns".into(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn pattern(&mut self, vars: &mut VarTable) -> Result<TriplePattern, SparqlError> {
+        let subject = self.term(vars, "subject")?;
+        let path = self.path()?;
+        let object = self.term(vars, "object")?;
+        Ok(TriplePattern::new(subject, path, object))
+    }
+
+    pub fn term(
+        &mut self,
+        vars: &mut VarTable,
+        position: &'static str,
+    ) -> Result<PatTerm, SparqlError> {
+        let line = self.line();
+        match self.next().map(|t| &t.kind) {
+            Some(TokenKind::Var(name)) => Ok(PatTerm::Var(vars.var(name))),
+            Some(TokenKind::Blank) => Ok(PatTerm::Var(vars.fresh("blank"))),
+            Some(TokenKind::Name(name)) => {
+                let e = self.ontology.vocabulary().element(name).ok_or_else(|| {
+                    SparqlError::UnknownName {
+                        line,
+                        name: name.clone(),
+                        expected: "element",
+                    }
+                })?;
+                Ok(PatTerm::Const(e.into()))
+            }
+            Some(TokenKind::Literal(s)) => {
+                let l = self
+                    .ontology
+                    .literal(s)
+                    .ok_or_else(|| SparqlError::UnknownName {
+                        line,
+                        name: s.clone(),
+                        expected: "literal",
+                    })?;
+                Ok(PatTerm::Const(l.into()))
+            }
+            other => Err(SparqlError::Parse {
+                line,
+                msg: format!("expected {position} term, got {other:?}"),
+            }),
+        }
+    }
+
+    pub fn path(&mut self) -> Result<PropPath, SparqlError> {
+        let line = self.line();
+        let Some(TokenKind::Name(name)) = self.next().map(|t| &t.kind) else {
+            return Err(SparqlError::Parse {
+                line,
+                msg: "expected relation name".into(),
+            });
+        };
+        let rel =
+            self.ontology
+                .vocabulary()
+                .relation(name)
+                .ok_or_else(|| SparqlError::UnknownName {
+                    line,
+                    name: name.clone(),
+                    expected: "relation",
+                })?;
+        match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Star) => {
+                self.next();
+                Ok(PropPath::Star(rel))
+            }
+            Some(TokenKind::Plus) => {
+                self.next();
+                Ok(PropPath::Plus(rel))
+            }
+            _ => Ok(PropPath::Rel(rel)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_store::ontology::figure1_ontology;
+
+    #[test]
+    fn parses_the_running_example_where_clause() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let src = r#"
+            $w subClassOf* Attraction.
+            $x instanceOf $w.
+            $x inside NYC.
+            $x hasLabel "child-friendly".
+            $y subClassOf* Activity .
+            $z instanceOf Restaurant.
+            $z nearBy $x
+        "#;
+        let pats = parse_patterns(src, &o, &mut vars).unwrap();
+        assert_eq!(pats.len(), 7);
+        assert_eq!(vars.len(), 4);
+        assert!(matches!(pats[0].path, PropPath::Star(_)));
+        assert!(matches!(pats[1].path, PropPath::Rel(_)));
+        // `$x inside NYC` resolves NYC as a constant element.
+        assert!(matches!(pats[2].object, PatTerm::Const(_)));
+        // `$x hasLabel "child-friendly"` resolves the literal.
+        assert!(matches!(pats[3].object, PatTerm::Const(t) if t.as_literal().is_some()));
+    }
+
+    #[test]
+    fn blank_allocates_fresh_vars() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let pats = parse_patterns("[] eatAt $z. [] eatAt $z", &o, &mut vars).unwrap();
+        assert_eq!(pats.len(), 2);
+        let b1 = pats[0].subject.as_var().unwrap();
+        let b2 = pats[1].subject.as_var().unwrap();
+        assert_ne!(b1, b2, "each [] is a distinct variable");
+        assert!(vars.is_anon(b1));
+    }
+
+    #[test]
+    fn trailing_dot_is_optional() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        assert_eq!(
+            parse_patterns("$x inside NYC.", &o, &mut vars)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            parse_patterns("$x inside NYC", &o, &mut vars)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_reported_with_kind() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let err = parse_patterns("$x inside Gotham", &o, &mut vars).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::UnknownName {
+                expected: "element",
+                ..
+            }
+        ));
+        let err = parse_patterns("$x orbits NYC", &o, &mut vars).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::UnknownName {
+                expected: "relation",
+                ..
+            }
+        ));
+        let err = parse_patterns(r#"$x hasLabel "spooky""#, &o, &mut vars).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::UnknownName {
+                expected: "literal",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_separator_is_an_error() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        assert!(parse_patterns("$x inside NYC $y inside NYC", &o, &mut vars).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_patterns() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        assert!(parse_patterns("  # nothing\n", &o, &mut vars)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn angle_bracket_names_resolve() {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let pats = parse_patterns("<Maoz Veg.> nearBy <Central Park>", &o, &mut vars).unwrap();
+        assert_eq!(pats.len(), 1);
+        assert!(matches!(pats[0].subject, PatTerm::Const(_)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for ontology construction and parsing.
+
+use std::fmt;
+
+use oassis_vocab::VocabError;
+
+/// Errors raised while building or parsing an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A vocabulary-level error (cycle, unknown name, ...).
+    Vocab(VocabError),
+    /// A malformed line in the [`text`](crate::text) ontology format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Vocab(e) => write!(f, "vocabulary error: {e}"),
+            StoreError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Vocab(e) => Some(e),
+            StoreError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<VocabError> for StoreError {
+    fn from(e: VocabError) -> Self {
+        StoreError::Vocab(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = StoreError::Parse {
+            line: 3,
+            msg: "bad triple".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_none());
+
+        let v: StoreError = VocabError::TaxonomyCycle.into();
+        assert!(v.source().is_some());
+    }
+}

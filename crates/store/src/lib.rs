@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # oassis-store
+//!
+//! An RDF-style triple store and the OASSIS [`Ontology`] built on top of it.
+//!
+//! The paper's prototype used Python's RDFLIB; this crate is the from-scratch
+//! Rust substrate replacing it. It provides:
+//!
+//! * [`Term`]s — vocabulary elements plus string [`literals`](Term::Literal)
+//!   (used for `hasLabel "child-friendly"`-style facts),
+//! * an indexed, immutable [`TripleStore`] with `SPO`/`POS`/`OSP` orderings
+//!   for efficient pattern matching,
+//! * the [`Ontology`]: a vocabulary plus a store of "universal truth" facts,
+//!   with the semantic implication check `A ≤ O` of Definition 2.5 that the
+//!   WHERE-clause validity test relies on,
+//! * a line-oriented [`text`] format for authoring ontologies in examples and
+//!   tests.
+
+pub mod error;
+pub mod ontology;
+pub mod store;
+pub mod term;
+pub mod text;
+pub mod triple;
+
+pub use error::StoreError;
+pub use ontology::{Ontology, OntologyBuilder};
+pub use store::TripleStore;
+pub use term::{LiteralId, Term};
+pub use triple::Triple;

@@ -1,0 +1,536 @@
+//! The ontology `O`: a vocabulary plus a store of universal facts.
+//!
+//! Per Section 2 of the paper, the ontology is itself a fact-set whose facts
+//! hold "for all people at all times" (e.g. `Central Park inside NYC`).
+//! The relations `subClassOf` and `instanceOf` coincide with the reverse of
+//! the element order `≤E`; [`OntologyBuilder`] therefore feeds such triples
+//! into the vocabulary taxonomy automatically, keeping the two views in sync.
+
+use std::collections::HashMap;
+
+use oassis_vocab::{
+    ElementId, Fact, FactSet, RelationId, VocabError, Vocabulary, VocabularyBuilder,
+};
+
+use crate::store::TripleStore;
+use crate::term::{LiteralId, Term};
+use crate::triple::Triple;
+
+/// The canonical name of the subclass relation.
+pub const SUB_CLASS_OF: &str = "subClassOf";
+/// The canonical name of the instance relation.
+pub const INSTANCE_OF: &str = "instanceOf";
+/// The canonical name of the labeling relation.
+pub const HAS_LABEL: &str = "hasLabel";
+
+/// Builder for an [`Ontology`].
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    vocab: VocabularyBuilder,
+    triples: Vec<Triple>,
+    literal_names: Vec<String>,
+    literal_ids: HashMap<String, LiteralId>,
+}
+
+impl OntologyBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the underlying vocabulary builder (for relation orders etc.).
+    pub fn vocab_mut(&mut self) -> &mut VocabularyBuilder {
+        &mut self.vocab
+    }
+
+    /// Intern a literal string.
+    pub fn literal(&mut self, s: &str) -> LiteralId {
+        if let Some(&id) = self.literal_ids.get(s) {
+            return id;
+        }
+        let id = LiteralId(self.literal_names.len() as u32);
+        self.literal_names.push(s.to_owned());
+        self.literal_ids.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Add the fact `subject relation object` (all vocabulary elements).
+    ///
+    /// `subClassOf` and `instanceOf` triples additionally record the
+    /// corresponding `≤E` edge (`object ≤E subject`).
+    pub fn triple(&mut self, subject: &str, relation: &str, object: &str) -> &mut Self {
+        let s = self.vocab.element(subject);
+        let r = self.vocab.relation(relation);
+        let o = self.vocab.element(object);
+        if relation == SUB_CLASS_OF || relation == INSTANCE_OF {
+            self.vocab.element_isa_ids(s, o);
+        }
+        self.triples.push(Triple::new(s, r, o));
+        self
+    }
+
+    /// Add `element hasLabel "label"`.
+    pub fn label(&mut self, element: &str, label: &str) -> &mut Self {
+        let e = self.vocab.element(element);
+        let r = self.vocab.relation(HAS_LABEL);
+        let l = self.literal(label);
+        self.triples.push(Triple::new(e, r, l));
+        self
+    }
+
+    /// Shorthand for `triple(specific, "subClassOf", general)`.
+    pub fn subclass(&mut self, specific: &str, general: &str) -> &mut Self {
+        self.triple(specific, SUB_CLASS_OF, general)
+    }
+
+    /// Shorthand for `triple(instance, "instanceOf", class)`.
+    pub fn instance(&mut self, instance: &str, class: &str) -> &mut Self {
+        self.triple(instance, INSTANCE_OF, class)
+    }
+
+    /// Record `general ≤R specific` in the relation order, e.g.
+    /// `relation_isa("inside", "nearBy")` for the paper's `nearBy ≤R inside`.
+    pub fn relation_isa(&mut self, specific: &str, general: &str) -> &mut Self {
+        self.vocab.relation_isa(specific, general);
+        self
+    }
+
+    /// Declare an element without any facts about it (vocabulary-only terms,
+    /// like `Boathouse` in Example 2.4, which crowd members may mention even
+    /// though the ontology knows nothing about them).
+    pub fn element(&mut self, name: &str) -> &mut Self {
+        self.vocab.element(name);
+        self
+    }
+
+    /// Declare a relation without any facts using it.
+    pub fn relation(&mut self, name: &str) -> &mut Self {
+        self.vocab.relation(name);
+        self
+    }
+
+    /// Finalize into an [`Ontology`].
+    pub fn build(self) -> Result<Ontology, VocabError> {
+        let vocab = self.vocab.build()?;
+        let sub_class_of = vocab.relation(SUB_CLASS_OF);
+        let instance_of = vocab.relation(INSTANCE_OF);
+        let has_label = vocab.relation(HAS_LABEL);
+        Ok(Ontology {
+            store: TripleStore::from_triples(self.triples),
+            vocab,
+            literal_names: self.literal_names,
+            literal_ids: self.literal_ids,
+            sub_class_of,
+            instance_of,
+            has_label,
+        })
+    }
+}
+
+/// An immutable ontology: vocabulary, universal facts, and label literals.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    vocab: Vocabulary,
+    store: TripleStore,
+    literal_names: Vec<String>,
+    literal_ids: HashMap<String, LiteralId>,
+    sub_class_of: Option<RelationId>,
+    instance_of: Option<RelationId>,
+    has_label: Option<RelationId>,
+}
+
+impl Ontology {
+    /// Start building an ontology.
+    pub fn builder() -> OntologyBuilder {
+        OntologyBuilder::new()
+    }
+
+    /// The vocabulary (terms + semantic orders).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The raw triple store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The `subClassOf` relation id, if any triple used it.
+    pub fn sub_class_of(&self) -> Option<RelationId> {
+        self.sub_class_of
+    }
+
+    /// The `instanceOf` relation id, if any triple used it.
+    pub fn instance_of(&self) -> Option<RelationId> {
+        self.instance_of
+    }
+
+    /// The `hasLabel` relation id, if any label was declared.
+    pub fn has_label(&self) -> Option<RelationId> {
+        self.has_label
+    }
+
+    /// Look up an interned literal.
+    pub fn literal(&self, s: &str) -> Option<LiteralId> {
+        self.literal_ids.get(s).copied()
+    }
+
+    /// The string of a literal id.
+    pub fn literal_str(&self, id: LiteralId) -> &str {
+        &self.literal_names[id.0 as usize]
+    }
+
+    /// Whether `element hasLabel "label"` is stored.
+    pub fn element_has_label(&self, element: ElementId, label: &str) -> bool {
+        match (self.has_label, self.literal(label)) {
+            (Some(r), Some(l)) => self.store.contains(&Triple::new(element, r, l)),
+            _ => false,
+        }
+    }
+
+    /// All labels of `element`.
+    pub fn labels_of<'a>(&'a self, element: ElementId) -> impl Iterator<Item = &'a str> + 'a {
+        self.has_label.into_iter().flat_map(move |r| {
+            self.store
+                .objects(element.into(), r)
+                .filter_map(|t| t.as_literal())
+                .map(|l| self.literal_str(l))
+        })
+    }
+
+    /// Semantic implication of a single fact by the ontology: `{f} ≤ O`
+    /// (Definition 2.5) — some stored element-to-element triple specializes
+    /// `f` in all three positions.
+    pub fn implies_fact(&self, f: &Fact) -> bool {
+        // Scan only relations r' with f.relation ≤R r'.
+        self.vocab
+            .relations_order()
+            .descendants(f.relation)
+            .any(|r| {
+                self.store.matching(None, Some(r), None).any(|t| {
+                    matches!(
+                        (t.subject.as_element(), t.object.as_element()),
+                        (Some(s), Some(o))
+                            if self.vocab.elem_leq(f.subject, s) && self.vocab.elem_leq(f.object, o)
+                    )
+                })
+            })
+    }
+
+    /// Semantic implication of a whole fact-set: `A ≤ O`.
+    pub fn implies_factset(&self, a: &FactSet) -> bool {
+        a.iter().all(|f| self.implies_fact(f))
+    }
+
+    /// Render a triple with names (literals are quoted).
+    pub fn triple_to_string(&self, t: &Triple) -> String {
+        let term = |term: &Term| match term {
+            Term::Element(e) => self.vocab.element_name(*e).to_owned(),
+            Term::Literal(l) => format!("{:?}", self.literal_str(*l)),
+        };
+        format!(
+            "{} {} {}",
+            term(&t.subject),
+            self.vocab.relation_name(t.relation),
+            term(&t.object)
+        )
+    }
+
+    /// Resolve a [`Term`] from a display name: element name, or quoted literal.
+    pub fn term(&self, name: &str) -> Option<Term> {
+        if let Some(stripped) = name.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            self.literal(stripped).map(Term::Literal)
+        } else {
+            self.vocab.element(name).map(Term::Element)
+        }
+    }
+}
+
+/// Build the sample ontology of the paper's Figure 1.
+///
+/// Used across the workspace's tests, examples and benchmarks; kept here so
+/// every crate exercises the same ground truth.
+pub fn figure1_ontology() -> Ontology {
+    let mut b = Ontology::builder();
+    // Activity branch.
+    b.subclass("Activity", "Thing")
+        .subclass("Sport", "Activity")
+        .subclass("Water Sport", "Sport")
+        .subclass("Swimming", "Water Sport")
+        .subclass("Water Polo", "Water Sport")
+        .subclass("Ball Game", "Sport")
+        .subclass("Basketball", "Ball Game")
+        .subclass("Baseball", "Ball Game")
+        .subclass("Biking", "Sport")
+        .instance("Feed a monkey", "Activity");
+    // Food branch.
+    b.subclass("Food", "Thing")
+        .subclass("Falafel", "Food")
+        .subclass("Pasta", "Food");
+    // Place branch.
+    b.subclass("Place", "Thing")
+        .subclass("City", "Place")
+        .instance("NYC", "City")
+        .subclass("Restaurant", "Place")
+        .instance("Maoz Veg.", "Restaurant")
+        .instance("Pine", "Restaurant")
+        .subclass("Attraction", "Place")
+        .subclass("Outdoor", "Attraction")
+        .subclass("Indoor", "Attraction")
+        .subclass("Swimming pool", "Indoor")
+        .subclass("Zoo", "Outdoor")
+        .subclass("Park", "Outdoor")
+        .instance("Bronx Zoo", "Zoo")
+        .instance("Central Park", "Park")
+        .instance("Madison Square", "Park");
+    // Spatial facts.
+    b.triple("Central Park", "inside", "NYC")
+        .triple("Bronx Zoo", "inside", "NYC")
+        .triple("Madison Square", "inside", "NYC")
+        .triple("Maoz Veg.", "nearBy", "Central Park")
+        .triple("Maoz Veg.", "nearBy", "Madison Square")
+        .triple("Pine", "nearBy", "Bronx Zoo");
+    // nearBy ≤R inside (Figure 1's "nearBy ≤ inside").
+    b.relation_isa("inside", "nearBy");
+    // subClassOf ≤R instanceOf: the RDFS-style convention that lets a
+    // semantic `subClassOf*` path also traverse instanceOf edges, which is
+    // how Figure 3 can list `Feed a Monkey` (an *instance* of Activity) as
+    // an assignment for `$y subClassOf* Activity`.
+    b.relation_isa("instanceOf", "subClassOf");
+    // Labels used by the running-example query.
+    b.label("Central Park", "child-friendly")
+        .label("Bronx Zoo", "child-friendly")
+        .label("Madison Square", "child-friendly");
+    // Vocabulary-only terms appearing in personal histories (Example 2.4).
+    b.element("Boathouse").element("Rent Bikes");
+    b.relation("doAt").relation("eatAt");
+    b.build().expect("figure 1 ontology is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_relations_feed_the_taxonomy() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let sport = v.element("Sport").unwrap();
+        let biking = v.element("Biking").unwrap();
+        let cp = v.element("Central Park").unwrap();
+        let attraction = v.element("Attraction").unwrap();
+        assert!(v.elem_leq(sport, biking), "subClassOf edge recorded");
+        assert!(v.elem_leq(attraction, cp), "instanceOf chain recorded");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let o = figure1_ontology();
+        let cp = o.vocabulary().element("Central Park").unwrap();
+        assert!(o.element_has_label(cp, "child-friendly"));
+        assert!(!o.element_has_label(cp, "dog-friendly"));
+        let labels: Vec<_> = o.labels_of(cp).collect();
+        assert_eq!(labels, ["child-friendly"]);
+        let pine = o.vocabulary().element("Pine").unwrap();
+        assert_eq!(o.labels_of(pine).count(), 0);
+    }
+
+    #[test]
+    fn implies_fact_uses_element_order() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let near_by = v.relation("nearBy").unwrap();
+        let inside = v.relation("inside").unwrap();
+        let cp = v.element("Central Park").unwrap();
+        let nyc = v.element("NYC").unwrap();
+        let place = v.element("Place").unwrap();
+
+        // Stored directly.
+        assert!(o.implies_fact(&Fact::new(cp, inside, nyc)));
+        // Generalizing the subject: Place inside NYC is implied.
+        assert!(o.implies_fact(&Fact::new(place, inside, nyc)));
+        // Generalizing the relation: Central Park nearBy NYC is implied
+        // because nearBy ≤R inside and Central Park inside NYC is stored.
+        assert!(o.implies_fact(&Fact::new(cp, near_by, nyc)));
+        // Not implied: NYC inside Central Park.
+        assert!(!o.implies_fact(&Fact::new(nyc, inside, cp)));
+    }
+
+    #[test]
+    fn implies_factset_needs_all_facts() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let inside = v.relation("inside").unwrap();
+        let cp = v.element("Central Park").unwrap();
+        let nyc = v.element("NYC").unwrap();
+        let good = FactSet::from_facts([Fact::new(cp, inside, nyc)]);
+        let bad = FactSet::from_facts([Fact::new(cp, inside, nyc), Fact::new(nyc, inside, cp)]);
+        assert!(o.implies_factset(&good));
+        assert!(!o.implies_factset(&bad));
+        assert!(o.implies_factset(&FactSet::new()));
+    }
+
+    #[test]
+    fn term_resolution() {
+        let o = figure1_ontology();
+        assert!(matches!(o.term("Central Park"), Some(Term::Element(_))));
+        assert!(matches!(
+            o.term("\"child-friendly\""),
+            Some(Term::Literal(_))
+        ));
+        assert!(o.term("Nonexistent").is_none());
+        assert!(o.term("\"no-such-label\"").is_none());
+    }
+
+    #[test]
+    fn triple_rendering() {
+        let o = figure1_ontology();
+        let t = o
+            .store()
+            .iter()
+            .find(|t| t.object.as_literal().is_some())
+            .unwrap();
+        let s = o.triple_to_string(t);
+        assert!(s.contains("hasLabel") && s.contains('"'), "{s}");
+    }
+
+    #[test]
+    fn vocabulary_only_terms_have_no_triples() {
+        let o = figure1_ontology();
+        let boathouse = o.vocabulary().element("Boathouse").unwrap();
+        assert_eq!(
+            o.store()
+                .matching(Some(boathouse.into()), None, None)
+                .count(),
+            0
+        );
+    }
+}
+
+impl Ontology {
+    /// Reconstruct a builder holding this ontology's full contents, for the
+    /// Section 8 extension of *dynamically extending the ontology* (e.g.
+    /// with facts volunteered by the crowd). Interning order is preserved,
+    /// so every existing [`ElementId`]/[`RelationId`] — and therefore any
+    /// cached crowd answer — remains valid in the rebuilt ontology.
+    ///
+    /// ```
+    /// use oassis_store::ontology::figure1_ontology;
+    ///
+    /// let o = figure1_ontology();
+    /// let mut b = o.to_builder();
+    /// b.instance("Boathouse", "Attraction");
+    /// b.triple("Boathouse", "inside", "NYC");
+    /// let extended = b.build().unwrap();
+    /// // Old ids survive:
+    /// assert_eq!(
+    ///     o.vocabulary().element("Central Park"),
+    ///     extended.vocabulary().element("Central Park"),
+    /// );
+    /// // And the new knowledge is queryable.
+    /// let boathouse = extended.vocabulary().element("Boathouse").unwrap();
+    /// let attraction = extended.vocabulary().element("Attraction").unwrap();
+    /// assert!(extended.vocabulary().elem_leq(attraction, boathouse));
+    /// ```
+    pub fn to_builder(&self) -> OntologyBuilder {
+        let mut b = OntologyBuilder::new();
+        // Intern all names in id order so ids stay stable.
+        for (_, name) in self.vocab.elements() {
+            b.element(name);
+        }
+        for (_, name) in self.vocab.relations() {
+            b.relation(name);
+        }
+        for name in &self.literal_names {
+            b.literal(name);
+        }
+        // Relation-order edges (element-order edges are re-derived from the
+        // subClassOf/instanceOf triples below; explicit extra element edges
+        // do not occur through the public builder API).
+        for (r, name) in self.vocab.relations() {
+            for &p in self.vocab.relations_order().parents(r) {
+                let parent_name = self.vocab.relation_name(p).to_owned();
+                b.relation_isa(name, &parent_name);
+            }
+        }
+        // Triples (labels via the literal path).
+        for t in self.store.iter() {
+            match (t.subject, t.object) {
+                (Term::Element(s), Term::Element(o)) => {
+                    b.triple(
+                        self.vocab.element_name(s),
+                        self.vocab.relation_name(t.relation),
+                        self.vocab.element_name(o),
+                    );
+                }
+                (Term::Element(s), Term::Literal(l)) => {
+                    b.label(self.vocab.element_name(s), self.literal_str(l));
+                }
+                _ => {}
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod evolution_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let o = figure1_ontology();
+        let rebuilt = o.to_builder().build().unwrap();
+        assert_eq!(
+            o.vocabulary().num_elements(),
+            rebuilt.vocabulary().num_elements()
+        );
+        assert_eq!(
+            o.vocabulary().num_relations(),
+            rebuilt.vocabulary().num_relations()
+        );
+        assert_eq!(o.store().len(), rebuilt.store().len());
+        // Ids stable.
+        for (id, name) in o.vocabulary().elements() {
+            assert_eq!(rebuilt.vocabulary().element(name), Some(id));
+        }
+        for (id, name) in o.vocabulary().relations() {
+            assert_eq!(rebuilt.vocabulary().relation(name), Some(id));
+        }
+        // Orders stable.
+        let v = o.vocabulary();
+        let rv = rebuilt.vocabulary();
+        let sport = v.element("Sport").unwrap();
+        let biking = v.element("Biking").unwrap();
+        assert_eq!(v.elem_leq(sport, biking), rv.elem_leq(sport, biking));
+        let near_by = v.relation("nearBy").unwrap();
+        let inside = v.relation("inside").unwrap();
+        assert_eq!(v.rel_leq(near_by, inside), rv.rel_leq(near_by, inside));
+        // Labels stable.
+        let cp = v.element("Central Park").unwrap();
+        assert!(rebuilt.element_has_label(cp, "child-friendly"));
+    }
+
+    #[test]
+    fn extension_adds_knowledge_without_disturbing_ids() {
+        let o = figure1_ontology();
+        let mut b = o.to_builder();
+        b.subclass("Kayaking", "Water Sport");
+        b.label("Madison Square", "dog-friendly");
+        let extended = b.build().unwrap();
+        // New terms exist and are ordered correctly.
+        let kayaking = extended.vocabulary().element("Kayaking").unwrap();
+        let sport = extended.vocabulary().element("Sport").unwrap();
+        assert!(extended.vocabulary().elem_leq(sport, kayaking));
+        // Old ids unchanged (cached crowd answers stay valid).
+        for (id, name) in o.vocabulary().elements() {
+            assert_eq!(extended.vocabulary().element(name), Some(id));
+        }
+        let ms = extended.vocabulary().element("Madison Square").unwrap();
+        assert!(extended.element_has_label(ms, "dog-friendly"));
+        assert!(
+            extended.element_has_label(ms, "child-friendly"),
+            "old label kept"
+        );
+    }
+}

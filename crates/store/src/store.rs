@@ -1,0 +1,234 @@
+//! An immutable triple store with three index orderings.
+//!
+//! The store keeps each triple in three sorted permutations — `SPO`, `POS`,
+//! `OSP` — so that any pattern with at least one bound position is answered
+//! by a binary-searched contiguous range, the classic scheme used by RDF
+//! engines (and by RDFLIB, which the paper's prototype used).
+
+use oassis_vocab::RelationId;
+
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// An immutable, fully indexed set of [`Triple`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    /// Sorted by (subject, relation, object). This is also the canonical set.
+    spo: Vec<Triple>,
+    /// Sorted by (relation, object, subject).
+    pos: Vec<Triple>,
+    /// Sorted by (object, subject, relation).
+    osp: Vec<Triple>,
+}
+
+impl TripleStore {
+    /// Build a store from any triple collection (duplicates are removed).
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        let mut spo: Vec<Triple> = triples.into_iter().collect();
+        spo.sort_unstable();
+        spo.dedup();
+        let mut pos = spo.clone();
+        pos.sort_unstable_by_key(|t| (t.relation, t.object, t.subject));
+        let mut osp = spo.clone();
+        osp.sort_unstable_by_key(|t| (t.object, t.subject, t.relation));
+        TripleStore { spo, pos, osp }
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterate all triples in `SPO` order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Triple> {
+        self.spo.iter()
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo.binary_search(t).is_ok()
+    }
+
+    /// All triples matching a pattern; `None` positions are wildcards.
+    ///
+    /// Uses the most selective available index: `SPO` when the subject is
+    /// bound, otherwise `POS` when the relation is bound, otherwise `OSP`
+    /// when the object is bound, otherwise a full scan.
+    pub fn matching<'a>(
+        &'a self,
+        s: Option<Term>,
+        r: Option<RelationId>,
+        o: Option<Term>,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
+        let slice: &[Triple] = match (s, r, o) {
+            (Some(s), Some(r), _) => range(&self.spo, |t| (t.subject, t.relation).cmp(&(s, r))),
+            (Some(s), None, _) => range(&self.spo, |t| t.subject.cmp(&s)),
+            (None, Some(r), Some(o)) => range(&self.pos, |t| (t.relation, t.object).cmp(&(r, o))),
+            (None, Some(r), None) => range(&self.pos, |t| t.relation.cmp(&r)),
+            (None, None, Some(o)) => range(&self.osp, |t| t.object.cmp(&o)),
+            (None, None, None) => &self.spo,
+        };
+        slice.iter().filter(move |t| {
+            s.is_none_or(|s| t.subject == s)
+                && r.is_none_or(|r| t.relation == r)
+                && o.is_none_or(|o| t.object == o)
+        })
+    }
+
+    /// Count triples matching a pattern (used for join-order selectivity).
+    pub fn count_matching(&self, s: Option<Term>, r: Option<RelationId>, o: Option<Term>) -> usize {
+        self.matching(s, r, o).count()
+    }
+
+    /// Objects of all `(s, r, ?)` triples.
+    pub fn objects<'a>(&'a self, s: Term, r: RelationId) -> impl Iterator<Item = Term> + 'a {
+        self.matching(Some(s), Some(r), None).map(|t| t.object)
+    }
+
+    /// Subjects of all `(?, r, o)` triples.
+    pub fn subjects<'a>(&'a self, r: RelationId, o: Term) -> impl Iterator<Item = Term> + 'a {
+        self.matching(None, Some(r), Some(o)).map(|t| t.subject)
+    }
+}
+
+/// The contiguous run of `sorted` whose elements compare `Equal` under `key`.
+fn range<K>(sorted: &[Triple], key: K) -> &[Triple]
+where
+    K: Fn(&Triple) -> std::cmp::Ordering,
+{
+    use std::cmp::Ordering;
+    let lo = sorted.partition_point(|t| key(t) == Ordering::Less);
+    let hi = sorted.partition_point(|t| key(t) != Ordering::Greater);
+    &sorted[lo..hi]
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        TripleStore::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralId;
+    use oassis_vocab::ElementId;
+
+    fn t(s: u32, r: u32, o: u32) -> Triple {
+        Triple::new(ElementId(s), RelationId(r), ElementId(o))
+    }
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples([t(1, 0, 2), t(1, 0, 3), t(1, 1, 2), t(4, 0, 2), t(5, 2, 1)])
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let s = TripleStore::from_triples([t(1, 0, 2), t(1, 0, 2)]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn contains_exact() {
+        let s = store();
+        assert!(s.contains(&t(1, 0, 2)));
+        assert!(!s.contains(&t(2, 0, 1)));
+    }
+
+    #[test]
+    fn match_by_subject() {
+        let s = store();
+        let got: Vec<_> = s
+            .matching(Some(ElementId(1).into()), None, None)
+            .copied()
+            .collect();
+        assert_eq!(got, [t(1, 0, 2), t(1, 0, 3), t(1, 1, 2)]);
+    }
+
+    #[test]
+    fn match_by_subject_and_relation() {
+        let s = store();
+        let got: Vec<_> = s
+            .matching(Some(ElementId(1).into()), Some(RelationId(0)), None)
+            .copied()
+            .collect();
+        assert_eq!(got, [t(1, 0, 2), t(1, 0, 3)]);
+    }
+
+    #[test]
+    fn match_by_relation() {
+        let s = store();
+        assert_eq!(s.count_matching(None, Some(RelationId(0)), None), 3);
+    }
+
+    #[test]
+    fn match_by_relation_and_object() {
+        let s = store();
+        let got: Vec<_> = s
+            .matching(None, Some(RelationId(0)), Some(ElementId(2).into()))
+            .map(|t| t.subject)
+            .collect();
+        assert_eq!(
+            got,
+            [Term::Element(ElementId(1)), Term::Element(ElementId(4))]
+        );
+    }
+
+    #[test]
+    fn match_by_object_only() {
+        let s = store();
+        assert_eq!(s.count_matching(None, None, Some(ElementId(2).into())), 3);
+    }
+
+    #[test]
+    fn match_fully_bound() {
+        let s = store();
+        assert_eq!(
+            s.count_matching(
+                Some(ElementId(1).into()),
+                Some(RelationId(0)),
+                Some(ElementId(3).into())
+            ),
+            1
+        );
+        assert_eq!(
+            s.count_matching(
+                Some(ElementId(1).into()),
+                Some(RelationId(0)),
+                Some(ElementId(9).into())
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn wildcard_scan_returns_all() {
+        let s = store();
+        assert_eq!(s.matching(None, None, None).count(), s.len());
+    }
+
+    #[test]
+    fn literal_objects_are_indexed() {
+        let s = TripleStore::from_triples([
+            Triple::new(ElementId(1), RelationId(9), LiteralId(0)),
+            Triple::new(ElementId(2), RelationId(9), LiteralId(1)),
+        ]);
+        let got: Vec<_> = s.subjects(RelationId(9), LiteralId(0).into()).collect();
+        assert_eq!(got, [Term::Element(ElementId(1))]);
+    }
+
+    #[test]
+    fn objects_helper() {
+        let s = store();
+        let got: Vec<_> = s.objects(ElementId(1).into(), RelationId(0)).collect();
+        assert_eq!(
+            got,
+            [Term::Element(ElementId(2)), Term::Element(ElementId(3))]
+        );
+    }
+}

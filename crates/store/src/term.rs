@@ -1,0 +1,99 @@
+//! Terms: vocabulary elements extended with string literals.
+
+use std::fmt;
+
+use oassis_vocab::ElementId;
+
+/// Identifier of an interned string literal (e.g. `"child-friendly"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LiteralId(pub u32);
+
+impl fmt::Display for LiteralId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lit{}", self.0)
+    }
+}
+
+/// A node of the ontology graph: a vocabulary element or a string literal.
+///
+/// Literals only ever appear in object position (e.g. labels); the semantic
+/// order treats two literals as comparable iff they are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A vocabulary element.
+    Element(ElementId),
+    /// An interned string literal.
+    Literal(LiteralId),
+}
+
+impl Term {
+    /// The element id, if this term is an element.
+    pub fn as_element(&self) -> Option<ElementId> {
+        match self {
+            Term::Element(e) => Some(*e),
+            Term::Literal(_) => None,
+        }
+    }
+
+    /// The literal id, if this term is a literal.
+    pub fn as_literal(&self) -> Option<LiteralId> {
+        match self {
+            Term::Element(_) => None,
+            Term::Literal(l) => Some(*l),
+        }
+    }
+
+    /// Whether this term is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self, Term::Element(_))
+    }
+}
+
+impl From<ElementId> for Term {
+    fn from(e: ElementId) -> Self {
+        Term::Element(e)
+    }
+}
+
+impl From<LiteralId> for Term {
+    fn from(l: LiteralId) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Element(e) => write!(f, "{e}"),
+            Term::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t: Term = ElementId(3).into();
+        assert_eq!(t.as_element(), Some(ElementId(3)));
+        assert!(t.as_literal().is_none());
+        assert!(t.is_element());
+
+        let l: Term = LiteralId(1).into();
+        assert_eq!(l.as_literal(), Some(LiteralId(1)));
+        assert!(!l.is_element());
+    }
+
+    #[test]
+    fn ordering_groups_elements_before_literals() {
+        assert!(Term::Element(ElementId(999)) < Term::Literal(LiteralId(0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::Element(ElementId(2)).to_string(), "e2");
+        assert_eq!(Term::Literal(LiteralId(2)).to_string(), "lit2");
+    }
+}

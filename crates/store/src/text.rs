@@ -1,0 +1,326 @@
+//! A line-oriented text format for authoring ontologies.
+//!
+//! Element names may contain spaces (`Central Park`), so positions are
+//! separated by `|`:
+//!
+//! ```text
+//! # The Figure 1 fragment relevant to Ann's query.
+//! Biking | subClassOf | Sport
+//! Central Park | instanceOf | Park
+//! Central Park | inside | NYC
+//! Central Park | hasLabel | "child-friendly"
+//! @rel_isa inside nearBy        # nearBy ≤R inside
+//! @element Boathouse            # vocabulary-only term
+//! @relation doAt
+//! ```
+//!
+//! Blank lines and `#` comments are ignored; `subClassOf` / `instanceOf`
+//! triples update the element order, and quoted objects become literals.
+
+use crate::error::StoreError;
+use crate::ontology::{Ontology, OntologyBuilder};
+
+/// Parse the text format into an [`Ontology`].
+pub fn parse_ontology(input: &str) -> Result<Ontology, StoreError> {
+    let mut b = OntologyBuilder::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('@') {
+            parse_directive(&mut b, rest, line_no)?;
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        let [s, r, o] = parts.as_slice() else {
+            return Err(StoreError::Parse {
+                line: line_no,
+                msg: format!("expected `subject | relation | object`, got {line:?}"),
+            });
+        };
+        if s.is_empty() || r.is_empty() || o.is_empty() {
+            return Err(StoreError::Parse {
+                line: line_no,
+                msg: "empty position in triple".into(),
+            });
+        }
+        if let Some(label) = o.strip_prefix('"').and_then(|x| x.strip_suffix('"')) {
+            if *r != crate::ontology::HAS_LABEL {
+                return Err(StoreError::Parse {
+                    line: line_no,
+                    msg: format!("literal objects are only allowed with hasLabel, got {r:?}"),
+                });
+            }
+            b.label(s, label);
+        } else {
+            b.triple(s, r, o);
+        }
+    }
+    b.build().map_err(StoreError::from)
+}
+
+fn parse_directive(b: &mut OntologyBuilder, rest: &str, line: usize) -> Result<(), StoreError> {
+    let mut words = rest.split_whitespace();
+    let Some(kind) = words.next() else {
+        return Err(StoreError::Parse {
+            line,
+            msg: "empty directive".into(),
+        });
+    };
+    match kind {
+        // `@rel_isa specific general` records `general ≤R specific`.
+        "rel_isa" => {
+            let (Some(specific), Some(general), None) = (words.next(), words.next(), words.next())
+            else {
+                return Err(StoreError::Parse {
+                    line,
+                    msg: "@rel_isa expects exactly two relation names".into(),
+                });
+            };
+            b.relation_isa(specific, general);
+        }
+        "element" => {
+            let name = rest["element".len()..].trim();
+            if name.is_empty() {
+                return Err(StoreError::Parse {
+                    line,
+                    msg: "@element expects a name".into(),
+                });
+            }
+            b.element(name);
+        }
+        "relation" => {
+            let name = rest["relation".len()..].trim();
+            if name.is_empty() {
+                return Err(StoreError::Parse {
+                    line,
+                    msg: "@relation expects a name".into(),
+                });
+            }
+            b.relation(name);
+        }
+        other => {
+            return Err(StoreError::Parse {
+                line,
+                msg: format!("unknown directive @{other}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # sample
+        Biking | subClassOf | Sport
+        Sport | subClassOf | Activity
+        Central Park | instanceOf | Park
+        Central Park | inside | NYC
+        Central Park | hasLabel | "child-friendly"
+        @rel_isa inside nearBy
+        @element Boathouse
+        @relation doAt
+    "#;
+
+    #[test]
+    fn parses_sample() {
+        let o = parse_ontology(SAMPLE).unwrap();
+        let v = o.vocabulary();
+        let sport = v.element("Sport").unwrap();
+        let biking = v.element("Biking").unwrap();
+        assert!(v.elem_leq(sport, biking));
+        assert!(v.element("Boathouse").is_some());
+        assert!(v.relation("doAt").is_some());
+        let cp = v.element("Central Park").unwrap();
+        assert!(o.element_has_label(cp, "child-friendly"));
+        let near_by = v.relation("nearBy").unwrap();
+        let inside = v.relation("inside").unwrap();
+        assert!(v.rel_leq(near_by, inside));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let o = parse_ontology("# nothing\n\n   \n").unwrap();
+        assert!(o.store().is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_on_triple() {
+        let o = parse_ontology("A | subClassOf | B # why not\n").unwrap();
+        assert_eq!(o.store().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_triple() {
+        let err = parse_ontology("A | B\n").unwrap_err();
+        assert!(matches!(err, StoreError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_position() {
+        assert!(parse_ontology("A |  | B\n").is_err());
+    }
+
+    #[test]
+    fn rejects_literal_with_wrong_relation() {
+        assert!(parse_ontology("A | inside | \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(parse_ontology("@frobnicate x\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_rel_isa_arity() {
+        assert!(parse_ontology("@rel_isa inside\n").is_err());
+        assert!(parse_ontology("@rel_isa a b c\n").is_err());
+    }
+
+    #[test]
+    fn multiword_names_survive() {
+        let o = parse_ontology("Feed a monkey | instanceOf | Activity\n").unwrap();
+        assert!(o.vocabulary().element("Feed a monkey").is_some());
+    }
+}
+
+/// Render an [`Ontology`] back to the text format, such that
+/// `parse_ontology(render_ontology(&o))` reproduces it (triples, labels,
+/// relation order, and vocabulary-only terms).
+pub fn render_ontology(o: &Ontology) -> String {
+    use oassis_vocab::TaxoId;
+    let v = o.vocabulary();
+    let mut out = String::new();
+
+    // Relation-order directives (sorted for canonical output).
+    let mut rel_lines: Vec<String> = Vec::new();
+    for (r, name) in v.relations() {
+        for &p in v.relations_order().parents(r) {
+            rel_lines.push(format!("@rel_isa {} {}\n", name, v.relation_name(p)));
+        }
+    }
+    rel_lines.sort();
+    for line in rel_lines {
+        out.push_str(&line);
+    }
+
+    // Triples (labels via quoted literals), sorted by their rendered names
+    // so the output is canonical — independent of interning order, making
+    // render∘parse a fixpoint.
+    let mut lines: Vec<String> = o
+        .store()
+        .iter()
+        .map(|t| {
+            let subject = match t.subject {
+                crate::term::Term::Element(e) => v.element_name(e).to_owned(),
+                crate::term::Term::Literal(l) => format!("{:?}", o.literal_str(l)),
+            };
+            let object = match t.object {
+                crate::term::Term::Element(e) => v.element_name(e).to_owned(),
+                crate::term::Term::Literal(l) => format!("{:?}", o.literal_str(l)),
+            };
+            format!(
+                "{} | {} | {}\n",
+                subject,
+                v.relation_name(t.relation),
+                object
+            )
+        })
+        .collect();
+    lines.sort();
+    for line in lines {
+        out.push_str(&line);
+    }
+
+    // Vocabulary-only terms (mentioned in no triple).
+    let mut used_elems = std::collections::HashSet::new();
+    let mut used_rels = std::collections::HashSet::new();
+    for t in o.store().iter() {
+        if let Some(e) = t.subject.as_element() {
+            used_elems.insert(e.index());
+        }
+        if let Some(e) = t.object.as_element() {
+            used_elems.insert(e.index());
+        }
+        used_rels.insert(t.relation.index());
+    }
+    let mut decl_lines: Vec<String> = Vec::new();
+    for (e, name) in v.elements() {
+        if !used_elems.contains(&e.index()) {
+            decl_lines.push(format!("@element {name}\n"));
+        }
+    }
+    for (r, name) in v.relations() {
+        if !used_rels.contains(&r.index())
+            && v.relations_order().parents(r).is_empty()
+            && v.relations_order().children(r).is_empty()
+        {
+            decl_lines.push(format!("@relation {name}\n"));
+        }
+    }
+    decl_lines.sort();
+    for line in decl_lines {
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::ontology::figure1_ontology;
+
+    #[test]
+    fn figure1_roundtrips_through_text() {
+        let o = figure1_ontology();
+        let text = render_ontology(&o);
+        let back = parse_ontology(&text).unwrap();
+        assert_eq!(o.store().len(), back.store().len());
+        assert_eq!(
+            o.vocabulary().num_elements(),
+            back.vocabulary().num_elements()
+        );
+        assert_eq!(
+            o.vocabulary().num_relations(),
+            back.vocabulary().num_relations()
+        );
+        // Spot-check semantics: orders and labels survive.
+        let (v, bv) = (o.vocabulary(), back.vocabulary());
+        let sport = v.element("Sport").unwrap();
+        let biking = v.element("Biking").unwrap();
+        let bsport = bv.element("Sport").unwrap();
+        let bbiking = bv.element("Biking").unwrap();
+        assert_eq!(v.elem_leq(sport, biking), bv.elem_leq(bsport, bbiking));
+        let bcp = bv.element("Central Park").unwrap();
+        assert!(back.element_has_label(bcp, "child-friendly"));
+        let bnb = bv.relation("nearBy").unwrap();
+        let bin_ = bv.relation("inside").unwrap();
+        assert!(bv.rel_leq(bnb, bin_));
+        assert!(
+            bv.element("Boathouse").is_some(),
+            "vocabulary-only term kept"
+        );
+        assert!(
+            bv.relation("doAt").is_some(),
+            "vocabulary-only relation kept"
+        );
+    }
+
+    #[test]
+    fn render_is_stable_after_roundtrip() {
+        let o = figure1_ontology();
+        let t1 = render_ontology(&o);
+        let o2 = parse_ontology(&t1).unwrap();
+        let t2 = render_ontology(&o2);
+        assert_eq!(t1, t2, "render∘parse is a fixpoint");
+    }
+}

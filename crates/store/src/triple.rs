@@ -1,0 +1,74 @@
+//! Triples over [`Term`]s, the storage form of ontology facts.
+
+use std::fmt;
+
+use oassis_vocab::{Fact, RelationId};
+
+use crate::term::Term;
+
+/// A stored triple `subject relation object`.
+///
+/// Unlike [`Fact`] (whose endpoints are always vocabulary elements), a
+/// triple's object may be a string literal, which is how label facts such as
+/// `Central Park hasLabel "child-friendly"` are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// The subject term.
+    pub subject: Term,
+    /// The relation.
+    pub relation: RelationId,
+    /// The object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(subject: impl Into<Term>, relation: RelationId, object: impl Into<Term>) -> Self {
+        Triple {
+            subject: subject.into(),
+            relation,
+            object: object.into(),
+        }
+    }
+
+    /// Convert to a [`Fact`] if both endpoints are vocabulary elements.
+    pub fn as_fact(&self) -> Option<Fact> {
+        Some(Fact::new(
+            self.subject.as_element()?,
+            self.relation,
+            self.object.as_element()?,
+        ))
+    }
+}
+
+impl From<Fact> for Triple {
+    fn from(f: Fact) -> Self {
+        Triple::new(f.subject, f.relation, f.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.relation, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralId;
+    use oassis_vocab::ElementId;
+
+    #[test]
+    fn fact_roundtrip() {
+        let f = Fact::new(ElementId(1), RelationId(2), ElementId(3));
+        let t: Triple = f.into();
+        assert_eq!(t.as_fact(), Some(f));
+    }
+
+    #[test]
+    fn literal_triples_are_not_facts() {
+        let t = Triple::new(ElementId(1), RelationId(0), LiteralId(0));
+        assert_eq!(t.as_fact(), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! A small fixed-capacity bit set used for taxonomy transitive closures.
+//!
+//! The mining algorithms ask "is `a` a generalization of `b`?" millions of
+//! times; storing each node's descendant set as a bit vector makes that a
+//! single word probe. For the DAG sizes the paper reports (≈10k vocabulary
+//! terms) a full closure costs ~12 MB, well within budget.
+
+/// A fixed-size set of `usize` indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits.
+    bits: usize,
+}
+
+impl BitSet {
+    /// Create a set that can hold indices `0..bits`, all initially absent.
+    pub fn new(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Insert index `i`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.bits, "bit index {i} out of range {}", self.bits);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Remove index `i`. Returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.bits, "bit index {i} out of range {}", self.bits);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether index `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.bits {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Union `other` into `self`. Returns `true` if `self` changed.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Whether `self` and `other` share at least one index.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every index in `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn remove_clears_bits() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.contains(1) && a.contains(99));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 63, 64, 65, 128, 199] {
+            s.insert(i);
+        }
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, [5, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        a.insert(1);
+        b.insert(1);
+        b.insert(2);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        let empty = BitSet::new(64);
+        assert!(empty.is_subset(&a));
+        assert!(!empty.intersects(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for vocabulary construction.
+
+use std::fmt;
+
+/// Errors raised while building vocabularies and taxonomies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VocabError {
+    /// The declared is-a edges contain a cycle (a partial order must be a DAG).
+    TaxonomyCycle,
+    /// An edge referenced an id outside the declared term range.
+    IdOutOfRange {
+        /// The offending index.
+        id: usize,
+        /// The number of declared terms.
+        len: usize,
+    },
+    /// A name was required to exist but was never interned.
+    UnknownName(String),
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::TaxonomyCycle => {
+                write!(
+                    f,
+                    "taxonomy edges contain a cycle; ≤ must be a partial order"
+                )
+            }
+            VocabError::IdOutOfRange { id, len } => {
+                write!(f, "term id {id} out of range for {len} declared terms")
+            }
+            VocabError::UnknownName(n) => write!(f, "unknown vocabulary name: {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(VocabError::TaxonomyCycle.to_string().contains("cycle"));
+        assert!(VocabError::IdOutOfRange { id: 9, len: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(VocabError::UnknownName("Biking".into())
+            .to_string()
+            .contains("Biking"));
+    }
+}

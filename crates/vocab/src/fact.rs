@@ -1,0 +1,189 @@
+//! Facts and fact-sets (Definition 2.2).
+//!
+//! A [`Fact`] is a triple `⟨c1, r, c2⟩ ∈ E × R × E`; a [`FactSet`] is a set
+//! of facts, kept sorted and deduplicated so that equality and hashing are
+//! canonical. The semantic partial order over facts and fact-sets
+//! (Definition 2.5) lives on [`Vocabulary`](crate::Vocabulary) because it
+//! needs the term taxonomies.
+
+use std::fmt;
+
+use crate::ids::{ElementId, RelationId};
+
+/// A triple `⟨subject, relation, object⟩`, e.g. `Biking doAt Central Park`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact {
+    /// The left element `c1`.
+    pub subject: ElementId,
+    /// The relation `r`.
+    pub relation: RelationId,
+    /// The right element `c2`.
+    pub object: ElementId,
+}
+
+impl Fact {
+    /// Construct a fact.
+    pub fn new(subject: ElementId, relation: RelationId, object: ElementId) -> Self {
+        Fact {
+            subject,
+            relation,
+            object,
+        }
+    }
+}
+
+/// A canonical (sorted, deduplicated) set of [`Fact`]s.
+///
+/// ```
+/// use oassis_vocab::{Fact, FactSet, ElementId, RelationId};
+///
+/// let f = Fact::new(ElementId(0), RelationId(0), ElementId(1));
+/// let fs = FactSet::from_facts([f, f]);
+/// assert_eq!(fs.len(), 1); // canonical: duplicates removed
+/// assert!(fs.contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FactSet {
+    facts: Vec<Fact>,
+}
+
+impl FactSet {
+    /// The empty fact-set.
+    pub fn new() -> Self {
+        FactSet { facts: Vec::new() }
+    }
+
+    /// Build from any fact iterator; sorts and deduplicates.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut v: Vec<Fact> = facts.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        FactSet { facts: v }
+    }
+
+    /// Insert one fact, keeping the canonical order. Returns `true` if new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        match self.facts.binary_search(&fact) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.facts.insert(pos, fact);
+                true
+            }
+        }
+    }
+
+    /// Whether `fact` is syntactically present (no semantic implication).
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.binary_search(fact).is_ok()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fact> {
+        self.facts.iter()
+    }
+
+    /// The facts as a sorted slice.
+    pub fn as_slice(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The union of two fact-sets.
+    pub fn union(&self, other: &FactSet) -> FactSet {
+        FactSet::from_facts(self.iter().chain(other.iter()).copied())
+    }
+}
+
+impl FromIterator<Fact> for FactSet {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        FactSet::from_facts(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a FactSet {
+    type Item = &'a Fact;
+    type IntoIter = std::slice::Iter<'a, Fact>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.facts.iter()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}, {}>", self.subject, self.relation, self.object)
+    }
+}
+
+impl fmt::Display for FactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ". ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(s: u32, r: u32, o: u32) -> Fact {
+        Fact::new(ElementId(s), RelationId(r), ElementId(o))
+    }
+
+    #[test]
+    fn from_facts_sorts_and_dedups() {
+        let fs = FactSet::from_facts([fact(2, 0, 0), fact(1, 0, 0), fact(2, 0, 0)]);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.as_slice(), &[fact(1, 0, 0), fact(2, 0, 0)]);
+    }
+
+    #[test]
+    fn insert_maintains_canonical_order() {
+        let mut fs = FactSet::new();
+        assert!(fs.insert(fact(3, 0, 0)));
+        assert!(fs.insert(fact(1, 0, 0)));
+        assert!(!fs.insert(fact(3, 0, 0)), "duplicate insert is rejected");
+        assert_eq!(fs.as_slice(), &[fact(1, 0, 0), fact(3, 0, 0)]);
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = FactSet::from_facts([fact(1, 0, 0), fact(2, 0, 0)]);
+        let b = FactSet::from_facts([fact(2, 0, 0), fact(1, 0, 0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = FactSet::from_facts([fact(1, 0, 0)]);
+        let b = FactSet::from_facts([fact(2, 0, 0), fact(1, 0, 0)]);
+        assert_eq!(a.union(&b).len(), 2);
+    }
+
+    #[test]
+    fn contains_is_syntactic() {
+        let fs = FactSet::from_facts([fact(1, 0, 0)]);
+        assert!(fs.contains(&fact(1, 0, 0)));
+        assert!(!fs.contains(&fact(1, 0, 1)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let fs = FactSet::from_facts([fact(1, 2, 3)]);
+        assert_eq!(fs.to_string(), "{<e1, r2, e3>}");
+    }
+}

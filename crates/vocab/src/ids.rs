@@ -1,0 +1,96 @@
+//! Compact integer identifiers for vocabulary terms.
+//!
+//! Elements and relations are interned once and referred to by 32-bit ids
+//! everywhere else; this keeps facts at 12 bytes and makes the hot
+//! partial-order checks cache-friendly.
+
+use std::fmt;
+
+/// Identifiers usable as taxonomy node handles.
+///
+/// Implemented by [`ElementId`] and [`RelationId`] so a single generic
+/// [`Taxonomy`](crate::Taxonomy) implementation serves both the element order
+/// `≤E` and the relation order `≤R`.
+pub trait TaxoId: Copy + Eq + Ord + std::hash::Hash + fmt::Debug {
+    /// Convert to a dense array index.
+    fn index(self) -> usize;
+    /// Construct from a dense array index.
+    fn from_index(i: usize) -> Self;
+}
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl TaxoId for $name {
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an element name in `E` (e.g. `Central Park`, `Biking`).
+    ElementId,
+    "e"
+);
+define_id!(
+    /// Identifier of a relation name in `R` (e.g. `doAt`, `nearBy`).
+    RelationId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_element_id() {
+        let id = ElementId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ElementId(42));
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn roundtrip_relation_id() {
+        let id = RelationId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "r7");
+        assert_eq!(format!("{id:?}"), "r7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ElementId(1) < ElementId(2));
+        assert!(RelationId(0) < RelationId(9));
+    }
+}

@@ -1,0 +1,119 @@
+//! String interning for element and relation names.
+
+use std::collections::HashMap;
+
+use crate::ids::TaxoId;
+
+/// A bidirectional map between names and dense integer ids.
+///
+/// Names are unique; interning the same name twice returns the same id.
+/// Lookup by id is `O(1)`, lookup by name is a hash probe.
+#[derive(Debug, Clone)]
+pub struct Interner<Id> {
+    names: Vec<String>,
+    by_name: HashMap<String, Id>,
+}
+
+impl<Id> Default for Interner<Id> {
+    fn default() -> Self {
+        Interner {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+}
+
+impl<Id: TaxoId> Interner<Id> {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Intern `name`, returning its id (existing or freshly allocated).
+    pub fn intern(&mut self, name: &str) -> Id {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = Id::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Id> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: Id) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Id::from_index(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ElementId;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i: Interner<ElementId> = Interner::new();
+        let a = i.intern("Biking");
+        let b = i.intern("Biking");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut i: Interner<ElementId> = Interner::new();
+        let a = i.intern("Biking");
+        let b = i.intern("Swimming");
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "Biking");
+        assert_eq!(i.name(b), "Swimming");
+    }
+
+    #[test]
+    fn get_finds_only_interned() {
+        let mut i: Interner<ElementId> = Interner::new();
+        assert!(i.get("Biking").is_none());
+        let a = i.intern("Biking");
+        assert_eq!(i.get("Biking"), Some(a));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i: Interner<ElementId> = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let names: Vec<_> = i.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # oassis-vocab
+//!
+//! The foundational data model of the OASSIS reproduction (SIGMOD 2014,
+//! "OASSIS: Query Driven Crowd Mining", Section 2):
+//!
+//! * a [`Vocabulary`] `(E, ≤E, R, ≤R)` of *element* and *relation* names with
+//!   semantic partial orders over each (Definition 2.1),
+//! * [`Fact`]s — triples `⟨c1, r, c2⟩` — and [`FactSet`]s (Definition 2.2),
+//! * the semantic partial order over facts and fact-sets induced by the
+//!   vocabulary orders (Definition 2.5).
+//!
+//! The order convention throughout the workspace follows the paper: the more
+//! *general* term is ≤ the more *specific* term, e.g. `Sport ≤E Biking`.
+//! [`Taxonomy::leq(a, b)`](Taxonomy::leq) therefore answers "is `a` equal to
+//! or an ancestor (generalization) of `b`?".
+//!
+//! Everything here is pure data-structure code with no I/O; it underpins the
+//! triple store, the SPARQL evaluator, the crowd model and the mining engine.
+
+pub mod bitset;
+pub mod error;
+pub mod fact;
+pub mod ids;
+pub mod interner;
+pub mod taxonomy;
+pub mod vocabulary;
+
+pub use bitset::BitSet;
+pub use error::VocabError;
+pub use fact::{Fact, FactSet};
+pub use ids::{ElementId, RelationId, TaxoId};
+pub use interner::Interner;
+pub use taxonomy::{Taxonomy, TaxonomyBuilder};
+pub use vocabulary::{Vocabulary, VocabularyBuilder};

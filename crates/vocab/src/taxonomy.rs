@@ -1,0 +1,358 @@
+//! Semantic partial orders over vocabulary terms (Definition 2.1).
+//!
+//! A [`Taxonomy`] stores the Hasse diagram of a partial order `≤` as a DAG
+//! whose edges point from the more *general* term to the more *specific* one
+//! (the paper's `Sport ≤E Biking` is an edge `Sport → Biking`). A transitive
+//! closure (one descendant [`BitSet`] per node) is
+//! precomputed so that order checks are `O(1)`.
+
+use crate::bitset::BitSet;
+use crate::error::VocabError;
+use crate::ids::TaxoId;
+
+/// Builder for a [`Taxonomy`]: collect Hasse edges, then [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct TaxonomyBuilder<Id> {
+    edges: Vec<(Id, Id)>,
+}
+
+impl<Id> Default for TaxonomyBuilder<Id> {
+    fn default() -> Self {
+        TaxonomyBuilder { edges: Vec::new() }
+    }
+}
+
+impl<Id: TaxoId> TaxonomyBuilder<Id> {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        TaxonomyBuilder { edges: Vec::new() }
+    }
+
+    /// Record that `specific` is an immediate specialization of `general`
+    /// (`general ≤ specific`), e.g. `add_isa(Biking, Sport)` for
+    /// "Biking subClassOf Sport".
+    pub fn add_isa(&mut self, specific: Id, general: Id) -> &mut Self {
+        self.edges.push((general, specific));
+        self
+    }
+
+    /// Finalize into a [`Taxonomy`] over `n` terms (ids `0..n`).
+    ///
+    /// Terms not mentioned in any edge are incomparable roots/leaves.
+    /// Returns [`VocabError::TaxonomyCycle`] if the edges contain a cycle and
+    /// [`VocabError::IdOutOfRange`] if an edge mentions an id `>= n`.
+    pub fn build(&self, n: usize) -> Result<Taxonomy<Id>, VocabError> {
+        let mut parents: Vec<Vec<Id>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<Id>> = vec![Vec::new(); n];
+        for &(general, specific) in &self.edges {
+            if general.index() >= n || specific.index() >= n {
+                return Err(VocabError::IdOutOfRange {
+                    id: general.index().max(specific.index()),
+                    len: n,
+                });
+            }
+            if general == specific {
+                return Err(VocabError::TaxonomyCycle);
+            }
+            if !children[general.index()].contains(&specific) {
+                children[general.index()].push(specific);
+                parents[specific.index()].push(general);
+            }
+        }
+        for v in parents.iter_mut().chain(children.iter_mut()) {
+            v.sort_unstable();
+        }
+
+        let topo = topo_order(&children, n)?;
+
+        // Descendant closure in reverse topological order: each node's set is
+        // itself plus the union of its children's sets.
+        let mut descendants: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &u in topo.iter().rev() {
+            descendants[u].insert(u);
+            // Move the set out to satisfy the borrow checker while unioning.
+            let mut acc = std::mem::replace(&mut descendants[u], BitSet::new(0));
+            for &c in &children[u] {
+                acc.union_with(&descendants[c.index()]);
+            }
+            descendants[u] = acc;
+        }
+
+        Ok(Taxonomy {
+            parents,
+            children,
+            descendants,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; errors on a cycle. Edges go `u -> children[u]`.
+fn topo_order<Id: TaxoId>(children: &[Vec<Id>], n: usize) -> Result<Vec<usize>, VocabError> {
+    let mut indeg = vec![0usize; n];
+    for cs in children {
+        for c in cs {
+            indeg[c.index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop() {
+        order.push(u);
+        for c in &children[u] {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                queue.push(c.index());
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(VocabError::TaxonomyCycle);
+    }
+    Ok(order)
+}
+
+/// An immutable partial order over term ids with `O(1)` comparability checks.
+#[derive(Debug, Clone)]
+pub struct Taxonomy<Id> {
+    parents: Vec<Vec<Id>>,
+    children: Vec<Vec<Id>>,
+    descendants: Vec<BitSet>,
+    topo: Vec<usize>,
+}
+
+impl<Id: TaxoId> Taxonomy<Id> {
+    /// A taxonomy over `n` pairwise-incomparable terms.
+    pub fn discrete(n: usize) -> Self {
+        TaxonomyBuilder::<Id>::new()
+            .build(n)
+            .expect("edge-free taxonomy cannot fail")
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Whether the taxonomy covers no terms.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// `a ≤ b`: is `a` equal to `b` or a (transitive) generalization of it?
+    #[inline]
+    pub fn leq(&self, a: Id, b: Id) -> bool {
+        self.descendants[a.index()].contains(b.index())
+    }
+
+    /// `a < b`: strict generalization.
+    #[inline]
+    pub fn lt(&self, a: Id, b: Id) -> bool {
+        a != b && self.leq(a, b)
+    }
+
+    /// Whether `a` and `b` are comparable under `≤`.
+    pub fn comparable(&self, a: Id, b: Id) -> bool {
+        self.leq(a, b) || self.leq(b, a)
+    }
+
+    /// Immediate generalizations of `id` (its parents in the Hasse diagram).
+    pub fn parents(&self, id: Id) -> &[Id] {
+        &self.parents[id.index()]
+    }
+
+    /// Immediate specializations of `id` (its children in the Hasse diagram).
+    pub fn children(&self, id: Id) -> &[Id] {
+        &self.children[id.index()]
+    }
+
+    /// All `b` with `id ≤ b` (including `id`), ascending by id.
+    pub fn descendants(&self, id: Id) -> impl Iterator<Item = Id> + '_ {
+        self.descendants[id.index()].iter().map(Id::from_index)
+    }
+
+    /// Number of descendants of `id`, including itself.
+    pub fn descendant_count(&self, id: Id) -> usize {
+        self.descendants[id.index()].len()
+    }
+
+    /// All `a` with `a ≤ id` (including `id`), computed by upward BFS.
+    pub fn ancestors(&self, id: Id) -> Vec<Id> {
+        let mut seen = BitSet::new(self.len());
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if seen.insert(u.index()) {
+                out.push(u);
+                stack.extend(self.parents(u).iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Terms with no parents (the most general terms).
+    pub fn roots(&self) -> impl Iterator<Item = Id> + '_ {
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .map(Id::from_index)
+    }
+
+    /// Terms with no children (the most specific terms).
+    pub fn leaves(&self) -> impl Iterator<Item = Id> + '_ {
+        (0..self.len())
+            .filter(|&i| self.children[i].is_empty())
+            .map(Id::from_index)
+    }
+
+    /// A topological order (general before specific).
+    pub fn topological(&self) -> impl Iterator<Item = Id> + '_ {
+        self.topo.iter().map(|&i| Id::from_index(i))
+    }
+
+    /// Length of the longest root-to-`id` chain (roots have depth 0).
+    pub fn depth(&self, id: Id) -> usize {
+        // Memo-free DFS is fine for the sizes we use; taxonomies are shallow.
+        self.parents(id)
+            .iter()
+            .map(|&p| self.depth(p) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum depth over all terms (the taxonomy's height).
+    pub fn height(&self) -> usize {
+        let mut depth = vec![0usize; self.len()];
+        for &u in &self.topo {
+            for c in &self.children[u] {
+                depth[c.index()] = depth[c.index()].max(depth[u] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ElementId as E;
+
+    /// Diamond: 0 -> {1, 2} -> 3, plus isolated 4.
+    fn diamond() -> Taxonomy<E> {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(1), E(0))
+            .add_isa(E(2), E(0))
+            .add_isa(E(3), E(1))
+            .add_isa(E(3), E(2));
+        b.build(5).unwrap()
+    }
+
+    #[test]
+    fn leq_is_reflexive_and_transitive() {
+        let t = diamond();
+        for i in 0..5 {
+            assert!(t.leq(E(i), E(i)), "reflexive at {i}");
+        }
+        assert!(t.leq(E(0), E(3)), "transitive 0 ≤ 3");
+        assert!(t.leq(E(0), E(1)) && t.leq(E(1), E(3)));
+    }
+
+    #[test]
+    fn incomparable_pairs() {
+        let t = diamond();
+        assert!(!t.leq(E(1), E(2)) && !t.leq(E(2), E(1)));
+        assert!(!t.comparable(E(1), E(2)));
+        assert!(!t.comparable(E(4), E(0)), "isolated node is incomparable");
+        assert!(t.comparable(E(0), E(3)));
+    }
+
+    #[test]
+    fn lt_excludes_equality() {
+        let t = diamond();
+        assert!(t.lt(E(0), E(3)));
+        assert!(!t.lt(E(3), E(3)));
+    }
+
+    #[test]
+    fn parents_and_children_are_immediate_only() {
+        let t = diamond();
+        assert_eq!(t.parents(E(3)), &[E(1), E(2)]);
+        assert_eq!(t.children(E(0)), &[E(1), E(2)]);
+        assert!(t.parents(E(0)).is_empty());
+        assert!(t.children(E(3)).is_empty());
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let t = diamond();
+        let d: Vec<_> = t.descendants(E(0)).collect();
+        assert_eq!(d, [E(0), E(1), E(2), E(3)]);
+        assert_eq!(t.descendant_count(E(1)), 2);
+        assert_eq!(t.ancestors(E(3)), vec![E(0), E(1), E(2), E(3)]);
+        assert_eq!(t.ancestors(E(4)), vec![E(4)]);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let t = diamond();
+        let roots: Vec<_> = t.roots().collect();
+        assert_eq!(roots, [E(0), E(4)]);
+        let leaves: Vec<_> = t.leaves().collect();
+        assert_eq!(leaves, [E(3), E(4)]);
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let t = diamond();
+        assert_eq!(t.depth(E(0)), 0);
+        assert_eq!(t.depth(E(3)), 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn topological_respects_order() {
+        let t = diamond();
+        let pos: std::collections::HashMap<E, usize> =
+            t.topological().enumerate().map(|(i, e)| (e, i)).collect();
+        assert!(pos[&E(0)] < pos[&E(1)]);
+        assert!(pos[&E(1)] < pos[&E(3)]);
+        assert!(pos[&E(2)] < pos[&E(3)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(1), E(0)).add_isa(E(0), E(1));
+        assert!(matches!(b.build(2), Err(VocabError::TaxonomyCycle)));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(0), E(0));
+        assert!(matches!(b.build(1), Err(VocabError::TaxonomyCycle)));
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(5), E(0));
+        assert!(matches!(b.build(2), Err(VocabError::IdOutOfRange { .. })));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(1), E(0)).add_isa(E(1), E(0));
+        let t = b.build(2).unwrap();
+        assert_eq!(t.children(E(0)), &[E(1)]);
+    }
+
+    #[test]
+    fn discrete_taxonomy_has_no_order() {
+        let t: Taxonomy<E> = Taxonomy::discrete(3);
+        assert!(!t.leq(E(0), E(1)));
+        assert!(t.leq(E(2), E(2)));
+        assert_eq!(t.roots().count(), 3);
+    }
+}

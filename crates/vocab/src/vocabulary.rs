@@ -1,0 +1,340 @@
+//! The vocabulary `V = (E, ≤E, R, ≤R)` (Definition 2.1) and the induced
+//! semantic order over facts and fact-sets (Definition 2.5).
+
+use crate::error::VocabError;
+use crate::fact::{Fact, FactSet};
+use crate::ids::{ElementId, RelationId};
+use crate::interner::Interner;
+use crate::taxonomy::{Taxonomy, TaxonomyBuilder};
+
+/// Builder for a [`Vocabulary`].
+///
+/// Interleave term declarations and is-a edges freely; names are interned on
+/// first use, so `element_isa("Biking", "Sport")` both declares the terms and
+/// records `Sport ≤E Biking`.
+#[derive(Debug, Clone, Default)]
+pub struct VocabularyBuilder {
+    elements: Interner<ElementId>,
+    relations: Interner<RelationId>,
+    elem_edges: TaxonomyBuilder<ElementId>,
+    rel_edges: TaxonomyBuilder<RelationId>,
+}
+
+impl VocabularyBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare (or look up) an element name.
+    pub fn element(&mut self, name: &str) -> ElementId {
+        self.elements.intern(name)
+    }
+
+    /// Declare (or look up) a relation name.
+    pub fn relation(&mut self, name: &str) -> RelationId {
+        self.relations.intern(name)
+    }
+
+    /// Record `general ≤E specific`, e.g. `element_isa("Biking", "Sport")`.
+    pub fn element_isa(&mut self, specific: &str, general: &str) -> &mut Self {
+        let s = self.element(specific);
+        let g = self.element(general);
+        self.elem_edges.add_isa(s, g);
+        self
+    }
+
+    /// Record `general ≤E specific` using pre-interned ids.
+    pub fn element_isa_ids(&mut self, specific: ElementId, general: ElementId) -> &mut Self {
+        self.elem_edges.add_isa(specific, general);
+        self
+    }
+
+    /// Record `general ≤R specific`, e.g. `relation_isa("inside", "nearBy")`
+    /// for the paper's `nearBy ≤R inside`.
+    pub fn relation_isa(&mut self, specific: &str, general: &str) -> &mut Self {
+        let s = self.relation(specific);
+        let g = self.relation(general);
+        self.rel_edges.add_isa(s, g);
+        self
+    }
+
+    /// Record `general ≤R specific` using pre-interned ids.
+    pub fn relation_isa_ids(&mut self, specific: RelationId, general: RelationId) -> &mut Self {
+        self.rel_edges.add_isa(specific, general);
+        self
+    }
+
+    /// Finalize. Fails if either declared order contains a cycle.
+    pub fn build(self) -> Result<Vocabulary, VocabError> {
+        let elem_tax = self.elem_edges.build(self.elements.len())?;
+        let rel_tax = self.rel_edges.build(self.relations.len())?;
+        Ok(Vocabulary {
+            elements: self.elements,
+            relations: self.relations,
+            elem_tax,
+            rel_tax,
+        })
+    }
+}
+
+/// A fixed vocabulary: interned element/relation names plus their taxonomies.
+///
+/// ```
+/// use oassis_vocab::Vocabulary;
+///
+/// let mut b = Vocabulary::builder();
+/// b.element_isa("Biking", "Sport").element_isa("Sport", "Activity");
+/// let v = b.build().unwrap();
+/// let (activity, biking) = (v.element("Activity").unwrap(), v.element("Biking").unwrap());
+/// assert!(v.elem_leq(activity, biking)); // Activity ≤E Biking (general ≤ specific)
+/// assert!(!v.elem_leq(biking, activity));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    elements: Interner<ElementId>,
+    relations: Interner<RelationId>,
+    elem_tax: Taxonomy<ElementId>,
+    rel_tax: Taxonomy<RelationId>,
+}
+
+impl Vocabulary {
+    /// Start building a vocabulary.
+    pub fn builder() -> VocabularyBuilder {
+        VocabularyBuilder::new()
+    }
+
+    /// Look up an element by name.
+    pub fn element(&self, name: &str) -> Option<ElementId> {
+        self.elements.get(name)
+    }
+
+    /// Look up an element by name, erroring with the name on failure.
+    pub fn element_or_err(&self, name: &str) -> Result<ElementId, VocabError> {
+        self.element(name)
+            .ok_or_else(|| VocabError::UnknownName(name.to_owned()))
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelationId> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation by name, erroring with the name on failure.
+    pub fn relation_or_err(&self, name: &str) -> Result<RelationId, VocabError> {
+        self.relation(name)
+            .ok_or_else(|| VocabError::UnknownName(name.to_owned()))
+    }
+
+    /// The name of an element id.
+    pub fn element_name(&self, id: ElementId) -> &str {
+        self.elements.name(id)
+    }
+
+    /// The name of a relation id.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        self.relations.name(id)
+    }
+
+    /// Number of element names `|E|`.
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of relation names `|R|`.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The element order `≤E`.
+    pub fn elements_order(&self) -> &Taxonomy<ElementId> {
+        &self.elem_tax
+    }
+
+    /// The relation order `≤R`.
+    pub fn relations_order(&self) -> &Taxonomy<RelationId> {
+        &self.rel_tax
+    }
+
+    /// Iterate all element ids with their names.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &str)> + '_ {
+        self.elements.iter()
+    }
+
+    /// Iterate all relation ids with their names.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &str)> + '_ {
+        self.relations.iter()
+    }
+
+    /// `a ≤E b`.
+    #[inline]
+    pub fn elem_leq(&self, a: ElementId, b: ElementId) -> bool {
+        self.elem_tax.leq(a, b)
+    }
+
+    /// `a ≤R b`.
+    #[inline]
+    pub fn rel_leq(&self, a: RelationId, b: RelationId) -> bool {
+        self.rel_tax.leq(a, b)
+    }
+
+    /// Fact order (Definition 2.5): `f ≤ f'` iff each component is ≤.
+    #[inline]
+    pub fn fact_leq(&self, f: &Fact, g: &Fact) -> bool {
+        self.elem_leq(f.subject, g.subject)
+            && self.rel_leq(f.relation, g.relation)
+            && self.elem_leq(f.object, g.object)
+    }
+
+    /// Fact-set order (Definition 2.5): `A ≤ B` iff every fact of `A` is
+    /// implied by (≤) some fact of `B`.
+    pub fn factset_leq(&self, a: &FactSet, b: &FactSet) -> bool {
+        a.iter().all(|fa| b.iter().any(|fb| self.fact_leq(fa, fb)))
+    }
+
+    /// Whether fact `f` is implied by fact-set `b` (`{f} ≤ b`).
+    pub fn fact_implied(&self, f: &Fact, b: &FactSet) -> bool {
+        b.iter().any(|fb| self.fact_leq(f, fb))
+    }
+
+    /// Render a fact with names, in the paper's RDF-ish notation.
+    pub fn fact_to_string(&self, f: &Fact) -> String {
+        format!(
+            "{} {} {}",
+            self.element_name(f.subject),
+            self.relation_name(f.relation),
+            self.element_name(f.object)
+        )
+    }
+
+    /// Render a fact-set with names, facts separated by `. ` as in Table 3.
+    pub fn factset_to_string(&self, fs: &FactSet) -> String {
+        fs.iter()
+            .map(|f| self.fact_to_string(f))
+            .collect::<Vec<_>>()
+            .join(". ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fragment of the paper's Figure 1 used by its running examples.
+    fn sample() -> Vocabulary {
+        let mut b = Vocabulary::builder();
+        b.element_isa("Sport", "Activity")
+            .element_isa("Biking", "Sport")
+            .element_isa("Ball Game", "Sport")
+            .element_isa("Basketball", "Ball Game")
+            .element_isa("Baseball", "Ball Game")
+            .element_isa("Park", "Outdoor")
+            .element_isa("Central Park", "Park")
+            .relation_isa("inside", "nearBy");
+        b.element("NYC");
+        b.relation("doAt");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example_2_6_fact_order() {
+        // f1 = <Sport, doAt, Central Park>, f2 = <Biking, doAt, Central Park>:
+        // f1 ≤ f2 since Sport ≤E Biking.
+        let v = sample();
+        let do_at = v.relation("doAt").unwrap();
+        let f1 = Fact::new(
+            v.element("Sport").unwrap(),
+            do_at,
+            v.element("Central Park").unwrap(),
+        );
+        let f2 = Fact::new(
+            v.element("Biking").unwrap(),
+            do_at,
+            v.element("Central Park").unwrap(),
+        );
+        assert!(v.fact_leq(&f1, &f2));
+        assert!(!v.fact_leq(&f2, &f1));
+        assert!(v.fact_leq(&f1, &f1), "fact order is reflexive");
+    }
+
+    #[test]
+    fn example_2_6_relation_order() {
+        // f3 = <Central Park, inside, NYC>, f4 = <Central Park, nearBy, NYC>:
+        // nearBy ≤R inside, so f4 ≤ f3.
+        let v = sample();
+        let cp = v.element("Central Park").unwrap();
+        let nyc = v.element("NYC").unwrap();
+        let f3 = Fact::new(cp, v.relation("inside").unwrap(), nyc);
+        let f4 = Fact::new(cp, v.relation("nearBy").unwrap(), nyc);
+        assert!(v.fact_leq(&f4, &f3));
+        assert!(!v.fact_leq(&f3, &f4));
+    }
+
+    #[test]
+    fn factset_order_requires_witness_per_fact() {
+        let v = sample();
+        let do_at = v.relation("doAt").unwrap();
+        let cp = v.element("Central Park").unwrap();
+        let sport = Fact::new(v.element("Sport").unwrap(), do_at, cp);
+        let biking = Fact::new(v.element("Biking").unwrap(), do_at, cp);
+        let baseball = Fact::new(v.element("Baseball").unwrap(), do_at, cp);
+
+        let general = FactSet::from_facts([sport]);
+        let specific = FactSet::from_facts([biking, baseball]);
+        assert!(v.factset_leq(&general, &specific));
+        assert!(!v.factset_leq(&specific, &general));
+        assert!(
+            v.factset_leq(&FactSet::new(), &general),
+            "empty set is ≤ everything"
+        );
+    }
+
+    #[test]
+    fn fact_implied_matches_factset_leq_singleton() {
+        let v = sample();
+        let do_at = v.relation("doAt").unwrap();
+        let cp = v.element("Central Park").unwrap();
+        let sport = Fact::new(v.element("Sport").unwrap(), do_at, cp);
+        let biking = Fact::new(v.element("Biking").unwrap(), do_at, cp);
+        let t = FactSet::from_facts([biking]);
+        assert!(v.fact_implied(&sport, &t));
+        assert_eq!(
+            v.fact_implied(&sport, &t),
+            v.factset_leq(&FactSet::from_facts([sport]), &t)
+        );
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let v = sample();
+        assert!(v.element("Skiing").is_none());
+        assert!(matches!(
+            v.element_or_err("Skiing"),
+            Err(VocabError::UnknownName(_))
+        ));
+        assert!(matches!(
+            v.relation_or_err("eats"),
+            Err(VocabError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn rendering_uses_names() {
+        let v = sample();
+        let f = Fact::new(
+            v.element("Biking").unwrap(),
+            v.relation("doAt").unwrap(),
+            v.element("Central Park").unwrap(),
+        );
+        assert_eq!(v.fact_to_string(&f), "Biking doAt Central Park");
+        let fs = FactSet::from_facts([f]);
+        assert_eq!(v.factset_to_string(&fs), "Biking doAt Central Park");
+    }
+
+    #[test]
+    fn counts_reflect_interned_terms() {
+        let v = sample();
+        assert_eq!(v.num_relations(), 3); // inside, nearBy, doAt
+        assert!(v.num_elements() >= 9);
+    }
+}

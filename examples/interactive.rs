@@ -1,0 +1,100 @@
+//! Interactive OASSIS console — a terminal stand-in for the paper's web UI
+//! (Section 6.2): type OASSIS-QL queries against the Figure 1 ontology and
+//! have them evaluated by the simulated u1/u2 crowd of Table 3.
+//!
+//! ```text
+//! cargo run --release --example interactive
+//! oassis> SELECT FACT-SETS WHERE $y subClassOf* Activity
+//!         SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3
+//! ```
+//!
+//! Commands: a query (may span lines; finish with `WITH SUPPORT = θ`),
+//! `:ontology` to list the ontology facts, `:quit` to exit.
+//! Reads until EOF, so it is also scriptable: `echo ... | interactive`.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use oassis::core::{EngineConfig, Oassis};
+use oassis::crowd::transaction::table3_dbs;
+use oassis::crowd::{CrowdMember, DbMember, MemberId};
+use oassis::store::ontology::figure1_ontology;
+
+fn main() {
+    let ontology = figure1_ontology();
+    let vocab = Arc::new(ontology.vocabulary().clone());
+    let engine = Oassis::new(ontology.clone());
+
+    println!("OASSIS interactive console — Figure 1 ontology, crowd = u1 + u2 (Table 3).");
+    println!("Finish a query with `WITH SUPPORT = <θ>`; `:ontology` lists facts; `:quit` exits.");
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("oassis> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed == ":quit" {
+            break;
+        }
+        if trimmed == ":ontology" {
+            for t in ontology.store().iter() {
+                println!("  {}", ontology.triple_to_string(t));
+            }
+            print!("oassis> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // A query is complete once the WITH SUPPORT clause has a value.
+        let complete = buffer.to_uppercase().contains("WITH SUPPORT")
+            && buffer
+                .rsplit('=')
+                .next()
+                .is_some_and(|tail| tail.trim().parse::<f64>().is_ok());
+        if !complete {
+            print!("   ...> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+
+        let src = std::mem::take(&mut buffer);
+        // Fresh members per query (answers are deterministic anyway).
+        let (d1, d2) = table3_dbs(&vocab);
+        let mut members: Vec<Box<dyn CrowdMember>> = vec![
+            Box::new(DbMember::new(MemberId(1), d1, Arc::clone(&vocab))),
+            Box::new(DbMember::new(MemberId(2), d2, Arc::clone(&vocab))),
+        ];
+        let config = EngineConfig {
+            aggregator_sample: 2,
+            ..EngineConfig::default()
+        };
+        match engine.execute(&src, &mut members, &config) {
+            Ok(result) => {
+                if result.answers.is_empty() {
+                    println!("No significant patterns at this threshold.");
+                } else {
+                    println!("Answers:");
+                    for a in &result.answers {
+                        let support = a.support.map_or("?".to_owned(), |s| format!("{s:.3}"));
+                        let tag = if a.valid { "" } else { "  [generalized]" };
+                        println!("  - {}  (support {support}){tag}", a.rendered);
+                    }
+                }
+                println!(
+                    "({} crowd questions, {} distinct)",
+                    result.stats.total_questions, result.stats.unique_questions
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        print!("oassis> ");
+        io::stdout().flush().ok();
+    }
+    println!("\nbye");
+}

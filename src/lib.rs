@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # oassis
+//!
+//! Facade crate for the OASSIS reproduction ("OASSIS: Query Driven Crowd
+//! Mining", SIGMOD 2014). Re-exports every workspace crate so downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use oassis::vocab::Vocabulary;
+//!
+//! let mut b = Vocabulary::builder();
+//! b.element_isa("Biking", "Sport");
+//! let v = b.build().unwrap();
+//! let (sport, biking) = (v.element("Sport").unwrap(), v.element("Biking").unwrap());
+//! assert!(v.elem_leq(sport, biking)); // Sport ≤E Biking
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-code mapping.
+
+pub use oassis_core as core;
+pub use oassis_crowd as crowd;
+pub use oassis_datagen as datagen;
+pub use oassis_ql as ql;
+pub use oassis_sparql as sparql;
+pub use oassis_store as store;
+pub use oassis_vocab as vocab;

@@ -1,0 +1,123 @@
+//! Property tests over random planted instances: all three mining
+//! algorithms agree with the planted ground truth and with each other, the
+//! vertical algorithm recovers exactly the planted MSPs, and question
+//! budgets are respected.
+
+use proptest::prelude::*;
+
+use oassis::core::{HorizontalMiner, MinerConfig, NaiveMiner, VerticalMiner};
+use oassis::crowd::MemberId;
+use oassis::datagen::{plant_msps, MspDistribution, PlantedOracle, SynthConfig, SynthInstance};
+
+fn instance(width: usize, depth: usize, seed: u64) -> SynthInstance {
+    SynthInstance::generate(&SynthConfig {
+        width,
+        depth,
+        threshold: 0.2,
+        seed,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The vertical algorithm recovers exactly the planted MSP set on
+    /// arbitrary tree shapes and planting seeds.
+    #[test]
+    fn vertical_recovers_planted_msps(
+        width in 20usize..80,
+        depth in 2usize..6,
+        n_msps in 1usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let inst = instance(width, depth, seed);
+        let mut planted = plant_msps(
+            &inst.space, &inst.valid_nodes, n_msps, MspDistribution::Uniform, seed,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+        let out = VerticalMiner::run(&inst.space, &mut oracle, &MinerConfig::new(0.2));
+        let mut found = out.msps.clone();
+        planted.sort();
+        found.sort();
+        prop_assert_eq!(found, planted);
+    }
+
+    /// Vertical, horizontal and naive classify every valid assignment
+    /// identically (they share the inference scheme and the oracle).
+    #[test]
+    fn algorithms_agree_on_significance(
+        width in 20usize..60,
+        depth in 2usize..5,
+        n_msps in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let inst = instance(width, depth, seed);
+        let planted = plant_msps(
+            &inst.space, &inst.valid_nodes, n_msps, MspDistribution::Uniform, seed,
+        );
+        let cfg = MinerConfig::new(0.2);
+        let run = |which: usize| {
+            let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+            match which {
+                0 => VerticalMiner::run(&inst.space, &mut oracle, &cfg),
+                1 => HorizontalMiner::run(&inst.space, &mut oracle, &cfg),
+                _ => NaiveMiner::run(&inst.space, &mut oracle, &cfg, &inst.valid_nodes),
+            }
+        };
+        let (v, h, n) = (run(0), run(1), run(2));
+        let vocab = inst.space.ontology().vocabulary();
+        for a in &inst.valid_nodes {
+            let truth = planted.iter().any(|m| a.leq(m, vocab));
+            prop_assert_eq!(v.state.is_significant(a, vocab), truth, "vertical wrong at {}", a);
+            prop_assert_eq!(h.state.is_significant(a, vocab), truth, "horizontal wrong at {}", a);
+            prop_assert_eq!(n.state.is_significant(a, vocab), truth, "naive wrong at {}", a);
+        }
+        // MSP sets agree too.
+        let mut vm = v.msps.clone();
+        let mut hm = h.msps.clone();
+        vm.sort();
+        hm.sort();
+        prop_assert_eq!(vm, hm);
+    }
+
+    /// The specialization/pruning question mix never changes the result.
+    #[test]
+    fn question_mix_is_result_invariant(
+        seed in 0u64..10_000,
+        spec in 0.0f64..1.0,
+        prune in 0.0f64..1.0,
+    ) {
+        let inst = instance(40, 4, seed);
+        let mut planted = plant_msps(
+            &inst.space, &inst.valid_nodes, 5, MspDistribution::Uniform, seed,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+        let cfg = MinerConfig {
+            specialization_ratio: spec,
+            pruning_ratio: prune,
+            seed,
+            ..MinerConfig::new(0.2)
+        };
+        let out = VerticalMiner::run(&inst.space, &mut oracle, &cfg);
+        let mut found = out.msps.clone();
+        planted.sort();
+        found.sort();
+        prop_assert_eq!(found, planted);
+    }
+
+    /// Unique questions never exceed the Proposition 4.7 bound argument.
+    #[test]
+    fn crowd_complexity_bound(seed in 0u64..10_000) {
+        let inst = instance(50, 4, seed);
+        let planted = plant_msps(
+            &inst.space, &inst.valid_nodes, 4, MspDistribution::Uniform, seed,
+        );
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+        let out = VerticalMiner::run(&inst.space, &mut oracle, &MinerConfig::new(0.2));
+        let vocab = inst.space.ontology().vocabulary();
+        let bound = (vocab.num_elements() + vocab.num_relations()) * out.msps.len().max(1)
+            + out.state.insignificant_border().len();
+        prop_assert!(out.stats.unique_questions <= bound);
+    }
+}

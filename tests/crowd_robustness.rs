@@ -1,0 +1,169 @@
+//! Integration tests for the crowd-quality machinery of Section 4.2:
+//! spammer detection via answer-consistency, noise robustness of the
+//! aggregated multi-user execution, and member quotas.
+
+use std::sync::Arc;
+
+use oassis::core::{EngineConfig, Oassis};
+use oassis::crowd::quality::{consistency_violations, is_spammer};
+use oassis::crowd::{CrowdMember, MemberId, SpammerMember};
+use oassis::datagen::{generate_crowd, self_treatment_domain, CrowdGenConfig};
+use oassis::vocab::FactSet;
+
+fn crowd_cfg(seed: u64) -> CrowdGenConfig {
+    CrowdGenConfig {
+        members: 24,
+        transactions_per_member: 15,
+        popular_patterns: 5,
+        popularity: 0.85,
+        zipf: 1.0,
+        facts_per_transaction: 1,
+        discretize: false,
+        seed,
+    }
+}
+
+/// Honest members produce consistent answer logs; the spammer filter
+/// separates them from random answerers on the same question sequence.
+#[test]
+fn spammer_filter_separates_honest_from_random() {
+    let domain = self_treatment_domain();
+    let vocab = domain.ontology.vocabulary();
+    let crowd = generate_crowd(&domain, &crowd_cfg(5));
+    let mut honest = crowd.members[0].clone();
+    let mut spammer = SpammerMember::new(MemberId(99), 4);
+
+    // Ask both about a chain of increasingly specific fact-sets, repeatedly.
+    let rel = vocab.relation(domain.relation).unwrap();
+    let symptom = vocab.element("Symptom").unwrap();
+    let mut spam_log = Vec::new();
+    for _round in 0..6 {
+        for subject in ["Remedy", "Remedy-0", "Remedy-1", "Remedy-2"] {
+            let s = vocab.element(subject).unwrap();
+            let fs = FactSet::from_facts([oassis::vocab::Fact::new(s, rel, symptom)]);
+            honest.ask_concrete(&fs);
+            let sp = spammer.ask_concrete(&fs);
+            spam_log.push((fs, sp));
+        }
+    }
+    assert!(
+        consistency_violations(honest.answer_log(), vocab, 1e-9).is_empty(),
+        "honest member must be self-consistent"
+    );
+    assert!(is_spammer(&spam_log, vocab, 0.0, 0.05));
+    assert!(!is_spammer(honest.answer_log(), vocab, 0.0, 0.05));
+}
+
+/// A minority of spammers among honest members shifts averages but the top
+/// pattern still surfaces (the aggregator averages over five answers).
+#[test]
+fn execution_tolerates_minority_spam() {
+    let domain = self_treatment_domain();
+    let crowd = generate_crowd(&domain, &crowd_cfg(9));
+    let engine = Oassis::new(domain.ontology.clone());
+    let query = engine.parse(&domain.query).unwrap();
+
+    // Clean run.
+    let mut clean: Vec<Box<dyn CrowdMember>> = crowd
+        .members
+        .iter()
+        .cloned()
+        .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+        .collect();
+    let clean_result = engine
+        .execute_parsed(&query, 0.2, &mut clean, &EngineConfig::default())
+        .unwrap();
+    assert!(!clean_result.answers.is_empty());
+
+    // Same crowd plus 3 spammers (11% of members).
+    let mut noisy: Vec<Box<dyn CrowdMember>> = crowd
+        .members
+        .iter()
+        .cloned()
+        .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+        .collect();
+    for i in 0..3 {
+        noisy.push(Box::new(SpammerMember::new(MemberId(200 + i), i as u64)));
+    }
+    let noisy_result = engine
+        .execute_parsed(&query, 0.2, &mut noisy, &EngineConfig::default())
+        .unwrap();
+    // The most popular clean answer survives the spam.
+    let top_clean = &clean_result.answers[0].rendered;
+    assert!(
+        noisy_result
+            .answers
+            .iter()
+            .any(|a| &a.rendered == top_clean),
+        "top clean answer {top_clean:?} lost under spam: {:?}",
+        noisy_result
+            .answers
+            .iter()
+            .map(|a| &a.rendered)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Answer noise within the aggregator's tolerance does not change the top
+/// answers.
+#[test]
+fn small_answer_noise_is_tolerated() {
+    let domain = self_treatment_domain();
+    let crowd = generate_crowd(&domain, &crowd_cfg(13));
+    let engine = Oassis::new(domain.ontology.clone());
+    let query = engine.parse(&domain.query).unwrap();
+
+    let run = |noise: f64| {
+        let mut members: Vec<Box<dyn CrowdMember>> = crowd
+            .members
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, m)| {
+                let m = if noise > 0.0 {
+                    m.with_noise(noise, i as u64)
+                } else {
+                    m
+                };
+                Box::new(m) as Box<dyn CrowdMember>
+            })
+            .collect();
+        engine
+            .execute_parsed(&query, 0.2, &mut members, &EngineConfig::default())
+            .unwrap()
+    };
+    let clean = run(0.0);
+    let noisy = run(0.02);
+    let top_clean = &clean.answers[0].rendered;
+    assert!(
+        noisy.answers.iter().any(|a| &a.rendered == top_clean),
+        "top answer unstable under 2% noise"
+    );
+}
+
+/// Members leaving early (quotas) degrade coverage gracefully: the run
+/// terminates and never exceeds the members' combined willingness.
+#[test]
+fn quotas_bound_total_questions() {
+    let domain = self_treatment_domain();
+    let ontology = Arc::new(domain.ontology.clone());
+    let crowd = generate_crowd(&domain, &crowd_cfg(21));
+    let quota = 10usize;
+    let mut members: Vec<Box<dyn CrowdMember>> = crowd
+        .members
+        .into_iter()
+        .map(|m| Box::new(m.with_quota(quota)) as Box<dyn CrowdMember>)
+        .collect();
+    let n_members = members.len();
+    let engine = Oassis::from_arc(ontology);
+    let result = engine
+        .execute(&domain.query, &mut members, &EngineConfig::default())
+        .unwrap();
+    assert!(
+        result.stats.total_questions <= n_members * (quota + 1),
+        "{} questions for {} members with quota {}",
+        result.stats.total_questions,
+        n_members,
+        quota
+    );
+}

@@ -1,0 +1,164 @@
+//! Executes every query snippet from `docs/oassis-ql-guide.md` against the
+//! Figure 1 ontology, so the guide can never drift from the implementation.
+
+use oassis::ql::{parse_query, Multiplicity, SelectForm};
+use oassis::store::ontology::figure1_ontology;
+
+#[test]
+fn section_1_query_anatomy() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE
+          $w subClassOf* Attraction.
+          $x instanceOf $w.
+          $x inside NYC.
+          $x hasLabel "child-friendly".
+          $y subClassOf* Activity.
+          $z instanceOf Restaurant.
+          $z nearBy $x
+        SATISFYING
+          $y+ doAt $x.
+          [] eatAt $z.
+          MORE
+        WITH SUPPORT = 0.4
+        "#,
+        &o,
+    )
+    .unwrap();
+    assert_eq!(q.where_patterns.len(), 7);
+    assert!(q.satisfying.more);
+}
+
+#[test]
+fn section_3_where_clause() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE
+          $w subClassOf* Attraction.
+          $x instanceOf $w
+        SATISFYING
+          $y doAt $x
+        WITH SUPPORT = 0.3
+        "#,
+        &o,
+    )
+    .unwrap();
+    assert_eq!(q.where_patterns.len(), 2);
+}
+
+#[test]
+fn section_4_satisfying_clause() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE $y subClassOf* Activity
+        SATISFYING
+          $y doAt <Central Park>
+        WITH SUPPORT = 0.25
+        "#,
+        &o,
+    )
+    .unwrap();
+    assert_eq!(q.satisfying.patterns.len(), 1);
+}
+
+#[test]
+fn section_5_multiplicities() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE $y subClassOf* Activity
+        SATISFYING
+          $y{2} doAt <Central Park>
+        WITH SUPPORT = 0.2
+        "#,
+        &o,
+    )
+    .unwrap();
+    let y = q.vars.get("y").unwrap();
+    assert_eq!(q.multiplicity_of(y), Multiplicity::Exactly(2));
+}
+
+#[test]
+fn section_6_more() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE $y subClassOf* Activity
+        SATISFYING
+          $y doAt <Central Park>.
+          MORE
+        WITH SUPPORT = 0.3
+        "#,
+        &o,
+    )
+    .unwrap();
+    assert!(q.satisfying.more);
+}
+
+#[test]
+fn section_7_frequent_itemsets() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        "SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.6",
+        &o,
+    )
+    .unwrap();
+    assert!(q.where_patterns.is_empty());
+    let x = q.vars.get("x").unwrap();
+    assert_eq!(q.multiplicity_of(x), Multiplicity::AtLeastOne);
+}
+
+#[test]
+fn section_8_select_forms() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        "SELECT VARIABLES ALL WHERE SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3",
+        &o,
+    )
+    .unwrap();
+    assert_eq!(q.select, SelectForm::Variables);
+    assert!(q.all);
+}
+
+#[test]
+fn section_9_relation_variables() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        "SELECT VARIABLES WHERE SATISFYING $x $p $z WITH SUPPORT = 0.5",
+        &o,
+    )
+    .unwrap();
+    assert!(q.satisfying.patterns[0].relation.as_var().is_some());
+}
+
+#[test]
+fn section_11_rejections() {
+    let o = figure1_ontology();
+    let bad = [
+        // Missing WITH SUPPORT value.
+        "SELECT FACT-SETS WHERE SATISFYING $x doAt $y WITH SUPPORT =",
+        // Support out of range.
+        "SELECT FACT-SETS WHERE SATISFYING $x doAt $y WITH SUPPORT = 2",
+        // Empty SATISFYING.
+        "SELECT FACT-SETS WHERE SATISFYING WITH SUPPORT = 0.2",
+        // MORE not last.
+        "SELECT FACT-SETS WHERE SATISFYING MORE. $x doAt $y WITH SUPPORT = 0.2",
+        // Multiplicity on a constant.
+        "SELECT FACT-SETS WHERE SATISFYING Biking{2} doAt $y WITH SUPPORT = 0.2",
+        // Conflicting multiplicities.
+        "SELECT FACT-SETS WHERE SATISFYING $y+ doAt $x. $y? eatAt $x WITH SUPPORT = 0.2",
+        // Unknown name.
+        "SELECT FACT-SETS WHERE SATISFYING $y orbits $x WITH SUPPORT = 0.2",
+    ];
+    for src in bad {
+        assert!(parse_query(src, &o).is_err(), "should reject: {src}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for OASSIS-QL: pretty-print → parse round-trips, and
+//! lexer robustness on arbitrary input.
+
+use proptest::prelude::*;
+
+use oassis::ql::{parse_query, Multiplicity};
+use oassis::sparql::tokenize;
+use oassis::store::ontology::figure1_ontology;
+
+/// Element names usable as bare or angle-bracketed tokens.
+const ELEMENTS: &[&str] = &[
+    "Activity",
+    "Sport",
+    "Biking",
+    "Ball Game",
+    "Central Park",
+    "Attraction",
+    "Restaurant",
+    "NYC",
+    "Maoz Veg.",
+];
+const RELATIONS: &[&str] = &[
+    "doAt",
+    "eatAt",
+    "inside",
+    "nearBy",
+    "subClassOf",
+    "instanceOf",
+];
+const VARS: &[&str] = &["x", "y", "z", "w"];
+
+fn quote(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_alphanumeric() || c == '-' || c == '_')
+    {
+        name.to_owned()
+    } else {
+        format!("<{name}>")
+    }
+}
+
+fn arb_where_pattern() -> impl Strategy<Value = String> {
+    (
+        0..VARS.len(),
+        0..RELATIONS.len(),
+        prop_oneof![Just(""), Just("*"), Just("+")],
+        prop_oneof![
+            (0..ELEMENTS.len()).prop_map(|i| quote(ELEMENTS[i])),
+            (0..VARS.len()).prop_map(|i| format!("${}", VARS[i])),
+        ],
+    )
+        .prop_map(|(v, r, star, obj)| format!("${} {}{} {}", VARS[v], RELATIONS[r], star, obj))
+}
+
+fn arb_mult() -> impl Strategy<Value = (Multiplicity, String)> {
+    prop_oneof![
+        Just((Multiplicity::One, String::new())),
+        Just((Multiplicity::AtLeastOne, "+".to_owned())),
+        Just((Multiplicity::Any, "*".to_owned())),
+        Just((Multiplicity::Optional, "?".to_owned())),
+        (2u32..5).prop_map(|n| (Multiplicity::Exactly(n), format!("{{{n}}}"))),
+    ]
+}
+
+fn arb_sat_pattern() -> impl Strategy<Value = String> {
+    (
+        0..VARS.len(),
+        arb_mult(),
+        prop_oneof![
+            (0..2usize).prop_map(|i| ["doAt", "eatAt"][i].to_owned()),
+            Just("[]".to_owned()),
+        ],
+        prop_oneof![
+            (0..ELEMENTS.len()).prop_map(|i| quote(ELEMENTS[i])),
+            (0..VARS.len()).prop_map(|i| format!("${}", VARS[i])),
+            Just("[]".to_owned()),
+        ],
+    )
+        .prop_map(|(v, (_, mult), rel, obj)| format!("${}{} {} {}", VARS[v], mult, rel, obj))
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("FACT-SETS"), Just("VARIABLES")],
+        proptest::bool::ANY,
+        proptest::collection::vec(arb_where_pattern(), 0..4),
+        proptest::collection::vec(arb_sat_pattern(), 1..4),
+        proptest::bool::ANY,
+        (0u32..=100).prop_map(|n| n as f64 / 100.0),
+    )
+        .prop_map(|(form, all, wheres, sats, more, support)| {
+            let mut q = format!("SELECT {form}{}", if all { " ALL" } else { "" });
+            q.push_str("\nWHERE\n");
+            q.push_str(&wheres.join(".\n"));
+            q.push_str("\nSATISFYING\n");
+            q.push_str(&sats.join(".\n"));
+            if more {
+                q.push_str(".\nMORE");
+            }
+            q.push_str(&format!("\nWITH SUPPORT = {support}"));
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any generated query that parses round-trips through pretty-printing
+    /// to a structurally identical query.
+    #[test]
+    fn printed_queries_reparse_identically(src in arb_query()) {
+        let o = figure1_ontology();
+        // Some generated queries are invalid (conflicting multiplicities);
+        // only round-trip those that parse.
+        let Ok(q) = parse_query(&src, &o) else { return Ok(()); };
+        let printed = q.to_ql_string(&o);
+        let q2 = parse_query(&printed, &o).unwrap_or_else(|e| {
+            panic!("printed query failed to reparse: {e}\n{printed}")
+        });
+        prop_assert_eq!(q.select, q2.select);
+        prop_assert_eq!(q.all, q2.all);
+        prop_assert_eq!(q.where_patterns.len(), q2.where_patterns.len());
+        prop_assert_eq!(q.satisfying.patterns.len(), q2.satisfying.patterns.len());
+        prop_assert_eq!(q.satisfying.more, q2.satisfying.more);
+        prop_assert!((q.satisfying.support - q2.satisfying.support).abs() < 1e-12);
+        // Multiplicities survive (compare per pattern position).
+        for (a, b) in q.satisfying.patterns.iter().zip(&q2.satisfying.patterns) {
+            prop_assert_eq!(a.subject_mult, b.subject_mult);
+            prop_assert_eq!(a.object_mult, b.object_mult);
+        }
+        // And printing is a fixpoint.
+        prop_assert_eq!(printed.clone(), q2.to_ql_string(&o));
+    }
+
+    /// The lexer never panics, whatever bytes it gets.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = tokenize(&src);
+    }
+
+    /// The parser never panics on token soup assembled from valid fragments.
+    #[test]
+    fn parser_total_on_fragment_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FACT-SETS"), Just("WHERE"), Just("SATISFYING"),
+                Just("MORE"), Just("WITH"), Just("SUPPORT"), Just("="), Just("0.3"),
+                Just("$x"), Just("doAt"), Just("[]"), Just("."), Just("+"), Just("*"),
+                Just("Biking"), Just("<Central Park>"),
+            ],
+            0..25,
+        )
+    ) {
+        let o = figure1_ontology();
+        let src = parts.join(" ");
+        let _ = parse_query(&src, &o);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parsing_is_deterministic(src in arb_query()) {
+        let o = figure1_ontology();
+        let a = parse_query(&src, &o);
+        let b = parse_query(&src, &o);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a.to_ql_string(&o), b.to_ql_string(&o));
+        }
+    }
+}

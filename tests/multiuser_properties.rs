@@ -1,0 +1,122 @@
+//! Property tests for the multi-user engine (Section 4.2): with a crowd of
+//! identical members and a sample size equal to the crowd, the aggregate is
+//! each member's own answer — so the multi-user run must find exactly the
+//! single-user vertical algorithm's MSPs; and the engine must be
+//! deterministic for a fixed seed.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use oassis::core::{EngineConfig, MinerConfig, Oassis, VerticalMiner};
+use oassis::crowd::{CrowdMember, MemberId};
+use oassis::datagen::{plant_msps, MspDistribution, PlantedOracle, SynthConfig, SynthInstance};
+use oassis::sparql::MatchMode;
+
+fn instance(width: usize, depth: usize, seed: u64) -> SynthInstance {
+    SynthInstance::generate(&SynthConfig {
+        width,
+        depth,
+        threshold: 0.2,
+        seed,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Multi-user with k identical oracles (sample size k) finds the same
+    /// MSP set as the single-user vertical algorithm.
+    #[test]
+    fn clones_reduce_to_single_user(
+        width in 15usize..50,
+        depth in 2usize..5,
+        n_msps in 1usize..6,
+        k in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let inst = instance(width, depth, seed);
+        let planted = plant_msps(
+            &inst.space, &inst.valid_nodes, n_msps, MspDistribution::Uniform, seed,
+        );
+
+        // Single user.
+        let mut oracle = PlantedOracle::new(MemberId(0), &inst.space, &planted, 0.5);
+        let single = VerticalMiner::run(&inst.space, &mut oracle, &MinerConfig::new(0.2));
+
+        // k clones through the engine.
+        let engine = Oassis::from_arc(Arc::clone(&inst.ontology));
+        let query = engine.parse(&inst.query_src).unwrap();
+        let cfg = EngineConfig {
+            aggregator_sample: k,
+            mode: MatchMode::Semantic,
+            ..EngineConfig::default()
+        };
+        let mut members: Vec<Box<dyn CrowdMember>> = (0..k)
+            .map(|i| {
+                Box::new(PlantedOracle::new(
+                    MemberId(i as u32),
+                    &inst.space,
+                    &planted,
+                    0.5,
+                )) as Box<dyn CrowdMember>
+            })
+            .collect();
+        let multi = engine.execute_parsed(&query, 0.2, &mut members, &cfg).unwrap();
+
+        let mut single_msps: Vec<String> = single
+            .msps
+            .iter()
+            .map(|m| {
+                inst.space
+                    .ontology()
+                    .vocabulary()
+                    .factset_to_string(&inst.space.instantiate(m))
+            })
+            .collect();
+        let mut multi_msps: Vec<String> =
+            multi.answers.iter().map(|a| a.rendered.clone()).collect();
+        single_msps.sort();
+        multi_msps.sort();
+        prop_assert_eq!(single_msps, multi_msps);
+    }
+
+    /// The engine is deterministic: same members, same seed, same result.
+    #[test]
+    fn engine_is_deterministic(
+        width in 15usize..40,
+        n_msps in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let inst = instance(width, 3, seed);
+        let planted = plant_msps(
+            &inst.space, &inst.valid_nodes, n_msps, MspDistribution::Uniform, seed,
+        );
+        let engine = Oassis::from_arc(Arc::clone(&inst.ontology));
+        let query = engine.parse(&inst.query_src).unwrap();
+        let run = || {
+            let mut members: Vec<Box<dyn CrowdMember>> = (0..3)
+                .map(|i| {
+                    Box::new(PlantedOracle::new(
+                        MemberId(i as u32),
+                        &inst.space,
+                        &planted,
+                        0.5,
+                    )) as Box<dyn CrowdMember>
+                })
+                .collect();
+            let cfg = EngineConfig {
+                aggregator_sample: 3,
+                seed,
+                ..EngineConfig::default()
+            };
+            engine.execute_parsed(&query, 0.2, &mut members, &cfg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.stats.total_questions, b.stats.total_questions);
+        let ar: Vec<String> = a.answers.iter().map(|x| x.rendered.clone()).collect();
+        let br: Vec<String> = b.answers.iter().map(|x| x.rendered.clone()).collect();
+        prop_assert_eq!(ar, br);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests of the semantic partial orders (Definitions 2.1,
+//! 2.5 and 4.1) and of the inference scheme's soundness (Observation 4.4),
+//! over randomly generated taxonomies.
+
+use proptest::prelude::*;
+
+use oassis::core::{AValue, Assignment, ClassificationState};
+use oassis::vocab::{ElementId, Fact, FactSet, RelationId, Vocabulary};
+
+/// Build a random forest taxonomy over `n` elements: element `i > 0` gets a
+/// random parent among `0..i` (or none), guaranteeing acyclicity.
+fn arb_vocabulary(max_elems: usize) -> impl Strategy<Value = Vocabulary> {
+    (2..max_elems).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::option::of(0..usize::MAX), n - 1).prop_map(
+            move |parents| {
+                let mut b = Vocabulary::builder();
+                for i in 0..n {
+                    b.element(&format!("e{i}"));
+                }
+                b.relation("r0");
+                b.relation("r1");
+                b.relation_isa("r1", "r0");
+                for (i, p) in parents.iter().enumerate() {
+                    let child = i + 1;
+                    if let Some(p) = p {
+                        let parent = p % child;
+                        b.element_isa_ids(ElementId(child as u32), ElementId(parent as u32));
+                    }
+                }
+                b.build().expect("forest is acyclic")
+            },
+        )
+    })
+}
+
+/// Raw fact material; ids are mapped into the vocabulary's range in-test
+/// (rather than filtered with `prop_assume`, which rejects too often).
+fn arb_raw_factset() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec((0usize..1000, 0usize..2, 0usize..1000), 0..4)
+}
+
+fn materialize(raw: &[(usize, usize, usize)], n_elems: usize) -> FactSet {
+    FactSet::from_facts(raw.iter().map(|&(s, r, o)| {
+        Fact::new(
+            ElementId((s % n_elems) as u32),
+            RelationId((r % 2) as u32),
+            ElementId((o % n_elems) as u32),
+        )
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ≤E is reflexive and transitive on every generated taxonomy.
+    #[test]
+    fn elem_order_is_a_preorder(v in arb_vocabulary(24), seed in 0usize..1000) {
+        let n = v.num_elements();
+        let a = ElementId((seed % n) as u32);
+        prop_assert!(v.elem_leq(a, a));
+        for b in 0..n {
+            for c in 0..n {
+                let (b, c) = (ElementId(b as u32), ElementId(c as u32));
+                if v.elem_leq(a, b) && v.elem_leq(b, c) {
+                    prop_assert!(v.elem_leq(a, c), "transitivity failed");
+                }
+                // Antisymmetry.
+                if v.elem_leq(a, b) && v.elem_leq(b, a) {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    /// Fact order is component-wise; fact-set order is reflexive,
+    /// transitive, and monotone under supersets on the right.
+    #[test]
+    fn factset_order_laws(
+        v in arb_vocabulary(16),
+        raw_a in arb_raw_factset(),
+        raw_b in arb_raw_factset(),
+        raw_c in arb_raw_factset(),
+    ) {
+        let n = v.num_elements();
+        let (a, b, c) = (materialize(&raw_a, n), materialize(&raw_b, n), materialize(&raw_c, n));
+
+        prop_assert!(v.factset_leq(&a, &a), "reflexive");
+        if v.factset_leq(&a, &b) && v.factset_leq(&b, &c) {
+            prop_assert!(v.factset_leq(&a, &c), "transitive");
+        }
+        // Right-monotone: A ≤ B implies A ≤ B ∪ C.
+        if v.factset_leq(&a, &b) {
+            prop_assert!(v.factset_leq(&a, &b.union(&c)));
+        }
+        // Empty set is bottom.
+        prop_assert!(v.factset_leq(&FactSet::new(), &a));
+    }
+
+    /// Support is antitone in the fact-set order: A ≤ B ⇒ supp(A) ≥ supp(B)
+    /// in every personal DB.
+    #[test]
+    fn support_is_antitone(
+        v in arb_vocabulary(16),
+        raw_a in arb_raw_factset(),
+        raw_b in arb_raw_factset(),
+        raw_txs in proptest::collection::vec(arb_raw_factset(), 1..6),
+    ) {
+        let n = v.num_elements();
+        let (a, b) = (materialize(&raw_a, n), materialize(&raw_b, n));
+        let db = oassis::crowd::PersonalDb::from_factsets(
+            raw_txs.iter().map(|t| materialize(t, n)),
+        );
+        if v.factset_leq(&a, &b) {
+            prop_assert!(db.support(&a, &v) >= db.support(&b, &v));
+        }
+    }
+
+    /// Inference soundness: whatever order facts are learned in, the border
+    /// state never misclassifies relative to a monotone ground truth.
+    #[test]
+    fn border_inference_is_sound(
+        v in arb_vocabulary(12),
+        truth_seed in 0u64..1000,
+        asks in proptest::collection::vec((0usize..12, 0usize..12), 1..20),
+    ) {
+        let n = v.num_elements();
+        // Monotone ground truth: φ significant iff φ ≤ some planted node.
+        let planted = Assignment::single_valued([
+            AValue::Elem(ElementId((truth_seed as usize % n) as u32)),
+            AValue::Elem(ElementId(((truth_seed as usize / n) % n) as u32)),
+        ]);
+        let significant = |phi: &Assignment| phi.leq(&planted, &v);
+
+        let mut state = ClassificationState::new();
+        let mut asked: Vec<Assignment> = Vec::new();
+        for (x, y) in asks {
+            if x >= n || y >= n { continue; }
+            let phi = Assignment::single_valued([
+                AValue::Elem(ElementId(x as u32)),
+                AValue::Elem(ElementId(y as u32)),
+            ]);
+            if significant(&phi) {
+                state.mark_significant(&phi, &v);
+            } else {
+                state.mark_insignificant(&phi, &v);
+            }
+            asked.push(phi);
+        }
+        // Every classification the state infers agrees with the truth.
+        for x in 0..n {
+            for y in 0..n {
+                let phi = Assignment::single_valued([
+                    AValue::Elem(ElementId(x as u32)),
+                    AValue::Elem(ElementId(y as u32)),
+                ]);
+                match state.status(&phi, &v) {
+                    oassis::core::border::Status::Significant => {
+                        prop_assert!(significant(&phi), "false positive at {phi}");
+                    }
+                    oassis::core::border::Status::Insignificant => {
+                        prop_assert!(!significant(&phi), "false negative at {phi}");
+                    }
+                    oassis::core::border::Status::Unclassified => {}
+                }
+            }
+        }
+    }
+
+    /// Assignment order: canonical antichains make ≤ a partial order, and
+    /// single-valued assignments order pointwise.
+    #[test]
+    fn assignment_order_laws(
+        v in arb_vocabulary(12),
+        xs in proptest::collection::vec((0usize..12, 0usize..12), 3),
+    ) {
+        let n = v.num_elements();
+        let mk = |x: usize, y: usize| Assignment::single_valued([
+            AValue::Elem(ElementId((x % n) as u32)),
+            AValue::Elem(ElementId((y % n) as u32)),
+        ]);
+        let a = mk(xs[0].0, xs[0].1);
+        let b = mk(xs[1].0, xs[1].1);
+        let c = mk(xs[2].0, xs[2].1);
+        prop_assert!(a.leq(&a, &v));
+        if a.leq(&b, &v) && b.leq(&c, &v) {
+            prop_assert!(a.leq(&c, &v));
+        }
+        if a.leq(&b, &v) && b.leq(&a, &v) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

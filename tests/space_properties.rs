@@ -1,0 +1,163 @@
+//! Property tests of the lazy assignment DAG (Section 5 invariants), over
+//! randomly shaped synthetic instances.
+
+use proptest::prelude::*;
+
+use oassis::datagen::{SynthConfig, SynthInstance};
+
+fn instance(width: usize, depth: usize, two_vars: bool, mult: bool, seed: u64) -> SynthInstance {
+    SynthInstance::generate(&SynthConfig {
+        width,
+        depth,
+        multiplicities: mult,
+        two_vars,
+        threshold: 0.2,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Successor/predecessor duality: every generated successor lists the
+    /// node among its predecessors, and vice versa.
+    #[test]
+    fn successors_and_predecessors_are_dual(
+        width in 10usize..40,
+        depth in 2usize..5,
+        two_vars in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, depth, two_vars, false, seed);
+        for node in inst.all_nodes.iter().step_by(7).take(12) {
+            for s in inst.space.successors(node) {
+                prop_assert!(
+                    inst.space.predecessors(&s).contains(node),
+                    "{node} -> {s} not dual"
+                );
+            }
+            for p in inst.space.predecessors(node) {
+                prop_assert!(
+                    inst.space.successors(&p).contains(node),
+                    "{p} -> {node} not dual"
+                );
+            }
+        }
+    }
+
+    /// Edges are strict and one-step: φ < succ(φ), and no other node of 𝒜
+    /// lies strictly between an edge's endpoints.
+    #[test]
+    fn edges_are_immediate(
+        width in 10usize..30,
+        depth in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, depth, false, false, seed);
+        let vocab = inst.space.ontology().vocabulary();
+        for node in inst.all_nodes.iter().step_by(11).take(6) {
+            for s in inst.space.successors(node) {
+                prop_assert!(node.lt(&s, vocab));
+                for mid in &inst.all_nodes {
+                    prop_assert!(
+                        !(node.lt(mid, vocab) && mid.lt(&s, vocab)),
+                        "{mid} lies strictly between {node} and {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// 𝒜 is downward closed: predecessors of members are members.
+    #[test]
+    fn space_is_downward_closed(
+        width in 10usize..40,
+        depth in 2usize..5,
+        two_vars in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, depth, two_vars, false, seed);
+        for node in inst.all_nodes.iter().step_by(5).take(20) {
+            prop_assert!(inst.space.in_space(node));
+            for p in inst.space.predecessors(node) {
+                prop_assert!(inst.space.in_space(&p), "predecessor {p} left 𝒜");
+            }
+        }
+    }
+
+    /// Instantiation is monotone: φ ≤ ψ implies φ(A_SAT) ≤ ψ(A_SAT) as
+    /// fact-sets (this is what makes Observation 4.4's inference sound).
+    #[test]
+    fn instantiation_is_monotone(
+        width in 10usize..30,
+        depth in 2usize..4,
+        mult in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, depth, false, mult, seed);
+        let vocab = inst.space.ontology().vocabulary();
+        for node in inst.all_nodes.iter().step_by(9).take(8) {
+            let fs = inst.space.instantiate(node);
+            for s in inst.space.successors(node) {
+                let fs2 = inst.space.instantiate(&s);
+                prop_assert!(
+                    vocab.factset_leq(&fs, &fs2),
+                    "instantiation not monotone on {node} -> {s}"
+                );
+            }
+        }
+    }
+
+    /// Roots are minimal and cover the whole DAG: every node is reachable
+    /// from some root by walking predecessors upward.
+    #[test]
+    fn roots_cover_the_dag(
+        width in 10usize..30,
+        depth in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, depth, false, false, seed);
+        let vocab = inst.space.ontology().vocabulary();
+        let roots = inst.space.roots();
+        prop_assert!(!roots.is_empty());
+        for node in inst.all_nodes.iter().step_by(13).take(10) {
+            prop_assert!(
+                roots.iter().any(|r| r.leq(node, vocab)),
+                "node {node} is below no root"
+            );
+        }
+    }
+
+    /// Multiplicity combinations obey Proposition 5.1: every valid
+    /// multi-valued successor's single-valued selections are valid.
+    #[test]
+    fn combinations_have_valid_selections(
+        width in 8usize..20,
+        seed in 0u64..1000,
+    ) {
+        let inst = instance(width, 3, false, true, seed);
+        let vocab = inst.space.ontology().vocabulary().clone();
+        let mut checked = 0;
+        for node in &inst.valid_nodes {
+            for s in inst.space.successors(node) {
+                if s.is_single_valued() || !inst.space.is_valid(&s) {
+                    continue;
+                }
+                checked += 1;
+                // Each value of the multi-set, taken alone, must be valid.
+                for x in 0..s.nvars() {
+                    for &v in s.values(x) {
+                        let single = s.with_values(x, vec![v], &vocab);
+                        prop_assert!(
+                            inst.space.is_valid(&single),
+                            "selection {single} of {s} is not valid"
+                        );
+                    }
+                }
+                if checked > 10 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
