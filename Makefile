@@ -1,0 +1,24 @@
+# Convenience targets; `make check` is the full gate (see scripts/check.sh).
+
+.PHONY: build test test-all clippy check figures bench
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+test-all:
+	cargo test -q --workspace
+
+clippy:
+	cargo clippy --workspace -- -D warnings
+
+check:
+	./scripts/check.sh
+
+figures:
+	cargo run --release -p oassis-bench --bin figures -- all
+
+bench:
+	cargo bench --workspace

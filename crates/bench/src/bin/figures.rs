@@ -7,13 +7,22 @@
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
 //! dist mult crowdmix bounds` (or `all`).
+//!
+//! Alongside the tables, machine-readable telemetry is appended as JSON
+//! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
+//! `target/figures.jsonl`: the raw engine events of the Figure 4a–4c runs
+//! plus one `figures.*` summary event per table cell. Set
+//! `OASSIS_FIGURES_JSON=-` to disable.
+
+use std::sync::Arc;
 
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
-    crowd_statistics, distribution_variation, multiplicity_variation, pace_of_collection,
+    crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
     shape_variation, CurveSeries, PaceResult,
 };
 use oassis_bench::table::render;
+use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
 use oassis_datagen::{
     culinary_domain, self_treatment_domain, travel_domain, CrowdGenConfig, Domain,
 };
@@ -43,9 +52,39 @@ fn paper_crowd(domain: &Domain, seed: u64) -> CrowdGenConfig {
     }
 }
 
-fn fig4_stats(tag: &str, domain: &Domain, seed: u64) {
+/// Open the JSON-lines telemetry sink (satellite output next to the
+/// tables). Returns the no-op sink when disabled or the file can't be
+/// created.
+fn telemetry_sink() -> Arc<dyn EventSink> {
+    let path = std::env::var("OASSIS_FIGURES_JSON").unwrap_or_else(|_| "target/figures.jsonl".into());
+    if path == "-" {
+        return null_sink();
+    }
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match JsonLinesSink::create(&path) {
+        Ok(sink) => {
+            eprintln!("telemetry: writing JSON lines to {path}");
+            Arc::new(sink)
+        }
+        Err(e) => {
+            eprintln!("telemetry: cannot create {path}: {e}; telemetry disabled");
+            null_sink()
+        }
+    }
+}
+
+fn fig4_stats(tag: &str, domain: &Domain, seed: u64, sink: &Arc<dyn EventSink>) {
     println!("== Figure 4{tag}: crowd statistics — {} ==", domain.name);
-    let rows = crowd_statistics(domain, &THRESHOLDS, &paper_crowd(domain, seed));
+    let rows = crowd_statistics_observed(domain, &THRESHOLDS, &paper_crowd(domain, seed), sink);
+    for r in &rows {
+        let label = format!("fig4{tag}:{}:{:.1}", domain.name, r.threshold);
+        sink.count_labeled("figures.questions", &label, r.questions as u64);
+        sink.count_labeled("figures.msps", &label, r.msps as u64);
+        sink.count_labeled("figures.valid_msps", &label, r.valid_msps as u64);
+        sink.gauge_labeled("figures.baseline_pct", &label, r.baseline_pct);
+    }
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -133,12 +172,13 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
     let seed = 2014;
+    let sink = telemetry_sink();
 
     for w in wanted {
         match w {
-            "fig4a" => fig4_stats("a", &travel_domain(), seed),
-            "fig4b" => fig4_stats("b", &culinary_domain(), seed),
-            "fig4c" => fig4_stats("c", &self_treatment_domain(), seed),
+            "fig4a" => fig4_stats("a", &travel_domain(), seed, &sink),
+            "fig4b" => fig4_stats("b", &culinary_domain(), seed, &sink),
+            "fig4c" => fig4_stats("c", &self_treatment_domain(), seed, &sink),
             "fig4d" => {
                 let d = travel_domain();
                 let crowd = paper_crowd(&d, seed);

@@ -2,13 +2,13 @@
 
 use std::sync::Arc;
 
-use serde::Serialize;
 
 use oassis_core::{
     baseline_question_count, AssignSpace, Assignment, EngineConfig, HorizontalMiner, MinerConfig,
     MinerOutcome, NaiveMiner, Oassis, VerticalMiner,
 };
 use oassis_crowd::{CrowdMember, MemberId};
+use oassis_obs::{null_sink, EventSink};
 use oassis_datagen::{
     generate_crowd, plant::plant_multiplicity_msps, plant_msps, CrowdGenConfig, Domain,
     MspDistribution, PlantedOracle, SynthConfig, SynthInstance,
@@ -19,7 +19,7 @@ use oassis_sparql::MatchMode;
 use crate::antichains::count_antichains_up_to;
 
 /// One row of the Figure 4a–4c crowd-statistics tables.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThresholdRow {
     /// Support threshold.
     pub threshold: f64,
@@ -53,6 +53,18 @@ pub fn crowd_statistics(
     thresholds: &[f64],
     crowd_cfg: &CrowdGenConfig,
 ) -> Vec<ThresholdRow> {
+    crowd_statistics_observed(domain, thresholds, crowd_cfg, &null_sink())
+}
+
+/// [`crowd_statistics`] with engine telemetry: every execution streams its
+/// events (questions, border updates, cache traffic, spans, ...) to `sink`,
+/// e.g. a [`oassis_obs::JsonLinesSink`] for machine-readable figure runs.
+pub fn crowd_statistics_observed(
+    domain: &Domain,
+    thresholds: &[f64],
+    crowd_cfg: &CrowdGenConfig,
+    sink: &Arc<dyn EventSink>,
+) -> Vec<ThresholdRow> {
     let engine = Oassis::new(domain.ontology.clone());
     let query = engine.parse(&domain.query).expect("query parses");
     let space = domain_space(domain);
@@ -76,7 +88,10 @@ pub fn crowd_statistics(
                 .into_iter()
                 .map(|m| Box::new(m) as Box<dyn CrowdMember>)
                 .collect();
-            let cfg = EngineConfig::default();
+            let cfg = EngineConfig {
+                sink: Arc::clone(sink),
+                ..EngineConfig::default()
+            };
             let result = engine
                 .execute_parsed(&query, th, &mut members, &cfg)
                 .expect("execution succeeds");
@@ -92,7 +107,7 @@ pub fn crowd_statistics(
 }
 
 /// A sampled discovery curve: questions needed to reach each fraction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PaceResult {
     /// Domain name.
     pub domain: String,
@@ -177,7 +192,7 @@ pub fn pace_of_collection(
 
 /// One curve of Figure 4f / Figure 5: questions to discover each fraction
 /// of the planted valid MSPs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CurveSeries {
     /// Series label (e.g. "Vertical", "50% special.").
     pub label: String,
@@ -330,7 +345,7 @@ pub fn algorithm_comparison(pct: f64, trials: u64, seed: u64) -> Vec<CurveSeries
 }
 
 /// One row of the §6.4 in-text variation experiments.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VariationRow {
     /// Variation label.
     pub label: String,
@@ -413,7 +428,7 @@ pub fn distribution_variation(pct: f64, seed: u64) -> Vec<VariationRow> {
 }
 
 /// One row of the multiplicity experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiplicityRow {
     /// Share of nodes planted as multiplicity MSPs.
     pub mult_pct: f64,
@@ -490,7 +505,7 @@ pub fn multiplicity_variation(seed: u64) -> Vec<MultiplicityRow> {
 
 /// The answer-type mix of one execution (§6.3 in-text: 12% specialization,
 /// half of those "none of these", 13% pruning).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CrowdMix {
     /// Total questions.
     pub questions: usize,
@@ -535,7 +550,7 @@ pub fn crowd_mix(domain: &Domain, crowd_cfg: &CrowdGenConfig) -> CrowdMix {
 }
 
 /// Crowd-complexity bound check (Propositions 4.7/4.8).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BoundsCheck {
     /// Unique questions asked by the vertical algorithm.
     pub unique_questions: usize,
@@ -670,7 +685,7 @@ mod tests {
 }
 
 /// One row of the crowd-growth experiment (§6.3 in-text).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GrowthRow {
     /// Crowd size.
     pub members: usize,

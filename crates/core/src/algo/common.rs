@@ -1,9 +1,13 @@
 //! Shared miner configuration, outcome type and the question-asking helper.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use oassis_crowd::CrowdMember;
+use oassis_obs::{null_sink, EventSink};
 use oassis_vocab::FactSet;
 
 use crate::assignment::Assignment;
@@ -34,6 +38,10 @@ pub struct MinerConfig {
     pub curve_universe: Option<Vec<Assignment>>,
     /// Ground-truth MSPs for target-discovery curves (synthetic runs).
     pub targets: Option<Vec<Assignment>>,
+    /// Instrumentation sink; defaults to the no-op [`null_sink`]. Questions
+    /// are additionally labeled with the algorithm's name on
+    /// `algo.questions`, making the miners directly comparable.
+    pub sink: Arc<dyn EventSink>,
 }
 
 impl MinerConfig {
@@ -48,7 +56,14 @@ impl MinerConfig {
             track_curve: false,
             curve_universe: None,
             targets: None,
+            sink: null_sink(),
         }
+    }
+
+    /// Attach an instrumentation sink.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
     }
 }
 
@@ -98,11 +113,19 @@ pub(crate) struct Asker<'a> {
     prune_ratio: f64,
     max_questions: usize,
     rng: SmallRng,
+    generated: HashSet<Assignment>,
 }
 
 impl<'a> Asker<'a> {
-    pub fn new(space: &'a AssignSpace, member: &'a mut dyn CrowdMember, cfg: &MinerConfig) -> Self {
-        let mut recorder = Recorder::new();
+    pub fn new(
+        space: &'a AssignSpace,
+        member: &'a mut dyn CrowdMember,
+        cfg: &MinerConfig,
+        algo: &'static str,
+    ) -> Self {
+        let mut recorder = Recorder::new()
+            .with_sink(Arc::clone(&cfg.sink))
+            .with_algo(algo);
         if cfg.track_curve {
             recorder = recorder.with_curve();
         }
@@ -122,12 +145,22 @@ impl<'a> Asker<'a> {
             prune_ratio: cfg.pruning_ratio,
             max_questions: cfg.max_questions,
             rng: SmallRng::seed_from_u64(cfg.seed),
+            generated: HashSet::new(),
         }
     }
 
     /// Whether another question may be asked.
     pub fn budget_left(&self) -> bool {
         self.recorder.stats.total_questions < self.max_questions && self.member.willing()
+    }
+
+    /// Count the lazily generated DAG nodes in `succs` not seen before.
+    pub fn on_nodes_generated(&mut self, succs: &[Assignment]) {
+        let fresh = succs
+            .iter()
+            .filter(|s| self.generated.insert((*s).clone()))
+            .count();
+        self.recorder.on_nodes_generated(fresh);
     }
 
     /// Ask a concrete question about `phi` (with an optional pruning

@@ -43,7 +43,7 @@ impl HorizontalMiner {
         member: &mut dyn CrowdMember,
         config: &MinerConfig,
     ) -> MinerOutcome {
-        let mut asker = Asker::new(space, member, config);
+        let mut asker = Asker::new(space, member, config, "horizontal");
         let mut heap: BinaryHeap<Reverse<(usize, Assignment)>> = BinaryHeap::new();
         let mut enqueued: HashSet<Assignment> = HashSet::new();
 
@@ -94,7 +94,7 @@ impl HorizontalMiner {
             };
             if significant {
                 let succs = space.successors(&phi);
-                asker.recorder.stats.nodes_generated += succs.len();
+                asker.on_nodes_generated(&succs);
                 for s in succs {
                     if enqueued.insert(s.clone()) {
                         heap.push(Reverse((rank(space, &s), s)));

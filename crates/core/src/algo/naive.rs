@@ -26,7 +26,7 @@ impl NaiveMiner {
         config: &MinerConfig,
         universe: &[Assignment],
     ) -> MinerOutcome {
-        let mut asker = Asker::new(space, member, config);
+        let mut asker = Asker::new(space, member, config, "naive");
         let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0x9e3779b9));
         let mut remaining: Vec<Assignment> = universe.to_vec();
 

@@ -51,7 +51,7 @@ impl VerticalMiner {
         member: &mut dyn CrowdMember,
         config: &MinerConfig,
     ) -> MinerOutcome {
-        let mut asker = Asker::new(space, member, config);
+        let mut asker = Asker::new(space, member, config, "vertical");
         // Significant nodes whose entire successor region is known
         // classified; sound to cache because classification is monotone.
         let mut closed: HashSet<Assignment> = HashSet::new();
@@ -70,7 +70,7 @@ impl VerticalMiner {
                 }
                 let vocab = space.ontology().vocabulary();
                 let succs = space.successors(&phi);
-                asker.recorder.stats.nodes_generated += succs.len();
+                asker.on_nodes_generated(&succs);
 
                 // Move freely into an already-known-significant successor:
                 // no question needed, and it keeps us below the true MSP.

@@ -13,6 +13,7 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -20,6 +21,7 @@ use rand::{RngExt, SeedableRng};
 use oassis_crowd::{
     Aggregator, CrowdCache, CrowdMember, Decision, FixedSampleAggregator, MemberId, ScriptedMember,
 };
+use oassis_obs::{names, null_sink, EventSink, SinkExt, Span};
 use oassis_ql::{parse_query, QlError, Query, SelectForm};
 use oassis_sparql::MatchMode;
 use oassis_store::Ontology;
@@ -57,6 +59,10 @@ pub struct EngineConfig {
     /// Stop as soon as this many *valid* MSPs are confirmed (the paper's
     /// §8 top-k extension). `None` = mine to completion.
     pub top_k: Option<usize>,
+    /// Instrumentation sink receiving the engine's event stream (see
+    /// `docs/observability.md`). Defaults to the no-op [`null_sink`], whose
+    /// `enabled() == false` lets hot paths skip event construction.
+    pub sink: Arc<dyn EventSink>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +79,7 @@ impl Default for EngineConfig {
             targets: None,
             more_domain: Vec::new(),
             top_k: None,
+            sink: null_sink(),
         }
     }
 }
@@ -137,6 +144,25 @@ pub struct QueryResult {
     pub state: ClassificationState,
 }
 
+/// Receives each MSP answer the moment it is confirmed during a run
+/// (see [`MultiUserMiner::run_with_observer`]). Any `FnMut(&QueryAnswer)`
+/// closure implements it.
+pub trait AnswerObserver {
+    /// Called once per confirmed MSP, in confirmation order.
+    fn on_answer(&mut self, answer: &QueryAnswer);
+}
+
+impl<F: FnMut(&QueryAnswer)> AnswerObserver for F {
+    fn on_answer(&mut self, answer: &QueryAnswer) {
+        self(answer)
+    }
+}
+
+/// Give up on the `engine.dag.nodes_total` gauge beyond this many nodes:
+/// the exhaustive count exists to contextualize the lazy generator's
+/// savings, and past this size "huge" is all an observer needs to know.
+pub const NODES_TOTAL_CAP: usize = 20_000;
+
 /// Per-member traversal session (Section 4.2's per-user outer loop).
 struct Session {
     /// Current descend position (an overall- and member-positive node).
@@ -194,22 +220,54 @@ impl<'a> MultiUserMiner<'a> {
     /// exhausted. Members are scheduled round-robin, emulating parallel
     /// sessions.
     pub fn run(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
-        self.run_observed(members, |_| {})
+        struct Ignore;
+        impl AnswerObserver for Ignore {
+            fn on_answer(&mut self, _answer: &QueryAnswer) {}
+        }
+        self.run_with_observer(members, &mut Ignore)
     }
 
     /// Like [`run`](Self::run), but invokes `on_answer` the moment each MSP
-    /// is confirmed — the incremental-answer delivery the paper highlights
-    /// ("answers can be returned faster, as soon as they are identified").
-    /// With [`EngineConfig::top_k`] set, the run stops once that many valid
-    /// MSPs have been confirmed.
+    /// is confirmed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_with_observer`; incremental answers arrive through \
+                `AnswerObserver` and telemetry through `EngineConfig::sink`"
+    )]
     pub fn run_observed(
         &self,
         members: &mut [Box<dyn CrowdMember>],
         mut on_answer: impl FnMut(&QueryAnswer),
     ) -> (QueryResult, CrowdCache) {
-        let mut cache = CrowdCache::new();
+        self.run_with_observer(members, &mut on_answer)
+    }
+
+    /// Like [`run`](Self::run), but notifies `observer` the moment each MSP
+    /// is confirmed — the incremental-answer delivery the paper highlights
+    /// ("answers can be returned faster, as soon as they are identified").
+    /// With [`EngineConfig::top_k`] set, the run stops once that many valid
+    /// MSPs have been confirmed.
+    pub fn run_with_observer(
+        &self,
+        members: &mut [Box<dyn CrowdMember>],
+        observer: &mut dyn AnswerObserver,
+    ) -> (QueryResult, CrowdCache) {
+        let sink = &self.config.sink;
+        let _run_span = Span::enter(&**sink, names::SPAN_RUN);
+        if sink.enabled() {
+            // The full DAG size turns the lazy generator's node counter into
+            // the paper's "<1% of nodes generated" ratio. Counting requires
+            // an exhaustive traversal, so only do it for an attached sink
+            // and give up on astronomically large spaces.
+            if let Some(total) = self.space.count_nodes_up_to(NODES_TOTAL_CAP) {
+                sink.gauge(names::DAG_NODES_TOTAL, total as f64);
+            }
+        }
+        let mut cache = CrowdCache::new().with_sink(Arc::clone(sink));
         let mut overall = ClassificationState::new();
-        let mut recorder = Recorder::new();
+        let mut recorder = Recorder::new()
+            .with_sink(Arc::clone(sink))
+            .with_algo("multiuser");
         if self.config.track_curve {
             recorder = recorder.with_curve();
         }
@@ -223,6 +281,7 @@ impl<'a> MultiUserMiner<'a> {
         let mut sessions: Vec<Session> = members.iter().map(|_| Session::new()).collect();
         let mut msps: Vec<Assignment> = Vec::new();
         let mut confirmed: HashSet<Assignment> = HashSet::new();
+        let mut generated: HashSet<Assignment> = HashSet::new();
 
         let mut delivered = 0usize;
         let mut valid_confirmed = 0usize;
@@ -247,6 +306,7 @@ impl<'a> MultiUserMiner<'a> {
                     &mut rng,
                     &mut msps,
                     &mut confirmed,
+                    &mut generated,
                 ) {
                     progressed = true;
                 }
@@ -258,7 +318,7 @@ impl<'a> MultiUserMiner<'a> {
                         if a.valid {
                             valid_confirmed += 1;
                         }
-                        on_answer(a);
+                        observer.on_answer(a);
                     }
                     delivered += 1;
                 }
@@ -297,6 +357,7 @@ impl<'a> MultiUserMiner<'a> {
         rng: &mut SmallRng,
         msps: &mut Vec<Assignment>,
         confirmed: &mut HashSet<Assignment>,
+        generated: &mut HashSet<Assignment>,
     ) -> bool {
         let vocab = self.space.ontology().vocabulary();
 
@@ -316,7 +377,11 @@ impl<'a> MultiUserMiner<'a> {
 
         let phi = session.cursor.clone().expect("checked above");
         let succs = self.space.successors(&phi);
-        recorder.stats.nodes_generated += succs.len();
+        let fresh = succs
+            .iter()
+            .filter(|s| generated.insert((*s).clone()))
+            .count();
+        recorder.on_nodes_generated(fresh);
 
         // Move freely into an overall-significant successor.
         if let Some(s) = succs
@@ -427,11 +492,21 @@ impl<'a> MultiUserMiner<'a> {
             // Covered by the member's own pruning: inferred support 0 at no
             // question cost (Section 6.2).
             0.0
-        } else if let Some(&(_, s)) = cache.answers(&fs).iter().find(|(m, _)| *m == member.id()) {
+        } else if let Some(s) = cache.cached_answer(&fs, member.id()) {
             s
         } else {
             recorder.on_question(QuestionKind::Concrete, &fs);
-            member.ask_concrete(&fs)
+            if recorder.sink_enabled() {
+                let _roundtrip = Span::enter(&**recorder.sink(), names::SPAN_ROUNDTRIP);
+                let start = Instant::now();
+                let s = member.ask_concrete(&fs);
+                recorder
+                    .sink()
+                    .observe(names::CROWD_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
+                s
+            } else {
+                member.ask_concrete(&fs)
+            }
         };
         let positive = self.record_answer(member.id(), phi, s, session, overall, cache);
         recorder.on_state_change(overall, vocab);
@@ -458,9 +533,28 @@ impl<'a> MultiUserMiner<'a> {
         } else {
             session.personal.mark_insignificant(phi, vocab);
         }
-        match self.aggregator.decide(&cache.supports(&fs), self.threshold) {
-            Decision::Significant => overall.mark_significant(phi, vocab),
-            Decision::Insignificant => overall.mark_insignificant(phi, vocab),
+        let supports = cache.supports(&fs);
+        let decision = self.aggregator.decide(&supports, self.threshold);
+        if decision != Decision::Undecided && self.config.sink.enabled() {
+            // How many answers the aggregator needed before committing —
+            // the crowd cost of one border update.
+            self.config
+                .sink
+                .observe(names::CROWD_QUORUM_SIZE, supports.len() as f64);
+        }
+        match decision {
+            Decision::Significant => {
+                self.config
+                    .sink
+                    .count_labeled(names::BORDER_UPDATED, "significant", 1);
+                overall.mark_significant(phi, vocab);
+            }
+            Decision::Insignificant => {
+                self.config
+                    .sink
+                    .count_labeled(names::BORDER_UPDATED, "insignificant", 1);
+                overall.mark_insignificant(phi, vocab);
+            }
             Decision::Undecided => {}
         }
         s >= self.threshold && overall.status(phi, vocab) != Status::Insignificant
@@ -591,11 +685,13 @@ impl Oassis {
 
     /// Build the assignment space for a parsed query.
     pub fn space(&self, query: &Query, config: &EngineConfig) -> Result<AssignSpace, OassisError> {
-        Ok(AssignSpace::build(
+        let _span = Span::enter(&*config.sink, names::SPAN_SPACE_BUILD);
+        Ok(AssignSpace::build_with_sink(
             Arc::clone(&self.ontology),
             query,
             config.mode,
             config.more_domain.clone(),
+            &config.sink,
         )?)
     }
 
@@ -607,7 +703,10 @@ impl Oassis {
         members: &mut [Box<dyn CrowdMember>],
         config: &EngineConfig,
     ) -> Result<QueryResult, OassisError> {
-        let query = self.parse(query_src)?;
+        let query = {
+            let _span = Span::enter(&*config.sink, names::SPAN_PLAN);
+            self.parse(query_src)?
+        };
         self.execute_parsed(&query, query.satisfying.support, members, config)
     }
 
@@ -1062,14 +1161,34 @@ mod topk_tests {
         let miner = MultiUserMiner::new(&space, 0.3, &cfg);
         let mut seen: Vec<String> = Vec::new();
         let mut members = vec![member()];
-        let (result, _) = miner.run_observed(&mut members, |a| {
+        let mut observer = |a: &QueryAnswer| {
             seen.push(a.rendered.clone());
-        });
+        };
+        let (result, _) = miner.run_with_observer(&mut members, &mut observer);
         assert_eq!(seen.len(), result.stats.msp_events.len());
         // Everything the observer saw is in the final answer set.
         for s in &seen {
             assert!(result.answers.iter().any(|a| &a.rendered == s), "{s}");
         }
+    }
+
+    /// The deprecated closure entry point must keep working as a thin
+    /// adapter over the observer API.
+    #[test]
+    #[allow(deprecated)]
+    fn run_observed_adapter_still_delivers_answers() {
+        let engine = Oassis::new(figure1_ontology());
+        let query = engine.parse(QUERY).unwrap();
+        let cfg = EngineConfig {
+            aggregator_sample: 1,
+            ..EngineConfig::default()
+        };
+        let space = engine.space(&query, &cfg).unwrap();
+        let miner = MultiUserMiner::new(&space, 0.3, &cfg);
+        let mut count = 0usize;
+        let mut members = vec![member()];
+        let (result, _) = miner.run_observed(&mut members, |_| count += 1);
+        assert_eq!(count, result.stats.msp_events.len());
     }
 }
 

@@ -40,8 +40,10 @@ pub use algo::{
 pub use assignment::Assignment;
 pub use border::ClassificationState;
 pub use diversity::{diversify_answers, select_diverse};
-pub use engine::{EngineConfig, MultiUserMiner, Oassis, QueryAnswer, QueryResult};
+pub use engine::{
+    AnswerObserver, EngineConfig, MultiUserMiner, Oassis, QueryAnswer, QueryResult, NODES_TOTAL_CAP,
+};
 pub use rules::{mine_rules, AssociationRule};
 pub use space::AssignSpace;
-pub use stats::{DiscoveryPoint, ExecutionStats, QuestionKind};
+pub use stats::{DiscoveryPoint, ExecutionStats, QuestionKind, Recorder, RecorderSink};
 pub use value::AValue;

@@ -26,8 +26,9 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+use oassis_obs::{null_sink, EventSink};
 use oassis_ql::{Multiplicity, QlRel, QlTerm, Query, SatPattern};
-use oassis_sparql::{evaluate, MatchMode, Var};
+use oassis_sparql::{evaluate_with_sink, MatchMode, Var};
 use oassis_store::{Ontology, Term};
 use oassis_vocab::{Fact, FactSet};
 
@@ -98,6 +99,19 @@ impl AssignSpace {
         mode: MatchMode,
         more_domain: Vec<Fact>,
     ) -> Result<AssignSpace, SpaceError> {
+        Self::build_with_sink(ontology, query, mode, more_domain, &null_sink())
+    }
+
+    /// [`build`](Self::build) with instrumentation: the WHERE-clause SPARQL
+    /// evaluation reports its pattern scans and path-expansion depths to
+    /// `sink` (see `sparql.pattern.scan` / `sparql.path.depth`).
+    pub fn build_with_sink(
+        ontology: Arc<Ontology>,
+        query: &Query,
+        mode: MatchMode,
+        more_domain: Vec<Fact>,
+        sink: &Arc<dyn EventSink>,
+    ) -> Result<AssignSpace, SpaceError> {
         let sat_vars = query.satisfying_vars();
         let var_index: HashMap<Var, usize> =
             sat_vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
@@ -149,7 +163,8 @@ impl AssignSpace {
         // Evaluate WHERE and project bindings onto the bound sat vars.
         let mut base_tuples: Vec<Vec<AValue>> = Vec::new();
         if !bound_positions.is_empty() {
-            let bindings = evaluate(&ontology, &query.where_patterns, &query.vars, mode);
+            let bindings =
+                evaluate_with_sink(&ontology, &query.where_patterns, &query.vars, mode, sink);
             let mut seen = HashSet::new();
             'bind: for b in &bindings {
                 let mut tuple = Vec::with_capacity(bound_positions.len());
@@ -716,6 +731,34 @@ impl AssignSpace {
         let mut v: Vec<Assignment> = seen.into_iter().collect();
         v.sort();
         Some(v)
+    }
+
+    /// Total number of assignment-DAG nodes, counted by exhaustive
+    /// traversal from [`Self::roots`] through [`Self::successors`].
+    /// Returns `None` once more than `cap` distinct nodes have been
+    /// materialized: the space can be astronomically large, and callers
+    /// (the `engine.dag.nodes_total` observability gauge, eager baselines
+    /// in the bench experiments) only want the count when it is small
+    /// enough to be meaningful.
+    pub fn count_nodes_up_to(&self, cap: usize) -> Option<usize> {
+        let mut seen: HashSet<Assignment> = HashSet::new();
+        let mut queue: Vec<Assignment> = Vec::new();
+        for r in self.roots() {
+            if seen.insert(r.clone()) {
+                queue.push(r);
+            }
+        }
+        while let Some(a) = queue.pop() {
+            if seen.len() > cap {
+                return None;
+            }
+            for s in self.successors(&a) {
+                if seen.insert(s.clone()) {
+                    queue.push(s);
+                }
+            }
+        }
+        Some(seen.len())
     }
 }
 

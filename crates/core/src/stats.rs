@@ -12,7 +12,9 @@
 //!   assignments were classified.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
+use oassis_obs::{names, null_sink, Event, EventKind, EventSink};
 use oassis_vocab::Vocabulary;
 
 use crate::assignment::Assignment;
@@ -29,6 +31,18 @@ pub enum QuestionKind {
     NoneOfThese,
     /// A user-guided pruning interaction.
     Pruning,
+}
+
+impl QuestionKind {
+    /// The label this kind carries on `engine.question.asked` events.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuestionKind::Concrete => "concrete",
+            QuestionKind::Specialization => "specialization",
+            QuestionKind::NoneOfThese => "none_of_these",
+            QuestionKind::Pruning => "pruning",
+        }
+    }
 }
 
 /// One point of the discovery curve, captured after a question.
@@ -72,6 +86,43 @@ pub struct ExecutionStats {
 }
 
 impl ExecutionStats {
+    /// Fold one instrumentation event into the statistics.
+    ///
+    /// This is the single bookkeeping path: [`Recorder`] feeds every event
+    /// it emits through here, and [`RecorderSink`] rebuilds the same
+    /// numbers from a detached event stream — the counters are *derived
+    /// from* the events, not tracked in parallel. Events outside the
+    /// recorder's taxonomy (spans, crowd/sparql metrics) are ignored.
+    pub fn apply(&mut self, event: &Event<'_>) {
+        let n = match event.kind {
+            EventKind::Counter(n) => n as usize,
+            _ => return,
+        };
+        match event.name {
+            names::QUESTION_ASKED => {
+                self.total_questions += n;
+                match event.label {
+                    Some("concrete") => self.concrete += n,
+                    Some("specialization") => self.specialization += n,
+                    Some("none_of_these") => self.none_of_these += n,
+                    Some("pruning") => self.pruning += n,
+                    _ => {}
+                }
+            }
+            names::QUESTION_UNIQUE => self.unique_questions += n,
+            names::MSP_CONFIRMED => {
+                for _ in 0..n {
+                    self.msp_events.push(self.total_questions);
+                    if event.label == Some("valid") {
+                        self.valid_msp_events.push(self.total_questions);
+                    }
+                }
+            }
+            names::DAG_NODES_GENERATED => self.nodes_generated += n,
+            _ => {}
+        }
+    }
+
     /// Questions needed to reach `fraction` (0..=1) of the final MSP count;
     /// `None` if no MSP was found.
     pub fn questions_to_msp_fraction(&self, fraction: f64) -> Option<usize> {
@@ -112,7 +163,13 @@ fn questions_to_fraction(events: &[usize], fraction: f64) -> Option<usize> {
 /// Live recorder used by the miners: counts questions, tracks borders over a
 /// fixed universe (for the "% classified" series) and a target MSP set (for
 /// the synthetic-experiment curves).
-#[derive(Debug, Default)]
+///
+/// Every counter in [`Recorder::stats`] is derived from instrumentation
+/// events: the recorder emits an [`Event`] per interaction, folds it into
+/// its own stats via [`ExecutionStats::apply`], and forwards it to the
+/// attached [`EventSink`] (the [`null_sink`] unless [`Recorder::with_sink`]
+/// was called).
+#[derive(Debug)]
 pub struct Recorder {
     /// The statistics being accumulated.
     pub stats: ExecutionStats,
@@ -126,12 +183,67 @@ pub struct Recorder {
     targets_found: Vec<bool>,
     targets_found_count: usize,
     track_curve: bool,
+    sink: Arc<dyn EventSink>,
+    sink_enabled: bool,
+    algo: Option<&'static str>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            stats: ExecutionStats::default(),
+            asked: HashSet::new(),
+            universe: Vec::new(),
+            universe_classified: Vec::new(),
+            classified_count: 0,
+            targets: Vec::new(),
+            targets_found: Vec::new(),
+            targets_found_count: 0,
+            track_curve: false,
+            sink: null_sink(),
+            sink_enabled: false,
+            algo: None,
+        }
+    }
 }
 
 impl Recorder {
     /// A recorder that only counts questions (no curve).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forward every emitted event to `sink` as well.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink_enabled = sink.enabled();
+        self.sink = sink;
+        self
+    }
+
+    /// Label questions with the mining algorithm that asked them, making
+    /// per-algorithm question counts (`algo.questions`) comparable across
+    /// the vertical/horizontal/naive/multi-user implementations.
+    pub fn with_algo(mut self, algo: &'static str) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// The attached sink handle.
+    pub fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
+    }
+
+    /// Cached `sink().enabled()` — lets hot paths skip event construction.
+    pub fn sink_enabled(&self) -> bool {
+        self.sink_enabled
+    }
+
+    /// Fold `event` into the stats and forward it to the sink.
+    fn record(&mut self, event: &Event<'_>) {
+        self.stats.apply(event);
+        if self.sink_enabled {
+            self.sink.emit(event);
+        }
     }
 
     /// Track a per-question discovery curve.
@@ -161,15 +273,22 @@ impl Recorder {
 
     /// Record one question of `kind` about `fs`.
     pub fn on_question(&mut self, kind: QuestionKind, fs: &oassis_vocab::FactSet) {
-        self.stats.total_questions += 1;
-        if self.asked.insert(fs.clone()) {
-            self.stats.unique_questions += 1;
+        self.record(&Event::counter(names::QUESTION_ASKED, 1).with_label(kind.label()));
+        if self.sink_enabled {
+            if let Some(algo) = self.algo {
+                self.sink
+                    .emit(&Event::counter(names::ALGO_QUESTIONS, 1).with_label(algo));
+            }
         }
-        match kind {
-            QuestionKind::Concrete => self.stats.concrete += 1,
-            QuestionKind::Specialization => self.stats.specialization += 1,
-            QuestionKind::NoneOfThese => self.stats.none_of_these += 1,
-            QuestionKind::Pruning => self.stats.pruning += 1,
+        if self.asked.insert(fs.clone()) {
+            self.record(&Event::counter(names::QUESTION_UNIQUE, 1));
+        }
+    }
+
+    /// Record `n` assignment-DAG nodes materialized by the lazy generator.
+    pub fn on_nodes_generated(&mut self, n: usize) {
+        if n > 0 {
+            self.record(&Event::counter(names::DAG_NODES_GENERATED, n as u64));
         }
     }
 
@@ -205,10 +324,8 @@ impl Recorder {
 
     /// Record a confirmed MSP.
     pub fn on_msp(&mut self, valid: bool) {
-        self.stats.msp_events.push(self.stats.total_questions);
-        if valid {
-            self.stats.valid_msp_events.push(self.stats.total_questions);
-        }
+        let label = if valid { "valid" } else { "invalid" };
+        self.record(&Event::counter(names::MSP_CONFIRMED, 1).with_label(label));
         if self.track_curve {
             if let Some(last) = self.stats.curve.last_mut() {
                 last.msps = self.stats.msp_events.len();
@@ -225,6 +342,42 @@ impl Recorder {
     /// Targets found so far.
     pub fn targets_found_count(&self) -> usize {
         self.targets_found_count
+    }
+}
+
+/// An [`EventSink`] that rebuilds [`ExecutionStats`] from the event stream
+/// alone. Attach it (e.g. via `EngineConfig::sink`) to obtain the same
+/// question/MSP/node counters a [`Recorder`] reports without access to the
+/// recorder itself — demonstrating that the statistics are fully derived
+/// from the emitted events.
+#[derive(Debug, Default)]
+pub struct RecorderSink {
+    stats: Mutex<ExecutionStats>,
+}
+
+impl RecorderSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sink behind a shared handle.
+    pub fn shared() -> Arc<RecorderSink> {
+        Arc::new(Self::new())
+    }
+
+    /// Copy out the statistics accumulated so far.
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats.lock().expect("recorder sink poisoned").clone()
+    }
+}
+
+impl EventSink for RecorderSink {
+    fn emit(&self, event: &Event<'_>) {
+        self.stats
+            .lock()
+            .expect("recorder sink poisoned")
+            .apply(event);
     }
 }
 
@@ -292,6 +445,32 @@ mod tests {
         assert_eq!(r.stats.valid_msp_events, vec![1]);
         assert_eq!(r.stats.curve.last().unwrap().msps, 1);
         assert_eq!(r.stats.curve.last().unwrap().targets_found, 1);
+    }
+
+    #[test]
+    fn recorder_sink_rederives_stats_from_events() {
+        let derived = RecorderSink::shared();
+        let mut r = Recorder::new().with_sink(Arc::clone(&derived) as Arc<dyn EventSink>);
+        let fs_a = FactSet::new();
+        r.on_question(QuestionKind::Concrete, &fs_a);
+        r.on_question(QuestionKind::Concrete, &fs_a);
+        r.on_question(QuestionKind::Specialization, &fs_a);
+        r.on_msp(true);
+        r.on_question(QuestionKind::Pruning, &fs_a);
+        r.on_msp(false);
+        r.on_nodes_generated(7);
+
+        let d = derived.stats();
+        assert_eq!(d.total_questions, r.stats.total_questions);
+        assert_eq!(d.unique_questions, r.stats.unique_questions);
+        assert_eq!(d.concrete, r.stats.concrete);
+        assert_eq!(d.specialization, r.stats.specialization);
+        assert_eq!(d.pruning, r.stats.pruning);
+        assert_eq!(d.msp_events, r.stats.msp_events);
+        assert_eq!(d.valid_msp_events, r.stats.valid_msp_events);
+        assert_eq!(d.nodes_generated, 7);
+        assert_eq!(d.msp_events, vec![3, 4]);
+        assert_eq!(d.valid_msp_events, vec![3]);
     }
 
     #[test]

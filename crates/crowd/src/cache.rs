@@ -8,22 +8,42 @@
 //! questions (overall user effort, Section 6.3).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
 use oassis_vocab::FactSet;
 
 use crate::member::MemberId;
 
 /// Answer storage for one query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CrowdCache {
     answers: HashMap<FactSet, Vec<(MemberId, f64)>>,
     total_questions: usize,
+    sink: Arc<dyn EventSink>,
+}
+
+impl Default for CrowdCache {
+    fn default() -> Self {
+        CrowdCache {
+            answers: HashMap::new(),
+            total_questions: 0,
+            sink: null_sink(),
+        }
+    }
 }
 
 impl CrowdCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Report [`cached_answer`](Self::cached_answer) hits and misses
+    /// (`crowd.cache.hit` / `crowd.cache.miss`) to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Record `member`'s answer for `fs`. Counts one question; a repeat
@@ -51,6 +71,24 @@ impl CrowdCache {
     /// Whether `member` already answered about `fs`.
     pub fn has_answer_from(&self, fs: &FactSet, member: MemberId) -> bool {
         self.answers(fs).iter().any(|(m, _)| *m == member)
+    }
+
+    /// `member`'s recorded answer for `fs`, if any. Unlike the passive
+    /// [`has_answer_from`](Self::has_answer_from) probe used for
+    /// scheduling, this is the *answer-reuse* lookup: it counts a
+    /// `crowd.cache.hit` when the stored answer spares a crowd question and
+    /// a `crowd.cache.miss` when the crowd must be asked.
+    pub fn cached_answer(&self, fs: &FactSet, member: MemberId) -> Option<f64> {
+        let found = self
+            .answers(fs)
+            .iter()
+            .find(|(m, _)| *m == member)
+            .map(|&(_, s)| s);
+        match found {
+            Some(_) => self.sink.count(names::CROWD_CACHE_HIT, 1),
+            None => self.sink.count(names::CROWD_CACHE_MISS, 1),
+        }
+        found
     }
 
     /// Number of distinct fact-sets asked about (crowd complexity).

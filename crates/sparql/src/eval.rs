@@ -18,8 +18,10 @@
 //! evaluated by memoized BFS over the stored edges of the matching
 //! relation(s).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
 use oassis_store::{Ontology, Term};
 use oassis_vocab::RelationId;
 
@@ -96,9 +98,26 @@ pub fn evaluate(
     vars: &VarTable,
     mode: MatchMode,
 ) -> Vec<Binding> {
+    evaluate_with_sink(ontology, patterns, vars, mode, &null_sink())
+}
+
+/// [`evaluate`] with instrumentation: every triple-pattern index scan is
+/// counted on `sparql.pattern.scan` labeled by its binding shape (`?`
+/// marks an unbound endpoint, e.g. `sp?` for bound-subject scans), and
+/// each property-path closure computation records the BFS depth it
+/// reached on the `sparql.path.depth` histogram. Memoized closures are
+/// observed once, when first computed.
+pub fn evaluate_with_sink(
+    ontology: &Ontology,
+    patterns: &[TriplePattern],
+    vars: &VarTable,
+    mode: MatchMode,
+    sink: &Arc<dyn EventSink>,
+) -> Vec<Binding> {
     let mut ev = Evaluator {
         ontology,
         mode,
+        sink,
         fwd_closure: HashMap::new(),
         bwd_closure: HashMap::new(),
     };
@@ -147,6 +166,7 @@ fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
 struct Evaluator<'a> {
     ontology: &'a Ontology,
     mode: MatchMode,
+    sink: &'a Arc<dyn EventSink>,
     /// Memoized forward path closure per (relation, source).
     fwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
     /// Memoized backward path closure per (relation, target).
@@ -216,6 +236,13 @@ impl<'a> Evaluator<'a> {
         s: Option<Term>,
         o: Option<Term>,
     ) -> Vec<(Term, Term)> {
+        let shape = match (s.is_some(), o.is_some()) {
+            (true, true) => "spo",
+            (true, false) => "sp?",
+            (false, true) => "?po",
+            (false, false) => "?p?",
+        };
+        self.sink.count_labeled(names::SPARQL_PATTERN_SCAN, shape, 1);
         match p.path {
             PropPath::Rel(r) => {
                 let mut pairs = Vec::new();
@@ -306,13 +333,14 @@ impl<'a> Evaluator<'a> {
             return v.clone();
         }
         let rels = self.match_relations(r);
-        let set = bfs(from, |n| {
+        let (set, depth) = bfs(from, |n| {
             let mut next = Vec::new();
             for &rel in &rels {
                 next.extend(self.ontology.store().objects(n, rel));
             }
             next
         });
+        self.sink.observe(names::SPARQL_PATH_DEPTH, depth as f64);
         self.fwd_closure.insert((r, from), set.clone());
         set
     }
@@ -323,35 +351,40 @@ impl<'a> Evaluator<'a> {
             return v.clone();
         }
         let rels = self.match_relations(r);
-        let set = bfs(to, |n| {
+        let (set, depth) = bfs(to, |n| {
             let mut next = Vec::new();
             for &rel in &rels {
                 next.extend(self.ontology.store().subjects(rel, n));
             }
             next
         });
+        self.sink.observe(names::SPARQL_PATH_DEPTH, depth as f64);
         self.bwd_closure.insert((r, to), set.clone());
         set
     }
 }
 
-/// Distinct nodes reachable in ≥1 step from `start` under `next`.
-fn bfs<F>(start: Term, mut next: F) -> Vec<Term>
+/// Distinct nodes reachable in ≥1 step from `start` under `next`, plus the
+/// largest shortest-path distance at which a node was discovered (the
+/// path-expansion depth; 0 when nothing is reachable).
+fn bfs<F>(start: Term, mut next: F) -> (Vec<Term>, usize)
 where
     F: FnMut(Term) -> Vec<Term>,
 {
     let mut seen: HashSet<Term> = HashSet::new();
-    let mut queue = vec![start];
+    let mut queue: VecDeque<(Term, usize)> = VecDeque::from([(start, 0)]);
     let mut out = Vec::new();
-    while let Some(n) = queue.pop() {
+    let mut depth = 0;
+    while let Some((n, d)) = queue.pop_front() {
         for m in next(n) {
             if seen.insert(m) {
                 out.push(m);
-                queue.push(m);
+                queue.push_back((m, d + 1));
+                depth = depth.max(d + 1);
             }
         }
     }
-    out
+    (out, depth)
 }
 
 fn resolve(t: &PatTerm, binding: &Binding) -> Option<Term> {

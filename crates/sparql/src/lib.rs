@@ -26,6 +26,6 @@ pub mod parser;
 
 pub use ast::{PatTerm, PropPath, TriplePattern, Var, VarTable};
 pub use error::SparqlError;
-pub use eval::{evaluate, Binding, MatchMode};
+pub use eval::{evaluate, evaluate_with_sink, Binding, MatchMode};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_patterns;
