@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
-//! dist mult crowdmix bounds` (or `all`).
+//! dist mult crowdmix bounds growth runtime` (or `all`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -16,10 +16,12 @@
 
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
-    shape_variation, CurveSeries, PaceResult,
+    runtime_speedup, shape_variation, CurveSeries, PaceResult,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -166,7 +168,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
-            "crowdmix", "bounds", "growth",
+            "crowdmix", "bounds", "growth", "runtime",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -347,6 +349,44 @@ fn main() {
                             "members",
                             "to 1st MSP (questions)",
                             "to 1st MSP (rounds)",
+                            "#questions"
+                        ],
+                        &rows
+                    )
+                );
+            }
+            "runtime" => {
+                println!("== concurrent crowd-session runtime: wall-clock speedup ==");
+                let d = self_treatment_domain();
+                let per_answer = Duration::from_millis(25);
+                let rows: Vec<Vec<String>> = [1usize, 2, 4, 8]
+                    .iter()
+                    .map(|&workers| {
+                        let r = runtime_speedup(&d, 64, workers, per_answer, seed);
+                        assert!(r.answers_match, "concurrent run changed the answers");
+                        let label = format!("runtime:{workers}w");
+                        sink.gauge_labeled("figures.speedup", &label, r.speedup);
+                        vec![
+                            r.members.to_string(),
+                            r.workers.to_string(),
+                            format!("{:.0}ms", r.per_answer.as_secs_f64() * 1e3),
+                            format!("{:.2}s", r.sequential.as_secs_f64()),
+                            format!("{:.2}s", r.concurrent.as_secs_f64()),
+                            format!("{:.2}x", r.speedup),
+                            r.questions.to_string(),
+                        ]
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    render(
+                        &[
+                            "members",
+                            "workers",
+                            "per-answer",
+                            "sequential",
+                            "concurrent",
+                            "speedup",
                             "#questions"
                         ],
                         &rows

@@ -1,13 +1,13 @@
 //! The experiment implementations behind every figure of Section 6.
 
 use std::sync::Arc;
-
+use std::time::{Duration, Instant};
 
 use oassis_core::{
     baseline_question_count, AssignSpace, Assignment, EngineConfig, HorizontalMiner, MinerConfig,
-    MinerOutcome, NaiveMiner, Oassis, VerticalMiner,
+    MinerOutcome, NaiveMiner, Oassis, SessionRuntime, VerticalMiner,
 };
-use oassis_crowd::{CrowdMember, MemberId};
+use oassis_crowd::{CrowdMember, MemberId, ResponseModel, UnreliableMember};
 use oassis_obs::{null_sink, EventSink};
 use oassis_datagen::{
     generate_crowd, plant::plant_multiplicity_msps, plant_msps, CrowdGenConfig, Domain,
@@ -88,10 +88,7 @@ pub fn crowd_statistics_observed(
                 .into_iter()
                 .map(|m| Box::new(m) as Box<dyn CrowdMember>)
                 .collect();
-            let cfg = EngineConfig {
-                sink: Arc::clone(sink),
-                ..EngineConfig::default()
-            };
+            let cfg = EngineConfig::builder().sink(Arc::clone(sink)).build();
             let result = engine
                 .execute_parsed(&query, th, &mut members, &cfg)
                 .expect("execution succeeds");
@@ -147,11 +144,10 @@ pub fn pace_of_collection(
         .into_iter()
         .map(|m| Box::new(m) as Box<dyn CrowdMember>)
         .collect();
-    let cfg = EngineConfig {
-        track_curve: true,
-        curve_universe: Some(universe),
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .track_curve(true)
+        .curve_universe(universe)
+        .build();
     let result = engine
         .execute_parsed(&query, threshold, &mut members, &cfg)
         .expect("execution succeeds");
@@ -530,11 +526,10 @@ pub fn crowd_mix(domain: &Domain, crowd_cfg: &CrowdGenConfig) -> CrowdMix {
         .into_iter()
         .map(|m| Box::new(m) as Box<dyn CrowdMember>)
         .collect();
-    let cfg = EngineConfig {
-        specialization_ratio: 0.35,
-        pruning_ratio: 0.6,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .specialization_ratio(0.35)
+        .pruning_ratio(0.6)
+        .build();
     let result = engine
         .execute_parsed(&query, 0.2, &mut members, &cfg)
         .expect("execution succeeds");
@@ -761,6 +756,125 @@ mod growth_tests {
         assert!(
             rl < rs,
             "48 members should need fewer rounds ({rl}) than 6 ({rs})"
+        );
+    }
+}
+
+/// Result of the concurrent-runtime speedup experiment.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Crowd size.
+    pub members: usize,
+    /// Worker threads in the concurrent run.
+    pub workers: usize,
+    /// Simulated per-answer crowd latency.
+    pub per_answer: Duration,
+    /// Wall-clock of the sequential (slice) run, latency waited in-line.
+    pub sequential: Duration,
+    /// Wall-clock of the concurrent (session-runtime) run.
+    pub concurrent: Duration,
+    /// `sequential / concurrent`.
+    pub speedup: f64,
+    /// Questions asked (identical across both runs by construction).
+    pub questions: usize,
+    /// Whether the two runs produced the same valid-MSP set (must be true).
+    pub answers_match: bool,
+}
+
+/// Wall-clock effect of the concurrent crowd-session runtime: the same
+/// scripted crowd is mined twice — sequentially, waiting out each member's
+/// simulated answer latency in-line, and through the worker pool, where
+/// speculative prefetch overlaps the waits. Answers are checked identical;
+/// the interesting output is the speedup.
+pub fn runtime_speedup(
+    domain: &Domain,
+    members: usize,
+    workers: usize,
+    per_answer: Duration,
+    seed: u64,
+) -> SpeedupRow {
+    let engine = Oassis::new(domain.ontology.clone());
+    let query = engine.parse(&domain.query).expect("query parses");
+    let cfg = EngineConfig::builder().seed(seed).build();
+    let crowd_cfg = CrowdGenConfig {
+        members,
+        transactions_per_member: 20,
+        popular_patterns: 8,
+        popularity: 0.8,
+        zipf: 1.0,
+        facts_per_transaction: 1,
+        discretize: false,
+        seed,
+    };
+    let model = ResponseModel::latency(per_answer);
+    // Two identical crowds (same generator seed): one consumed by each run.
+    let make_crowd = || -> Vec<Box<dyn CrowdMember>> {
+        generate_crowd(domain, &crowd_cfg)
+            .members
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                Box::new(UnreliableMember::new(Box::new(m), model, seed ^ i as u64))
+                    as Box<dyn CrowdMember>
+            })
+            .collect()
+    };
+
+    let mut sequential_members = make_crowd();
+    let start = Instant::now();
+    let seq = engine
+        .execute_parsed(&query, 0.2, &mut sequential_members, &cfg)
+        .expect("sequential run succeeds");
+    let sequential = start.elapsed();
+
+    let runtime = SessionRuntime::new(make_crowd()).workers(workers);
+    let start = Instant::now();
+    let conc = engine
+        .execute_parsed_with_runtime(&query, 0.2, runtime, &cfg)
+        .expect("concurrent run succeeds");
+    let concurrent = start.elapsed();
+
+    let valid = |r: &oassis_core::QueryResult| {
+        let mut v: Vec<&str> = r
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.as_str())
+            .collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    SpeedupRow {
+        members,
+        workers,
+        per_answer,
+        sequential,
+        concurrent,
+        speedup: sequential.as_secs_f64() / concurrent.as_secs_f64().max(f64::EPSILON),
+        questions: seq.stats.total_questions,
+        answers_match: valid(&seq) == valid(&conc)
+            && seq.stats.total_questions == conc.stats.total_questions,
+    }
+}
+
+#[cfg(test)]
+mod speedup_tests {
+    use super::*;
+    use oassis_datagen::self_treatment_domain;
+
+    /// Cheap smoke (the full 64-member benchmark lives in the figures
+    /// binary): concurrent and sequential agree, and hiding even a small
+    /// latency beats waiting it out in-line.
+    #[test]
+    fn concurrent_runtime_beats_sequential_waiting() {
+        let domain = self_treatment_domain();
+        let row = runtime_speedup(&domain, 8, 8, Duration::from_millis(25), 5);
+        assert!(row.answers_match, "concurrent run changed the answers");
+        assert!(row.questions > 0);
+        assert!(
+            row.speedup > 1.2,
+            "expected a speedup from latency hiding, got {:.2}x",
+            row.speedup
         );
     }
 }

@@ -9,6 +9,8 @@
 //! and the user-guided-pruning value list of Section 6.2.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use oassis_vocab::Vocabulary;
 
@@ -155,6 +157,51 @@ impl ClassificationState {
     /// Whether `phi` was explicitly decided (asked), not just inferred.
     pub fn explicitly_decided(&self, phi: &Assignment) -> bool {
         self.explicit.contains_key(phi)
+    }
+}
+
+/// A synchronized, read-mostly view of the coordinator's overall
+/// classification knowledge, shared with the session runtime's workers.
+///
+/// The coordinator [`publish`](Self::publish)es its state after each
+/// scheduling turn; workers consult it when they pick up a *speculative*
+/// question and cancel the ask if the target assignment has meanwhile been
+/// classified — the commit loop never asks about classified nodes, so a
+/// cancellation can never starve it. The epoch counter lets readers detect
+/// staleness cheaply without taking the lock.
+///
+/// Cloning yields another handle to the same shared view.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBorder {
+    state: Arc<RwLock<ClassificationState>>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl SharedBorder {
+    /// A fresh all-unclassified shared view (epoch 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the shared view with a copy of `state`, bumping the epoch.
+    pub fn publish(&self, state: &ClassificationState) {
+        *self.state.write().expect("shared border poisoned") = state.clone();
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// How many times [`publish`](Self::publish) has run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether `phi` is already classified (significant *or* insignificant)
+    /// in the last published view.
+    pub fn is_classified(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
+        self.state
+            .read()
+            .expect("shared border poisoned")
+            .status(phi, vocab)
+            != Status::Unclassified
     }
 }
 

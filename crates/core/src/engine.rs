@@ -20,77 +20,34 @@ use rand::{RngExt, SeedableRng};
 
 use oassis_crowd::{
     Aggregator, CrowdCache, CrowdMember, Decision, FixedSampleAggregator, MemberId, ScriptedMember,
+    SharedCrowdCache,
 };
-use oassis_obs::{names, null_sink, EventSink, SinkExt, Span};
+use oassis_obs::{names, SinkExt, Span};
 use oassis_ql::{parse_query, QlError, Query, SelectForm};
-use oassis_sparql::MatchMode;
 use oassis_store::Ontology;
-use oassis_vocab::{Fact, FactSet};
+use oassis_vocab::{ElementId, Fact, FactSet};
 
 use crate::assignment::Assignment;
 use crate::border::{ClassificationState, Status};
+use crate::runtime::{
+    AskPayload, AskValue, Pool, RuntimeError, RuntimeErrorKind, SessionRuntime,
+};
 use crate::space::{AssignSpace, SpaceError};
 use crate::stats::{ExecutionStats, QuestionKind, Recorder};
 use crate::value::AValue;
 
-/// Engine-level configuration.
-#[derive(Debug, Clone)]
-pub struct EngineConfig {
-    /// SPARQL matching mode for the WHERE clause.
-    pub mode: MatchMode,
-    /// Answers required before the aggregator decides (the paper uses 5).
-    pub aggregator_sample: usize,
-    /// Probability of a specialization question at a descend step.
-    pub specialization_ratio: f64,
-    /// Probability of a user-guided-pruning interaction per question.
-    pub pruning_ratio: f64,
-    /// RNG seed for question-type choices and scheduling.
-    pub seed: u64,
-    /// Safety cap on total questions.
-    pub max_questions: usize,
-    /// Record the per-question discovery curve.
-    pub track_curve: bool,
-    /// Universe for the "% classified" curve series.
-    pub curve_universe: Option<Vec<Assignment>>,
-    /// Ground-truth MSPs for target curves (synthetic runs).
-    pub targets: Option<Vec<Assignment>>,
-    /// Candidate facts for the `MORE` clause.
-    pub more_domain: Vec<Fact>,
-    /// Stop as soon as this many *valid* MSPs are confirmed (the paper's
-    /// §8 top-k extension). `None` = mine to completion.
-    pub top_k: Option<usize>,
-    /// Instrumentation sink receiving the engine's event stream (see
-    /// `docs/observability.md`). Defaults to the no-op [`null_sink`], whose
-    /// `enabled() == false` lets hot paths skip event construction.
-    pub sink: Arc<dyn EventSink>,
-}
+pub use crate::config::{EngineConfig, EngineConfigBuilder};
 
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            mode: MatchMode::Semantic,
-            aggregator_sample: 5,
-            specialization_ratio: 0.0,
-            pruning_ratio: 0.0,
-            seed: 0,
-            max_questions: 1_000_000,
-            track_curve: false,
-            curve_universe: None,
-            targets: None,
-            more_domain: Vec::new(),
-            top_k: None,
-            sink: null_sink(),
-        }
-    }
-}
-
-/// Errors surfaced by [`Oassis::execute`].
+/// Errors surfaced by [`Oassis::execute`] and the session runtime.
 #[derive(Debug)]
 pub enum OassisError {
     /// Query parsing/validation failed.
     Query(QlError),
     /// Assignment-space construction failed.
     Space(SpaceError),
+    /// The concurrent session runtime failed (timeouts, poisoned workers,
+    /// exhausted crowd).
+    Runtime(RuntimeError),
 }
 
 impl std::fmt::Display for OassisError {
@@ -98,11 +55,20 @@ impl std::fmt::Display for OassisError {
         match self {
             OassisError::Query(e) => write!(f, "{e}"),
             OassisError::Space(e) => write!(f, "{e}"),
+            OassisError::Runtime(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for OassisError {}
+impl std::error::Error for OassisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OassisError::Query(e) => Some(e),
+            OassisError::Space(e) => Some(e),
+            OassisError::Runtime(e) => Some(e),
+        }
+    }
+}
 
 impl From<QlError> for OassisError {
     fn from(e: QlError) -> Self {
@@ -113,6 +79,12 @@ impl From<QlError> for OassisError {
 impl From<SpaceError> for OassisError {
     fn from(e: SpaceError) -> Self {
         OassisError::Space(e)
+    }
+}
+
+impl From<RuntimeError> for OassisError {
+    fn from(e: RuntimeError) -> Self {
+        OassisError::Runtime(e)
     }
 }
 
@@ -189,6 +161,164 @@ impl Session {
     }
 }
 
+/// How far ahead `predict_question` simulates question-free transitions
+/// (cursor moves into significant successors, MSP confirmations) before
+/// giving up on finding the member's next concrete question.
+const PREDICT_HORIZON: usize = 64;
+
+/// How many candidate questions a single speculative dispatch carries. The
+/// batch is answered in one simulated round-trip (a multi-question form), so
+/// a wider slate raises the prefetch hit rate without extra latency; answers
+/// beyond the first are kept in the shared cache for later turns.
+const PREFETCH_WIDTH: usize = 8;
+
+/// The no-op observer behind [`MultiUserMiner::run`] / `run_slice`.
+struct IgnoreAnswers;
+
+impl AnswerObserver for IgnoreAnswers {
+    fn on_answer(&mut self, _answer: &QueryAnswer) {}
+}
+
+/// How the commit loop reaches the crowd: directly over a borrowed member
+/// slice on the caller's thread, or through the session runtime's worker
+/// pool. Every ask returns `None` only on the pooled path, when the
+/// runtime excluded the member instead of delivering an answer.
+enum CrowdLink<'m> {
+    Direct(&'m mut [Box<dyn CrowdMember>]),
+    Pooled(Pool),
+}
+
+impl CrowdLink<'_> {
+    fn len(&self) -> usize {
+        match self {
+            CrowdLink::Direct(members) => members.len(),
+            CrowdLink::Pooled(pool) => pool.len(),
+        }
+    }
+
+    fn id(&self, idx: usize) -> MemberId {
+        match self {
+            CrowdLink::Direct(members) => members[idx].id(),
+            CrowdLink::Pooled(pool) => pool.member_id(idx),
+        }
+    }
+
+    /// A shared view of the member, when it is home (always, on the direct
+    /// path; between round-trips on the pooled path) and not excluded.
+    fn member(&self, idx: usize) -> Option<&dyn CrowdMember> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].as_ref()),
+            CrowdLink::Pooled(pool) => pool.member(idx),
+        }
+    }
+
+    fn willing(&self, idx: usize) -> bool {
+        self.member(idx).is_some_and(|m| m.willing())
+    }
+
+    /// Block until the member's in-flight speculative answer (if any) has
+    /// been absorbed. No-op on the direct path.
+    fn sync(&mut self, idx: usize) {
+        if let CrowdLink::Pooled(pool) = self {
+            pool.sync(idx);
+        }
+    }
+
+    fn excluded(&self, idx: usize) -> bool {
+        match self {
+            CrowdLink::Direct(_) => false,
+            CrowdLink::Pooled(pool) => pool.excluded(idx),
+        }
+    }
+
+    /// Ask the concrete question `phi`/`fs`, waiting out the simulated
+    /// answer latency (in-line when direct, on a worker when pooled).
+    fn concrete(
+        &mut self,
+        idx: usize,
+        phi: &Assignment,
+        fs: &FactSet,
+        recorder: &Recorder,
+    ) -> Option<f64> {
+        match self {
+            CrowdLink::Direct(members) => {
+                let member = &mut members[idx];
+                // The synchronous path has no timeout: a slow answer is
+                // waited out, a dropped one degrades to an immediate one.
+                if let Some(d) = member.answer_delay() {
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+                let s = if recorder.sink_enabled() {
+                    let _roundtrip = Span::enter(&**recorder.sink(), names::SPAN_ROUNDTRIP);
+                    let start = Instant::now();
+                    let s = member.ask_concrete(fs);
+                    recorder
+                        .sink()
+                        .observe(names::CROWD_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
+                    s
+                } else {
+                    member.ask_concrete(fs)
+                };
+                Some(s)
+            }
+            CrowdLink::Pooled(pool) => {
+                // A speculative prefetch may already hold this answer.
+                if let Some(s) = pool.shared().lookup(fs, pool.member_id(idx)) {
+                    pool.note_speculation_hit();
+                    return Some(s);
+                }
+                match pool.ask(
+                    idx,
+                    AskPayload::Concrete {
+                        assignment: phi.clone(),
+                        factset: fs.clone(),
+                    },
+                ) {
+                    Some(AskValue::Support(s)) => Some(s),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Ask the specialization question (base + candidate fact-sets).
+    fn specialization(
+        &mut self,
+        idx: usize,
+        base: &FactSet,
+        candidates: &[FactSet],
+    ) -> Option<Option<(usize, f64)>> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].ask_specialization(base, candidates)),
+            CrowdLink::Pooled(pool) => match pool.ask(
+                idx,
+                AskPayload::Specialization {
+                    base: base.clone(),
+                    candidates: candidates.to_vec(),
+                },
+            ) {
+                Some(AskValue::Choice(choice)) => Some(choice),
+                _ => None,
+            },
+        }
+    }
+
+    /// Ask for the member's irrelevant elements (user-guided pruning).
+    fn irrelevant(&mut self, idx: usize, fs: &FactSet) -> Option<Vec<ElementId>> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].irrelevant_elements(fs)),
+            CrowdLink::Pooled(pool) => {
+                match pool.ask(idx, AskPayload::Pruning { factset: fs.clone() }) {
+                    Some(AskValue::Irrelevant(elems)) => Some(elems),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
 /// The multi-user mining engine.
 pub struct MultiUserMiner<'a> {
     space: &'a AssignSpace,
@@ -216,30 +346,24 @@ impl<'a> MultiUserMiner<'a> {
         self
     }
 
-    /// Run the crowd until every assignment is classified or the crowd is
-    /// exhausted. Members are scheduled round-robin, emulating parallel
-    /// sessions.
-    pub fn run(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
-        struct Ignore;
-        impl AnswerObserver for Ignore {
-            fn on_answer(&mut self, _answer: &QueryAnswer) {}
-        }
-        self.run_with_observer(members, &mut Ignore)
-    }
-
-    /// Like [`run`](Self::run), but invokes `on_answer` the moment each MSP
-    /// is confirmed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_with_observer`; incremental answers arrive through \
-                `AnswerObserver` and telemetry through `EngineConfig::sink`"
-    )]
-    pub fn run_observed(
-        &self,
-        members: &mut [Box<dyn CrowdMember>],
-        mut on_answer: impl FnMut(&QueryAnswer),
-    ) -> (QueryResult, CrowdCache) {
-        self.run_with_observer(members, &mut on_answer)
+    /// Run the crowd concurrently through the session runtime until every
+    /// assignment is classified or the crowd is exhausted. The coordinator
+    /// (this thread) executes the exact sequential commit loop; crowd
+    /// round-trips ride the runtime's worker pool, with speculative
+    /// prefetch hiding answer latency (see [`crate::runtime`]).
+    ///
+    /// **Determinism**: for members whose answers are a pure function of
+    /// the asked fact-set (no answer noise, no question quota), a
+    /// concurrent run with seed S yields the identical answer set — and
+    /// identical [`ExecutionStats`] — as [`run_slice`](Self::run_slice)
+    /// with seed S.
+    ///
+    /// Fails with [`OassisError::Runtime`] only when *every* member has
+    /// been excluded (per-question timeouts through all retries, or a
+    /// panicking answer callback); partial exclusions are tolerated and
+    /// the run continues with the remaining members.
+    pub fn run(&self, runtime: SessionRuntime) -> Result<(QueryResult, CrowdCache), OassisError> {
+        self.run_with_observer(runtime, &mut IgnoreAnswers)
     }
 
     /// Like [`run`](Self::run), but notifies `observer` the moment each MSP
@@ -249,9 +373,45 @@ impl<'a> MultiUserMiner<'a> {
     /// MSPs have been confirmed.
     pub fn run_with_observer(
         &self,
+        runtime: SessionRuntime,
+        observer: &mut dyn AnswerObserver,
+    ) -> Result<(QueryResult, CrowdCache), OassisError> {
+        let vocab = Arc::new(self.space.ontology().vocabulary().clone());
+        let pool = Pool::start(runtime, vocab, Arc::clone(&self.config.sink));
+        let mut link = CrowdLink::Pooled(pool);
+        self.run_loop(&mut link, observer)
+    }
+
+    /// Compatibility shim: run synchronously over a bare member slice on
+    /// the caller's thread (the pre-runtime signature). Infallible — no
+    /// timeouts or exclusions exist on the synchronous path; a member's
+    /// [`answer_delay`](CrowdMember::answer_delay) is simply waited out
+    /// in-line before each concrete answer (dropped answers degrade to
+    /// immediate ones).
+    pub fn run_slice(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
+        self.run_slice_with_observer(members, &mut IgnoreAnswers)
+    }
+
+    /// Slice-based variant of [`run_with_observer`](Self::run_with_observer).
+    pub fn run_slice_with_observer(
+        &self,
         members: &mut [Box<dyn CrowdMember>],
         observer: &mut dyn AnswerObserver,
     ) -> (QueryResult, CrowdCache) {
+        let mut link = CrowdLink::Direct(members);
+        self.run_loop(&mut link, observer)
+            .expect("the synchronous crowd path cannot fail")
+    }
+
+    /// The shared scheduling loop behind both crowd paths.
+    // `sessions` is indexed in lockstep with the link's member seats; an
+    // iterator would fight the split borrows against `link`.
+    #[allow(clippy::needless_range_loop)]
+    fn run_loop(
+        &self,
+        link: &mut CrowdLink<'_>,
+        observer: &mut dyn AnswerObserver,
+    ) -> Result<(QueryResult, CrowdCache), OassisError> {
         let sink = &self.config.sink;
         let _run_span = Span::enter(&**sink, names::SPAN_RUN);
         if sink.enabled() {
@@ -278,10 +438,47 @@ impl<'a> MultiUserMiner<'a> {
             recorder = recorder.with_targets(t.clone());
         }
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut sessions: Vec<Session> = members.iter().map(|_| Session::new()).collect();
+        let mut sessions: Vec<Session> = (0..link.len()).map(|_| Session::new()).collect();
         let mut msps: Vec<Assignment> = Vec::new();
         let mut confirmed: HashSet<Assignment> = HashSet::new();
         let mut generated: HashSet<Assignment> = HashSet::new();
+
+        // Speculative prefetch requires the member's next question to be a
+        // pure function of the commit state: any rng-driven question-type
+        // choice breaks that, so speculation turns off with the ratios.
+        let speculate = matches!(link, CrowdLink::Pooled(_))
+            && self.config.specialization_ratio == 0.0
+            && self.config.pruning_ratio == 0.0;
+
+        // Warm-up: every member's first question is predictable from the
+        // initial border, so prefetch it before the first committed turn —
+        // otherwise each member's first round-trip is a guaranteed
+        // coordinator stall on the full simulated latency.
+        if speculate {
+            if let CrowdLink::Pooled(pool) = link {
+                pool.publish_border(&overall);
+                for idx in 0..pool.len() {
+                    if !pool.can_speculate(idx) {
+                        continue;
+                    }
+                    let candidates = pool
+                        .member(idx)
+                        .filter(|m| m.willing())
+                        .map(|member| {
+                            self.predict_questions(
+                                &sessions[idx],
+                                &overall,
+                                &cache,
+                                pool.shared(),
+                                member,
+                                pool.member_id(idx),
+                            )
+                        })
+                        .unwrap_or_default();
+                    pool.speculate(idx, candidates);
+                }
+            }
+        }
 
         let mut delivered = 0usize;
         let mut valid_confirmed = 0usize;
@@ -290,16 +487,27 @@ impl<'a> MultiUserMiner<'a> {
                 break;
             }
             let mut progressed = false;
-            for (member, session) in members.iter_mut().zip(&mut sessions) {
+            for idx in 0..link.len() {
                 if recorder.stats.total_questions >= self.config.max_questions {
                     break;
                 }
-                if session.exhausted || !member.willing() {
+                // Bring the member home: absorb its in-flight speculative
+                // answer (if any) before its committed turn.
+                link.sync(idx);
+                if link.excluded(idx) {
+                    if !sessions[idx].exhausted {
+                        sessions[idx].exhausted = true;
+                        progressed = true;
+                    }
+                    continue;
+                }
+                if sessions[idx].exhausted || !link.willing(idx) {
                     continue;
                 }
                 if self.step(
-                    member.as_mut(),
-                    session,
+                    link,
+                    idx,
+                    &mut sessions[idx],
                     &mut overall,
                     &mut cache,
                     &mut recorder,
@@ -327,9 +535,43 @@ impl<'a> MultiUserMiner<'a> {
                         break 'run;
                     }
                 }
+                if speculate {
+                    if let CrowdLink::Pooled(pool) = link {
+                        pool.publish_border(&overall);
+                        if pool.can_speculate(idx) && !sessions[idx].exhausted {
+                            let candidates = pool
+                                .member(idx)
+                                .filter(|m| m.willing())
+                                .map(|member| {
+                                    self.predict_questions(
+                                        &sessions[idx],
+                                        &overall,
+                                        &cache,
+                                        pool.shared(),
+                                        member,
+                                        pool.member_id(idx),
+                                    )
+                                })
+                                .unwrap_or_default();
+                            pool.speculate(idx, candidates);
+                        }
+                    }
+                }
             }
             if !progressed {
                 break;
+            }
+        }
+
+        if let CrowdLink::Pooled(pool) = link {
+            pool.finish();
+            let excluded = pool.excluded_count();
+            if excluded > 0 && pool.all_excluded() {
+                let mut err = RuntimeError::new(RuntimeErrorKind::CrowdExhausted { excluded });
+                if let Some(cause) = pool.take_last_error() {
+                    err = err.with_source(Box::new(cause));
+                }
+                return Err(OassisError::Runtime(err));
             }
         }
 
@@ -342,14 +584,87 @@ impl<'a> MultiUserMiner<'a> {
             cache: cache.clone(),
             state: overall,
         };
-        (result, cache)
+        Ok((result, cache))
     }
 
-    /// One scheduling step for `member`. Returns whether anything happened.
+    /// Predict the member's next *concrete* questions by replaying the
+    /// selection logic of [`step`](Self::step) read-only. Cursor moves into
+    /// significant successors and MSP confirmations are question-free, so
+    /// the simulation walks through them (bounded by `PREDICT_HORIZON`).
+    ///
+    /// Returns up to `PREFETCH_WIDTH` candidates: the question the commit
+    /// loop would ask *right now*, plus the fallbacks it would move to if
+    /// other members' answers classify the first picks before this member's
+    /// next turn. Prefetching the whole slate keeps the hit rate high even
+    /// while the border moves quickly.
+    #[allow(clippy::too_many_arguments)]
+    fn predict_questions(
+        &self,
+        session: &Session,
+        overall: &ClassificationState,
+        cache: &CrowdCache,
+        shared: &SharedCrowdCache,
+        member: &dyn CrowdMember,
+        member_id: MemberId,
+    ) -> Vec<(Assignment, FactSet)> {
+        let vocab = self.space.ontology().vocabulary();
+        let fresh = |fs: &FactSet| !shared.has_answer_from(fs, member_id);
+        let mut cursor = session.cursor.clone();
+        for _ in 0..PREDICT_HORIZON {
+            match cursor.take() {
+                None => {
+                    // Outer loop: the next questions are the first minimal
+                    // overall-unclassified assignments the member can answer.
+                    return self
+                        .find_askable_many(overall, cache, member, PREFETCH_WIDTH)
+                        .into_iter()
+                        .map(|phi| {
+                            let fs = self.space.instantiate(&phi);
+                            (phi, fs)
+                        })
+                        .filter(|(_, fs)| fresh(fs))
+                        .collect();
+                }
+                Some(phi) => {
+                    let succs = self.space.successors(&phi);
+                    if let Some(s) = succs
+                        .iter()
+                        .find(|s| overall.status(s, vocab) == Status::Significant)
+                    {
+                        cursor = Some(s.clone());
+                        continue;
+                    }
+                    let targets: Vec<(Assignment, FactSet)> = succs
+                        .iter()
+                        .filter(|s| overall.status(s, vocab) == Status::Unclassified)
+                        .filter(|s| session.personal.status(s, vocab) != Status::Insignificant)
+                        .filter_map(|s| {
+                            let fs = self.space.instantiate(s);
+                            (!cache.has_answer_from(&fs, member_id) && member.can_answer(&fs))
+                                .then(|| (s.clone(), fs))
+                        })
+                        .take(PREFETCH_WIDTH)
+                        .collect();
+                    if targets.is_empty() {
+                        // Inner loop over: MSP confirmation is question-free
+                        // and resets the cursor to the outer loop.
+                        cursor = None;
+                        continue;
+                    }
+                    return targets.into_iter().filter(|(_, fs)| fresh(fs)).collect();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// One scheduling step for the member in seat `idx`. Returns whether
+    /// anything happened.
     #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
-        member: &mut dyn CrowdMember,
+        link: &mut CrowdLink<'_>,
+        idx: usize,
         session: &mut Session,
         overall: &mut ClassificationState,
         cache: &mut CrowdCache,
@@ -360,15 +675,25 @@ impl<'a> MultiUserMiner<'a> {
         generated: &mut HashSet<Assignment>,
     ) -> bool {
         let vocab = self.space.ontology().vocabulary();
+        let member_id = link.id(idx);
 
         if session.cursor.is_none() {
             // Outer loop: find a minimal overall-unclassified assignment
             // this member can still help with.
-            let Some(phi) = self.find_askable(overall, cache, member) else {
+            let found = link
+                .member(idx)
+                .and_then(|member| self.find_askable(overall, cache, member));
+            let Some(phi) = found else {
                 session.exhausted = true;
                 return false;
             };
-            let positive = self.ask_member(member, session, &phi, overall, cache, recorder, rng);
+            let Some(positive) =
+                self.ask_member(link, idx, session, &phi, overall, cache, recorder, rng)
+            else {
+                // The runtime excluded the member mid-question.
+                session.exhausted = true;
+                return true;
+            };
             if positive {
                 session.cursor = Some(phi);
             }
@@ -404,7 +729,8 @@ impl<'a> MultiUserMiner<'a> {
             .iter()
             .filter(|s| {
                 let fs = self.space.instantiate(s);
-                !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
+                !cache.has_answer_from(&fs, member_id)
+                    && link.member(idx).is_some_and(|m| m.can_answer(&fs))
             })
             .cloned()
             .collect();
@@ -429,20 +755,24 @@ impl<'a> MultiUserMiner<'a> {
         {
             let base_fs = self.space.instantiate(&phi);
             let cand_fs: Vec<FactSet> = askable.iter().map(|c| self.space.instantiate(c)).collect();
-            match member.ask_specialization(&base_fs, &cand_fs) {
-                Some((idx, s)) => {
+            let Some(choice) = link.specialization(idx, &base_fs, &cand_fs) else {
+                session.exhausted = true;
+                return true;
+            };
+            match choice {
+                Some((chosen, s)) => {
                     recorder.on_question(QuestionKind::Specialization, &base_fs);
                     let positive =
-                        self.record_answer(member.id(), &askable[idx], s, session, overall, cache);
+                        self.record_answer(member_id, &askable[chosen], s, session, overall, cache);
                     recorder.on_state_change(overall, vocab);
                     if positive {
-                        session.cursor = Some(askable[idx].clone());
+                        session.cursor = Some(askable[chosen].clone());
                     }
                 }
                 None => {
                     recorder.on_question(QuestionKind::NoneOfThese, &base_fs);
                     for c in &askable {
-                        self.record_answer(member.id(), c, 0.0, session, overall, cache);
+                        self.record_answer(member_id, c, 0.0, session, overall, cache);
                     }
                     recorder.on_state_change(overall, vocab);
                 }
@@ -452,34 +782,42 @@ impl<'a> MultiUserMiner<'a> {
 
         // Concrete question about the first askable successor.
         let target = askable[0].clone();
-        let positive = self.ask_member(member, session, &target, overall, cache, recorder, rng);
+        let Some(positive) =
+            self.ask_member(link, idx, session, &target, overall, cache, recorder, rng)
+        else {
+            session.exhausted = true;
+            return true;
+        };
         if positive {
             session.cursor = Some(target);
         }
         true
     }
 
-    /// Ask `member` a concrete question about `phi` (with optional pruning
-    /// interaction, personal-pruning auto-answers and cache reuse).
-    /// Returns the §4.2 member-positive verdict.
+    /// Ask the member in seat `idx` a concrete question about `phi` (with
+    /// optional pruning interaction, personal-pruning auto-answers and
+    /// cache reuse). Returns the §4.2 member-positive verdict, or `None`
+    /// when the runtime excluded the member instead of delivering.
     #[allow(clippy::too_many_arguments)]
     fn ask_member(
         &self,
-        member: &mut dyn CrowdMember,
+        link: &mut CrowdLink<'_>,
+        idx: usize,
         session: &mut Session,
         phi: &Assignment,
         overall: &mut ClassificationState,
         cache: &mut CrowdCache,
         recorder: &mut Recorder,
         rng: &mut SmallRng,
-    ) -> bool {
+    ) -> Option<bool> {
         let vocab = self.space.ontology().vocabulary();
+        let member_id = link.id(idx);
         let fs = self.space.instantiate(phi);
 
         // User-guided pruning: the member's single click is the answer when
         // the question involves a value irrelevant to them (Section 6.2).
         if self.config.pruning_ratio > 0.0 && rng.random::<f64>() < self.config.pruning_ratio {
-            let irrelevant = member.irrelevant_elements(&fs);
+            let irrelevant = link.irrelevant(idx, &fs)?;
             if !irrelevant.is_empty() {
                 recorder.on_question(QuestionKind::Pruning, &fs);
                 for e in irrelevant {
@@ -492,25 +830,15 @@ impl<'a> MultiUserMiner<'a> {
             // Covered by the member's own pruning: inferred support 0 at no
             // question cost (Section 6.2).
             0.0
-        } else if let Some(s) = cache.cached_answer(&fs, member.id()) {
+        } else if let Some(s) = cache.cached_answer(&fs, member_id) {
             s
         } else {
             recorder.on_question(QuestionKind::Concrete, &fs);
-            if recorder.sink_enabled() {
-                let _roundtrip = Span::enter(&**recorder.sink(), names::SPAN_ROUNDTRIP);
-                let start = Instant::now();
-                let s = member.ask_concrete(&fs);
-                recorder
-                    .sink()
-                    .observe(names::CROWD_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
-                s
-            } else {
-                member.ask_concrete(&fs)
-            }
+            link.concrete(idx, phi, &fs, recorder)?
         };
-        let positive = self.record_answer(member.id(), phi, s, session, overall, cache);
+        let positive = self.record_answer(member_id, phi, s, session, overall, cache);
         recorder.on_state_change(overall, vocab);
-        positive
+        Some(positive)
     }
 
     /// Record `s` as `member`'s answer for `phi`, update the member's
@@ -600,6 +928,59 @@ impl<'a> MultiUserMiner<'a> {
             }
         }
         None
+    }
+
+    /// Like [`find_askable`](Self::find_askable) but collects up to `width`
+    /// candidates in the same traversal order, descending *through* askable
+    /// nodes so the slate also covers the questions that become minimal once
+    /// the first picks are classified. Prediction-only: the commit loop keeps
+    /// using the single-result variant.
+    fn find_askable_many(
+        &self,
+        overall: &ClassificationState,
+        cache: &CrowdCache,
+        member: &dyn CrowdMember,
+        width: usize,
+    ) -> Vec<Assignment> {
+        let vocab = self.space.ontology().vocabulary();
+        let askable = |a: &Assignment| {
+            let fs = self.space.instantiate(a);
+            !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
+        };
+        let mut found: Vec<Assignment> = Vec::new();
+        let mut stack: Vec<Assignment> = Vec::new();
+        let mut seen: HashSet<Assignment> = HashSet::new();
+        for root in self.space.roots() {
+            if overall.status(&root, vocab) == Status::Unclassified && askable(&root) {
+                found.push(root.clone());
+                if found.len() >= width {
+                    return found;
+                }
+            }
+            if overall.status(&root, vocab) != Status::Insignificant && seen.insert(root.clone()) {
+                stack.push(root);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for s in self.space.successors(&n) {
+                if overall.status(&s, vocab) == Status::Insignificant {
+                    continue;
+                }
+                if overall.status(&s, vocab) == Status::Unclassified
+                    && askable(&s)
+                    && !found.contains(&s)
+                {
+                    found.push(s.clone());
+                    if found.len() >= width {
+                        return found;
+                    }
+                }
+                if seen.insert(s.clone()) {
+                    stack.push(s);
+                }
+            }
+        }
+        found
     }
 
     fn render_answers(
@@ -721,7 +1102,41 @@ impl Oassis {
     ) -> Result<QueryResult, OassisError> {
         let space = self.space(query, config)?;
         let miner = MultiUserMiner::new(&space, threshold, config);
-        let (mut result, _) = miner.run(members);
+        let (result, _) = miner.run_slice(members);
+        Ok(self.finalize(result, query, &space))
+    }
+
+    /// Like [`execute`](Self::execute), but the crowd runs concurrently
+    /// through the session runtime's worker pool.
+    pub fn execute_with_runtime(
+        &self,
+        query_src: &str,
+        runtime: SessionRuntime,
+        config: &EngineConfig,
+    ) -> Result<QueryResult, OassisError> {
+        let query = {
+            let _span = Span::enter(&*config.sink, names::SPAN_PLAN);
+            self.parse(query_src)?
+        };
+        self.execute_parsed_with_runtime(&query, query.satisfying.support, runtime, config)
+    }
+
+    /// Concurrent variant of [`execute_parsed`](Self::execute_parsed).
+    pub fn execute_parsed_with_runtime(
+        &self,
+        query: &Query,
+        threshold: f64,
+        runtime: SessionRuntime,
+        config: &EngineConfig,
+    ) -> Result<QueryResult, OassisError> {
+        let space = self.space(query, config)?;
+        let miner = MultiUserMiner::new(&space, threshold, config);
+        let (result, _) = miner.run(runtime)?;
+        Ok(self.finalize(result, query, &space))
+    }
+
+    /// Post-process a raw mining result for the query's SELECT form.
+    fn finalize(&self, mut result: QueryResult, query: &Query, space: &AssignSpace) -> QueryResult {
         if query.all {
             // `SELECT ... ALL`: besides the MSPs, return every explicitly
             // classified significant assignment (the implied generalizations
@@ -763,7 +1178,7 @@ impl Oassis {
                 a.rendered = a.assignment.display(&names, self.ontology.vocabulary());
             }
         }
-        Ok(result)
+        result
     }
 
     /// Survey the crowd for MORE-fact candidates (the "more" button of
@@ -1164,31 +1579,12 @@ mod topk_tests {
         let mut observer = |a: &QueryAnswer| {
             seen.push(a.rendered.clone());
         };
-        let (result, _) = miner.run_with_observer(&mut members, &mut observer);
+        let (result, _) = miner.run_slice_with_observer(&mut members, &mut observer);
         assert_eq!(seen.len(), result.stats.msp_events.len());
         // Everything the observer saw is in the final answer set.
         for s in &seen {
             assert!(result.answers.iter().any(|a| &a.rendered == s), "{s}");
         }
-    }
-
-    /// The deprecated closure entry point must keep working as a thin
-    /// adapter over the observer API.
-    #[test]
-    #[allow(deprecated)]
-    fn run_observed_adapter_still_delivers_answers() {
-        let engine = Oassis::new(figure1_ontology());
-        let query = engine.parse(QUERY).unwrap();
-        let cfg = EngineConfig {
-            aggregator_sample: 1,
-            ..EngineConfig::default()
-        };
-        let space = engine.space(&query, &cfg).unwrap();
-        let miner = MultiUserMiner::new(&space, 0.3, &cfg);
-        let mut count = 0usize;
-        let mut members = vec![member()];
-        let (result, _) = miner.run_observed(&mut members, |_| count += 1);
-        assert_eq!(count, result.stats.msp_events.len());
     }
 }
 

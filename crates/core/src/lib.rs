@@ -19,6 +19,10 @@
 //!   [`NaiveMiner`], and the §6.3 *baseline* cost model,
 //! * the [`MultiUserMiner`] (Section 4.2): per-member traversal with a
 //!   global answer cache and a pluggable aggregation black-box,
+//! * the concurrent crowd-session [`runtime`]: a worker pool that runs
+//!   per-member round-trips in parallel with speculative prefetch, timeouts,
+//!   bounded retry and exclusion of unresponsive members — deterministically
+//!   equivalent to the sequential path (see `docs/engine.md`),
 //! * natural-language [`question`] rendering (Section 6.2's templates),
 //! * [`ExecutionStats`] with the per-question discovery curve behind
 //!   Figures 4d–4f and 5.
@@ -26,10 +30,12 @@
 pub mod algo;
 pub mod assignment;
 pub mod border;
+pub mod config;
 pub mod diversity;
 pub mod engine;
 pub mod question;
 pub mod rules;
+pub mod runtime;
 pub mod space;
 pub mod stats;
 pub mod value;
@@ -38,10 +44,14 @@ pub use algo::{
     baseline_question_count, HorizontalMiner, MinerConfig, MinerOutcome, NaiveMiner, VerticalMiner,
 };
 pub use assignment::Assignment;
-pub use border::ClassificationState;
+pub use border::{ClassificationState, SharedBorder};
+pub use config::{EngineConfig, EngineConfigBuilder};
 pub use diversity::{diversify_answers, select_diverse};
 pub use engine::{
-    AnswerObserver, EngineConfig, MultiUserMiner, Oassis, QueryAnswer, QueryResult, NODES_TOTAL_CAP,
+    AnswerObserver, MultiUserMiner, Oassis, OassisError, QueryAnswer, QueryResult, NODES_TOTAL_CAP,
+};
+pub use runtime::{
+    QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime,
 };
 pub use rules::{mine_rules, AssociationRule};
 pub use space::AssignSpace;

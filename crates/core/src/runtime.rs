@@ -1,0 +1,986 @@
+//! The concurrent crowd-session runtime (worker-pool dispatcher).
+//!
+//! The paper's multi-user algorithm (§4.2) *emulates* parallel sessions
+//! with a round-robin loop; this module makes the sessions actually
+//! concurrent while keeping the algorithm's answer set bit-identical. The
+//! design splits the engine into:
+//!
+//! * a **coordinator** (the caller's thread) that runs the *exact*
+//!   sequential commit loop — every answer is applied to the border, cache
+//!   and statistics in the same order as the synchronous engine, which is
+//!   the deterministic-merge rule: a concurrent run with seed S produces
+//!   the same answer set as a sequential run with seed S;
+//! * a pool of **worker threads** that carry the actual crowd round-trips
+//!   (simulated answer latency, drops, retries). Questions travel to
+//!   workers as [`AskRequest`]s tagged with explicit [`QuestionId`]s; each
+//!   request checks the member out of its slot and the response checks it
+//!   back in, so a member is owned by exactly one thread at a time.
+//!
+//! Wall-clock speedup comes from **speculative prefetch**: while other
+//! members take their committed turns, the coordinator predicts each idle
+//! member's next question and dispatches it speculatively. Answers land in
+//! a lock-striped [`SharedCrowdCache`]; when the commit loop reaches that
+//! question it consumes the prefetched answer without waiting. Workers
+//! consult the published [`SharedBorder`] when picking up speculative work
+//! and cancel asks whose target has meanwhile been classified — safe,
+//! because the commit loop never asks about classified assignments.
+//!
+//! Unresponsive members are handled per question: a member whose simulated
+//! delay exceeds `question_timeout` (or whose answer is dropped) is retried
+//! up to `max_retries` times, then **excluded** from the rest of the run.
+//! If every member ends up excluded the engine reports
+//! [`RuntimeErrorKind::CrowdExhausted`] instead of spinning.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use oassis_crowd::{CrowdMember, MemberId, SharedCrowdCache};
+use oassis_obs::{names, EventSink, SinkExt, Span};
+use oassis_vocab::{ElementId, FactSet, Vocabulary};
+
+use crate::assignment::Assignment;
+use crate::border::SharedBorder;
+
+/// Identifier of one dispatched question (unique within a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuestionId(pub u64);
+
+impl std::fmt::Display for QuestionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Tuning knobs of the session runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Worker threads carrying crowd round-trips (min 1, default 4).
+    pub workers: usize,
+    /// How long a worker waits for one answer before declaring a timeout.
+    pub question_timeout: Duration,
+    /// Re-asks after a timeout before the member is excluded.
+    pub max_retries: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: 4,
+            question_timeout: Duration::from_millis(250),
+            max_retries: 2,
+        }
+    }
+}
+
+/// A crowd handed to the engine for concurrent execution: the members plus
+/// the runtime's tuning knobs. Construct with [`SessionRuntime::new`], then
+/// chain setters:
+///
+/// ```no_run
+/// # let members = Vec::new();
+/// use std::time::Duration;
+/// use oassis_core::SessionRuntime;
+///
+/// let runtime = SessionRuntime::new(members)
+///     .workers(8)
+///     .question_timeout(Duration::from_millis(50))
+///     .max_retries(1);
+/// ```
+pub struct SessionRuntime {
+    members: Vec<Box<dyn CrowdMember>>,
+    options: RuntimeOptions,
+}
+
+impl std::fmt::Debug for SessionRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRuntime")
+            .field("members", &self.members.len())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl SessionRuntime {
+    /// A runtime over `members` with default [`RuntimeOptions`].
+    pub fn new(members: Vec<Box<dyn CrowdMember>>) -> Self {
+        SessionRuntime {
+            members,
+            options: RuntimeOptions::default(),
+        }
+    }
+
+    /// Set the worker-thread count (values below 1 are clamped to 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.options.workers = n.max(1);
+        self
+    }
+
+    /// Set the per-question timeout.
+    pub fn question_timeout(mut self, timeout: Duration) -> Self {
+        self.options.question_timeout = timeout;
+        self
+    }
+
+    /// Set the retry budget per question.
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.options.max_retries = n;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> RuntimeOptions {
+        self.options
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the crowd is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Dissolve the runtime, returning the members.
+    pub fn into_members(self) -> Vec<Box<dyn CrowdMember>> {
+        self.members
+    }
+}
+
+impl From<Vec<Box<dyn CrowdMember>>> for SessionRuntime {
+    fn from(members: Vec<Box<dyn CrowdMember>>) -> Self {
+        SessionRuntime::new(members)
+    }
+}
+
+/// What went wrong inside the session runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeErrorKind {
+    /// A member failed to answer a question within the timeout, through
+    /// all retries.
+    QuestionTimeout {
+        /// The unresponsive member.
+        member: MemberId,
+        /// The question that timed out.
+        question: QuestionId,
+        /// Delivery attempts made (initial ask + retries).
+        attempts: usize,
+    },
+    /// A member's answer callback panicked on a worker thread; the member
+    /// was discarded.
+    WorkerPoisoned {
+        /// The member whose callback panicked.
+        member: MemberId,
+    },
+    /// Every member has been excluded (timed out or poisoned) and the run
+    /// cannot make progress.
+    CrowdExhausted {
+        /// How many members were excluded.
+        excluded: usize,
+    },
+}
+
+/// A session-runtime failure, with an optional underlying cause
+/// (reachable through [`std::error::Error::source`]).
+#[derive(Debug)]
+pub struct RuntimeError {
+    kind: RuntimeErrorKind,
+    source: Option<Box<dyn std::error::Error + Send + Sync>>,
+}
+
+impl RuntimeError {
+    /// An error of `kind` with no underlying cause.
+    pub fn new(kind: RuntimeErrorKind) -> Self {
+        RuntimeError { kind, source: None }
+    }
+
+    /// Attach an underlying cause.
+    pub fn with_source(mut self, source: Box<dyn std::error::Error + Send + Sync>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// The failure kind.
+    pub fn kind(&self) -> &RuntimeErrorKind {
+        &self.kind
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            RuntimeErrorKind::QuestionTimeout {
+                member,
+                question,
+                attempts,
+            } => write!(
+                f,
+                "member {member} did not answer question {question} within {attempts} attempts"
+            ),
+            RuntimeErrorKind::WorkerPoisoned { member } => {
+                write!(f, "member {member} panicked on a worker thread")
+            }
+            RuntimeErrorKind::CrowdExhausted { excluded } => write!(
+                f,
+                "crowd exhausted: all {excluded} members were excluded as unresponsive"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// The payload a worker thread panicked with, captured as an error so it
+/// can ride a [`RuntimeError`]'s source chain.
+#[derive(Debug)]
+struct PanicPayload(String);
+
+impl std::fmt::Display for PanicPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panic: {}", self.0)
+    }
+}
+
+impl std::error::Error for PanicPayload {}
+
+/// The question kinds a worker can carry.
+#[derive(Debug, Clone)]
+pub(crate) enum AskPayload {
+    /// A concrete question about one assignment's fact-set.
+    Concrete {
+        assignment: Assignment,
+        factset: FactSet,
+    },
+    /// A specialization question over candidate fact-sets.
+    Specialization {
+        base: FactSet,
+        candidates: Vec<FactSet>,
+    },
+    /// A user-guided-pruning interaction.
+    Pruning { factset: FactSet },
+    /// A speculative batch of candidate concrete questions (one crowd
+    /// round-trip answers the whole form). Only dispatched speculatively.
+    Prefetch {
+        candidates: Vec<(Assignment, FactSet)>,
+    },
+}
+
+impl AskPayload {
+    /// How many crowd questions this payload carries.
+    fn question_count(&self) -> u64 {
+        match self {
+            AskPayload::Prefetch { candidates } => candidates.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// A successfully delivered answer.
+#[derive(Debug, Clone)]
+pub(crate) enum AskValue {
+    /// Concrete support.
+    Support(f64),
+    /// Specialization choice.
+    Choice(Option<(usize, f64)>),
+    /// Irrelevant elements (pruning).
+    Irrelevant(Vec<ElementId>),
+    /// Answers to a speculative prefetch batch.
+    Prefetched(Vec<(FactSet, f64)>),
+}
+
+/// What came back for one request.
+#[derive(Debug)]
+pub(crate) enum AskOutcome {
+    Answered(AskValue),
+    TimedOut { attempts: usize },
+    Cancelled,
+    Poisoned { message: String },
+}
+
+struct AskRequest {
+    question: QuestionId,
+    member_idx: usize,
+    member: Box<dyn CrowdMember>,
+    payload: AskPayload,
+    speculative: bool,
+}
+
+struct AskResponse {
+    question: QuestionId,
+    member_idx: usize,
+    /// The member, checked back in (`None` if its callback panicked).
+    member: Option<Box<dyn CrowdMember>>,
+    outcome: AskOutcome,
+    payload: AskPayload,
+    speculative: bool,
+    /// Speculative questions dropped unasked (target already classified).
+    cancelled: u64,
+}
+
+/// The request channel shared by coordinator and workers.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    requests: VecDeque<AskRequest>,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                requests: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, request: AskRequest) {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        state.requests.push_back(request);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocking pop; `None` once the queue is shut down and drained.
+    fn pop(&self) -> Option<AskRequest> {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        loop {
+            if let Some(request) = state.requests.pop_front() {
+                return Some(request);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).expect("work queue poisoned");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("work queue poisoned").shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// One worker thread: pop requests, simulate the crowd channel (delay,
+/// drop, timeout, retry), ask the member, send the response back.
+fn worker_loop(
+    queue: Arc<WorkQueue>,
+    responses: mpsc::Sender<AskResponse>,
+    border: SharedBorder,
+    vocab: Arc<Vocabulary>,
+    sink: Arc<dyn EventSink>,
+    options: RuntimeOptions,
+) {
+    while let Some(request) = queue.pop() {
+        let response = serve(request, &border, &vocab, &sink, &options);
+        if responses.send(response).is_err() {
+            return; // coordinator gone
+        }
+    }
+}
+
+fn serve(
+    mut request: AskRequest,
+    border: &SharedBorder,
+    vocab: &Vocabulary,
+    sink: &Arc<dyn EventSink>,
+    options: &RuntimeOptions,
+) -> AskResponse {
+    let _span = Span::enter(&**sink, names::SPAN_WORKER);
+
+    // A speculative question whose target got classified while queued is
+    // stale: the commit loop will never ask it. Drop stale candidates from
+    // a prefetch batch; return the member unasked if nothing remains.
+    let mut cancelled = 0u64;
+    if request.speculative {
+        let stale = match &mut request.payload {
+            AskPayload::Concrete { assignment, .. } => {
+                usize::from(border.is_classified(assignment, vocab))
+            }
+            AskPayload::Prefetch { candidates } => {
+                let before = candidates.len();
+                candidates.retain(|(a, _)| !border.is_classified(a, vocab));
+                before - candidates.len()
+            }
+            _ => 0,
+        };
+        cancelled = stale as u64;
+        if stale > 0 {
+            sink.count(names::RUNTIME_CANCELLED, cancelled);
+        }
+        let empty = match &request.payload {
+            AskPayload::Concrete { .. } => stale > 0,
+            AskPayload::Prefetch { candidates } => candidates.is_empty(),
+            _ => false,
+        };
+        if empty {
+            return AskResponse {
+                question: request.question,
+                member_idx: request.member_idx,
+                member: Some(request.member),
+                outcome: AskOutcome::Cancelled,
+                payload: request.payload,
+                speculative: true,
+                cancelled,
+            };
+        }
+    }
+
+    let start = Instant::now();
+    let mut attempts = 0usize;
+    let outcome = loop {
+        attempts += 1;
+        let delay = request.member.answer_delay();
+        match delay {
+            Some(d) if d <= options.question_timeout => {
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+                let member = &mut request.member;
+                let payload = &request.payload;
+                match catch_unwind(AssertUnwindSafe(|| answer(member.as_mut(), payload))) {
+                    Ok(value) => break AskOutcome::Answered(value),
+                    Err(panic) => {
+                        // The member may be mid-mutation: discard it.
+                        return AskResponse {
+                            question: request.question,
+                            member_idx: request.member_idx,
+                            member: None,
+                            outcome: AskOutcome::Poisoned {
+                                message: panic_message(panic),
+                            },
+                            payload: request.payload,
+                            speculative: request.speculative,
+                            cancelled,
+                        };
+                    }
+                }
+            }
+            slow_or_dropped => {
+                // Dropped (`None`) or slower than the timeout: wait the full
+                // timeout (that is when the coordinator's patience runs out),
+                // then retry with a fresh delay draw or give up.
+                std::thread::sleep(options.question_timeout);
+                let label = if slow_or_dropped.is_none() {
+                    "drop"
+                } else {
+                    "slow"
+                };
+                sink.count_labeled(names::RUNTIME_TIMEOUT, label, 1);
+                if attempts > options.max_retries {
+                    break AskOutcome::TimedOut { attempts };
+                }
+                sink.count(names::RUNTIME_RETRY, 1);
+            }
+        }
+    };
+    sink.observe(names::RUNTIME_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
+    AskResponse {
+        question: request.question,
+        member_idx: request.member_idx,
+        member: Some(request.member),
+        outcome,
+        payload: request.payload,
+        speculative: request.speculative,
+        cancelled,
+    }
+}
+
+fn answer(member: &mut dyn CrowdMember, payload: &AskPayload) -> AskValue {
+    match payload {
+        AskPayload::Concrete { factset, .. } => AskValue::Support(member.ask_concrete(factset)),
+        AskPayload::Specialization { base, candidates } => {
+            AskValue::Choice(member.ask_specialization(base, candidates))
+        }
+        AskPayload::Pruning { factset } => AskValue::Irrelevant(member.irrelevant_elements(factset)),
+        AskPayload::Prefetch { candidates } => AskValue::Prefetched(
+            candidates
+                .iter()
+                .map(|(_, fs)| (fs.clone(), member.ask_concrete(fs)))
+                .collect(),
+        ),
+    }
+}
+
+/// One member's seat on the coordinator side.
+struct Slot {
+    /// The member, when "home". `None` while checked out to a worker (a
+    /// pending request exists) or lost to a poisoned worker.
+    member: Option<Box<dyn CrowdMember>>,
+    id: MemberId,
+    excluded: bool,
+    pending: Option<QuestionId>,
+}
+
+/// Coordinator-side handle of the worker pool: slots, dispatch bookkeeping
+/// and the response channel. Created per run by the engine.
+pub(crate) struct Pool {
+    queue: Arc<WorkQueue>,
+    responses: mpsc::Receiver<AskResponse>,
+    workers: Vec<JoinHandle<()>>,
+    slots: Vec<Slot>,
+    shared: SharedCrowdCache,
+    border: SharedBorder,
+    sink: Arc<dyn EventSink>,
+    next_question: u64,
+    inflight: usize,
+    spec_dispatched: u64,
+    spec_hits: u64,
+    spec_cancelled: u64,
+    last_error: Option<RuntimeError>,
+}
+
+impl Pool {
+    /// Spawn the workers and seat the members.
+    pub(crate) fn start(
+        runtime: SessionRuntime,
+        vocab: Arc<Vocabulary>,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        let SessionRuntime { members, options } = runtime;
+        let slots: Vec<Slot> = members
+            .into_iter()
+            .map(|m| Slot {
+                id: m.id(),
+                member: Some(m),
+                excluded: false,
+                pending: None,
+            })
+            .collect();
+        let queue = Arc::new(WorkQueue::new());
+        let (tx, rx) = mpsc::channel();
+        let border = SharedBorder::new();
+        let n_workers = options.workers.max(1);
+        let workers = (0..n_workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let tx = tx.clone();
+                let border = border.clone();
+                let vocab = Arc::clone(&vocab);
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || worker_loop(queue, tx, border, vocab, sink, options))
+            })
+            .collect();
+        Pool {
+            queue,
+            responses: rx,
+            workers,
+            slots,
+            shared: SharedCrowdCache::new(),
+            border,
+            sink,
+            next_question: 0,
+            inflight: 0,
+            spec_dispatched: 0,
+            spec_hits: 0,
+            spec_cancelled: 0,
+            last_error: None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn member_id(&self, idx: usize) -> MemberId {
+        self.slots[idx].id
+    }
+
+    /// The member, when home (synced and not poisoned).
+    pub(crate) fn member(&self, idx: usize) -> Option<&dyn CrowdMember> {
+        self.slots[idx].member.as_deref()
+    }
+
+    pub(crate) fn excluded(&self, idx: usize) -> bool {
+        self.slots[idx].excluded
+    }
+
+    pub(crate) fn all_excluded(&self) -> bool {
+        self.slots.iter().all(|s| s.excluded)
+    }
+
+    pub(crate) fn excluded_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.excluded).count()
+    }
+
+    pub(crate) fn shared(&self) -> &SharedCrowdCache {
+        &self.shared
+    }
+
+    /// The most recent per-member failure (for `CrowdExhausted` chains).
+    pub(crate) fn take_last_error(&mut self) -> Option<RuntimeError> {
+        self.last_error.take()
+    }
+
+    /// Publish the coordinator's border so workers can cancel stale
+    /// speculative questions.
+    pub(crate) fn publish_border(&self, state: &crate::border::ClassificationState) {
+        self.border.publish(state);
+    }
+
+    /// Record a prefetched answer being consumed by the commit loop.
+    pub(crate) fn note_speculation_hit(&mut self) {
+        self.spec_hits += 1;
+        self.sink.count_labeled(names::RUNTIME_SPECULATION, "hit", 1);
+    }
+
+    fn next_question_id(&mut self) -> QuestionId {
+        self.next_question += 1;
+        QuestionId(self.next_question)
+    }
+
+    fn set_inflight(&mut self, n: usize) {
+        self.inflight = n;
+        self.sink.gauge(names::RUNTIME_INFLIGHT, n as f64);
+    }
+
+    /// Check the member out of its slot and enqueue the question.
+    fn dispatch(&mut self, idx: usize, payload: AskPayload, speculative: bool) -> QuestionId {
+        let member = self.slots[idx]
+            .member
+            .take()
+            .expect("dispatch requires the member to be home");
+        let question = self.next_question_id();
+        self.slots[idx].pending = Some(question);
+        self.set_inflight(self.inflight + 1);
+        if speculative {
+            let n = payload.question_count();
+            self.spec_dispatched += n;
+            self.sink
+                .count_labeled(names::RUNTIME_SPECULATION, "dispatched", n);
+        }
+        self.queue.push(AskRequest {
+            question,
+            member_idx: idx,
+            member,
+            payload,
+            speculative,
+        });
+        question
+    }
+
+    /// Apply one response: check the member back in, fold speculative
+    /// answers into the shared cache, exclude failed members. Returns the
+    /// answer when the response completed a *committed* question.
+    fn absorb(&mut self, response: AskResponse) -> (usize, Option<AskValue>) {
+        let idx = response.member_idx;
+        debug_assert_eq!(self.slots[idx].pending, Some(response.question));
+        self.slots[idx].pending = None;
+        self.set_inflight(self.inflight.saturating_sub(1));
+        self.slots[idx].member = response.member;
+        self.spec_cancelled += response.cancelled;
+        match response.outcome {
+            AskOutcome::Answered(value) => {
+                if response.speculative {
+                    match (&response.payload, &value) {
+                        (AskPayload::Concrete { factset, .. }, AskValue::Support(s)) => {
+                            self.shared.record(factset, self.slots[idx].id, *s);
+                        }
+                        (AskPayload::Prefetch { .. }, AskValue::Prefetched(answers)) => {
+                            for (fs, s) in answers {
+                                self.shared.record(fs, self.slots[idx].id, *s);
+                            }
+                        }
+                        _ => {}
+                    }
+                    (idx, None)
+                } else {
+                    (idx, Some(value))
+                }
+            }
+            AskOutcome::Cancelled => (idx, None),
+            AskOutcome::TimedOut { attempts } => {
+                self.exclude(
+                    idx,
+                    "timeout",
+                    RuntimeError::new(RuntimeErrorKind::QuestionTimeout {
+                        member: self.slots[idx].id,
+                        question: response.question,
+                        attempts,
+                    }),
+                );
+                (idx, None)
+            }
+            AskOutcome::Poisoned { message } => {
+                self.exclude(
+                    idx,
+                    "poisoned",
+                    RuntimeError::new(RuntimeErrorKind::WorkerPoisoned {
+                        member: self.slots[idx].id,
+                    })
+                    .with_source(Box::new(PanicPayload(message))),
+                );
+                (idx, None)
+            }
+        }
+    }
+
+    fn exclude(&mut self, idx: usize, label: &'static str, error: RuntimeError) {
+        if !self.slots[idx].excluded {
+            self.slots[idx].excluded = true;
+            self.sink
+                .count_labeled(names::RUNTIME_MEMBER_EXCLUDED, label, 1);
+        }
+        self.last_error = Some(error);
+    }
+
+    /// Block until `idx` has no in-flight question, absorbing every
+    /// response that arrives meanwhile (including other members').
+    pub(crate) fn sync(&mut self, idx: usize) {
+        while self.slots[idx].pending.is_some() {
+            let response = self
+                .responses
+                .recv()
+                .expect("worker pool hung up with requests in flight");
+            self.absorb(response);
+        }
+    }
+
+    /// A committed (blocking) ask: waits for the member's answer. `None`
+    /// means the member was excluded (timeout/poisoned) along the way.
+    pub(crate) fn ask(&mut self, idx: usize, payload: AskPayload) -> Option<AskValue> {
+        self.sync(idx);
+        if self.slots[idx].excluded || self.slots[idx].member.is_none() {
+            return None;
+        }
+        self.dispatch(idx, payload, false);
+        while self.slots[idx].pending.is_some() {
+            let response = self
+                .responses
+                .recv()
+                .expect("worker pool hung up with requests in flight");
+            let (ridx, value) = self.absorb(response);
+            if ridx == idx {
+                return value;
+            }
+        }
+        None
+    }
+
+    /// Whether `idx` may receive a speculative question right now.
+    pub(crate) fn can_speculate(&self, idx: usize) -> bool {
+        let slot = &self.slots[idx];
+        !slot.excluded && slot.pending.is_none() && slot.member.is_some()
+    }
+
+    /// Dispatch a speculative prefetch batch for `idx` — the predicted
+    /// next question plus fallback candidates, answered in one simulated
+    /// crowd round-trip (a multi-question form).
+    pub(crate) fn speculate(&mut self, idx: usize, candidates: Vec<(Assignment, FactSet)>) {
+        if candidates.is_empty() || !self.can_speculate(idx) {
+            return;
+        }
+        self.dispatch(idx, AskPayload::Prefetch { candidates }, true);
+    }
+
+    /// Final accounting: anything dispatched speculatively that was neither
+    /// consumed nor cancelled was wasted crowd effort.
+    pub(crate) fn finish(&mut self) {
+        let wasted = self
+            .spec_dispatched
+            .saturating_sub(self.spec_hits + self.spec_cancelled);
+        if wasted > 0 {
+            self.sink
+                .count_labeled(names::RUNTIME_SPECULATION, "wasted", wasted);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.queue.shutdown();
+        // Drain any straggler responses so workers never block on send.
+        while self.inflight > 0 {
+            match self.responses.recv() {
+                Ok(response) => {
+                    self.absorb(response);
+                }
+                Err(_) => break,
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_crowd::{ResponseModel, ScriptedMember, UnreliableMember};
+    use oassis_obs::InMemorySink;
+    use std::collections::HashMap;
+
+    fn scripted(id: u32, support: f64) -> Box<dyn CrowdMember> {
+        Box::new(ScriptedMember::new(MemberId(id), HashMap::new(), support))
+    }
+
+    fn test_vocab() -> Arc<Vocabulary> {
+        Arc::new(
+            oassis_store::ontology::figure1_ontology()
+                .vocabulary()
+                .clone(),
+        )
+    }
+
+    fn concrete_payload() -> AskPayload {
+        AskPayload::Concrete {
+            assignment: Assignment::single_valued(Vec::new()),
+            factset: FactSet::new(),
+        }
+    }
+
+    #[test]
+    fn runtime_builder_clamps_and_sticks() {
+        let rt = SessionRuntime::new(Vec::new())
+            .workers(0)
+            .question_timeout(Duration::from_millis(5))
+            .max_retries(7);
+        assert_eq!(rt.options().workers, 1);
+        assert_eq!(rt.options().question_timeout, Duration::from_millis(5));
+        assert_eq!(rt.options().max_retries, 7);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn committed_ask_round_trips_through_a_worker() {
+        let runtime = SessionRuntime::new(vec![scripted(1, 0.75)]).workers(2);
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        let value = pool.ask(0, concrete_payload());
+        assert!(matches!(value, Some(AskValue::Support(s)) if (s - 0.75).abs() < 1e-12));
+        assert!(!pool.excluded(0));
+    }
+
+    #[test]
+    fn dropping_member_is_retried_then_excluded() {
+        let member: Box<dyn CrowdMember> = Box::new(UnreliableMember::new(
+            scripted(1, 0.5),
+            ResponseModel::instant().with_drop_probability(1.0),
+            3,
+        ));
+        let runtime = SessionRuntime::new(vec![member])
+            .workers(1)
+            .question_timeout(Duration::from_millis(2))
+            .max_retries(2);
+        let mem = InMemorySink::shared();
+        let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
+        let mut pool = Pool::start(runtime, test_vocab(), sink);
+        let value = pool.ask(0, concrete_payload());
+        assert!(value.is_none());
+        assert!(pool.excluded(0));
+        assert!(pool.all_excluded());
+        let err = pool.take_last_error().expect("timeout recorded");
+        assert!(matches!(
+            err.kind(),
+            RuntimeErrorKind::QuestionTimeout { attempts: 3, .. }
+        ));
+        let snap = mem.snapshot();
+        assert_eq!(snap.counter(&format!("{}[drop]", names::RUNTIME_TIMEOUT)), 3);
+        assert_eq!(snap.counter(names::RUNTIME_RETRY), 2);
+        assert_eq!(
+            snap.counter(&format!("{}[timeout]", names::RUNTIME_MEMBER_EXCLUDED)),
+            1
+        );
+    }
+
+    #[test]
+    fn panicking_member_poisons_and_is_discarded() {
+        struct Bomb;
+        impl CrowdMember for Bomb {
+            fn id(&self) -> MemberId {
+                MemberId(9)
+            }
+            fn ask_concrete(&mut self, _a: &FactSet) -> f64 {
+                panic!("boom")
+            }
+            fn ask_specialization(
+                &mut self,
+                _base: &FactSet,
+                _candidates: &[FactSet],
+            ) -> Option<(usize, f64)> {
+                None
+            }
+            fn irrelevant_elements(&mut self, _a: &FactSet) -> Vec<ElementId> {
+                Vec::new()
+            }
+        }
+        let runtime = SessionRuntime::new(vec![Box::new(Bomb)]).workers(1);
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        let value = pool.ask(0, concrete_payload());
+        assert!(value.is_none());
+        assert!(pool.excluded(0));
+        assert!(pool.member(0).is_none(), "poisoned member is discarded");
+        let err = pool.take_last_error().expect("poisoning recorded");
+        assert!(matches!(
+            err.kind(),
+            RuntimeErrorKind::WorkerPoisoned {
+                member: MemberId(9)
+            }
+        ));
+        let source = std::error::Error::source(&err).expect("panic payload chained");
+        assert!(source.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn speculative_answers_land_in_the_shared_cache() {
+        let runtime = SessionRuntime::new(vec![scripted(4, 0.6)]).workers(1);
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        assert!(pool.can_speculate(0));
+        pool.speculate(
+            0,
+            vec![(Assignment::single_valued(Vec::new()), FactSet::new())],
+        );
+        assert!(!pool.can_speculate(0), "one in-flight question per member");
+        pool.sync(0);
+        assert_eq!(pool.shared().lookup(&FactSet::new(), MemberId(4)), Some(0.6));
+        assert!(pool.can_speculate(0));
+    }
+
+    #[test]
+    fn shutdown_joins_workers_with_requests_in_flight() {
+        let member: Box<dyn CrowdMember> = Box::new(UnreliableMember::new(
+            scripted(1, 0.5),
+            ResponseModel::latency(Duration::from_millis(5)),
+            1,
+        ));
+        let runtime = SessionRuntime::new(vec![member])
+            .workers(2)
+            .question_timeout(Duration::from_millis(50));
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        pool.speculate(
+            0,
+            vec![(Assignment::single_valued(Vec::new()), FactSet::new())],
+        );
+        drop(pool); // must not hang or leak the worker
+    }
+}

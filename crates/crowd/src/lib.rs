@@ -13,8 +13,12 @@
 //!   UI's user-guided pruning); the personal DB itself is never readable,
 //! * simulated members: [`DbMember`] (backed by a personal DB, with the
 //!   paper's five-level frequency scale and optional noise),
-//!   [`ScriptedMember`] (fixed answers, for tests) and [`SpammerMember`]
-//!   (random answers, for quality-control experiments),
+//!   [`ScriptedMember`] (fixed answers, for tests), [`SpammerMember`]
+//!   (random answers, for quality-control experiments) and
+//!   [`UnreliableMember`] (a seeded latency/drop channel model around any
+//!   member, for the concurrent session runtime),
+//! * the [`SharedCrowdCache`] — a lock-striped, thread-safe answer store the
+//!   session runtime's workers share,
 //! * the answer [`Aggregator`] black-box of Section 4.2 (default: the
 //!   paper's five-answers-then-average rule),
 //! * the [`CrowdCache`] — per-assignment answer storage enabling the
@@ -28,7 +32,9 @@ pub mod frequency;
 pub mod member;
 pub mod profile;
 pub mod quality;
+pub mod shared;
 pub mod transaction;
+pub mod unreliable;
 
 pub use aggregate::{
     Aggregator, Decision, FixedSampleAggregator, MajorityVoteAggregator, SequentialAggregator,
@@ -38,4 +44,6 @@ pub use cache::CrowdCache;
 pub use frequency::FrequencyScale;
 pub use member::{CrowdMember, DbMember, MemberId, ScriptedMember, SpammerMember};
 pub use profile::{select_members, ProfiledMember};
+pub use shared::SharedCrowdCache;
 pub use transaction::{PersonalDb, Transaction};
+pub use unreliable::{ResponseModel, UnreliableMember};

@@ -30,7 +30,11 @@ impl std::fmt::Display for MemberId {
 /// Implementations must be *self-consistent*: repeated concrete questions
 /// about the same fact-set should return the same support (honest members
 /// are; [`SpammerMember`] deliberately is not).
-pub trait CrowdMember {
+///
+/// Members are `Send` so the concurrent session runtime can hand them to
+/// worker threads; every member is owned by exactly one thread at a time
+/// (`Sync` is *not* required).
+pub trait CrowdMember: Send {
     /// This member's id.
     fn id(&self) -> MemberId;
 
@@ -73,6 +77,18 @@ pub trait CrowdMember {
     /// co-occur with `base` in their history; empty = nothing to add.
     fn suggest_more(&mut self, _base: &FactSet) -> Vec<oassis_vocab::Fact> {
         Vec::new()
+    }
+
+    /// The simulated delivery model of the crowd channel: how long the
+    /// session runtime should expect to wait for this member's next answer,
+    /// or `None` if the answer never arrives (the runtime's per-question
+    /// timeout fires instead). Real crowd answers come back with human-scale
+    /// latency and non-response; simulated members default to instant,
+    /// reliable delivery. Wrap any member in
+    /// [`UnreliableMember`](crate::UnreliableMember) for a seeded
+    /// latency/drop model.
+    fn answer_delay(&mut self) -> Option<std::time::Duration> {
+        Some(std::time::Duration::ZERO)
     }
 }
 

@@ -1,0 +1,177 @@
+//! Thread-safe answer storage for the concurrent session runtime.
+//!
+//! [`SharedCrowdCache`] is a lock-striped view of the same data a
+//! [`CrowdCache`] holds: answers keyed by fact-set, attributed to members.
+//! Worker threads record answers as they arrive; the coordinator consults it
+//! before dispatching so no question is ever asked twice of the same member,
+//! and folds it into the canonical per-run [`CrowdCache`] when committing.
+//! Striping by fact-set hash keeps workers on distinct fact-sets from
+//! contending on one mutex.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use oassis_vocab::FactSet;
+
+use crate::cache::CrowdCache;
+use crate::member::MemberId;
+
+/// Number of independently locked shards. A small power of two: the worker
+/// pool is capped well below this, so collisions are rare.
+const SHARDS: usize = 16;
+
+type Shard = Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>;
+
+/// A concurrently shared, lock-striped crowd-answer store.
+///
+/// Cloning is cheap and yields another handle to the *same* store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCrowdCache {
+    shards: Arc<[Shard; SHARDS]>,
+}
+
+impl SharedCrowdCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, fs: &FactSet) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        fs.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Record `member`'s answer for `fs`. Returns `true` if this is the
+    /// first answer stored for the `(fs, member)` pair; a repeat overwrites
+    /// (members are self-consistent) and returns `false`.
+    pub fn record(&self, fs: &FactSet, member: MemberId, support: f64) -> bool {
+        let mut shard = self.shard(fs).lock().expect("shared-cache shard poisoned");
+        let entry = shard.entry(fs.clone()).or_default();
+        match entry.iter_mut().find(|(m, _)| *m == member) {
+            Some(slot) => {
+                slot.1 = support;
+                false
+            }
+            None => {
+                entry.push((member, support));
+                true
+            }
+        }
+    }
+
+    /// `member`'s stored answer for `fs`, if any.
+    pub fn lookup(&self, fs: &FactSet, member: MemberId) -> Option<f64> {
+        let shard = self.shard(fs).lock().expect("shared-cache shard poisoned");
+        shard
+            .get(fs)
+            .and_then(|v| v.iter().find(|(m, _)| *m == member))
+            .map(|&(_, s)| s)
+    }
+
+    /// Whether `member` already answered about `fs`.
+    pub fn has_answer_from(&self, fs: &FactSet, member: MemberId) -> bool {
+        self.lookup(fs, member).is_some()
+    }
+
+    /// Total `(fact-set, member)` answer pairs stored across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("shared-cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether no answers have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("shared-cache shard poisoned").is_empty())
+    }
+
+    /// Materialize the current contents as a plain [`CrowdCache`] (one
+    /// question counted per stored answer). Answer order within a fact-set
+    /// follows arrival order per shard; callers needing canonical ordering
+    /// should rebuild from their own commit log instead.
+    pub fn snapshot(&self) -> CrowdCache {
+        let mut cache = CrowdCache::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("shared-cache shard poisoned");
+            for (fs, answers) in shard.iter() {
+                for &(m, s) in answers {
+                    cache.record(fs, m, s);
+                }
+            }
+        }
+        cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, RelationId};
+
+    fn fs(n: u32) -> FactSet {
+        FactSet::from_facts([Fact::new(ElementId(n), RelationId(0), ElementId(0))])
+    }
+
+    #[test]
+    fn record_lookup_roundtrip() {
+        let cache = SharedCrowdCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.record(&fs(1), MemberId(1), 0.5));
+        assert!(!cache.record(&fs(1), MemberId(1), 0.75), "overwrite");
+        assert!(cache.record(&fs(1), MemberId(2), 0.25));
+        assert_eq!(cache.lookup(&fs(1), MemberId(1)), Some(0.75));
+        assert_eq!(cache.lookup(&fs(1), MemberId(2)), Some(0.25));
+        assert_eq!(cache.lookup(&fs(2), MemberId(1)), None);
+        assert!(cache.has_answer_from(&fs(1), MemberId(2)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = SharedCrowdCache::new();
+        let b = a.clone();
+        a.record(&fs(7), MemberId(3), 1.0);
+        assert_eq!(b.lookup(&fs(7), MemberId(3)), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_materializes_all_shards() {
+        let cache = SharedCrowdCache::new();
+        for n in 0..64 {
+            cache.record(&fs(n), MemberId(n % 5), 0.5);
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.unique_questions(), 64);
+        assert_eq!(snap.total_questions(), 64);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_answers() {
+        let cache = SharedCrowdCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for n in 0..50 {
+                        cache.record(&fs(n), MemberId(t), f64::from(t) / 10.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4 * 50);
+        for t in 0..4u32 {
+            assert_eq!(cache.lookup(&fs(17), MemberId(t)), Some(f64::from(t) / 10.0));
+        }
+    }
+}

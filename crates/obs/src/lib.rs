@@ -65,6 +65,29 @@ pub mod names {
     pub const CROWD_ANSWER_NANOS: &str = "crowd.answer.nanos";
     /// Histogram: answers available when an aggregator reached a decision.
     pub const CROWD_QUORUM_SIZE: &str = "crowd.quorum.size";
+    /// Gauge: crowd questions currently in flight in the session runtime
+    /// (dispatched to a worker, answer not yet integrated).
+    pub const RUNTIME_INFLIGHT: &str = "runtime.questions.inflight";
+    /// Counter: one question attempt timed out. Label: `drop` (the member
+    /// never responded) or `slow` (the answer would arrive too late).
+    pub const RUNTIME_TIMEOUT: &str = "runtime.question.timeout";
+    /// Counter: a timed-out question was retried with the same member.
+    pub const RUNTIME_RETRY: &str = "runtime.question.retry";
+    /// Counter: a speculative question was cancelled at worker pickup
+    /// because the shared border had already classified its assignment.
+    pub const RUNTIME_CANCELLED: &str = "runtime.question.cancelled";
+    /// Counter: a member was excluded from the run. Label: `timeout`
+    /// (retries exhausted) or `poisoned` (the member panicked mid-answer).
+    pub const RUNTIME_MEMBER_EXCLUDED: &str = "runtime.member.excluded";
+    /// Counter: speculative prefetch bookkeeping. Label: `dispatched`
+    /// (prefetch sent to a worker), `hit` (a prefetched answer satisfied a
+    /// committed question), or `wasted` (never consumed by the run).
+    pub const RUNTIME_SPECULATION: &str = "runtime.speculation";
+    /// Histogram: simulated member answer latency in nanoseconds, measured
+    /// on the worker thread (queue wait + delivery delay + answering).
+    pub const RUNTIME_ANSWER_NANOS: &str = "runtime.answer.nanos";
+    /// Span: one session-runtime worker thread's lifetime.
+    pub const SPAN_WORKER: &str = "runtime.worker";
     /// Counter: triple-pattern index scans. Label: the binding shape —
     /// `spo`, `sp?`, `?po`, or `?p?` (`?` marks an unbound endpoint).
     pub const SPARQL_PATTERN_SCAN: &str = "sparql.pattern.scan";

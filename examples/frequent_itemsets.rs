@@ -81,10 +81,7 @@ fn main() {
     let query = "SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.6";
 
     let engine = Oassis::new(ontology);
-    let config = EngineConfig {
-        aggregator_sample: 3,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder().aggregator_sample(3).build();
     let result = engine
         .execute(query, &mut members, &config)
         .expect("query executes");

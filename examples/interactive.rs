@@ -70,10 +70,7 @@ fn main() {
             Box::new(DbMember::new(MemberId(1), d1, Arc::clone(&vocab))),
             Box::new(DbMember::new(MemberId(2), d2, Arc::clone(&vocab))),
         ];
-        let config = EngineConfig {
-            aggregator_sample: 2,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder().aggregator_sample(2).build();
         match engine.execute(&src, &mut members, &config) {
             Ok(result) => {
                 if result.answers.is_empty() {

@@ -50,12 +50,9 @@ fn main() {
     ];
 
     let engine = Oassis::new(ontology);
-    let mut config = EngineConfig {
-        // Two members total: aggregate after both answered (Example 3.1
-        // averages u1 and u2).
-        aggregator_sample: 2,
-        ..EngineConfig::default()
-    };
+    // Two members total: aggregate after both answered (Example 3.1
+    // averages u1 and u2).
+    let mut config = EngineConfig::builder().aggregator_sample(2).build();
 
     // The MORE clause mines extra co-occurring advice. Candidates come from
     // open-ended crowd answers: survey the members with "what else do you do

@@ -12,4 +12,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> scripts/stress.sh"
+./scripts/stress.sh
+
 echo "==> all checks passed"

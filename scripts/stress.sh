@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Concurrency stress: repeat the session-runtime test suite with varying
+# worker counts so scheduling-dependent bugs (races, lost answers,
+# determinism violations) get many chances to surface. Tier-1 via
+# check.sh; tune with STRESS_ITERS (default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${STRESS_ITERS:-3}"
+WORKERS=(1 2 4 8 16)
+
+for ((i = 1; i <= ITERS; i++)); do
+  w="${WORKERS[$(((i - 1) % ${#WORKERS[@]}))]}"
+  echo "==> stress iteration $i/$ITERS (OASSIS_STRESS_WORKERS=$w)"
+  OASSIS_STRESS_WORKERS="$w" cargo test -q --test runtime_concurrency
+done
+
+echo "==> stress passed ($ITERS iterations)"

@@ -53,7 +53,7 @@ fn majority_vote_aggregator_plugs_in() {
     let miner = MultiUserMiner::new(&space, 0.4, &cfg)
         .with_aggregator(Box::new(MajorityVoteAggregator { sample_size: 4 }));
     let mut members = crowd(2);
-    let (result, _) = miner.run(&mut members);
+    let (result, _) = miner.run_slice(&mut members);
     let rendered: Vec<&str> = result.answers.iter().map(|a| a.rendered.as_str()).collect();
     assert!(
         rendered.iter().any(|r| r.contains("Feed a monkey")),
@@ -84,7 +84,7 @@ fn sequential_aggregator_bounds_answers_per_assignment() {
     };
     let miner = MultiUserMiner::new(&space, 0.4, &cfg).with_aggregator(Box::new(agg));
     let mut members = crowd(3);
-    let (result, cache) = miner.run(&mut members);
+    let (result, cache) = miner.run_slice(&mut members);
     assert!(!result.answers.is_empty());
     // The root (support 1.0 for everyone) must have been decided at
     // min_samples, not at the fixed five of the default rule.
@@ -100,14 +100,8 @@ fn sequential_aggregator_bounds_answers_per_assignment() {
 #[test]
 fn syntactic_mode_yields_smaller_space() {
     let engine = Oassis::new(figure1_ontology());
-    let semantic = EngineConfig {
-        mode: MatchMode::Semantic,
-        ..EngineConfig::default()
-    };
-    let syntactic = EngineConfig {
-        mode: MatchMode::Syntactic,
-        ..EngineConfig::default()
-    };
+    let semantic = EngineConfig::builder().mode(MatchMode::Semantic).build();
+    let syntactic = EngineConfig::builder().mode(MatchMode::Syntactic).build();
     let sem_space = space_for(&engine, &semantic);
     let syn_space = space_for(&engine, &syntactic);
     assert!(
@@ -123,10 +117,7 @@ fn syntactic_mode_yields_smaller_space() {
 #[test]
 fn relation_variable_mining() {
     let engine = Oassis::new(figure1_ontology());
-    let cfg = EngineConfig {
-        aggregator_sample: 1,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder().aggregator_sample(1).build();
     let mut members = crowd(1);
     members.truncate(1); // u1 only
     let result = engine
@@ -155,10 +146,7 @@ fn relation_variable_mining() {
 #[test]
 fn question_cap_is_respected() {
     let engine = Oassis::new(figure1_ontology());
-    let cfg = EngineConfig {
-        max_questions: 7,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder().max_questions(7).build();
     let mut members = crowd(3);
     let result = engine.execute(QUERY, &mut members, &cfg).unwrap();
     assert!(result.stats.total_questions <= 7);
@@ -180,10 +168,7 @@ fn enumeration_cap_returns_none() {
 #[test]
 fn constant_only_satisfying_clause() {
     let engine = Oassis::new(figure1_ontology());
-    let cfg = EngineConfig {
-        aggregator_sample: 2,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder().aggregator_sample(2).build();
     let mut members = crowd(1);
     let result = engine
         .execute(

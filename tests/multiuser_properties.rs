@@ -47,11 +47,10 @@ proptest! {
         // k clones through the engine.
         let engine = Oassis::from_arc(Arc::clone(&inst.ontology));
         let query = engine.parse(&inst.query_src).unwrap();
-        let cfg = EngineConfig {
-            aggregator_sample: k,
-            mode: MatchMode::Semantic,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .aggregator_sample(k)
+            .mode(MatchMode::Semantic)
+            .build();
         let mut members: Vec<Box<dyn CrowdMember>> = (0..k)
             .map(|i| {
                 Box::new(PlantedOracle::new(
@@ -105,11 +104,7 @@ proptest! {
                     )) as Box<dyn CrowdMember>
                 })
                 .collect();
-            let cfg = EngineConfig {
-                aggregator_sample: 3,
-                seed,
-                ..EngineConfig::default()
-            };
+            let cfg = EngineConfig::builder().aggregator_sample(3).seed(seed).build();
             engine.execute_parsed(&query, 0.2, &mut members, &cfg).unwrap()
         };
         let a = run();

@@ -66,12 +66,11 @@ fn multiuser_run_snapshot_matches_execution_stats() {
     let mem = InMemorySink::shared();
     let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
     let engine = Oassis::new(ontology);
-    let config = EngineConfig {
-        aggregator_sample: 2,
-        more_domain: vec![rent_bikes],
-        sink,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder()
+        .aggregator_sample(2)
+        .more_domain(vec![rent_bikes])
+        .sink(sink)
+        .build();
     let result = engine.execute(FIGURE2, &mut members, &config).unwrap();
     assert!(!result.answers.is_empty());
     let snap = mem.snapshot();
@@ -169,11 +168,7 @@ fn bounded_space_reports_exact_lazy_generation_ratio() {
     let mem = InMemorySink::shared();
     let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
     let engine = Oassis::new(ontology);
-    let config = EngineConfig {
-        aggregator_sample: 2,
-        sink,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder().aggregator_sample(2).sink(sink).build();
     let result = engine.execute(FIG3_FRAGMENT, &mut members, &config).unwrap();
     let snap = mem.snapshot();
 

@@ -103,11 +103,10 @@ fn figure2_query_end_to_end() {
     ];
     let rent_bikes = fact(&vocab, "Rent Bikes", "doAt", "Boathouse");
     let engine = Oassis::new(ontology);
-    let config = EngineConfig {
-        aggregator_sample: 2,
-        more_domain: vec![rent_bikes],
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder()
+        .aggregator_sample(2)
+        .more_domain(vec![rent_bikes])
+        .build();
     let result = engine.execute(FIGURE2, &mut members, &config).unwrap();
     let rendered: Vec<&str> = result.answers.iter().map(|a| a.rendered.as_str()).collect();
 

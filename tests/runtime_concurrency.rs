@@ -1,0 +1,212 @@
+//! The concurrent crowd-session runtime observed end-to-end: for the same
+//! seed, a pooled run must produce exactly the answer set (and question
+//! count) of the sequential slice path; slow and dropping members must be
+//! timed out, retried and excluded without losing MSPs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oassis::core::{EngineConfig, MultiUserMiner, Oassis, OassisError, SessionRuntime};
+use oassis::crowd::transaction::table3_dbs;
+use oassis::crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
+use oassis::obs::{names, EventSink, InMemorySink};
+use oassis::store::ontology::figure1_ontology;
+
+const QUERY: &str = "SELECT FACT-SETS WHERE \
+      $x instanceOf $w. $w subClassOf* Attraction. \
+      $y subClassOf* Activity \
+    SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+/// Worker count for the pooled runs; override with `OASSIS_STRESS_WORKERS`
+/// (see `scripts/stress.sh`).
+fn worker_count() -> usize {
+    std::env::var("OASSIS_STRESS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// `n_pairs` copies of the paper's u1/u2 member pair. `DbMember` answers
+/// are a pure function of the asked fact-set (no noise, no quota), which is
+/// exactly the precondition of the runtime's determinism guarantee.
+fn crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+    for i in 0..n_pairs {
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i),
+            d1.clone(),
+            Arc::clone(&vocab),
+        )));
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i + 1),
+            d2.clone(),
+            Arc::clone(&vocab),
+        )));
+    }
+    members
+}
+
+fn valid_msp_set(result: &oassis::core::QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = result
+        .answers
+        .iter()
+        .filter(|a| a.valid)
+        .map(|a| a.rendered.clone())
+        .collect();
+    v.sort();
+    v
+}
+
+/// The headline guarantee: concurrent run with seed S == sequential run
+/// with seed S — same valid-MSP set, same question count — across seeds.
+#[test]
+fn concurrent_matches_sequential_across_seeds() {
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).unwrap();
+    for seed in [0u64, 7, 42, 1234] {
+        let cfg = EngineConfig::builder().seed(seed).build();
+        let space = engine.space(&query, &cfg).unwrap();
+        let miner = MultiUserMiner::new(&space, 0.4, &cfg);
+
+        let mut seq_members = crowd(3);
+        let (seq, _) = miner.run_slice(&mut seq_members);
+
+        let runtime = SessionRuntime::new(crowd(3)).workers(worker_count());
+        let (conc, _) = miner.run(runtime).expect("no members excluded");
+
+        assert_eq!(
+            valid_msp_set(&seq),
+            valid_msp_set(&conc),
+            "seed {seed}: concurrent answer set diverged"
+        );
+        assert_eq!(
+            seq.stats.total_questions, conc.stats.total_questions,
+            "seed {seed}: concurrent run asked a different number of questions"
+        );
+        assert!(!valid_msp_set(&conc).is_empty(), "seed {seed}: empty result");
+    }
+}
+
+/// Latency alone (no drops) must not change the outcome either — the
+/// speculative prefetch only ever asks questions the commit loop would ask.
+#[test]
+fn latency_does_not_change_answers() {
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).unwrap();
+    let cfg = EngineConfig::builder().seed(11).build();
+    let space = engine.space(&query, &cfg).unwrap();
+    let miner = MultiUserMiner::new(&space, 0.4, &cfg);
+
+    let mut seq_members = crowd(3);
+    let (seq, _) = miner.run_slice(&mut seq_members);
+
+    let model = ResponseModel::latency(Duration::from_micros(300))
+        .with_jitter(Duration::from_micros(200));
+    let slow: Vec<Box<dyn CrowdMember>> = crowd(3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| Box::new(UnreliableMember::new(m, model, 100 + i as u64)) as Box<_>)
+        .collect();
+    let runtime = SessionRuntime::new(slow)
+        .workers(worker_count())
+        .question_timeout(Duration::from_secs(5));
+    let (conc, _) = miner.run(runtime).expect("no members excluded");
+
+    assert_eq!(valid_msp_set(&seq), valid_msp_set(&conc));
+    assert_eq!(seq.stats.total_questions, conc.stats.total_questions);
+}
+
+/// Fault injection: members that always drop their answers are timed out,
+/// retried and excluded — and the healthy rest of the crowd still delivers
+/// the full MSP set.
+#[test]
+fn dropping_members_are_excluded_without_losing_msps() {
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).unwrap();
+
+    let mem = InMemorySink::shared();
+    let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
+    let cfg = EngineConfig::builder().sink(sink).build();
+    let space = engine.space(&query, &cfg).unwrap();
+    let miner = MultiUserMiner::new(&space, 0.4, &cfg);
+
+    // Healthy baseline: the crowd without the faulty members.
+    let plain_cfg = EngineConfig::default();
+    let plain_space = engine.space(&query, &plain_cfg).unwrap();
+    let plain_miner = MultiUserMiner::new(&plain_space, 0.4, &plain_cfg);
+    let mut healthy = crowd(3);
+    let (expected, _) = plain_miner.run_slice(&mut healthy);
+
+    // Same crowd plus two members whose channel drops every answer. The
+    // faulty members are clones of healthy ones, so excluding them must
+    // not change the aggregate outcome.
+    let mut members = crowd(3);
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let always_drop = ResponseModel::instant().with_drop_probability(1.0);
+    members.push(Box::new(UnreliableMember::new(
+        Box::new(DbMember::new(MemberId(100), d1, Arc::clone(&vocab))),
+        always_drop,
+        1,
+    )));
+    members.push(Box::new(UnreliableMember::new(
+        Box::new(DbMember::new(MemberId(101), d2, vocab)),
+        always_drop,
+        2,
+    )));
+
+    let runtime = SessionRuntime::new(members)
+        .workers(worker_count())
+        .question_timeout(Duration::from_millis(2))
+        .max_retries(1);
+    let (result, _) = miner.run(runtime).expect("healthy members remain");
+
+    assert_eq!(valid_msp_set(&expected), valid_msp_set(&result));
+
+    let snap = mem.snapshot();
+    assert_eq!(
+        snap.counter(&format!("{}[timeout]", names::RUNTIME_MEMBER_EXCLUDED)),
+        2,
+        "both dropping members must be excluded"
+    );
+    // Each exclusion takes 1 initial attempt + 1 retry, all dropped.
+    assert_eq!(snap.counter(&format!("{}[drop]", names::RUNTIME_TIMEOUT)), 4);
+    assert_eq!(snap.counter(names::RUNTIME_RETRY), 2);
+}
+
+/// When every member is unresponsive the run fails with the dedicated
+/// runtime error instead of returning an empty result.
+#[test]
+fn fully_unresponsive_crowd_is_a_runtime_error() {
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).unwrap();
+    let cfg = EngineConfig::default();
+    let space = engine.space(&query, &cfg).unwrap();
+    let miner = MultiUserMiner::new(&space, 0.4, &cfg);
+
+    let always_drop = ResponseModel::instant().with_drop_probability(1.0);
+    let members: Vec<Box<dyn CrowdMember>> = crowd(1)
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| Box::new(UnreliableMember::new(m, always_drop, i as u64)) as Box<_>)
+        .collect();
+    let runtime = SessionRuntime::new(members)
+        .workers(2)
+        .question_timeout(Duration::from_millis(2))
+        .max_retries(0);
+
+    let err = miner.run(runtime).expect_err("all members excluded");
+    match err {
+        OassisError::Runtime(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("excluded"), "unexpected message: {msg}");
+            // The last exclusion's timeout is chained as the source.
+            assert!(std::error::Error::source(&e).is_some());
+        }
+        other => panic!("expected a runtime error, got {other}"),
+    }
+}
