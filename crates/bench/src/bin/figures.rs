@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
-//! dist mult crowdmix bounds growth runtime` (or `all`).
+//! dist mult crowdmix bounds growth runtime scale` (or `all`). The `scale`
+//! experiment writes `BENCH_scale.json` at the repo root;
+//! `OASSIS_SCALE_SMOKE=1` shrinks it for CI.
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -21,12 +23,13 @@ use std::time::Duration;
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
-    runtime_speedup, shape_variation, CurveSeries, PaceResult,
+    runtime_speedup, scale_speedup, shape_variation, CurveSeries, PaceResult, ScaleRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
 use oassis_datagen::{
-    culinary_domain, self_treatment_domain, travel_domain, CrowdGenConfig, Domain,
+    culinary_domain, self_treatment_domain, travel_domain, travel_domain_10x, CrowdGenConfig,
+    Domain,
 };
 
 const THRESHOLDS: [f64; 4] = [0.2, 0.3, 0.4, 0.5];
@@ -163,12 +166,118 @@ fn print_curves(title: &str, series: &[CurveSeries]) {
     println!("{}", render(&header_refs, &rows));
 }
 
+/// Run the index-layer scale benchmark (PR 3) and write `BENCH_scale.json`
+/// at the repo root. `OASSIS_SCALE_SMOKE=1` shrinks the question caps so CI
+/// can assert the invariants (identical answers, speedup ≥ 1) in seconds;
+/// the full run is the one whose numbers matter.
+fn run_scale(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_SCALE_SMOKE").is_ok_and(|v| v == "1");
+    let (members, cap_small, cap_large) = if smoke { (6, 40, 80) } else { (24, 400, 400) };
+    println!(
+        "== scale: index-layer speedup ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let rows: Vec<ScaleRow> = [travel_domain(), travel_domain_10x()]
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let cap = if i == 0 { cap_small } else { cap_large };
+            let r = scale_speedup(d, members, cap, seed);
+            assert!(
+                r.answers_match,
+                "{}: indexed run changed the valid-MSP set or question count",
+                r.domain
+            );
+            assert!(
+                r.speedup >= 1.0,
+                "{}: indexes slowed the engine down ({:.2}x)",
+                r.domain,
+                r.speedup
+            );
+            sink.gauge_labeled("figures.scale.speedup", &r.domain, r.speedup);
+            r
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.clone(),
+                r.nodes.to_string(),
+                r.questions.to_string(),
+                format!("{:.2}s", r.unindexed.as_secs_f64()),
+                format!("{:.2}s", r.indexed.as_secs_f64()),
+                format!("{:.1}", r.unindexed_qps),
+                format!("{:.1}", r.indexed_qps),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "domain",
+                "DAG nodes",
+                "#questions",
+                "un-indexed",
+                "indexed",
+                "q/s before",
+                "q/s after",
+                "speedup"
+            ],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"domain\": {:?}, \"nodes\": {}, \"members\": {}, ",
+                    "\"questions\": {}, \"unindexed_secs\": {:.6}, ",
+                    "\"indexed_secs\": {:.6}, \"unindexed_qps\": {:.3}, ",
+                    "\"indexed_qps\": {:.3}, \"speedup\": {:.3}, ",
+                    "\"answers_match\": {}}}"
+                ),
+                r.domain,
+                r.nodes,
+                r.members,
+                r.questions,
+                r.unindexed.as_secs_f64(),
+                r.indexed.as_secs_f64(),
+                r.unindexed_qps,
+                r.indexed_qps,
+                r.speedup,
+                r.answers_match,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"scale\",\n\"mode\": {:?},\n\"seed\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        json_rows.join(",\n")
+    );
+    // Smoke runs go to target/ so CI never clobbers the checked-in
+    // full-mode numbers at the repo root.
+    let path = if smoke {
+        "target/BENCH_scale.smoke.json"
+    } else {
+        "BENCH_scale.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
-            "crowdmix", "bounds", "growth", "runtime",
+            "crowdmix", "bounds", "growth", "runtime", "scale",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -393,6 +502,7 @@ fn main() {
                     )
                 );
             }
+            "scale" => run_scale(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

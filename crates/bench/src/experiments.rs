@@ -857,6 +857,134 @@ pub fn runtime_speedup(
     }
 }
 
+/// Result of the index-layer scale experiment for one domain.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Domain name ("travel", "travel-10x").
+    pub domain: String,
+    /// Assignment-DAG node count (single-valued assignments).
+    pub nodes: usize,
+    /// Crowd size.
+    pub members: usize,
+    /// Questions asked (identical across both runs by construction).
+    pub questions: usize,
+    /// Wall-clock of the un-indexed run (reference linear scans, no space
+    /// memoization, transaction-scan support counting).
+    pub unindexed: Duration,
+    /// Wall-clock of the indexed run (interned [`SpaceCache`], indexed
+    /// border, tid-list support counting).
+    pub indexed: Duration,
+    /// `unindexed / indexed`.
+    pub speedup: f64,
+    /// Questions per second, un-indexed run.
+    pub unindexed_qps: f64,
+    /// Questions per second, indexed run.
+    pub indexed_qps: f64,
+    /// Whether both runs produced the same valid-MSP set and question
+    /// count (must be true — the index layer is observationally invisible).
+    pub answers_match: bool,
+}
+
+/// End-to-end wall-clock effect of PR 3's index layer: mine the same
+/// generated crowd twice — once with `use_indexes = false` (reference
+/// linear-scan border, direct space derivations, transaction-scan support)
+/// and once with the indexed paths — and report wall-clock, questions/sec
+/// and the speedup. The observable output (valid MSPs, question counts) is
+/// asserted identical; both runs are capped at `max_questions` so the
+/// benchmark measures per-question cost on large DAGs rather than mining
+/// the 10× domain to exhaustion.
+pub fn scale_speedup(
+    domain: &Domain,
+    members: usize,
+    max_questions: usize,
+    seed: u64,
+) -> ScaleRow {
+    let engine = Oassis::new(domain.ontology.clone());
+    let query = engine.parse(&domain.query).expect("query parses");
+    let crowd_cfg = CrowdGenConfig {
+        members,
+        transactions_per_member: 20,
+        popular_patterns: 8,
+        popularity: 0.8,
+        zipf: 1.0,
+        facts_per_transaction: 1,
+        discretize: false,
+        seed,
+    };
+    let run = |use_indexes: bool| {
+        let cfg = EngineConfig::builder()
+            .seed(seed)
+            .max_questions(max_questions)
+            .use_indexes(use_indexes)
+            .build();
+        // Same generator seed ⇒ identical crowds; the baseline crowd also
+        // counts support by transaction scan instead of tid-lists.
+        let mut crowd: Vec<Box<dyn CrowdMember>> = generate_crowd(domain, &crowd_cfg)
+            .members
+            .into_iter()
+            .map(|m| if use_indexes { m } else { m.with_scan_counting() })
+            .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+            .collect();
+        let start = Instant::now();
+        let result = engine
+            .execute_parsed(&query, 0.2, &mut crowd, &cfg)
+            .expect("execution succeeds");
+        (result, start.elapsed())
+    };
+    let (base, unindexed) = run(false);
+    let (idx, indexed) = run(true);
+
+    let valid = |r: &oassis_core::QueryResult| {
+        let mut v: Vec<&str> = r
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.as_str())
+            .collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    let questions = base.stats.total_questions;
+    // The paper's "without multiplicities" node count (the full DAG with
+    // multi-valued assignments is astronomically larger).
+    let nodes = domain_space(domain)
+        .enumerate_single_valued(1_000_000)
+        .map_or(0, |v| v.len());
+    let qps = |q: usize, t: Duration| q as f64 / t.as_secs_f64().max(f64::EPSILON);
+    ScaleRow {
+        domain: domain.name.to_owned(),
+        nodes,
+        members,
+        questions,
+        unindexed,
+        indexed,
+        speedup: unindexed.as_secs_f64() / indexed.as_secs_f64().max(f64::EPSILON),
+        unindexed_qps: qps(questions, unindexed),
+        indexed_qps: qps(idx.stats.total_questions, indexed),
+        answers_match: valid(&base) == valid(&idx)
+            && base.stats.total_questions == idx.stats.total_questions,
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use oassis_datagen::travel_domain;
+
+    /// Cheap smoke (the full travel/travel-10x benchmark lives in the
+    /// figures binary's `scale` experiment): the indexed and un-indexed
+    /// engine paths produce identical observable output.
+    #[test]
+    fn indexed_and_unindexed_runs_agree() {
+        let domain = travel_domain();
+        let row = scale_speedup(&domain, 6, 40, 11);
+        assert!(row.answers_match, "index layer changed observable output");
+        assert!(row.questions > 0);
+        assert!(row.nodes > 0);
+        assert!(row.speedup > 0.0);
+    }
+}
+
 #[cfg(test)]
 mod speedup_tests {
     use super::*;

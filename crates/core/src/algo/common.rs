@@ -12,7 +12,7 @@ use oassis_vocab::FactSet;
 
 use crate::assignment::Assignment;
 use crate::border::{ClassificationState, Status};
-use crate::space::AssignSpace;
+use crate::space::{AssignSpace, SpaceCache};
 use crate::stats::{ExecutionStats, QuestionKind, Recorder};
 use crate::value::AValue;
 
@@ -38,6 +38,10 @@ pub struct MinerConfig {
     pub curve_universe: Option<Vec<Assignment>>,
     /// Ground-truth MSPs for target-discovery curves (synthetic runs).
     pub targets: Option<Vec<Assignment>>,
+    /// Use the index-backed inference layer (memoized space derivations,
+    /// indexed border). Observable behavior is identical either way; `false`
+    /// is the un-indexed benchmark baseline.
+    pub use_indexes: bool,
     /// Instrumentation sink; defaults to the no-op [`null_sink`]. Questions
     /// are additionally labeled with the algorithm's name on
     /// `algo.questions`, making the miners directly comparable.
@@ -56,6 +60,7 @@ impl MinerConfig {
             track_curve: false,
             curve_universe: None,
             targets: None,
+            use_indexes: true,
             sink: null_sink(),
         }
     }
@@ -107,6 +112,8 @@ pub(crate) struct Asker<'a> {
     pub space: &'a AssignSpace,
     pub member: &'a mut dyn CrowdMember,
     pub state: ClassificationState,
+    /// Memoized space derivations; pass-through when indexes are off.
+    pub cache: SpaceCache,
     pub recorder: Recorder,
     pub threshold: f64,
     spec_ratio: f64,
@@ -135,10 +142,19 @@ impl<'a> Asker<'a> {
         if let Some(t) = &cfg.targets {
             recorder = recorder.with_targets(t.clone());
         }
+        let (state, cache) = if cfg.use_indexes {
+            (
+                ClassificationState::new(),
+                SpaceCache::with_sink(Arc::clone(&cfg.sink)),
+            )
+        } else {
+            (ClassificationState::unindexed(), SpaceCache::disabled())
+        };
         Asker {
             space,
             member,
-            state: ClassificationState::new(),
+            state,
+            cache,
             recorder,
             threshold: cfg.threshold,
             spec_ratio: cfg.specialization_ratio,
@@ -167,7 +183,7 @@ impl<'a> Asker<'a> {
     /// interaction first). Returns whether `phi` is significant.
     pub fn ask(&mut self, phi: &Assignment) -> bool {
         let vocab = self.space.ontology().vocabulary();
-        let fs = self.space.instantiate(phi);
+        let fs = self.cache.instantiate(self.space, phi);
 
         // User-guided pruning (Section 6.2): while viewing the question, the
         // member may flag a value as irrelevant with a single click — that
@@ -209,10 +225,10 @@ impl<'a> Asker<'a> {
             return SpecOutcome::NotUsed;
         }
         let vocab = self.space.ontology().vocabulary();
-        let base = self.space.instantiate(phi);
+        let base = self.cache.instantiate(self.space, phi);
         let cand_fs: Vec<FactSet> = candidates
             .iter()
-            .map(|c| self.space.instantiate(c))
+            .map(|c| FactSet::clone(&self.cache.instantiate(self.space, c)))
             .collect();
         match self.member.ask_specialization(&base, &cand_fs) {
             Some((idx, s)) => {
@@ -245,7 +261,7 @@ impl<'a> Asker<'a> {
         let msps: Vec<Assignment> = self.state.significant_border().to_vec();
         let valid_msps: Vec<Assignment> = msps
             .iter()
-            .filter(|m| self.space.is_valid(m))
+            .filter(|m| self.cache.is_valid(self.space, m))
             .cloned()
             .collect();
         MinerOutcome {

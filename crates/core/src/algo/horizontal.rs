@@ -66,9 +66,9 @@ impl HorizontalMiner {
                     // significant first. Predecessors have smaller rank, so
                     // if one is still unclassified it was never enqueued —
                     // enqueue it and retry this node afterwards.
-                    let preds = space.predecessors(&phi);
+                    let preds = asker.cache.predecessors(space, &phi);
                     let mut deferred = false;
-                    for p in &preds {
+                    for p in preds.iter() {
                         if asker.state.status(p, vocab) == Status::Unclassified
                             && enqueued.insert(p.clone())
                         {
@@ -93,11 +93,11 @@ impl HorizontalMiner {
                 }
             };
             if significant {
-                let succs = space.successors(&phi);
+                let succs = asker.cache.successors(space, &phi);
                 asker.on_nodes_generated(&succs);
-                for s in succs {
+                for s in succs.iter() {
                     if enqueued.insert(s.clone()) {
-                        heap.push(Reverse((rank(space, &s), s)));
+                        heap.push(Reverse((rank(space, s), s.clone())));
                     }
                 }
             }

@@ -69,7 +69,7 @@ impl VerticalMiner {
                     break;
                 }
                 let vocab = space.ontology().vocabulary();
-                let succs = space.successors(&phi);
+                let succs = asker.cache.successors(space, &phi);
                 asker.on_nodes_generated(&succs);
 
                 // Move freely into an already-known-significant successor:
@@ -82,8 +82,9 @@ impl VerticalMiner {
                     continue;
                 }
                 let unclassified: Vec<Assignment> = succs
-                    .into_iter()
+                    .iter()
                     .filter(|s| asker.state.status(s, vocab) == Status::Unclassified)
+                    .cloned()
                     .collect();
                 if unclassified.is_empty() {
                     break;
@@ -117,12 +118,14 @@ impl VerticalMiner {
             }
             // φ has no significant successor: it is an MSP.
             let vocab = space.ontology().vocabulary();
-            let no_sig_succ = space
-                .successors(&phi)
+            let no_sig_succ = asker
+                .cache
+                .successors(space, &phi)
                 .iter()
                 .all(|s| asker.state.status(s, vocab) != Status::Significant);
             if no_sig_succ {
-                asker.recorder.on_msp(space.is_valid(&phi));
+                let valid = asker.cache.is_valid(space, &phi);
+                asker.recorder.on_msp(valid);
             }
         }
         asker.finish()
@@ -164,12 +167,12 @@ fn scan(
         return None;
     }
     let vocab = space.ontology().vocabulary();
-    for s in space.successors(node) {
-        match asker.state.status(&s, vocab) {
-            Status::Unclassified => return Some(s),
+    for s in asker.cache.successors(space, node).iter() {
+        match asker.state.status(s, vocab) {
+            Status::Unclassified => return Some(s.clone()),
             Status::Insignificant => {}
             Status::Significant => {
-                if let Some(u) = scan(space, asker, closed, &s) {
+                if let Some(u) = scan(space, asker, closed, s) {
                     return Some(u);
                 }
             }
@@ -184,13 +187,21 @@ fn scan(
 fn minimalize(space: &AssignSpace, asker: &Asker<'_>, mut phi: Assignment) -> Assignment {
     let vocab = space.ontology().vocabulary();
     'walk: loop {
-        for p in space.predecessors(&phi) {
-            if asker.state.status(&p, vocab) == Status::Unclassified {
+        let preds = asker.cache.predecessors(space, &phi);
+        let mut next = None;
+        for p in preds.iter() {
+            if asker.state.status(p, vocab) == Status::Unclassified {
+                next = Some(p.clone());
+                break;
+            }
+        }
+        match next {
+            Some(p) => {
                 phi = p;
                 continue 'walk;
             }
+            None => return phi,
         }
-        return phi;
     }
 }
 

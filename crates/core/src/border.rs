@@ -10,12 +10,75 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use oassis_vocab::Vocabulary;
 
 use crate::assignment::Assignment;
 use crate::value::AValue;
+
+/// Per-witness index metadata: a root-ancestor fingerprint plus the
+/// variable-only weight, both monotone along `≤` (the mask on any DAG, the
+/// weight only on forest taxonomies — see [`WitnessMeta::mask_of`]).
+#[derive(Debug, Clone, Copy)]
+struct WitnessMeta {
+    mask: u64,
+    vweight: usize,
+}
+
+impl WitnessMeta {
+    fn of(phi: &Assignment, vocab: &Vocabulary) -> Self {
+        WitnessMeta {
+            mask: Self::mask_of(phi, vocab),
+            vweight: phi.weight() - phi.more_facts().len(),
+        }
+    }
+
+    /// Fold every value's taxonomy [`root_mask`](oassis_vocab::Taxonomy::root_mask)
+    /// into one `u64`, rotated per variable position (and per fact
+    /// component) so different slots rarely collide.
+    ///
+    /// Soundness: `φ ≤ φ'` demands, per variable, that each value of `φ` is
+    /// dominated by a value of `φ'` *in the same slot*, and that each MORE
+    /// fact of `φ` is implied by some fact of `φ'`. Since `v ≤ v'` implies
+    /// `root_mask(v) ⊆ root_mask(v')` and rotation/OR preserve the subset
+    /// direction slot-wise, `φ ≤ φ'` implies `mask(φ) ⊆ mask(φ')`. Hash
+    /// collisions only make masks more alike, i.e. lose pruning, never
+    /// soundness.
+    fn mask_of(phi: &Assignment, vocab: &Vocabulary) -> u64 {
+        let elems = vocab.elements_order();
+        let rels = vocab.relations_order();
+        let mut mask = 0u64;
+        for x in 0..phi.nvars() {
+            let rot = ((x as u32) * 13) % 64;
+            for v in phi.values(x) {
+                let m = match v {
+                    AValue::Elem(e) => elems.root_mask(*e),
+                    AValue::Rel(r) => rels.root_mask(*r).rotate_left(32),
+                };
+                mask |= m.rotate_left(rot);
+            }
+        }
+        for f in phi.more_facts() {
+            mask |= elems.root_mask(f.subject).rotate_left(17)
+                | rels.root_mask(f.relation).rotate_left(31)
+                | elems.root_mask(f.object).rotate_left(47);
+        }
+        mask
+    }
+}
+
+/// Epoch-tagged per-assignment status memo. The epoch is the owning state's
+/// mutation counter; a mismatch invalidates the whole map.
+#[derive(Debug, Default)]
+struct StatusCache {
+    epoch: u64,
+    map: HashMap<Assignment, Status>,
+}
+
+/// Cap on memoized statuses; beyond this, misses are recomputed but not
+/// stored (the DAG frontier a run revisits is far smaller than this).
+const STATUS_CACHE_CAP: usize = 1 << 15;
 
 /// The classification of one assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,49 +92,143 @@ pub enum Status {
 }
 
 /// Border-based classification knowledge for one mining run.
-#[derive(Debug, Clone, Default)]
+///
+/// Two modes share one observable behavior: the default *indexed* state
+/// keeps per-witness [`WitnessMeta`] for a prefilter plus an epoch-tagged
+/// status memo, while [`unindexed`](Self::unindexed) keeps the plain linear
+/// scans (the reference path benchmarks compare against). Debug builds
+/// cross-check every indexed answer against the reference scan.
+#[derive(Debug)]
 pub struct ClassificationState {
     /// Maximal known-significant assignments.
     sig: Vec<Assignment>,
     /// Minimal known-insignificant assignments.
     insig: Vec<Assignment>,
+    /// Index metadata parallel to `sig` / `insig` (empty when unindexed).
+    sig_meta: Vec<WitnessMeta>,
+    insig_meta: Vec<WitnessMeta>,
     /// Explicit decisions (override inference on conflicts).
     explicit: HashMap<Assignment, bool>,
     /// Values declared irrelevant by user-guided pruning: any assignment
     /// containing a specialization of one of these is insignificant.
     pruned: Vec<AValue>,
+    /// Whether the prefilter + memo are active.
+    indexed: bool,
+    /// Mutation counter; tags the status memo.
+    version: u64,
+    /// Memoized `status()` answers for the current version.
+    cache: Mutex<StatusCache>,
+    /// Witnesses skipped by the prefilter since the last
+    /// [`take_index_pruned`](Self::take_index_pruned).
+    filtered: AtomicU64,
+}
+
+impl Default for ClassificationState {
+    fn default() -> Self {
+        ClassificationState {
+            sig: Vec::new(),
+            insig: Vec::new(),
+            sig_meta: Vec::new(),
+            insig_meta: Vec::new(),
+            explicit: HashMap::new(),
+            pruned: Vec::new(),
+            indexed: true,
+            version: 0,
+            cache: Mutex::new(StatusCache::default()),
+            filtered: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for ClassificationState {
+    fn clone(&self) -> Self {
+        ClassificationState {
+            sig: self.sig.clone(),
+            insig: self.insig.clone(),
+            sig_meta: self.sig_meta.clone(),
+            insig_meta: self.insig_meta.clone(),
+            explicit: self.explicit.clone(),
+            pruned: self.pruned.clone(),
+            indexed: self.indexed,
+            version: self.version,
+            // The memo is not carried over; it refills on demand.
+            cache: Mutex::new(StatusCache::default()),
+            filtered: AtomicU64::new(self.filtered.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ClassificationState {
-    /// Fresh, all-unclassified state.
+    /// Fresh, all-unclassified state with the index enabled.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fresh state with prefilter and memo disabled: every `status()` call
+    /// runs the reference linear scans. Used as the benchmark baseline.
+    pub fn unindexed() -> Self {
+        ClassificationState {
+            indexed: false,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the prefilter + status memo are active.
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
     /// Record an explicit significance decision for `phi`.
     pub fn mark_significant(&mut self, phi: &Assignment, vocab: &Vocabulary) {
+        self.version += 1;
         self.explicit.insert(phi.clone(), true);
         // Keep only maximal significant witnesses.
         if self.sig.iter().any(|w| phi.leq(w, vocab)) {
             return;
         }
-        self.sig.retain(|w| !w.leq(phi, vocab));
+        if self.indexed {
+            let sig = std::mem::take(&mut self.sig);
+            let meta = std::mem::take(&mut self.sig_meta);
+            for (w, m) in sig.into_iter().zip(meta) {
+                if !w.leq(phi, vocab) {
+                    self.sig.push(w);
+                    self.sig_meta.push(m);
+                }
+            }
+            self.sig_meta.push(WitnessMeta::of(phi, vocab));
+        } else {
+            self.sig.retain(|w| !w.leq(phi, vocab));
+        }
         self.sig.push(phi.clone());
     }
 
     /// Record an explicit insignificance decision for `phi`.
     pub fn mark_insignificant(&mut self, phi: &Assignment, vocab: &Vocabulary) {
+        self.version += 1;
         self.explicit.insert(phi.clone(), false);
         if self.insig.iter().any(|w| w.leq(phi, vocab)) {
             return;
         }
-        self.insig.retain(|w| !phi.leq(w, vocab));
+        if self.indexed {
+            let insig = std::mem::take(&mut self.insig);
+            let meta = std::mem::take(&mut self.insig_meta);
+            for (w, m) in insig.into_iter().zip(meta) {
+                if !phi.leq(&w, vocab) {
+                    self.insig.push(w);
+                    self.insig_meta.push(m);
+                }
+            }
+            self.insig_meta.push(WitnessMeta::of(phi, vocab));
+        } else {
+            self.insig.retain(|w| !phi.leq(w, vocab));
+        }
         self.insig.push(phi.clone());
     }
 
     /// Record a pruned (irrelevant) value: every assignment involving the
     /// value or one of its specializations becomes insignificant.
     pub fn mark_pruned(&mut self, value: AValue) {
+        self.version += 1;
         if !self.pruned.contains(&value) {
             self.pruned.push(value);
         }
@@ -84,6 +241,35 @@ impl ClassificationState {
 
     /// Classify `phi` from current knowledge.
     pub fn status(&self, phi: &Assignment, vocab: &Vocabulary) -> Status {
+        if !self.indexed {
+            return self.status_reference(phi, vocab);
+        }
+        {
+            let mut cache = self.cache.lock().expect("status cache poisoned");
+            if cache.epoch != self.version {
+                cache.map.clear();
+                cache.epoch = self.version;
+            } else if let Some(&s) = cache.map.get(phi) {
+                return s;
+            }
+        }
+        let s = self.status_indexed(phi, vocab);
+        debug_assert_eq!(
+            s,
+            self.status_reference(phi, vocab),
+            "indexed status diverged from reference scan for {phi}"
+        );
+        let mut cache = self.cache.lock().expect("status cache poisoned");
+        if cache.epoch == self.version && cache.map.len() < STATUS_CACHE_CAP {
+            cache.map.insert(phi.clone(), s);
+        }
+        s
+    }
+
+    /// The reference linear-scan classification (Observation 4.4, no index).
+    /// Indexed `status()` must agree with this on every query; debug builds
+    /// assert it, and the proptest suite exercises it on random borders.
+    pub fn status_reference(&self, phi: &Assignment, vocab: &Vocabulary) -> Status {
         if let Some(&sig) = self.explicit.get(phi) {
             return if sig {
                 Status::Significant
@@ -101,6 +287,62 @@ impl ClassificationState {
             return Status::Significant;
         }
         Status::Unclassified
+    }
+
+    /// Prefiltered classification: consult each border witness only when its
+    /// metadata admits the dominance test's direction.
+    fn status_indexed(&self, phi: &Assignment, vocab: &Vocabulary) -> Status {
+        if let Some(&sig) = self.explicit.get(phi) {
+            return if sig {
+                Status::Significant
+            } else {
+                Status::Insignificant
+            };
+        }
+        if self.prune_hits(phi, vocab) {
+            return Status::Insignificant;
+        }
+        let m = WitnessMeta::of(phi, vocab);
+        // Variable-only weight is monotone along ≤ only when antichain
+        // canonicalization cannot merge two values into one common
+        // descendant, i.e. on forest-shaped taxonomies.
+        let forest = vocab.elements_order().is_forest() && vocab.relations_order().is_forest();
+        let mut filtered = 0u64;
+        let mut result = Status::Unclassified;
+        // Insignificance test: some witness w ≤ phi.
+        for (w, wm) in self.insig.iter().zip(&self.insig_meta) {
+            if wm.mask & !m.mask != 0 || (forest && wm.vweight > m.vweight) {
+                filtered += 1;
+                continue;
+            }
+            if w.leq(phi, vocab) {
+                result = Status::Insignificant;
+                break;
+            }
+        }
+        // Significance test: phi ≤ some witness w.
+        if result == Status::Unclassified {
+            for (w, wm) in self.sig.iter().zip(&self.sig_meta) {
+                if m.mask & !wm.mask != 0 || (forest && m.vweight > wm.vweight) {
+                    filtered += 1;
+                    continue;
+                }
+                if phi.leq(w, vocab) {
+                    result = Status::Significant;
+                    break;
+                }
+            }
+        }
+        if filtered > 0 {
+            self.filtered.fetch_add(filtered, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Witnesses the prefilter skipped since the last call; resets to 0.
+    /// Feeds the `border.index.pruned` observability counter.
+    pub fn take_index_pruned(&self) -> u64 {
+        self.filtered.swap(0, Ordering::Relaxed)
     }
 
     /// Whether `phi` contains a value that specializes a pruned value.
@@ -173,7 +415,7 @@ impl ClassificationState {
 /// Cloning yields another handle to the same shared view.
 #[derive(Debug, Clone, Default)]
 pub struct SharedBorder {
-    state: Arc<RwLock<ClassificationState>>,
+    state: Arc<RwLock<Arc<ClassificationState>>>,
     epoch: Arc<AtomicU64>,
 }
 
@@ -183,9 +425,14 @@ impl SharedBorder {
         Self::default()
     }
 
-    /// Replace the shared view with a copy of `state`, bumping the epoch.
+    /// Replace the shared view with a snapshot of `state`, bumping the
+    /// epoch. The snapshot is built *before* the write lock is taken and
+    /// swapped in as an `Arc` pointer, so the critical section is a pointer
+    /// store rather than a deep clone — workers reading concurrently are
+    /// never blocked behind border copying.
     pub fn publish(&self, state: &ClassificationState) {
-        *self.state.write().expect("shared border poisoned") = state.clone();
+        let snapshot = Arc::new(state.clone());
+        *self.state.write().expect("shared border poisoned") = snapshot;
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -194,14 +441,16 @@ impl SharedBorder {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// The last published snapshot (cheap: clones an `Arc`, not the state).
+    pub fn snapshot(&self) -> Arc<ClassificationState> {
+        Arc::clone(&self.state.read().expect("shared border poisoned"))
+    }
+
     /// Whether `phi` is already classified (significant *or* insignificant)
-    /// in the last published view.
+    /// in the last published view. The read lock is held only long enough
+    /// to clone the snapshot pointer; the status check runs lock-free.
     pub fn is_classified(&self, phi: &Assignment, vocab: &Vocabulary) -> bool {
-        self.state
-            .read()
-            .expect("shared border poisoned")
-            .status(phi, vocab)
-            != Status::Unclassified
+        self.snapshot().status(phi, vocab) != Status::Unclassified
     }
 }
 
@@ -308,6 +557,46 @@ mod tests {
         assert_eq!(st.pruned_values().len(), 1);
         st.mark_pruned(AValue::Elem(v.element("Ball Game").unwrap()));
         assert_eq!(st.pruned_values().len(), 1, "dedup");
+    }
+
+    #[test]
+    fn indexed_and_unindexed_states_agree() {
+        let v = vocab();
+        let mut idx = ClassificationState::new();
+        let mut plain = ClassificationState::unindexed();
+        assert!(idx.is_indexed() && !plain.is_indexed());
+        for st in [&mut idx, &mut plain] {
+            st.mark_significant(&a(&v, "Biking", "Central Park"), &v);
+            st.mark_insignificant(&a(&v, "Ball Game", "Park"), &v);
+            st.mark_pruned(AValue::Elem(v.element("Boathouse").unwrap()));
+        }
+        for (y, x) in [
+            ("Sport", "Central Park"),
+            ("Sport", "Park"),
+            ("Biking", "Central Park"),
+            ("Basketball", "Central Park"),
+            ("Baseball", "Park"),
+            ("Activity", "Place"),
+        ] {
+            let q = a(&v, y, x);
+            assert_eq!(idx.status(&q, &v), plain.status(&q, &v), "{y}/{x}");
+            assert_eq!(idx.status(&q, &v), idx.status_reference(&q, &v));
+            // Second call hits the memo and must not change the answer.
+            assert_eq!(idx.status(&q, &v), plain.status(&q, &v));
+        }
+    }
+
+    #[test]
+    fn index_pruned_counter_drains() {
+        let v = vocab();
+        let st = ClassificationState::new();
+        assert_eq!(st.take_index_pruned(), 0);
+        let mut st = st;
+        st.mark_significant(&a(&v, "Biking", "Central Park"), &v);
+        // Query something whose mask cannot be covered by the witness.
+        let _ = st.status(&a(&v, "Baseball", "Park"), &v);
+        let _ = st.take_index_pruned();
+        assert_eq!(st.take_index_pruned(), 0, "drained");
     }
 
     #[test]

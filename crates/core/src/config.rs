@@ -39,6 +39,12 @@ pub struct EngineConfig {
     /// Stop as soon as this many *valid* MSPs are confirmed (the paper's
     /// §8 top-k extension). `None` = mine to completion.
     pub top_k: Option<usize>,
+    /// Use the index-backed inference layer ([`SpaceCache`](crate::SpaceCache)
+    /// memoization, indexed border prefilter, tid-list member support).
+    /// `false` runs the reference linear-scan paths — observable behavior is
+    /// identical either way; only wall-clock differs. The `scale` benchmark
+    /// flips this to measure the speedup.
+    pub use_indexes: bool,
     /// Instrumentation sink receiving the engine's event stream (see
     /// `docs/observability.md`). Defaults to the no-op [`null_sink`], whose
     /// `enabled() == false` lets hot paths skip event construction.
@@ -59,6 +65,7 @@ impl Default for EngineConfig {
             targets: None,
             more_domain: Vec::new(),
             top_k: None,
+            use_indexes: true,
             sink: null_sink(),
         }
     }
@@ -160,6 +167,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Toggle the index-backed inference layer (default `true`).
+    pub fn use_indexes(mut self, on: bool) -> Self {
+        self.config.use_indexes = on;
+        self
+    }
+
     /// Instrumentation sink receiving the engine's event stream.
     pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.config.sink = sink;
@@ -191,6 +204,13 @@ mod tests {
         assert_eq!(built.targets, def.targets);
         assert_eq!(built.more_domain, def.more_domain);
         assert_eq!(built.top_k, def.top_k);
+        assert!(built.use_indexes, "indexes are on by default");
+    }
+
+    #[test]
+    fn use_indexes_toggle_sticks() {
+        let config = EngineConfig::builder().use_indexes(false).build();
+        assert!(!config.use_indexes);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::border::{ClassificationState, Status};
 use crate::runtime::{
     AskPayload, AskValue, Pool, RuntimeError, RuntimeErrorKind, SessionRuntime,
 };
-use crate::space::{AssignSpace, SpaceError};
+use crate::space::{AssignSpace, SpaceCache, SpaceError};
 use crate::stats::{ExecutionStats, QuestionKind, Recorder};
 use crate::value::AValue;
 
@@ -151,11 +151,16 @@ struct Session {
 }
 
 impl Session {
-    fn new() -> Self {
+    fn new(use_indexes: bool) -> Self {
+        let state = if use_indexes {
+            ClassificationState::new
+        } else {
+            ClassificationState::unindexed
+        };
         Session {
             cursor: None,
-            personal: ClassificationState::new(),
-            pruned: ClassificationState::new(),
+            personal: state(),
+            pruned: state(),
             exhausted: false,
         }
     }
@@ -322,6 +327,9 @@ impl CrowdLink<'_> {
 /// The multi-user mining engine.
 pub struct MultiUserMiner<'a> {
     space: &'a AssignSpace,
+    /// Interned memo over `space`'s derivations; pass-through when
+    /// [`EngineConfig::use_indexes`] is off.
+    cache: SpaceCache,
     threshold: f64,
     aggregator: Box<dyn Aggregator + 'a>,
     config: &'a EngineConfig,
@@ -330,8 +338,14 @@ pub struct MultiUserMiner<'a> {
 impl<'a> MultiUserMiner<'a> {
     /// Create a miner with the paper's fixed-sample aggregation rule.
     pub fn new(space: &'a AssignSpace, threshold: f64, config: &'a EngineConfig) -> Self {
+        let cache = if config.use_indexes {
+            SpaceCache::with_sink(Arc::clone(&config.sink))
+        } else {
+            SpaceCache::disabled()
+        };
         MultiUserMiner {
             space,
+            cache,
             threshold,
             aggregator: Box::new(FixedSampleAggregator {
                 sample_size: config.aggregator_sample,
@@ -424,7 +438,11 @@ impl<'a> MultiUserMiner<'a> {
             }
         }
         let mut cache = CrowdCache::new().with_sink(Arc::clone(sink));
-        let mut overall = ClassificationState::new();
+        let mut overall = if self.config.use_indexes {
+            ClassificationState::new()
+        } else {
+            ClassificationState::unindexed()
+        };
         let mut recorder = Recorder::new()
             .with_sink(Arc::clone(sink))
             .with_algo("multiuser");
@@ -438,7 +456,9 @@ impl<'a> MultiUserMiner<'a> {
             recorder = recorder.with_targets(t.clone());
         }
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut sessions: Vec<Session> = (0..link.len()).map(|_| Session::new()).collect();
+        let mut sessions: Vec<Session> = (0..link.len())
+            .map(|_| Session::new(self.config.use_indexes))
+            .collect();
         let mut msps: Vec<Assignment> = Vec::new();
         let mut confirmed: HashSet<Assignment> = HashSet::new();
         let mut generated: HashSet<Assignment> = HashSet::new();
@@ -619,14 +639,14 @@ impl<'a> MultiUserMiner<'a> {
                         .find_askable_many(overall, cache, member, PREFETCH_WIDTH)
                         .into_iter()
                         .map(|phi| {
-                            let fs = self.space.instantiate(&phi);
+                            let fs = FactSet::clone(&self.cache.instantiate(self.space, &phi));
                             (phi, fs)
                         })
                         .filter(|(_, fs)| fresh(fs))
                         .collect();
                 }
                 Some(phi) => {
-                    let succs = self.space.successors(&phi);
+                    let succs = self.cache.successors(self.space, &phi);
                     if let Some(s) = succs
                         .iter()
                         .find(|s| overall.status(s, vocab) == Status::Significant)
@@ -639,9 +659,9 @@ impl<'a> MultiUserMiner<'a> {
                         .filter(|s| overall.status(s, vocab) == Status::Unclassified)
                         .filter(|s| session.personal.status(s, vocab) != Status::Insignificant)
                         .filter_map(|s| {
-                            let fs = self.space.instantiate(s);
+                            let fs = self.cache.instantiate(self.space, s);
                             (!cache.has_answer_from(&fs, member_id) && member.can_answer(&fs))
-                                .then(|| (s.clone(), fs))
+                                .then(|| (s.clone(), FactSet::clone(&fs)))
                         })
                         .take(PREFETCH_WIDTH)
                         .collect();
@@ -701,7 +721,7 @@ impl<'a> MultiUserMiner<'a> {
         }
 
         let phi = session.cursor.clone().expect("checked above");
-        let succs = self.space.successors(&phi);
+        let succs = self.cache.successors(self.space, &phi);
         let fresh = succs
             .iter()
             .filter(|s| generated.insert((*s).clone()))
@@ -728,7 +748,7 @@ impl<'a> MultiUserMiner<'a> {
         let askable: Vec<Assignment> = candidates
             .iter()
             .filter(|s| {
-                let fs = self.space.instantiate(s);
+                let fs = self.cache.instantiate(self.space, s);
                 !cache.has_answer_from(&fs, member_id)
                     && link.member(idx).is_some_and(|m| m.can_answer(&fs))
             })
@@ -743,7 +763,7 @@ impl<'a> MultiUserMiner<'a> {
                     .all(|s| overall.status(s, vocab) != Status::Significant);
             if is_msp && confirmed.insert(phi.clone()) {
                 msps.push(phi.clone());
-                recorder.on_msp(self.space.is_valid(&phi));
+                recorder.on_msp(self.cache.is_valid(self.space, &phi));
             }
             session.cursor = None;
             return true;
@@ -753,8 +773,11 @@ impl<'a> MultiUserMiner<'a> {
         if self.config.specialization_ratio > 0.0
             && rng.random::<f64>() < self.config.specialization_ratio
         {
-            let base_fs = self.space.instantiate(&phi);
-            let cand_fs: Vec<FactSet> = askable.iter().map(|c| self.space.instantiate(c)).collect();
+            let base_fs = self.cache.instantiate(self.space, &phi);
+            let cand_fs: Vec<FactSet> = askable
+                .iter()
+                .map(|c| FactSet::clone(&self.cache.instantiate(self.space, c)))
+                .collect();
             let Some(choice) = link.specialization(idx, &base_fs, &cand_fs) else {
                 session.exhausted = true;
                 return true;
@@ -812,7 +835,7 @@ impl<'a> MultiUserMiner<'a> {
     ) -> Option<bool> {
         let vocab = self.space.ontology().vocabulary();
         let member_id = link.id(idx);
-        let fs = self.space.instantiate(phi);
+        let fs = self.cache.instantiate(self.space, phi);
 
         // User-guided pruning: the member's single click is the answer when
         // the question involves a value irrelevant to them (Section 6.2).
@@ -854,7 +877,7 @@ impl<'a> MultiUserMiner<'a> {
         cache: &mut CrowdCache,
     ) -> bool {
         let vocab = self.space.ontology().vocabulary();
-        let fs = self.space.instantiate(phi);
+        let fs = self.cache.instantiate(self.space, phi);
         cache.record(&fs, member, s);
         if s >= self.threshold {
             session.personal.mark_significant(phi, vocab);
@@ -885,7 +908,14 @@ impl<'a> MultiUserMiner<'a> {
             }
             Decision::Undecided => {}
         }
-        s >= self.threshold && overall.status(phi, vocab) != Status::Insignificant
+        let positive = s >= self.threshold && overall.status(phi, vocab) != Status::Insignificant;
+        if self.config.sink.enabled() {
+            let pruned = overall.take_index_pruned() + session.personal.take_index_pruned();
+            if pruned > 0 {
+                self.config.sink.count(names::BORDER_INDEX_PRUNED, pruned);
+            }
+        }
+        positive
     }
 
     /// Find a minimal overall-unclassified assignment that `member` has not
@@ -898,7 +928,7 @@ impl<'a> MultiUserMiner<'a> {
     ) -> Option<Assignment> {
         let vocab = self.space.ontology().vocabulary();
         let askable = |a: &Assignment| {
-            let fs = self.space.instantiate(a);
+            let fs = self.cache.instantiate(self.space, a);
             !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
         };
         let mut stack: Vec<Assignment> = Vec::new();
@@ -915,13 +945,13 @@ impl<'a> MultiUserMiner<'a> {
             }
         }
         while let Some(n) = stack.pop() {
-            for s in self.space.successors(&n) {
-                match overall.status(&s, vocab) {
-                    Status::Unclassified if askable(&s) => return Some(s),
+            for s in self.cache.successors(self.space, &n).iter() {
+                match overall.status(s, vocab) {
+                    Status::Unclassified if askable(s) => return Some(s.clone()),
                     Status::Insignificant => {}
                     _ => {
                         if seen.insert(s.clone()) {
-                            stack.push(s);
+                            stack.push(s.clone());
                         }
                     }
                 }
@@ -944,7 +974,7 @@ impl<'a> MultiUserMiner<'a> {
     ) -> Vec<Assignment> {
         let vocab = self.space.ontology().vocabulary();
         let askable = |a: &Assignment| {
-            let fs = self.space.instantiate(a);
+            let fs = self.cache.instantiate(self.space, a);
             !cache.has_answer_from(&fs, member.id()) && member.can_answer(&fs)
         };
         let mut found: Vec<Assignment> = Vec::new();
@@ -962,13 +992,13 @@ impl<'a> MultiUserMiner<'a> {
             }
         }
         while let Some(n) = stack.pop() {
-            for s in self.space.successors(&n) {
-                if overall.status(&s, vocab) == Status::Insignificant {
+            for s in self.cache.successors(self.space, &n).iter() {
+                if overall.status(s, vocab) == Status::Insignificant {
                     continue;
                 }
-                if overall.status(&s, vocab) == Status::Unclassified
-                    && askable(&s)
-                    && !found.contains(&s)
+                if overall.status(s, vocab) == Status::Unclassified
+                    && askable(s)
+                    && !found.contains(s)
                 {
                     found.push(s.clone());
                     if found.len() >= width {
@@ -976,7 +1006,7 @@ impl<'a> MultiUserMiner<'a> {
                     }
                 }
                 if seen.insert(s.clone()) {
-                    stack.push(s);
+                    stack.push(s.clone());
                 }
             }
         }
@@ -991,7 +1021,7 @@ impl<'a> MultiUserMiner<'a> {
         let vocab = self.space.ontology().vocabulary();
         msps.iter()
             .map(|a| {
-                let factset = self.space.instantiate(a);
+                let factset = self.cache.instantiate(self.space, a);
                 let answers = cache.supports(&factset);
                 let support = if answers.is_empty() {
                     None
@@ -1000,8 +1030,8 @@ impl<'a> MultiUserMiner<'a> {
                 };
                 QueryAnswer {
                     assignment: a.clone(),
-                    factset: factset.clone(),
-                    valid: self.space.is_valid(a),
+                    factset: FactSet::clone(&factset),
+                    valid: self.cache.is_valid(self.space, a),
                     support,
                     rendered: vocab.factset_to_string(&factset),
                 }

@@ -54,6 +54,6 @@ pub use runtime::{
     QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime,
 };
 pub use rules::{mine_rules, AssociationRule};
-pub use space::AssignSpace;
+pub use space::{AssignSpace, NodeId, SpaceCache};
 pub use stats::{DiscoveryPoint, ExecutionStats, QuestionKind, Recorder, RecorderSink};
 pub use value::AValue;

@@ -24,9 +24,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use oassis_obs::{null_sink, EventSink};
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
 use oassis_ql::{Multiplicity, QlRel, QlTerm, Query, SatPattern};
 use oassis_sparql::{evaluate_with_sink, MatchMode, Var};
 use oassis_store::{Ontology, Term};
@@ -762,6 +762,215 @@ impl AssignSpace {
     }
 }
 
+/// Interned handle of one assignment in a [`SpaceCache`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// Memoized derivations for one interned assignment.
+#[derive(Debug, Default)]
+struct NodeEntry {
+    succs: Option<Arc<Vec<Assignment>>>,
+    preds: Option<Arc<Vec<Assignment>>>,
+    valid: Option<bool>,
+    inst: Option<Arc<FactSet>>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    ids: HashMap<Assignment, NodeId>,
+    nodes: Vec<NodeEntry>,
+}
+
+impl CacheInner {
+    /// Intern `phi`, or `None` once the arena is full.
+    fn intern(&mut self, phi: &Assignment) -> Option<NodeId> {
+        if let Some(&id) = self.ids.get(phi) {
+            return Some(id);
+        }
+        if self.nodes.len() >= SPACE_CACHE_NODE_CAP {
+            return None;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.ids.insert(phi.clone(), id);
+        self.nodes.push(NodeEntry::default());
+        Some(id)
+    }
+}
+
+/// Cap on interned nodes; past it, lookups compute without storing. Chosen
+/// above the engine's own DAG-materialization cap so a normal run never
+/// evicts, while a pathological space cannot exhaust memory.
+const SPACE_CACHE_NODE_CAP: usize = 1 << 16;
+
+/// An interning memo layer over one [`AssignSpace`]'s derivation calls.
+///
+/// The miners revisit the same DAG nodes constantly — every `find_askable`
+/// walk re-descends from the roots, and each visit used to re-derive and
+/// re-clone fresh `Vec<Assignment>`s. The cache interns assignments into an
+/// arena of [`NodeId`]s and memoizes `successors` / `predecessors` /
+/// `is_valid` / `instantiate` per node, handing out `Arc` clones of the
+/// first-computed result.
+///
+/// Because the underlying derivations are deterministic (results are sorted
+/// before return), memoization is observationally invisible: callers see
+/// exactly the vectors they would have derived, in the same order. A
+/// [`disabled`](Self::disabled) cache forwards every call — the benchmark
+/// baseline. Hits and misses are reported on `space.cache.hit/miss`,
+/// labeled by operation.
+#[derive(Debug)]
+pub struct SpaceCache {
+    enabled: bool,
+    sink: Arc<dyn EventSink>,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for SpaceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpaceCache {
+    /// An enabled cache with no instrumentation.
+    pub fn new() -> Self {
+        Self::with_sink(null_sink())
+    }
+
+    /// An enabled cache reporting hit/miss counters to `sink`.
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        SpaceCache {
+            enabled: true,
+            sink,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// A pass-through cache: every call forwards to the space, nothing is
+    /// stored. Used as the un-indexed benchmark baseline.
+    pub fn disabled() -> Self {
+        SpaceCache {
+            enabled: false,
+            sink: null_sink(),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of interned assignments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("space cache poisoned").nodes.len()
+    }
+
+    /// Whether no assignment has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern `phi` into the arena (no derivation), if capacity remains.
+    pub fn intern(&self, phi: &Assignment) -> Option<NodeId> {
+        if !self.enabled {
+            return None;
+        }
+        self.inner.lock().expect("space cache poisoned").intern(phi)
+    }
+
+    fn counted<T, F: FnOnce() -> T>(&self, op: &str, hit: bool, f: F) -> T {
+        self.sink.count_labeled(
+            if hit {
+                names::SPACE_CACHE_HIT
+            } else {
+                names::SPACE_CACHE_MISS
+            },
+            op,
+            1,
+        );
+        f()
+    }
+
+    /// Memoized [`AssignSpace::successors`].
+    pub fn successors(&self, space: &AssignSpace, phi: &Assignment) -> Arc<Vec<Assignment>> {
+        if !self.enabled {
+            return Arc::new(space.successors(phi));
+        }
+        let mut inner = self.inner.lock().expect("space cache poisoned");
+        let id = inner.intern(phi);
+        if let Some(id) = id {
+            if let Some(s) = &inner.nodes[id.0 as usize].succs {
+                let s = Arc::clone(s);
+                return self.counted("successors", true, || s);
+            }
+        }
+        let computed = Arc::new(space.successors(phi));
+        if let Some(id) = id {
+            inner.nodes[id.0 as usize].succs = Some(Arc::clone(&computed));
+        }
+        self.counted("successors", false, || computed)
+    }
+
+    /// Memoized [`AssignSpace::predecessors`].
+    pub fn predecessors(&self, space: &AssignSpace, phi: &Assignment) -> Arc<Vec<Assignment>> {
+        if !self.enabled {
+            return Arc::new(space.predecessors(phi));
+        }
+        let mut inner = self.inner.lock().expect("space cache poisoned");
+        let id = inner.intern(phi);
+        if let Some(id) = id {
+            if let Some(p) = &inner.nodes[id.0 as usize].preds {
+                let p = Arc::clone(p);
+                return self.counted("predecessors", true, || p);
+            }
+        }
+        let computed = Arc::new(space.predecessors(phi));
+        if let Some(id) = id {
+            inner.nodes[id.0 as usize].preds = Some(Arc::clone(&computed));
+        }
+        self.counted("predecessors", false, || computed)
+    }
+
+    /// Memoized [`AssignSpace::is_valid`].
+    pub fn is_valid(&self, space: &AssignSpace, phi: &Assignment) -> bool {
+        if !self.enabled {
+            return space.is_valid(phi);
+        }
+        let mut inner = self.inner.lock().expect("space cache poisoned");
+        let id = inner.intern(phi);
+        if let Some(id) = id {
+            if let Some(v) = inner.nodes[id.0 as usize].valid {
+                return self.counted("valid", true, || v);
+            }
+        }
+        let computed = space.is_valid(phi);
+        if let Some(id) = id {
+            inner.nodes[id.0 as usize].valid = Some(computed);
+        }
+        self.counted("valid", false, || computed)
+    }
+
+    /// Memoized [`AssignSpace::instantiate`].
+    pub fn instantiate(&self, space: &AssignSpace, phi: &Assignment) -> Arc<FactSet> {
+        if !self.enabled {
+            return Arc::new(space.instantiate(phi));
+        }
+        let mut inner = self.inner.lock().expect("space cache poisoned");
+        let id = inner.intern(phi);
+        if let Some(id) = id {
+            if let Some(f) = &inner.nodes[id.0 as usize].inst {
+                let f = Arc::clone(f);
+                return self.counted("instantiate", true, || f);
+            }
+        }
+        let computed = Arc::new(space.instantiate(phi));
+        if let Some(id) = id {
+            inner.nodes[id.0 as usize].inst = Some(Arc::clone(&computed));
+        }
+        self.counted("instantiate", false, || computed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1037,6 +1246,30 @@ mod tests {
             AssignSpace::build(o, &q, MatchMode::Semantic, Vec::new()),
             Err(SpaceError::MixedVarUse(_))
         ));
+    }
+
+    #[test]
+    fn space_cache_matches_direct_derivation() {
+        let s = fig3_space();
+        let cache = SpaceCache::new();
+        let root = assign(&s, "Activity", "Attraction");
+        let direct = s.successors(&root);
+        let first = cache.successors(&s, &root);
+        let second = cache.successors(&s, &root);
+        assert_eq!(*first, direct);
+        assert!(Arc::ptr_eq(&first, &second), "second call hits the memo");
+        assert_eq!(cache.is_valid(&s, &root), s.is_valid(&root));
+        assert_eq!(cache.is_valid(&s, &root), s.is_valid(&root), "memo hit");
+        assert_eq!(*cache.predecessors(&s, &root), s.predecessors(&root));
+        assert_eq!(*cache.instantiate(&s, &root), s.instantiate(&root));
+        assert!(!cache.is_empty());
+        assert_eq!(cache.intern(&root), cache.intern(&root), "stable NodeId");
+
+        let off = SpaceCache::disabled();
+        assert!(!off.is_enabled());
+        assert_eq!(*off.successors(&s, &root), direct);
+        assert!(off.intern(&root).is_none());
+        assert!(off.is_empty());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use frequency::FrequencyScale;
 pub use member::{CrowdMember, DbMember, MemberId, ScriptedMember, SpammerMember};
 pub use profile::{select_members, ProfiledMember};
 pub use shared::SharedCrowdCache;
-pub use transaction::{PersonalDb, Transaction};
+pub use transaction::{PersonalDb, SupportIndex, Transaction};
 pub use unreliable::{ResponseModel, UnreliableMember};

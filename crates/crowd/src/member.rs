@@ -12,8 +12,10 @@ use rand::{RngExt, SeedableRng};
 
 use oassis_vocab::{ElementId, FactSet, Vocabulary};
 
+use oassis_obs::EventSink;
+
 use crate::frequency::FrequencyScale;
-use crate::transaction::PersonalDb;
+use crate::transaction::{PersonalDb, SupportIndex};
 
 /// Identifier of a crowd member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,11 +110,18 @@ pub struct DbMember {
     /// Uniform answer-noise amplitude (0 = exact).
     noise: f64,
     rng: SmallRng,
+    /// Tid-list index answering support queries by intersection + popcount;
+    /// `None` falls back to the transaction scan (benchmark baseline).
+    index: Option<SupportIndex>,
 }
 
 impl DbMember {
     /// Create an honest member with exact (non-discretized) answers.
+    /// Support queries go through a tid-list [`SupportIndex`] built here;
+    /// see [`with_scan_counting`](Self::with_scan_counting) for the
+    /// un-indexed baseline.
     pub fn new(id: MemberId, db: PersonalDb, vocab: Arc<Vocabulary>) -> Self {
+        let index = Some(SupportIndex::build(&db, &vocab));
         DbMember {
             id,
             db,
@@ -123,6 +132,30 @@ impl DbMember {
             log: Vec::new(),
             noise: 0.0,
             rng: SmallRng::seed_from_u64(id.0 as u64),
+            index,
+        }
+    }
+
+    /// Drop the tid-list index and count support by scanning transactions.
+    /// Answers are identical; only wall-clock differs. The `scale` benchmark
+    /// uses this as its baseline.
+    pub fn with_scan_counting(mut self) -> Self {
+        self.index = None;
+        self
+    }
+
+    /// Rebuild the tid-list index with construction timed under the
+    /// `crowd.tidlist.build` span on `sink`.
+    pub fn with_tidlist_sink(mut self, sink: &Arc<dyn EventSink>) -> Self {
+        self.index = Some(SupportIndex::build_with_sink(&self.db, &self.vocab, sink));
+        self
+    }
+
+    /// Support of `a` in the member's DB, via the index when present.
+    fn db_support(&self, a: &FactSet) -> f64 {
+        match &self.index {
+            Some(idx) => idx.support(a),
+            None => self.db.support(a, &self.vocab),
         }
     }
 
@@ -153,7 +186,7 @@ impl DbMember {
     /// The member's true support for `a` (test/diagnostic use; the engine
     /// must go through [`CrowdMember::ask_concrete`]).
     pub fn true_support(&self, a: &FactSet) -> f64 {
-        self.db.support(a, &self.vocab)
+        self.db_support(a)
     }
 
     fn report(&mut self, s: f64) -> f64 {
@@ -175,7 +208,7 @@ impl CrowdMember for DbMember {
 
     fn ask_concrete(&mut self, a: &FactSet) -> f64 {
         self.answered += 1;
-        let s = self.report(self.db.support(a, &self.vocab));
+        let s = self.report(self.db_support(a));
         self.log.push((a.clone(), s));
         s
     }
@@ -191,7 +224,7 @@ impl CrowdMember for DbMember {
         let best = candidates
             .iter()
             .enumerate()
-            .map(|(i, c)| (i, self.db.support(c, &self.vocab)))
+            .map(|(i, c)| (i, self.db_support(c)))
             .filter(|(_, s)| *s > 0.0)
             .max_by(|a, b| a.1.total_cmp(&b.1));
         best.map(|(i, s)| (i, self.report(s)))
@@ -510,6 +543,33 @@ mod tests {
             answers.windows(2).any(|w| w[0] != w[1]),
             "a spammer varies answers to the same question"
         );
+    }
+
+    #[test]
+    fn indexed_and_scan_members_answer_identically() {
+        let (vocab, _, _) = setup();
+        let (d1, _) = table3_dbs(&vocab);
+        let queries = [
+            fs(&vocab, &[]),
+            fs(&vocab, &[("Biking", "doAt", "Central Park")]),
+            fs(&vocab, &[("Sport", "doAt", "Central Park")]),
+            fs(
+                &vocab,
+                &[
+                    ("Biking", "doAt", "Central Park"),
+                    ("Falafel", "eatAt", "Maoz Veg."),
+                ],
+            ),
+            fs(&vocab, &[("Swimming", "doAt", "Madison Square")]),
+        ];
+        let mut indexed = DbMember::new(MemberId(1), d1.clone(), Arc::clone(&vocab));
+        let mut scan =
+            DbMember::new(MemberId(1), d1, Arc::clone(&vocab)).with_scan_counting();
+        for q in &queries {
+            let a = indexed.ask_concrete(q);
+            let b = scan.ask_concrete(q);
+            assert_eq!(a, b, "support diverged for {}", vocab.factset_to_string(q));
+        }
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! transactions. `D_u` is *virtual* — the engine can only learn about it
 //! through questions — but simulated members materialize one here.
 
-use oassis_vocab::{FactSet, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oassis_obs::{names, null_sink, EventSink, Span};
+use oassis_vocab::{BitSet, Fact, FactSet, Vocabulary};
 
 /// One past occasion: a fact-set with a unique id.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +101,122 @@ impl PersonalDb {
             return 0.0;
         }
         self.count_implying(a, vocab) as f64 / self.transactions.len() as f64
+    }
+}
+
+/// An Eclat-style vertical index over a [`PersonalDb`]: for every fact `f`
+/// that at least one transaction implies, the set of transaction ids (a
+/// *tid-list*, as a [`BitSet`]) implying it.
+///
+/// Semantic implication is folded in at build time: transaction fact `g`
+/// contributes its full ancestor closure
+/// `ancestors(g.subject) × ancestors(g.relation) × ancestors(g.object)`,
+/// so `tid ∈ tids[f]` iff `f ≤ g` for some `g` in the transaction. Support
+/// counting then reduces to tid-list intersection plus popcount, replacing
+/// the per-question `O(|D_u| · |a| · |T|)` scan of
+/// [`PersonalDb::count_implying`] with `O(|a| · |D_u|/64)` word ops.
+///
+/// Counts are exact (not approximate), so the resulting `f64` supports are
+/// bit-identical to the scan's.
+#[derive(Debug, Clone, Default)]
+pub struct SupportIndex {
+    tids: HashMap<Fact, BitSet>,
+    transactions: usize,
+}
+
+impl SupportIndex {
+    /// Build the index for `db` (no instrumentation).
+    pub fn build(db: &PersonalDb, vocab: &Vocabulary) -> Self {
+        Self::build_with_sink(db, vocab, &null_sink())
+    }
+
+    /// Build the index, timing the construction under the
+    /// `crowd.tidlist.build` span.
+    pub fn build_with_sink(
+        db: &PersonalDb,
+        vocab: &Vocabulary,
+        sink: &Arc<dyn EventSink>,
+    ) -> Self {
+        let _span = Span::enter(&**sink, names::CROWD_TIDLIST_BUILD);
+        let n = db.len();
+        // Ancestor closures are shared across transactions; memoize per value.
+        let mut elem_anc = HashMap::new();
+        let mut rel_anc = HashMap::new();
+        for t in db.iter() {
+            for g in t.facts.iter() {
+                for e in [g.subject, g.object] {
+                    elem_anc
+                        .entry(e)
+                        .or_insert_with(|| vocab.elements_order().ancestors(e));
+                }
+                rel_anc
+                    .entry(g.relation)
+                    .or_insert_with(|| vocab.relations_order().ancestors(g.relation));
+            }
+        }
+        let mut tids: HashMap<Fact, BitSet> = HashMap::new();
+        for (tid, t) in db.iter().enumerate() {
+            for g in t.facts.iter() {
+                for &s in &elem_anc[&g.subject] {
+                    for &r in &rel_anc[&g.relation] {
+                        for &o in &elem_anc[&g.object] {
+                            tids.entry(Fact::new(s, r, o))
+                                .or_insert_with(|| BitSet::new(n))
+                                .insert(tid);
+                        }
+                    }
+                }
+            }
+        }
+        SupportIndex {
+            tids,
+            transactions: n,
+        }
+    }
+
+    /// Number of transactions the index was built over.
+    pub fn transactions(&self) -> usize {
+        self.transactions
+    }
+
+    /// Number of distinct implied facts with a tid-list.
+    pub fn distinct_facts(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Number of transactions implying `a`: the intersection of the
+    /// per-fact tid-lists. Equals [`PersonalDb::count_implying`] exactly.
+    pub fn count_implying(&self, a: &FactSet) -> usize {
+        let mut facts = a.iter();
+        let Some(first) = facts.next() else {
+            // The empty fact-set is implied by every transaction.
+            return self.transactions;
+        };
+        let Some(seed) = self.tids.get(first) else {
+            return 0;
+        };
+        let mut acc = seed.clone();
+        for f in facts {
+            match self.tids.get(f) {
+                Some(list) => {
+                    acc.intersect_with(list);
+                    if acc.is_empty() {
+                        return 0;
+                    }
+                }
+                None => return 0,
+            }
+        }
+        acc.len()
+    }
+
+    /// The personal support `supp_u(a)`; `0.0` for an empty database.
+    /// Bit-identical to [`PersonalDb::support`] (same integer division).
+    pub fn support(&self, a: &FactSet) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        self.count_implying(a) as f64 / self.transactions as f64
     }
 }
 
@@ -232,6 +352,61 @@ mod tests {
             v.element("Central Park").unwrap(),
         )]);
         assert_eq!(d1.count_implying(&a, v), 3);
+    }
+
+    #[test]
+    fn support_index_matches_scan_on_table3() {
+        let o = figure1_ontology();
+        let v = o.vocabulary();
+        let (d1, d2) = table3_dbs(v);
+        for db in [&d1, &d2] {
+            let idx = SupportIndex::build(db, v);
+            assert_eq!(idx.transactions(), db.len());
+            assert!(idx.distinct_facts() > 0);
+            // Every single-fact query drawn from the index keys agrees, as
+            // do several multi-fact combinations.
+            let fact = |s: &str, r: &str, ob: &str| {
+                Fact::new(
+                    v.element(s).unwrap(),
+                    v.relation(r).unwrap(),
+                    v.element(ob).unwrap(),
+                )
+            };
+            let queries = [
+                FactSet::new(),
+                FactSet::from_facts([fact("Sport", "doAt", "Central Park")]),
+                FactSet::from_facts([
+                    fact("Biking", "doAt", "Central Park"),
+                    fact("Falafel", "eatAt", "Maoz Veg."),
+                ]),
+                FactSet::from_facts([
+                    fact("Pasta", "eatAt", "Pine"),
+                    fact("Activity", "doAt", "Bronx Zoo"),
+                ]),
+                FactSet::from_facts([fact("Swimming", "doAt", "Madison Square")]),
+                FactSet::from_facts([
+                    fact("Activity", "doAt", "Park"),
+                    fact("Food", "eatAt", "Restaurant"),
+                ]),
+            ];
+            for q in &queries {
+                assert_eq!(
+                    idx.count_implying(q),
+                    db.count_implying(q, v),
+                    "count mismatch for {}",
+                    v.factset_to_string(q)
+                );
+                assert_eq!(idx.support(q), db.support(q, v));
+            }
+        }
+    }
+
+    #[test]
+    fn support_index_on_empty_db() {
+        let o = figure1_ontology();
+        let idx = SupportIndex::build(&PersonalDb::new(), o.vocabulary());
+        assert_eq!(idx.count_implying(&FactSet::new()), 0);
+        assert_eq!(idx.support(&FactSet::new()), 0.0);
     }
 
     #[test]

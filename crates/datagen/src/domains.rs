@@ -68,13 +68,34 @@ fn build_tree(
 /// why some discovered MSPs are *invalid* — they generalize the instance to
 /// a class, exactly the situation §6.3 describes for the travel query).
 pub fn travel_domain() -> Domain {
+    // 4 + 20 + 100 Activity classes, 12 Attraction classes — the DAG lands
+    // near the paper's 4773 nodes.
+    travel_domain_sized("travel", 4, 5, 4, 2)
+}
+
+/// A ~10× travel-shaped domain for the `scale` benchmark: the same query
+/// and structure as [`travel_domain`], with wider taxonomies (8 + 56 + 392
+/// Activity classes, 18 Attraction leaf classes ⇒ 36 labeled venues). The
+/// assignment DAG grows to roughly 8–10× the paper-sized travel DAG.
+pub fn travel_domain_10x() -> Domain {
+    travel_domain_sized("travel-10x", 8, 7, 6, 3)
+}
+
+/// Travel-shaped domain generator behind [`travel_domain`] and
+/// [`travel_domain_10x`]; taxonomy widths are the scaling knobs.
+fn travel_domain_sized(
+    name: &'static str,
+    act_branches: usize,
+    act_fanout: usize,
+    attr_branches: usize,
+    attr_fanout: usize,
+) -> Domain {
     let mut b = Ontology::builder();
-    // Subject taxonomy: Activity with 4 branches × 2 levels × fanout 5 ⇒
-    // 4 + 20 + 100 classes (124) + root anchors.
-    let subject_leaves = build_tree(&mut b, "Activity", "Act", 4, 2, 5);
-    // Object taxonomy: Attraction with 4 branches × 1 level × fanout 2 ⇒
-    // 12 classes; 2 instances per leaf class, labeled and inside the city.
-    let object_classes = build_tree(&mut b, "Attraction", "AttrCat", 4, 1, 2);
+    // Subject taxonomy: Activity, 2 levels below the branch roots.
+    let subject_leaves = build_tree(&mut b, "Activity", "Act", act_branches, 2, act_fanout);
+    // Object taxonomy: Attraction, 1 level; instances per leaf class,
+    // labeled and inside the city.
+    let object_classes = build_tree(&mut b, "Attraction", "AttrCat", attr_branches, 1, attr_fanout);
     b.element("Tel Aviv");
     let mut object_leaves = Vec::new();
     for (i, class) in object_classes.iter().enumerate() {
@@ -107,7 +128,7 @@ pub fn travel_domain() -> Domain {
     "#
     .to_owned();
     Domain {
-        name: "travel",
+        name,
         ontology,
         query,
         subject_leaves,
@@ -231,8 +252,29 @@ mod tests {
     }
 
     #[test]
+    fn travel_10x_is_roughly_ten_times_travel() {
+        // Structural check only: the DAG-node ratio is verified by the
+        // `scale` benchmark (enumerating the 10× DAG is too slow for a
+        // debug-mode unit test).
+        let base = travel_domain();
+        let big = travel_domain_10x();
+        assert_eq!(big.name, "travel-10x");
+        let ratio = (big.subject_leaves.len() * big.object_leaves.len()) as f64
+            / (base.subject_leaves.len() * base.object_leaves.len()) as f64;
+        assert!(
+            (6.0..=14.0).contains(&ratio),
+            "leaf-pair ratio {ratio:.1} should be near 10x"
+        );
+    }
+
+    #[test]
     fn queries_parse_against_their_ontologies() {
-        for d in [travel_domain(), culinary_domain(), self_treatment_domain()] {
+        for d in [
+            travel_domain(),
+            travel_domain_10x(),
+            culinary_domain(),
+            self_treatment_domain(),
+        ] {
             let q = parse_query(&d.query, &d.ontology);
             assert!(q.is_ok(), "{}: {:?}", d.name, q.err());
             assert!(!d.subject_leaves.is_empty());
@@ -258,7 +300,7 @@ impl Domain {
         let v = self.ontology.vocabulary();
         let mut t = oassis_core::question::QuestionTemplates::new();
         match self.name {
-            "travel" => {
+            n if n.starts_with("travel") => {
                 if let Some(r) = v.relation("doAt") {
                     t.set(r, "do {s} at {o}");
                 }

@@ -24,6 +24,8 @@ pub mod plant;
 pub mod synth;
 
 pub use crowd_gen::{generate_crowd, CrowdGenConfig};
-pub use domains::{culinary_domain, self_treatment_domain, travel_domain, Domain};
+pub use domains::{
+    culinary_domain, self_treatment_domain, travel_domain, travel_domain_10x, Domain,
+};
 pub use plant::{plant_msps, MspDistribution, PlantedOracle};
 pub use synth::{SynthConfig, SynthInstance};

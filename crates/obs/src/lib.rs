@@ -88,6 +88,17 @@ pub mod names {
     pub const RUNTIME_ANSWER_NANOS: &str = "runtime.answer.nanos";
     /// Span: one session-runtime worker thread's lifetime.
     pub const SPAN_WORKER: &str = "runtime.worker";
+    /// Counter: a memoized `SpaceCache` lookup was served from the arena.
+    /// Label: `successors`, `predecessors`, `valid`, or `instantiate`.
+    pub const SPACE_CACHE_HIT: &str = "space.cache.hit";
+    /// Counter: a `SpaceCache` lookup had to derive its result afresh.
+    /// Same labels as [`SPACE_CACHE_HIT`].
+    pub const SPACE_CACHE_MISS: &str = "space.cache.miss";
+    /// Counter: border witnesses skipped by the index prefilter (weight
+    /// bucket or root-mask mismatch) during a `status()` call.
+    pub const BORDER_INDEX_PRUNED: &str = "border.index.pruned";
+    /// Span: building one member's fact → transaction-id-set support index.
+    pub const CROWD_TIDLIST_BUILD: &str = "crowd.tidlist.build";
     /// Counter: triple-pattern index scans. Label: the binding shape —
     /// `spo`, `sp?`, `?po`, or `?p?` (`?` marks an unbound endpoint).
     pub const SPARQL_PATTERN_SCAN: &str = "sparql.pattern.scan";

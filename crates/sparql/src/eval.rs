@@ -114,10 +114,25 @@ pub fn evaluate_with_sink(
     mode: MatchMode,
     sink: &Arc<dyn EventSink>,
 ) -> Vec<Binding> {
+    // Relation match-lists are query-invariant: compute each pattern
+    // relation's list once instead of re-collecting `descendants` on every
+    // candidate scan and closure step.
+    let mut rel_matches: HashMap<RelationId, Vec<RelationId>> = HashMap::new();
+    for p in patterns {
+        let r = p.path.relation();
+        rel_matches.entry(r).or_insert_with(|| match mode {
+            MatchMode::Syntactic => vec![r],
+            MatchMode::Semantic => ontology
+                .vocabulary()
+                .relations_order()
+                .descendants(r)
+                .collect(),
+        });
+    }
     let mut ev = Evaluator {
         ontology,
-        mode,
         sink,
+        rel_matches,
         fwd_closure: HashMap::new(),
         bwd_closure: HashMap::new(),
     };
@@ -134,6 +149,16 @@ pub fn evaluate_with_sink(
 /// bound (constants or already-chosen variables), preferring non-path
 /// patterns, breaking ties by store selectivity.
 fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
+    // Selectivity estimates are loop-invariant: count each relation's
+    // stored triples once up front rather than re-scanning the store for
+    // every remaining pattern on every greedy pick (O(n²) store scans).
+    let mut est_by_rel: HashMap<RelationId, usize> = HashMap::new();
+    for p in patterns {
+        let r = p.path.relation();
+        est_by_rel
+            .entry(r)
+            .or_insert_with(|| ontology.store().count_matching(None, Some(r), None));
+    }
     let mut remaining: Vec<TriplePattern> = patterns.to_vec();
     let mut bound: HashSet<Var> = HashSet::new();
     let mut order = Vec::with_capacity(remaining.len());
@@ -145,10 +170,7 @@ fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
             };
             let n_bound = pos_bound(&p.subject) as usize + pos_bound(&p.object) as usize;
             let path_penalty = p.path.is_path() as usize;
-            // Selectivity estimate: stored triple count for this relation.
-            let est = ontology
-                .store()
-                .count_matching(None, Some(p.path.relation()), None);
+            let est = est_by_rel[&p.path.relation()];
             (2 - n_bound, path_penalty, est)
         };
         let (i, _) = remaining
@@ -165,8 +187,10 @@ fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
 
 struct Evaluator<'a> {
     ontology: &'a Ontology,
-    mode: MatchMode,
     sink: &'a Arc<dyn EventSink>,
+    /// Per pattern-relation match-list under the evaluation's mode,
+    /// computed once in [`evaluate_with_sink`].
+    rel_matches: HashMap<RelationId, Vec<RelationId>>,
     /// Memoized forward path closure per (relation, source).
     fwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
     /// Memoized backward path closure per (relation, target).
@@ -215,17 +239,11 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Relations a pattern relation matches under the current mode.
-    fn match_relations(&self, r: RelationId) -> Vec<RelationId> {
-        match self.mode {
-            MatchMode::Syntactic => vec![r],
-            MatchMode::Semantic => self
-                .ontology
-                .vocabulary()
-                .relations_order()
-                .descendants(r)
-                .collect(),
-        }
+    /// Relations a pattern relation matches under the evaluation's mode.
+    /// Every relation reaching here came from a pattern, so the map always
+    /// has an entry; the empty fallback keeps a miss safe regardless.
+    fn match_relations(&self, r: RelationId) -> &[RelationId] {
+        self.rel_matches.get(&r).map_or(&[], Vec::as_slice)
     }
 
     /// Enumerate `(subject, object)` term pairs matching `p` given the
@@ -246,7 +264,7 @@ impl<'a> Evaluator<'a> {
         match p.path {
             PropPath::Rel(r) => {
                 let mut pairs = Vec::new();
-                for r in self.match_relations(r) {
+                for &r in self.match_relations(r) {
                     pairs.extend(
                         self.ontology
                             .store()
@@ -301,9 +319,8 @@ impl<'a> Evaluator<'a> {
             (None, None) => {
                 // Unconstrained path: enumerate from every node incident to a
                 // matching edge; reflexive pairs over all vocabulary elements.
-                let rels = self.match_relations(r);
                 let mut nodes: HashSet<Term> = HashSet::new();
-                for &rel in &rels {
+                for &rel in self.match_relations(r) {
                     for t in self.ontology.store().matching(None, Some(rel), None) {
                         nodes.insert(t.subject);
                         nodes.insert(t.object);
@@ -335,7 +352,7 @@ impl<'a> Evaluator<'a> {
         let rels = self.match_relations(r);
         let (set, depth) = bfs(from, |n| {
             let mut next = Vec::new();
-            for &rel in &rels {
+            for &rel in rels {
                 next.extend(self.ontology.store().objects(n, rel));
             }
             next
@@ -353,7 +370,7 @@ impl<'a> Evaluator<'a> {
         let rels = self.match_relations(r);
         let (set, depth) = bfs(to, |n| {
             let mut next = Vec::new();
-            for &rel in &rels {
+            for &rel in rels {
                 next.extend(self.ontology.store().subjects(rel, n));
             }
             next

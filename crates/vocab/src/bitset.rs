@@ -104,6 +104,31 @@ impl BitSet {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
+    /// Number of indices present in both `self` and `other` (popcount of
+    /// the intersection, without materializing it).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Keep only the indices also present in `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
     /// Whether every index in `self` is also in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.words
@@ -178,6 +203,34 @@ mod tests {
         let empty = BitSet::new(64);
         assert!(empty.is_subset(&a));
         assert!(!empty.intersects(&a));
+    }
+
+    #[test]
+    fn intersection_len_counts_shared_bits() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [1usize, 63, 64, 130, 199] {
+            a.insert(i);
+        }
+        for i in [63usize, 64, 131, 199] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(b.intersection_len(&a), 3);
+        assert_eq!(a.intersection_len(&BitSet::new(200)), 0);
+    }
+
+    #[test]
+    fn intersect_with_keeps_only_shared_bits() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        a.intersect_with(&b);
+        let v: Vec<_> = a.iter().collect();
+        assert_eq!(v, [70]);
     }
 
     #[test]

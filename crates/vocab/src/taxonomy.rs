@@ -78,11 +78,30 @@ impl<Id: TaxoId> TaxonomyBuilder<Id> {
             descendants[u] = acc;
         }
 
+        // Depths and root fingerprints in one relaxation pass over the
+        // topological order (parents are final before their children).
+        let mut depths = vec![0usize; n];
+        let mut root_bits = vec![0u64; n];
+        for &u in &topo {
+            if parents[u].is_empty() {
+                root_bits[u] |= 1u64 << (u % 64);
+            }
+            for c in &children[u] {
+                let ci = c.index();
+                depths[ci] = depths[ci].max(depths[u] + 1);
+                root_bits[ci] |= root_bits[u];
+            }
+        }
+        let forest = parents.iter().all(|p| p.len() <= 1);
+
         Ok(Taxonomy {
             parents,
             children,
             descendants,
             topo,
+            depths,
+            root_bits,
+            forest,
         })
     }
 }
@@ -119,6 +138,9 @@ pub struct Taxonomy<Id> {
     children: Vec<Vec<Id>>,
     descendants: Vec<BitSet>,
     topo: Vec<usize>,
+    depths: Vec<usize>,
+    root_bits: Vec<u64>,
+    forest: bool,
 }
 
 impl<Id: TaxoId> Taxonomy<Id> {
@@ -211,24 +233,36 @@ impl<Id: TaxoId> Taxonomy<Id> {
     }
 
     /// Length of the longest root-to-`id` chain (roots have depth 0).
+    #[inline]
     pub fn depth(&self, id: Id) -> usize {
-        // Memo-free DFS is fine for the sizes we use; taxonomies are shallow.
-        self.parents(id)
-            .iter()
-            .map(|&p| self.depth(p) + 1)
-            .max()
-            .unwrap_or(0)
+        self.depths[id.index()]
     }
 
     /// Maximum depth over all terms (the taxonomy's height).
     pub fn height(&self) -> usize {
-        let mut depth = vec![0usize; self.len()];
-        for &u in &self.topo {
-            for c in &self.children[u] {
-                depth[c.index()] = depth[c.index()].max(depth[u] + 1);
-            }
-        }
-        depth.into_iter().max().unwrap_or(0)
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A 64-bit fingerprint of the roots above `id` (each root folds its own
+    /// index into one bit, so distinct roots may collide).
+    ///
+    /// Invariant used by the border prefilter: `a ≤ b` implies the set bits of
+    /// `root_mask(a)` are a subset of `root_mask(b)`'s — every root above `a`
+    /// is also above `b`, and OR-folding preserves that direction. Collisions
+    /// can only make two masks *more* alike, i.e. lose pruning, never
+    /// soundness.
+    #[inline]
+    pub fn root_mask(&self, id: Id) -> u64 {
+        self.root_bits[id.index()]
+    }
+
+    /// Whether every term has at most one parent (the Hasse diagram is a
+    /// forest). On forests, antichain canonicalization can never merge two
+    /// values into a common descendant, which some weight-based prefilters
+    /// rely on.
+    #[inline]
+    pub fn is_forest(&self) -> bool {
+        self.forest
     }
 }
 
@@ -307,6 +341,33 @@ mod tests {
         assert_eq!(t.depth(E(0)), 0);
         assert_eq!(t.depth(E(3)), 2);
         assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn root_mask_is_monotone_along_leq() {
+        let t = diamond();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if t.leq(E(a), E(b)) {
+                    let (ma, mb) = (t.root_mask(E(a)), t.root_mask(E(b)));
+                    assert_eq!(ma & !mb, 0, "mask({a}) ⊄ mask({b})");
+                }
+            }
+        }
+        // Isolated root 4 carries a different bit from root 0's family.
+        assert_ne!(t.root_mask(E(4)), t.root_mask(E(0)));
+    }
+
+    #[test]
+    fn forest_detection() {
+        assert!(!diamond().is_forest(), "diamond has a two-parent node");
+        let mut b = TaxonomyBuilder::new();
+        b.add_isa(E(1), E(0)).add_isa(E(2), E(1));
+        let chain = b.build(3).unwrap();
+        assert!(chain.is_forest());
+        assert_eq!(chain.depth(E(2)), 2);
+        let discrete: Taxonomy<E> = Taxonomy::discrete(4);
+        assert!(discrete.is_forest());
     }
 
     #[test]

@@ -15,4 +15,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> scripts/stress.sh"
 ./scripts/stress.sh
 
+echo "==> scale benchmark (smoke): indexed vs un-indexed must agree, speedup >= 1"
+OASSIS_SCALE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- scale
+
 echo "==> all checks passed"

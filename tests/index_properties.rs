@@ -1,0 +1,138 @@
+//! Property-based equivalence tests for the PR-3 index layer: the indexed
+//! border classification (status memo + witness prefilter) must agree with
+//! the reference border scan on arbitrary taxonomies — including DAG-shaped
+//! ones, where the weight prefilter is disabled — and the Eclat-style
+//! tid-list counting must agree with the transaction scan on arbitrary
+//! personal databases.
+
+use proptest::prelude::*;
+
+use oassis::core::{AValue, Assignment, ClassificationState};
+use oassis::crowd::{PersonalDb, SupportIndex};
+use oassis::vocab::{ElementId, Fact, FactSet, RelationId, Vocabulary};
+
+/// Build a random taxonomy over `n` elements where element `i > 0` draws
+/// 0–2 parents among `0..i` (acyclic by construction). With two parents
+/// the element order is a genuine DAG, not a forest, which forces the
+/// witness prefilter onto its mask-only path.
+fn arb_vocabulary(max_elems: usize) -> impl Strategy<Value = Vocabulary> {
+    (3..max_elems).prop_flat_map(|n| {
+        proptest::collection::vec((0usize..3, 0usize..usize::MAX, 0usize..usize::MAX), n - 1)
+            .prop_map(move |parents| {
+                let mut b = Vocabulary::builder();
+                for i in 0..n {
+                    b.element(&format!("e{i}"));
+                }
+                b.relation("r0");
+                b.relation("r1");
+                b.relation_isa("r1", "r0");
+                for (i, &(arity, p0, p1)) in parents.iter().enumerate() {
+                    let child = i + 1;
+                    if arity >= 1 {
+                        b.element_isa_ids(ElementId(child as u32), ElementId((p0 % child) as u32));
+                    }
+                    if arity == 2 && p1 % child != p0 % child {
+                        b.element_isa_ids(ElementId(child as u32), ElementId((p1 % child) as u32));
+                    }
+                }
+                b.build().expect("parent edges point strictly downward")
+            })
+    })
+}
+
+fn assignment(v: &Vocabulary, y: usize, x: usize) -> Assignment {
+    let n = v.num_elements();
+    Assignment::single_valued([
+        AValue::Elem(ElementId((y % n) as u32)),
+        AValue::Elem(ElementId((x % n) as u32)),
+    ])
+}
+
+fn materialize(raw: &[(usize, usize, usize)], n_elems: usize) -> FactSet {
+    FactSet::from_facts(raw.iter().map(|&(s, r, o)| {
+        Fact::new(
+            ElementId((s % n_elems) as u32),
+            RelationId((r % 2) as u32),
+            ElementId((o % n_elems) as u32),
+        )
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After an arbitrary interleaving of mark-significant,
+    /// mark-insignificant and prune operations, the indexed state, the
+    /// un-indexed state and the reference scan give the same status for
+    /// every assignment — and repeated (memoized) queries don't drift.
+    #[test]
+    fn indexed_status_matches_reference_scan(
+        v in arb_vocabulary(14),
+        ops in proptest::collection::vec((0usize..3, 0usize..1000, 0usize..1000), 1..8),
+    ) {
+        let mut idx = ClassificationState::new();
+        let mut plain = ClassificationState::unindexed();
+        prop_assert!(idx.is_indexed() && !plain.is_indexed());
+        let n = v.num_elements();
+        for &(op, y, x) in &ops {
+            let a = assignment(&v, y, x);
+            match op {
+                0 => {
+                    idx.mark_significant(&a, &v);
+                    plain.mark_significant(&a, &v);
+                }
+                1 => {
+                    idx.mark_insignificant(&a, &v);
+                    plain.mark_insignificant(&a, &v);
+                }
+                _ => {
+                    let e = AValue::Elem(ElementId((y % n) as u32));
+                    idx.mark_pruned(e);
+                    plain.mark_pruned(e);
+                }
+            }
+            // Query the full grid after every mutation so the epoch-tagged
+            // memo is exercised across invalidations, not just at the end.
+            for qy in 0..n {
+                for qx in 0..n {
+                    let q = assignment(&v, qy, qx);
+                    let got = idx.status(&q, &v);
+                    prop_assert_eq!(got, idx.status_reference(&q, &v));
+                    prop_assert_eq!(got, plain.status(&q, &v));
+                    // Memo hit must return the identical answer.
+                    prop_assert_eq!(got, idx.status(&q, &v));
+                }
+            }
+        }
+    }
+
+    /// Tid-list intersection counting equals the per-transaction scan for
+    /// arbitrary databases and query fact-sets (including the empty set),
+    /// so supports are bit-identical f64s.
+    #[test]
+    fn tidlist_count_matches_transaction_scan(
+        v in arb_vocabulary(12),
+        raw_db in proptest::collection::vec(
+            proptest::collection::vec((0usize..1000, 0usize..2, 0usize..1000), 0..4),
+            0..8,
+        ),
+        raw_queries in proptest::collection::vec(
+            proptest::collection::vec((0usize..1000, 0usize..2, 0usize..1000), 0..3),
+            1..6,
+        ),
+    ) {
+        let n = v.num_elements();
+        let db = PersonalDb::from_factsets(raw_db.iter().map(|t| materialize(t, n)));
+        let index = SupportIndex::build(&db, &v);
+        prop_assert_eq!(index.transactions(), db.len());
+        for raw in &raw_queries {
+            let q = materialize(raw, n);
+            let scan = db.count_implying(&q, &v);
+            prop_assert_eq!(index.count_implying(&q), scan, "query {:?}", q);
+            // Same integer counts ⇒ the derived supports are bit-identical.
+            prop_assert_eq!(index.support(&q).to_bits(), db.support(&q, &v).to_bits());
+        }
+        let empty = FactSet::default();
+        prop_assert_eq!(index.count_implying(&empty), db.count_implying(&empty, &v));
+    }
+}
