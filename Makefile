@@ -1,6 +1,9 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench
+.PHONY: build test test-all clippy check figures bench sim
+
+# Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
+SEEDS ?= 10000
 
 build:
 	cargo build --release
@@ -22,3 +25,7 @@ figures:
 
 bench:
 	cargo bench --workspace
+
+# Long-form schedule exploration; failing seeds print a one-line repro.
+sim:
+	cargo run --release -p oassis-simtest --bin sim -- sweep $(SEEDS)

@@ -12,6 +12,7 @@ use oassis_sparql::MatchMode;
 use oassis_vocab::Fact;
 
 use crate::assignment::Assignment;
+use crate::runtime::{Clock, SystemClock};
 
 /// Engine-level configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +50,12 @@ pub struct EngineConfig {
     /// `docs/observability.md`). Defaults to the no-op [`null_sink`], whose
     /// `enabled() == false` lets hot paths skip event construction.
     pub sink: Arc<dyn EventSink>,
+    /// Time source for the engine's own waits (the synchronous `Direct`
+    /// crowd path's in-line answer delay). Defaults to the real
+    /// [`SystemClock`]; the simulation harness injects a
+    /// [`VirtualClock`](crate::VirtualClock) so sequential reference runs
+    /// pay no wall-clock time either.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +74,7 @@ impl Default for EngineConfig {
             top_k: None,
             use_indexes: true,
             sink: null_sink(),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -176,6 +184,12 @@ impl EngineConfigBuilder {
     /// Instrumentation sink receiving the engine's event stream.
     pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.config.sink = sink;
+        self
+    }
+
+    /// Time source for the engine's own waits (default: [`SystemClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.config.clock = clock;
         self
     }
 

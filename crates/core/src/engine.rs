@@ -30,7 +30,7 @@ use oassis_vocab::{ElementId, Fact, FactSet};
 use crate::assignment::Assignment;
 use crate::border::{ClassificationState, Status};
 use crate::runtime::{
-    AskPayload, AskValue, Pool, RuntimeError, RuntimeErrorKind, SessionRuntime,
+    AskPayload, AskValue, Clock, Pool, RuntimeError, RuntimeErrorKind, SessionRuntime,
 };
 use crate::space::{AssignSpace, SpaceCache, SpaceError};
 use crate::stats::{ExecutionStats, QuestionKind, Recorder};
@@ -244,6 +244,7 @@ impl CrowdLink<'_> {
         phi: &Assignment,
         fs: &FactSet,
         recorder: &Recorder,
+        clock: &dyn Clock,
     ) -> Option<f64> {
         match self {
             CrowdLink::Direct(members) => {
@@ -251,9 +252,7 @@ impl CrowdLink<'_> {
                 // The synchronous path has no timeout: a slow answer is
                 // waited out, a dropped one degrades to an immediate one.
                 if let Some(d) = member.answer_delay() {
-                    if !d.is_zero() {
-                        std::thread::sleep(d);
-                    }
+                    clock.sleep(d);
                 }
                 let s = if recorder.sink_enabled() {
                     let _roundtrip = Span::enter(&**recorder.sink(), names::SPAN_ROUNDTRIP);
@@ -857,7 +856,7 @@ impl<'a> MultiUserMiner<'a> {
             s
         } else {
             recorder.on_question(QuestionKind::Concrete, &fs);
-            link.concrete(idx, phi, &fs, recorder)?
+            link.concrete(idx, phi, &fs, recorder, &*self.config.clock)?
         };
         let positive = self.record_answer(member_id, phi, s, session, overall, cache);
         recorder.on_state_change(overall, vocab);

@@ -51,7 +51,8 @@ pub use engine::{
     AnswerObserver, MultiUserMiner, Oassis, OassisError, QueryAnswer, QueryResult, NODES_TOTAL_CAP,
 };
 pub use runtime::{
-    QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime,
+    Clock, QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime, SimChaos,
+    SimConfig, SimTrace, SimTraceHandle, SystemClock, VirtualClock,
 };
 pub use rules::{mine_rules, AssociationRule};
 pub use space::{AssignSpace, NodeId, SpaceCache};

@@ -1,0 +1,118 @@
+//! Time abstraction for the session runtime.
+//!
+//! Everything in the runtime that waits — simulated member latency, the
+//! per-question timeout, the synchronous path's in-line delay — goes
+//! through a [`Clock`], so the exact same timeout / retry / deadline logic
+//! runs against real time in production ([`SystemClock`]) and against a
+//! purely virtual, instantly-advancing time in the deterministic
+//! simulation harness ([`VirtualClock`], see [`crate::runtime::sim`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of (possibly virtual) time.
+///
+/// `now()` is only ever compared against other `now()` readings from the
+/// same clock, so the epoch is arbitrary.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Let `d` pass. The system clock genuinely sleeps the calling
+    /// thread; the virtual clock advances its counter and returns
+    /// immediately.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production clock: monotonic wall time and real sleeps.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// The simulation clock: time is a shared counter that only moves when
+/// somebody sleeps, so a run consumes zero wall-clock waiting and replays
+/// identically no matter how fast the host machine is. Clones share the
+/// same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        let step = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(step, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_only_on_sleep() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+        clock.sleep(Duration::ZERO);
+        assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.sleep(Duration::from_secs(1));
+        assert_eq!(b.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let t0 = clock.now();
+        let t1 = clock.now();
+        assert!(t1 >= t0);
+    }
+}

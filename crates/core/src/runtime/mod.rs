@@ -10,33 +10,53 @@
 //!   and statistics in the same order as the synchronous engine, which is
 //!   the deterministic-merge rule: a concurrent run with seed S produces
 //!   the same answer set as a sequential run with seed S;
-//! * a pool of **worker threads** that carry the actual crowd round-trips
-//!   (simulated answer latency, drops, retries). Questions travel to
-//!   workers as [`AskRequest`]s tagged with explicit [`QuestionId`]s; each
+//! * an [`Executor`] that carries the actual crowd round-trips (simulated
+//!   answer latency, drops, timeouts, retries). Questions travel to the
+//!   executor as [`AskRequest`]s tagged with explicit [`QuestionId`]s; each
 //!   request checks the member out of its slot and the response checks it
-//!   back in, so a member is owned by exactly one thread at a time.
+//!   back in, so a member is owned by exactly one execution context at a
+//!   time.
+//!
+//! Two executors implement that contract:
+//!
+//! * the production `ThreadedExecutor` — a pool of worker threads racing
+//!   real time through a [`SystemClock`];
+//! * the deterministic [`sim::SimExecutor`] — a single-threaded step
+//!   scheduler over a [`VirtualClock`] that owns every interleaving
+//!   decision and replays bit-identically from one `u64` seed (select it
+//!   with [`SessionRuntime::simulated`]).
 //!
 //! Wall-clock speedup comes from **speculative prefetch**: while other
 //! members take their committed turns, the coordinator predicts each idle
 //! member's next question and dispatches it speculatively. Answers land in
 //! a lock-striped [`SharedCrowdCache`]; when the commit loop reaches that
-//! question it consumes the prefetched answer without waiting. Workers
-//! consult the published [`SharedBorder`] when picking up speculative work
-//! and cancel asks whose target has meanwhile been classified — safe,
+//! question it consumes the prefetched answer without waiting. The executor
+//! consults the published [`SharedBorder`] when picking up speculative work
+//! and cancels asks whose target has meanwhile been classified — safe,
 //! because the commit loop never asks about classified assignments.
 //!
 //! Unresponsive members are handled per question: a member whose simulated
 //! delay exceeds `question_timeout` (or whose answer is dropped) is retried
 //! up to `max_retries` times, then **excluded** from the rest of the run.
+//! The deadline itself follows one tie-break rule, `channel_verdict`: an
+//! answer arriving *exactly at* the deadline is delivered and committed;
+//! the timeout fires only for strictly later (or dropped) answers — so a
+//! member can never be both excluded and committed for the same question.
 //! If every member ends up excluded the engine reports
 //! [`RuntimeErrorKind::CrowdExhausted`] instead of spinning.
+
+pub mod clock;
+pub mod sim;
+
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use sim::{SimChaos, SimConfig, SimTrace, SimTraceHandle};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oassis_crowd::{CrowdMember, MemberId, SharedCrowdCache};
 use oassis_obs::{names, EventSink, SinkExt, Span};
@@ -44,6 +64,8 @@ use oassis_vocab::{ElementId, FactSet, Vocabulary};
 
 use crate::assignment::Assignment;
 use crate::border::SharedBorder;
+
+use sim::SimExecutor;
 
 /// Identifier of one dispatched question (unique within a run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,6 +81,8 @@ impl std::fmt::Display for QuestionId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeOptions {
     /// Worker threads carrying crowd round-trips (min 1, default 4).
+    /// Ignored in simulation, where a single-threaded scheduler serves
+    /// every request.
     pub workers: usize,
     /// How long a worker waits for one answer before declaring a timeout.
     pub question_timeout: Duration,
@@ -90,9 +114,20 @@ impl Default for RuntimeOptions {
 ///     .question_timeout(Duration::from_millis(50))
 ///     .max_retries(1);
 /// ```
+///
+/// Chain [`simulated`](Self::simulated) to run the session on the
+/// deterministic simulation executor instead of real worker threads:
+///
+/// ```no_run
+/// # let members = Vec::new();
+/// use oassis_core::{SessionRuntime, SimConfig};
+///
+/// let runtime = SessionRuntime::new(members).simulated(SimConfig::new(42));
+/// ```
 pub struct SessionRuntime {
     members: Vec<Box<dyn CrowdMember>>,
     options: RuntimeOptions,
+    sim: Option<SimConfig>,
 }
 
 impl std::fmt::Debug for SessionRuntime {
@@ -100,6 +135,7 @@ impl std::fmt::Debug for SessionRuntime {
         f.debug_struct("SessionRuntime")
             .field("members", &self.members.len())
             .field("options", &self.options)
+            .field("sim", &self.sim)
             .finish()
     }
 }
@@ -110,6 +146,7 @@ impl SessionRuntime {
         SessionRuntime {
             members,
             options: RuntimeOptions::default(),
+            sim: None,
         }
     }
 
@@ -129,6 +166,19 @@ impl SessionRuntime {
     pub fn max_retries(mut self, n: usize) -> Self {
         self.options.max_retries = n;
         self
+    }
+
+    /// Run the session on the deterministic simulation executor: a seeded
+    /// single-threaded scheduler over a virtual clock, replaying
+    /// bit-identically from `sim`'s seed (see [`sim`](crate::runtime::sim)).
+    pub fn simulated(mut self, sim: SimConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Whether this runtime will execute on the simulation executor.
+    pub fn is_simulated(&self) -> bool {
+        self.sim.is_some()
     }
 
     /// The configured options.
@@ -254,7 +304,7 @@ impl std::fmt::Display for PanicPayload {
 
 impl std::error::Error for PanicPayload {}
 
-/// The question kinds a worker can carry.
+/// The question kinds an executor can carry.
 #[derive(Debug, Clone)]
 pub(crate) enum AskPayload {
     /// A concrete question about one assignment's fact-set.
@@ -308,24 +358,46 @@ pub(crate) enum AskOutcome {
     Poisoned { message: String },
 }
 
-struct AskRequest {
-    question: QuestionId,
-    member_idx: usize,
-    member: Box<dyn CrowdMember>,
-    payload: AskPayload,
-    speculative: bool,
+pub(crate) struct AskRequest {
+    pub(crate) question: QuestionId,
+    pub(crate) member_idx: usize,
+    pub(crate) member: Box<dyn CrowdMember>,
+    pub(crate) payload: AskPayload,
+    pub(crate) speculative: bool,
 }
 
-struct AskResponse {
-    question: QuestionId,
-    member_idx: usize,
+pub(crate) struct AskResponse {
+    pub(crate) question: QuestionId,
+    pub(crate) member_idx: usize,
     /// The member, checked back in (`None` if its callback panicked).
-    member: Option<Box<dyn CrowdMember>>,
-    outcome: AskOutcome,
-    payload: AskPayload,
-    speculative: bool,
+    pub(crate) member: Option<Box<dyn CrowdMember>>,
+    pub(crate) outcome: AskOutcome,
+    pub(crate) payload: AskPayload,
+    pub(crate) speculative: bool,
     /// Speculative questions dropped unasked (target already classified).
-    cancelled: u64,
+    pub(crate) cancelled: u64,
+    /// Delivery attempts made serving this request (0 when cancelled).
+    pub(crate) attempts: usize,
+}
+
+/// How the coordinator's requests reach execution: the production
+/// `ThreadedExecutor` or the deterministic [`sim::SimExecutor`]. The
+/// contract mirrors a channel pair; [`Pool`] owns all slot/exclusion
+/// bookkeeping on top.
+pub(crate) trait Executor: Send {
+    /// Enqueue one request for execution.
+    fn submit(&mut self, request: AskRequest);
+
+    /// Deliver the next response, blocking if necessary. `None` means no
+    /// response can ever arrive (channel gone / nothing pending).
+    fn recv(&mut self) -> Option<AskResponse>;
+
+    /// Stop accepting new work; in-flight requests still complete and
+    /// must be drained with [`recv`](Self::recv).
+    fn begin_shutdown(&mut self);
+
+    /// Release execution resources (join worker threads).
+    fn finish_shutdown(&mut self);
 }
 
 /// The request channel shared by coordinator and workers.
@@ -387,6 +459,62 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The production executor: a pool of worker threads popping requests off
+/// a shared queue and racing real time through a [`SystemClock`].
+struct ThreadedExecutor {
+    queue: Arc<WorkQueue>,
+    responses: mpsc::Receiver<AskResponse>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedExecutor {
+    fn spawn(
+        options: RuntimeOptions,
+        border: SharedBorder,
+        vocab: Arc<Vocabulary>,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        let queue = Arc::new(WorkQueue::new());
+        let (tx, rx) = mpsc::channel();
+        let n_workers = options.workers.max(1);
+        let workers = (0..n_workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let tx = tx.clone();
+                let border = border.clone();
+                let vocab = Arc::clone(&vocab);
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || worker_loop(queue, tx, border, vocab, sink, options))
+            })
+            .collect();
+        ThreadedExecutor {
+            queue,
+            responses: rx,
+            workers,
+        }
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn submit(&mut self, request: AskRequest) {
+        self.queue.push(request);
+    }
+
+    fn recv(&mut self) -> Option<AskResponse> {
+        self.responses.recv().ok()
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.queue.shutdown();
+    }
+
+    fn finish_shutdown(&mut self) {
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// One worker thread: pop requests, simulate the crowd channel (delay,
 /// drop, timeout, retry), ask the member, send the response back.
 fn worker_loop(
@@ -397,20 +525,49 @@ fn worker_loop(
     sink: Arc<dyn EventSink>,
     options: RuntimeOptions,
 ) {
+    let clock = SystemClock::new();
     while let Some(request) = queue.pop() {
-        let response = serve(request, &border, &vocab, &sink, &options);
+        let response = serve(request, &border, &vocab, &sink, &options, &clock);
         if responses.send(response).is_err() {
             return; // coordinator gone
         }
     }
 }
 
-fn serve(
+/// Outcome of one delivery attempt against the per-question deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChannelVerdict {
+    /// The answer arrives in time: wait `d`, then deliver it.
+    Deliver(Duration),
+    /// No answer by the deadline.
+    Expire {
+        /// Whether the answer was dropped (vs merely too slow).
+        dropped: bool,
+    },
+}
+
+/// The runtime's single deadline tie-break rule, shared by every executor:
+/// an answer arriving **exactly at** the deadline is delivered (and will be
+/// committed); the timeout fires only for answers strictly later than the
+/// deadline, or dropped outright. Centralizing the comparison here is what
+/// keeps the threaded and simulated paths from ever disagreeing about the
+/// race — a member answering at the deadline can never be excluded *and*
+/// committed for the same question.
+pub(crate) fn channel_verdict(delay: Option<Duration>, timeout: Duration) -> ChannelVerdict {
+    match delay {
+        Some(d) if d <= timeout => ChannelVerdict::Deliver(d),
+        Some(_) => ChannelVerdict::Expire { dropped: false },
+        None => ChannelVerdict::Expire { dropped: true },
+    }
+}
+
+pub(crate) fn serve(
     mut request: AskRequest,
     border: &SharedBorder,
     vocab: &Vocabulary,
     sink: &Arc<dyn EventSink>,
     options: &RuntimeOptions,
+    clock: &dyn Clock,
 ) -> AskResponse {
     let _span = Span::enter(&**sink, names::SPAN_WORKER);
 
@@ -448,20 +605,18 @@ fn serve(
                 payload: request.payload,
                 speculative: true,
                 cancelled,
+                attempts: 0,
             };
         }
     }
 
-    let start = Instant::now();
+    let start = clock.now();
     let mut attempts = 0usize;
     let outcome = loop {
         attempts += 1;
-        let delay = request.member.answer_delay();
-        match delay {
-            Some(d) if d <= options.question_timeout => {
-                if !d.is_zero() {
-                    std::thread::sleep(d);
-                }
+        match channel_verdict(request.member.answer_delay(), options.question_timeout) {
+            ChannelVerdict::Deliver(d) => {
+                clock.sleep(d);
                 let member = &mut request.member;
                 let payload = &request.payload;
                 match catch_unwind(AssertUnwindSafe(|| answer(member.as_mut(), payload))) {
@@ -478,20 +633,17 @@ fn serve(
                             payload: request.payload,
                             speculative: request.speculative,
                             cancelled,
+                            attempts,
                         };
                     }
                 }
             }
-            slow_or_dropped => {
-                // Dropped (`None`) or slower than the timeout: wait the full
-                // timeout (that is when the coordinator's patience runs out),
-                // then retry with a fresh delay draw or give up.
-                std::thread::sleep(options.question_timeout);
-                let label = if slow_or_dropped.is_none() {
-                    "drop"
-                } else {
-                    "slow"
-                };
+            ChannelVerdict::Expire { dropped } => {
+                // Dropped or slower than the timeout: wait the full timeout
+                // (that is when the coordinator's patience runs out), then
+                // retry with a fresh delay draw or give up.
+                clock.sleep(options.question_timeout);
+                let label = if dropped { "drop" } else { "slow" };
                 sink.count_labeled(names::RUNTIME_TIMEOUT, label, 1);
                 if attempts > options.max_retries {
                     break AskOutcome::TimedOut { attempts };
@@ -500,7 +652,8 @@ fn serve(
             }
         }
     };
-    sink.observe(names::RUNTIME_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
+    let elapsed = clock.now().saturating_sub(start);
+    sink.observe(names::RUNTIME_ANSWER_NANOS, elapsed.as_nanos() as f64);
     AskResponse {
         question: request.question,
         member_idx: request.member_idx,
@@ -509,6 +662,7 @@ fn serve(
         payload: request.payload,
         speculative: request.speculative,
         cancelled,
+        attempts,
     }
 }
 
@@ -530,20 +684,18 @@ fn answer(member: &mut dyn CrowdMember, payload: &AskPayload) -> AskValue {
 
 /// One member's seat on the coordinator side.
 struct Slot {
-    /// The member, when "home". `None` while checked out to a worker (a
-    /// pending request exists) or lost to a poisoned worker.
+    /// The member, when "home". `None` while checked out to the executor
+    /// (a pending request exists) or lost to a poisoned worker.
     member: Option<Box<dyn CrowdMember>>,
     id: MemberId,
     excluded: bool,
     pending: Option<QuestionId>,
 }
 
-/// Coordinator-side handle of the worker pool: slots, dispatch bookkeeping
-/// and the response channel. Created per run by the engine.
+/// Coordinator-side handle of the execution backend: slots, dispatch
+/// bookkeeping and the response channel. Created per run by the engine.
 pub(crate) struct Pool {
-    queue: Arc<WorkQueue>,
-    responses: mpsc::Receiver<AskResponse>,
-    workers: Vec<JoinHandle<()>>,
+    exec: Box<dyn Executor>,
     slots: Vec<Slot>,
     shared: SharedCrowdCache,
     border: SharedBorder,
@@ -557,13 +709,18 @@ pub(crate) struct Pool {
 }
 
 impl Pool {
-    /// Spawn the workers and seat the members.
+    /// Start the executor (spawning workers on the threaded path) and seat
+    /// the members.
     pub(crate) fn start(
         runtime: SessionRuntime,
         vocab: Arc<Vocabulary>,
         sink: Arc<dyn EventSink>,
     ) -> Self {
-        let SessionRuntime { members, options } = runtime;
+        let SessionRuntime {
+            members,
+            options,
+            sim,
+        } = runtime;
         let slots: Vec<Slot> = members
             .into_iter()
             .map(|m| Slot {
@@ -573,24 +730,24 @@ impl Pool {
                 pending: None,
             })
             .collect();
-        let queue = Arc::new(WorkQueue::new());
-        let (tx, rx) = mpsc::channel();
         let border = SharedBorder::new();
-        let n_workers = options.workers.max(1);
-        let workers = (0..n_workers)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let tx = tx.clone();
-                let border = border.clone();
-                let vocab = Arc::clone(&vocab);
-                let sink = Arc::clone(&sink);
-                std::thread::spawn(move || worker_loop(queue, tx, border, vocab, sink, options))
-            })
-            .collect();
+        let exec: Box<dyn Executor> = match sim {
+            None => Box::new(ThreadedExecutor::spawn(
+                options,
+                border.clone(),
+                vocab,
+                Arc::clone(&sink),
+            )),
+            Some(config) => Box::new(SimExecutor::new(
+                config,
+                options,
+                border.clone(),
+                vocab,
+                Arc::clone(&sink),
+            )),
+        };
         Pool {
-            queue,
-            responses: rx,
-            workers,
+            exec,
             slots,
             shared: SharedCrowdCache::new(),
             border,
@@ -638,7 +795,7 @@ impl Pool {
         self.last_error.take()
     }
 
-    /// Publish the coordinator's border so workers can cancel stale
+    /// Publish the coordinator's border so the executor can cancel stale
     /// speculative questions.
     pub(crate) fn publish_border(&self, state: &crate::border::ClassificationState) {
         self.border.publish(state);
@@ -669,13 +826,15 @@ impl Pool {
         let question = self.next_question_id();
         self.slots[idx].pending = Some(question);
         self.set_inflight(self.inflight + 1);
+        let label = if speculative { "speculative" } else { "committed" };
+        self.sink.count_labeled(names::RUNTIME_DISPATCHED, label, 1);
         if speculative {
             let n = payload.question_count();
             self.spec_dispatched += n;
             self.sink
                 .count_labeled(names::RUNTIME_SPECULATION, "dispatched", n);
         }
-        self.queue.push(AskRequest {
+        self.exec.submit(AskRequest {
             question,
             member_idx: idx,
             member,
@@ -695,6 +854,13 @@ impl Pool {
         self.set_inflight(self.inflight.saturating_sub(1));
         self.slots[idx].member = response.member;
         self.spec_cancelled += response.cancelled;
+        let label = match &response.outcome {
+            AskOutcome::Answered(_) => "answered",
+            AskOutcome::Cancelled => "cancelled",
+            AskOutcome::TimedOut { .. } => "timeout",
+            AskOutcome::Poisoned { .. } => "poisoned",
+        };
+        self.sink.count_labeled(names::RUNTIME_RESOLVED, label, 1);
         match response.outcome {
             AskOutcome::Answered(value) => {
                 if response.speculative {
@@ -755,9 +921,9 @@ impl Pool {
     pub(crate) fn sync(&mut self, idx: usize) {
         while self.slots[idx].pending.is_some() {
             let response = self
-                .responses
+                .exec
                 .recv()
-                .expect("worker pool hung up with requests in flight");
+                .expect("executor hung up with requests in flight");
             self.absorb(response);
         }
     }
@@ -772,9 +938,9 @@ impl Pool {
         self.dispatch(idx, payload, false);
         while self.slots[idx].pending.is_some() {
             let response = self
-                .responses
+                .exec
                 .recv()
-                .expect("worker pool hung up with requests in flight");
+                .expect("executor hung up with requests in flight");
             let (ridx, value) = self.absorb(response);
             if ridx == idx {
                 return value;
@@ -812,19 +978,17 @@ impl Pool {
     }
 
     fn shutdown(&mut self) {
-        self.queue.shutdown();
+        self.exec.begin_shutdown();
         // Drain any straggler responses so workers never block on send.
         while self.inflight > 0 {
-            match self.responses.recv() {
-                Ok(response) => {
+            match self.exec.recv() {
+                Some(response) => {
                     self.absorb(response);
                 }
-                Err(_) => break,
+                None => break,
             }
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.exec.finish_shutdown();
     }
 }
 
@@ -870,6 +1034,8 @@ mod tests {
         assert_eq!(rt.options().question_timeout, Duration::from_millis(5));
         assert_eq!(rt.options().max_retries, 7);
         assert!(rt.is_empty());
+        assert!(!rt.is_simulated());
+        assert!(rt.simulated(SimConfig::new(0)).is_simulated());
     }
 
     #[test]
@@ -879,6 +1045,74 @@ mod tests {
         let value = pool.ask(0, concrete_payload());
         assert!(matches!(value, Some(AskValue::Support(s)) if (s - 0.75).abs() < 1e-12));
         assert!(!pool.excluded(0));
+    }
+
+    #[test]
+    fn committed_ask_round_trips_through_the_sim_executor() {
+        let trace = SimTrace::handle();
+        let runtime = SessionRuntime::new(vec![scripted(1, 0.75)])
+            .simulated(SimConfig::new(7).record_into(Arc::clone(&trace)));
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        let value = pool.ask(0, concrete_payload());
+        assert!(matches!(value, Some(AskValue::Support(s)) if (s - 0.75).abs() < 1e-12));
+        drop(pool);
+        let trace = trace.lock().unwrap();
+        assert_eq!(trace.decisions, vec![0], "one request, FIFO decision");
+        let transcript = trace.transcript();
+        assert!(transcript.contains("dispatch q1"), "{transcript}");
+        assert!(transcript.contains("answered(attempts=1)"), "{transcript}");
+    }
+
+    /// The deadline tie-break rule: delivery at exactly the deadline wins.
+    #[test]
+    fn verdict_delivers_exactly_at_the_deadline() {
+        let timeout = Duration::from_millis(250);
+        assert_eq!(
+            channel_verdict(Some(timeout), timeout),
+            ChannelVerdict::Deliver(timeout)
+        );
+        assert_eq!(
+            channel_verdict(Some(timeout + Duration::from_nanos(1)), timeout),
+            ChannelVerdict::Expire { dropped: false }
+        );
+        assert_eq!(
+            channel_verdict(None, timeout),
+            ChannelVerdict::Expire { dropped: true }
+        );
+        assert_eq!(
+            channel_verdict(Some(Duration::ZERO), timeout),
+            ChannelVerdict::Deliver(Duration::ZERO)
+        );
+    }
+
+    /// Regression for the timeout-vs-late-answer race: a member whose
+    /// answer lands exactly on the deadline must be committed, never
+    /// excluded — checked on the simulated executor, where the race is
+    /// replayable.
+    #[test]
+    fn answer_exactly_at_deadline_is_committed_not_excluded() {
+        let timeout = Duration::from_millis(250);
+        let member: Box<dyn CrowdMember> = Box::new(
+            UnreliableMember::new(scripted(1, 0.5), ResponseModel::instant(), 0)
+                .with_delay_script([Some(timeout)]),
+        );
+        let mem = InMemorySink::shared();
+        let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
+        let runtime = SessionRuntime::new(vec![member])
+            .question_timeout(timeout)
+            .simulated(SimConfig::new(0));
+        let mut pool = Pool::start(runtime, test_vocab(), sink);
+        let value = pool.ask(0, concrete_payload());
+        assert!(matches!(value, Some(AskValue::Support(s)) if (s - 0.5).abs() < 1e-12));
+        assert!(!pool.excluded(0), "deadline tie must not exclude");
+        drop(pool);
+        let snap = mem.snapshot();
+        assert_eq!(snap.counter_across_labels(names::RUNTIME_TIMEOUT), 0);
+        assert_eq!(snap.counter_across_labels(names::RUNTIME_MEMBER_EXCLUDED), 0);
+        assert_eq!(
+            snap.counter(&format!("{}[answered]", names::RUNTIME_RESOLVED)),
+            1
+        );
     }
 
     #[test]
@@ -909,6 +1143,14 @@ mod tests {
         assert_eq!(snap.counter(names::RUNTIME_RETRY), 2);
         assert_eq!(
             snap.counter(&format!("{}[timeout]", names::RUNTIME_MEMBER_EXCLUDED)),
+            1
+        );
+        assert_eq!(
+            snap.counter(&format!("{}[committed]", names::RUNTIME_DISPATCHED)),
+            1
+        );
+        assert_eq!(
+            snap.counter(&format!("{}[timeout]", names::RUNTIME_RESOLVED)),
             1
         );
     }
@@ -982,5 +1224,29 @@ mod tests {
             vec![(Assignment::single_valued(Vec::new()), FactSet::new())],
         );
         drop(pool); // must not hang or leak the worker
+    }
+
+    /// A dropping member on the sim executor pays only virtual time: huge
+    /// timeouts are free, which is what de-flakes the integration suite.
+    #[test]
+    fn sim_executor_timeouts_cost_no_wall_clock() {
+        let member: Box<dyn CrowdMember> = Box::new(UnreliableMember::new(
+            scripted(1, 0.5),
+            ResponseModel::instant().with_drop_probability(1.0),
+            3,
+        ));
+        let runtime = SessionRuntime::new(vec![member])
+            .question_timeout(Duration::from_secs(3600))
+            .max_retries(2)
+            .simulated(SimConfig::new(0));
+        let wall = std::time::Instant::now();
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        let value = pool.ask(0, concrete_payload());
+        assert!(value.is_none());
+        assert!(pool.excluded(0));
+        assert!(
+            wall.elapsed() < Duration::from_secs(60),
+            "three one-hour timeouts must pass in virtual time"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! [`ResponseModel`] so the concurrent session runtime's timeout / retry /
 //! exclusion machinery can be exercised deterministically in simulation.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
@@ -80,6 +81,7 @@ pub struct UnreliableMember {
     inner: Box<dyn CrowdMember>,
     model: ResponseModel,
     rng: SmallRng,
+    script: VecDeque<Option<Duration>>,
 }
 
 impl std::fmt::Debug for UnreliableMember {
@@ -99,7 +101,21 @@ impl UnreliableMember {
             inner,
             model,
             rng: SmallRng::seed_from_u64(seed),
+            script: VecDeque::new(),
         }
+    }
+
+    /// Script the first delay draws explicitly: each queued entry is
+    /// returned (and consumed) by [`answer_delay`](CrowdMember::answer_delay)
+    /// before the model takes over. `None` entries simulate drops. Lets a
+    /// test pin an exact delay — e.g. an answer landing precisely on the
+    /// runtime's deadline — without searching seed space.
+    pub fn with_delay_script(
+        mut self,
+        delays: impl IntoIterator<Item = Option<Duration>>,
+    ) -> Self {
+        self.script.extend(delays);
+        self
     }
 
     /// The channel model in effect.
@@ -147,6 +163,9 @@ impl CrowdMember for UnreliableMember {
     }
 
     fn answer_delay(&mut self) -> Option<Duration> {
+        if let Some(scripted) = self.script.pop_front() {
+            return scripted;
+        }
         if self.model.drop_probability > 0.0
             && self.rng.random_range(0.0..1.0) < self.model.drop_probability
         {
@@ -216,6 +235,22 @@ mod tests {
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(Option::is_none), "some drops at p=0.3");
         assert!(seq_a.iter().any(Option::is_some), "some deliveries at p=0.3");
+    }
+
+    #[test]
+    fn delay_script_takes_precedence_then_model_resumes() {
+        let model = ResponseModel::latency(Duration::from_millis(1));
+        let mut m = UnreliableMember::new(scripted(1), model, 7).with_delay_script([
+            Some(Duration::from_millis(250)),
+            None,
+        ]);
+        assert_eq!(m.answer_delay(), Some(Duration::from_millis(250)));
+        assert_eq!(m.answer_delay(), None, "scripted drop");
+        assert_eq!(
+            m.answer_delay(),
+            Some(Duration::from_millis(1)),
+            "model resumes past the script"
+        );
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub mod names {
     /// Gauge: crowd questions currently in flight in the session runtime
     /// (dispatched to a worker, answer not yet integrated).
     pub const RUNTIME_INFLIGHT: &str = "runtime.questions.inflight";
+    /// Counter: a question was dispatched to the executor. Label:
+    /// `committed` (blocking ask) or `speculative` (prefetch). Every
+    /// dispatch is eventually matched by one `RUNTIME_RESOLVED` count —
+    /// the conservation law the simulation oracle checks.
+    pub const RUNTIME_DISPATCHED: &str = "runtime.question.dispatched";
+    /// Counter: a dispatched question's response was absorbed by the
+    /// coordinator. Label: `answered`, `cancelled`, `timeout`, or
+    /// `poisoned`.
+    pub const RUNTIME_RESOLVED: &str = "runtime.question.resolved";
     /// Counter: one question attempt timed out. Label: `drop` (the member
     /// never responded) or `slow` (the answer would arrive too late).
     pub const RUNTIME_TIMEOUT: &str = "runtime.question.timeout";

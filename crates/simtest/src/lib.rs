@@ -1,0 +1,663 @@
+//! Deterministic simulation harness for the concurrent crowd runtime
+//! (FoundationDB-style).
+//!
+//! One [`simulate`] call runs a **complete mining session** — the paper's
+//! travel-domain query over the Table 3 crowd — on the runtime's
+//! single-threaded simulation executor: a seeded scheduler owns every
+//! interleaving decision and all waiting (member latency, timeouts,
+//! retries) happens on a virtual clock, so a run replays bit-identically
+//! from one `u64` seed at zero wall-clock cost.
+//!
+//! On top of that, [`check_seed`] runs the differential **oracles** that
+//! pin down the paper's §5 guarantee (the answer set is independent of how
+//! crowd answers arrive):
+//!
+//! 1. **replay** — the same seed twice yields byte-identical transcripts
+//!    and decision sequences;
+//! 2. **concurrent ≡ sequential** — valid-MSP set (and, when no member is
+//!    excluded, question count) matches the synchronous reference run;
+//! 3. **indexed ≡ unindexed** — flipping `use_indexes` changes nothing
+//!    observable;
+//! 4. **obs conservation** — every `runtime.question.*` event issued is
+//!    answered, retried, cancelled, or excluded (no event leaks), checked
+//!    on an `InMemorySink` snapshot.
+//!
+//! [`sweep`] drives `check_seed` across a seed range; [`shrink`] reduces a
+//! failing schedule to a minimal set of non-FIFO scheduling decisions (the
+//! "minimal fault trace"). Reproduce any failure with the printed
+//! one-liner: `OASSIS_SIM_SEED=<seed> cargo test --test simulation` or
+//! `cargo run --release -p oassis-simtest --bin sim -- repro <seed>`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use oassis_core::{
+    EngineConfig, MultiUserMiner, Oassis, QueryResult, SessionRuntime, SimChaos, SimConfig,
+    SimTrace, VirtualClock,
+};
+use oassis_crowd::transaction::table3_dbs;
+use oassis_crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
+use oassis_obs::{names, EventSink, InMemorySink, Snapshot};
+use oassis_store::ontology::figure1_ontology;
+
+/// The paper's running travel-domain query (Figure 2 family), identical to
+/// the one `tests/runtime_concurrency.rs` uses.
+pub const QUERY: &str = "SELECT FACT-SETS WHERE \
+      $x instanceOf $w. $w subClassOf* Attraction. \
+      $y subClassOf* Activity \
+    SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+const SUPPORT: f64 = 0.4;
+
+/// Seeds that once exposed (or are constructed to keep exposing) specific
+/// bug classes; `tests/simulation.rs` replays them every run.
+///
+/// The even seeds select the latency fault family, whose member 0 is
+/// scripted to answer its first question **exactly at** the per-question
+/// deadline — the timeout-vs-late-answer race. The oracles prove the
+/// answer is committed, never double-counted as an exclusion.
+pub const REGRESSION_SEEDS: &[u64] = &[0, 2, 0xDEAD_BEE2, 0x5EED_5EED_5EED_5EE0];
+
+/// Which fault family a simulated run injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFamily {
+    /// Perfect channels: every answer instant and delivered.
+    None,
+    /// Latency + jitter on every member (no drops), with member 0's first
+    /// answer landing exactly on the deadline. Nobody is excluded, so the
+    /// run must match the sequential reference in both the valid-MSP set
+    /// and the question count.
+    Latency,
+    /// The healthy crowd plus two clones whose channel drops every answer:
+    /// the clones are deterministically timed out, retried and excluded.
+    /// Question counts legitimately differ (asks wasted on the clones), so
+    /// only the valid-MSP set is compared.
+    DropClones,
+}
+
+/// How [`simulate`] picks the fault family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No faults.
+    None,
+    /// Derive the family from the seed (even → latency, odd → drop
+    /// clones) — what [`sweep`] uses.
+    FromSeed,
+    /// Force the latency family.
+    Latency,
+    /// Force the drop-clones family.
+    DropClones,
+}
+
+impl FaultPlan {
+    /// The concrete family this plan yields for `seed`.
+    pub fn family(self, seed: u64) -> FaultFamily {
+        match self {
+            FaultPlan::None => FaultFamily::None,
+            FaultPlan::Latency => FaultFamily::Latency,
+            FaultPlan::DropClones => FaultFamily::DropClones,
+            FaultPlan::FromSeed => {
+                if seed.is_multiple_of(2) {
+                    FaultFamily::Latency
+                } else {
+                    FaultFamily::DropClones
+                }
+            }
+        }
+    }
+}
+
+/// Knobs of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Fault injection plan (default: derive from the seed).
+    pub faults: FaultPlan,
+    /// Engine `use_indexes` flag (default `true`; the indexed≡unindexed
+    /// oracle flips it).
+    pub use_indexes: bool,
+    /// Replay an explicit scheduling-decision script instead of drawing
+    /// decisions from the seed (the shrinker's replay mechanism).
+    pub script: Option<Vec<usize>>,
+    /// Deliberate bug injection, used to prove the harness catches and
+    /// shrinks real schedule-dependent corruption.
+    pub chaos: Option<SimChaos>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            faults: FaultPlan::FromSeed,
+            use_indexes: true,
+            script: None,
+            chaos: None,
+        }
+    }
+}
+
+/// Everything one simulated run produced.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The scheduler seed.
+    pub seed: u64,
+    /// The fault family that was injected.
+    pub family: FaultFamily,
+    /// Sorted rendered valid MSPs (empty if the run errored).
+    pub msps: Vec<String>,
+    /// Total crowd questions asked (0 if the run errored).
+    pub questions: usize,
+    /// The byte-stable scheduler transcript (question order, retries,
+    /// timeouts, exclusions).
+    pub transcript: String,
+    /// The raw scheduling decisions, replayable via `SimOptions::script`.
+    pub decisions: Vec<usize>,
+    /// Obs snapshot of the run's full event stream.
+    pub snapshot: Snapshot,
+    /// The engine error, if the run failed (e.g. crowd exhausted).
+    pub error: Option<String>,
+}
+
+/// Splitmix-style seed mixing for per-member channel generators.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(i);
+    z ^= z >> 31;
+    z.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// `n_pairs` copies of the paper's u1/u2 member pair; `DbMember` answers
+/// are a pure function of the asked fact-set, which is the precondition of
+/// the runtime's determinism guarantee.
+pub fn crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+    for i in 0..n_pairs {
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i),
+            d1.clone(),
+            Arc::clone(&vocab),
+        )));
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i + 1),
+            d2.clone(),
+            Arc::clone(&vocab),
+        )));
+    }
+    members
+}
+
+/// Sorted rendered valid MSPs of a result.
+pub fn valid_msp_set(result: &QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = result
+        .answers
+        .iter()
+        .filter(|a| a.valid)
+        .map(|a| a.rendered.clone())
+        .collect();
+    v.sort();
+    v
+}
+
+/// The latency family's per-question timeout. Virtual time makes generous
+/// deadlines free, so it is deliberately huge relative to the injected
+/// delays: nobody can be excluded by latency alone.
+const LATENCY_TIMEOUT: Duration = Duration::from_secs(10);
+/// The drop-clone family's timeout: small in virtual time (the sweep pays
+/// nothing for it) but irrelevant to healthy members, who answer at t+0.
+const DROP_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Build the member set + runtime options for `(seed, family)`.
+fn faulted_runtime(seed: u64, family: FaultFamily) -> SessionRuntime {
+    match family {
+        FaultFamily::None => SessionRuntime::new(crowd(3)),
+        FaultFamily::Latency => {
+            let base = Duration::from_micros(200 + (seed % 8) * 150);
+            let jitter = Duration::from_micros(400);
+            let members: Vec<Box<dyn CrowdMember>> = crowd(3)
+                .into_iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let model = ResponseModel::latency(base).with_jitter(jitter);
+                    let wrapped = UnreliableMember::new(m, model, mix(seed, i as u64));
+                    let wrapped = if i == 0 {
+                        // The deadline-race regression: the first answer
+                        // arrives exactly at the timeout and must be
+                        // committed, not excluded.
+                        wrapped.with_delay_script([Some(LATENCY_TIMEOUT)])
+                    } else {
+                        wrapped
+                    };
+                    Box::new(wrapped) as Box<dyn CrowdMember>
+                })
+                .collect();
+            SessionRuntime::new(members)
+                .question_timeout(LATENCY_TIMEOUT)
+                .max_retries(2)
+        }
+        FaultFamily::DropClones => {
+            let mut members = crowd(3);
+            let o = figure1_ontology();
+            let vocab = Arc::new(o.vocabulary().clone());
+            let (d1, d2) = table3_dbs(&vocab);
+            let always_drop = ResponseModel::instant().with_drop_probability(1.0);
+            members.push(Box::new(UnreliableMember::new(
+                Box::new(DbMember::new(MemberId(100), d1, Arc::clone(&vocab))),
+                always_drop,
+                mix(seed, 100),
+            )));
+            members.push(Box::new(UnreliableMember::new(
+                Box::new(DbMember::new(MemberId(101), d2, vocab)),
+                always_drop,
+                mix(seed, 101),
+            )));
+            SessionRuntime::new(members)
+                .question_timeout(DROP_TIMEOUT)
+                .max_retries(1)
+        }
+    }
+}
+
+/// The engine seed used for a scheduler seed. Kept to a small cycle so the
+/// sequential references can be cached: the sweep's point is varying the
+/// *schedule*, and the answer set must not move with it.
+fn engine_seed(seed: u64) -> u64 {
+    seed % 4
+}
+
+fn engine_config(seed: u64, use_indexes: bool, sink: Arc<dyn EventSink>) -> EngineConfig {
+    EngineConfig::builder()
+        .seed(engine_seed(seed))
+        .use_indexes(use_indexes)
+        .sink(sink)
+        .clock(Arc::new(VirtualClock::new()))
+        .build()
+}
+
+/// Run one complete simulated session and report everything it did.
+pub fn simulate(seed: u64, opts: &SimOptions) -> SimOutcome {
+    let family = opts.faults.family(seed);
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).expect("the harness query parses");
+    let mem = InMemorySink::shared();
+    let cfg = engine_config(
+        seed,
+        opts.use_indexes,
+        Arc::clone(&mem) as Arc<dyn EventSink>,
+    );
+    let space = engine.space(&query, &cfg).expect("space construction");
+    let miner = MultiUserMiner::new(&space, SUPPORT, &cfg);
+
+    let trace = SimTrace::handle();
+    let mut sim = SimConfig::new(seed).record_into(Arc::clone(&trace));
+    if let Some(script) = &opts.script {
+        sim = sim.scripted(script.clone());
+    }
+    if let Some(chaos) = opts.chaos {
+        sim = sim.chaos(chaos);
+    }
+    let runtime = faulted_runtime(seed, family).simulated(sim);
+
+    let (msps, questions, error) = match miner.run(runtime) {
+        Ok((result, _)) => (valid_msp_set(&result), result.stats.total_questions, None),
+        Err(e) => (Vec::new(), 0, Some(e.to_string())),
+    };
+    let trace = trace.lock().expect("sim trace lock");
+    SimOutcome {
+        seed,
+        family,
+        msps,
+        questions,
+        transcript: trace.transcript(),
+        decisions: trace.decisions.clone(),
+        snapshot: mem.snapshot(),
+        error,
+    }
+}
+
+/// The sequential reference for one engine seed: the synchronous
+/// `run_slice` path over the clean crowd.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    /// Sorted rendered valid MSPs.
+    pub msps: Vec<String>,
+    /// Total questions the sequential run asked.
+    pub questions: usize,
+}
+
+/// The cached sequential reference for `seed` (computed once per engine
+/// seed; see [`engine_seed`]'s cycle).
+pub fn sequential_reference(seed: u64) -> Arc<Reference> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<Reference>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = engine_seed(seed);
+    if let Some(r) = cache.lock().expect("reference cache").get(&key) {
+        return Arc::clone(r);
+    }
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).expect("the harness query parses");
+    let cfg = engine_config(seed, true, oassis_obs::null_sink());
+    let space = engine.space(&query, &cfg).expect("space construction");
+    let miner = MultiUserMiner::new(&space, SUPPORT, &cfg);
+    let mut members = crowd(3);
+    let (result, _) = miner.run_slice(&mut members);
+    let reference = Arc::new(Reference {
+        msps: valid_msp_set(&result),
+        questions: result.stats.total_questions,
+    });
+    cache
+        .lock()
+        .expect("reference cache")
+        .insert(key, Arc::clone(&reference));
+    reference
+}
+
+/// One oracle violation, with enough context to print and reproduce.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// What diverged.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {} failed oracle `{}`: {} — repro: {}",
+            self.seed,
+            self.oracle,
+            self.detail,
+            repro_command(self.seed)
+        )
+    }
+}
+
+/// The one-line command that replays `seed` locally.
+pub fn repro_command(seed: u64) -> String {
+    format!("OASSIS_SIM_SEED={seed} cargo run --release -p oassis-simtest --bin sim -- repro")
+}
+
+fn counter(snap: &Snapshot, name: &str, label: &str) -> u64 {
+    snap.counter(&format!("{name}[{label}]"))
+}
+
+/// The obs event-stream conservation laws: every question dispatched is
+/// resolved exactly once; every timeout is either retried or ends the
+/// question; exclusions match terminal failures; speculative work is fully
+/// accounted as hit, cancelled or wasted.
+pub fn check_conservation(snap: &Snapshot) -> Result<(), String> {
+    let dispatched = snap.counter_across_labels(names::RUNTIME_DISPATCHED);
+    let resolved = snap.counter_across_labels(names::RUNTIME_RESOLVED);
+    if dispatched != resolved {
+        return Err(format!(
+            "dispatched {dispatched} != resolved {resolved} (a question leaked)"
+        ));
+    }
+    let timeouts = snap.counter_across_labels(names::RUNTIME_TIMEOUT);
+    let retries = snap.counter(names::RUNTIME_RETRY);
+    let resolved_timeout = counter(snap, names::RUNTIME_RESOLVED, "timeout");
+    if timeouts != retries + resolved_timeout {
+        return Err(format!(
+            "timeouts {timeouts} != retries {retries} + terminal timeouts {resolved_timeout}"
+        ));
+    }
+    let excluded_timeout = counter(snap, names::RUNTIME_MEMBER_EXCLUDED, "timeout");
+    if excluded_timeout != resolved_timeout {
+        return Err(format!(
+            "excluded[timeout] {excluded_timeout} != resolved[timeout] {resolved_timeout}"
+        ));
+    }
+    let excluded_poisoned = counter(snap, names::RUNTIME_MEMBER_EXCLUDED, "poisoned");
+    let resolved_poisoned = counter(snap, names::RUNTIME_RESOLVED, "poisoned");
+    if excluded_poisoned != resolved_poisoned {
+        return Err(format!(
+            "excluded[poisoned] {excluded_poisoned} != resolved[poisoned] {resolved_poisoned}"
+        ));
+    }
+    let spec_dispatched = counter(snap, names::RUNTIME_SPECULATION, "dispatched");
+    let spec_hit = counter(snap, names::RUNTIME_SPECULATION, "hit");
+    let spec_wasted = counter(snap, names::RUNTIME_SPECULATION, "wasted");
+    let spec_cancelled = snap.counter(names::RUNTIME_CANCELLED);
+    if spec_dispatched != spec_hit + spec_wasted + spec_cancelled {
+        return Err(format!(
+            "speculation dispatched {spec_dispatched} != hit {spec_hit} + cancelled \
+             {spec_cancelled} + wasted {spec_wasted}"
+        ));
+    }
+    Ok(())
+}
+
+/// Compare a simulated outcome against the sequential reference per the
+/// fault family's contract.
+fn check_against_reference(outcome: &SimOutcome, reference: &Reference) -> Result<(), String> {
+    if let Some(e) = &outcome.error {
+        return Err(format!("run errored: {e}"));
+    }
+    if outcome.msps != reference.msps {
+        return Err(format!(
+            "valid-MSP set diverged: got {} MSPs, reference has {}",
+            outcome.msps.len(),
+            reference.msps.len()
+        ));
+    }
+    match outcome.family {
+        FaultFamily::None | FaultFamily::Latency => {
+            if outcome.questions != reference.questions {
+                return Err(format!(
+                    "question count diverged: {} vs reference {}",
+                    outcome.questions, reference.questions
+                ));
+            }
+            Ok(())
+        }
+        // Excluded clones legitimately waste questions; only the answer
+        // set is schedule-independent.
+        FaultFamily::DropClones => Ok(()),
+    }
+}
+
+/// Run every oracle for one seed (three simulated runs: two identical for
+/// the replay oracle, one with `use_indexes` flipped).
+pub fn check_seed(seed: u64) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+    let opts = SimOptions::default();
+    let a = simulate(seed, &opts);
+    let b = simulate(seed, &opts);
+    if a.transcript != b.transcript {
+        return Err(fail(
+            "replay",
+            "two runs of the same seed produced different transcripts".into(),
+        ));
+    }
+    if a.decisions != b.decisions {
+        return Err(fail(
+            "replay",
+            "two runs of the same seed made different scheduling decisions".into(),
+        ));
+    }
+    let reference = sequential_reference(seed);
+    check_against_reference(&a, &reference)
+        .map_err(|d| fail("concurrent-vs-sequential", d))?;
+    let unindexed = simulate(
+        seed,
+        &SimOptions {
+            use_indexes: false,
+            ..opts
+        },
+    );
+    if unindexed.msps != a.msps || unindexed.questions != a.questions {
+        return Err(fail(
+            "indexed-vs-unindexed",
+            format!(
+                "use_indexes flip changed the outcome: {} MSPs / {} questions vs {} / {}",
+                unindexed.msps.len(),
+                unindexed.questions,
+                a.msps.len(),
+                a.questions
+            ),
+        ));
+    }
+    check_conservation(&a.snapshot).map_err(|d| fail("obs-conservation", d))?;
+    check_conservation(&unindexed.snapshot).map_err(|d| fail("obs-conservation", d))?;
+    Ok(())
+}
+
+/// Outcome of a [`sweep`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Seeds that passed every oracle.
+    pub passed: u64,
+    /// Oracle violations, in seed order.
+    pub failures: Vec<OracleFailure>,
+}
+
+/// Run [`check_seed`] over `seeds`.
+pub fn sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check_seed(seed) {
+            Ok(()) => report.passed += 1,
+            Err(failure) => report.failures.push(failure),
+        }
+    }
+    report
+}
+
+/// A shrunk failing schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal decision script that still fails (replay with
+    /// `SimOptions::script`).
+    pub script: Vec<usize>,
+    /// How many decisions deviate from FIFO — the size of the minimal
+    /// fault trace.
+    pub non_fifo: usize,
+    /// Transcript of the minimal failing run.
+    pub transcript: String,
+}
+
+/// Shrink a failing seed to a minimal fault trace: greedily revert
+/// scheduling decisions to FIFO (ddmin-style, halving chunk sizes) and
+/// keep only the non-FIFO decisions the failure genuinely needs. Returns
+/// `None` if `seed` does not fail `failing` in the first place.
+pub fn shrink(
+    seed: u64,
+    opts: &SimOptions,
+    failing: impl Fn(&SimOutcome) -> bool,
+) -> Option<ShrinkResult> {
+    let initial = simulate(seed, opts);
+    if !failing(&initial) {
+        return None;
+    }
+    let mut script = initial.decisions;
+    let rerun = |script: &[usize]| {
+        simulate(
+            seed,
+            &SimOptions {
+                script: Some(script.to_vec()),
+                ..opts.clone()
+            },
+        )
+    };
+
+    let non_fifo_idxs =
+        |s: &[usize]| s.iter().enumerate().filter(|(_, d)| **d != 0).map(|(i, _)| i).collect::<Vec<_>>();
+    let mut chunk = non_fifo_idxs(&script).len().max(1);
+    while chunk >= 1 {
+        let idxs = non_fifo_idxs(&script);
+        for window in idxs.chunks(chunk) {
+            let mut candidate = script.clone();
+            for &i in window {
+                candidate[i] = 0;
+            }
+            if failing(&rerun(&candidate)) {
+                script = candidate;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    while script.last() == Some(&0) {
+        script.pop();
+    }
+    let outcome = rerun(&script);
+    debug_assert!(failing(&outcome), "shrinking must preserve the failure");
+    Some(ShrinkResult {
+        non_fifo: script.iter().filter(|&&d| d != 0).count(),
+        transcript: outcome.transcript,
+        script,
+    })
+}
+
+/// A predicate for [`shrink`]: the outcome diverges from the sequential
+/// reference (per its family's contract) or breaks event conservation.
+pub fn diverges_from_reference(outcome: &SimOutcome) -> bool {
+    let reference = sequential_reference(outcome.seed);
+    check_against_reference(outcome, &reference).is_err()
+        || check_conservation(&outcome.snapshot).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The harness catches a deliberately injected schedule-dependent bug
+    /// (prefetch answers swapped on non-FIFO decisions — exactly the
+    /// corruption a lost-ordering bug would cause) and shrinks the failing
+    /// schedule to a handful of scheduling decisions.
+    #[test]
+    fn injected_prefetch_swap_is_caught_and_shrunk() {
+        let opts = SimOptions {
+            faults: FaultPlan::Latency,
+            chaos: Some(SimChaos::SwapPrefetchAnswers),
+            ..SimOptions::default()
+        };
+        let failing_seed = (0..64)
+            .find(|&seed| diverges_from_reference(&simulate(seed, &opts)))
+            .expect("the injected bug must be caught within 64 seeds");
+        let shrunk = shrink(failing_seed, &opts, diverges_from_reference)
+            .expect("the failing seed shrinks");
+        assert!(
+            shrunk.non_fifo >= 1,
+            "the bug only fires on non-FIFO decisions"
+        );
+        assert!(
+            shrunk.non_fifo <= 5,
+            "minimal fault trace too large: {} non-FIFO decisions",
+            shrunk.non_fifo
+        );
+        // The minimal schedule must still replay deterministically.
+        let replay = simulate(
+            failing_seed,
+            &SimOptions {
+                script: Some(shrunk.script.clone()),
+                ..opts.clone()
+            },
+        );
+        assert_eq!(replay.transcript, shrunk.transcript);
+    }
+
+    #[test]
+    fn chaos_off_passes_the_same_seeds() {
+        let report = sweep(0..4);
+        assert!(
+            report.failures.is_empty(),
+            "clean sweep failed: {}",
+            report.failures[0]
+        );
+        assert_eq!(report.passed, 4);
+    }
+}

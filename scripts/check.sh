@@ -18,4 +18,7 @@ echo "==> scripts/stress.sh"
 echo "==> scale benchmark (smoke): indexed vs un-indexed must agree, speedup >= 1"
 OASSIS_SCALE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- scale
 
+echo "==> simulation smoke: 64-seed fault sweep, all oracles (see docs/testing.md)"
+cargo run --release -q -p oassis-simtest --bin sim -- sweep 64
+
 echo "==> all checks passed"

@@ -1,0 +1,195 @@
+//! AST-level round-trip property for OASSIS-QL: `parse(display(ast))`
+//! reconstructs the exact AST — not just a string that reparses, but the
+//! same variables (ids and names), patterns, multiplicities and support.
+//!
+//! Complements `tests/language_properties.rs`, which starts from generated
+//! *strings*; here the generator builds [`Query`] values directly, so the
+//! property also pins the printer's treatment of every AST shape the
+//! validator admits.
+
+use proptest::prelude::*;
+
+use oassis::ql::{
+    validate_query, Multiplicity, QlRel, QlTerm, Query, SatPattern, SatisfyingClause, SelectForm,
+};
+use oassis::sparql::{PatTerm, PropPath, TriplePattern, VarTable};
+use oassis::store::ontology::figure1_ontology;
+use oassis::store::{Ontology, Term};
+
+/// Element names from the figure-1 travel ontology, including ones the
+/// printer must angle-quote.
+const ELEMENTS: &[&str] = &[
+    "Activity",
+    "Sport",
+    "Biking",
+    "Ball Game",
+    "Central Park",
+    "Attraction",
+    "Restaurant",
+    "NYC",
+    "Maoz Veg.",
+];
+const RELATIONS: &[&str] = &["doAt", "eatAt", "inside", "nearBy", "subClassOf", "instanceOf"];
+/// Subject/object variable pool. Disjoint from [`REL_VARS`] so relation
+/// variables never carry a multiplicity (the validator forbids it).
+const VARS: &[&str] = &["x", "y", "z", "w", "v"];
+const REL_VARS: &[&str] = &["p", "q"];
+
+/// One WHERE triple: subject var, relation, path kind, object (var or
+/// element).
+type WhereSpec = (usize, usize, u8, (bool, usize, usize));
+/// One SATISFYING meta-fact: subject var, relation (var or constant),
+/// object (var or element).
+type SatSpec = (usize, (bool, usize, usize), (bool, usize, usize));
+
+fn arb_mult() -> impl Strategy<Value = Multiplicity> {
+    prop_oneof![
+        Just(Multiplicity::One),
+        Just(Multiplicity::AtLeastOne),
+        Just(Multiplicity::Any),
+        Just(Multiplicity::Optional),
+        (2u32..5).prop_map(Multiplicity::Exactly),
+    ]
+}
+
+fn arb_where() -> impl Strategy<Value = WhereSpec> {
+    (
+        0..VARS.len(),
+        0..RELATIONS.len(),
+        0u8..3,
+        (proptest::bool::ANY, 0..VARS.len(), 0..ELEMENTS.len()),
+    )
+}
+
+fn arb_sat() -> impl Strategy<Value = SatSpec> {
+    (
+        0..VARS.len(),
+        (proptest::bool::ANY, 0..REL_VARS.len(), 0..RELATIONS.len()),
+        (proptest::bool::ANY, 0..VARS.len(), 0..ELEMENTS.len()),
+    )
+}
+
+/// Build a validator-clean query AST from the generated spec. Variables are
+/// interned in first-textual-occurrence order — exactly the order the
+/// parser assigns ids in — and each subject/object variable uses one fixed
+/// multiplicity everywhere it occurs (repeated equal annotations are
+/// legal; conflicting ones are not).
+fn build_query(
+    o: &Ontology,
+    select_variables: bool,
+    all: bool,
+    wheres: &[WhereSpec],
+    sats: &[SatSpec],
+    mults: &[Multiplicity],
+    more: bool,
+    support: f64,
+) -> Query {
+    let vocab = o.vocabulary();
+    let elem = |i: usize| vocab.element(ELEMENTS[i]).expect("known element");
+    let rel = |i: usize| vocab.relation(RELATIONS[i]).expect("known relation");
+
+    let mut vars = VarTable::new();
+    let where_patterns: Vec<TriplePattern> = wheres
+        .iter()
+        .map(|&(subj, r, path_kind, (obj_is_var, obj_var, obj_elem))| {
+            let subject = PatTerm::Var(vars.var(VARS[subj]));
+            let path = match path_kind {
+                0 => PropPath::Rel(rel(r)),
+                1 => PropPath::Star(rel(r)),
+                _ => PropPath::Plus(rel(r)),
+            };
+            let object = if obj_is_var {
+                PatTerm::Var(vars.var(VARS[obj_var]))
+            } else {
+                PatTerm::Const(Term::Element(elem(obj_elem)))
+            };
+            TriplePattern::new(subject, path, object)
+        })
+        .collect();
+
+    let patterns: Vec<SatPattern> = sats
+        .iter()
+        .map(|&(subj, (rel_is_var, rel_var, rel_const), (obj_is_var, obj_var, obj_elem))| {
+            let subject = QlTerm::Var(vars.var(VARS[subj]));
+            let subject_mult = mults[subj];
+            let relation = if rel_is_var {
+                QlRel::Var(vars.var(REL_VARS[rel_var]))
+            } else {
+                QlRel::Relation(rel(rel_const))
+            };
+            let (object, object_mult) = if obj_is_var {
+                (QlTerm::Var(vars.var(VARS[obj_var])), mults[obj_var])
+            } else {
+                (QlTerm::Element(elem(obj_elem)), Multiplicity::One)
+            };
+            SatPattern {
+                subject,
+                subject_mult,
+                relation,
+                object,
+                object_mult,
+            }
+        })
+        .collect();
+
+    Query {
+        select: if select_variables {
+            SelectForm::Variables
+        } else {
+            SelectForm::FactSets
+        },
+        all,
+        where_patterns,
+        satisfying: SatisfyingClause {
+            patterns,
+            more,
+            support,
+        },
+        vars,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(ast)) == ast`: the printer loses nothing the parser
+    /// needs, and the parser reconstructs the same structure (same
+    /// variable ids, since both sides number by first occurrence).
+    #[test]
+    fn displayed_ast_reparses_to_the_same_ast(
+        select_variables in proptest::bool::ANY,
+        all in proptest::bool::ANY,
+        wheres in proptest::collection::vec(arb_where(), 0..4),
+        sats in proptest::collection::vec(arb_sat(), 1..4),
+        mults in proptest::collection::vec(arb_mult(), VARS.len()),
+        more in proptest::bool::ANY,
+        support in (0u32..=100).prop_map(|n| n as f64 / 100.0),
+    ) {
+        let o = figure1_ontology();
+        let ast = build_query(&o, select_variables, all, &wheres, &sats, &mults, more, support);
+        prop_assert!(
+            validate_query(&ast).is_ok(),
+            "the generator must only build validator-clean ASTs"
+        );
+
+        let printed = ast.to_ql_string(&o);
+        let reparsed = match oassis::ql::parse_query(&printed, &o) {
+            Ok(q) => q,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "printed AST failed to reparse: {e}\n{printed}"
+            ))),
+        };
+
+        prop_assert_eq!(ast.select, reparsed.select);
+        prop_assert_eq!(ast.all, reparsed.all);
+        prop_assert_eq!(&ast.where_patterns, &reparsed.where_patterns, "\n{}", &printed);
+        prop_assert_eq!(&ast.satisfying, &reparsed.satisfying, "\n{}", &printed);
+        // Variable identity survives: same count, names and id order.
+        prop_assert_eq!(ast.vars.len(), reparsed.vars.len(), "\n{}", &printed);
+        for v in ast.vars.iter() {
+            prop_assert_eq!(ast.vars.name(v), reparsed.vars.name(v), "\n{}", &printed);
+        }
+        // And display is a fixpoint.
+        prop_assert_eq!(printed.clone(), reparsed.to_ql_string(&o));
+    }
+}

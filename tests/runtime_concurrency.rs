@@ -2,11 +2,20 @@
 //! seed, a pooled run must produce exactly the answer set (and question
 //! count) of the sequential slice path; slow and dropping members must be
 //! timed out, retried and excluded without losing MSPs.
+//!
+//! Only the first test exercises real worker threads (instant members, so
+//! no timing dependence — `scripts/stress.sh` scales it via
+//! `OASSIS_STRESS_WORKERS`). Every fault scenario runs on the simulation
+//! executor's virtual clock: timeouts and latency cost no wall-clock time
+//! and replay deterministically from the sim seed, so nothing here can
+//! flake on a slow machine.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use oassis::core::{EngineConfig, MultiUserMiner, Oassis, OassisError, SessionRuntime};
+use oassis::core::{
+    EngineConfig, MultiUserMiner, Oassis, OassisError, SessionRuntime, SimConfig,
+};
 use oassis::crowd::transaction::table3_dbs;
 use oassis::crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
 use oassis::obs::{names, EventSink, InMemorySink};
@@ -17,8 +26,8 @@ const QUERY: &str = "SELECT FACT-SETS WHERE \
       $y subClassOf* Activity \
     SATISFYING $y doAt $x WITH SUPPORT = 0.4";
 
-/// Worker count for the pooled runs; override with `OASSIS_STRESS_WORKERS`
-/// (see `scripts/stress.sh`).
+/// Worker count for the one genuinely threaded run; override with
+/// `OASSIS_STRESS_WORKERS` (see `scripts/stress.sh`).
 fn worker_count() -> usize {
     std::env::var("OASSIS_STRESS_WORKERS")
         .ok()
@@ -60,8 +69,10 @@ fn valid_msp_set(result: &oassis::core::QueryResult) -> Vec<String> {
     v
 }
 
-/// The headline guarantee: concurrent run with seed S == sequential run
-/// with seed S — same valid-MSP set, same question count — across seeds.
+/// The headline guarantee on the real threaded executor: concurrent run
+/// with seed S == sequential run with seed S — same valid-MSP set, same
+/// question count — across seeds. Members answer instantly, so the test
+/// has no timing dependence; the OS scheduler still interleaves freely.
 #[test]
 fn concurrent_matches_sequential_across_seeds() {
     let engine = Oassis::new(figure1_ontology());
@@ -90,8 +101,10 @@ fn concurrent_matches_sequential_across_seeds() {
     }
 }
 
-/// Latency alone (no drops) must not change the outcome either — the
-/// speculative prefetch only ever asks questions the commit loop would ask.
+/// Latency alone (no drops) must not change the outcome — the speculative
+/// prefetch only ever asks questions the commit loop would ask. On the
+/// virtual clock the injected delays (and the generous deadline) cost no
+/// wall-clock time, and four schedules are explored per test run.
 #[test]
 fn latency_does_not_change_answers() {
     let engine = Oassis::new(figure1_ontology());
@@ -103,24 +116,30 @@ fn latency_does_not_change_answers() {
     let mut seq_members = crowd(3);
     let (seq, _) = miner.run_slice(&mut seq_members);
 
-    let model = ResponseModel::latency(Duration::from_micros(300))
-        .with_jitter(Duration::from_micros(200));
-    let slow: Vec<Box<dyn CrowdMember>> = crowd(3)
-        .into_iter()
-        .enumerate()
-        .map(|(i, m)| Box::new(UnreliableMember::new(m, model, 100 + i as u64)) as Box<_>)
-        .collect();
-    let runtime = SessionRuntime::new(slow)
-        .workers(worker_count())
-        .question_timeout(Duration::from_secs(5));
-    let (conc, _) = miner.run(runtime).expect("no members excluded");
+    for sim_seed in [0u64, 1, 2, 3] {
+        let model = ResponseModel::latency(Duration::from_micros(300))
+            .with_jitter(Duration::from_micros(200));
+        let slow: Vec<Box<dyn CrowdMember>> = crowd(3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Box::new(UnreliableMember::new(m, model, 100 + i as u64)) as Box<_>)
+            .collect();
+        let runtime = SessionRuntime::new(slow)
+            .question_timeout(Duration::from_secs(5))
+            .simulated(SimConfig::new(sim_seed));
+        let (conc, _) = miner.run(runtime).expect("no members excluded");
 
-    assert_eq!(valid_msp_set(&seq), valid_msp_set(&conc));
-    assert_eq!(seq.stats.total_questions, conc.stats.total_questions);
+        assert_eq!(valid_msp_set(&seq), valid_msp_set(&conc), "sim seed {sim_seed}");
+        assert_eq!(
+            seq.stats.total_questions, conc.stats.total_questions,
+            "sim seed {sim_seed}"
+        );
+    }
 }
 
-/// Fault injection: members that always drop their answers are timed out,
-/// retried and excluded — and the healthy rest of the crowd still delivers
+/// Fault injection on the virtual clock: members that always drop their
+/// answers are timed out, retried and excluded — deterministically, with
+/// exact event counts — and the healthy rest of the crowd still delivers
 /// the full MSP set.
 #[test]
 fn dropping_members_are_excluded_without_losing_msps() {
@@ -160,9 +179,9 @@ fn dropping_members_are_excluded_without_losing_msps() {
     )));
 
     let runtime = SessionRuntime::new(members)
-        .workers(worker_count())
         .question_timeout(Duration::from_millis(2))
-        .max_retries(1);
+        .max_retries(1)
+        .simulated(SimConfig::new(99));
     let (result, _) = miner.run(runtime).expect("healthy members remain");
 
     assert_eq!(valid_msp_set(&expected), valid_msp_set(&result));
@@ -176,10 +195,16 @@ fn dropping_members_are_excluded_without_losing_msps() {
     // Each exclusion takes 1 initial attempt + 1 retry, all dropped.
     assert_eq!(snap.counter(&format!("{}[drop]", names::RUNTIME_TIMEOUT)), 4);
     assert_eq!(snap.counter(names::RUNTIME_RETRY), 2);
+    // Conservation: both terminal timeouts were resolved and excluded.
+    assert_eq!(
+        snap.counter(&format!("{}[timeout]", names::RUNTIME_RESOLVED)),
+        2
+    );
 }
 
 /// When every member is unresponsive the run fails with the dedicated
-/// runtime error instead of returning an empty result.
+/// runtime error instead of returning an empty result. On the virtual
+/// clock the timeouts are free and the error is seed-reproducible.
 #[test]
 fn fully_unresponsive_crowd_is_a_runtime_error() {
     let engine = Oassis::new(figure1_ontology());
@@ -195,9 +220,9 @@ fn fully_unresponsive_crowd_is_a_runtime_error() {
         .map(|(i, m)| Box::new(UnreliableMember::new(m, always_drop, i as u64)) as Box<_>)
         .collect();
     let runtime = SessionRuntime::new(members)
-        .workers(2)
         .question_timeout(Duration::from_millis(2))
-        .max_retries(0);
+        .max_retries(0)
+        .simulated(SimConfig::new(5));
 
     let err = miner.run(runtime).expect_err("all members excluded");
     match err {

@@ -1,0 +1,90 @@
+//! The deterministic simulation harness driven in-tree (see
+//! `docs/testing.md` and `crates/simtest`).
+//!
+//! Everything here runs on the runtime's single-threaded simulation
+//! executor: a seeded scheduler owns every interleaving decision, waiting
+//! happens on a virtual clock, and a whole concurrent session replays
+//! bit-identically from one `u64` seed. Reproduce any failing seed with
+//! `OASSIS_SIM_SEED=<seed> cargo test --test simulation` or the driver:
+//! `cargo run --release -p oassis-simtest --bin sim -- repro <seed>`.
+
+use oassis_simtest::{check_seed, simulate, sweep, SimOptions, REGRESSION_SEEDS};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Same seed ⇒ byte-identical transcript (question order, retries,
+/// exclusions) and identical scheduling decisions, across two consecutive
+/// runs — the harness's foundational property.
+#[test]
+fn same_seed_replays_byte_identical_transcripts() {
+    for seed in [0u64, 1, 0xDEAD_BEEF] {
+        let a = simulate(seed, &SimOptions::default());
+        let b = simulate(seed, &SimOptions::default());
+        assert_eq!(
+            a.transcript.as_bytes(),
+            b.transcript.as_bytes(),
+            "seed {seed}: transcripts must be byte-identical"
+        );
+        assert_eq!(a.decisions, b.decisions, "seed {seed}");
+        assert!(!a.transcript.is_empty(), "seed {seed}: empty transcript");
+        assert!(a.error.is_none(), "seed {seed}: {:?}", a.error);
+    }
+}
+
+/// A seed sweep with faults enabled passes every oracle (replay,
+/// concurrent≡sequential, indexed≡unindexed, obs-event conservation).
+/// Default is a smoke-sized sweep to keep `cargo test` snappy;
+/// `OASSIS_SIM_SEEDS=256 cargo test --test simulation` (or
+/// `make sim SEEDS=10000`, which uses the release driver) runs the long
+/// version.
+#[test]
+fn fault_sweep_passes_all_oracles() {
+    let n = env_u64("OASSIS_SIM_SEEDS").unwrap_or(16);
+    let report = sweep(0..n);
+    assert!(
+        report.failures.is_empty(),
+        "{} of {} seeds failed; first: {}",
+        report.failures.len(),
+        n,
+        report.failures[0]
+    );
+    assert_eq!(report.passed, n);
+}
+
+/// The regression corpus: seeds that pin down fixed bug classes — most
+/// importantly the timeout-vs-late-answer race (the latency family scripts
+/// member 0's first answer to land exactly on the deadline; it must be
+/// committed, never excluded; see `oassis_simtest::REGRESSION_SEEDS`).
+#[test]
+fn regression_seed_corpus_passes() {
+    for &seed in REGRESSION_SEEDS {
+        if let Err(failure) = check_seed(seed) {
+            panic!("regression corpus: {failure}");
+        }
+    }
+}
+
+/// Replay one seed from the environment (the printed repro one-liner lands
+/// here). Without `OASSIS_SIM_SEED` this replays seed 42 as a smoke check.
+#[test]
+fn repro_seed_from_env() {
+    let seed = env_u64("OASSIS_SIM_SEED").unwrap_or(42);
+    if let Err(failure) = check_seed(seed) {
+        let outcome = simulate(seed, &SimOptions::default());
+        panic!(
+            "{failure}\ntranscript tail:\n{}",
+            outcome
+                .transcript
+                .lines()
+                .rev()
+                .take(12)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
