@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench sim
+.PHONY: build test test-all clippy check figures bench sim service-bench
 
 # Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
 SEEDS ?= 10000
@@ -29,3 +29,8 @@ bench:
 # Long-form schedule exploration; failing seeds print a one-line repro.
 sim:
 	cargo run --release -p oassis-simtest --bin sim -- sweep $(SEEDS)
+
+# Multi-query service benchmark: N=4 overlapping queries through one
+# OassisService vs 4 serial runs; writes BENCH_service.json.
+service-bench:
+	cargo run --release -p oassis-bench --bin figures -- service

@@ -6,9 +6,10 @@
 //! ```
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
-//! dist mult crowdmix bounds growth runtime scale` (or `all`). The `scale`
-//! experiment writes `BENCH_scale.json` at the repo root;
-//! `OASSIS_SCALE_SMOKE=1` shrinks it for CI.
+//! dist mult crowdmix bounds growth runtime scale service` (or `all`). The
+//! `scale` experiment writes `BENCH_scale.json` at the repo root
+//! (`OASSIS_SCALE_SMOKE=1` shrinks it for CI); `service` writes
+//! `BENCH_service.json` the same way (`OASSIS_SERVICE_SMOKE=1`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -23,7 +24,8 @@ use std::time::Duration;
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
-    runtime_speedup, scale_speedup, shape_variation, CurveSeries, PaceResult, ScaleRow,
+    runtime_speedup, scale_speedup, service_reuse, shape_variation, CurveSeries, PaceResult,
+    ScaleRow, ServiceRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -272,12 +274,127 @@ fn run_scale(sink: &Arc<dyn EventSink>, seed: u64) {
     }
 }
 
+/// Run the multi-query service benchmark (PR 5) and write
+/// `BENCH_service.json` at the repo root: N overlapping queries through one
+/// `OassisService` over one shared crowd versus the same N queries as
+/// independent serial runs. The answers must match exactly; the crowd
+/// traffic must shrink. `OASSIS_SERVICE_SMOKE=1` shrinks the crowd so CI
+/// can assert the invariants in seconds.
+fn run_service(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_SERVICE_SMOKE").is_ok_and(|v| v == "1");
+    let (sessions, members) = if smoke { (2, 8) } else { (4, 24) };
+    println!(
+        "== service: multi-query crowd sharing ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let domains = if smoke {
+        vec![travel_domain()]
+    } else {
+        vec![travel_domain(), culinary_domain(), self_treatment_domain()]
+    };
+    let rows: Vec<ServiceRow> = domains
+        .iter()
+        .map(|d| {
+            let r = service_reuse(d, sessions, members, seed);
+            assert!(
+                r.answers_match,
+                "{}: a service session diverged from the serial answer set",
+                r.domain
+            );
+            assert!(
+                r.service_questions < r.serial_questions,
+                "{}: the service did not save crowd questions ({} vs {} serial)",
+                r.domain,
+                r.service_questions,
+                r.serial_questions
+            );
+            assert!(
+                r.store_hits > 0,
+                "{}: overlapping sessions never hit the answer store",
+                r.domain
+            );
+            sink.gauge_labeled("figures.service.saved_pct", &r.domain, r.saved_pct);
+            r
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.clone(),
+                r.sessions.to_string(),
+                r.serial_questions.to_string(),
+                r.service_questions.to_string(),
+                r.store_hits.to_string(),
+                format!("{:.1}%", r.saved_pct),
+                format!("{:.2}s", r.serial_time.as_secs_f64()),
+                format!("{:.2}s", r.service_time.as_secs_f64()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "domain",
+                "sessions",
+                "serial q",
+                "service q",
+                "store hits",
+                "saved",
+                "serial t",
+                "service t"
+            ],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"domain\": {:?}, \"sessions\": {}, \"members\": {}, ",
+                    "\"serial_questions\": {}, \"service_questions\": {}, ",
+                    "\"store_hits\": {}, \"saved_pct\": {:.3}, ",
+                    "\"serial_secs\": {:.6}, \"service_secs\": {:.6}, ",
+                    "\"answers_match\": {}}}"
+                ),
+                r.domain,
+                r.sessions,
+                r.members,
+                r.serial_questions,
+                r.service_questions,
+                r.store_hits,
+                r.saved_pct,
+                r.serial_time.as_secs_f64(),
+                r.service_time.as_secs_f64(),
+                r.answers_match,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"service\",\n\"mode\": {:?},\n\"seed\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        json_rows.join(",\n")
+    );
+    let path = if smoke {
+        "target/BENCH_service.smoke.json"
+    } else {
+        "BENCH_service.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
-            "crowdmix", "bounds", "growth", "runtime", "scale",
+            "crowdmix", "bounds", "growth", "runtime", "scale", "service",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -503,6 +620,7 @@ fn main() {
                 );
             }
             "scale" => run_scale(&sink, seed),
+            "service" => run_service(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

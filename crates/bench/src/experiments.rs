@@ -5,7 +5,8 @@ use std::time::{Duration, Instant};
 
 use oassis_core::{
     baseline_question_count, AssignSpace, Assignment, EngineConfig, HorizontalMiner, MinerConfig,
-    MinerOutcome, NaiveMiner, Oassis, SessionRuntime, VerticalMiner,
+    MinerOutcome, NaiveMiner, Oassis, OassisService, SessionRuntime, SessionSpec, SessionStatus,
+    VerticalMiner,
 };
 use oassis_crowd::{CrowdMember, MemberId, ResponseModel, UnreliableMember};
 use oassis_obs::{null_sink, EventSink};
@@ -963,6 +964,118 @@ pub fn scale_speedup(
         indexed_qps: qps(idx.stats.total_questions, indexed),
         answers_match: valid(&base) == valid(&idx)
             && base.stats.total_questions == idx.stats.total_questions,
+    }
+}
+
+/// One row of the multi-query service benchmark (PR 5): `sessions`
+/// overlapping queries through one [`OassisService`] versus the same
+/// queries as independent serial runs.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Domain name.
+    pub domain: String,
+    /// Number of overlapping sessions.
+    pub sessions: usize,
+    /// Crowd size.
+    pub members: usize,
+    /// Total crowd questions across the independent serial runs.
+    pub serial_questions: usize,
+    /// Total questions actually dispatched to the crowd by the service.
+    pub service_questions: usize,
+    /// Dispatch-time answer-store hits plus admission-seeded classifications
+    /// avoided re-asking the crowd; this counts the former.
+    pub store_hits: usize,
+    /// Crowd questions saved by the service, as a percentage of serial.
+    pub saved_pct: f64,
+    /// Wall-clock of the serial runs.
+    pub serial_time: Duration,
+    /// Wall-clock of the service run.
+    pub service_time: Duration,
+    /// Every session reported exactly the serial valid-MSP set.
+    pub answers_match: bool,
+}
+
+/// Run the domain's canonical query `sessions` times — first as
+/// independent serial engine runs (each over its own copy of the crowd),
+/// then as overlapping sessions of one service over one shared crowd —
+/// and compare answers and crowd traffic. The service must reproduce the
+/// serial answers exactly while the `AnswerStore` absorbs the overlap.
+pub fn service_reuse(domain: &Domain, sessions: usize, members: usize, seed: u64) -> ServiceRow {
+    let crowd_cfg = CrowdGenConfig {
+        members,
+        transactions_per_member: 20,
+        popular_patterns: 8,
+        popularity: 0.8,
+        zipf: 1.0,
+        facts_per_transaction: 1,
+        discretize: false,
+        seed,
+    };
+    let fresh_crowd = || -> Vec<Box<dyn CrowdMember>> {
+        generate_crowd(domain, &crowd_cfg)
+            .members
+            .into_iter()
+            .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+            .collect()
+    };
+    let cfg = EngineConfig::builder().seed(seed).build();
+    let valid = |r: &oassis_core::QueryResult| {
+        let mut v: Vec<&str> = r
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.as_str())
+            .collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+
+    let engine = Oassis::new(domain.ontology.clone());
+    let serial_start = Instant::now();
+    let mut serial_questions = 0;
+    let mut serial_valid = String::new();
+    for _ in 0..sessions {
+        let mut crowd = fresh_crowd();
+        let result = engine
+            .execute(&domain.query, &mut crowd, &cfg)
+            .expect("serial execution succeeds");
+        serial_questions += result.stats.total_questions;
+        serial_valid = valid(&result);
+    }
+    let serial_time = serial_start.elapsed();
+
+    let engine = Oassis::new(domain.ontology.clone());
+    let service_start = Instant::now();
+    let mut service = OassisService::start(engine, SessionRuntime::new(fresh_crowd()));
+    for _ in 0..sessions {
+        let mut spec = SessionSpec::new(&domain.query);
+        spec.config = cfg.clone();
+        service.submit(spec).expect("service admits the query");
+    }
+    let reports = service.run();
+    let service_time = service_start.elapsed();
+
+    let mut service_questions = 0;
+    let mut store_hits = 0;
+    let mut answers_match = true;
+    for report in &reports {
+        service_questions += report.crowd_questions;
+        store_hits += report.store_hits;
+        answers_match &= report.status == SessionStatus::Completed
+            && valid(&report.result) == serial_valid;
+    }
+    ServiceRow {
+        domain: domain.name.to_owned(),
+        sessions,
+        members,
+        serial_questions,
+        service_questions,
+        store_hits,
+        saved_pct: 100.0 * (serial_questions.saturating_sub(service_questions)) as f64
+            / (serial_questions as f64).max(f64::EPSILON),
+        serial_time,
+        service_time,
+        answers_match,
     }
 }
 

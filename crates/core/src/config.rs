@@ -46,6 +46,13 @@ pub struct EngineConfig {
     /// identical either way; only wall-clock differs. The `scale` benchmark
     /// flips this to measure the speedup.
     pub use_indexes: bool,
+    /// Node capacity of the per-run [`SpaceCache`](crate::SpaceCache)
+    /// arena. Past it the cache evicts least-recently-interned entries
+    /// (counted on `space.cache.evicted`) instead of growing — relevant
+    /// when a long-lived service multiplexes many sessions over shared
+    /// memory. The default (2^16) is above the engine's own
+    /// DAG-materialization cap, so a normal run never evicts.
+    pub space_cache_capacity: usize,
     /// Instrumentation sink receiving the engine's event stream (see
     /// `docs/observability.md`). Defaults to the no-op [`null_sink`], whose
     /// `enabled() == false` lets hot paths skip event construction.
@@ -73,6 +80,7 @@ impl Default for EngineConfig {
             more_domain: Vec::new(),
             top_k: None,
             use_indexes: true,
+            space_cache_capacity: 1 << 16,
             sink: null_sink(),
             clock: Arc::new(SystemClock::new()),
         }
@@ -181,6 +189,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Node capacity of the run's `SpaceCache` arena (values below 1 are
+    /// clamped to 1; default `1 << 16`).
+    pub fn space_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.space_cache_capacity = capacity.max(1);
+        self
+    }
+
     /// Instrumentation sink receiving the engine's event stream.
     pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.config.sink = sink;
@@ -219,6 +234,8 @@ mod tests {
         assert_eq!(built.more_domain, def.more_domain);
         assert_eq!(built.top_k, def.top_k);
         assert!(built.use_indexes, "indexes are on by default");
+        assert_eq!(built.space_cache_capacity, 1 << 16);
+        assert_eq!(built.space_cache_capacity, def.space_cache_capacity);
     }
 
     #[test]
@@ -240,6 +257,7 @@ mod tests {
             .targets(Vec::new())
             .more_domain(Vec::new())
             .top_k(2)
+            .space_cache_capacity(1024)
             .build();
         assert_eq!(config.aggregator_sample, 1);
         assert_eq!(config.specialization_ratio, 0.25);
@@ -250,6 +268,13 @@ mod tests {
         assert_eq!(config.curve_universe, Some(Vec::new()));
         assert_eq!(config.targets, Some(Vec::new()));
         assert_eq!(config.top_k, Some(2));
+        assert_eq!(config.space_cache_capacity, 1024);
+    }
+
+    #[test]
+    fn space_cache_capacity_clamps_to_one() {
+        let config = EngineConfig::builder().space_cache_capacity(0).build();
+        assert_eq!(config.space_cache_capacity, 1);
     }
 
     #[test]

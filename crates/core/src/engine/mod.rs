@@ -1,0 +1,174 @@
+//! The OASSIS engine: multi-user evaluation (Section 4.2) and the
+//! system facade (Section 6.1).
+//!
+//! The engine is organized in four layers (see `docs/engine.md`):
+//!
+//! * [`session`] — the pull-based [`MiningSession`] state machine: the
+//!   complete §4.2 algorithm with the crowd inverted out. A session never
+//!   talks to a crowd; it *emits* [`PendingQuestion`]s and the driver
+//!   feeds [`Answer`]s back via [`MiningSession::absorb`].
+//! * [`multi`] — [`MultiUserMiner`], the single-query driver: it runs one
+//!   session to completion over a borrowed member slice or the concurrent
+//!   session runtime (with speculative prefetch).
+//! * [`single`] — the [`Oassis`] system facade: parse → SPARQL → mine →
+//!   answers, plus the Section 6.3 cache-replay methodology.
+//! * [`service`] — [`OassisService`], the multi-query layer: many
+//!   concurrent sessions multiplexed over one shared crowd, with
+//!   cross-query answer reuse through an
+//!   [`AnswerStore`](oassis_crowd::AnswerStore).
+//!
+//! Every name that used to live in the monolithic `engine` module is
+//! re-exported here, so `oassis_core::engine::MultiUserMiner` (and the
+//! crate-root re-exports) keep working unchanged.
+
+pub mod multi;
+pub mod service;
+pub mod session;
+pub mod single;
+
+pub use multi::MultiUserMiner;
+pub use service::{OassisService, SessionId, SessionReport, SessionSpec, SessionStatus};
+pub use session::{Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent};
+pub use single::{replay_members, Oassis};
+
+pub use crate::config::{EngineConfig, EngineConfigBuilder};
+
+use std::sync::Arc;
+
+use oassis_crowd::CrowdCache;
+use oassis_ql::QlError;
+use oassis_vocab::FactSet;
+
+use crate::assignment::Assignment;
+use crate::border::ClassificationState;
+use crate::runtime::RuntimeError;
+use crate::space::SpaceError;
+use crate::stats::ExecutionStats;
+
+/// Errors surfaced by [`Oassis::execute`] and the session runtime.
+#[derive(Debug)]
+pub enum OassisError {
+    /// Query parsing/validation failed.
+    Query(QlError),
+    /// Assignment-space construction failed.
+    Space(SpaceError),
+    /// The concurrent session runtime failed (timeouts, poisoned workers,
+    /// exhausted crowd).
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for OassisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OassisError::Query(e) => write!(f, "{e}"),
+            OassisError::Space(e) => write!(f, "{e}"),
+            OassisError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OassisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OassisError::Query(e) => Some(e),
+            OassisError::Space(e) => Some(e),
+            OassisError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<QlError> for OassisError {
+    fn from(e: QlError) -> Self {
+        OassisError::Query(e)
+    }
+}
+
+impl From<SpaceError> for OassisError {
+    fn from(e: SpaceError) -> Self {
+        OassisError::Space(e)
+    }
+}
+
+impl From<RuntimeError> for OassisError {
+    fn from(e: RuntimeError) -> Self {
+        OassisError::Runtime(e)
+    }
+}
+
+/// One answer of a query result.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The MSP assignment.
+    pub assignment: Assignment,
+    /// Its instantiated fact-set `φ(A_SAT)`.
+    pub factset: FactSet,
+    /// Whether the assignment is valid w.r.t. the query.
+    pub valid: bool,
+    /// The aggregated support estimate, if answers were collected for it.
+    pub support: Option<f64>,
+    /// Human-readable rendering (per the query's `SELECT` form).
+    pub rendered: String,
+}
+
+/// The result of executing a query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The MSP answers (most specific significant patterns).
+    pub answers: Vec<QueryAnswer>,
+    /// Execution statistics.
+    pub stats: ExecutionStats,
+    /// All collected crowd answers (reusable for threshold replay).
+    pub cache: CrowdCache,
+    /// The final classification state.
+    pub state: ClassificationState,
+}
+
+/// Receives each MSP answer the moment it is confirmed during a run
+/// (see [`MultiUserMiner::run_with_observer`]). Any `FnMut(&QueryAnswer)`
+/// closure implements it.
+pub trait AnswerObserver {
+    /// Called once per confirmed MSP, in confirmation order.
+    fn on_answer(&mut self, answer: &QueryAnswer);
+}
+
+impl<F: FnMut(&QueryAnswer)> AnswerObserver for F {
+    fn on_answer(&mut self, answer: &QueryAnswer) {
+        self(answer)
+    }
+}
+
+/// The no-op observer behind [`MultiUserMiner::run`].
+pub(crate) struct IgnoreAnswers;
+
+impl AnswerObserver for IgnoreAnswers {
+    fn on_answer(&mut self, _answer: &QueryAnswer) {}
+}
+
+/// Give up on the `engine.dag.nodes_total` gauge beyond this many nodes:
+/// the exhaustive count exists to contextualize the lazy generator's
+/// savings, and past this size "huge" is all an observer needs to know.
+pub const NODES_TOTAL_CAP: usize = 20_000;
+
+/// Either a borrowed or a shared (reference-counted) handle to `T`.
+///
+/// [`MiningSession`] borrows its space and config when driven by the
+/// single-query [`MultiUserMiner`] (which outlives the session), but the
+/// multi-query [`OassisService`] admits sessions with independent
+/// lifetimes, where both must be `Arc`-shared.
+pub(crate) enum Handle<'a, T: ?Sized> {
+    /// Borrowed from a longer-lived owner.
+    Borrowed(&'a T),
+    /// Shared ownership.
+    Shared(Arc<T>),
+}
+
+impl<T: ?Sized> std::ops::Deref for Handle<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Handle::Borrowed(t) => t,
+            Handle::Shared(t) => t,
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! [`MultiUserMiner`] — the single-query driver for the pull-based
+//! [`MiningSession`].
+//!
+//! The miner owns nothing algorithmic: it builds one session, then loops
+//! `poll → deliver → absorb`, routing each staged [`PendingQuestion`] to
+//! the crowd over a [`CrowdLink`] — either directly over a borrowed member
+//! slice on the caller's thread, or through the session runtime's worker
+//! pool (with speculative prefetch hiding the simulated answer latency).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oassis_crowd::{
+    Aggregator, CrowdCache, CrowdMember, Decision, FixedSampleAggregator, MemberId,
+};
+use oassis_obs::{names, EventSink, SinkExt, Span};
+use oassis_vocab::{ElementId, FactSet};
+
+use crate::assignment::Assignment;
+use crate::config::EngineConfig;
+use crate::runtime::{
+    AskPayload, AskValue, Clock, Pool, RuntimeError, RuntimeErrorKind, SessionRuntime,
+};
+use crate::space::{AssignSpace, SpaceCache};
+
+use super::session::{
+    Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent,
+};
+use super::{AnswerObserver, Handle, IgnoreAnswers, OassisError, QueryResult};
+
+/// How the driver reaches the crowd: directly over a borrowed member slice
+/// on the caller's thread, or through the session runtime's worker pool.
+/// Every ask returns `None` only on the pooled path, when the runtime
+/// excluded the member instead of delivering an answer.
+enum CrowdLink<'m> {
+    Direct(&'m mut [Box<dyn CrowdMember>]),
+    Pooled(Pool),
+}
+
+impl CrowdLink<'_> {
+    fn len(&self) -> usize {
+        match self {
+            CrowdLink::Direct(members) => members.len(),
+            CrowdLink::Pooled(pool) => pool.len(),
+        }
+    }
+
+    fn id(&self, idx: usize) -> MemberId {
+        match self {
+            CrowdLink::Direct(members) => members[idx].id(),
+            CrowdLink::Pooled(pool) => pool.member_id(idx),
+        }
+    }
+
+    /// A shared view of the member, when it is home (always, on the direct
+    /// path; between round-trips on the pooled path) and not excluded.
+    fn member(&self, idx: usize) -> Option<&dyn CrowdMember> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].as_ref()),
+            CrowdLink::Pooled(pool) => pool.member(idx),
+        }
+    }
+
+    /// Block until the member's in-flight speculative answer (if any) has
+    /// been absorbed. No-op on the direct path.
+    fn sync(&mut self, idx: usize) {
+        if let CrowdLink::Pooled(pool) = self {
+            pool.sync(idx);
+        }
+    }
+
+    fn excluded(&self, idx: usize) -> bool {
+        match self {
+            CrowdLink::Direct(_) => false,
+            CrowdLink::Pooled(pool) => pool.excluded(idx),
+        }
+    }
+
+    /// Ask the concrete question `phi`/`fs`, waiting out the simulated
+    /// answer latency (in-line when direct, on a worker when pooled).
+    fn concrete(
+        &mut self,
+        idx: usize,
+        phi: &Assignment,
+        fs: &FactSet,
+        sink: &Arc<dyn EventSink>,
+        clock: &dyn Clock,
+    ) -> Option<f64> {
+        match self {
+            CrowdLink::Direct(members) => {
+                let member = &mut members[idx];
+                // The synchronous path has no timeout: a slow answer is
+                // waited out, a dropped one degrades to an immediate one.
+                if let Some(d) = member.answer_delay() {
+                    clock.sleep(d);
+                }
+                let s = if sink.enabled() {
+                    let _roundtrip = Span::enter(&**sink, names::SPAN_ROUNDTRIP);
+                    let start = Instant::now();
+                    let s = member.ask_concrete(fs);
+                    sink.observe(names::CROWD_ANSWER_NANOS, start.elapsed().as_nanos() as f64);
+                    s
+                } else {
+                    member.ask_concrete(fs)
+                };
+                Some(s)
+            }
+            CrowdLink::Pooled(pool) => {
+                // A speculative prefetch may already hold this answer.
+                if let Some(s) = pool.shared().lookup(fs, pool.member_id(idx)) {
+                    pool.note_speculation_hit();
+                    return Some(s);
+                }
+                match pool.ask(
+                    idx,
+                    AskPayload::Concrete {
+                        assignment: phi.clone(),
+                        factset: fs.clone(),
+                    },
+                ) {
+                    Some(AskValue::Support(s)) => Some(s),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Ask the specialization question (base + candidate fact-sets).
+    fn specialization(
+        &mut self,
+        idx: usize,
+        base: &FactSet,
+        candidates: &[FactSet],
+    ) -> Option<Option<(usize, f64)>> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].ask_specialization(base, candidates)),
+            CrowdLink::Pooled(pool) => match pool.ask(
+                idx,
+                AskPayload::Specialization {
+                    base: base.clone(),
+                    candidates: candidates.to_vec(),
+                },
+            ) {
+                Some(AskValue::Choice(choice)) => Some(choice),
+                _ => None,
+            },
+        }
+    }
+
+    /// Ask for the member's irrelevant elements (user-guided pruning).
+    fn irrelevant(&mut self, idx: usize, fs: &FactSet) -> Option<Vec<ElementId>> {
+        match self {
+            CrowdLink::Direct(members) => Some(members[idx].irrelevant_elements(fs)),
+            CrowdLink::Pooled(pool) => {
+                match pool.ask(idx, AskPayload::Pruning { factset: fs.clone() }) {
+                    Some(AskValue::Irrelevant(elems)) => Some(elems),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+impl CrowdView for CrowdLink<'_> {
+    fn gone(&mut self, seat: usize) -> bool {
+        // Bring the member home: absorb its in-flight speculative answer
+        // (if any) before its committed turn.
+        self.sync(seat);
+        self.excluded(seat)
+    }
+
+    fn willing(&mut self, seat: usize) -> bool {
+        self.member(seat).is_some_and(|m| m.willing())
+    }
+
+    fn can_answer(&mut self, seat: usize, fs: &FactSet) -> bool {
+        self.member(seat).is_some_and(|m| m.can_answer(fs))
+    }
+}
+
+/// Forwards an aggregator borrowed from the miner into a session (the
+/// session wants an owned box, the miner keeps its own for reuse across
+/// runs).
+struct AggRef<'x>(&'x dyn Aggregator);
+
+impl Aggregator for AggRef<'_> {
+    fn decide(&self, answers: &[f64], threshold: f64) -> Decision {
+        self.0.decide(answers, threshold)
+    }
+
+    fn estimate(&self, answers: &[f64]) -> Option<f64> {
+        self.0.estimate(answers)
+    }
+}
+
+/// The multi-user mining engine: the five modifications of Section 4.2 on
+/// top of the vertical traversal — per-member top-down sessions, answers
+/// recorded per assignment in the [`CrowdCache`], overall classification by
+/// a pluggable [`Aggregator`] black-box, member-positive descent
+/// (`s ≥ θ` **and** not overall-insignificant), and MSP confirmation on the
+/// closing answer.
+///
+/// All of that now lives in [`MiningSession`]; the miner is the driver that
+/// connects one session to one crowd.
+pub struct MultiUserMiner<'a> {
+    space: &'a AssignSpace,
+    /// Interned memo over `space`'s derivations; pass-through when
+    /// [`EngineConfig::use_indexes`] is off.
+    cache: Arc<SpaceCache>,
+    threshold: f64,
+    aggregator: Box<dyn Aggregator + 'a>,
+    config: &'a EngineConfig,
+}
+
+impl<'a> MultiUserMiner<'a> {
+    /// Create a miner with the paper's fixed-sample aggregation rule.
+    pub fn new(space: &'a AssignSpace, threshold: f64, config: &'a EngineConfig) -> Self {
+        let cache = if config.use_indexes {
+            Arc::new(SpaceCache::with_capacity(
+                config.space_cache_capacity,
+                Arc::clone(&config.sink),
+            ))
+        } else {
+            Arc::new(SpaceCache::disabled())
+        };
+        MultiUserMiner {
+            space,
+            cache,
+            threshold,
+            aggregator: Box::new(FixedSampleAggregator {
+                sample_size: config.aggregator_sample,
+            }),
+            config,
+        }
+    }
+
+    /// Replace the aggregation black-box.
+    pub fn with_aggregator(mut self, aggregator: Box<dyn Aggregator + 'a>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Run the crowd concurrently through the session runtime until every
+    /// assignment is classified or the crowd is exhausted. The coordinator
+    /// (this thread) executes the exact sequential commit loop; crowd
+    /// round-trips ride the runtime's worker pool, with speculative
+    /// prefetch hiding answer latency (see [`crate::runtime`]).
+    ///
+    /// **Determinism**: for members whose answers are a pure function of
+    /// the asked fact-set (no answer noise, no question quota), a
+    /// concurrent run with seed S yields the identical answer set — and
+    /// identical [`ExecutionStats`](crate::stats::ExecutionStats) — as
+    /// [`run_direct`](Self::run_direct) with seed S.
+    ///
+    /// Fails with [`OassisError::Runtime`] only when *every* member has
+    /// been excluded (per-question timeouts through all retries, or a
+    /// panicking answer callback); partial exclusions are tolerated and
+    /// the run continues with the remaining members.
+    pub fn run(&self, runtime: SessionRuntime) -> Result<(QueryResult, CrowdCache), OassisError> {
+        self.run_with_observer(runtime, &mut IgnoreAnswers)
+    }
+
+    /// Like [`run`](Self::run), but notifies `observer` the moment each MSP
+    /// is confirmed — the incremental-answer delivery the paper highlights
+    /// ("answers can be returned faster, as soon as they are identified").
+    /// With [`EngineConfig::top_k`] set, the run stops once that many valid
+    /// MSPs have been confirmed.
+    pub fn run_with_observer(
+        &self,
+        runtime: SessionRuntime,
+        observer: &mut dyn AnswerObserver,
+    ) -> Result<(QueryResult, CrowdCache), OassisError> {
+        let vocab = Arc::new(self.space.ontology().vocabulary().clone());
+        let pool = Pool::start(runtime, vocab, Arc::clone(&self.config.sink));
+        let mut link = CrowdLink::Pooled(pool);
+        self.run_loop(&mut link, observer)
+    }
+
+    /// Run synchronously over a bare member slice on the caller's thread.
+    /// Infallible — no timeouts or exclusions exist on the synchronous
+    /// path; a member's [`answer_delay`](CrowdMember::answer_delay) is
+    /// simply waited out in-line before each concrete answer (dropped
+    /// answers degrade to immediate ones).
+    pub fn run_direct(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
+        self.run_direct_with_observer(members, &mut IgnoreAnswers)
+    }
+
+    /// Slice-based variant of [`run_with_observer`](Self::run_with_observer).
+    pub fn run_direct_with_observer(
+        &self,
+        members: &mut [Box<dyn CrowdMember>],
+        observer: &mut dyn AnswerObserver,
+    ) -> (QueryResult, CrowdCache) {
+        let mut link = CrowdLink::Direct(members);
+        self.run_loop(&mut link, observer)
+            .expect("the synchronous crowd path cannot fail")
+    }
+
+    /// Deprecated name of [`run_direct`](Self::run_direct).
+    #[deprecated(note = "renamed to `run_direct`")]
+    pub fn run_slice(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
+        self.run_direct(members)
+    }
+
+    /// Deprecated name of
+    /// [`run_direct_with_observer`](Self::run_direct_with_observer).
+    #[deprecated(note = "renamed to `run_direct_with_observer`")]
+    pub fn run_slice_with_observer(
+        &self,
+        members: &mut [Box<dyn CrowdMember>],
+        observer: &mut dyn AnswerObserver,
+    ) -> (QueryResult, CrowdCache) {
+        self.run_direct_with_observer(members, observer)
+    }
+
+    /// The shared driver loop behind both crowd paths: poll the session,
+    /// deliver each staged question over the link, feed the answer back.
+    fn run_loop(
+        &self,
+        link: &mut CrowdLink<'_>,
+        observer: &mut dyn AnswerObserver,
+    ) -> Result<(QueryResult, CrowdCache), OassisError> {
+        let seat_ids: Vec<MemberId> = (0..link.len()).map(|i| link.id(i)).collect();
+        let mut session = MiningSession::from_parts(
+            Handle::Borrowed(self.space),
+            Arc::clone(&self.cache),
+            self.threshold,
+            Box::new(AggRef(&*self.aggregator)),
+            Handle::Borrowed(self.config),
+            seat_ids,
+            "multiuser".to_string(),
+        );
+
+        // Speculative prefetch requires the member's next question to be a
+        // pure function of the commit state: any rng-driven question-type
+        // choice breaks that, so speculation turns off with the ratios.
+        let speculate = matches!(link, CrowdLink::Pooled(_))
+            && self.config.specialization_ratio == 0.0
+            && self.config.pruning_ratio == 0.0;
+
+        // Warm-up: every member's first question is predictable from the
+        // initial border, so prefetch it before the first committed turn —
+        // otherwise each member's first round-trip is a guaranteed
+        // coordinator stall on the full simulated latency.
+        if speculate {
+            if let CrowdLink::Pooled(pool) = link {
+                pool.publish_border(session.overall());
+                for idx in 0..pool.len() {
+                    if !pool.can_speculate(idx) {
+                        continue;
+                    }
+                    let candidates = pool
+                        .member(idx)
+                        .filter(|m| m.willing())
+                        .map(|member| session.predict_questions(idx, pool.shared(), member))
+                        .unwrap_or_default();
+                    pool.speculate(idx, candidates);
+                }
+            }
+        }
+
+        loop {
+            match session.poll(link) {
+                SessionEvent::Ask(q) => {
+                    let answer = Self::deliver(link, &q, self.config);
+                    session.absorb(q.id, answer);
+                }
+                SessionEvent::TurnEnded { seat } => {
+                    // Deliver newly confirmed MSPs incrementally.
+                    for a in session.take_new_answers() {
+                        observer.on_answer(&a);
+                    }
+                    if speculate {
+                        if let CrowdLink::Pooled(pool) = link {
+                            pool.publish_border(session.overall());
+                            if pool.can_speculate(seat) && !session.seat_exhausted(seat) {
+                                let candidates = pool
+                                    .member(seat)
+                                    .filter(|m| m.willing())
+                                    .map(|member| {
+                                        session.predict_questions(seat, pool.shared(), member)
+                                    })
+                                    .unwrap_or_default();
+                                pool.speculate(seat, candidates);
+                            }
+                        }
+                    }
+                }
+                SessionEvent::Finished => break,
+            }
+        }
+        // MSPs confirmed on the final turn (e.g. a top-k cutoff) are still
+        // pending delivery.
+        for a in session.take_new_answers() {
+            observer.on_answer(&a);
+        }
+
+        if let CrowdLink::Pooled(pool) = link {
+            pool.finish();
+            let excluded = pool.excluded_count();
+            if excluded > 0 && pool.all_excluded() {
+                let mut err = RuntimeError::new(RuntimeErrorKind::CrowdExhausted { excluded });
+                if let Some(cause) = pool.take_last_error() {
+                    err = err.with_source(Box::new(cause));
+                }
+                return Err(OassisError::Runtime(err));
+            }
+        }
+
+        Ok(session.finish())
+    }
+
+    /// Put one staged question to the crowd. `Answer::Unavailable` means
+    /// the runtime excluded the member instead of delivering.
+    fn deliver(link: &mut CrowdLink<'_>, q: &PendingQuestion, config: &EngineConfig) -> Answer {
+        match &q.payload {
+            QuestionPayload::Concrete {
+                assignment,
+                factset,
+            } => match link.concrete(q.seat, assignment, factset, &config.sink, &*config.clock) {
+                Some(s) => Answer::Support(s),
+                None => Answer::Unavailable,
+            },
+            QuestionPayload::Specialization { base, candidates } => {
+                match link.specialization(q.seat, base, candidates) {
+                    Some(choice) => Answer::Choice(choice),
+                    None => Answer::Unavailable,
+                }
+            }
+            QuestionPayload::Pruning { factset } => match link.irrelevant(q.seat, factset) {
+                Some(elems) => Answer::Irrelevant(elems),
+                None => Answer::Unavailable,
+            },
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! [`OassisService`] — the multi-query service layer: many concurrent
+//! [`MiningSession`]s multiplexed over **one** shared crowd.
+//!
+//! The service admits queries ([`submit`](OassisService::submit)) against a
+//! single [`SessionRuntime`] worker pool and schedules them in
+//! priority-then-round-robin cycles ([`run`](OassisService::run)). Each
+//! cycle gives every live session at most one *crowd* dispatch; answers are
+//! routed back as they arrive, so sessions overlap their crowd latency
+//! instead of queueing behind one another.
+//!
+//! Cross-query reuse flows through the [`AnswerStore`]:
+//!
+//! * at **admission**, a new session's `CrowdCache` is seeded with every
+//!   stored answer from its roster members ([`MiningSession::seed_answers`]),
+//!   so already-answered questions are never staged;
+//! * at **dispatch**, a staged concrete question is first looked up in the
+//!   store and, on a hit, answered without touching the crowd
+//!   (`answerstore.hit[serve]`);
+//! * at **completion**, the session's collected answers are absorbed back
+//!   into the store for every later query.
+//!
+//! With an empty store and a single session, the service reproduces
+//! [`MultiUserMiner::run`](super::MultiUserMiner::run) exactly — same MSP
+//! set, same question count (the differential tests in `tests/service.rs`
+//! enforce this).
+
+use std::sync::Arc;
+
+use oassis_crowd::{AnswerStore, FixedSampleAggregator, MemberId};
+use oassis_obs::{names, EventSink, SinkExt};
+use oassis_ql::Query;
+use oassis_vocab::FactSet;
+
+use crate::config::EngineConfig;
+use crate::runtime::{AskPayload, AskValue, Pool, QuestionId, SessionRuntime};
+use crate::space::{AssignSpace, SpaceCache};
+
+use super::session::{
+    Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent,
+};
+use super::single::Oassis;
+use super::{Handle, OassisError, QueryResult};
+
+/// Service-assigned identifier of an admitted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Mined to completion (or the crowd had nothing more to give).
+    Completed,
+    /// Cancelled via [`OassisService::cancel`]; the result holds whatever
+    /// was classified up to that point.
+    Cancelled,
+    /// The per-session crowd-question budget ran out; partial result.
+    BudgetExhausted,
+}
+
+/// An admission request for [`OassisService::submit`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// OASSIS-QL query source.
+    pub query: String,
+    /// Support threshold override; defaults to the query's own
+    /// `WITH SUPPORT` value.
+    pub threshold: Option<f64>,
+    /// Engine configuration for this session (seed, aggregator sample,
+    /// question ratios, ...).
+    pub config: EngineConfig,
+    /// Pool seat indices this session may ask. `None` = the whole crowd.
+    pub roster: Option<Vec<usize>>,
+    /// Scheduling priority: higher goes first within a cycle; equal
+    /// priorities rotate round-robin across cycles.
+    pub priority: u8,
+    /// Cap on *crowd* dispatches for this session (store-served and
+    /// cache-served questions are free). `None` = unlimited.
+    pub budget: Option<usize>,
+}
+
+impl SessionSpec {
+    /// A spec with default config, full roster, priority 0 and no budget.
+    pub fn new(query: impl Into<String>) -> Self {
+        SessionSpec {
+            query: query.into(),
+            threshold: None,
+            config: EngineConfig::default(),
+            roster: None,
+            priority: 0,
+            budget: None,
+        }
+    }
+}
+
+/// The outcome of one admitted session, returned by
+/// [`OassisService::run`] in admission order.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The session's id (as returned by [`OassisService::submit`]).
+    pub id: SessionId,
+    /// How the session ended.
+    pub status: SessionStatus,
+    /// The finalized query result (SELECT-form post-processing applied).
+    pub result: QueryResult,
+    /// Questions actually dispatched to the crowd for this session.
+    pub crowd_questions: usize,
+    /// Concrete questions served from the cross-query [`AnswerStore`]
+    /// at dispatch time.
+    pub store_hits: usize,
+}
+
+/// A question handed to the pool whose answer has not come back yet.
+struct InFlight {
+    /// The session-local question id to `absorb` with.
+    session_q: QuestionId,
+    /// The pool-side question id to match in `take_completed`.
+    pool_q: QuestionId,
+    /// The pool seat the question went to.
+    pool_idx: usize,
+    /// For concrete questions: what to log into the [`AnswerStore`] when
+    /// the answer arrives.
+    concrete: Option<(FactSet, MemberId)>,
+}
+
+/// One admitted session plus its scheduling state.
+struct SessionSlot {
+    id: SessionId,
+    session: MiningSession<'static>,
+    query: Query,
+    space: Arc<AssignSpace>,
+    /// Pool seat index per session seat (session seat `i` asks pool seat
+    /// `roster[i]`).
+    roster: Vec<usize>,
+    priority: u8,
+    budget: Option<usize>,
+    crowd_questions: usize,
+    store_hits: usize,
+    in_flight: Option<InFlight>,
+    cancel_requested: bool,
+    finished: Option<SessionStatus>,
+    result: Option<QueryResult>,
+}
+
+/// A session's view of the shared pool, restricted to its roster.
+///
+/// `gone` *blocks* (via [`Pool::sync`]) until the seat's member is home:
+/// a seat busy with another session's question is waited out, never
+/// mistaken for an exhausted member — that would end the waiting session's
+/// round with false "no progress" and truncate its results.
+struct PoolView<'p> {
+    pool: &'p mut Pool,
+    roster: &'p [usize],
+}
+
+impl CrowdView for PoolView<'_> {
+    fn gone(&mut self, seat: usize) -> bool {
+        let idx = self.roster[seat];
+        self.pool.sync(idx);
+        self.pool.excluded(idx)
+    }
+
+    fn willing(&mut self, seat: usize) -> bool {
+        self.pool
+            .member(self.roster[seat])
+            .is_some_and(|m| m.willing())
+    }
+
+    fn can_answer(&mut self, seat: usize, fs: &FactSet) -> bool {
+        self.pool
+            .member(self.roster[seat])
+            .is_some_and(|m| m.can_answer(fs))
+    }
+}
+
+/// The multi-query OASSIS service: one crowd, many concurrent mining
+/// sessions, cross-query answer reuse.
+///
+/// ```no_run
+/// use oassis_core::{OassisService, SessionSpec, SessionRuntime};
+/// use oassis_core::Oassis;
+/// use oassis_store::ontology::figure1_ontology;
+/// # let members = Vec::new();
+///
+/// let mut service = OassisService::start(
+///     Oassis::new(figure1_ontology()),
+///     SessionRuntime::new(members),
+/// );
+/// let q = "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+///          SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.4";
+/// service.submit(SessionSpec::new(q)).unwrap();
+/// service.submit(SessionSpec::new(q)).unwrap();
+/// for report in service.run() {
+///     println!("session {:?}: {} answers", report.id, report.result.answers.len());
+/// }
+/// ```
+pub struct OassisService {
+    engine: Oassis,
+    pool: Pool,
+    store: AnswerStore,
+    sink: Arc<dyn EventSink>,
+    slots: Vec<SessionSlot>,
+    next_id: u64,
+    cycle: u64,
+}
+
+impl OassisService {
+    /// Start a service over `runtime`'s crowd with a fresh answer store
+    /// and the engine's default (null) sink.
+    pub fn start(engine: Oassis, runtime: SessionRuntime) -> Self {
+        Self::start_with_sink(engine, runtime, oassis_obs::null_sink())
+    }
+
+    /// Start a service reporting `service.*` events to `sink`.
+    pub fn start_with_sink(
+        engine: Oassis,
+        runtime: SessionRuntime,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        let vocab = Arc::new(engine.ontology().vocabulary().clone());
+        let pool = Pool::start(runtime, vocab, Arc::clone(&sink));
+        OassisService {
+            engine,
+            pool,
+            store: AnswerStore::new().with_sink(Arc::clone(&sink)),
+            sink,
+            slots: Vec::new(),
+            next_id: 0,
+            cycle: 0,
+        }
+    }
+
+    /// Number of crowd seats in the shared pool.
+    pub fn crowd_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The cross-query answer store (e.g. for persistence via
+    /// [`AnswerStore::export_text`]).
+    pub fn store(&self) -> &AnswerStore {
+        &self.store
+    }
+
+    /// Number of admitted, not-yet-reported sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.finished.is_none()).count()
+    }
+
+    /// Admit a session: parse the query, build its space, seed its cache
+    /// from the answer store. The session does no crowd work until
+    /// [`run`](Self::run).
+    pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId, OassisError> {
+        let query = self.engine.parse(&spec.query)?;
+        let threshold = spec.threshold.unwrap_or(query.satisfying.support);
+        let config = Arc::new(spec.config);
+        let space = Arc::new(self.engine.space(&query, &config)?);
+        let scache = if config.use_indexes {
+            Arc::new(SpaceCache::with_capacity(
+                config.space_cache_capacity,
+                Arc::clone(&config.sink),
+            ))
+        } else {
+            Arc::new(SpaceCache::disabled())
+        };
+        let roster = match spec.roster {
+            Some(roster) => {
+                for &idx in &roster {
+                    if idx >= self.pool.len() {
+                        return Err(OassisError::Query(oassis_ql::QlError::Invalid(format!(
+                            "roster seat {idx} out of range (crowd has {} members)",
+                            self.pool.len()
+                        ))));
+                    }
+                }
+                roster
+            }
+            None => (0..self.pool.len()).collect(),
+        };
+        let member_ids: Vec<MemberId> = roster.iter().map(|&i| self.pool.member_id(i)).collect();
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let aggregator = Box::new(FixedSampleAggregator {
+            sample_size: config.aggregator_sample,
+        });
+        let mut session = MiningSession::from_parts(
+            Handle::Shared(Arc::clone(&space)),
+            scache,
+            threshold,
+            aggregator,
+            Handle::Shared(Arc::clone(&config)),
+            member_ids.clone(),
+            format!("multiuser.s{}", id.0),
+        );
+        let seeded = session.seed_answers(&self.store.seed_for(&member_ids));
+        if seeded > 0 {
+            self.sink
+                .count_labeled(names::ANSWERSTORE_HIT, "seed", seeded as u64);
+        }
+        self.slots.push(SessionSlot {
+            id,
+            session,
+            query,
+            space,
+            roster,
+            priority: spec.priority,
+            budget: spec.budget,
+            crowd_questions: 0,
+            store_hits: 0,
+            in_flight: None,
+            cancel_requested: false,
+            finished: None,
+            result: None,
+        });
+        self.sink.gauge(
+            names::SERVICE_SESSIONS_ACTIVE,
+            self.active_sessions() as f64,
+        );
+        Ok(id)
+    }
+
+    /// Request cancellation of `id`. Takes effect at the session's next
+    /// scheduling slot (after any in-flight answer is routed back); its
+    /// report carries [`SessionStatus::Cancelled`] and the partial result.
+    /// Returns whether the session exists and was still live.
+    pub fn cancel(&mut self, id: SessionId) -> bool {
+        match self
+            .slots
+            .iter_mut()
+            .find(|s| s.id == id && s.finished.is_none())
+        {
+            Some(slot) => {
+                slot.cancel_requested = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drive every admitted session to an end state and return their
+    /// reports in admission order. Each scheduling cycle visits live
+    /// sessions in priority order (ties rotate round-robin) and gives each
+    /// at most one crowd dispatch; store-served answers and question-free
+    /// turns are processed inline.
+    pub fn run(&mut self) -> Vec<SessionReport> {
+        while self.active_sessions() > 0 {
+            self.route_completed();
+            let order = self.cycle_order();
+            let mut any_inflight = false;
+            for i in order {
+                self.route_completed();
+                if self.slots[i].finished.is_some() {
+                    continue;
+                }
+                if self.slots[i].cancel_requested && self.slots[i].in_flight.is_none() {
+                    self.finalize_slot(i, SessionStatus::Cancelled);
+                    continue;
+                }
+                if self.slots[i].in_flight.is_some() {
+                    // Waiting on the crowd; revisit once the answer lands.
+                    any_inflight = true;
+                    continue;
+                }
+                if self.pump_slot(i) {
+                    any_inflight = true;
+                }
+            }
+            // Every live session is either finished or waiting on the
+            // crowd: block for one answer so the next cycle can progress.
+            if any_inflight && self.pool.pump_one() {
+                self.route_completed();
+            }
+            self.cycle += 1;
+        }
+        self.slots
+            .drain(..)
+            .map(|slot| SessionReport {
+                id: slot.id,
+                status: slot.finished.expect("loop exits only when all finished"),
+                result: slot.result.expect("finalized with its status"),
+                crowd_questions: slot.crowd_questions,
+                store_hits: slot.store_hits,
+            })
+            .collect()
+    }
+
+    /// Live slot indices for this cycle: priority descending, equal
+    /// priorities rotated by cycle number for round-robin fairness.
+    fn cycle_order(&self) -> Vec<usize> {
+        let mut live: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].finished.is_none())
+            .collect();
+        live.sort_by_key(|&i| std::cmp::Reverse(self.slots[i].priority));
+        let rot = self.cycle as usize;
+        let mut ordered = Vec::with_capacity(live.len());
+        let mut j = 0;
+        while j < live.len() {
+            let p = self.slots[live[j]].priority;
+            let mut k = j;
+            while k < live.len() && self.slots[live[k]].priority == p {
+                k += 1;
+            }
+            let group = &live[j..k];
+            for t in 0..group.len() {
+                ordered.push(group[(t + rot) % group.len()]);
+            }
+            j = k;
+        }
+        ordered
+    }
+
+    /// Advance slot `i` until it finishes, dispatches one crowd question,
+    /// or exhausts its budget. Returns whether it now has a question in
+    /// flight.
+    fn pump_slot(&mut self, i: usize) -> bool {
+        loop {
+            let event = {
+                let Self { pool, slots, .. } = self;
+                let SessionSlot {
+                    session, roster, ..
+                } = &mut slots[i];
+                let mut view = PoolView { pool, roster };
+                session.poll(&mut view)
+            };
+            match event {
+                SessionEvent::Finished => {
+                    self.finalize_slot(i, SessionStatus::Completed);
+                    return false;
+                }
+                SessionEvent::TurnEnded { .. } => {
+                    // Incremental MSP delivery is a per-session driver
+                    // concern; the service reports complete results.
+                    let _ = self.slots[i].session.take_new_answers();
+                }
+                SessionEvent::Ask(q) => {
+                    // `gone()`'s sync may have absorbed other sessions'
+                    // answers while this one was polling.
+                    self.route_completed();
+                    match self.handle_ask(i, q) {
+                        AskFlow::Served => {}
+                        AskFlow::Dispatched => return true,
+                        AskFlow::Stalled => return true,
+                        AskFlow::Finished => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve one staged question: serve from the store, absorb an
+    /// exclusion, or dispatch to the crowd.
+    fn handle_ask(&mut self, i: usize, q: PendingQuestion) -> AskFlow {
+        let pool_idx = self.slots[i].roster[q.seat];
+        // Dispatch-time reuse: a concrete question another query already
+        // answered is served from the store without any crowd traffic.
+        if let QuestionPayload::Concrete { factset, .. } = &q.payload {
+            if let Some(s) = self.store.lookup(factset, q.member) {
+                self.slots[i].store_hits += 1;
+                self.slots[i].session.absorb(q.id, Answer::Support(s));
+                return AskFlow::Served;
+            }
+        }
+        if self.pool.excluded(pool_idx) {
+            self.slots[i].session.absorb(q.id, Answer::Unavailable);
+            return AskFlow::Served;
+        }
+        if let Some(b) = self.slots[i].budget {
+            if self.slots[i].crowd_questions >= b {
+                self.finalize_slot(i, SessionStatus::BudgetExhausted);
+                return AskFlow::Finished;
+            }
+        }
+        let payload = match &q.payload {
+            QuestionPayload::Concrete {
+                assignment,
+                factset,
+            } => AskPayload::Concrete {
+                assignment: assignment.clone(),
+                factset: factset.clone(),
+            },
+            QuestionPayload::Specialization { base, candidates } => AskPayload::Specialization {
+                base: base.clone(),
+                candidates: candidates.clone(),
+            },
+            QuestionPayload::Pruning { factset } => AskPayload::Pruning {
+                factset: factset.clone(),
+            },
+        };
+        match self.pool.dispatch_committed(pool_idx, payload) {
+            None => {
+                // The seat is busy with another session's question; the
+                // staged question is re-offered next cycle.
+                AskFlow::Stalled
+            }
+            Some(pool_q) => {
+                let concrete = match &q.payload {
+                    QuestionPayload::Concrete { factset, .. } => {
+                        Some((factset.clone(), q.member))
+                    }
+                    _ => None,
+                };
+                let slot = &mut self.slots[i];
+                slot.in_flight = Some(InFlight {
+                    session_q: q.id,
+                    pool_q,
+                    pool_idx,
+                    concrete,
+                });
+                slot.crowd_questions += 1;
+                self.sink.count_labeled(
+                    names::SERVICE_QUESTION_DISPATCHED,
+                    &format!("s{}", slot.id.0),
+                    1,
+                );
+                AskFlow::Dispatched
+            }
+        }
+    }
+
+    /// Route every buffered pool answer to the session that asked it.
+    fn route_completed(&mut self) {
+        for (pool_q, pool_idx, value) in self.pool.take_completed() {
+            let Some(i) = self.slots.iter().position(|s| {
+                s.in_flight
+                    .as_ref()
+                    .is_some_and(|f| f.pool_q == pool_q && f.pool_idx == pool_idx)
+            }) else {
+                // A response for a question whose session already ended
+                // (e.g. cancelled mid-flight after exclusion); drop it.
+                continue;
+            };
+            let inflight = self.slots[i].in_flight.take().expect("matched just above");
+            let answer = match value {
+                None => Answer::Unavailable,
+                Some(AskValue::Support(s)) => Answer::Support(s),
+                Some(AskValue::Choice(c)) => Answer::Choice(c),
+                Some(AskValue::Irrelevant(elems)) => Answer::Irrelevant(elems),
+                // The service never speculates, so a prefetch answer can
+                // only be a stray; treat it as a lost question.
+                Some(AskValue::Prefetched(_)) => Answer::Unavailable,
+            };
+            if let (Some((fs, member)), Answer::Support(s)) = (&inflight.concrete, &answer) {
+                // Log committed concrete answers immediately so sessions
+                // later in the same cycle can already reuse them.
+                self.store.record(fs, *member, *s);
+            }
+            self.sink.count_labeled(
+                names::SERVICE_QUESTION_RESOLVED,
+                &format!("s{}", self.slots[i].id.0),
+                1,
+            );
+            self.slots[i].session.absorb(inflight.session_q, answer);
+        }
+    }
+
+    /// End slot `i` with `status`: close its session, absorb its answers
+    /// into the store, finalize the result for the query's SELECT form.
+    fn finalize_slot(&mut self, i: usize, status: SessionStatus) {
+        let (result, cache) = self.slots[i].session.finish();
+        self.store.absorb_cache(&cache);
+        let result = self
+            .engine
+            .finalize(result, &self.slots[i].query, &self.slots[i].space);
+        self.slots[i].result = Some(result);
+        self.slots[i].finished = Some(status);
+        self.sink.gauge(
+            names::SERVICE_SESSIONS_ACTIVE,
+            self.active_sessions() as f64,
+        );
+    }
+}
+
+/// What `handle_ask` did with a staged question.
+enum AskFlow {
+    /// Answered inline (store hit or exclusion); keep pumping the session.
+    Served,
+    /// Dispatched to the crowd; the session waits for the answer.
+    Dispatched,
+    /// The seat was busy; the question stays staged for the next cycle.
+    Stalled,
+    /// The slot was finalized (budget exhausted).
+    Finished,
+}

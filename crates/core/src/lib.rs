@@ -48,7 +48,9 @@ pub use border::{ClassificationState, SharedBorder};
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use diversity::{diversify_answers, select_diverse};
 pub use engine::{
-    AnswerObserver, MultiUserMiner, Oassis, OassisError, QueryAnswer, QueryResult, NODES_TOTAL_CAP,
+    Answer, AnswerObserver, CrowdView, MiningSession, MultiUserMiner, Oassis, OassisError,
+    OassisService, PendingQuestion, QueryAnswer, QueryResult, QuestionPayload, SessionEvent,
+    SessionId, SessionReport, SessionSpec, SessionStatus, NODES_TOTAL_CAP,
 };
 pub use runtime::{
     Clock, QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime, SimChaos,

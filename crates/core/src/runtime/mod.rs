@@ -706,6 +706,13 @@ pub(crate) struct Pool {
     spec_hits: u64,
     spec_cancelled: u64,
     last_error: Option<RuntimeError>,
+    /// Committed questions whose responses arrived while the coordinator
+    /// was waiting on a *different* seat: `(question, seat, answer)`,
+    /// `answer == None` when the question died (cancelled or the member
+    /// was excluded). The service layer drains this with
+    /// [`take_completed`](Pool::take_completed); the blocking [`ask`]
+    /// path polls it for its own question id.
+    completed: VecDeque<(QuestionId, usize, Option<AskValue>)>,
 }
 
 impl Pool {
@@ -758,6 +765,7 @@ impl Pool {
             spec_hits: 0,
             spec_cancelled: 0,
             last_error: None,
+            completed: VecDeque::new(),
         }
     }
 
@@ -845,9 +853,12 @@ impl Pool {
     }
 
     /// Apply one response: check the member back in, fold speculative
-    /// answers into the shared cache, exclude failed members. Returns the
-    /// answer when the response completed a *committed* question.
-    fn absorb(&mut self, response: AskResponse) -> (usize, Option<AskValue>) {
+    /// answers into the shared cache, exclude failed members. A response
+    /// that completes a *committed* question is buffered in
+    /// [`completed`](Pool::completed) for whichever caller is waiting on
+    /// it — never dropped, even when the coordinator was blocked on a
+    /// different seat at the time.
+    fn absorb(&mut self, response: AskResponse) {
         let idx = response.member_idx;
         debug_assert_eq!(self.slots[idx].pending, Some(response.question));
         self.slots[idx].pending = None;
@@ -861,9 +872,12 @@ impl Pool {
             AskOutcome::Poisoned { .. } => "poisoned",
         };
         self.sink.count_labeled(names::RUNTIME_RESOLVED, label, 1);
+        let committed = !response.speculative;
         match response.outcome {
             AskOutcome::Answered(value) => {
-                if response.speculative {
+                if committed {
+                    self.completed.push_back((response.question, idx, Some(value)));
+                } else {
                     match (&response.payload, &value) {
                         (AskPayload::Concrete { factset, .. }, AskValue::Support(s)) => {
                             self.shared.record(factset, self.slots[idx].id, *s);
@@ -875,12 +889,13 @@ impl Pool {
                         }
                         _ => {}
                     }
-                    (idx, None)
-                } else {
-                    (idx, Some(value))
                 }
             }
-            AskOutcome::Cancelled => (idx, None),
+            AskOutcome::Cancelled => {
+                if committed {
+                    self.completed.push_back((response.question, idx, None));
+                }
+            }
             AskOutcome::TimedOut { attempts } => {
                 self.exclude(
                     idx,
@@ -891,7 +906,9 @@ impl Pool {
                         attempts,
                     }),
                 );
-                (idx, None)
+                if committed {
+                    self.completed.push_back((response.question, idx, None));
+                }
             }
             AskOutcome::Poisoned { message } => {
                 self.exclude(
@@ -902,7 +919,9 @@ impl Pool {
                     })
                     .with_source(Box::new(PanicPayload(message))),
                 );
-                (idx, None)
+                if committed {
+                    self.completed.push_back((response.question, idx, None));
+                }
             }
         }
     }
@@ -930,23 +949,67 @@ impl Pool {
 
     /// A committed (blocking) ask: waits for the member's answer. `None`
     /// means the member was excluded (timeout/poisoned) along the way.
+    ///
+    /// Other seats' committed answers arriving meanwhile stay buffered in
+    /// [`completed`](Pool::completed) for their own callers.
     pub(crate) fn ask(&mut self, idx: usize, payload: AskPayload) -> Option<AskValue> {
         self.sync(idx);
         if self.slots[idx].excluded || self.slots[idx].member.is_none() {
             return None;
         }
-        self.dispatch(idx, payload, false);
-        while self.slots[idx].pending.is_some() {
-            let response = self
-                .exec
-                .recv()
-                .expect("executor hung up with requests in flight");
-            let (ridx, value) = self.absorb(response);
-            if ridx == idx {
+        let question = self.dispatch(idx, payload, false);
+        loop {
+            if let Some(pos) = self.completed.iter().position(|(q, _, _)| *q == question) {
+                let (_, _, value) = self.completed.remove(pos).expect("position just found");
                 return value;
             }
+            if !self.pump_one() {
+                return None;
+            }
         }
-        None
+    }
+
+    /// Whether `idx` may take a committed question right now: home, not
+    /// excluded, nothing pending. (Same condition as
+    /// [`can_speculate`](Pool::can_speculate); named for the service
+    /// layer's committed-dispatch path.)
+    pub(crate) fn available(&self, idx: usize) -> bool {
+        self.can_speculate(idx)
+    }
+
+    /// Non-blocking committed dispatch for the service layer. `None` when
+    /// the seat cannot take a question (excluded, checked out, or lost).
+    /// The answer arrives later via [`take_completed`](Pool::take_completed).
+    pub(crate) fn dispatch_committed(
+        &mut self,
+        idx: usize,
+        payload: AskPayload,
+    ) -> Option<QuestionId> {
+        if !self.available(idx) {
+            return None;
+        }
+        Some(self.dispatch(idx, payload, false))
+    }
+
+    /// Absorb one response if any work is in flight. Returns `false` when
+    /// nothing is in flight (the caller should stop pumping).
+    pub(crate) fn pump_one(&mut self) -> bool {
+        if self.inflight == 0 {
+            return false;
+        }
+        let response = self
+            .exec
+            .recv()
+            .expect("executor hung up with requests in flight");
+        self.absorb(response);
+        true
+    }
+
+    /// Drain the committed-response buffer: `(question, seat, answer)`
+    /// triples in arrival order; `answer == None` means the question died
+    /// (cancelled or the member was excluded).
+    pub(crate) fn take_completed(&mut self) -> Vec<(QuestionId, usize, Option<AskValue>)> {
+        self.completed.drain(..).collect()
     }
 
     /// Whether `idx` may receive a speculative question right now.

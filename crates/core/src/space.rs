@@ -775,31 +775,58 @@ struct NodeEntry {
     inst: Option<Arc<FactSet>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheInner {
     ids: HashMap<Assignment, NodeId>,
     nodes: Vec<NodeEntry>,
+    /// The assignment interned in each arena slot (reverse of `ids`),
+    /// needed to unmap a slot when the clock hand reclaims it.
+    keys: Vec<Assignment>,
+    capacity: usize,
+    /// Clock hand: the next slot to reclaim once the arena is full.
+    victim: usize,
 }
 
 impl CacheInner {
-    /// Intern `phi`, or `None` once the arena is full.
-    fn intern(&mut self, phi: &Assignment) -> Option<NodeId> {
+    fn with_capacity(capacity: usize) -> Self {
+        CacheInner {
+            ids: HashMap::new(),
+            nodes: Vec::new(),
+            keys: Vec::new(),
+            capacity: capacity.max(1),
+            victim: 0,
+        }
+    }
+
+    /// Intern `phi`. Once the arena is at capacity, the clock-hand victim
+    /// slot is reclaimed (its memoized derivations are recomputed on the
+    /// next visit). Returns the id and whether an entry was evicted.
+    fn intern(&mut self, phi: &Assignment) -> (NodeId, bool) {
         if let Some(&id) = self.ids.get(phi) {
-            return Some(id);
+            return (id, false);
         }
-        if self.nodes.len() >= SPACE_CACHE_NODE_CAP {
-            return None;
+        if self.nodes.len() < self.capacity {
+            let id = NodeId(self.nodes.len() as u32);
+            self.ids.insert(phi.clone(), id);
+            self.keys.push(phi.clone());
+            self.nodes.push(NodeEntry::default());
+            return (id, false);
         }
-        let id = NodeId(self.nodes.len() as u32);
+        let v = self.victim;
+        self.victim = (v + 1) % self.capacity;
+        self.ids.remove(&self.keys[v]);
+        self.keys[v] = phi.clone();
+        self.nodes[v] = NodeEntry::default();
+        let id = NodeId(v as u32);
         self.ids.insert(phi.clone(), id);
-        self.nodes.push(NodeEntry::default());
-        Some(id)
+        (id, true)
     }
 }
 
-/// Cap on interned nodes; past it, lookups compute without storing. Chosen
-/// above the engine's own DAG-materialization cap so a normal run never
-/// evicts, while a pathological space cannot exhaust memory.
+/// Default cap on interned nodes (overridable via
+/// [`EngineConfig::builder().space_cache_capacity(..)`](crate::EngineConfig)).
+/// Chosen above the engine's own DAG-materialization cap so a normal run
+/// never evicts, while a pathological space cannot exhaust memory.
 const SPACE_CACHE_NODE_CAP: usize = 1 << 16;
 
 /// An interning memo layer over one [`AssignSpace`]'s derivation calls.
@@ -838,10 +865,17 @@ impl SpaceCache {
 
     /// An enabled cache reporting hit/miss counters to `sink`.
     pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Self::with_capacity(SPACE_CACHE_NODE_CAP, sink)
+    }
+
+    /// An enabled cache holding at most `capacity` interned nodes (clamped
+    /// to at least 1). Past capacity the clock hand reclaims slots, counted
+    /// on `space.cache.evicted`.
+    pub fn with_capacity(capacity: usize, sink: Arc<dyn EventSink>) -> Self {
         SpaceCache {
             enabled: true,
             sink,
-            inner: Mutex::new(CacheInner::default()),
+            inner: Mutex::new(CacheInner::with_capacity(capacity)),
         }
     }
 
@@ -851,7 +885,7 @@ impl SpaceCache {
         SpaceCache {
             enabled: false,
             sink: null_sink(),
-            inner: Mutex::new(CacheInner::default()),
+            inner: Mutex::new(CacheInner::with_capacity(SPACE_CACHE_NODE_CAP)),
         }
     }
 
@@ -870,12 +904,23 @@ impl SpaceCache {
         self.len() == 0
     }
 
-    /// Intern `phi` into the arena (no derivation), if capacity remains.
+    /// Intern `phi` into the arena (no derivation); `None` only when the
+    /// cache is disabled.
     pub fn intern(&self, phi: &Assignment) -> Option<NodeId> {
         if !self.enabled {
             return None;
         }
-        self.inner.lock().expect("space cache poisoned").intern(phi)
+        let mut inner = self.inner.lock().expect("space cache poisoned");
+        Some(self.intern_counted(&mut inner, phi))
+    }
+
+    /// Intern through `inner`, reporting any eviction to the sink.
+    fn intern_counted(&self, inner: &mut CacheInner, phi: &Assignment) -> NodeId {
+        let (id, evicted) = inner.intern(phi);
+        if evicted {
+            self.sink.count(names::SPACE_CACHE_EVICTED, 1);
+        }
+        id
     }
 
     fn counted<T, F: FnOnce() -> T>(&self, op: &str, hit: bool, f: F) -> T {
@@ -897,17 +942,13 @@ impl SpaceCache {
             return Arc::new(space.successors(phi));
         }
         let mut inner = self.inner.lock().expect("space cache poisoned");
-        let id = inner.intern(phi);
-        if let Some(id) = id {
-            if let Some(s) = &inner.nodes[id.0 as usize].succs {
-                let s = Arc::clone(s);
-                return self.counted("successors", true, || s);
-            }
+        let id = self.intern_counted(&mut inner, phi);
+        if let Some(s) = &inner.nodes[id.0 as usize].succs {
+            let s = Arc::clone(s);
+            return self.counted("successors", true, || s);
         }
         let computed = Arc::new(space.successors(phi));
-        if let Some(id) = id {
-            inner.nodes[id.0 as usize].succs = Some(Arc::clone(&computed));
-        }
+        inner.nodes[id.0 as usize].succs = Some(Arc::clone(&computed));
         self.counted("successors", false, || computed)
     }
 
@@ -917,17 +958,13 @@ impl SpaceCache {
             return Arc::new(space.predecessors(phi));
         }
         let mut inner = self.inner.lock().expect("space cache poisoned");
-        let id = inner.intern(phi);
-        if let Some(id) = id {
-            if let Some(p) = &inner.nodes[id.0 as usize].preds {
-                let p = Arc::clone(p);
-                return self.counted("predecessors", true, || p);
-            }
+        let id = self.intern_counted(&mut inner, phi);
+        if let Some(p) = &inner.nodes[id.0 as usize].preds {
+            let p = Arc::clone(p);
+            return self.counted("predecessors", true, || p);
         }
         let computed = Arc::new(space.predecessors(phi));
-        if let Some(id) = id {
-            inner.nodes[id.0 as usize].preds = Some(Arc::clone(&computed));
-        }
+        inner.nodes[id.0 as usize].preds = Some(Arc::clone(&computed));
         self.counted("predecessors", false, || computed)
     }
 
@@ -937,16 +974,12 @@ impl SpaceCache {
             return space.is_valid(phi);
         }
         let mut inner = self.inner.lock().expect("space cache poisoned");
-        let id = inner.intern(phi);
-        if let Some(id) = id {
-            if let Some(v) = inner.nodes[id.0 as usize].valid {
-                return self.counted("valid", true, || v);
-            }
+        let id = self.intern_counted(&mut inner, phi);
+        if let Some(v) = inner.nodes[id.0 as usize].valid {
+            return self.counted("valid", true, || v);
         }
         let computed = space.is_valid(phi);
-        if let Some(id) = id {
-            inner.nodes[id.0 as usize].valid = Some(computed);
-        }
+        inner.nodes[id.0 as usize].valid = Some(computed);
         self.counted("valid", false, || computed)
     }
 
@@ -956,17 +989,13 @@ impl SpaceCache {
             return Arc::new(space.instantiate(phi));
         }
         let mut inner = self.inner.lock().expect("space cache poisoned");
-        let id = inner.intern(phi);
-        if let Some(id) = id {
-            if let Some(f) = &inner.nodes[id.0 as usize].inst {
-                let f = Arc::clone(f);
-                return self.counted("instantiate", true, || f);
-            }
+        let id = self.intern_counted(&mut inner, phi);
+        if let Some(f) = &inner.nodes[id.0 as usize].inst {
+            let f = Arc::clone(f);
+            return self.counted("instantiate", true, || f);
         }
         let computed = Arc::new(space.instantiate(phi));
-        if let Some(id) = id {
-            inner.nodes[id.0 as usize].inst = Some(Arc::clone(&computed));
-        }
+        inner.nodes[id.0 as usize].inst = Some(Arc::clone(&computed));
         self.counted("instantiate", false, || computed)
     }
 }
@@ -1270,6 +1299,30 @@ mod tests {
         assert_eq!(*off.successors(&s, &root), direct);
         assert!(off.intern(&root).is_none());
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn space_cache_evicts_at_capacity_and_stays_correct() {
+        let s = fig3_space();
+        let sink = Arc::new(oassis_obs::InMemorySink::new());
+        let cache = SpaceCache::with_capacity(2, Arc::clone(&sink) as Arc<dyn oassis_obs::EventSink>);
+        // Three distinct nodes through a 2-slot arena forces an eviction.
+        let a = assign(&s, "Activity", "Attraction");
+        let b = assign(&s, "Sport", "Central Park");
+        let c = assign(&s, "Biking", "Central Park");
+        for phi in [&a, &b, &c, &a, &b, &c] {
+            assert_eq!(*cache.successors(&s, phi), s.successors(phi));
+            assert_eq!(cache.is_valid(&s, phi), s.is_valid(phi));
+            assert_eq!(*cache.instantiate(&s, phi), s.instantiate(phi));
+        }
+        assert_eq!(cache.len(), 2, "arena never exceeds its capacity");
+        let snapshot = sink.snapshot();
+        let evicted = snapshot
+            .counters
+            .get(oassis_obs::names::SPACE_CACHE_EVICTED)
+            .copied()
+            .unwrap_or(0);
+        assert!(evicted > 0, "evictions are counted: {snapshot:?}");
     }
 
     #[test]

@@ -185,7 +185,7 @@ pub struct Recorder {
     track_curve: bool,
     sink: Arc<dyn EventSink>,
     sink_enabled: bool,
-    algo: Option<&'static str>,
+    algo: Option<String>,
 }
 
 impl Default for Recorder {
@@ -222,9 +222,11 @@ impl Recorder {
 
     /// Label questions with the mining algorithm that asked them, making
     /// per-algorithm question counts (`algo.questions`) comparable across
-    /// the vertical/horizontal/naive/multi-user implementations.
-    pub fn with_algo(mut self, algo: &'static str) -> Self {
-        self.algo = Some(algo);
+    /// the vertical/horizontal/naive/multi-user implementations. Service
+    /// sessions append their session id (`multiuser.s3`), so one shared
+    /// sink can attribute questions per session.
+    pub fn with_algo(mut self, algo: impl Into<String>) -> Self {
+        self.algo = Some(algo.into());
         self
     }
 
@@ -275,7 +277,7 @@ impl Recorder {
     pub fn on_question(&mut self, kind: QuestionKind, fs: &oassis_vocab::FactSet) {
         self.record(&Event::counter(names::QUESTION_ASKED, 1).with_label(kind.label()));
         if self.sink_enabled {
-            if let Some(algo) = self.algo {
+            if let Some(algo) = &self.algo {
                 self.sink
                     .emit(&Event::counter(names::ALGO_QUESTIONS, 1).with_label(algo));
             }

@@ -1,0 +1,228 @@
+//! The cross-query answer store (the service-layer extension of §6 of the
+//! paper's answer-reuse methodology).
+//!
+//! A [`CrowdCache`](crate::CrowdCache) lives for one query execution; the
+//! [`AnswerStore`] outlives queries. Every committed concrete answer a
+//! member gives through the service is logged here as a `(fact-set, member)
+//! → support` record, and two reuse paths read it back:
+//!
+//! * **serve** — when a session is about to dispatch a concrete question
+//!   the service first consults the store ([`lookup`](AnswerStore::lookup))
+//!   and, on a hit, feeds the stored answer straight back without touching
+//!   the crowd;
+//! * **seed** — a newly admitted session receives a roster-filtered
+//!   snapshot ([`seed_for`](AnswerStore::seed_for)) replayed into its
+//!   `CrowdCache`, so questions the crowd already answered in earlier
+//!   queries are never staged at all.
+//!
+//! Answers are threshold-independent (the same property that powers the
+//! §6.3 replay methodology), so reuse across queries with different
+//! `WITH SUPPORT` clauses is sound. Per-fact-set answer order is preserved
+//! verbatim — re-running a fixed-sample aggregator over a seeded prefix
+//! reproduces the original run's decisions deterministically.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
+use oassis_vocab::FactSet;
+
+use crate::cache::CrowdCache;
+use crate::member::MemberId;
+
+/// A persistent member×question answer log shared across query sessions.
+///
+/// Interior-mutable (a `Mutex` guards the log) so one store can be read by
+/// many sessions through a shared reference.
+#[derive(Debug)]
+pub struct AnswerStore {
+    /// Per fact-set, the answers in insertion order (first answer first);
+    /// a member re-answering the same fact-set overwrites in place.
+    answers: Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>,
+    sink: Arc<dyn EventSink>,
+}
+
+impl Default for AnswerStore {
+    fn default() -> Self {
+        AnswerStore {
+            answers: Mutex::new(HashMap::new()),
+            sink: null_sink(),
+        }
+    }
+}
+
+impl AnswerStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Report `answerstore.hit` / `answerstore.miss` lookups to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Log `member`'s answer for `fs` (a repeat answer by the same member
+    /// overwrites; members are assumed self-consistent).
+    pub fn record(&self, fs: &FactSet, member: MemberId, support: f64) {
+        let mut answers = self.answers.lock().expect("answer store poisoned");
+        let entry = answers.entry(fs.clone()).or_default();
+        match entry.iter_mut().find(|(m, _)| *m == member) {
+            Some(slot) => slot.1 = support,
+            None => entry.push((member, support)),
+        }
+    }
+
+    /// `member`'s stored answer for `fs`, if any. This is the dispatch-time
+    /// reuse probe: a hit spares one crowd question (counted as
+    /// `answerstore.hit[serve]`), a miss means the crowd must be asked.
+    pub fn lookup(&self, fs: &FactSet, member: MemberId) -> Option<f64> {
+        let answers = self.answers.lock().expect("answer store poisoned");
+        let found = answers
+            .get(fs)
+            .and_then(|v| v.iter().find(|(m, _)| *m == member))
+            .map(|&(_, s)| s);
+        match found {
+            Some(_) => self.sink.count_labeled(names::ANSWERSTORE_HIT, "serve", 1),
+            None => self.sink.count(names::ANSWERSTORE_MISS, 1),
+        }
+        found
+    }
+
+    /// Snapshot every stored answer given by one of `members`, preserving
+    /// per-fact-set insertion order. The triples are replayed into a new
+    /// session's `CrowdCache` at admission (see `CrowdCache::seed`).
+    pub fn seed_for(&self, members: &[MemberId]) -> Vec<(FactSet, MemberId, f64)> {
+        let answers = self.answers.lock().expect("answer store poisoned");
+        let mut out = Vec::new();
+        for (fs, entries) in answers.iter() {
+            for &(m, s) in entries {
+                if members.contains(&m) {
+                    out.push((fs.clone(), m, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge every answer of a finished session's `cache` into the store.
+    pub fn absorb_cache(&self, cache: &CrowdCache) {
+        for (fs, entries) in cache.iter() {
+            for &(m, s) in entries {
+                self.record(fs, m, s);
+            }
+        }
+    }
+
+    /// Number of distinct fact-sets with at least one stored answer.
+    pub fn len(&self) -> usize {
+        self.answers.lock().expect("answer store poisoned").len()
+    }
+
+    /// Whether the store holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total `(fact-set, member)` answers stored.
+    pub fn answer_count(&self) -> usize {
+        self.answers
+            .lock()
+            .expect("answer store poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Serialize to the same line-oriented text format as
+    /// [`CrowdCache::export_text`] (ids are vocabulary-interned integers,
+    /// meaningful only against the same ontology build).
+    pub fn export_text(&self) -> String {
+        let mut cache = CrowdCache::new();
+        let answers = self.answers.lock().expect("answer store poisoned");
+        for (fs, entries) in answers.iter() {
+            for &(m, s) in entries {
+                cache.seed(fs, m, s);
+            }
+        }
+        cache.export_text()
+    }
+
+    /// Parse a dump produced by [`export_text`](Self::export_text) (or by
+    /// [`CrowdCache::export_text`] — the formats are identical).
+    pub fn import_text(input: &str) -> Result<AnswerStore, String> {
+        let cache = CrowdCache::import_text(input)?;
+        let store = AnswerStore::new();
+        store.absorb_cache(&cache);
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, RelationId};
+
+    fn fs(n: u32) -> FactSet {
+        FactSet::from_facts([Fact::new(ElementId(n), RelationId(0), ElementId(0))])
+    }
+
+    #[test]
+    fn record_lookup_roundtrip() {
+        let store = AnswerStore::new();
+        assert!(store.is_empty());
+        store.record(&fs(1), MemberId(1), 0.5);
+        store.record(&fs(1), MemberId(2), 0.25);
+        assert_eq!(store.lookup(&fs(1), MemberId(1)), Some(0.5));
+        assert_eq!(store.lookup(&fs(1), MemberId(3)), None);
+        assert_eq!(store.lookup(&fs(2), MemberId(1)), None);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.answer_count(), 2);
+    }
+
+    #[test]
+    fn same_member_overwrites() {
+        let store = AnswerStore::new();
+        store.record(&fs(1), MemberId(1), 0.5);
+        store.record(&fs(1), MemberId(1), 0.75);
+        assert_eq!(store.lookup(&fs(1), MemberId(1)), Some(0.75));
+        assert_eq!(store.answer_count(), 1);
+    }
+
+    #[test]
+    fn seed_for_filters_by_roster_and_keeps_order() {
+        let store = AnswerStore::new();
+        store.record(&fs(1), MemberId(1), 0.1);
+        store.record(&fs(1), MemberId(2), 0.2);
+        store.record(&fs(1), MemberId(3), 0.3);
+        let seeded = store.seed_for(&[MemberId(1), MemberId(3)]);
+        let for_fs1: Vec<_> = seeded.iter().map(|(_, m, s)| (*m, *s)).collect();
+        assert_eq!(
+            for_fs1,
+            vec![(MemberId(1), 0.1), (MemberId(3), 0.3)],
+            "roster-filtered, insertion order preserved"
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let store = AnswerStore::new();
+        store.record(&fs(1), MemberId(1), 0.5);
+        store.record(&fs(2), MemberId(2), 1.0 / 3.0);
+        let text = store.export_text();
+        let back = AnswerStore::import_text(&text).unwrap();
+        assert_eq!(back.lookup(&fs(1), MemberId(1)), Some(0.5));
+        assert_eq!(back.lookup(&fs(2), MemberId(2)), Some(1.0 / 3.0));
+        assert_eq!(back.answer_count(), store.answer_count());
+    }
+
+    #[test]
+    fn absorb_cache_merges_answers() {
+        let mut cache = CrowdCache::new();
+        cache.record(&fs(1), MemberId(1), 0.4);
+        let store = AnswerStore::new();
+        store.absorb_cache(&cache);
+        assert_eq!(store.lookup(&fs(1), MemberId(1)), Some(0.4));
+    }
+}

@@ -58,6 +58,20 @@ impl CrowdCache {
         }
     }
 
+    /// Record `member`'s answer for `fs` **without** counting a question:
+    /// the answer was carried over from a previous query (the cross-query
+    /// [`AnswerStore`](crate::AnswerStore)), so no user effort was spent in
+    /// this run. Ordering matters — seeded answers keep their original
+    /// per-fact-set insertion order, which is what makes re-running the
+    /// aggregator over them reproduce the earlier run's decisions.
+    pub fn seed(&mut self, fs: &FactSet, member: MemberId, support: f64) {
+        let entry = self.answers.entry(fs.clone()).or_default();
+        match entry.iter_mut().find(|(m, _)| *m == member) {
+            Some(slot) => slot.1 = support,
+            None => entry.push((member, support)),
+        }
+    }
+
     /// All answers recorded for `fs`.
     pub fn answers(&self, fs: &FactSet) -> &[(MemberId, f64)] {
         self.answers.get(fs).map_or(&[], Vec::as_slice)

@@ -23,10 +23,13 @@
 //!   paper's five-answers-then-average rule),
 //! * the [`CrowdCache`] — per-assignment answer storage enabling the
 //!   threshold-replay methodology of Section 6.3,
+//! * the [`AnswerStore`] — a cross-query answer log the multi-query service
+//!   layer uses to serve repeated questions without re-asking the crowd,
 //! * [`quality`] — the Section 4.2 consistency check (support monotonicity
 //!   across a member's own answers) used to filter spammers.
 
 pub mod aggregate;
+pub mod answerstore;
 pub mod cache;
 pub mod frequency;
 pub mod member;
@@ -40,6 +43,7 @@ pub use aggregate::{
     Aggregator, Decision, FixedSampleAggregator, MajorityVoteAggregator, SequentialAggregator,
     SingleUserAggregator,
 };
+pub use answerstore::AnswerStore;
 pub use cache::CrowdCache;
 pub use frequency::FrequencyScale;
 pub use member::{CrowdMember, DbMember, MemberId, ScriptedMember, SpammerMember};

@@ -113,6 +113,25 @@ pub mod names {
     pub const SPARQL_PATTERN_SCAN: &str = "sparql.pattern.scan";
     /// Histogram: taxonomy depth reached by property-path expansion.
     pub const SPARQL_PATH_DEPTH: &str = "sparql.path.depth";
+    /// Counter: a `SpaceCache` arena slot was reclaimed for a new
+    /// assignment after the configured capacity was reached.
+    pub const SPACE_CACHE_EVICTED: &str = "space.cache.evicted";
+    /// Gauge: sessions currently admitted to the `OassisService` and not
+    /// yet finalized.
+    pub const SERVICE_SESSIONS_ACTIVE: &str = "service.sessions.active";
+    /// Counter: a service session's question was dispatched to the shared
+    /// crowd pool. Label: `s<session-id>`.
+    pub const SERVICE_QUESTION_DISPATCHED: &str = "service.question.dispatched";
+    /// Counter: a crowd answer was routed back to a service session.
+    /// Label: `s<session-id>`.
+    pub const SERVICE_QUESTION_RESOLVED: &str = "service.question.resolved";
+    /// Counter: a cross-query `AnswerStore` lookup spared a crowd question.
+    /// Label: `serve` (hit at dispatch time) or `seed` (answers replayed
+    /// into a newly admitted session's cache).
+    pub const ANSWERSTORE_HIT: &str = "answerstore.hit";
+    /// Counter: an `AnswerStore` lookup found no stored answer and the
+    /// crowd had to be asked.
+    pub const ANSWERSTORE_MISS: &str = "answerstore.miss";
 }
 
 /// The measurement carried by an [`Event`].

@@ -4,6 +4,11 @@
 //! sim sweep [N]      run the oracle suite over seeds 0..N (default 256;
 //!                    OASSIS_SIM_SEEDS overrides); failing seeds print a
 //!                    one-line repro command and exit non-zero
+//! sim service-sweep [N]
+//!                    run the multi-session service oracles (replay,
+//!                    single-session differential, starvation bound,
+//!                    disjoint-roster isolation) over seeds 0..N
+//!                    (default 64; OASSIS_SIM_SEEDS overrides)
 //! sim repro [SEED]   replay one seed (OASSIS_SIM_SEED or the argument),
 //!                    print its transcript tail, run every oracle, and on
 //!                    failure shrink the schedule to a minimal fault trace
@@ -15,7 +20,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use oassis_simtest::{
-    check_seed, repro_command, shrink, simulate, sweep, diverges_from_reference, SimOptions,
+    check_seed, check_service_seed, diverges_from_reference, repro_command, service_sweep, shrink,
+    simulate, sweep, SimOptions,
 };
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -32,6 +38,28 @@ fn run_sweep(n: u64) -> ExitCode {
     }
     println!(
         "sim sweep: {}/{} seeds passed in {:.2}s ({:.1} seeds/s)",
+        report.passed,
+        n,
+        secs,
+        n as f64 / secs.max(1e-9),
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_service_sweep(n: u64) -> ExitCode {
+    println!("sim service-sweep: {n} seeds, 7 service runs/seed (replay x2, differential, starvation, isolation x3)");
+    let start = Instant::now();
+    let report = service_sweep(0..n);
+    let secs = start.elapsed().as_secs_f64();
+    for failure in &report.failures {
+        println!("FAIL {failure}");
+    }
+    println!(
+        "sim service-sweep: {}/{} seeds passed in {:.2}s ({:.1} seeds/s)",
         report.passed,
         n,
         secs,
@@ -63,9 +91,9 @@ fn run_repro(seed: u64) -> ExitCode {
     for line in tail.iter().rev() {
         println!("    {line}");
     }
-    match check_seed(seed) {
+    match check_seed(seed).and_then(|()| check_service_seed(seed)) {
         Ok(()) => {
-            println!("  all oracles passed");
+            println!("  all oracles passed (single-query and service)");
             ExitCode::SUCCESS
         }
         Err(failure) => {
@@ -138,6 +166,12 @@ fn main() -> ExitCode {
             let n = arg_u64(1).or_else(|| env_u64("OASSIS_SIM_SEEDS")).unwrap_or(256);
             run_sweep(n)
         }
+        "service-sweep" => {
+            let n = arg_u64(1)
+                .or_else(|| env_u64("OASSIS_SIM_SEEDS"))
+                .unwrap_or(64);
+            run_service_sweep(n)
+        }
         "repro" => match arg_u64(1).or_else(|| env_u64("OASSIS_SIM_SEED")) {
             Some(seed) => run_repro(seed),
             None => {
@@ -151,7 +185,10 @@ fn main() -> ExitCode {
             run_bench(n)
         }
         other => {
-            eprintln!("unknown command `{other}`; use: sweep [N] | repro [SEED] | bench [N]");
+            eprintln!(
+                "unknown command `{other}`; use: sweep [N] | service-sweep [N] | repro [SEED] | \
+                 bench [N]"
+            );
             ExitCode::FAILURE
         }
     }

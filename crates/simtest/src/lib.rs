@@ -33,12 +33,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use oassis_core::{
-    EngineConfig, MultiUserMiner, Oassis, QueryResult, SessionRuntime, SimChaos, SimConfig,
-    SimTrace, VirtualClock,
+    EngineConfig, MultiUserMiner, Oassis, OassisService, QueryResult, SessionRuntime, SessionSpec,
+    SimChaos, SimConfig, SimTrace, VirtualClock,
 };
 use oassis_crowd::transaction::table3_dbs;
 use oassis_crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
-use oassis_obs::{names, EventSink, InMemorySink, Snapshot};
+use oassis_obs::{names, Event, EventKind, EventSink, InMemorySink, Snapshot};
 use oassis_store::ontology::figure1_ontology;
 
 /// The paper's running travel-domain query (Figure 2 family), identical to
@@ -319,7 +319,7 @@ pub fn simulate(seed: u64, opts: &SimOptions) -> SimOutcome {
 }
 
 /// The sequential reference for one engine seed: the synchronous
-/// `run_slice` path over the clean crowd.
+/// `run_direct` path over the clean crowd.
 #[derive(Debug, Clone)]
 pub struct Reference {
     /// Sorted rendered valid MSPs.
@@ -343,7 +343,7 @@ pub fn sequential_reference(seed: u64) -> Arc<Reference> {
     let space = engine.space(&query, &cfg).expect("space construction");
     let miner = MultiUserMiner::new(&space, SUPPORT, &cfg);
     let mut members = crowd(3);
-    let (result, _) = miner.run_slice(&mut members);
+    let (result, _) = miner.run_direct(&mut members);
     let reference = Arc::new(Reference {
         msps: valid_msp_set(&result),
         questions: result.stats.total_questions,
@@ -608,6 +608,340 @@ pub fn diverges_from_reference(outcome: &SimOutcome) -> bool {
     let reference = sequential_reference(outcome.seed);
     check_against_reference(outcome, &reference).is_err()
         || check_conservation(&outcome.snapshot).is_err()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session service simulation (PR 5): whole `OassisService` runs — many
+// concurrent pull-based sessions over one simulated crowd — driven from one
+// seed, with service-level oracles (replay, starvation bound, disjoint-roster
+// isolation, single-session differential).
+// ---------------------------------------------------------------------------
+
+/// The query rotation for multi-session service runs: distinct SATISFYING
+/// targets so every crowd dispatch is attributable, plus the full travel
+/// query for overlap.
+pub const SERVICE_QUERIES: &[&str] = &[
+    QUERY,
+    "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+     SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3",
+    "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+     SATISFYING $y doAt <Bronx Zoo> WITH SUPPORT = 0.3",
+];
+
+/// One session of a simulated service run.
+#[derive(Debug, Clone)]
+pub struct ServicePlan {
+    /// OASSIS-QL source.
+    pub query: String,
+    /// Pool seats the session may ask (`None` = all).
+    pub roster: Option<Vec<usize>>,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Crowd-question budget.
+    pub budget: Option<usize>,
+}
+
+/// `n` full-roster, equal-priority sessions rotating over
+/// [`SERVICE_QUERIES`].
+pub fn service_plans(n: usize) -> Vec<ServicePlan> {
+    (0..n)
+        .map(|i| ServicePlan {
+            query: SERVICE_QUERIES[i % SERVICE_QUERIES.len()].to_string(),
+            roster: None,
+            priority: 0,
+            budget: None,
+        })
+        .collect()
+}
+
+/// An ordered record of every `service.*` / `answerstore.*` counter and
+/// gauge a run emitted — the byte-stable part of a service transcript.
+#[derive(Debug, Default)]
+struct RecordingSink {
+    events: Mutex<Vec<String>>,
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&self, event: &Event<'_>) {
+        let line = match event.kind {
+            EventKind::Counter(n) => {
+                format!("{}[{}] +{n}", event.name, event.label.unwrap_or(""))
+            }
+            EventKind::Gauge(v) => format!("{} = {v}", event.name),
+            _ => return,
+        };
+        self.events.lock().expect("recording sink").push(line);
+    }
+}
+
+/// What one session of a simulated service run produced. `Debug`-format
+/// this (or compare fields) for byte-for-byte isolation oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSessionOutcome {
+    /// Sorted rendered valid MSPs.
+    pub msps: Vec<String>,
+    /// Questions the session saw (store-served ones included).
+    pub questions: usize,
+    /// Questions actually dispatched to the crowd.
+    pub crowd_questions: usize,
+    /// Dispatch-time answer-store hits.
+    pub store_hits: usize,
+    /// Terminal status, rendered.
+    pub status: String,
+}
+
+/// Everything one simulated service run produced.
+#[derive(Debug, Clone)]
+pub struct ServiceSimOutcome {
+    /// The scheduler seed.
+    pub seed: u64,
+    /// Per-session outcomes, in admission order.
+    pub sessions: Vec<ServiceSessionOutcome>,
+    /// Ordered service events + per-session summaries; byte-identical
+    /// across replays of the same seed.
+    pub transcript: String,
+}
+
+/// Run a whole multi-session service on the simulation executor: every
+/// session's crowd work happens over one simulated [`SessionRuntime`]
+/// seeded by `seed`. With `latency`, members answer with seed-derived
+/// delay + jitter (nobody excluded), so the sweep explores genuinely
+/// different arrival schedules.
+pub fn simulate_service(seed: u64, plans: &[ServicePlan], latency: bool) -> ServiceSimOutcome {
+    let members: Vec<Box<dyn CrowdMember>> = if latency {
+        crowd(2)
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let base = Duration::from_micros(150 + (mix(seed, i as u64) % 1000));
+                let model = ResponseModel::latency(base).with_jitter(Duration::from_micros(300));
+                Box::new(UnreliableMember::new(m, model, mix(seed, i as u64)))
+                    as Box<dyn CrowdMember>
+            })
+            .collect()
+    } else {
+        crowd(2)
+    };
+    let runtime = SessionRuntime::new(members)
+        .question_timeout(LATENCY_TIMEOUT)
+        .max_retries(2)
+        .simulated(SimConfig::new(seed));
+    let recorder = Arc::new(RecordingSink::default());
+    let engine = Oassis::new(figure1_ontology());
+    let mut service = OassisService::start_with_sink(
+        engine,
+        runtime,
+        Arc::clone(&recorder) as Arc<dyn EventSink>,
+    );
+    for plan in plans {
+        let spec = SessionSpec {
+            query: plan.query.clone(),
+            threshold: None,
+            config: EngineConfig::builder().seed(engine_seed(seed)).build(),
+            roster: plan.roster.clone(),
+            priority: plan.priority,
+            budget: plan.budget,
+        };
+        service.submit(spec).expect("service plan admits");
+    }
+    let reports = service.run();
+    let sessions: Vec<ServiceSessionOutcome> = reports
+        .iter()
+        .map(|r| ServiceSessionOutcome {
+            msps: valid_msp_set(&r.result),
+            questions: r.result.stats.total_questions,
+            crowd_questions: r.crowd_questions,
+            store_hits: r.store_hits,
+            status: format!("{:?}", r.status),
+        })
+        .collect();
+    let mut transcript = recorder.events.lock().expect("recording sink").join("\n");
+    for (i, s) in sessions.iter().enumerate() {
+        transcript.push_str(&format!(
+            "\nsession {i}: {} msps, {} questions ({} crowd, {} store), {}",
+            s.msps.len(),
+            s.questions,
+            s.crowd_questions,
+            s.store_hits,
+            s.status
+        ));
+    }
+    ServiceSimOutcome {
+        seed,
+        sessions,
+        transcript,
+    }
+}
+
+/// The starvation metric: over the ordered crowd dispatches of a run, the
+/// maximum number of *other* sessions' dispatches between two consecutive
+/// dispatches of the same session (while it still has questions left).
+/// Round-robin scheduling keeps this small; a starving session would let
+/// it grow with the finishing sessions' question counts.
+pub fn max_dispatch_gap(outcome: &ServiceSimOutcome) -> usize {
+    let prefix = format!("{}[", names::SERVICE_QUESTION_DISPATCHED);
+    let dispatches: Vec<&str> = outcome
+        .transcript
+        .lines()
+        .filter_map(|l| l.strip_prefix(&prefix))
+        .filter_map(|l| l.split(']').next())
+        .collect();
+    let mut max_gap = 0;
+    let mut last_seen: HashMap<&str, usize> = HashMap::new();
+    for (i, label) in dispatches.iter().enumerate() {
+        if let Some(prev) = last_seen.insert(label, i) {
+            max_gap = max_gap.max(i - prev - 1);
+        }
+    }
+    max_gap
+}
+
+/// The fairness bound [`check_service_seed`] enforces on instant crowds:
+/// between two dispatches of one session, every other live session gets at
+/// most a handful of turns (1 per cycle, plus slack for stalled cycles).
+pub const STARVATION_BOUND: usize = 16;
+
+/// The sequential single-session reference over the service crowd
+/// (`crowd(2)`), cached per engine seed.
+fn service_reference(seed: u64) -> Arc<Reference> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<Reference>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = engine_seed(seed);
+    if let Some(r) = cache.lock().expect("service reference cache").get(&key) {
+        return Arc::clone(r);
+    }
+    let engine = Oassis::new(figure1_ontology());
+    let query = engine.parse(QUERY).expect("the harness query parses");
+    let cfg = engine_config(seed, true, oassis_obs::null_sink());
+    let space = engine.space(&query, &cfg).expect("space construction");
+    let miner = MultiUserMiner::new(&space, SUPPORT, &cfg);
+    let mut members = crowd(2);
+    let (result, _) = miner.run_direct(&mut members);
+    let reference = Arc::new(Reference {
+        msps: valid_msp_set(&result),
+        questions: result.stats.total_questions,
+    });
+    cache
+        .lock()
+        .expect("service reference cache")
+        .insert(key, Arc::clone(&reference));
+    reference
+}
+
+/// Plans for the disjoint-roster isolation oracle: two single-target
+/// queries, one over seats {0,1}, one over seats {2,3}.
+pub fn disjoint_plans() -> (ServicePlan, ServicePlan) {
+    (
+        ServicePlan {
+            query: SERVICE_QUERIES[1].to_string(),
+            roster: Some(vec![0, 1]),
+            priority: 0,
+            budget: None,
+        },
+        ServicePlan {
+            query: SERVICE_QUERIES[2].to_string(),
+            roster: Some(vec![2, 3]),
+            priority: 0,
+            budget: None,
+        },
+    )
+}
+
+/// Run every service-level oracle for one seed:
+///
+/// 1. **service-replay** — the same seed twice yields a byte-identical
+///    service transcript (events + outcomes);
+/// 2. **single-session differential** — one session through the service ≡
+///    the synchronous `run_direct` reference (valid-MSP set and question
+///    count), the tentpole invariant;
+/// 3. **no-starvation** — on an instant crowd, three concurrent sessions
+///    stay within [`STARVATION_BOUND`] of each other's dispatch cadence;
+/// 4. **disjoint isolation** — two sessions with disjoint rosters produce
+///    byte-for-byte the outcomes of running each alone.
+pub fn check_service_seed(seed: u64) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+
+    let plans = service_plans(3);
+    let a = simulate_service(seed, &plans, true);
+    let b = simulate_service(seed, &plans, true);
+    if a.transcript != b.transcript {
+        return Err(fail(
+            "service-replay",
+            "two runs of the same seed produced different service transcripts".into(),
+        ));
+    }
+
+    let solo = simulate_service(seed, &service_plans(1), true);
+    let reference = service_reference(seed);
+    let s = &solo.sessions[0];
+    if s.msps != reference.msps || s.questions != reference.questions {
+        return Err(fail(
+            "service-single-session",
+            format!(
+                "service session diverged from run_direct: {} MSPs / {} questions \
+                 vs {} / {}",
+                s.msps.len(),
+                s.questions,
+                reference.msps.len(),
+                reference.questions
+            ),
+        ));
+    }
+    if s.store_hits != 0 {
+        return Err(fail(
+            "service-single-session",
+            format!("empty store cannot hit, got {}", s.store_hits),
+        ));
+    }
+
+    let instant = simulate_service(seed, &plans, false);
+    let gap = max_dispatch_gap(&instant);
+    if gap > STARVATION_BOUND {
+        return Err(fail(
+            "service-starvation",
+            format!("dispatch gap {gap} exceeds bound {STARVATION_BOUND}"),
+        ));
+    }
+
+    let (plan_a, plan_b) = disjoint_plans();
+    let combined = simulate_service(seed, &[plan_a.clone(), plan_b.clone()], true);
+    let alone_a = simulate_service(seed, &[plan_a], true);
+    let alone_b = simulate_service(seed, &[plan_b], true);
+    if combined.sessions[0] != alone_a.sessions[0] {
+        return Err(fail(
+            "service-isolation",
+            format!(
+                "session A diverged from its isolated run: {:?} vs {:?}",
+                combined.sessions[0], alone_a.sessions[0]
+            ),
+        ));
+    }
+    if combined.sessions[1] != alone_b.sessions[0] {
+        return Err(fail(
+            "service-isolation",
+            format!(
+                "session B diverged from its isolated run: {:?} vs {:?}",
+                combined.sessions[1], alone_b.sessions[0]
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Run [`check_service_seed`] over `seeds`.
+pub fn service_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check_service_seed(seed) {
+            Ok(()) => report.passed += 1,
+            Err(failure) => report.failures.push(failure),
+        }
+    }
+    report
 }
 
 #[cfg(test)]

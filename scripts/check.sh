@@ -21,4 +21,10 @@ OASSIS_SCALE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- sca
 echo "==> simulation smoke: 64-seed fault sweep, all oracles (see docs/testing.md)"
 cargo run --release -q -p oassis-simtest --bin sim -- sweep 64
 
+echo "==> service smoke: 2 overlapping queries share the crowd, answers match serial"
+OASSIS_SERVICE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- service
+
+echo "==> service simulation: 64-seed sweep (replay, differential, starvation, isolation)"
+cargo run --release -q -p oassis-simtest --bin sim -- service-sweep 64
+
 echo "==> all checks passed"

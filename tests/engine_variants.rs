@@ -53,7 +53,7 @@ fn majority_vote_aggregator_plugs_in() {
     let miner = MultiUserMiner::new(&space, 0.4, &cfg)
         .with_aggregator(Box::new(MajorityVoteAggregator { sample_size: 4 }));
     let mut members = crowd(2);
-    let (result, _) = miner.run_slice(&mut members);
+    let (result, _) = miner.run_direct(&mut members);
     let rendered: Vec<&str> = result.answers.iter().map(|a| a.rendered.as_str()).collect();
     assert!(
         rendered.iter().any(|r| r.contains("Feed a monkey")),
@@ -84,7 +84,7 @@ fn sequential_aggregator_bounds_answers_per_assignment() {
     };
     let miner = MultiUserMiner::new(&space, 0.4, &cfg).with_aggregator(Box::new(agg));
     let mut members = crowd(3);
-    let (result, cache) = miner.run_slice(&mut members);
+    let (result, cache) = miner.run_direct(&mut members);
     assert!(!result.answers.is_empty());
     // The root (support 1.0 for everyone) must have been decided at
     // min_samples, not at the fixed five of the default rule.

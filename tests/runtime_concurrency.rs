@@ -83,7 +83,7 @@ fn concurrent_matches_sequential_across_seeds() {
         let miner = MultiUserMiner::new(&space, 0.4, &cfg);
 
         let mut seq_members = crowd(3);
-        let (seq, _) = miner.run_slice(&mut seq_members);
+        let (seq, _) = miner.run_direct(&mut seq_members);
 
         let runtime = SessionRuntime::new(crowd(3)).workers(worker_count());
         let (conc, _) = miner.run(runtime).expect("no members excluded");
@@ -114,7 +114,7 @@ fn latency_does_not_change_answers() {
     let miner = MultiUserMiner::new(&space, 0.4, &cfg);
 
     let mut seq_members = crowd(3);
-    let (seq, _) = miner.run_slice(&mut seq_members);
+    let (seq, _) = miner.run_direct(&mut seq_members);
 
     for sim_seed in [0u64, 1, 2, 3] {
         let model = ResponseModel::latency(Duration::from_micros(300))
@@ -157,7 +157,7 @@ fn dropping_members_are_excluded_without_losing_msps() {
     let plain_space = engine.space(&query, &plain_cfg).unwrap();
     let plain_miner = MultiUserMiner::new(&plain_space, 0.4, &plain_cfg);
     let mut healthy = crowd(3);
-    let (expected, _) = plain_miner.run_slice(&mut healthy);
+    let (expected, _) = plain_miner.run_direct(&mut healthy);
 
     // Same crowd plus two members whose channel drops every answer. The
     // faulty members are clones of healthy ones, so excluding them must

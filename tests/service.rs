@@ -1,0 +1,365 @@
+//! Integration tests for the multi-query service layer ([`OassisService`]):
+//! the differential invariant (a single session through the service is
+//! byte-for-byte the single-query `MultiUserMiner::run` path), cross-query
+//! answer reuse through the `AnswerStore`, per-session budgets,
+//! cancellation, and priority scheduling.
+
+use std::sync::{Arc, Mutex};
+
+use oassis::core::{
+    EngineConfig, Oassis, OassisService, QueryResult, SessionRuntime, SessionSpec, SessionStatus,
+};
+use oassis::crowd::transaction::table3_dbs;
+use oassis::crowd::{CrowdMember, DbMember, MemberId};
+use oassis::datagen::{
+    culinary_domain, generate_crowd, self_treatment_domain, travel_domain, CrowdGenConfig, Domain,
+};
+use oassis::obs::{names, EventSink, InMemorySink};
+use oassis::store::ontology::figure1_ontology;
+use oassis::vocab::{ElementId, FactSet};
+
+const QUERY: &str = "SELECT FACT-SETS WHERE \
+      $x instanceOf $w. $w subClassOf* Attraction. \
+      $y subClassOf* Activity \
+    SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+fn figure1_crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+    for i in 0..n_pairs {
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i),
+            d1.clone(),
+            Arc::clone(&vocab),
+        )));
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i + 1),
+            d2.clone(),
+            Arc::clone(&vocab),
+        )));
+    }
+    members
+}
+
+fn valid_msp_set(result: &QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = result
+        .answers
+        .iter()
+        .filter(|a| a.valid)
+        .map(|a| a.rendered.clone())
+        .collect();
+    v.sort();
+    v
+}
+
+fn domain_crowd(domain: &Domain, members: usize, seed: u64) -> Vec<Box<dyn CrowdMember>> {
+    let crowd = generate_crowd(
+        domain,
+        &CrowdGenConfig {
+            members,
+            transactions_per_member: 20,
+            popular_patterns: 6,
+            seed,
+            ..Default::default()
+        },
+    );
+    crowd
+        .members
+        .into_iter()
+        .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+        .collect()
+}
+
+/// The tentpole invariant, per experiment domain: one session admitted to
+/// the service (empty store) produces exactly the valid-MSP set and the
+/// question count of the single-query `MultiUserMiner::run` path.
+#[test]
+fn single_session_matches_multiuser_run_per_domain() {
+    for (domain, members, seed) in [
+        (travel_domain(), 8, 3u64),
+        (culinary_domain(), 8, 5),
+        (self_treatment_domain(), 10, 7),
+    ] {
+        let cfg = EngineConfig::builder().seed(seed).build();
+
+        // Serial baseline: the single-query path (`execute` drives
+        // `run_direct`, which `runtime_concurrency.rs` proves identical to
+        // the pooled `MultiUserMiner::run` for pure members).
+        let engine = Oassis::new(domain.ontology.clone());
+        let mut serial_members = domain_crowd(&domain, members, seed);
+        let serial = engine.execute(&domain.query, &mut serial_members, &cfg).unwrap();
+
+        // The same query as the only session of a fresh service.
+        let engine = Oassis::new(domain.ontology.clone());
+        let runtime = SessionRuntime::new(domain_crowd(&domain, members, seed));
+        let mut service = OassisService::start(engine, runtime);
+        let mut spec = SessionSpec::new(&domain.query);
+        spec.config = cfg.clone();
+        service.submit(spec).unwrap();
+        let mut reports = service.run();
+        assert_eq!(reports.len(), 1);
+        let report = reports.remove(0);
+
+        assert_eq!(report.status, SessionStatus::Completed, "{}", domain.name);
+        assert_eq!(
+            valid_msp_set(&serial),
+            valid_msp_set(&report.result),
+            "{}: service session diverged from MultiUserMiner::run",
+            domain.name
+        );
+        assert_eq!(
+            serial.stats.total_questions, report.result.stats.total_questions,
+            "{}: different question count",
+            domain.name
+        );
+        assert_eq!(report.store_hits, 0, "{}: empty store cannot hit", domain.name);
+        assert!(
+            !valid_msp_set(&report.result).is_empty(),
+            "{}: vacuous comparison",
+            domain.name
+        );
+    }
+}
+
+/// Two sessions with the same query submitted together: both reports match
+/// the serial baseline exactly, but the store shares answers between them,
+/// so the crowd is asked fewer questions than two serial runs would ask.
+#[test]
+fn overlapping_sessions_share_the_crowd() {
+    let cfg = EngineConfig::default();
+    let engine = Oassis::new(figure1_ontology());
+    let mut members = figure1_crowd(2);
+    let serial = engine.execute(QUERY, &mut members, &cfg).unwrap();
+    let serial_msps = valid_msp_set(&serial);
+    let serial_questions = serial.stats.total_questions;
+
+    let mem = InMemorySink::shared();
+    let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start_with_sink(engine, runtime, sink);
+    for _ in 0..2 {
+        let mut spec = SessionSpec::new(QUERY);
+        spec.config = cfg.clone();
+        service.submit(spec).unwrap();
+    }
+    let reports = service.run();
+    assert_eq!(reports.len(), 2);
+
+    let mut total_crowd = 0;
+    let mut total_reuse = 0;
+    for report in &reports {
+        assert_eq!(report.status, SessionStatus::Completed);
+        assert_eq!(serial_msps, valid_msp_set(&report.result));
+        // Per-session accounting is untouched by sharing: each session
+        // still *sees* the serial number of answers...
+        assert_eq!(serial_questions, report.result.stats.total_questions);
+        total_crowd += report.crowd_questions;
+        total_reuse += report.store_hits;
+    }
+    // ...but the crowd answered fewer than 2x serial questions.
+    assert!(
+        total_crowd < 2 * serial_questions,
+        "no sharing: {total_crowd} crowd questions vs {serial_questions} serial"
+    );
+    assert!(total_reuse > 0, "expected dispatch-time store hits");
+    let snap = mem.snapshot();
+    assert_eq!(
+        snap.counter(&format!("{}[serve]", names::ANSWERSTORE_HIT)) as usize,
+        total_reuse
+    );
+    assert_eq!(
+        snap.counter_across_labels(names::SERVICE_QUESTION_DISPATCHED) as usize,
+        total_crowd
+    );
+}
+
+/// A session admitted after an identical one completed is seeded from the
+/// answer store and barely touches the crowd — and still reports the same
+/// answers and question count as a fresh serial run.
+#[test]
+fn completed_answers_seed_later_sessions() {
+    let cfg = EngineConfig::default();
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start(engine, runtime);
+
+    let mut spec = SessionSpec::new(QUERY);
+    spec.config = cfg.clone();
+    service.submit(spec).unwrap();
+    let first = service.run().remove(0);
+    assert!(first.crowd_questions > 0);
+
+    let mut spec = SessionSpec::new(QUERY);
+    spec.config = cfg.clone();
+    service.submit(spec).unwrap();
+    let second = service.run().remove(0);
+
+    assert_eq!(second.status, SessionStatus::Completed);
+    assert_eq!(valid_msp_set(&first.result), valid_msp_set(&second.result));
+    // Seeded answers are pre-knowledge, not questions: the second session
+    // classifies from the seed sweep and asks (almost) nothing.
+    assert!(
+        second.result.stats.total_questions < first.result.stats.total_questions,
+        "seeding did not shrink the question count: {} vs {}",
+        second.result.stats.total_questions,
+        first.result.stats.total_questions
+    );
+    assert!(
+        second.crowd_questions < first.crowd_questions,
+        "seeded session re-asked the crowd: {} vs {}",
+        second.crowd_questions,
+        first.crowd_questions
+    );
+}
+
+/// The per-session budget caps *crowd* dispatches and yields a partial
+/// result with the dedicated status.
+#[test]
+fn budget_exhaustion_is_reported() {
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start(engine, runtime);
+    let mut spec = SessionSpec::new(QUERY);
+    spec.budget = Some(3);
+    service.submit(spec).unwrap();
+    let report = service.run().remove(0);
+    assert_eq!(report.status, SessionStatus::BudgetExhausted);
+    assert!(report.crowd_questions <= 3, "{}", report.crowd_questions);
+}
+
+/// Cancellation before `run` ends the session immediately; the other
+/// admitted session is unaffected and still matches the serial baseline.
+#[test]
+fn cancellation_leaves_other_sessions_intact() {
+    let cfg = EngineConfig::default();
+    let engine = Oassis::new(figure1_ontology());
+    let mut members = figure1_crowd(2);
+    let serial = engine.execute(QUERY, &mut members, &cfg).unwrap();
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start(engine, runtime);
+    let mut keep = SessionSpec::new(QUERY);
+    keep.config = cfg.clone();
+    let keep_id = service.submit(keep).unwrap();
+    let mut drop_spec = SessionSpec::new(QUERY);
+    drop_spec.config = cfg.clone();
+    let drop_id = service.submit(drop_spec).unwrap();
+    assert!(service.cancel(drop_id));
+    assert!(!service.cancel(drop_id) || drop_id != keep_id); // idempotent-ish
+
+    let reports = service.run();
+    let kept = reports.iter().find(|r| r.id == keep_id).unwrap();
+    let dropped = reports.iter().find(|r| r.id == drop_id).unwrap();
+    assert_eq!(kept.status, SessionStatus::Completed);
+    assert_eq!(dropped.status, SessionStatus::Cancelled);
+    assert_eq!(dropped.crowd_questions, 0, "cancelled before any dispatch");
+    assert_eq!(valid_msp_set(&serial), valid_msp_set(&kept.result));
+
+    // A cancelled or unknown id can no longer be cancelled.
+    assert!(!service.cancel(drop_id));
+}
+
+/// A member wrapper that logs every concrete question it is asked, so a
+/// test can observe crowd-side dispatch *order*.
+struct RecordingMember {
+    inner: Box<dyn CrowdMember>,
+    log: Arc<Mutex<Vec<FactSet>>>,
+}
+
+impl CrowdMember for RecordingMember {
+    fn id(&self) -> MemberId {
+        self.inner.id()
+    }
+    fn ask_concrete(&mut self, a: &FactSet) -> f64 {
+        self.log.lock().unwrap().push(a.clone());
+        self.inner.ask_concrete(a)
+    }
+    fn ask_specialization(
+        &mut self,
+        base: &FactSet,
+        candidates: &[FactSet],
+    ) -> Option<(usize, f64)> {
+        self.inner.ask_specialization(base, candidates)
+    }
+    fn irrelevant_elements(&mut self, a: &FactSet) -> Vec<ElementId> {
+        self.inner.irrelevant_elements(a)
+    }
+}
+
+/// With one shared crowd seat, the first dispatch of every cycle goes to
+/// the highest-priority session — even when it was admitted last.
+#[test]
+fn priority_beats_admission_order() {
+    let log: Arc<Mutex<Vec<FactSet>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, _) = table3_dbs(&vocab);
+    let members: Vec<Box<dyn CrowdMember>> = vec![Box::new(RecordingMember {
+        inner: Box::new(DbMember::new(MemberId(0), d1, Arc::clone(&vocab))),
+        log: Arc::clone(&log),
+    })];
+
+    // Two queries over disjoint SATISFYING objects, so every concrete
+    // question is attributable to its session.
+    let park = "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+                SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3";
+    let zoo = "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+               SATISFYING $y doAt <Bronx Zoo> WITH SUPPORT = 0.3";
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(members);
+    let mut service = OassisService::start(engine, runtime);
+    let low = SessionSpec::new(park); // admitted first, priority 0
+    service.submit(low).unwrap();
+    let mut high = SessionSpec::new(zoo);
+    high.priority = 5;
+    service.submit(high).unwrap();
+    let reports = service.run();
+    assert!(reports.iter().all(|r| r.status == SessionStatus::Completed));
+
+    let log = log.lock().unwrap();
+    let first = log.first().expect("at least one crowd question");
+    let rendered = vocab.factset_to_string(first);
+    assert!(
+        rendered.contains("Bronx Zoo"),
+        "first dispatch should be the high-priority session's, got {rendered}"
+    );
+}
+
+/// Rosters restrict which seats a session may ask; an out-of-range seat is
+/// rejected at admission.
+#[test]
+fn rosters_are_validated_and_respected() {
+    let log: Arc<Mutex<Vec<FactSet>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let members: Vec<Box<dyn CrowdMember>> = vec![
+        Box::new(DbMember::new(MemberId(0), d1, Arc::clone(&vocab))),
+        Box::new(RecordingMember {
+            inner: Box::new(DbMember::new(MemberId(1), d2, Arc::clone(&vocab))),
+            log: Arc::clone(&log),
+        }),
+    ];
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(members);
+    let mut service = OassisService::start(engine, runtime);
+
+    let mut bad = SessionSpec::new(QUERY);
+    bad.roster = Some(vec![0, 2]);
+    assert!(service.submit(bad).is_err(), "seat 2 of 2 must be rejected");
+
+    let mut only_first = SessionSpec::new(QUERY);
+    only_first.roster = Some(vec![0]);
+    service.submit(only_first).unwrap();
+    let report = service.run().remove(0);
+    assert_eq!(report.status, SessionStatus::Completed);
+    assert!(
+        log.lock().unwrap().is_empty(),
+        "seat 1 is outside the roster and must never be asked"
+    );
+}
