@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench sim service-bench
+.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench
 
 # Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
 SEEDS ?= 10000
@@ -34,3 +34,8 @@ sim:
 # OassisService vs 4 serial runs; writes BENCH_service.json.
 service-bench:
 	cargo run --release -p oassis-bench --bin figures -- service
+
+# Durability benchmark: cold OassisService::recover vs write-ahead-log
+# length, with and without snapshot compaction; writes BENCH_durability.json.
+durability-bench:
+	cargo run --release -p oassis-bench --bin figures -- durability

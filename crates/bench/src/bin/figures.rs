@@ -6,10 +6,12 @@
 //! ```
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
-//! dist mult crowdmix bounds growth runtime scale service` (or `all`). The
-//! `scale` experiment writes `BENCH_scale.json` at the repo root
-//! (`OASSIS_SCALE_SMOKE=1` shrinks it for CI); `service` writes
-//! `BENCH_service.json` the same way (`OASSIS_SERVICE_SMOKE=1`).
+//! dist mult crowdmix bounds growth runtime scale service durability` (or
+//! `all`). The `scale` experiment writes `BENCH_scale.json` at the repo
+//! root (`OASSIS_SCALE_SMOKE=1` shrinks it for CI); `service` writes
+//! `BENCH_service.json` the same way (`OASSIS_SERVICE_SMOKE=1`), and
+//! `durability` writes `BENCH_durability.json` — recovery time versus
+//! write-ahead-log length (`OASSIS_DURABILITY_SMOKE=1`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -24,8 +26,8 @@ use std::time::Duration;
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
-    runtime_speedup, scale_speedup, service_reuse, shape_variation, CurveSeries, PaceResult,
-    ScaleRow, ServiceRow,
+    recovery_scaling, runtime_speedup, scale_speedup, service_reuse, shape_variation, CurveSeries,
+    DurabilityRow, PaceResult, ScaleRow, ServiceRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -389,12 +391,110 @@ fn run_service(sink: &Arc<dyn EventSink>, seed: u64) {
     }
 }
 
+/// Run the durability benchmark (PR 7) and write `BENCH_durability.json`
+/// at the repo root: the cost of `OassisService::recover` as the
+/// write-ahead log grows, with and without snapshot compaction.
+/// Compaction must keep cold-start recovery cheap even for long-lived
+/// services; uncompacted recovery grows with the log.
+/// `OASSIS_DURABILITY_SMOKE=1` shrinks the log sizes so CI can assert the
+/// invariants in seconds.
+fn run_durability(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_DURABILITY_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if smoke {
+        &[256, 1024]
+    } else {
+        &[1000, 4000, 16000, 64000]
+    };
+    println!(
+        "== durability: recovery time vs WAL length ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut rows: Vec<DurabilityRow> = Vec::new();
+    for &records in sizes {
+        for snapshot_every in [None, Some(1024)] {
+            let row = recovery_scaling(records, snapshot_every, seed);
+            assert_eq!(
+                row.recovered_answers, row.records,
+                "recovery lost answers ({} of {})",
+                row.recovered_answers, row.records
+            );
+            assert_eq!(
+                row.recovered_sessions, 1,
+                "the open session must be recovered exactly once"
+            );
+            sink.gauge_labeled(
+                "figures.durability.recover_secs",
+                &format!(
+                    "{records}{}",
+                    if snapshot_every.is_some() { "+snap" } else { "" }
+                ),
+                row.recover_time.as_secs_f64(),
+            );
+            rows.push(row);
+        }
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.records.to_string(),
+                r.snapshot_every
+                    .map_or("never".to_string(), |e| e.to_string()),
+                format!("{:.1}ms", r.append_time.as_secs_f64() * 1e3),
+                format!("{:.1}ms", r.recover_time.as_secs_f64() * 1e3),
+                r.recovered_answers.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["records", "snapshot every", "append", "recover", "answers"],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"records\": {}, \"snapshot_every\": {}, ",
+                    "\"append_secs\": {:.6}, \"recover_secs\": {:.6}, ",
+                    "\"recovered_answers\": {}, \"recovered_sessions\": {}}}"
+                ),
+                r.records,
+                r.snapshot_every
+                    .map_or("null".to_string(), |e| e.to_string()),
+                r.append_time.as_secs_f64(),
+                r.recover_time.as_secs_f64(),
+                r.recovered_answers,
+                r.recovered_sessions,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"durability\",\n\"mode\": {:?},\n\"seed\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        json_rows.join(",\n")
+    );
+    let path = if smoke {
+        "target/BENCH_durability.smoke.json"
+    } else {
+        "BENCH_durability.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
-            "crowdmix", "bounds", "growth", "runtime", "scale", "service",
+            "crowdmix", "bounds", "growth", "runtime", "scale", "service", "durability",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -621,6 +721,7 @@ fn main() {
             }
             "scale" => run_scale(&sink, seed),
             "service" => run_service(&sink, seed),
+            "durability" => run_durability(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

@@ -1048,8 +1048,7 @@ pub fn service_reuse(domain: &Domain, sessions: usize, members: usize, seed: u64
     let service_start = Instant::now();
     let mut service = OassisService::start(engine, SessionRuntime::new(fresh_crowd()));
     for _ in 0..sessions {
-        let mut spec = SessionSpec::new(&domain.query);
-        spec.config = cfg.clone();
+        let spec = SessionSpec::builder(&domain.query).config(cfg.clone()).build();
         service.submit(spec).expect("service admits the query");
     }
     let reports = service.run();
@@ -1076,6 +1075,122 @@ pub fn service_reuse(domain: &Domain, sessions: usize, members: usize, seed: u64
         serial_time,
         service_time,
         answers_match,
+    }
+}
+
+/// One row of the durability benchmark (PR 7): the cost of recovering a
+/// file-backed service as a function of write-ahead-log length, with and
+/// without snapshot compaction.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Crowd-answer records appended to the log.
+    pub records: usize,
+    /// Snapshot interval (`None` = the log is never compacted).
+    pub snapshot_every: Option<u64>,
+    /// Wall-clock of appending (durable writes, fsync-free appends).
+    pub append_time: Duration,
+    /// Wall-clock of [`OassisService::recover`]: open, checksum-verify,
+    /// replay, rebuild the answer store, fold session lifecycles.
+    pub recover_time: Duration,
+    /// Answers in the recovered store (must equal `records`).
+    pub recovered_answers: usize,
+    /// Interrupted sessions the recovery surfaced (must be 1).
+    pub recovered_sessions: usize,
+}
+
+/// Append a WAL of `records` crowd answers (one open session, distinct
+/// fact-sets, rotating members) through the real [`AnswerStore`] +
+/// [`FileBacked`] pipeline — compacting exactly like the service would —
+/// then measure a cold [`OassisService::recover`] over the directory.
+pub fn recovery_scaling(records: usize, snapshot_every: Option<u64>, seed: u64) -> DurabilityRow {
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::{AnswerStore, DbMember};
+    use oassis_store::ontology::figure1_ontology;
+    use oassis_store_durable::{shared, AdmitSpec, FileBacked, WalRecord};
+    use oassis_vocab::{ElementId, Fact, FactSet, RelationId};
+
+    let dir = std::env::temp_dir().join(format!(
+        "oassis-bench-durability-{}-{records}-{}",
+        std::process::id(),
+        snapshot_every.map_or(0, |e| e)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut file = FileBacked::open(&dir).expect("bench WAL opens");
+    if let Some(every) = snapshot_every {
+        file = file.with_snapshot_every(every);
+    }
+    let persistence = shared(file);
+
+    let admit = WalRecord::Admit {
+        session: 0,
+        resumes: None,
+        spec: AdmitSpec {
+            query: "SELECT FACT-SETS WHERE $y subClassOf* Activity \
+                    SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3"
+                .to_string(),
+            threshold: None,
+            roster: None,
+            priority: 0,
+            budget: None,
+            seed,
+            aggregator_sample: 4,
+            specialization_ratio: 0.0,
+            pruning_ratio: 0.0,
+            max_questions: 1_000_000,
+            top_k: None,
+            use_indexes: true,
+        },
+    };
+    let store = AnswerStore::new().with_persistence(Arc::clone(&persistence));
+    let append_start = Instant::now();
+    persistence
+        .lock()
+        .unwrap()
+        .append(&admit)
+        .expect("admit appends");
+    for i in 0..records {
+        let fs = FactSet::from_facts([Fact::new(
+            ElementId((i % 503) as u32),
+            RelationId((i / 503 % 7) as u32),
+            ElementId((i / 3521) as u32),
+        )]);
+        let support = (i % 11) as f64 / 10.0;
+        store.record_tagged(&fs, MemberId((i % 4) as u32), support, Some(0));
+        let mut p = persistence.lock().unwrap();
+        if p.wants_snapshot() {
+            let mut compacted = store.to_records();
+            compacted.push(admit.clone());
+            p.snapshot(&compacted).expect("compaction succeeds");
+        }
+    }
+    let append_time = append_start.elapsed();
+    drop(store);
+    drop(persistence);
+
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let members: Vec<Box<dyn CrowdMember>> = vec![
+        Box::new(DbMember::new(MemberId(0), d1, Arc::clone(&vocab))),
+        Box::new(DbMember::new(MemberId(1), d2, vocab)),
+    ];
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(members);
+    let recover_start = Instant::now();
+    let (service, recovered) =
+        OassisService::recover(engine, runtime, &dir).expect("the bench WAL recovers");
+    let recover_time = recover_start.elapsed();
+    let recovered_answers = service.store().len();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurabilityRow {
+        records,
+        snapshot_every,
+        append_time,
+        recover_time,
+        recovered_answers,
+        recovered_sessions: recovered.len(),
     }
 }
 

@@ -27,7 +27,10 @@ pub mod session;
 pub mod single;
 
 pub use multi::MultiUserMiner;
-pub use service::{OassisService, SessionId, SessionReport, SessionSpec, SessionStatus};
+pub use service::{
+    OassisService, RecoveredSession, SessionId, SessionReport, SessionSpec, SessionSpecBuilder,
+    SessionStatus,
+};
 pub use session::{Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent};
 pub use single::{replay_members, Oassis};
 
@@ -55,6 +58,9 @@ pub enum OassisError {
     /// The concurrent session runtime failed (timeouts, poisoned workers,
     /// exhausted crowd).
     Runtime(RuntimeError),
+    /// The durability layer failed (log I/O or a corrupt record) while
+    /// persisting or recovering service state.
+    Durability(oassis_store_durable::DurableError),
 }
 
 impl std::fmt::Display for OassisError {
@@ -63,6 +69,7 @@ impl std::fmt::Display for OassisError {
             OassisError::Query(e) => write!(f, "{e}"),
             OassisError::Space(e) => write!(f, "{e}"),
             OassisError::Runtime(e) => write!(f, "{e}"),
+            OassisError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -73,6 +80,7 @@ impl std::error::Error for OassisError {
             OassisError::Query(e) => Some(e),
             OassisError::Space(e) => Some(e),
             OassisError::Runtime(e) => Some(e),
+            OassisError::Durability(e) => Some(e),
         }
     }
 }
@@ -92,6 +100,12 @@ impl From<SpaceError> for OassisError {
 impl From<RuntimeError> for OassisError {
     fn from(e: RuntimeError) -> Self {
         OassisError::Runtime(e)
+    }
+}
+
+impl From<oassis_store_durable::DurableError> for OassisError {
+    fn from(e: oassis_store_durable::DurableError) -> Self {
+        OassisError::Durability(e)
     }
 }
 

@@ -296,23 +296,6 @@ impl<'a> MultiUserMiner<'a> {
             .expect("the synchronous crowd path cannot fail")
     }
 
-    /// Deprecated name of [`run_direct`](Self::run_direct).
-    #[deprecated(note = "renamed to `run_direct`")]
-    pub fn run_slice(&self, members: &mut [Box<dyn CrowdMember>]) -> (QueryResult, CrowdCache) {
-        self.run_direct(members)
-    }
-
-    /// Deprecated name of
-    /// [`run_direct_with_observer`](Self::run_direct_with_observer).
-    #[deprecated(note = "renamed to `run_direct_with_observer`")]
-    pub fn run_slice_with_observer(
-        &self,
-        members: &mut [Box<dyn CrowdMember>],
-        observer: &mut dyn AnswerObserver,
-    ) -> (QueryResult, CrowdCache) {
-        self.run_direct_with_observer(members, observer)
-    }
-
     /// The shared driver loop behind both crowd paths: poll the session,
     /// deliver each staged question over the link, feed the answer back.
     fn run_loop(

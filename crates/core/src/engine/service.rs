@@ -23,12 +23,35 @@
 //! [`MultiUserMiner::run`](super::MultiUserMiner::run) exactly — same MSP
 //! set, same question count (the differential tests in `tests/service.rs`
 //! enforce this).
+//!
+//! ## Durability
+//!
+//! A service started with [`start_with_persistence`]
+//! (OassisService::start_with_persistence) appends one [`WalRecord`] per
+//! state change — a committed crowd answer, an admission, a budget spend,
+//! a close — to a [`Persistence`] log, and periodically compacts it into
+//! a snapshot. [`recover`](OassisService::recover) /
+//! [`recover_with`](OassisService::recover_with) replay the log on
+//! startup: the cross-query [`AnswerStore`] is rebuilt in full, and every
+//! session that was admitted but had not closed comes back as a
+//! re-admittable [`RecoveredSession`] — [`resume`](OassisService::resume)
+//! re-admits it, re-seeding it from the recovered answers so only the
+//! questions whose answers were lost in flight are asked again. The crash
+//! oracle in `oassis-simtest` sweeps exactly this contract: kill at any
+//! log index, recover, and the final valid-MSP sets (and, for disjoint
+//! rosters, the per-query crowd-question totals) match the uninterrupted
+//! run.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use oassis_crowd::{AnswerStore, FixedSampleAggregator, MemberId};
 use oassis_obs::{names, EventSink, SinkExt};
 use oassis_ql::Query;
+use oassis_store_durable::{
+    shared, AdmitSpec, CloseStatus, FileBacked, SharedPersistence, WalRecord,
+};
 use oassis_vocab::FactSet;
 
 use crate::config::EngineConfig;
@@ -80,7 +103,12 @@ pub struct SessionSpec {
 
 impl SessionSpec {
     /// A spec with default config, full roster, priority 0 and no budget.
+    #[deprecated(note = "use the fluent `SessionSpec::builder(query)` instead")]
     pub fn new(query: impl Into<String>) -> Self {
+        Self::base(query)
+    }
+
+    fn base(query: impl Into<String>) -> Self {
         SessionSpec {
             query: query.into(),
             threshold: None,
@@ -89,6 +117,69 @@ impl SessionSpec {
             priority: 0,
             budget: None,
         }
+    }
+
+    /// Fluent construction, mirroring [`EngineConfig::builder`]:
+    ///
+    /// ```
+    /// use oassis_core::{EngineConfig, SessionSpec};
+    ///
+    /// let spec = SessionSpec::builder("SELECT FACT-SETS WHERE ...")
+    ///     .threshold(0.4)
+    ///     .roster(vec![0, 1, 2])
+    ///     .priority(5)
+    ///     .budget(200)
+    ///     .config(EngineConfig::builder().seed(7).build())
+    ///     .build();
+    /// assert_eq!(spec.priority, 5);
+    /// ```
+    pub fn builder(query: impl Into<String>) -> SessionSpecBuilder {
+        SessionSpecBuilder {
+            spec: Self::base(query),
+        }
+    }
+}
+
+/// Fluent builder for [`SessionSpec`] — see [`SessionSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct SessionSpecBuilder {
+    spec: SessionSpec,
+}
+
+impl SessionSpecBuilder {
+    /// Override the query's own `WITH SUPPORT` threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.spec.threshold = Some(threshold);
+        self
+    }
+
+    /// Engine configuration for the session.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// Restrict the session to these pool seats.
+    pub fn roster(mut self, seats: Vec<usize>) -> Self {
+        self.spec.roster = Some(seats);
+        self
+    }
+
+    /// Scheduling priority (higher goes first within a cycle).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.spec.priority = priority;
+        self
+    }
+
+    /// Cap on crowd dispatches for the session.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.spec.budget = Some(budget);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SessionSpec {
+        self.spec
     }
 }
 
@@ -139,6 +230,31 @@ struct SessionSlot {
     cancel_requested: bool,
     finished: Option<SessionStatus>,
     result: Option<QueryResult>,
+    /// The `Admit` record as appended to the WAL (durable services only);
+    /// re-embedded into snapshots while the session is live so a recovery
+    /// from the compacted log can still resume it.
+    admit_record: Option<WalRecord>,
+}
+
+/// An interrupted session reconstructed from the durability log by
+/// [`OassisService::recover`]: admitted before the crash, never closed.
+/// Pass it to [`OassisService::resume`] to re-admit it — the new session
+/// is seeded from the recovered [`AnswerStore`], so it re-asks only the
+/// questions whose answers were lost in flight.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The session's id in the interrupted run (the resumption gets a
+    /// fresh id; the log links them).
+    pub original: SessionId,
+    /// The re-admittable spec, rebuilt from the `Admit` record. The
+    /// budget is the *original* grant; [`OassisService::resume`] deducts
+    /// [`spent`](Self::spent). Runtime-only config (sink, clock, curve
+    /// tracking) is reset to defaults — adjust before resuming if needed.
+    pub spec: SessionSpec,
+    /// Crowd questions the interrupted run already dispatched (from the
+    /// last `Budget` watermark; includes any question that was in flight
+    /// when the process died, so budget accounting stays conservative).
+    pub spent: usize,
 }
 
 /// A session's view of the shared pool, restricted to its roster.
@@ -187,8 +303,8 @@ impl CrowdView for PoolView<'_> {
 /// );
 /// let q = "SELECT FACT-SETS WHERE $y subClassOf* Activity \
 ///          SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.4";
-/// service.submit(SessionSpec::new(q)).unwrap();
-/// service.submit(SessionSpec::new(q)).unwrap();
+/// service.submit(SessionSpec::builder(q).build()).unwrap();
+/// service.submit(SessionSpec::builder(q).priority(5).build()).unwrap();
 /// for report in service.run() {
 ///     println!("session {:?}: {} answers", report.id, report.result.answers.len());
 /// }
@@ -201,7 +317,13 @@ pub struct OassisService {
     slots: Vec<SessionSlot>,
     next_id: u64,
     cycle: u64,
+    /// Durability log shared with the answer store (`None` = volatile).
+    persistence: Option<SharedPersistence>,
 }
+
+/// Snapshot interval (appended records) used by
+/// [`OassisService::recover`]'s default file-backed persistence.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
 
 impl OassisService {
     /// Start a service over `runtime`'s crowd with a fresh answer store
@@ -226,7 +348,128 @@ impl OassisService {
             slots: Vec::new(),
             next_id: 0,
             cycle: 0,
+            persistence: None,
         }
+    }
+
+    /// Start a *durable* service: every committed crowd answer, session
+    /// admission, budget spend and session close is appended to
+    /// `persistence`, and the log is compacted into snapshots at the
+    /// persistence's configured interval. Use
+    /// [`recover_with`](Self::recover_with) on the same persistence after
+    /// a restart.
+    pub fn start_with_persistence(
+        engine: Oassis,
+        runtime: SessionRuntime,
+        sink: Arc<dyn EventSink>,
+        persistence: SharedPersistence,
+    ) -> Self {
+        let mut service = Self::start_with_sink(engine, runtime, sink);
+        service.store = AnswerStore::new()
+            .with_sink(Arc::clone(&service.sink))
+            .with_persistence(Arc::clone(&persistence));
+        service.persistence = Some(persistence);
+        service
+    }
+
+    /// Recover a durable service from the file-backed log under `dir`
+    /// (see [`FileBacked`]): load the latest snapshot, replay the WAL
+    /// tail, rebuild the answer store, and return the service plus every
+    /// interrupted session as a re-admittable [`RecoveredSession`] (in
+    /// admission order) — [`resume`](Self::resume) each to continue it.
+    /// Opening a fresh directory yields an empty durable service, so this
+    /// is also the normal way to *start* a file-backed service.
+    pub fn recover(
+        engine: Oassis,
+        runtime: SessionRuntime,
+        dir: impl Into<PathBuf>,
+    ) -> Result<(Self, Vec<RecoveredSession>), OassisError> {
+        let file = FileBacked::open(dir)?.with_snapshot_every(DEFAULT_SNAPSHOT_EVERY);
+        Self::recover_with(engine, runtime, oassis_obs::null_sink(), shared(file))
+    }
+
+    /// [`recover`](Self::recover) over any [`Persistence`] (and sink):
+    /// replays `persistence` into a fresh service. The persistence stays
+    /// attached — the recovered service keeps appending to the same log.
+    pub fn recover_with(
+        engine: Oassis,
+        runtime: SessionRuntime,
+        sink: Arc<dyn EventSink>,
+        persistence: SharedPersistence,
+    ) -> Result<(Self, Vec<RecoveredSession>), OassisError> {
+        let records = persistence
+            .lock()
+            .expect("persistence poisoned")
+            .replay()?;
+        let mut service = Self::start_with_sink(engine, runtime, sink);
+
+        // Rebuild the answer store from the log *before* attaching the
+        // persistence, so replay does not re-append what is already there.
+        let store = AnswerStore::new().with_sink(Arc::clone(&service.sink));
+        store.replay_records(&records);
+        service.store = store.with_persistence(Arc::clone(&persistence));
+        service.persistence = Some(persistence);
+
+        // Fold session lifecycles: admitted, budget watermark, closed,
+        // superseded by a later resumption.
+        #[derive(Default)]
+        struct Lifecycle {
+            spec: Option<AdmitSpec>,
+            spent: u64,
+            closed: bool,
+            superseded: bool,
+        }
+        let mut sessions: BTreeMap<u64, Lifecycle> = BTreeMap::new();
+        for record in &records {
+            match record {
+                WalRecord::Admit {
+                    session,
+                    resumes,
+                    spec,
+                } => {
+                    if let Some(old) = resumes {
+                        sessions.entry(*old).or_default().superseded = true;
+                    }
+                    sessions.entry(*session).or_default().spec = Some(spec.clone());
+                }
+                WalRecord::Budget { session, spent } => {
+                    sessions.entry(*session).or_default().spent = *spent;
+                }
+                WalRecord::Close { session, .. } => {
+                    sessions.entry(*session).or_default().closed = true;
+                }
+                WalRecord::Answer { .. } => {}
+            }
+        }
+        service.next_id = sessions.keys().next_back().map_or(0, |id| id + 1);
+        let recovered = sessions
+            .into_iter()
+            .filter(|(_, l)| !l.closed && !l.superseded)
+            .filter_map(|(id, l)| {
+                l.spec.map(|admit| RecoveredSession {
+                    original: SessionId(id),
+                    spec: spec_from_admit(admit),
+                    spent: l.spent as usize,
+                })
+            })
+            .collect();
+        Ok((service, recovered))
+    }
+
+    /// Re-admit an interrupted session recovered by
+    /// [`recover`](Self::recover). The resumption gets a fresh id, is
+    /// seeded from the recovered answer store (so paid-for answers are
+    /// not re-asked), has any already-spent budget deducted, and is
+    /// logged as superseding the original — a second crash recovers the
+    /// resumption, not both.
+    pub fn resume(&mut self, recovered: RecoveredSession) -> Result<SessionId, OassisError> {
+        let RecoveredSession {
+            original,
+            mut spec,
+            spent,
+        } = recovered;
+        spec.budget = spec.budget.map(|b| b.saturating_sub(spent));
+        self.admit(spec, Some(original))
     }
 
     /// Number of crowd seats in the shared pool.
@@ -249,6 +492,33 @@ impl OassisService {
     /// from the answer store. The session does no crowd work until
     /// [`run`](Self::run).
     pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId, OassisError> {
+        self.admit(spec, None)
+    }
+
+    /// The shared admission path behind [`submit`](Self::submit) and
+    /// [`resume`](Self::resume); `resumes` carries the superseded
+    /// session's id into the durable `Admit` record.
+    fn admit(
+        &mut self,
+        spec: SessionSpec,
+        resumes: Option<SessionId>,
+    ) -> Result<SessionId, OassisError> {
+        // Capture the durable shape of the spec before its pieces are
+        // moved out below (only when a log is attached).
+        let admit_spec = self.persistence.as_ref().map(|_| AdmitSpec {
+            query: spec.query.clone(),
+            threshold: spec.threshold,
+            roster: spec.roster.clone(),
+            priority: spec.priority,
+            budget: spec.budget.map(|b| b as u64),
+            seed: spec.config.seed,
+            aggregator_sample: spec.config.aggregator_sample,
+            specialization_ratio: spec.config.specialization_ratio,
+            pruning_ratio: spec.config.pruning_ratio,
+            max_questions: spec.config.max_questions,
+            top_k: spec.config.top_k,
+            use_indexes: spec.config.use_indexes,
+        });
         let query = self.engine.parse(&spec.query)?;
         let threshold = spec.threshold.unwrap_or(query.satisfying.support);
         let config = Arc::new(spec.config);
@@ -295,6 +565,14 @@ impl OassisService {
             self.sink
                 .count_labeled(names::ANSWERSTORE_HIT, "seed", seeded as u64);
         }
+        let admit_record = admit_spec.map(|admit| WalRecord::Admit {
+            session: id.0,
+            resumes: resumes.map(|s| s.0),
+            spec: admit,
+        });
+        if let Some(record) = &admit_record {
+            self.append_wal(record);
+        }
         self.slots.push(SessionSlot {
             id,
             session,
@@ -309,11 +587,13 @@ impl OassisService {
             cancel_requested: false,
             finished: None,
             result: None,
+            admit_record,
         });
         self.sink.gauge(
             names::SERVICE_SESSIONS_ACTIVE,
             self.active_sessions() as f64,
         );
+        self.maybe_snapshot();
         Ok(id)
     }
 
@@ -369,6 +649,7 @@ impl OassisService {
                 self.route_completed();
             }
             self.cycle += 1;
+            self.maybe_snapshot();
         }
         self.slots
             .drain(..)
@@ -505,11 +786,18 @@ impl OassisService {
                     concrete,
                 });
                 slot.crowd_questions += 1;
+                let session = slot.id.0;
+                // Budgeted sessions log a spend watermark per dispatch, so
+                // recovery deducts everything paid for (or lost in flight).
+                let spend_mark = slot.budget.map(|_| slot.crowd_questions as u64);
                 self.sink.count_labeled(
                     names::SERVICE_QUESTION_DISPATCHED,
-                    &format!("s{}", slot.id.0),
+                    &format!("s{session}"),
                     1,
                 );
+                if let Some(spent) = spend_mark {
+                    self.append_wal(&WalRecord::Budget { session, spent });
+                }
                 AskFlow::Dispatched
             }
         }
@@ -539,8 +827,10 @@ impl OassisService {
             };
             if let (Some((fs, member)), Answer::Support(s)) = (&inflight.concrete, &answer) {
                 // Log committed concrete answers immediately so sessions
-                // later in the same cycle can already reuse them.
-                self.store.record(fs, *member, *s);
+                // later in the same cycle can already reuse them. The
+                // durable record is attributed to the paying session.
+                self.store
+                    .record_tagged(fs, *member, *s, Some(self.slots[i].id.0));
             }
             self.sink.count_labeled(
                 names::SERVICE_QUESTION_RESOLVED,
@@ -561,10 +851,87 @@ impl OassisService {
             .finalize(result, &self.slots[i].query, &self.slots[i].space);
         self.slots[i].result = Some(result);
         self.slots[i].finished = Some(status);
+        if self.persistence.is_some() {
+            self.append_wal(&WalRecord::Close {
+                session: self.slots[i].id.0,
+                status: match status {
+                    SessionStatus::Completed => CloseStatus::Completed,
+                    SessionStatus::Cancelled => CloseStatus::Cancelled,
+                    SessionStatus::BudgetExhausted => CloseStatus::BudgetExhausted,
+                },
+                crowd_questions: self.slots[i].crowd_questions as u64,
+            });
+        }
         self.sink.gauge(
             names::SERVICE_SESSIONS_ACTIVE,
             self.active_sessions() as f64,
         );
+    }
+
+    /// Append one record to the durability log (no-op when volatile).
+    fn append_wal(&self, record: &WalRecord) {
+        if let Some(p) = &self.persistence {
+            p.lock()
+                .expect("persistence poisoned")
+                .append(record)
+                .expect("wal append failed");
+        }
+    }
+
+    /// Compact the log into a snapshot when the tail has outgrown the
+    /// persistence's interval. The compacted sequence reproduces the full
+    /// live state: the answer store in canonical order, then an `Admit`
+    /// (+ latest `Budget` watermark) per live session. Closed sessions
+    /// need no recovery and are dropped by compaction.
+    fn maybe_snapshot(&mut self) {
+        let Some(p) = &self.persistence else {
+            return;
+        };
+        if !p.lock().expect("persistence poisoned").wants_snapshot() {
+            return;
+        }
+        let mut compacted = self.store.to_records();
+        for slot in &self.slots {
+            if slot.finished.is_some() {
+                continue;
+            }
+            if let Some(admit) = &slot.admit_record {
+                compacted.push(admit.clone());
+                if slot.budget.is_some() && slot.crowd_questions > 0 {
+                    compacted.push(WalRecord::Budget {
+                        session: slot.id.0,
+                        spent: slot.crowd_questions as u64,
+                    });
+                }
+            }
+        }
+        p.lock()
+            .expect("persistence poisoned")
+            .snapshot(&compacted)
+            .expect("snapshot failed");
+    }
+}
+
+/// Rebuild a [`SessionSpec`] from a durable `Admit` record. Only the
+/// scalar config subset is durable; everything else is defaulted.
+fn spec_from_admit(admit: AdmitSpec) -> SessionSpec {
+    let mut config = EngineConfig::builder()
+        .seed(admit.seed)
+        .aggregator_sample(admit.aggregator_sample)
+        .specialization_ratio(admit.specialization_ratio)
+        .pruning_ratio(admit.pruning_ratio)
+        .max_questions(admit.max_questions)
+        .use_indexes(admit.use_indexes);
+    if let Some(k) = admit.top_k {
+        config = config.top_k(k);
+    }
+    SessionSpec {
+        query: admit.query,
+        threshold: admit.threshold,
+        config: config.build(),
+        roster: admit.roster,
+        priority: admit.priority,
+        budget: admit.budget.map(|b| b as usize),
     }
 }
 

@@ -49,8 +49,9 @@ pub use config::{EngineConfig, EngineConfigBuilder};
 pub use diversity::{diversify_answers, select_diverse};
 pub use engine::{
     Answer, AnswerObserver, CrowdView, MiningSession, MultiUserMiner, Oassis, OassisError,
-    OassisService, PendingQuestion, QueryAnswer, QueryResult, QuestionPayload, SessionEvent,
-    SessionId, SessionReport, SessionSpec, SessionStatus, NODES_TOTAL_CAP,
+    OassisService, PendingQuestion, QueryAnswer, QueryResult, QuestionPayload, RecoveredSession,
+    SessionEvent, SessionId, SessionReport, SessionSpec, SessionSpecBuilder, SessionStatus,
+    NODES_TOTAL_CAP,
 };
 pub use runtime::{
     Clock, QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime, SimChaos,
@@ -60,3 +61,26 @@ pub use rules::{mine_rules, AssociationRule};
 pub use space::{AssignSpace, NodeId, SpaceCache};
 pub use stats::{DiscoveryPoint, ExecutionStats, QuestionKind, Recorder, RecorderSink};
 pub use value::AValue;
+
+/// One-stop imports for the three entry points and their configuration.
+///
+/// The engine has three front doors, each for a different shape of work
+/// (see the "which API when" table in `docs/engine.md`):
+///
+/// * [`Oassis`] — one query, one crowd, blocking: parse → mine → answers.
+/// * [`MultiUserMiner`] — one pre-built query over explicit members, with
+///   observer and runtime variants.
+/// * [`OassisService`] — many concurrent sessions over one shared crowd,
+///   with admission, priorities, budgets and durable recovery.
+///
+/// ```
+/// use oassis_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::config::{EngineConfig, EngineConfigBuilder};
+    pub use crate::engine::{
+        MultiUserMiner, Oassis, OassisError, OassisService, QueryAnswer, QueryResult,
+        RecoveredSession, SessionId, SessionReport, SessionSpec, SessionSpecBuilder, SessionStatus,
+    };
+    pub use crate::runtime::{SessionRuntime, SimConfig};
+}

@@ -20,11 +20,19 @@
 //! `WITH SUPPORT` clauses is sound. Per-fact-set answer order is preserved
 //! verbatim — re-running a fixed-sample aggregator over a seeded prefix
 //! reproduces the original run's decisions deterministically.
+//!
+//! When a [`SharedPersistence`] is attached
+//! ([`with_persistence`](AnswerStore::with_persistence)), every *new or
+//! changed* `(fact-set, member)` answer is appended to the durable log as a
+//! `WalRecord::Answer` — unchanged re-records (e.g. a finished session's
+//! cache being absorbed after its answers were already logged at dispatch
+//! time) append nothing, so the log stays proportional to real crowd work.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use oassis_obs::{names, null_sink, EventSink, SinkExt};
+use oassis_store_durable::{SharedPersistence, WalRecord};
 use oassis_vocab::FactSet;
 
 use crate::cache::CrowdCache;
@@ -34,12 +42,22 @@ use crate::member::MemberId;
 ///
 /// Interior-mutable (a `Mutex` guards the log) so one store can be read by
 /// many sessions through a shared reference.
-#[derive(Debug)]
 pub struct AnswerStore {
     /// Per fact-set, the answers in insertion order (first answer first);
     /// a member re-answering the same fact-set overwrites in place.
     answers: Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>,
     sink: Arc<dyn EventSink>,
+    /// Durable log receiving one `Answer` record per new/changed answer.
+    persistence: Option<SharedPersistence>,
+}
+
+impl std::fmt::Debug for AnswerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerStore")
+            .field("fact_sets", &self.len())
+            .field("durable", &self.persistence.is_some())
+            .finish()
+    }
 }
 
 impl Default for AnswerStore {
@@ -47,6 +65,7 @@ impl Default for AnswerStore {
         AnswerStore {
             answers: Mutex::new(HashMap::new()),
             sink: null_sink(),
+            persistence: None,
         }
     }
 }
@@ -63,14 +82,116 @@ impl AnswerStore {
         self
     }
 
+    /// Append every future new/changed answer to `persistence`. Answers
+    /// already in the store are *not* retro-logged — attach before
+    /// recording, or rebuild via [`replay_records`](Self::replay_records)
+    /// first and attach afterwards.
+    pub fn with_persistence(mut self, persistence: SharedPersistence) -> Self {
+        self.persistence = Some(persistence);
+        self
+    }
+
     /// Log `member`'s answer for `fs` (a repeat answer by the same member
     /// overwrites; members are assumed self-consistent).
     pub fn record(&self, fs: &FactSet, member: MemberId, support: f64) {
+        self.record_tagged(fs, member, support, None);
+    }
+
+    /// [`record`](Self::record), durably attributed to the service session
+    /// that paid for the answer (`None` = unattributed). Only a *new or
+    /// changed* answer reaches the log.
+    pub fn record_tagged(
+        &self,
+        fs: &FactSet,
+        member: MemberId,
+        support: f64,
+        session: Option<u64>,
+    ) {
+        let changed = {
+            let mut answers = self.answers.lock().expect("answer store poisoned");
+            let entry = answers.entry(fs.clone()).or_default();
+            match entry.iter_mut().find(|(m, _)| *m == member) {
+                Some(slot) => {
+                    let changed = slot.1.to_bits() != support.to_bits();
+                    slot.1 = support;
+                    changed
+                }
+                None => {
+                    entry.push((member, support));
+                    true
+                }
+            }
+        };
+        if changed {
+            if let Some(p) = &self.persistence {
+                p.lock()
+                    .expect("persistence poisoned")
+                    .append(&WalRecord::Answer {
+                        session,
+                        member: member.0,
+                        support,
+                        factset: fs.clone(),
+                    })
+                    .expect("wal append failed");
+            }
+        }
+    }
+
+    /// Serialize the full store as `WalRecord::Answer`s in canonical
+    /// order: fact-sets sorted by their text encoding, answers within a
+    /// fact-set in insertion order. Replaying them into an empty store
+    /// ([`replay_records`](Self::replay_records)) reproduces the exact
+    /// state — including the per-fact-set order the seeded-aggregator
+    /// determinism depends on — so this is what service snapshots embed.
+    pub fn to_records(&self) -> Vec<WalRecord> {
+        let answers = self.answers.lock().expect("answer store poisoned");
+        let mut keyed: Vec<(String, &FactSet)> = answers
+            .keys()
+            .map(|fs| {
+                let key = fs
+                    .iter()
+                    .map(|f| format!("{},{},{}", f.subject.0, f.relation.0, f.object.0))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                (key, fs)
+            })
+            .collect();
+        keyed.sort();
+        let mut out = Vec::new();
+        for (_, fs) in keyed {
+            for &(m, s) in &answers[fs] {
+                out.push(WalRecord::Answer {
+                    session: None,
+                    member: m.0,
+                    support: s,
+                    factset: fs.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Replay `Answer` records (from a log or snapshot) into this store
+    /// in order, without re-appending them to any attached persistence.
+    /// Non-`Answer` records are ignored (the service replays those).
+    pub fn replay_records<'a>(&self, records: impl IntoIterator<Item = &'a WalRecord>) {
         let mut answers = self.answers.lock().expect("answer store poisoned");
-        let entry = answers.entry(fs.clone()).or_default();
-        match entry.iter_mut().find(|(m, _)| *m == member) {
-            Some(slot) => slot.1 = support,
-            None => entry.push((member, support)),
+        for rec in records {
+            let WalRecord::Answer {
+                member,
+                support,
+                factset,
+                ..
+            } = rec
+            else {
+                continue;
+            };
+            let entry = answers.entry(factset.clone()).or_default();
+            let member = MemberId(*member);
+            match entry.iter_mut().find(|(m, _)| *m == member) {
+                Some(slot) => slot.1 = *support,
+                None => entry.push((member, *support)),
+            }
         }
     }
 
@@ -224,5 +345,82 @@ mod tests {
         let store = AnswerStore::new();
         store.absorb_cache(&cache);
         assert_eq!(store.lookup(&fs(1), MemberId(1)), Some(0.4));
+    }
+
+    #[test]
+    fn empty_store_roundtrips_through_text() {
+        let store = AnswerStore::new();
+        let text = store.export_text();
+        let back = AnswerStore::import_text(&text).expect("empty dump parses");
+        assert!(back.is_empty());
+        assert_eq!(back.answer_count(), 0);
+        assert_eq!(back.export_text(), text, "stable on re-export");
+    }
+
+    #[test]
+    fn duplicate_pair_roundtrips_as_one_answer() {
+        let store = AnswerStore::new();
+        store.record(&fs(1), MemberId(1), 0.5);
+        store.record(&fs(1), MemberId(1), 0.75); // same (fact-set, member)
+        let back = AnswerStore::import_text(&store.export_text()).unwrap();
+        assert_eq!(back.answer_count(), 1, "overwrite survives the roundtrip");
+        assert_eq!(back.lookup(&fs(1), MemberId(1)), Some(0.75));
+    }
+
+    #[test]
+    fn log_replay_roundtrip_is_stable() {
+        let store = AnswerStore::new();
+        // Insertion order deliberately differs from member-id order so the
+        // roundtrip must preserve *order*, not just content.
+        store.record(&fs(2), MemberId(3), 0.3);
+        store.record(&fs(2), MemberId(1), 0.1);
+        store.record(&fs(1), MemberId(2), 1.0 / 3.0);
+        store.record(&fs(2), MemberId(3), 0.9); // duplicate pair, overwrites
+        let records = store.to_records();
+        assert_eq!(records.len(), store.answer_count());
+
+        let replayed = AnswerStore::new();
+        replayed.replay_records(&records);
+        assert_eq!(
+            replayed.to_records(),
+            records,
+            "records are a fixed point of replay"
+        );
+        let members = [MemberId(1), MemberId(2), MemberId(3)];
+        assert_eq!(
+            replayed.seed_for(&members),
+            store.seed_for(&members),
+            "per-fact-set insertion order survives the log roundtrip"
+        );
+        assert_eq!(replayed.lookup(&fs(2), MemberId(3)), Some(0.9));
+    }
+
+    #[test]
+    fn persistence_logs_only_new_or_changed_answers() {
+        use oassis_store_durable::{shared, InMemory, Persistence};
+        let mem = std::sync::Arc::new(std::sync::Mutex::new(InMemory::new()));
+        let store =
+            AnswerStore::new().with_persistence(mem.clone() as SharedPersistence);
+        store.record(&fs(1), MemberId(1), 0.5);
+        store.record(&fs(1), MemberId(1), 0.5); // unchanged: no append
+        store.record(&fs(1), MemberId(1), 0.75); // changed: appends
+        store.record_tagged(&fs(2), MemberId(2), 0.25, Some(7));
+        assert_eq!(mem.lock().unwrap().history_len(), 3);
+        let tagged = mem
+            .lock()
+            .unwrap()
+            .history()
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Answer { session: Some(7), .. }))
+            .count();
+        assert_eq!(tagged, 1);
+
+        // Replaying the log reproduces the store; replay does not re-log.
+        let records = mem.lock().unwrap().replay().unwrap();
+        let recovered = AnswerStore::new();
+        recovered.replay_records(&records);
+        let recovered = recovered.with_persistence(shared(InMemory::new()));
+        assert_eq!(recovered.lookup(&fs(1), MemberId(1)), Some(0.75));
+        assert_eq!(recovered.lookup(&fs(2), MemberId(2)), Some(0.25));
     }
 }

@@ -132,6 +132,14 @@ pub mod names {
     /// Counter: an `AnswerStore` lookup found no stored answer and the
     /// crowd had to be asked.
     pub const ANSWERSTORE_MISS: &str = "answerstore.miss";
+    /// Counter: one record appended to the durability write-ahead log.
+    /// Label: the record kind — `answer`, `admit`, `budget`, or `close`.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// Counter: records replayed from the log (snapshot + tail) while
+    /// opening or recovering a durable store.
+    pub const WAL_REPLAY: &str = "wal.replay";
+    /// Counter: a snapshot was written and the log tail compacted away.
+    pub const WAL_SNAPSHOT: &str = "wal.snapshot";
 }
 
 /// The measurement carried by an [`Event`].

@@ -9,6 +9,11 @@
 //!                    single-session differential, starvation bound,
 //!                    disjoint-roster isolation) over seeds 0..N
 //!                    (default 64; OASSIS_SIM_SEEDS overrides)
+//! sim durability-sweep [N]
+//!                    run the crash-restart oracles (WAL transparency,
+//!                    log replay determinism, kill-at-any-index recovery
+//!                    for overlapping and disjoint sessions) over seeds
+//!                    0..N (default 64; OASSIS_SIM_SEEDS overrides)
 //! sim repro [SEED]   replay one seed (OASSIS_SIM_SEED or the argument),
 //!                    print its transcript tail, run every oracle, and on
 //!                    failure shrink the schedule to a minimal fault trace
@@ -20,8 +25,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use oassis_simtest::{
-    check_seed, check_service_seed, diverges_from_reference, repro_command, service_sweep, shrink,
-    simulate, sweep, SimOptions,
+    check_durability_seed, check_seed, check_service_seed, diverges_from_reference,
+    durability_sweep, repro_command, service_sweep, shrink, simulate, sweep, SimOptions,
 };
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -72,6 +77,31 @@ fn run_service_sweep(n: u64) -> ExitCode {
     }
 }
 
+fn run_durability_sweep(n: u64) -> ExitCode {
+    println!(
+        "sim durability-sweep: {n} seeds, kill-at-any-index crash recovery \
+         (transparency, replay, overlap MSPs, disjoint MSPs + crowd counts)"
+    );
+    let start = Instant::now();
+    let report = durability_sweep(0..n);
+    let secs = start.elapsed().as_secs_f64();
+    for failure in &report.failures {
+        println!("FAIL {failure}");
+    }
+    println!(
+        "sim durability-sweep: {}/{} seeds passed in {:.2}s ({:.1} seeds/s)",
+        report.passed,
+        n,
+        secs,
+        n as f64 / secs.max(1e-9),
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_repro(seed: u64) -> ExitCode {
     println!("sim repro: seed {seed}");
     let outcome = simulate(seed, &SimOptions::default());
@@ -91,9 +121,12 @@ fn run_repro(seed: u64) -> ExitCode {
     for line in tail.iter().rev() {
         println!("    {line}");
     }
-    match check_seed(seed).and_then(|()| check_service_seed(seed)) {
+    match check_seed(seed)
+        .and_then(|()| check_service_seed(seed))
+        .and_then(|()| check_durability_seed(seed))
+    {
         Ok(()) => {
-            println!("  all oracles passed (single-query and service)");
+            println!("  all oracles passed (single-query, service and durability)");
             ExitCode::SUCCESS
         }
         Err(failure) => {
@@ -172,6 +205,12 @@ fn main() -> ExitCode {
                 .unwrap_or(64);
             run_service_sweep(n)
         }
+        "durability-sweep" => {
+            let n = arg_u64(1)
+                .or_else(|| env_u64("OASSIS_SIM_SEEDS"))
+                .unwrap_or(64);
+            run_durability_sweep(n)
+        }
         "repro" => match arg_u64(1).or_else(|| env_u64("OASSIS_SIM_SEED")) {
             Some(seed) => run_repro(seed),
             None => {
@@ -186,8 +225,8 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; use: sweep [N] | service-sweep [N] | repro [SEED] | \
-                 bench [N]"
+                "unknown command `{other}`; use: sweep [N] | service-sweep [N] | \
+                 durability-sweep [N] | repro [SEED] | bench [N]"
             );
             ExitCode::FAILURE
         }

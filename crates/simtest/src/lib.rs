@@ -28,14 +28,16 @@
 //! one-liner: `OASSIS_SIM_SEED=<seed> cargo test --test simulation` or
 //! `cargo run --release -p oassis-simtest --bin sim -- repro <seed>`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+use oassis_core::engine::service::SessionReport;
 use oassis_core::{
     EngineConfig, MultiUserMiner, Oassis, OassisService, QueryResult, SessionRuntime, SessionSpec,
     SimChaos, SimConfig, SimTrace, VirtualClock,
 };
+use oassis_store_durable::{InMemory, SharedPersistence, WalRecord};
 use oassis_crowd::transaction::table3_dbs;
 use oassis_crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
 use oassis_obs::{names, Event, EventKind, EventSink, InMemorySink, Snapshot};
@@ -708,7 +710,13 @@ pub struct ServiceSimOutcome {
 /// delay + jitter (nobody excluded), so the sweep explores genuinely
 /// different arrival schedules.
 pub fn simulate_service(seed: u64, plans: &[ServicePlan], latency: bool) -> ServiceSimOutcome {
-    let members: Vec<Box<dyn CrowdMember>> = if latency {
+    run_service(seed, plans, latency, None)
+}
+
+/// The simulated service crowd: `crowd(2)` as-is, or wrapped in
+/// seed-derived latency + jitter members (nobody excluded).
+fn service_members(seed: u64, latency: bool) -> Vec<Box<dyn CrowdMember>> {
+    if latency {
         crowd(2)
             .into_iter()
             .enumerate()
@@ -721,40 +729,73 @@ pub fn simulate_service(seed: u64, plans: &[ServicePlan], latency: bool) -> Serv
             .collect()
     } else {
         crowd(2)
-    };
-    let runtime = SessionRuntime::new(members)
+    }
+}
+
+/// A fresh simulated runtime over [`service_members`].
+fn service_runtime(seed: u64, latency: bool) -> SessionRuntime {
+    SessionRuntime::new(service_members(seed, latency))
         .question_timeout(LATENCY_TIMEOUT)
         .max_retries(2)
-        .simulated(SimConfig::new(seed));
+        .simulated(SimConfig::new(seed))
+}
+
+/// Aggregator sample for service runs: the crowd has 4 members, and the
+/// default sample of 5 would never fill — every pattern would classify
+/// insignificant and the MSP oracles would compare empty sets. A sample
+/// the crowd can fill keeps them non-vacuous (the harness queries yield
+/// 3/2/1 valid MSPs).
+pub const SERVICE_AGGREGATOR_SAMPLE: usize = 4;
+
+/// The engine configuration service runs and their reference share.
+fn service_config(seed: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .seed(engine_seed(seed))
+        .aggregator_sample(SERVICE_AGGREGATOR_SAMPLE)
+        .build()
+}
+
+/// The admission spec for one plan of a seeded run.
+fn plan_spec(seed: u64, plan: &ServicePlan) -> SessionSpec {
+    SessionSpec {
+        query: plan.query.clone(),
+        threshold: None,
+        config: service_config(seed),
+        roster: plan.roster.clone(),
+        priority: plan.priority,
+        budget: plan.budget,
+    }
+}
+
+fn session_outcome(r: &SessionReport) -> ServiceSessionOutcome {
+    ServiceSessionOutcome {
+        msps: valid_msp_set(&r.result),
+        questions: r.result.stats.total_questions,
+        crowd_questions: r.crowd_questions,
+        store_hits: r.store_hits,
+        status: format!("{:?}", r.status),
+    }
+}
+
+fn run_service(
+    seed: u64,
+    plans: &[ServicePlan],
+    latency: bool,
+    persistence: Option<SharedPersistence>,
+) -> ServiceSimOutcome {
+    let runtime = service_runtime(seed, latency);
     let recorder = Arc::new(RecordingSink::default());
     let engine = Oassis::new(figure1_ontology());
-    let mut service = OassisService::start_with_sink(
-        engine,
-        runtime,
-        Arc::clone(&recorder) as Arc<dyn EventSink>,
-    );
+    let sink = Arc::clone(&recorder) as Arc<dyn EventSink>;
+    let mut service = match persistence {
+        Some(p) => OassisService::start_with_persistence(engine, runtime, sink, p),
+        None => OassisService::start_with_sink(engine, runtime, sink),
+    };
     for plan in plans {
-        let spec = SessionSpec {
-            query: plan.query.clone(),
-            threshold: None,
-            config: EngineConfig::builder().seed(engine_seed(seed)).build(),
-            roster: plan.roster.clone(),
-            priority: plan.priority,
-            budget: plan.budget,
-        };
-        service.submit(spec).expect("service plan admits");
+        service.submit(plan_spec(seed, plan)).expect("service plan admits");
     }
     let reports = service.run();
-    let sessions: Vec<ServiceSessionOutcome> = reports
-        .iter()
-        .map(|r| ServiceSessionOutcome {
-            msps: valid_msp_set(&r.result),
-            questions: r.result.stats.total_questions,
-            crowd_questions: r.crowd_questions,
-            store_hits: r.store_hits,
-            status: format!("{:?}", r.status),
-        })
-        .collect();
+    let sessions: Vec<ServiceSessionOutcome> = reports.iter().map(session_outcome).collect();
     let mut transcript = recorder.events.lock().expect("recording sink").join("\n");
     for (i, s) in sessions.iter().enumerate() {
         transcript.push_str(&format!(
@@ -812,7 +853,7 @@ fn service_reference(seed: u64) -> Arc<Reference> {
     }
     let engine = Oassis::new(figure1_ontology());
     let query = engine.parse(QUERY).expect("the harness query parses");
-    let cfg = engine_config(seed, true, oassis_obs::null_sink());
+    let cfg = service_config(seed);
     let space = engine.space(&query, &cfg).expect("space construction");
     let miner = MultiUserMiner::new(&space, SUPPORT, &cfg);
     let mut members = crowd(2);
@@ -937,6 +978,253 @@ pub fn service_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
     let mut report = SweepReport::default();
     for seed in seeds {
         match check_service_seed(seed) {
+            Ok(()) => report.passed += 1,
+            Err(failure) => report.failures.push(failure),
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart oracle (PR 7): run a *durable* service over an in-memory WAL
+// under the virtual clock, kill it at any append index, recover from the
+// crash image, and prove the finished state matches the uninterrupted run.
+// ---------------------------------------------------------------------------
+
+/// Snapshot interval for durable simulation runs — small enough that the
+/// kill-point sweep crosses several log compactions.
+pub const SIM_SNAPSHOT_EVERY: u64 = 8;
+
+/// A durable service run: [`simulate_service`] with an [`InMemory`]
+/// persistence attached. `log` keeps the complete append history, so the
+/// crash sweep can reconstruct the durable image at any index via
+/// [`InMemory::crashed_at`].
+pub struct DurableRun {
+    /// The uninterrupted run's outcome (identical to the plain run's —
+    /// the durable-transparency oracle).
+    pub outcome: ServiceSimOutcome,
+    /// The WAL the run appended to, with full history and snapshot points.
+    pub log: Arc<Mutex<InMemory>>,
+}
+
+/// [`simulate_service`] with durability: every committed crowd answer,
+/// admission and close is appended to an [`InMemory`] WAL, compacted every
+/// `snapshot_every` records (`None` = never).
+pub fn simulate_durable_service(
+    seed: u64,
+    plans: &[ServicePlan],
+    latency: bool,
+    snapshot_every: Option<u64>,
+) -> DurableRun {
+    let mut mem = InMemory::new();
+    if let Some(every) = snapshot_every {
+        mem = mem.with_snapshot_every(every);
+    }
+    let log = Arc::new(Mutex::new(mem));
+    let persistence: SharedPersistence = Arc::clone(&log) as SharedPersistence;
+    let outcome = run_service(seed, plans, latency, Some(persistence));
+    DurableRun { outcome, log }
+}
+
+/// Kill points for one crash sweep over a log of `len` appends: both ends,
+/// the quartiles, and one seed-derived index (so the sweep as a whole
+/// visits arbitrary offsets).
+fn kill_points(seed: u64, len: usize) -> Vec<usize> {
+    let mut ks = vec![
+        0,
+        len / 4,
+        len / 2,
+        3 * len / 4,
+        len,
+        (mix(seed, 0xC4A5) as usize) % (len + 1),
+    ];
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+/// Finish an interrupted durable run: take the durable image as of append
+/// `k` ([`InMemory::crashed_at`]), recover a fresh service from it
+/// ([`OassisService::recover_with`]), resume every interrupted session,
+/// re-submit the plans whose admission the crash predates, and run to
+/// completion.
+///
+/// Returns one outcome per plan, in plan order. `None` means the session
+/// closed *before* the crash: its report was already delivered by the
+/// interrupted process, so recovery (correctly) does not re-run it — the
+/// uninterrupted run's outcome stands.
+pub fn finish_after_crash(
+    seed: u64,
+    plans: &[ServicePlan],
+    latency: bool,
+    log: &InMemory,
+    k: usize,
+) -> Vec<Option<ServiceSessionOutcome>> {
+    // The append history is ground truth (compaction never rewrites it):
+    // which sessions had been admitted, and which had closed, by index k.
+    let prefix = &log.history()[..k];
+    let admitted: HashSet<u64> = prefix
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Admit { session, .. } => Some(*session),
+            _ => None,
+        })
+        .collect();
+
+    let persistence: SharedPersistence = Arc::new(Mutex::new(log.crashed_at(k)));
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = service_runtime(seed, latency);
+    let (mut service, recovered) =
+        OassisService::recover_with(engine, runtime, oassis_obs::null_sink(), persistence)
+            .expect("recovery from a crash image succeeds");
+
+    // Sessions are admitted in plan order, so plan index == original id.
+    let mut plan_of: HashMap<u64, usize> = HashMap::new();
+    for session in recovered {
+        let plan = session.original.0 as usize;
+        let id = service.resume(session).expect("resumption admits");
+        plan_of.insert(id.0, plan);
+    }
+    for (i, plan) in plans.iter().enumerate() {
+        if !admitted.contains(&(i as u64)) {
+            let id = service
+                .submit(plan_spec(seed, plan))
+                .expect("re-submission admits");
+            plan_of.insert(id.0, i);
+        }
+    }
+
+    let reports = service.run();
+    let mut out: Vec<Option<ServiceSessionOutcome>> = vec![None; plans.len()];
+    for report in &reports {
+        out[plan_of[&report.id.0]] = Some(session_outcome(report));
+    }
+    out
+}
+
+/// Committed crowd answers attributed to session `s` in the first `k`
+/// appends — the questions the interrupted run had already paid for.
+fn committed_answers(log: &InMemory, s: u64, k: usize) -> usize {
+    log.history()[..k]
+        .iter()
+        .filter(|r| matches!(r, WalRecord::Answer { session: Some(id), .. } if *id == s))
+        .count()
+}
+
+/// Run every durability oracle for one seed:
+///
+/// 1. **durable-transparency** — attaching the WAL changes nothing
+///    observable: the durable run's per-session outcomes are identical to
+///    the plain [`simulate_service`] run's;
+/// 2. **durable-replay** — the same seed twice appends a byte-identical
+///    record history (the WAL itself is deterministic);
+/// 3. **durable-crash-msp** — for overlapping sessions, killing the
+///    service at any sampled append index and recovering yields exactly
+///    the uninterrupted run's valid-MSP set per plan;
+/// 4. **durable-crash-counts** — for disjoint-roster sessions, the MSPs
+///    *and* the per-plan crowd-question counts are preserved: answers
+///    committed before the crash plus questions the resumption dispatches
+///    equal the uninterrupted run's count (crashes never re-buy answers,
+///    and never skip unpaid ones).
+pub fn check_durability_seed(seed: u64) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+
+    let plans = service_plans(3);
+    let plain = simulate_service(seed, &plans, true);
+    let durable = simulate_durable_service(seed, &plans, true, Some(SIM_SNAPSHOT_EVERY));
+    if durable.outcome.sessions != plain.sessions {
+        return Err(fail(
+            "durable-transparency",
+            "attaching the WAL changed session outcomes".into(),
+        ));
+    }
+    if durable.outcome.sessions.iter().all(|s| s.msps.is_empty()) {
+        return Err(fail(
+            "durable-transparency",
+            "every MSP set is empty — the crash oracle would be vacuous".into(),
+        ));
+    }
+
+    let again = simulate_durable_service(seed, &plans, true, Some(SIM_SNAPSHOT_EVERY));
+    {
+        let a = durable.log.lock().expect("wal");
+        let b = again.log.lock().expect("wal");
+        if a.history() != b.history() {
+            return Err(fail(
+                "durable-replay",
+                format!(
+                    "two runs of the same seed appended different histories \
+                     ({} vs {} records)",
+                    a.history_len(),
+                    b.history_len()
+                ),
+            ));
+        }
+    }
+
+    let log = durable.log.lock().expect("wal");
+    for k in kill_points(seed, log.history_len()) {
+        let finished = finish_after_crash(seed, &plans, true, &log, k);
+        for (i, f) in finished.iter().enumerate() {
+            let expected = &durable.outcome.sessions[i].msps;
+            let got = f.as_ref().map_or(expected, |o| &o.msps);
+            if got != expected {
+                return Err(fail(
+                    "durable-crash-msp",
+                    format!(
+                        "kill at {k}/{}: plan {i} recovered {} MSPs, expected {}",
+                        log.history_len(),
+                        got.len(),
+                        expected.len()
+                    ),
+                ));
+            }
+        }
+    }
+    drop(log);
+
+    let (plan_a, plan_b) = disjoint_plans();
+    let dplans = vec![plan_a, plan_b];
+    let drun = simulate_durable_service(seed, &dplans, true, Some(SIM_SNAPSHOT_EVERY));
+    let dlog = drun.log.lock().expect("wal");
+    for k in kill_points(mix(seed, 1), dlog.history_len()) {
+        let finished = finish_after_crash(seed, &dplans, true, &dlog, k);
+        for (i, f) in finished.iter().enumerate() {
+            let expected = &drun.outcome.sessions[i];
+            let Some(got) = f else { continue }; // closed pre-crash: final
+            if got.msps != expected.msps {
+                return Err(fail(
+                    "durable-crash-counts",
+                    format!("kill at {k}: plan {i} MSPs diverged"),
+                ));
+            }
+            let combined = committed_answers(&dlog, i as u64, k) + got.crowd_questions;
+            if combined != expected.crowd_questions {
+                return Err(fail(
+                    "durable-crash-counts",
+                    format!(
+                        "kill at {k}/{}: plan {i} paid {} crowd questions \
+                         (committed + resumed), uninterrupted paid {}",
+                        dlog.history_len(),
+                        combined,
+                        expected.crowd_questions
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run [`check_durability_seed`] over `seeds`.
+pub fn durability_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check_durability_seed(seed) {
             Ok(()) => report.passed += 1,
             Err(failure) => report.failures.push(failure),
         }

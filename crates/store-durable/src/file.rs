@@ -1,0 +1,445 @@
+//! File-backed persistence: a directory holding the append-only
+//! [`Wal`] (`wal.log`) plus the latest snapshot (`snapshot.oas`).
+//!
+//! Crash-safety model:
+//!
+//! * every WAL append is one checksummed line followed by a flush; a
+//!   crash mid-write leaves a *torn tail* — a final line that fails to
+//!   parse or checksum — which [`Wal::open`] detects, truncates, and
+//!   reports, keeping every record before it;
+//! * snapshots are written to a temp file and atomically renamed over
+//!   `snapshot.oas`, then the WAL is truncated; a crash between the
+//!   rename and the truncate leaves stale WAL records whose sequence
+//!   numbers the snapshot already covers — replay skips them.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
+
+use crate::{DurableError, Persistence, WalRecord};
+
+/// The append-only log file inside a [`FileBacked`] directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The latest-snapshot file inside a [`FileBacked`] directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.oas";
+
+const WAL_HEADER: &str = "# oassis wal v1";
+const SNAPSHOT_HEADER: &str = "# oassis snapshot v1 covering ";
+
+/// The raw append-only log file: open-with-scan (torn tail truncated),
+/// checksummed appends, explicit truncation after compaction.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Records found by the opening scan, with their sequence numbers.
+    records: Vec<(u64, WalRecord)>,
+    /// Whether the opening scan truncated a torn tail.
+    truncated_torn_tail: bool,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, scanning existing records and
+    /// truncating a torn tail if the last line fails to parse.
+    ///
+    /// Corruption anywhere *before* the final record is not a torn write
+    /// and is reported as [`DurableError::Corrupt`] instead of being
+    /// silently dropped.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, DurableError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)?;
+        if contents.is_empty() {
+            writeln!(file, "{WAL_HEADER}")?;
+            file.flush()?;
+        }
+        let mut records = Vec::new();
+        let mut good_len = 0usize;
+        let mut bad: Option<(usize, String)> = None;
+        let mut offset = 0usize;
+        for (no, line) in contents.split_inclusive('\n').enumerate() {
+            let end = offset + line.len();
+            let text = line.trim_end_matches(['\n', '\r']);
+            if text.is_empty() || text.starts_with('#') {
+                if line.ends_with('\n') {
+                    good_len = end;
+                }
+                offset = end;
+                continue;
+            }
+            match WalRecord::decode(text) {
+                // A record only counts once its newline made it to disk;
+                // a complete-looking line without one is still a torn
+                // write in progress.
+                Ok((seq, rec)) if line.ends_with('\n') => {
+                    records.push((seq, rec));
+                    good_len = end;
+                }
+                Ok(_) => {
+                    bad = Some((no + 1, "record missing trailing newline".to_owned()));
+                    break;
+                }
+                Err(reason) => {
+                    bad = Some((no + 1, reason));
+                    break;
+                }
+            }
+            offset = end;
+        }
+        let mut truncated = false;
+        if let Some((line_no, reason)) = bad {
+            let tail_lines = contents[good_len..]
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count();
+            if tail_lines > 1 {
+                // Damage before the end of the log: not a torn write.
+                return Err(DurableError::Corrupt {
+                    context: format!("wal ({})", path.display()),
+                    line: line_no,
+                    reason,
+                });
+            }
+            file.set_len(good_len as u64)?;
+            file.seek(std::io::SeekFrom::End(0))?;
+            truncated = true;
+        }
+        Ok(Wal {
+            path,
+            file,
+            records,
+            truncated_torn_tail: truncated,
+        })
+    }
+
+    /// Records found when the log was opened.
+    pub fn records(&self) -> &[(u64, WalRecord)] {
+        &self.records
+    }
+
+    /// Whether opening truncated a torn final record.
+    pub fn truncated_torn_tail(&self) -> bool {
+        self.truncated_torn_tail
+    }
+
+    /// Append one record with sequence number `seq` and flush.
+    pub fn append(&mut self, seq: u64, record: &WalRecord) -> Result<(), DurableError> {
+        writeln!(self.file, "{}", record.encode(seq))?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Discard every record (after a snapshot made them redundant).
+    pub fn truncate(&mut self) -> Result<(), DurableError> {
+        self.file.set_len(0)?;
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        writeln!(self.file, "{WAL_HEADER}")?;
+        self.file.flush()?;
+        self.records.clear();
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read the snapshot file: `(covered sequence number, compacted records)`.
+fn read_snapshot(path: &Path) -> Result<(u64, Vec<WalRecord>), DurableError> {
+    let context = format!("snapshot ({})", path.display());
+    let contents = fs::read_to_string(path)?;
+    let mut lines = contents.lines().enumerate();
+    let covered = match lines.next() {
+        Some((_, header)) if header.starts_with(SNAPSHOT_HEADER) => header
+            [SNAPSHOT_HEADER.len()..]
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| DurableError::Corrupt {
+                context: context.clone(),
+                line: 1,
+                reason: format!("bad covered sequence: {e}"),
+            })?,
+        other => {
+            return Err(DurableError::Corrupt {
+                context,
+                line: 1,
+                reason: format!("bad snapshot header {:?}", other.map(|(_, l)| l)),
+            })
+        }
+    };
+    let mut records = Vec::new();
+    for (no, line) in lines {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, rec) = WalRecord::decode_in(line, &context, no + 1)?;
+        records.push(rec);
+    }
+    Ok((covered, records))
+}
+
+/// Durable persistence over a directory: `wal.log` + `snapshot.oas`.
+///
+/// [`open`](FileBacked::open) is the recovery entry point: it loads the
+/// latest snapshot (if any), replays the WAL tail past it, truncates a
+/// torn final record, and leaves the instance ready to append.
+pub struct FileBacked {
+    dir: PathBuf,
+    wal: Wal,
+    /// Live records: snapshot base + WAL tail, in append order.
+    loaded: Vec<WalRecord>,
+    /// Sequence number covered by the loaded snapshot (0 = none).
+    covered: u64,
+    /// Records currently in the WAL tail.
+    tail_len: u64,
+    next_seq: u64,
+    snapshot_every: Option<u64>,
+    sink: Arc<dyn EventSink>,
+}
+
+impl FileBacked {
+    /// Open (creating if needed) the durable state under `dir` and replay
+    /// it: snapshot first, then the WAL tail.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (covered, mut loaded) = if snap_path.exists() {
+            read_snapshot(&snap_path)?
+        } else {
+            (0, Vec::new())
+        };
+        let wal = Wal::open(dir.join(WAL_FILE))?;
+        let mut tail_len = 0u64;
+        let mut last_seq = covered;
+        for (seq, rec) in wal.records() {
+            // Stale records a snapshot already covers (crash between the
+            // snapshot rename and the WAL truncate) are skipped.
+            if *seq <= covered {
+                continue;
+            }
+            loaded.push(rec.clone());
+            tail_len += 1;
+            last_seq = last_seq.max(*seq);
+        }
+        Ok(FileBacked {
+            dir,
+            wal,
+            loaded,
+            covered,
+            tail_len,
+            next_seq: last_seq + 1,
+            snapshot_every: None,
+            sink: null_sink(),
+        })
+    }
+
+    /// Request a snapshot every `every` appended records.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = Some(every.max(1));
+        self
+    }
+
+    /// Report `wal.*` counters to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The directory this instance persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether opening truncated a torn WAL tail.
+    pub fn truncated_torn_tail(&self) -> bool {
+        self.wal.truncated_torn_tail()
+    }
+}
+
+impl Persistence for FileBacked {
+    fn append(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+        let seq = self.next_seq;
+        self.wal.append(seq, record)?;
+        self.next_seq += 1;
+        self.tail_len += 1;
+        self.loaded.push(record.clone());
+        self.sink.count_labeled(names::WAL_APPEND, record.kind(), 1);
+        Ok(seq)
+    }
+
+    fn replay(&mut self) -> Result<Vec<WalRecord>, DurableError> {
+        self.sink.count(names::WAL_REPLAY, self.loaded.len() as u64);
+        Ok(self.loaded.clone())
+    }
+
+    fn log_len(&self) -> u64 {
+        self.tail_len
+    }
+
+    fn wants_snapshot(&self) -> bool {
+        self.snapshot_every
+            .is_some_and(|every| self.tail_len >= every)
+    }
+
+    fn snapshot(&mut self, compacted: &[WalRecord]) -> Result<(), DurableError> {
+        let covered = self.next_seq - 1;
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(f, "{SNAPSHOT_HEADER}{covered}")?;
+            for rec in compacted {
+                writeln!(f, "{}", rec.encode(0))?;
+            }
+            f.flush()?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.truncate()?;
+        self.covered = covered;
+        self.tail_len = 0;
+        self.loaded = compacted.to_vec();
+        self.sink.count(names::WAL_SNAPSHOT, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, FactSet, RelationId};
+
+    fn ans(n: u32) -> WalRecord {
+        WalRecord::Answer {
+            session: Some(1),
+            member: n,
+            support: 1.0 / 3.0,
+            factset: FactSet::from_facts([Fact::new(
+                ElementId(n),
+                RelationId(0),
+                ElementId(0),
+            )]),
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oassis-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_backed_roundtrip_across_reopen() {
+        let dir = tempdir("roundtrip");
+        {
+            let mut p = FileBacked::open(&dir).unwrap();
+            p.append(&ans(1)).unwrap();
+            p.append(&ans(2)).unwrap();
+        }
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert_eq!(p.replay().unwrap(), vec![ans(1), ans(2)]);
+        p.append(&ans(3)).unwrap();
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert_eq!(p.replay().unwrap(), vec![ans(1), ans(2), ans(3)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let dir = tempdir("snapshot");
+        {
+            let mut p = FileBacked::open(&dir).unwrap().with_snapshot_every(2);
+            p.append(&ans(1)).unwrap();
+            p.append(&ans(2)).unwrap();
+            assert!(p.wants_snapshot());
+            p.snapshot(&[ans(20)]).unwrap();
+            assert_eq!(p.log_len(), 0);
+            p.append(&ans(3)).unwrap();
+        }
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert_eq!(p.replay().unwrap(), vec![ans(20), ans(3)]);
+        // The WAL itself only holds the tail.
+        assert_eq!(Wal::open(dir.join(WAL_FILE)).unwrap().records().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tempdir("torn");
+        {
+            let mut p = FileBacked::open(&dir).unwrap();
+            p.append(&ans(1)).unwrap();
+            p.append(&ans(2)).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last line in half.
+        let wal_path = dir.join(WAL_FILE);
+        let contents = fs::read_to_string(&wal_path).unwrap();
+        fs::write(&wal_path, &contents[..contents.len() - 7]).unwrap();
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert!(p.truncated_torn_tail());
+        assert_eq!(p.replay().unwrap(), vec![ans(1)], "good prefix survives");
+        // The truncated log appends cleanly again.
+        p.append(&ans(3)).unwrap();
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert_eq!(p.replay().unwrap(), vec![ans(1), ans(3)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_fatal() {
+        let dir = tempdir("interior");
+        {
+            let mut p = FileBacked::open(&dir).unwrap();
+            for n in 1..=3 {
+                p.append(&ans(n)).unwrap();
+            }
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let contents = fs::read_to_string(&wal_path).unwrap();
+        // Tamper with the *second* record (not the tail).
+        let lines: Vec<&str> = contents.lines().collect();
+        let mut tampered: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        tampered[2] = tampered[2].replace('1', "2");
+        fs::write(&wal_path, tampered.join("\n") + "\n").unwrap();
+        assert!(matches!(
+            FileBacked::open(&dir),
+            Err(DurableError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_records_after_snapshot_rename_are_skipped() {
+        let dir = tempdir("stale");
+        let mut p = FileBacked::open(&dir).unwrap();
+        p.append(&ans(1)).unwrap();
+        p.append(&ans(2)).unwrap();
+        p.snapshot(&[ans(20)]).unwrap();
+        // Simulate "crash between rename and truncate": rewrite the WAL
+        // with the pre-snapshot records (seq 1 and 2, now covered).
+        let mut wal = Wal::open(dir.join(WAL_FILE)).unwrap();
+        wal.append(1, &ans(1)).unwrap();
+        wal.append(2, &ans(2)).unwrap();
+        drop(wal);
+        drop(p);
+        let mut p = FileBacked::open(&dir).unwrap();
+        assert_eq!(
+            p.replay().unwrap(),
+            vec![ans(20)],
+            "covered sequence numbers are not replayed twice"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

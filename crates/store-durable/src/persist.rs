@@ -1,0 +1,258 @@
+//! The [`Persistence`] trait — what the service layer talks to — and the
+//! [`InMemory`] implementation used by tests and the deterministic crash
+//! simulation.
+
+use std::sync::{Arc, Mutex};
+
+use oassis_obs::{names, null_sink, EventSink, SinkExt};
+
+use crate::{DurableError, WalRecord};
+
+/// A durable record sink with replay-on-open semantics.
+///
+/// The contract mirrors a compacting write-ahead log:
+///
+/// * [`append`](Persistence::append) durably adds one record and returns
+///   its monotonically increasing sequence number;
+/// * [`replay`](Persistence::replay) returns every *live* record — the
+///   latest snapshot's compacted sequence followed by the log tail — in
+///   append order; replaying them into empty state reproduces the full
+///   durable state;
+/// * [`snapshot`](Persistence::snapshot) installs a compacted record
+///   sequence (supplied by the owner, who knows the live state) and
+///   discards the log tail it covers;
+/// * [`wants_snapshot`](Persistence::wants_snapshot) tells the owner the
+///   tail has grown past the configured compaction interval.
+pub trait Persistence: Send {
+    /// Durably append one record; returns its sequence number.
+    fn append(&mut self, record: &WalRecord) -> Result<u64, DurableError>;
+
+    /// Every live record (snapshot + tail) in append order.
+    fn replay(&mut self) -> Result<Vec<WalRecord>, DurableError>;
+
+    /// Records appended since the last snapshot (the tail length).
+    fn log_len(&self) -> u64;
+
+    /// Whether the tail has outgrown the compaction interval.
+    fn wants_snapshot(&self) -> bool;
+
+    /// Replace snapshot + tail with `compacted` (which must reproduce the
+    /// owner's full live state when replayed).
+    fn snapshot(&mut self, compacted: &[WalRecord]) -> Result<(), DurableError>;
+}
+
+/// The handle the service and answer store share.
+pub type SharedPersistence = Arc<Mutex<dyn Persistence>>;
+
+/// Wrap a concrete persistence in the [`SharedPersistence`] handle.
+pub fn shared<P: Persistence + 'static>(p: P) -> SharedPersistence {
+    Arc::new(Mutex::new(p))
+}
+
+/// In-memory persistence: the full WAL semantics (sequence numbers,
+/// snapshot compaction, replay) without a filesystem.
+///
+/// Beyond serving tests, it keeps the complete append **history** and the
+/// points at which snapshots were taken, so a simulated crash can
+/// reconstruct the exact durable image "as of record *k*" — see
+/// [`crashed_at`](InMemory::crashed_at). That is what the crash-restart
+/// oracle in `oassis-simtest` sweeps over.
+pub struct InMemory {
+    /// Compacted records from the latest snapshot.
+    base: Vec<WalRecord>,
+    /// Records appended since the latest snapshot.
+    tail: Vec<WalRecord>,
+    /// Every record ever appended to this instance, in order.
+    history: Vec<WalRecord>,
+    /// `(history length when taken, compacted records)` per snapshot.
+    snaps: Vec<(usize, Vec<WalRecord>)>,
+    /// Compact once the tail reaches this many records (`None` = never).
+    snapshot_every: Option<u64>,
+    next_seq: u64,
+    sink: Arc<dyn EventSink>,
+}
+
+impl Default for InMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemory {
+    /// An empty log that never auto-requests compaction.
+    pub fn new() -> Self {
+        InMemory {
+            base: Vec::new(),
+            tail: Vec::new(),
+            history: Vec::new(),
+            snaps: Vec::new(),
+            snapshot_every: None,
+            next_seq: 1,
+            sink: null_sink(),
+        }
+    }
+
+    /// Request a snapshot every `every` appended records.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = Some(every.max(1));
+        self
+    }
+
+    /// Report `wal.*` counters to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Every record ever appended to this instance, in append order.
+    pub fn history(&self) -> &[WalRecord] {
+        &self.history
+    }
+
+    /// Number of records ever appended.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of snapshots taken.
+    pub fn snapshot_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// The durable image as it stood after exactly `k` appends: the
+    /// latest snapshot taken at or before that point, plus the log tail
+    /// up to record `k`. This is what a process crash after the `k`-th
+    /// append (and any snapshot compactions up to it) would leave on
+    /// disk for recovery to find.
+    ///
+    /// # Panics
+    /// If `k` exceeds the number of appended records.
+    pub fn crashed_at(&self, k: usize) -> InMemory {
+        assert!(
+            k <= self.history.len(),
+            "crash point {k} beyond history ({} records)",
+            self.history.len()
+        );
+        let (covered, base) = self
+            .snaps
+            .iter()
+            .rev()
+            .find(|(point, _)| *point <= k)
+            .map(|(point, compacted)| (*point, compacted.clone()))
+            .unwrap_or((0, Vec::new()));
+        let tail: Vec<WalRecord> = self.history[covered..k].to_vec();
+        InMemory {
+            base,
+            history: tail.clone(),
+            tail,
+            snaps: Vec::new(),
+            snapshot_every: self.snapshot_every,
+            next_seq: k as u64 + 1,
+            sink: null_sink(),
+        }
+    }
+}
+
+impl Persistence for InMemory {
+    fn append(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tail.push(record.clone());
+        self.history.push(record.clone());
+        self.sink.count_labeled(names::WAL_APPEND, record.kind(), 1);
+        Ok(seq)
+    }
+
+    fn replay(&mut self) -> Result<Vec<WalRecord>, DurableError> {
+        let mut out = self.base.clone();
+        out.extend(self.tail.iter().cloned());
+        self.sink.count(names::WAL_REPLAY, out.len() as u64);
+        Ok(out)
+    }
+
+    fn log_len(&self) -> u64 {
+        self.tail.len() as u64
+    }
+
+    fn wants_snapshot(&self) -> bool {
+        self.snapshot_every
+            .is_some_and(|every| self.tail.len() as u64 >= every)
+    }
+
+    fn snapshot(&mut self, compacted: &[WalRecord]) -> Result<(), DurableError> {
+        self.base = compacted.to_vec();
+        self.tail.clear();
+        self.snaps.push((self.history.len(), compacted.to_vec()));
+        self.sink.count(names::WAL_SNAPSHOT, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_vocab::{ElementId, Fact, FactSet, RelationId};
+
+    fn ans(n: u32) -> WalRecord {
+        WalRecord::Answer {
+            session: None,
+            member: n,
+            support: 0.5,
+            factset: FactSet::from_facts([Fact::new(
+                ElementId(n),
+                RelationId(0),
+                ElementId(0),
+            )]),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let mut p = InMemory::new();
+        assert_eq!(p.append(&ans(1)).unwrap(), 1);
+        assert_eq!(p.append(&ans(2)).unwrap(), 2);
+        assert_eq!(p.replay().unwrap(), vec![ans(1), ans(2)]);
+        assert_eq!(p.log_len(), 2);
+        assert!(!p.wants_snapshot());
+    }
+
+    #[test]
+    fn snapshot_compacts_tail() {
+        let mut p = InMemory::new().with_snapshot_every(2);
+        p.append(&ans(1)).unwrap();
+        assert!(!p.wants_snapshot());
+        p.append(&ans(2)).unwrap();
+        assert!(p.wants_snapshot());
+        p.snapshot(&[ans(9)]).unwrap();
+        assert_eq!(p.log_len(), 0);
+        p.append(&ans(3)).unwrap();
+        assert_eq!(p.replay().unwrap(), vec![ans(9), ans(3)]);
+    }
+
+    #[test]
+    fn crashed_at_reconstructs_every_prefix() {
+        let mut p = InMemory::new();
+        for n in 1..=5 {
+            p.append(&ans(n)).unwrap();
+            if n == 3 {
+                // The owner compacts records 1–3 into one.
+                p.snapshot(&[ans(30)]).unwrap();
+            }
+        }
+        // Before the snapshot point: raw history prefix.
+        assert_eq!(p.crashed_at(0).replay().unwrap(), vec![]);
+        assert_eq!(p.crashed_at(2).replay().unwrap(), vec![ans(1), ans(2)]);
+        // At and after the snapshot point: compacted base + tail.
+        assert_eq!(p.crashed_at(3).replay().unwrap(), vec![ans(30)]);
+        assert_eq!(
+            p.crashed_at(5).replay().unwrap(),
+            vec![ans(30), ans(4), ans(5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond history")]
+    fn crashed_at_rejects_future_points() {
+        InMemory::new().crashed_at(1);
+    }
+}

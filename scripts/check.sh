@@ -27,4 +27,10 @@ OASSIS_SERVICE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- s
 echo "==> service simulation: 64-seed sweep (replay, differential, starvation, isolation)"
 cargo run --release -q -p oassis-simtest --bin sim -- service-sweep 64
 
+echo "==> durability smoke: WAL recovery invariants at small log sizes"
+OASSIS_DURABILITY_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- durability
+
+echo "==> durability simulation: 64-seed crash-restart sweep (kill at any WAL index, recover, compare)"
+cargo run --release -q -p oassis-simtest --bin sim -- durability-sweep 64
+
 echo "==> all checks passed"

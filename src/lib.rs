@@ -26,4 +26,12 @@ pub use oassis_obs as obs;
 pub use oassis_ql as ql;
 pub use oassis_sparql as sparql;
 pub use oassis_store as store;
+pub use oassis_store_durable as store_durable;
 pub use oassis_vocab as vocab;
+
+/// One-stop imports for the engine's three entry points — see
+/// [`oassis_core::prelude`] and the "which API when" table in
+/// `docs/engine.md`.
+pub mod prelude {
+    pub use oassis_core::prelude::*;
+}

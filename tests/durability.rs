@@ -1,0 +1,290 @@
+//! Integration tests for the durability layer: a file-backed service
+//! surviving restart, exhaustive kill-point recovery on a small plan,
+//! conservative budget accounting across a crash, and torn-tail /
+//! corrupt-log handling through `OassisService::recover`.
+
+use std::sync::{Arc, Mutex};
+
+use oassis::core::{
+    EngineConfig, Oassis, OassisError, OassisService, SessionRuntime, SessionSpec, SessionStatus,
+};
+use oassis::crowd::transaction::table3_dbs;
+use oassis::crowd::{CrowdMember, DbMember, MemberId};
+use oassis::store::ontology::figure1_ontology;
+use oassis::store_durable::{InMemory, SharedPersistence, WalRecord, WAL_FILE};
+use oassis_simtest::{
+    finish_after_crash, service_plans, simulate_durable_service, SIM_SNAPSHOT_EVERY,
+};
+
+const QUERY: &str = "SELECT FACT-SETS WHERE \
+      $x instanceOf $w. $w subClassOf* Attraction. \
+      $y subClassOf* Activity \
+    SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+fn figure1_crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+    for i in 0..n_pairs {
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i),
+            d1.clone(),
+            Arc::clone(&vocab),
+        )));
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i + 1),
+            d2.clone(),
+            Arc::clone(&vocab),
+        )));
+    }
+    members
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "oassis-durability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A file-backed service persists across a restart: the second process
+/// sees no open sessions (the first closed cleanly) but inherits the
+/// answer store, so an identical session is seeded and barely asks the
+/// crowd.
+#[test]
+fn file_backed_service_survives_restart() {
+    let dir = temp_dir("restart");
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, recovered) =
+        OassisService::recover(engine, runtime, &dir).expect("fresh dir opens empty");
+    assert!(recovered.is_empty(), "an empty log recovers nothing");
+    service
+        .submit(SessionSpec::builder(QUERY).build())
+        .unwrap();
+    let first = service.run().remove(0);
+    assert_eq!(first.status, SessionStatus::Completed);
+    assert!(first.crowd_questions > 0);
+    drop(service);
+    assert!(dir.join(WAL_FILE).exists(), "the WAL file must be on disk");
+
+    // "Restart": a brand-new process image over the same directory.
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, recovered) =
+        OassisService::recover(engine, runtime, &dir).expect("log replays");
+    assert!(recovered.is_empty(), "the only session closed cleanly");
+    service
+        .submit(SessionSpec::builder(QUERY).build())
+        .unwrap();
+    let second = service.run().remove(0);
+    assert_eq!(second.status, SessionStatus::Completed);
+    assert_eq!(
+        first
+            .result
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.clone())
+            .collect::<std::collections::BTreeSet<_>>(),
+        second
+            .result
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.clone())
+            .collect::<std::collections::BTreeSet<_>>(),
+        "recovered store changed the answers"
+    );
+    assert!(
+        second.crowd_questions < first.crowd_questions,
+        "recovered answers must seed the new session: {} vs {}",
+        second.crowd_questions,
+        first.crowd_questions
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a single-session durable run at *every* append index and
+/// recovering always reproduces the uninterrupted valid-MSP set (the
+/// sampled sweep in `oassis-simtest` covers many seeds; this nails every
+/// index for one).
+#[test]
+fn every_kill_point_recovers_the_same_answers() {
+    let seed = 7;
+    let plans = service_plans(1);
+    let run = simulate_durable_service(seed, &plans, false, Some(SIM_SNAPSHOT_EVERY));
+    let log = run.log.lock().unwrap();
+    assert!(log.snapshot_count() > 0, "the sweep must cross a compaction");
+    let expected = &run.outcome.sessions[0].msps;
+    assert!(!expected.is_empty(), "vacuous comparison");
+    for k in 0..=log.history_len() {
+        let finished = finish_after_crash(seed, &plans, false, &log, k);
+        let got = finished[0].as_ref().map_or(expected, |o| &o.msps);
+        assert_eq!(
+            got, expected,
+            "kill at {k}/{} diverged",
+            log.history_len()
+        );
+    }
+}
+
+/// Budget accounting survives a crash conservatively: the resumption's
+/// grant is the original minus the watermarked spend, so the two run
+/// legs together never dispatch more than the original budget.
+#[test]
+fn budget_is_never_overspent_across_a_crash() {
+    let budget = 3usize;
+    let mem = Arc::new(Mutex::new(InMemory::new()));
+    let persistence: SharedPersistence = Arc::clone(&mem) as SharedPersistence;
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start_with_persistence(
+        engine,
+        runtime,
+        oassis::obs::null_sink(),
+        persistence,
+    );
+    service
+        .submit(SessionSpec::builder(QUERY).budget(budget).build())
+        .unwrap();
+    let report = service.run().remove(0);
+    assert_eq!(report.status, SessionStatus::BudgetExhausted);
+    drop(service);
+
+    let log = mem.lock().unwrap();
+    // Crash right before the session closed: the last Budget watermark is
+    // the committed spend.
+    let close_idx = log
+        .history()
+        .iter()
+        .position(|r| matches!(r, WalRecord::Close { .. }))
+        .expect("the run closed its session");
+    let crash: SharedPersistence = Arc::new(Mutex::new(log.crashed_at(close_idx)));
+    drop(log);
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, mut recovered) =
+        OassisService::recover_with(engine, runtime, oassis::obs::null_sink(), crash)
+            .expect("crash image replays");
+    assert_eq!(recovered.len(), 1, "the interrupted session is recovered");
+    let session = recovered.remove(0);
+    assert!(session.spent > 0, "the watermark recorded the spend");
+    assert!(session.spent <= budget, "spend within the grant");
+    assert_eq!(session.spec.budget, Some(budget), "original grant kept");
+
+    let spent_before = session.spent;
+    service.resume(session).unwrap();
+    let resumed = service.run().remove(0);
+    assert!(
+        spent_before + resumed.crowd_questions <= budget,
+        "crash + resume overspent: {spent_before} + {} > {budget}",
+        resumed.crowd_questions
+    );
+}
+
+/// A torn tail (a partial last line, as left by a crash mid-write) is
+/// truncated and recovery proceeds; interior corruption is refused.
+#[test]
+fn torn_tail_recovers_and_interior_corruption_is_fatal() {
+    let dir = temp_dir("torn");
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, _) = OassisService::recover(engine, runtime, &dir).unwrap();
+    service
+        .submit(SessionSpec::builder(QUERY).build())
+        .unwrap();
+    let first = service.run().remove(0);
+    drop(service);
+
+    // Crash mid-append: garbage with no trailing newline.
+    let wal = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(b"9999|a|torn-mid-wri");
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, recovered) =
+        OassisService::recover(engine, runtime, &dir).expect("torn tail is recoverable");
+    assert!(recovered.is_empty());
+    service
+        .submit(SessionSpec::builder(QUERY).build())
+        .unwrap();
+    let second = service.run().remove(0);
+    assert!(
+        second.crowd_questions < first.crowd_questions,
+        "every committed answer must survive the torn tail"
+    );
+    drop(service);
+
+    // Interior damage is not a crash artifact — recovery must refuse.
+    let content = std::fs::read_to_string(&wal).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(lines.len() > 4, "need an interior line to corrupt");
+    let mut damaged: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let mid = damaged.len() / 2;
+    damaged[mid] = damaged[mid].replace('|', "!");
+    std::fs::write(&wal, damaged.join("\n") + "\n").unwrap();
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    match OassisService::recover(engine, runtime, &dir) {
+        Err(OassisError::Durability(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("corrupt"), "unexpected error: {msg}");
+        }
+        Ok(_) => panic!("interior corruption must not recover"),
+        Err(e) => panic!("wrong error kind: {e}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The engine-level config survives the log: a session admitted with a
+/// non-default seed and sample recovers with the same values.
+#[test]
+fn admitted_config_round_trips_through_the_log() {
+    let mem = Arc::new(Mutex::new(InMemory::new()));
+    let persistence: SharedPersistence = Arc::clone(&mem) as SharedPersistence;
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start_with_persistence(
+        engine,
+        runtime,
+        oassis::obs::null_sink(),
+        persistence,
+    );
+    let cfg = EngineConfig::builder().seed(41).aggregator_sample(3).build();
+    let spec = SessionSpec::builder(QUERY)
+        .threshold(0.5)
+        .priority(2)
+        .config(cfg)
+        .build();
+    service.submit(spec).unwrap();
+    // Crash before any mining happened: only the Admit record exists.
+    let crash: SharedPersistence = {
+        let log = mem.lock().unwrap();
+        Arc::new(Mutex::new(log.crashed_at(1)))
+    };
+    drop(service);
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (_service, recovered) =
+        OassisService::recover_with(engine, runtime, oassis::obs::null_sink(), crash).unwrap();
+    assert_eq!(recovered.len(), 1);
+    let spec = &recovered[0].spec;
+    assert_eq!(spec.query, QUERY);
+    assert_eq!(spec.threshold, Some(0.5));
+    assert_eq!(spec.priority, 2);
+    assert_eq!(spec.config.seed, 41);
+    assert_eq!(spec.config.aggregator_sample, 3);
+}

@@ -95,8 +95,7 @@ fn single_session_matches_multiuser_run_per_domain() {
         let engine = Oassis::new(domain.ontology.clone());
         let runtime = SessionRuntime::new(domain_crowd(&domain, members, seed));
         let mut service = OassisService::start(engine, runtime);
-        let mut spec = SessionSpec::new(&domain.query);
-        spec.config = cfg.clone();
+        let spec = SessionSpec::builder(&domain.query).config(cfg.clone()).build();
         service.submit(spec).unwrap();
         let mut reports = service.run();
         assert_eq!(reports.len(), 1);
@@ -141,8 +140,7 @@ fn overlapping_sessions_share_the_crowd() {
     let runtime = SessionRuntime::new(figure1_crowd(2));
     let mut service = OassisService::start_with_sink(engine, runtime, sink);
     for _ in 0..2 {
-        let mut spec = SessionSpec::new(QUERY);
-        spec.config = cfg.clone();
+        let spec = SessionSpec::builder(QUERY).config(cfg.clone()).build();
         service.submit(spec).unwrap();
     }
     let reports = service.run();
@@ -186,14 +184,12 @@ fn completed_answers_seed_later_sessions() {
     let runtime = SessionRuntime::new(figure1_crowd(2));
     let mut service = OassisService::start(engine, runtime);
 
-    let mut spec = SessionSpec::new(QUERY);
-    spec.config = cfg.clone();
+    let spec = SessionSpec::builder(QUERY).config(cfg.clone()).build();
     service.submit(spec).unwrap();
     let first = service.run().remove(0);
     assert!(first.crowd_questions > 0);
 
-    let mut spec = SessionSpec::new(QUERY);
-    spec.config = cfg.clone();
+    let spec = SessionSpec::builder(QUERY).config(cfg.clone()).build();
     service.submit(spec).unwrap();
     let second = service.run().remove(0);
 
@@ -222,8 +218,7 @@ fn budget_exhaustion_is_reported() {
     let engine = Oassis::new(figure1_ontology());
     let runtime = SessionRuntime::new(figure1_crowd(2));
     let mut service = OassisService::start(engine, runtime);
-    let mut spec = SessionSpec::new(QUERY);
-    spec.budget = Some(3);
+    let spec = SessionSpec::builder(QUERY).budget(3).build();
     service.submit(spec).unwrap();
     let report = service.run().remove(0);
     assert_eq!(report.status, SessionStatus::BudgetExhausted);
@@ -242,11 +237,9 @@ fn cancellation_leaves_other_sessions_intact() {
     let engine = Oassis::new(figure1_ontology());
     let runtime = SessionRuntime::new(figure1_crowd(2));
     let mut service = OassisService::start(engine, runtime);
-    let mut keep = SessionSpec::new(QUERY);
-    keep.config = cfg.clone();
+    let keep = SessionSpec::builder(QUERY).config(cfg.clone()).build();
     let keep_id = service.submit(keep).unwrap();
-    let mut drop_spec = SessionSpec::new(QUERY);
-    drop_spec.config = cfg.clone();
+    let drop_spec = SessionSpec::builder(QUERY).config(cfg.clone()).build();
     let drop_id = service.submit(drop_spec).unwrap();
     assert!(service.cancel(drop_id));
     assert!(!service.cancel(drop_id) || drop_id != keep_id); // idempotent-ish
@@ -313,10 +306,9 @@ fn priority_beats_admission_order() {
     let engine = Oassis::new(figure1_ontology());
     let runtime = SessionRuntime::new(members);
     let mut service = OassisService::start(engine, runtime);
-    let low = SessionSpec::new(park); // admitted first, priority 0
+    let low = SessionSpec::builder(park).build(); // admitted first, priority 0
     service.submit(low).unwrap();
-    let mut high = SessionSpec::new(zoo);
-    high.priority = 5;
+    let high = SessionSpec::builder(zoo).priority(5).build();
     service.submit(high).unwrap();
     let reports = service.run();
     assert!(reports.iter().all(|r| r.status == SessionStatus::Completed));
@@ -349,12 +341,10 @@ fn rosters_are_validated_and_respected() {
     let runtime = SessionRuntime::new(members);
     let mut service = OassisService::start(engine, runtime);
 
-    let mut bad = SessionSpec::new(QUERY);
-    bad.roster = Some(vec![0, 2]);
+    let bad = SessionSpec::builder(QUERY).roster(vec![0, 2]).build();
     assert!(service.submit(bad).is_err(), "seat 2 of 2 must be rejected");
 
-    let mut only_first = SessionSpec::new(QUERY);
-    only_first.roster = Some(vec![0]);
+    let only_first = SessionSpec::builder(QUERY).roster(vec![0]).build();
     service.submit(only_first).unwrap();
     let report = service.run().remove(0);
     assert_eq!(report.status, SessionStatus::Completed);

@@ -8,7 +8,7 @@
 //! `OASSIS_SIM_SEED=<seed> cargo test --test simulation` or the driver:
 //! `cargo run --release -p oassis-simtest --bin sim -- repro <seed>`.
 
-use oassis_simtest::{check_seed, simulate, sweep, SimOptions, REGRESSION_SEEDS};
+use oassis_simtest::{check_seed, durability_sweep, simulate, sweep, SimOptions, REGRESSION_SEEDS};
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -64,6 +64,25 @@ fn regression_seed_corpus_passes() {
             panic!("regression corpus: {failure}");
         }
     }
+}
+
+/// The crash-restart oracle, smoke-sized: durable service runs killed at
+/// sampled WAL indices and recovered must reproduce the uninterrupted
+/// valid-MSP sets (overlapping sessions) and crowd-question counts
+/// (disjoint sessions). The 64-seed version runs in `scripts/check.sh`
+/// via `sim durability-sweep`.
+#[test]
+fn durability_sweep_passes_all_oracles() {
+    let n = env_u64("OASSIS_SIM_SEEDS").unwrap_or(8);
+    let report = durability_sweep(0..n);
+    assert!(
+        report.failures.is_empty(),
+        "{} of {} seeds failed; first: {}",
+        report.failures.len(),
+        n,
+        report.failures[0]
+    );
+    assert_eq!(report.passed, n);
 }
 
 /// Replay one seed from the environment (the printed repro one-liner lands
