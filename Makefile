@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench
+.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench crowdscale-bench bench-summary
 
 # Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
 SEEDS ?= 10000
@@ -39,3 +39,13 @@ service-bench:
 # length, with and without snapshot compaction; writes BENCH_durability.json.
 durability-bench:
 	cargo run --release -p oassis-bench --bin figures -- durability
+
+# Crowd-scale benchmark: members x sessions grid with sharded dispatch and
+# question waves, every cell checked against its 1-shard/1-wave reference;
+# writes BENCH_crowdscale.json. Takes ~10 minutes (100k-member cells).
+crowdscale-bench:
+	cargo run --release -p oassis-bench --bin figures -- crowd-scale
+
+# One line per checked-in BENCH_*.json: headline numbers for quick diffing.
+bench-summary:
+	./scripts/bench_summary.sh

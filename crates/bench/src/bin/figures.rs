@@ -6,12 +6,15 @@
 //! ```
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
-//! dist mult crowdmix bounds growth runtime scale service durability` (or
-//! `all`). The `scale` experiment writes `BENCH_scale.json` at the repo
-//! root (`OASSIS_SCALE_SMOKE=1` shrinks it for CI); `service` writes
-//! `BENCH_service.json` the same way (`OASSIS_SERVICE_SMOKE=1`), and
-//! `durability` writes `BENCH_durability.json` — recovery time versus
-//! write-ahead-log length (`OASSIS_DURABILITY_SMOKE=1`).
+//! dist mult crowdmix bounds growth runtime scale service durability
+//! crowd-scale` (or `all`). The `scale` experiment writes
+//! `BENCH_scale.json` at the repo root (`OASSIS_SCALE_SMOKE=1` shrinks it
+//! for CI); `service` writes `BENCH_service.json` the same way
+//! (`OASSIS_SERVICE_SMOKE=1`), `durability` writes `BENCH_durability.json`
+//! — recovery time versus write-ahead-log length
+//! (`OASSIS_DURABILITY_SMOKE=1`) — and `crowd-scale` writes
+//! `BENCH_crowdscale.json`: sharded dispatch + question-wave throughput
+//! over crowds up to 100k members (`OASSIS_CROWDSCALE_SMOKE=1`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -25,9 +28,10 @@ use std::time::Duration;
 
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
-    crowd_statistics_observed, distribution_variation, multiplicity_variation, pace_of_collection,
-    recovery_scaling, runtime_speedup, scale_speedup, service_reuse, shape_variation, CurveSeries,
-    DurabilityRow, PaceResult, ScaleRow, ServiceRow,
+    crowd_scale, crowd_statistics_observed, distribution_variation, multiplicity_variation,
+    pace_of_collection, recovery_scaling, runtime_speedup, scale_speedup, service_reuse,
+    shape_variation, CrowdScaleOutcome, CurveSeries, DurabilityRow, PaceResult, ScaleRow,
+    ServiceRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -489,12 +493,187 @@ fn run_durability(sink: &Arc<dyn EventSink>, seed: u64) {
     }
 }
 
+/// Run the crowd-scale benchmark (PR 8) and write `BENCH_crowdscale.json`
+/// at the repo root: a members × sessions grid through one service with
+/// sharded dispatch (8 member shards, each with its own queue and worker
+/// team) and 16-question waves, verified cell-by-cell against the 1-shard,
+/// one-question-at-a-time reference, plus a shard sweep {1, 2, 4, 8} at
+/// the largest crowd. Throughput must grow near-linearly in the shard
+/// count while answers stay identical. `OASSIS_CROWDSCALE_SMOKE=1`
+/// shrinks the grid so CI can assert the invariants in seconds.
+fn run_crowd_scale(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_CROWDSCALE_SMOKE").is_ok_and(|v| v == "1");
+    println!(
+        "== crowd-scale: sharded dispatch + question waves ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let domain = self_treatment_domain();
+    let (grid_members, grid_sessions, sweep_shards, shards, wave): (
+        Vec<usize>,
+        Vec<usize>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if smoke {
+        (vec![200], vec![4], vec![1, 2], 2, 4)
+    } else {
+        (
+            vec![1_000, 10_000, 100_000],
+            vec![16, 256, 1024],
+            vec![1, 2, 4, 8],
+            8,
+            16,
+        )
+    };
+    // (outcome, answers_match) — every configuration of a (members,
+    // sessions) cell is verified against the cell's 1-shard, wave-1
+    // reference: identical per-session valid-MSP sets and stage-time
+    // question counts, every session completed.
+    let mut rows: Vec<(CrowdScaleOutcome, bool)> = Vec::new();
+    let push = |rows: &mut Vec<(CrowdScaleOutcome, bool)>,
+                    outcome: CrowdScaleOutcome,
+                    reference: &CrowdScaleOutcome| {
+        let ok = outcome.outcomes == reference.outcomes
+            && outcome.outcomes.iter().all(|(_, _, completed)| *completed);
+        assert!(
+            ok,
+            "crowd-scale {}x{} at {} shards / wave {} diverged from the reference",
+            outcome.members, outcome.sessions, outcome.shards, outcome.wave
+        );
+        sink.gauge_labeled(
+            "figures.crowdscale.qps",
+            &format!(
+                "m{}-s{}-sh{}-w{}",
+                outcome.members, outcome.sessions, outcome.shards, outcome.wave
+            ),
+            outcome.qps,
+        );
+        rows.push((outcome, ok));
+    };
+
+    let sweep_members = *grid_members.last().expect("grid has members");
+    let sweep_sessions = grid_sessions[grid_sessions.len() / 2];
+    for &m in &grid_members {
+        for &s in &grid_sessions {
+            let reference = crowd_scale(&domain, m, s, 1, 1, seed);
+            let fast = crowd_scale(&domain, m, s, shards, wave, seed);
+            push(&mut rows, fast, &reference);
+            if m == sweep_members && s == sweep_sessions {
+                // The shard sweep rides on this cell: same wave, growing
+                // shard counts, so the qps column isolates the sharding
+                // gain.
+                for &sh in &sweep_shards {
+                    if sh == shards {
+                        continue;
+                    }
+                    let swept = crowd_scale(&domain, m, s, sh, wave, seed);
+                    push(&mut rows, swept, &reference);
+                }
+            }
+            push(&mut rows, reference.clone(), &reference);
+        }
+    }
+
+    let sweep_qps = |sh: usize| {
+        rows.iter()
+            .find(|(o, _)| {
+                o.members == sweep_members
+                    && o.sessions == sweep_sessions
+                    && o.shards == sh
+                    && o.wave == wave
+            })
+            .map(|(o, _)| o.qps)
+    };
+    let mut shard_gain = 1.0;
+    if let (Some(one), Some(most)) = (sweep_qps(1), sweep_qps(*sweep_shards.last().unwrap())) {
+        shard_gain = most / one.max(f64::EPSILON);
+        println!(
+            "shard sweep at {sweep_members} members / {sweep_sessions} sessions: \
+             {one:.0} -> {most:.0} q/s ({shard_gain:.2}x from 1 -> {} shards)",
+            sweep_shards.last().unwrap()
+        );
+        if !smoke {
+            assert!(
+                shard_gain >= 3.0,
+                "sharding must buy at least 3x throughput at scale, got {shard_gain:.2}x"
+            );
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(o, ok)| {
+            vec![
+                o.members.to_string(),
+                o.sessions.to_string(),
+                o.shards.to_string(),
+                o.wave.to_string(),
+                o.workers.to_string(),
+                o.crowd_questions.to_string(),
+                format!("{:.2}s", o.wall.as_secs_f64()),
+                format!("{:.0}", o.qps),
+                ok.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "members", "sessions", "shards", "wave", "workers", "crowd q", "wall", "q/s",
+                "match"
+            ],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(o, ok)| {
+            format!(
+                concat!(
+                    "  {{\"members\": {}, \"sessions\": {}, \"shards\": {}, ",
+                    "\"wave\": {}, \"workers\": {}, \"crowd_questions\": {}, ",
+                    "\"store_hits\": {}, \"secs\": {:.6}, \"qps\": {:.3}, ",
+                    "\"answers_match\": {}}}"
+                ),
+                o.members,
+                o.sessions,
+                o.shards,
+                o.wave,
+                o.workers,
+                o.crowd_questions,
+                o.store_hits,
+                o.wall.as_secs_f64(),
+                o.qps,
+                ok,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"crowdscale\",\n\"mode\": {:?},\n\"seed\": {},\n\"shard_gain\": {:.3},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        shard_gain,
+        json_rows.join(",\n")
+    );
+    let path = if smoke {
+        "target/BENCH_crowdscale.smoke.json"
+    } else {
+        "BENCH_crowdscale.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
             "crowdmix", "bounds", "growth", "runtime", "scale", "service", "durability",
+            "crowd-scale",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -722,6 +901,7 @@ fn main() {
             "scale" => run_scale(&sink, seed),
             "service" => run_service(&sink, seed),
             "durability" => run_durability(&sink, seed),
+            "crowd-scale" => run_crowd_scale(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

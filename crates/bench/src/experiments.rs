@@ -1194,6 +1194,140 @@ pub fn recovery_scaling(records: usize, snapshot_every: Option<u64>, seed: u64) 
     }
 }
 
+/// Workers spawned per member shard by [`crowd_scale`]: each shard brings
+/// its own dispatch queue *and* its own worker team, so throughput should
+/// grow near-linearly in the shard count while the crowd latency dominates.
+pub const CROWDSCALE_WORKERS_PER_SHARD: usize = 4;
+
+/// One run of the crowd-scale benchmark (PR 8): `sessions` concurrent
+/// queries over an `members`-strong crowd through one service, with
+/// `shards` member shards and `wave`-question batched dispatch.
+#[derive(Debug, Clone)]
+pub struct CrowdScaleOutcome {
+    /// Crowd size.
+    pub members: usize,
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Member shards (each with its own queue + worker team).
+    pub shards: usize,
+    /// Questions staged per session per service cycle.
+    pub wave: usize,
+    /// Total worker threads (`shards * CROWDSCALE_WORKERS_PER_SHARD`).
+    pub workers: usize,
+    /// Questions dispatched to the crowd (wave hits included — they are
+    /// paid for exactly like dispatches).
+    pub crowd_questions: usize,
+    /// Dispatch-time answer-store hits (non-zero only when rosters wrap).
+    pub store_hits: usize,
+    /// Wall-clock of the service run (admission excluded).
+    pub wall: Duration,
+    /// Crowd questions per second.
+    pub qps: f64,
+    /// Per-session `(sorted valid MSPs, stage-time question count,
+    /// completed)` in admission order — the verification key compared
+    /// across shard/wave configurations. Stage-time counts are invariant
+    /// to transport, so they must match even when rosters overlap; the
+    /// crowd/store split may differ.
+    pub outcomes: Vec<(String, usize, bool)>,
+}
+
+/// Roster for session `s` of `sessions`: a contiguous slice of at least 4
+/// seats (so the aggregator sample of 3 can always fill). Slices are
+/// disjoint whenever `members / sessions >= 4` and wrap otherwise.
+fn crowd_scale_roster(s: usize, sessions: usize, members: usize) -> Vec<usize> {
+    let slice = (members / sessions).max(4).min(members);
+    (0..slice).map(|j| (s * slice + j) % members).collect()
+}
+
+/// Run the crowd-scale configuration once. Answers are verified by the
+/// caller: because every member's answer is a pure function of the asked
+/// fact set (honest DB-backed members behind drop-free channels) and
+/// sessions are sequential decision processes, the per-session MSP sets
+/// and stage-time question counts must be identical across every
+/// `(shards, wave)` configuration of the same `(members, sessions, seed)`
+/// cell.
+pub fn crowd_scale(
+    domain: &Domain,
+    members: usize,
+    sessions: usize,
+    shards: usize,
+    wave: usize,
+    seed: u64,
+) -> CrowdScaleOutcome {
+    let crowd = oassis_datagen::members(domain, members, seed);
+    let workers = shards * CROWDSCALE_WORKERS_PER_SHARD;
+    let runtime = SessionRuntime::new(crowd).workers(workers).shards(shards);
+    let engine = Oassis::new(domain.ontology.clone());
+    let mut service = OassisService::start(engine, runtime).with_wave_size(wave);
+    let cfg = EngineConfig::builder().seed(seed).aggregator_sample(3).build();
+    for s in 0..sessions {
+        let spec = SessionSpec::builder(&domain.query)
+            .config(cfg.clone())
+            .roster(crowd_scale_roster(s, sessions, members))
+            .build();
+        service.submit(spec).expect("crowd-scale session admits");
+    }
+    let start = Instant::now();
+    let reports = service.run();
+    let wall = start.elapsed();
+
+    let valid = |r: &oassis_core::QueryResult| {
+        let mut v: Vec<&str> = r
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.as_str())
+            .collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    let mut crowd_questions = 0;
+    let mut store_hits = 0;
+    let outcomes = reports
+        .iter()
+        .map(|r| {
+            crowd_questions += r.crowd_questions;
+            store_hits += r.store_hits;
+            (
+                valid(&r.result),
+                r.result.stats.total_questions,
+                r.status == SessionStatus::Completed,
+            )
+        })
+        .collect();
+    CrowdScaleOutcome {
+        members,
+        sessions,
+        shards,
+        wave,
+        workers,
+        crowd_questions,
+        store_hits,
+        wall,
+        qps: crowd_questions as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod crowd_scale_tests {
+    use super::*;
+    use oassis_datagen::self_treatment_domain;
+
+    /// Cheap smoke (the full 100k-member benchmark lives in the figures
+    /// binary's `crowd-scale` experiment): a sharded, waved run reproduces
+    /// the 1-shard, 1-question-at-a-time outcomes exactly.
+    #[test]
+    fn sharded_waved_run_matches_reference() {
+        let domain = self_treatment_domain();
+        let reference = crowd_scale(&domain, 64, 4, 1, 1, 9);
+        let fast = crowd_scale(&domain, 64, 4, 4, 8, 9);
+        assert_eq!(reference.outcomes, fast.outcomes);
+        assert!(reference.crowd_questions > 0);
+        assert!(fast.outcomes.iter().all(|(_, _, completed)| *completed));
+    }
+}
+
 #[cfg(test)]
 mod scale_tests {
     use super::*;

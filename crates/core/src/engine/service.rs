@@ -4,9 +4,29 @@
 //! The service admits queries ([`submit`](OassisService::submit)) against a
 //! single [`SessionRuntime`] worker pool and schedules them in
 //! priority-then-round-robin cycles ([`run`](OassisService::run)). Each
-//! cycle gives every live session at most one *crowd* dispatch; answers are
-//! routed back as they arrive, so sessions overlap their crowd latency
-//! instead of queueing behind one another.
+//! cycle gives every live session at most one *committed* crowd dispatch;
+//! answers are routed back as they arrive, so sessions overlap their crowd
+//! latency instead of queueing behind one another.
+//!
+//! ## Question waves
+//!
+//! With [`set_wave_size`](OassisService::set_wave_size) above 1, each
+//! session additionally keeps a *wave* of up to `wave_size` questions in
+//! flight per cycle: beyond its one committed dispatch, the service
+//! predicts the session's next concrete questions
+//! ([`MiningSession::predict_questions`] — a read-only walk of the same
+//! selection logic the commit loop runs) and dispatches them
+//! speculatively across the pool's member shards. Speculative answers
+//! land in the pool's shared cache; when the commit loop stages such a
+//! question, it is served from the cache and **accounted exactly like a
+//! crowd dispatch** (`crowd_questions`, budget spend, WAL watermark,
+//! `service.question.dispatched/resolved`, plus `wave.hit`) — it *was*
+//! one, just paid earlier. That accounting is what keeps the valid-MSP
+//! sets and question counts identical across wave sizes (the `wave-sweep`
+//! sim oracle enforces it). Sessions that ask specialization or pruning
+//! questions (RNG-driven kinds prediction cannot see) never join waves.
+//! The wave size is a runtime tuning knob, not part of a session's spec:
+//! it is not persisted, and a recovered service starts back at 1.
 //!
 //! Cross-query reuse flows through the [`AnswerStore`]:
 //!
@@ -42,7 +62,7 @@
 //! rosters, the per-query crowd-question totals) match the uninterrupted
 //! run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -227,6 +247,26 @@ struct SessionSlot {
     crowd_questions: usize,
     store_hits: usize,
     in_flight: Option<InFlight>,
+    /// Whether this session may participate in question waves: only
+    /// sessions whose question mix is fully predictable (no RNG-driven
+    /// specialization/pruning questions) can be speculated for.
+    wave_eligible: bool,
+    /// The pool seat this session's staged question is stalled on (busy
+    /// with someone else's question). Wave staging never speculates onto
+    /// a claimed seat, so a stalled session acquires it as soon as the
+    /// current occupant drains — the starvation bound survives waves.
+    stall_claim: Option<usize>,
+    /// Pool seats this session last staged prefetches onto. Kept so wave
+    /// top-up costs O(wave) — drained seats are retired by re-checking
+    /// just these, never by scanning the (possibly 100k-member) roster.
+    wave_seats: Vec<usize>,
+    /// Whether this session's prediction inputs changed since the last
+    /// staging attempt (an answer absorbed, a turn taken). Staging also
+    /// re-runs when one of `wave_seats` drains; otherwise a repeat
+    /// attempt would walk the assignment space only to re-derive the
+    /// same (already staged or empty) candidates, and with a thousand
+    /// sessions those no-op walks dwarf the crowd work being hidden.
+    wave_dirty: bool,
     cancel_requested: bool,
     finished: Option<SessionStatus>,
     result: Option<QueryResult>,
@@ -317,6 +357,14 @@ pub struct OassisService {
     slots: Vec<SessionSlot>,
     next_id: u64,
     cycle: u64,
+    /// Per-session in-flight question target (1 = classic one-at-a-time
+    /// dispatch; above 1 enables speculative question waves).
+    wave_size: usize,
+    /// Refcounted union of every live slot's `stall_claim`, so wave
+    /// staging checks "is this seat claimed?" in O(1) instead of scanning
+    /// all slots per staged seat. Counted because overlapping rosters let
+    /// two sessions stall on the same seat.
+    wave_claims: HashMap<usize, u32>,
     /// Durability log shared with the answer store (`None` = volatile).
     persistence: Option<SharedPersistence>,
 }
@@ -348,8 +396,30 @@ impl OassisService {
             slots: Vec::new(),
             next_id: 0,
             cycle: 0,
+            wave_size: 1,
+            wave_claims: HashMap::new(),
             persistence: None,
         }
+    }
+
+    /// Set the per-session wave size (clamped to ≥ 1): how many questions
+    /// each session keeps in flight per cycle — one committed dispatch
+    /// plus up to `n - 1` speculative prefetches fanned out across the
+    /// pool's shards. 1 (the default) restores strict one-at-a-time
+    /// dispatch. See the module docs for the determinism contract.
+    pub fn set_wave_size(&mut self, n: usize) {
+        self.wave_size = n.max(1);
+    }
+
+    /// Builder-style [`set_wave_size`](Self::set_wave_size).
+    pub fn with_wave_size(mut self, n: usize) -> Self {
+        self.set_wave_size(n);
+        self
+    }
+
+    /// The configured wave size.
+    pub fn wave_size(&self) -> usize {
+        self.wave_size
     }
 
     /// Start a *durable* service: every committed crowd answer, session
@@ -521,6 +591,11 @@ impl OassisService {
         });
         let query = self.engine.parse(&spec.query)?;
         let threshold = spec.threshold.unwrap_or(query.satisfying.support);
+        // Waves predict concrete questions only; a session that may draw
+        // RNG-driven specialization/pruning questions cannot be speculated
+        // for without diverging from the one-at-a-time path.
+        let wave_eligible =
+            spec.config.specialization_ratio == 0.0 && spec.config.pruning_ratio == 0.0;
         let config = Arc::new(spec.config);
         let space = Arc::new(self.engine.space(&query, &config)?);
         let scache = if config.use_indexes {
@@ -584,6 +659,10 @@ impl OassisService {
             crowd_questions: 0,
             store_hits: 0,
             in_flight: None,
+            wave_eligible,
+            stall_claim: None,
+            wave_seats: Vec::new(),
+            wave_dirty: true,
             cancel_requested: false,
             finished: None,
             result: None,
@@ -635,11 +714,17 @@ impl OassisService {
                     continue;
                 }
                 if self.slots[i].in_flight.is_some() {
-                    // Waiting on the crowd; revisit once the answer lands.
+                    // Waiting on the crowd; top the wave back up and
+                    // revisit once the answer lands.
+                    self.stage_wave(i);
                     any_inflight = true;
                     continue;
                 }
                 if self.pump_slot(i) {
+                    // Pumping advanced the session's state machine, so
+                    // its predictions may have changed.
+                    self.slots[i].wave_dirty = true;
+                    self.stage_wave(i);
                     any_inflight = true;
                 }
             }
@@ -726,10 +811,108 @@ impl OassisService {
         }
     }
 
+    /// Record slot `i` stalling on pool seat `idx` (see
+    /// [`SessionSlot::stall_claim`]).
+    fn claim_seat(&mut self, i: usize, idx: usize) {
+        self.release_claim(i);
+        self.slots[i].stall_claim = Some(idx);
+        *self.wave_claims.entry(idx).or_insert(0) += 1;
+    }
+
+    /// Drop slot `i`'s stall claim, if any.
+    fn release_claim(&mut self, i: usize) {
+        if let Some(idx) = self.slots[i].stall_claim.take() {
+            if let Some(n) = self.wave_claims.get_mut(&idx) {
+                *n -= 1;
+                if *n == 0 {
+                    self.wave_claims.remove(&idx);
+                }
+            }
+        }
+    }
+
+    /// Top up slot `i`'s question wave: while the session has fewer than
+    /// `wave_size` questions outstanding (its committed dispatch plus
+    /// speculative prefetches on its roster seats), predict its next
+    /// concrete questions and dispatch them speculatively. Seats claimed
+    /// by a stalled committed question are never speculated onto — the
+    /// stalled session gets the seat as soon as its occupant drains, so
+    /// waves cannot starve committed work.
+    fn stage_wave(&mut self, i: usize) {
+        let wave_size = self.wave_size;
+        if wave_size <= 1
+            || !self.slots[i].wave_eligible
+            || self.slots[i].finished.is_some()
+            || self.slots[i].cancel_requested
+        {
+            return;
+        }
+        let Self {
+            pool,
+            slots,
+            sink,
+            wave_claims,
+            ..
+        } = self;
+        let slot = &mut slots[i];
+        // Retire drained prefetches by re-checking only the seats we
+        // staged — O(wave), independent of roster size. A seat another
+        // session re-speculated onto stays counted as ours; that only
+        // under-stages, never over-fills the wave.
+        let staged_before = slot.wave_seats.len();
+        slot.wave_seats.retain(|&idx| pool.pending_speculative(idx));
+        let drained = slot.wave_seats.len() != staged_before;
+        if !slot.wave_dirty && !drained {
+            return;
+        }
+        let mut outstanding = usize::from(slot.in_flight.is_some()) + slot.wave_seats.len();
+        if outstanding >= wave_size {
+            return;
+        }
+        slot.wave_dirty = false;
+        // Unlike the single-session runtime, the service never publishes a
+        // classification border to the pool: its sessions mine different
+        // query spaces, and workers would test one session's border against
+        // another's prefetch targets. Staleness is bounded instead by
+        // `predict_questions` filtering against both caches at stage time;
+        // the leftovers are counted as wasted speculation.
+        //
+        // Only the seats the session's round-robin scheduler visits next
+        // are predicted for — a prediction costs a walk of the assignment
+        // space, and on 100k-member rosters predicting for every seat per
+        // cycle would dwarf the crowd work being hidden.
+        for seat in slot.session.upcoming_seats(wave_size) {
+            if outstanding >= wave_size {
+                break;
+            }
+            let idx = slot.roster[seat];
+            if wave_claims.contains_key(&idx) || !pool.can_speculate(idx) {
+                continue;
+            }
+            let candidates = match pool.member(idx).filter(|m| m.willing()) {
+                Some(member) => slot.session.predict_questions(seat, pool.shared(), member),
+                None => continue,
+            };
+            if candidates.is_empty() {
+                // Predictions are nearly member-independent; once one seat
+                // has nothing left to prefetch the rest of the rotation
+                // won't either — stop paying for space walks this cycle.
+                break;
+            }
+            let staged = candidates.len() as u64;
+            pool.speculate(idx, candidates);
+            slot.wave_seats.push(idx);
+            sink.count_labeled(names::WAVE_STAGED, &format!("s{}", slot.id.0), staged);
+            outstanding += 1;
+        }
+    }
+
     /// Resolve one staged question: serve from the store, absorb an
-    /// exclusion, or dispatch to the crowd.
+    /// exclusion, serve a wave-prefetched answer, or dispatch to the
+    /// crowd.
     fn handle_ask(&mut self, i: usize, q: PendingQuestion) -> AskFlow {
         let pool_idx = self.slots[i].roster[q.seat];
+        self.release_claim(i);
         // Dispatch-time reuse: a concrete question another query already
         // answered is served from the store without any crowd traffic.
         if let QuestionPayload::Concrete { factset, .. } = &q.payload {
@@ -747,6 +930,32 @@ impl OassisService {
             if self.slots[i].crowd_questions >= b {
                 self.finalize_slot(i, SessionStatus::BudgetExhausted);
                 return AskFlow::Finished;
+            }
+        }
+        // Wave reuse: a prefetch already paid the crowd for this answer.
+        // Account it exactly like a dispatch + immediate response — the
+        // budget check above, the question count, the spend watermark and
+        // the dispatched/resolved events all match the one-at-a-time
+        // path, which is the wave determinism contract.
+        if let QuestionPayload::Concrete { factset, .. } = &q.payload {
+            if let Some(s) = self.pool.shared().lookup(factset, q.member) {
+                let slot = &mut self.slots[i];
+                slot.crowd_questions += 1;
+                let session = slot.id.0;
+                let spend_mark = slot.budget.map(|_| slot.crowd_questions as u64);
+                self.pool.note_speculation_hit();
+                self.store.record_tagged(factset, q.member, s, Some(session));
+                let label = format!("s{session}");
+                self.sink
+                    .count_labeled(names::SERVICE_QUESTION_DISPATCHED, &label, 1);
+                self.sink
+                    .count_labeled(names::SERVICE_QUESTION_RESOLVED, &label, 1);
+                self.sink.count_labeled(names::WAVE_HIT, &label, 1);
+                if let Some(spent) = spend_mark {
+                    self.append_wal(&WalRecord::Budget { session, spent });
+                }
+                self.slots[i].session.absorb(q.id, Answer::Support(s));
+                return AskFlow::Served;
             }
         }
         let payload = match &q.payload {
@@ -767,8 +976,16 @@ impl OassisService {
         };
         match self.pool.dispatch_committed(pool_idx, payload) {
             None => {
-                // The seat is busy with another session's question; the
-                // staged question is re-offered next cycle.
+                // The seat is busy with another question; the staged
+                // question is re-offered next cycle. Claim the seat so
+                // wave staging cannot re-occupy it, and make the waste
+                // visible.
+                self.claim_seat(i, pool_idx);
+                self.sink.count_labeled(
+                    names::SERVICE_DISPATCH_STALLED,
+                    &format!("s{}", self.slots[i].id.0),
+                    1,
+                );
                 AskFlow::Stalled
             }
             Some(pool_q) => {
@@ -821,8 +1038,8 @@ impl OassisService {
                 Some(AskValue::Support(s)) => Answer::Support(s),
                 Some(AskValue::Choice(c)) => Answer::Choice(c),
                 Some(AskValue::Irrelevant(elems)) => Answer::Irrelevant(elems),
-                // The service never speculates, so a prefetch answer can
-                // only be a stray; treat it as a lost question.
+                // Prefetch answers drain into the shared cache, never the
+                // completed buffer; one here is a stray — treat it as lost.
                 Some(AskValue::Prefetched(_)) => Answer::Unavailable,
             };
             if let (Some((fs, member)), Answer::Support(s)) = (&inflight.concrete, &answer) {
@@ -838,12 +1055,14 @@ impl OassisService {
                 1,
             );
             self.slots[i].session.absorb(inflight.session_q, answer);
+            self.slots[i].wave_dirty = true;
         }
     }
 
     /// End slot `i` with `status`: close its session, absorb its answers
     /// into the store, finalize the result for the query's SELECT form.
     fn finalize_slot(&mut self, i: usize, status: SessionStatus) {
+        self.release_claim(i);
         let (result, cache) = self.slots[i].session.finish();
         self.store.absorb_cache(&cache);
         let result = self

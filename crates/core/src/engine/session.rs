@@ -1094,6 +1094,24 @@ impl<'a> MiningSession<'a> {
         self.seats[seat].exhausted
     }
 
+    /// The next `n` seats the round-robin scheduler will visit (exhausted
+    /// seats skipped), starting from the current turn's seat. The service's
+    /// wave staging prefetches for exactly these seats — predicting for the
+    /// whole roster would cost a space walk per seat on large crowds while
+    /// only the seats about to take a turn can produce cache hits.
+    pub(crate) fn upcoming_seats(&self, n: usize) -> Vec<usize> {
+        let len = self.seats.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let start = self.seat_cursor.min(len - 1);
+        (0..len)
+            .map(|k| (start + k) % len)
+            .filter(|&s| !self.seats[s].exhausted)
+            .take(n)
+            .collect()
+    }
+
     /// Close the session, yielding the final result and the reusable
     /// answer cache. The final MSP set is the positive border of the
     /// overall knowledge (not just the incrementally confirmed ones).

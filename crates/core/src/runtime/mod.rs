@@ -80,14 +80,20 @@ impl std::fmt::Display for QuestionId {
 /// Tuning knobs of the session runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeOptions {
-    /// Worker threads carrying crowd round-trips (min 1, default 4).
-    /// Ignored in simulation, where a single-threaded scheduler serves
-    /// every request.
+    /// Worker threads carrying crowd round-trips (min 1, default 4; on the
+    /// threaded path, raised to at least one per shard). Ignored in
+    /// simulation, where a single-threaded scheduler serves every request.
     pub workers: usize,
     /// How long a worker waits for one answer before declaring a timeout.
     pub question_timeout: Duration,
     /// Re-asks after a timeout before the member is excluded.
     pub max_retries: usize,
+    /// Independent member shards (min 1, default 1). Each shard owns a
+    /// dispatch queue and a slice of the worker pool; a member is pinned
+    /// to one shard by the consistent [`oassis_crowd::placement`] hash,
+    /// so shards never contend on each other's queues. In simulation the
+    /// scheduler is logically one shard and this is ignored.
+    pub shards: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -96,6 +102,7 @@ impl Default for RuntimeOptions {
             workers: 4,
             question_timeout: Duration::from_millis(250),
             max_retries: 2,
+            shards: 1,
         }
     }
 }
@@ -165,6 +172,13 @@ impl SessionRuntime {
     /// Set the retry budget per question.
     pub fn max_retries(mut self, n: usize) -> Self {
         self.options.max_retries = n;
+        self
+    }
+
+    /// Set the member-shard count (values below 1 are clamped to 1). Each
+    /// shard gets its own dispatch queue and at least one worker thread.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.options.shards = n.max(1);
         self
     }
 
@@ -364,6 +378,10 @@ pub(crate) struct AskRequest {
     pub(crate) member: Box<dyn CrowdMember>,
     pub(crate) payload: AskPayload,
     pub(crate) speculative: bool,
+    /// The member shard this request is pinned to (consistent placement
+    /// over the member id). The sim executor, logically one shard,
+    /// ignores it.
+    pub(crate) shard: usize,
 }
 
 pub(crate) struct AskResponse {
@@ -400,14 +418,19 @@ pub(crate) trait Executor: Send {
     fn finish_shutdown(&mut self);
 }
 
-/// The request channel shared by coordinator and workers.
+/// The request channel shared by coordinator and workers. Two lanes:
+/// committed questions are served before speculative prefetch, so a
+/// deep backlog of optional wave work can never delay the answer a
+/// session is actually blocked on (prefetch is a latency hider, not a
+/// competitor for worker time).
 struct WorkQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
 }
 
 struct QueueState {
-    requests: VecDeque<AskRequest>,
+    committed: VecDeque<AskRequest>,
+    speculative: VecDeque<AskRequest>,
     shutdown: bool,
 }
 
@@ -415,7 +438,8 @@ impl WorkQueue {
     fn new() -> Self {
         WorkQueue {
             state: Mutex::new(QueueState {
-                requests: VecDeque::new(),
+                committed: VecDeque::new(),
+                speculative: VecDeque::new(),
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -424,16 +448,25 @@ impl WorkQueue {
 
     fn push(&self, request: AskRequest) {
         let mut state = self.state.lock().expect("work queue poisoned");
-        state.requests.push_back(request);
+        if request.speculative {
+            state.speculative.push_back(request);
+        } else {
+            state.committed.push_back(request);
+        }
         drop(state);
         self.ready.notify_one();
     }
 
-    /// Blocking pop; `None` once the queue is shut down and drained.
+    /// Blocking pop, committed lane first; `None` once the queue is shut
+    /// down and drained.
     fn pop(&self) -> Option<AskRequest> {
         let mut state = self.state.lock().expect("work queue poisoned");
         loop {
-            if let Some(request) = state.requests.pop_front() {
+            if let Some(request) = state
+                .committed
+                .pop_front()
+                .or_else(|| state.speculative.pop_front())
+            {
                 return Some(request);
             }
             if state.shutdown {
@@ -459,10 +492,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The production executor: a pool of worker threads popping requests off
-/// a shared queue and racing real time through a [`SystemClock`].
+/// The production executor: `shards` independent work queues, each served
+/// by its own slice of the worker pool, all answering into one response
+/// channel. A request's [`shard`](AskRequest::shard) picks its queue, so
+/// shards never contend on each other's dispatch path; `recv` stays a
+/// single blocking point for the coordinator.
 struct ThreadedExecutor {
-    queue: Arc<WorkQueue>,
+    queues: Vec<Arc<WorkQueue>>,
     responses: mpsc::Receiver<AskResponse>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -474,12 +510,15 @@ impl ThreadedExecutor {
         vocab: Arc<Vocabulary>,
         sink: Arc<dyn EventSink>,
     ) -> Self {
-        let queue = Arc::new(WorkQueue::new());
+        let shards = options.shards.max(1);
+        let queues: Vec<Arc<WorkQueue>> =
+            (0..shards).map(|_| Arc::new(WorkQueue::new())).collect();
         let (tx, rx) = mpsc::channel();
-        let n_workers = options.workers.max(1);
+        // At least one worker per shard; extra workers round-robin.
+        let n_workers = options.workers.max(1).max(shards);
         let workers = (0..n_workers)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
+            .map(|w| {
+                let queue = Arc::clone(&queues[w % shards]);
                 let tx = tx.clone();
                 let border = border.clone();
                 let vocab = Arc::clone(&vocab);
@@ -488,7 +527,7 @@ impl ThreadedExecutor {
             })
             .collect();
         ThreadedExecutor {
-            queue,
+            queues,
             responses: rx,
             workers,
         }
@@ -497,7 +536,8 @@ impl ThreadedExecutor {
 
 impl Executor for ThreadedExecutor {
     fn submit(&mut self, request: AskRequest) {
-        self.queue.push(request);
+        let queue = request.shard % self.queues.len();
+        self.queues[queue].push(request);
     }
 
     fn recv(&mut self) -> Option<AskResponse> {
@@ -505,7 +545,9 @@ impl Executor for ThreadedExecutor {
     }
 
     fn begin_shutdown(&mut self) {
-        self.queue.shutdown();
+        for queue in &self.queues {
+            queue.shutdown();
+        }
     }
 
     fn finish_shutdown(&mut self) {
@@ -690,6 +732,10 @@ struct Slot {
     id: MemberId,
     excluded: bool,
     pending: Option<QuestionId>,
+    /// Whether the pending question is speculative (wave prefetch). The
+    /// service's wave staging counts these toward a session's outstanding
+    /// wave without confusing them with committed dispatches.
+    pending_speculative: bool,
 }
 
 /// Coordinator-side handle of the execution backend: slots, dispatch
@@ -700,6 +746,8 @@ pub(crate) struct Pool {
     shared: SharedCrowdCache,
     border: SharedBorder,
     sink: Arc<dyn EventSink>,
+    /// Member-shard count the executor was built with (1 in simulation).
+    shards: usize,
     next_question: u64,
     inflight: usize,
     spec_dispatched: u64,
@@ -735,9 +783,17 @@ impl Pool {
                 member: Some(m),
                 excluded: false,
                 pending: None,
+                pending_speculative: false,
             })
             .collect();
         let border = SharedBorder::new();
+        // The sim executor is a single seeded scheduler: logically one
+        // shard, so placement never perturbs its decision sequence.
+        let shards = if sim.is_some() {
+            1
+        } else {
+            options.shards.max(1)
+        };
         let exec: Box<dyn Executor> = match sim {
             None => Box::new(ThreadedExecutor::spawn(
                 options,
@@ -756,9 +812,12 @@ impl Pool {
         Pool {
             exec,
             slots,
-            shared: SharedCrowdCache::new(),
+            shared: SharedCrowdCache::with_stripes(
+                oassis_crowd::DEFAULT_STRIPES.max(shards),
+            ),
             border,
             sink,
+            shards,
             next_question: 0,
             inflight: 0,
             spec_dispatched: 0,
@@ -825,7 +884,8 @@ impl Pool {
         self.sink.gauge(names::RUNTIME_INFLIGHT, n as f64);
     }
 
-    /// Check the member out of its slot and enqueue the question.
+    /// Check the member out of its slot and enqueue the question on its
+    /// member's shard.
     fn dispatch(&mut self, idx: usize, payload: AskPayload, speculative: bool) -> QuestionId {
         let member = self.slots[idx]
             .member
@@ -833,6 +893,7 @@ impl Pool {
             .expect("dispatch requires the member to be home");
         let question = self.next_question_id();
         self.slots[idx].pending = Some(question);
+        self.slots[idx].pending_speculative = speculative;
         self.set_inflight(self.inflight + 1);
         let label = if speculative { "speculative" } else { "committed" };
         self.sink.count_labeled(names::RUNTIME_DISPATCHED, label, 1);
@@ -842,12 +903,18 @@ impl Pool {
             self.sink
                 .count_labeled(names::RUNTIME_SPECULATION, "dispatched", n);
         }
+        let shard = self.shard_of(idx);
+        if self.shards > 1 {
+            self.sink
+                .count_labeled(names::SHARD_DISPATCHED, &format!("shard{shard}"), 1);
+        }
         self.exec.submit(AskRequest {
             question,
             member_idx: idx,
             member,
             payload,
             speculative,
+            shard,
         });
         question
     }
@@ -862,6 +929,7 @@ impl Pool {
         let idx = response.member_idx;
         debug_assert_eq!(self.slots[idx].pending, Some(response.question));
         self.slots[idx].pending = None;
+        self.slots[idx].pending_speculative = false;
         self.set_inflight(self.inflight.saturating_sub(1));
         self.slots[idx].member = response.member;
         self.spec_cancelled += response.cancelled;
@@ -1018,6 +1086,19 @@ impl Pool {
         !slot.excluded && slot.pending.is_none() && slot.member.is_some()
     }
 
+    /// Whether `idx` currently has a *speculative* question in flight.
+    /// The service's wave staging counts these toward a session's
+    /// outstanding wave.
+    pub(crate) fn pending_speculative(&self, idx: usize) -> bool {
+        self.slots[idx].pending.is_some() && self.slots[idx].pending_speculative
+    }
+
+    /// The member shard seat `idx` is pinned to (consistent placement over
+    /// the member id; always 0 with one shard or in simulation).
+    pub(crate) fn shard_of(&self, idx: usize) -> usize {
+        oassis_crowd::placement::member_shard(self.slots[idx].id, self.shards)
+    }
+
     /// Dispatch a speculative prefetch batch for `idx` — the predicted
     /// next question plus fallback candidates, answered in one simulated
     /// crowd round-trip (a multi-question form).
@@ -1092,13 +1173,52 @@ mod tests {
         let rt = SessionRuntime::new(Vec::new())
             .workers(0)
             .question_timeout(Duration::from_millis(5))
-            .max_retries(7);
+            .max_retries(7)
+            .shards(0);
         assert_eq!(rt.options().workers, 1);
         assert_eq!(rt.options().question_timeout, Duration::from_millis(5));
         assert_eq!(rt.options().max_retries, 7);
+        assert_eq!(rt.options().shards, 1);
         assert!(rt.is_empty());
         assert!(!rt.is_simulated());
         assert!(rt.simulated(SimConfig::new(0)).is_simulated());
+    }
+
+    #[test]
+    fn sharded_executor_round_trips_every_member() {
+        let members: Vec<Box<dyn CrowdMember>> =
+            (0..16).map(|i| scripted(i, f64::from(i) / 16.0)).collect();
+        let runtime = SessionRuntime::new(members).workers(2).shards(4);
+        let mut pool = Pool::start(runtime, test_vocab(), oassis_obs::null_sink());
+        let shards: std::collections::HashSet<usize> =
+            (0..16).map(|i| pool.shard_of(i)).collect();
+        assert!(shards.len() > 1, "16 members land on more than one shard");
+        assert!(shards.iter().all(|&s| s < 4));
+        for i in 0..16 {
+            let value = pool.ask(i, concrete_payload());
+            let expected = f64::from(i as u32) / 16.0;
+            assert!(
+                matches!(value, Some(AskValue::Support(s)) if (s - expected).abs() < 1e-12),
+                "member {i} answered through its shard"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_placement_is_stable_across_pools() {
+        let make = || {
+            let members: Vec<Box<dyn CrowdMember>> =
+                (0..32).map(|i| scripted(i, 0.5)).collect();
+            Pool::start(
+                SessionRuntime::new(members).shards(8),
+                test_vocab(),
+                oassis_obs::null_sink(),
+            )
+        };
+        let (a, b) = (make(), make());
+        for i in 0..32 {
+            assert_eq!(a.shard_of(i), b.shard_of(i), "member {i} moved shards");
+        }
     }
 
     #[test]

@@ -37,15 +37,23 @@ use oassis_vocab::FactSet;
 
 use crate::cache::CrowdCache;
 use crate::member::MemberId;
+use crate::placement;
+use crate::shared::DEFAULT_STRIPES;
+
+type Stripe = Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>;
 
 /// A persistent member×question answer log shared across query sessions.
 ///
-/// Interior-mutable (a `Mutex` guards the log) so one store can be read by
-/// many sessions through a shared reference.
+/// Interior-mutable and lock-striped by fact-set hash (the same
+/// [`placement`] scheme as [`SharedCrowdCache`](crate::SharedCrowdCache)),
+/// so one store can be read and written by many concurrent sessions through
+/// a shared reference without serializing on a single mutex. A fact-set
+/// lives wholly in one stripe, which preserves per-fact-set insertion
+/// order — the property the seeded-aggregator determinism depends on.
 pub struct AnswerStore {
-    /// Per fact-set, the answers in insertion order (first answer first);
-    /// a member re-answering the same fact-set overwrites in place.
-    answers: Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>,
+    /// Per stripe, per fact-set, the answers in insertion order (first
+    /// answer first); a member re-answering overwrites in place.
+    stripes: Box<[Stripe]>,
     sink: Arc<dyn EventSink>,
     /// Durable log receiving one `Answer` record per new/changed answer.
     persistence: Option<SharedPersistence>,
@@ -55,6 +63,7 @@ impl std::fmt::Debug for AnswerStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnswerStore")
             .field("fact_sets", &self.len())
+            .field("stripes", &self.stripes.len())
             .field("durable", &self.persistence.is_some())
             .finish()
     }
@@ -62,18 +71,34 @@ impl std::fmt::Debug for AnswerStore {
 
 impl Default for AnswerStore {
     fn default() -> Self {
-        AnswerStore {
-            answers: Mutex::new(HashMap::new()),
-            sink: null_sink(),
-            persistence: None,
-        }
+        Self::with_stripes(DEFAULT_STRIPES)
     }
 }
 
 impl AnswerStore {
-    /// An empty store.
+    /// An empty store with the default stripe count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store with `stripes` independently locked stripes
+    /// (clamped to ≥ 1). Size this like the shared cache: enough stripes
+    /// that concurrent sessions rarely collide on one lock.
+    pub fn with_stripes(stripes: usize) -> Self {
+        AnswerStore {
+            stripes: (0..stripes.max(1)).map(|_| Stripe::default()).collect(),
+            sink: null_sink(),
+            persistence: None,
+        }
+    }
+
+    /// How many stripes this store was built with.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, fs: &FactSet) -> &Stripe {
+        &self.stripes[placement::factset_stripe(fs, self.stripes.len())]
     }
 
     /// Report `answerstore.hit` / `answerstore.miss` lookups to `sink`.
@@ -108,7 +133,7 @@ impl AnswerStore {
         session: Option<u64>,
     ) {
         let changed = {
-            let mut answers = self.answers.lock().expect("answer store poisoned");
+            let mut answers = self.stripe(fs).lock().expect("answer store poisoned");
             let entry = answers.entry(fs.clone()).or_default();
             match entry.iter_mut().find(|(m, _)| *m == member) {
                 Some(slot) => {
@@ -144,22 +169,23 @@ impl AnswerStore {
     /// state — including the per-fact-set order the seeded-aggregator
     /// determinism depends on — so this is what service snapshots embed.
     pub fn to_records(&self) -> Vec<WalRecord> {
-        let answers = self.answers.lock().expect("answer store poisoned");
-        let mut keyed: Vec<(String, &FactSet)> = answers
-            .keys()
-            .map(|fs| {
+        type Keyed = (String, FactSet, Vec<(MemberId, f64)>);
+        let mut keyed: Vec<Keyed> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let answers = stripe.lock().expect("answer store poisoned");
+            for (fs, entries) in answers.iter() {
                 let key = fs
                     .iter()
                     .map(|f| format!("{},{},{}", f.subject.0, f.relation.0, f.object.0))
                     .collect::<Vec<_>>()
                     .join(";");
-                (key, fs)
-            })
-            .collect();
-        keyed.sort();
+                keyed.push((key, fs.clone(), entries.clone()));
+            }
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = Vec::new();
-        for (_, fs) in keyed {
-            for &(m, s) in &answers[fs] {
+        for (_, fs, entries) in keyed {
+            for (m, s) in entries {
                 out.push(WalRecord::Answer {
                     session: None,
                     member: m.0,
@@ -175,7 +201,6 @@ impl AnswerStore {
     /// in order, without re-appending them to any attached persistence.
     /// Non-`Answer` records are ignored (the service replays those).
     pub fn replay_records<'a>(&self, records: impl IntoIterator<Item = &'a WalRecord>) {
-        let mut answers = self.answers.lock().expect("answer store poisoned");
         for rec in records {
             let WalRecord::Answer {
                 member,
@@ -186,6 +211,7 @@ impl AnswerStore {
             else {
                 continue;
             };
+            let mut answers = self.stripe(factset).lock().expect("answer store poisoned");
             let entry = answers.entry(factset.clone()).or_default();
             let member = MemberId(*member);
             match entry.iter_mut().find(|(m, _)| *m == member) {
@@ -199,7 +225,7 @@ impl AnswerStore {
     /// reuse probe: a hit spares one crowd question (counted as
     /// `answerstore.hit[serve]`), a miss means the crowd must be asked.
     pub fn lookup(&self, fs: &FactSet, member: MemberId) -> Option<f64> {
-        let answers = self.answers.lock().expect("answer store poisoned");
+        let answers = self.stripe(fs).lock().expect("answer store poisoned");
         let found = answers
             .get(fs)
             .and_then(|v| v.iter().find(|(m, _)| *m == member))
@@ -215,12 +241,14 @@ impl AnswerStore {
     /// per-fact-set insertion order. The triples are replayed into a new
     /// session's `CrowdCache` at admission (see `CrowdCache::seed`).
     pub fn seed_for(&self, members: &[MemberId]) -> Vec<(FactSet, MemberId, f64)> {
-        let answers = self.answers.lock().expect("answer store poisoned");
         let mut out = Vec::new();
-        for (fs, entries) in answers.iter() {
-            for &(m, s) in entries {
-                if members.contains(&m) {
-                    out.push((fs.clone(), m, s));
+        for stripe in self.stripes.iter() {
+            let answers = stripe.lock().expect("answer store poisoned");
+            for (fs, entries) in answers.iter() {
+                for &(m, s) in entries {
+                    if members.contains(&m) {
+                        out.push((fs.clone(), m, s));
+                    }
                 }
             }
         }
@@ -238,7 +266,10 @@ impl AnswerStore {
 
     /// Number of distinct fact-sets with at least one stored answer.
     pub fn len(&self) -> usize {
-        self.answers.lock().expect("answer store poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("answer store poisoned").len())
+            .sum()
     }
 
     /// Whether the store holds no answers.
@@ -248,11 +279,15 @@ impl AnswerStore {
 
     /// Total `(fact-set, member)` answers stored.
     pub fn answer_count(&self) -> usize {
-        self.answers
-            .lock()
-            .expect("answer store poisoned")
-            .values()
-            .map(Vec::len)
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("answer store poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -261,10 +296,12 @@ impl AnswerStore {
     /// meaningful only against the same ontology build).
     pub fn export_text(&self) -> String {
         let mut cache = CrowdCache::new();
-        let answers = self.answers.lock().expect("answer store poisoned");
-        for (fs, entries) in answers.iter() {
-            for &(m, s) in entries {
-                cache.seed(fs, m, s);
+        for stripe in self.stripes.iter() {
+            let answers = stripe.lock().expect("answer store poisoned");
+            for (fs, entries) in answers.iter() {
+                for &(m, s) in entries {
+                    cache.seed(fs, m, s);
+                }
             }
         }
         cache.export_text()
@@ -393,6 +430,38 @@ mod tests {
             "per-fact-set insertion order survives the log roundtrip"
         );
         assert_eq!(replayed.lookup(&fs(2), MemberId(3)), Some(0.9));
+    }
+
+    #[test]
+    fn stripe_count_is_configurable_and_invisible() {
+        for stripes in [1, 3, 64] {
+            let store = AnswerStore::with_stripes(stripes);
+            assert_eq!(store.stripes(), stripes);
+            for n in 0..32 {
+                store.record(&fs(n), MemberId(n % 4), f64::from(n) / 32.0);
+            }
+            assert_eq!(store.len(), 32);
+            assert_eq!(store.answer_count(), 32);
+            assert_eq!(store.lookup(&fs(7), MemberId(3)), Some(7.0 / 32.0));
+        }
+        assert_eq!(AnswerStore::with_stripes(0).stripes(), 1, "clamped");
+    }
+
+    #[test]
+    fn to_records_order_is_stripe_count_independent() {
+        let mut stores = [AnswerStore::with_stripes(1), AnswerStore::with_stripes(16)];
+        for store in &mut stores {
+            store.record(&fs(9), MemberId(2), 0.2);
+            store.record(&fs(9), MemberId(1), 0.1);
+            for n in 0..24 {
+                store.record(&fs(n), MemberId(0), 0.5);
+            }
+        }
+        assert_eq!(
+            stores[0].to_records(),
+            stores[1].to_records(),
+            "canonical order must not depend on striping"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod answerstore;
 pub mod cache;
 pub mod frequency;
 pub mod member;
+pub mod placement;
 pub mod profile;
 pub mod quality;
 pub mod shared;
@@ -48,6 +49,6 @@ pub use cache::CrowdCache;
 pub use frequency::FrequencyScale;
 pub use member::{CrowdMember, DbMember, MemberId, ScriptedMember, SpammerMember};
 pub use profile::{select_members, ProfiledMember};
-pub use shared::SharedCrowdCache;
+pub use shared::{SharedCrowdCache, DEFAULT_STRIPES};
 pub use transaction::{PersonalDb, SupportIndex, Transaction};
 pub use unreliable::{ResponseModel, UnreliableMember};

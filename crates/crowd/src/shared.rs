@@ -9,38 +9,60 @@
 //! contending on one mutex.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 use oassis_vocab::FactSet;
 
 use crate::cache::CrowdCache;
 use crate::member::MemberId;
+use crate::placement;
 
-/// Number of independently locked shards. A small power of two: the worker
-/// pool is capped well below this, so collisions are rare.
-const SHARDS: usize = 16;
+/// Default number of independently locked stripes. A small power of two
+/// (the modulo compiles to a mask); scale-sized runtimes pass an explicit
+/// count via [`SharedCrowdCache::with_stripes`].
+pub const DEFAULT_STRIPES: usize = 16;
 
 type Shard = Mutex<HashMap<FactSet, Vec<(MemberId, f64)>>>;
 
 /// A concurrently shared, lock-striped crowd-answer store.
 ///
 /// Cloning is cheap and yields another handle to the *same* store.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SharedCrowdCache {
-    shards: Arc<[Shard; SHARDS]>,
+    shards: Arc<[Shard]>,
+}
+
+impl Default for SharedCrowdCache {
+    fn default() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
 }
 
 impl SharedCrowdCache {
-    /// An empty shared cache.
+    /// An empty shared cache with [`DEFAULT_STRIPES`] stripes.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty shared cache with `stripes` independently locked stripes
+    /// (clamped to ≥ 1). Placement uses the workspace-wide
+    /// [`placement::factset_stripe`] hash, so a fact-set's cache stripe
+    /// and [`AnswerStore`](crate::AnswerStore) stripe agree whenever the
+    /// counts do.
+    pub fn with_stripes(stripes: usize) -> Self {
+        let shards: Vec<Shard> = (0..stripes.max(1)).map(|_| Shard::default()).collect();
+        SharedCrowdCache {
+            shards: shards.into(),
+        }
+    }
+
+    /// How many stripes this cache was built with.
+    pub fn stripes(&self) -> usize {
+        self.shards.len()
+    }
+
     fn shard(&self, fs: &FactSet) -> &Shard {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        fs.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[placement::factset_stripe(fs, self.shards.len())]
     }
 
     /// Record `member`'s answer for `fs`. Returns `true` if this is the
@@ -154,6 +176,20 @@ mod tests {
         let snap = cache.snapshot();
         assert_eq!(snap.unique_questions(), 64);
         assert_eq!(snap.total_questions(), 64);
+    }
+
+    #[test]
+    fn stripe_count_is_configurable() {
+        for stripes in [1, 3, 64] {
+            let cache = SharedCrowdCache::with_stripes(stripes);
+            assert_eq!(cache.stripes(), stripes);
+            for n in 0..32 {
+                cache.record(&fs(n), MemberId(n % 4), 0.5);
+            }
+            assert_eq!(cache.len(), 32);
+            assert_eq!(cache.lookup(&fs(7), MemberId(3)), Some(0.5));
+        }
+        assert_eq!(SharedCrowdCache::with_stripes(0).stripes(), 1, "clamped");
     }
 
     #[test]

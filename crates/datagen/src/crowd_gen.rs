@@ -6,11 +6,12 @@
 //! engine produces the same kind of answer distribution the real crowd did.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use oassis_crowd::{DbMember, MemberId, PersonalDb};
+use oassis_crowd::{CrowdMember, DbMember, MemberId, PersonalDb, ResponseModel, UnreliableMember};
 use oassis_vocab::{Fact, FactSet, Vocabulary};
 
 use crate::domains::Domain;
@@ -143,11 +144,56 @@ pub fn generate_crowd(domain: &Domain, config: &CrowdGenConfig) -> GeneratedCrow
     GeneratedCrowd { members, popular }
 }
 
+/// Generate a runtime-ready roster of `n` members for `domain`: DB-backed
+/// honest members (so answers are a pure function of the asked fact set)
+/// wrapped in a rotating mix of reliable [`ResponseModel`]s — instant,
+/// fixed-latency, and two latency+jitter tiers. No channel ever drops, so
+/// no member can be excluded and a run's answer set is independent of how
+/// questions are batched or sharded; the crowd-scale benchmark relies on
+/// that to verify sharded runs against the 1-shard reference.
+///
+/// Transactions per member are kept small (8) so 100k-member rosters
+/// generate in seconds; popularity parameters otherwise follow
+/// [`CrowdGenConfig`] defaults.
+pub fn members(domain: &Domain, n: usize, seed: u64) -> Vec<Box<dyn CrowdMember>> {
+    let crowd = generate_crowd(
+        domain,
+        &CrowdGenConfig {
+            members: n,
+            transactions_per_member: 8,
+            seed,
+            ..CrowdGenConfig::default()
+        },
+    );
+    crowd
+        .members
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            // Millisecond-scale think times keep benchmark runs short while
+            // still dwarfing per-question coordinator work, so throughput is
+            // bound by how many members can be kept busy — the quantity the
+            // shard/wave experiments vary.
+            let model = match i % 4 {
+                0 => ResponseModel::instant(),
+                1 => ResponseModel::latency(Duration::from_millis(1)),
+                2 => ResponseModel::latency(Duration::from_micros(2_500))
+                    .with_jitter(Duration::from_millis(1)),
+                _ => ResponseModel::latency(Duration::from_millis(5))
+                    .with_jitter(Duration::from_millis(2)),
+            };
+            let member_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64);
+            Box::new(UnreliableMember::new(Box::new(m), model, member_seed)) as Box<dyn CrowdMember>
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::domains::self_treatment_domain;
-    use oassis_crowd::CrowdMember;
 
     #[test]
     fn crowd_has_requested_shape() {
@@ -209,6 +255,30 @@ mod tests {
         let fs = FactSet::from_facts([a.popular[0]]);
         for (x, y) in a.members.iter().zip(&b.members) {
             assert_eq!(x.true_support(&fs), y.true_support(&fs));
+        }
+    }
+
+    #[test]
+    fn roster_mixes_models_and_is_seeded() {
+        let domain = self_treatment_domain();
+        let roster = members(&domain, 13, 7);
+        assert_eq!(roster.len(), 13);
+        // Roster members answer purely by fact set, independent of model.
+        let crowd = generate_crowd(
+            &domain,
+            &CrowdGenConfig {
+                members: 13,
+                transactions_per_member: 8,
+                seed: 7,
+                ..CrowdGenConfig::default()
+            },
+        );
+        let fs = FactSet::from_facts([crowd.popular[0]]);
+        let mut again = members(&domain, 13, 7);
+        for (m, n) in roster.iter().zip(again.iter_mut()) {
+            assert_eq!(m.id(), n.id());
+            assert!(m.willing());
+            assert_eq!(n.ask_concrete(&fs), n.ask_concrete(&fs));
         }
     }
 

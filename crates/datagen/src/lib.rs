@@ -23,7 +23,7 @@ pub mod domains;
 pub mod plant;
 pub mod synth;
 
-pub use crowd_gen::{generate_crowd, CrowdGenConfig};
+pub use crowd_gen::{generate_crowd, members, CrowdGenConfig};
 pub use domains::{
     culinary_domain, self_treatment_domain, travel_domain, travel_domain_10x, Domain,
 };

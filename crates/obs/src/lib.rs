@@ -140,6 +140,21 @@ pub mod names {
     pub const WAL_REPLAY: &str = "wal.replay";
     /// Counter: a snapshot was written and the log tail compacted away.
     pub const WAL_SNAPSHOT: &str = "wal.snapshot";
+    /// Counter: a question was routed to a member shard's dispatch queue.
+    /// Label: `shard<k>`.
+    pub const SHARD_DISPATCHED: &str = "shard.dispatched";
+    /// Counter: prefetch questions staged into a service session's wave
+    /// (beyond its one committed dispatch). Label: `s<session-id>`.
+    pub const WAVE_STAGED: &str = "wave.staged";
+    /// Counter: a committed service question was served from an answer a
+    /// wave prefetch already collected — accounted exactly like a crowd
+    /// dispatch (it was one), but with zero commit-time latency.
+    /// Label: `s<session-id>`.
+    pub const WAVE_HIT: &str = "wave.hit";
+    /// Counter: a service session's committed dispatch found its target
+    /// seat busy and the session skipped to wave work for the cycle.
+    /// Label: `s<session-id>`.
+    pub const SERVICE_DISPATCH_STALLED: &str = "service.dispatch.stalled";
 }
 
 /// The measurement carried by an [`Event`].

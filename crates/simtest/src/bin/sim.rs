@@ -14,6 +14,12 @@
 //!                    log replay determinism, kill-at-any-index recovery
 //!                    for overlapping and disjoint sessions) over seeds
 //!                    0..N (default 64; OASSIS_SIM_SEEDS overrides)
+//! sim wave-sweep [N]
+//!                    run the question-wave oracles (waved replay,
+//!                    wave_size in {1,4,16} equivalence on overlapping
+//!                    rosters, full-outcome identity on disjoint rosters)
+//!                    over seeds 0..N (default 64; OASSIS_SIM_SEEDS
+//!                    overrides)
 //! sim repro [SEED]   replay one seed (OASSIS_SIM_SEED or the argument),
 //!                    print its transcript tail, run every oracle, and on
 //!                    failure shrink the schedule to a minimal fault trace
@@ -25,8 +31,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use oassis_simtest::{
-    check_durability_seed, check_seed, check_service_seed, diverges_from_reference,
-    durability_sweep, repro_command, service_sweep, shrink, simulate, sweep, SimOptions,
+    check_durability_seed, check_seed, check_service_seed, check_wave_seed,
+    diverges_from_reference, durability_sweep, repro_command, service_sweep, shrink, simulate,
+    sweep, wave_sweep, SimOptions, WAVE_SIZES,
 };
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -102,6 +109,31 @@ fn run_durability_sweep(n: u64) -> ExitCode {
     }
 }
 
+fn run_wave_sweep(n: u64) -> ExitCode {
+    println!(
+        "sim wave-sweep: {n} seeds, wave sizes {WAVE_SIZES:?} \
+         (waved replay x2, overlap equivalence, disjoint identity)"
+    );
+    let start = Instant::now();
+    let report = wave_sweep(0..n);
+    let secs = start.elapsed().as_secs_f64();
+    for failure in &report.failures {
+        println!("FAIL {failure}");
+    }
+    println!(
+        "sim wave-sweep: {}/{} seeds passed in {:.2}s ({:.1} seeds/s)",
+        report.passed,
+        n,
+        secs,
+        n as f64 / secs.max(1e-9),
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_repro(seed: u64) -> ExitCode {
     println!("sim repro: seed {seed}");
     let outcome = simulate(seed, &SimOptions::default());
@@ -124,9 +156,10 @@ fn run_repro(seed: u64) -> ExitCode {
     match check_seed(seed)
         .and_then(|()| check_service_seed(seed))
         .and_then(|()| check_durability_seed(seed))
+        .and_then(|()| check_wave_seed(seed))
     {
         Ok(()) => {
-            println!("  all oracles passed (single-query, service and durability)");
+            println!("  all oracles passed (single-query, service, durability and waves)");
             ExitCode::SUCCESS
         }
         Err(failure) => {
@@ -211,6 +244,12 @@ fn main() -> ExitCode {
                 .unwrap_or(64);
             run_durability_sweep(n)
         }
+        "wave-sweep" => {
+            let n = arg_u64(1)
+                .or_else(|| env_u64("OASSIS_SIM_SEEDS"))
+                .unwrap_or(64);
+            run_wave_sweep(n)
+        }
         "repro" => match arg_u64(1).or_else(|| env_u64("OASSIS_SIM_SEED")) {
             Some(seed) => run_repro(seed),
             None => {
@@ -226,7 +265,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command `{other}`; use: sweep [N] | service-sweep [N] | \
-                 durability-sweep [N] | repro [SEED] | bench [N]"
+                 durability-sweep [N] | wave-sweep [N] | repro [SEED] | bench [N]"
             );
             ExitCode::FAILURE
         }

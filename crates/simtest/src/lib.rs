@@ -710,7 +710,20 @@ pub struct ServiceSimOutcome {
 /// delay + jitter (nobody excluded), so the sweep explores genuinely
 /// different arrival schedules.
 pub fn simulate_service(seed: u64, plans: &[ServicePlan], latency: bool) -> ServiceSimOutcome {
-    run_service(seed, plans, latency, None)
+    run_service(seed, plans, latency, None, 1)
+}
+
+/// [`simulate_service`] with question waves: the service stages up to
+/// `wave` questions per session per cycle (speculative prefetches beyond
+/// the committed one). The wave-sweep oracle compares these runs against
+/// the `wave = 1` baseline.
+pub fn simulate_service_waved(
+    seed: u64,
+    plans: &[ServicePlan],
+    latency: bool,
+    wave: usize,
+) -> ServiceSimOutcome {
+    run_service(seed, plans, latency, None, wave)
 }
 
 /// The simulated service crowd: `crowd(2)` as-is, or wrapped in
@@ -782,6 +795,7 @@ fn run_service(
     plans: &[ServicePlan],
     latency: bool,
     persistence: Option<SharedPersistence>,
+    wave: usize,
 ) -> ServiceSimOutcome {
     let runtime = service_runtime(seed, latency);
     let recorder = Arc::new(RecordingSink::default());
@@ -791,6 +805,7 @@ fn run_service(
         Some(p) => OassisService::start_with_persistence(engine, runtime, sink, p),
         None => OassisService::start_with_sink(engine, runtime, sink),
     };
+    service.set_wave_size(wave);
     for plan in plans {
         service.submit(plan_spec(seed, plan)).expect("service plan admits");
     }
@@ -986,6 +1001,94 @@ pub fn service_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
 }
 
 // ---------------------------------------------------------------------------
+// Wave-sweep oracle (PR 8): batched question waves must be invisible to the
+// mining outcome. A wave-prefetched answer served at commit time is accounted
+// exactly like a dispatch, so sweeping `wave_size` over the same seed must
+// reproduce the baseline's valid-MSP sets and stage-time question counts —
+// and, on disjoint rosters (no cross-session store traffic), the complete
+// per-session outcome including crowd-question counts.
+// ---------------------------------------------------------------------------
+
+/// The wave sizes [`check_wave_seed`] sweeps. Index 0 is the baseline.
+pub const WAVE_SIZES: &[usize] = &[1, 4, 16];
+
+/// Run the wave-equivalence oracles for one seed:
+///
+/// 1. **wave-replay** — a waved run of the same seed replays to a
+///    byte-identical transcript;
+/// 2. **wave-equivalence** — three overlapping-roster sessions produce the
+///    same valid-MSP sets, stage-time question counts and statuses at every
+///    wave size (store-hit timing may shift, so crowd/store splits may not);
+/// 3. **wave-disjoint** — two disjoint-roster sessions produce *identical*
+///    outcomes at every wave size, crowd-question counts included.
+pub fn check_wave_seed(seed: u64) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+
+    let plans = service_plans(3);
+    let base = simulate_service(seed, &plans, true);
+    for &wave in &WAVE_SIZES[1..] {
+        let waved = simulate_service_waved(seed, &plans, true, wave);
+        let again = simulate_service_waved(seed, &plans, true, wave);
+        if waved.transcript != again.transcript {
+            return Err(fail(
+                "wave-replay",
+                format!("wave {wave}: two runs of the same seed produced different transcripts"),
+            ));
+        }
+        for (i, (w, b)) in waved.sessions.iter().zip(&base.sessions).enumerate() {
+            if w.msps != b.msps || w.questions != b.questions || w.status != b.status {
+                return Err(fail(
+                    "wave-equivalence",
+                    format!(
+                        "wave {wave} session {i} diverged from wave 1: \
+                         {} MSPs / {} questions / {} vs {} / {} / {}",
+                        w.msps.len(),
+                        w.questions,
+                        w.status,
+                        b.msps.len(),
+                        b.questions,
+                        b.status
+                    ),
+                ));
+            }
+        }
+    }
+
+    let (plan_a, plan_b) = disjoint_plans();
+    let disjoint = [plan_a, plan_b];
+    let base = simulate_service(seed, &disjoint, true);
+    for &wave in &WAVE_SIZES[1..] {
+        let waved = simulate_service_waved(seed, &disjoint, true, wave);
+        if waved.sessions != base.sessions {
+            return Err(fail(
+                "wave-disjoint",
+                format!(
+                    "wave {wave} disjoint outcomes diverged from wave 1: {:?} vs {:?}",
+                    waved.sessions, base.sessions
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run [`check_wave_seed`] over `seeds`.
+pub fn wave_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check_wave_seed(seed) {
+            Ok(()) => report.passed += 1,
+            Err(failure) => report.failures.push(failure),
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
 // Crash-restart oracle (PR 7): run a *durable* service over an in-memory WAL
 // under the virtual clock, kill it at any append index, recover from the
 // crash image, and prove the finished state matches the uninterrupted run.
@@ -1022,7 +1125,7 @@ pub fn simulate_durable_service(
     }
     let log = Arc::new(Mutex::new(mem));
     let persistence: SharedPersistence = Arc::clone(&log) as SharedPersistence;
-    let outcome = run_service(seed, plans, latency, Some(persistence));
+    let outcome = run_service(seed, plans, latency, Some(persistence), 1);
     DurableRun { outcome, log }
 }
 
@@ -1270,6 +1373,24 @@ mod tests {
             },
         );
         assert_eq!(replay.transcript, shrunk.transcript);
+    }
+
+    /// The wave-sweep oracle must not be vacuous: at `wave_size > 1` the
+    /// service really stages speculative prefetches and serves some staged
+    /// questions from the wave cache (all counted like dispatches).
+    #[test]
+    fn waved_runs_actually_stage_and_hit() {
+        let plans = service_plans(3);
+        let staged = (0..16).any(|seed| {
+            let waved = simulate_service_waved(seed, &plans, true, 16);
+            waved.transcript.contains(names::WAVE_STAGED)
+        });
+        assert!(staged, "no seed in 0..16 ever staged a wave");
+        let hit = (0..16).any(|seed| {
+            let waved = simulate_service_waved(seed, &plans, true, 16);
+            waved.transcript.contains(names::WAVE_HIT)
+        });
+        assert!(hit, "no seed in 0..16 ever served a staged answer");
     }
 
     #[test]

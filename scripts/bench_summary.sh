@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One line per checked-in BENCH_*.json: the headline number(s) of each
+# experiment, for quick before/after diffing in PRs. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "no BENCH_*.json checked in" >&2
+    exit 1
+fi
+
+for f in "${files[@]}"; do
+    exp=$(jq -r '.experiment // "?"' "$f")
+    case "$exp" in
+    scale)
+        jq -r '"\(input_filename): \(.rows | length) domains, speedup \(.rows | map(.speedup) | min)-\(.rows | map(.speedup) | max)x, answers_match \(.rows | all(.answers_match))"' "$f"
+        ;;
+    service)
+        jq -r '"\(input_filename): \(.rows | length) domains, questions saved \(.rows | map(.saved_pct) | min)-\(.rows | map(.saved_pct) | max)%, answers_match \(.rows | all(.answers_match))"' "$f"
+        ;;
+    durability)
+        jq -r '"\(input_filename): \(.rows | length) rows, up to \(.rows | map(.records) | max) records, worst recover \(.rows | map(.recover_secs) | max)s"' "$f"
+        ;;
+    simtest)
+        jq -r '"\(input_filename): \(.passed)/\(.seeds) seeds passed (\(.seeds_per_sec)/s)"' "$f"
+        ;;
+    crowdscale)
+        jq -r '"\(input_filename): \(.rows | length) rows, up to \(.rows | map(.members) | max) members, shard gain \(.shard_gain)x (1->\(.rows | map(.shards) | max) shards), answers_match \(.rows | all(.answers_match))"' "$f"
+        ;;
+    *)
+        echo "$f: experiment=$exp ($(jq -r '.rows | length // 0' "$f") rows)"
+        ;;
+    esac
+done

@@ -33,4 +33,10 @@ OASSIS_DURABILITY_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -
 echo "==> durability simulation: 64-seed crash-restart sweep (kill at any WAL index, recover, compare)"
 cargo run --release -q -p oassis-simtest --bin sim -- durability-sweep 64
 
+echo "==> wave simulation: 64-seed sweep (waved replay, wave-size equivalence, disjoint identity)"
+cargo run --release -q -p oassis-simtest --bin sim -- wave-sweep 64
+
+echo "==> crowd-scale smoke: sharded + waved runs must match the 1-shard/1-wave reference"
+OASSIS_CROWDSCALE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- crowd-scale
+
 echo "==> all checks passed"
