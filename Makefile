@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench crowdscale-bench bench-summary
+.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench crowdscale-bench net-bench bench-summary
 
 # Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
 SEEDS ?= 10000
@@ -45,6 +45,11 @@ durability-bench:
 # writes BENCH_crowdscale.json. Takes ~10 minutes (100k-member cells).
 crowdscale-bench:
 	cargo run --release -p oassis-bench --bin figures -- crowd-scale
+
+# Wire-protocol benchmark: sessions served over TCP loopback vs the same
+# sessions in-process, plus the raw Hello round-trip; writes BENCH_net.json.
+net-bench:
+	cargo run --release -p oassis-bench --bin figures -- net
 
 # One line per checked-in BENCH_*.json: headline numbers for quick diffing.
 bench-summary:

@@ -7,14 +7,17 @@
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
 //! dist mult crowdmix bounds growth runtime scale service durability
-//! crowd-scale` (or `all`). The `scale` experiment writes
+//! crowd-scale net` (or `all`). The `scale` experiment writes
 //! `BENCH_scale.json` at the repo root (`OASSIS_SCALE_SMOKE=1` shrinks it
 //! for CI); `service` writes `BENCH_service.json` the same way
 //! (`OASSIS_SERVICE_SMOKE=1`), `durability` writes `BENCH_durability.json`
 //! — recovery time versus write-ahead-log length
-//! (`OASSIS_DURABILITY_SMOKE=1`) — and `crowd-scale` writes
+//! (`OASSIS_DURABILITY_SMOKE=1`) — `crowd-scale` writes
 //! `BENCH_crowdscale.json`: sharded dispatch + question-wave throughput
-//! over crowds up to 100k members (`OASSIS_CROWDSCALE_SMOKE=1`).
+//! over crowds up to 100k members (`OASSIS_CROWDSCALE_SMOKE=1`) — and
+//! `net` writes `BENCH_net.json`: wire-protocol round-trip overhead of
+//! serving sessions over TCP loopback versus running them in-process
+//! (`OASSIS_NET_SMOKE=1`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -29,9 +32,9 @@ use std::time::Duration;
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_scale, crowd_statistics_observed, distribution_variation, multiplicity_variation,
-    pace_of_collection, recovery_scaling, runtime_speedup, scale_speedup, service_reuse,
-    shape_variation, CrowdScaleOutcome, CurveSeries, DurabilityRow, PaceResult, ScaleRow,
-    ServiceRow,
+    net_overhead, pace_of_collection, recovery_scaling, runtime_speedup, scale_speedup,
+    service_reuse, shape_variation, CrowdScaleOutcome, CurveSeries, DurabilityRow, NetRow,
+    PaceResult, ScaleRow, ServiceRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -667,13 +670,113 @@ fn run_crowd_scale(sink: &Arc<dyn EventSink>, seed: u64) {
     }
 }
 
+/// Run the wire-protocol benchmark (PR 9) and write `BENCH_net.json` at
+/// the repo root: the figure-1 workload served over TCP loopback through
+/// `oassis-net` versus the identical sessions run in-process, plus the
+/// mean round-trip of an idle-server `Hello` (pure framing + socket
+/// cost). Served answers must match in-process exactly — the protocol is
+/// an observability-preserving front-end, and this pins the price of the
+/// indirection. `OASSIS_NET_SMOKE=1` shrinks the grid so CI can assert
+/// the invariants in seconds.
+fn run_net(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_NET_SMOKE").is_ok_and(|v| v == "1");
+    let grid: &[(usize, u32)] = if smoke {
+        &[(1, 2), (4, 2)]
+    } else {
+        &[(1, 2), (4, 2), (16, 2), (16, 8)]
+    };
+    let rtt_probes = if smoke { 64 } else { 512 };
+    println!(
+        "== net: served (TCP loopback) vs in-process sessions ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut rows: Vec<NetRow> = Vec::new();
+    for &(sessions, pairs) in grid {
+        let row = net_overhead(sessions, pairs, rtt_probes, seed);
+        assert!(
+            row.answers_match,
+            "served sessions diverged from the in-process run \
+             ({sessions} sessions, {} members)",
+            row.members
+        );
+        sink.gauge_labeled(
+            "figures.net.overhead_pct",
+            &format!("{sessions}x{}", row.members),
+            row.overhead_pct,
+        );
+        sink.gauge_labeled(
+            "figures.net.rtt_usecs",
+            &format!("{sessions}x{}", row.members),
+            row.rtt_mean.as_secs_f64() * 1e6,
+        );
+        rows.push(row);
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sessions.to_string(),
+                r.members.to_string(),
+                r.requests.to_string(),
+                format!("{:.1}ms", r.inproc_time.as_secs_f64() * 1e3),
+                format!("{:.1}ms", r.served_time.as_secs_f64() * 1e3),
+                format!("{:+.1}%", r.overhead_pct),
+                format!("{:.1}us", r.rtt_mean.as_secs_f64() * 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["sessions", "members", "requests", "in-process", "served", "overhead", "hello rtt"],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"sessions\": {}, \"members\": {}, \"requests\": {}, ",
+                    "\"inproc_secs\": {:.6}, \"served_secs\": {:.6}, ",
+                    "\"overhead_pct\": {:.3}, \"hello_rtt_usecs\": {:.3}, ",
+                    "\"answers_match\": {}}}"
+                ),
+                r.sessions,
+                r.members,
+                r.requests,
+                r.inproc_time.as_secs_f64(),
+                r.served_time.as_secs_f64(),
+                r.overhead_pct,
+                r.rtt_mean.as_secs_f64() * 1e6,
+                r.answers_match,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"net\",\n\"mode\": {:?},\n\"seed\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        json_rows.join(",\n")
+    );
+    let path = if smoke {
+        "target/BENCH_net.smoke.json"
+    } else {
+        "BENCH_net.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
             "crowdmix", "bounds", "growth", "runtime", "scale", "service", "durability",
-            "crowd-scale",
+            "crowd-scale", "net",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -902,6 +1005,7 @@ fn main() {
             "service" => run_service(&sink, seed),
             "durability" => run_durability(&sink, seed),
             "crowd-scale" => run_crowd_scale(&sink, seed),
+            "net" => run_net(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

@@ -1140,6 +1140,7 @@ pub fn recovery_scaling(records: usize, snapshot_every: Option<u64>, seed: u64) 
             max_questions: 1_000_000,
             top_k: None,
             use_indexes: true,
+            token: None,
         },
     };
     let store = AnswerStore::new().with_persistence(Arc::clone(&persistence));
@@ -1306,6 +1307,220 @@ pub fn crowd_scale(
         wall,
         qps: crowd_questions as f64 / wall.as_secs_f64().max(f64::EPSILON),
         outcomes,
+    }
+}
+
+/// One row of the wire-protocol benchmark (PR 9): the figure-1 workload
+/// run through one in-process [`OassisService`] versus the same sessions
+/// driven as protocol clients of a TCP-loopback [`oassis_net::TcpNetServer`].
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Concurrent sessions submitted.
+    pub sessions: usize,
+    /// Crowd size (figure-1 answer-database pairs × 2).
+    pub members: usize,
+    /// Protocol round-trips the served run needed (Hello + Submits + Polls).
+    pub requests: usize,
+    /// Wall-clock of the in-process run (submit + run).
+    pub inproc_time: Duration,
+    /// Wall-clock of the served run (connect through last terminal Update).
+    pub served_time: Duration,
+    /// Served wall-clock as a percentage over in-process.
+    pub overhead_pct: f64,
+    /// Mean round-trip of an idle-server `Hello` (frame + socket cost only).
+    pub rtt_mean: Duration,
+    /// Every served session reported exactly the in-process valid-MSP set.
+    pub answers_match: bool,
+}
+
+/// Run `sessions` figure-1 queries twice — through [`OassisService::run`]
+/// in-process, then over real TCP loopback via the line-framed protocol
+/// (Hello, tokened Submit per session, Poll round-robin to the terminal
+/// Update) — and compare outcomes and wall-clock. The service is not
+/// `Send`, so the *server* stays on the calling thread and the client
+/// drives from a spawned one (the same inversion `tests/net.rs` uses).
+/// After the sessions finish, `rtt_probes` extra `Hello` round-trips
+/// against the idle server isolate pure framing + socket cost.
+pub fn net_overhead(sessions: usize, crowd_pairs: u32, rtt_probes: usize, seed: u64) -> NetRow {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use oassis_crowd::transaction::table3_dbs;
+    use oassis_crowd::DbMember;
+    use oassis_net::{
+        NetClient, NetServer, Request, Response, TcpNetServer, TcpTransport, WireStatus,
+        PROTOCOL_VERSION,
+    };
+    use oassis_store::ontology::figure1_ontology;
+
+    const QUERY: &str = "SELECT FACT-SETS WHERE \
+          $x instanceOf $w. $w subClassOf* Attraction. \
+          $y subClassOf* Activity \
+        SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+    let crowd = || -> Vec<Box<dyn CrowdMember>> {
+        let o = figure1_ontology();
+        let vocab = Arc::new(o.vocabulary().clone());
+        let (d1, d2) = table3_dbs(&vocab);
+        (0..crowd_pairs)
+            .flat_map(|i| {
+                [
+                    Box::new(DbMember::new(MemberId(2 * i), d1.clone(), Arc::clone(&vocab)))
+                        as Box<dyn CrowdMember>,
+                    Box::new(DbMember::new(MemberId(2 * i + 1), d2.clone(), Arc::clone(&vocab))),
+                ]
+            })
+            .collect()
+    };
+    // Each session gets one saturated d1+d2 pair as its roster (sample 2 =
+    // roster size): every roster member answers every question, so the
+    // outcome is a pure function of the spec — invariant to how admission
+    // interleaves with engine progress, which differs between the served
+    // run (the server pumps the service between Submits) and the
+    // submit-all-then-run baseline. A two-member average also keeps the
+    // figure-1 valid-MSP set non-empty (the whole-crowd default averages
+    // the two databases below threshold).
+    let cfg = EngineConfig::builder().seed(seed).aggregator_sample(2).build();
+    let pair_roster = |i: usize| -> Vec<usize> {
+        let pair = i % crowd_pairs as usize;
+        vec![2 * pair, 2 * pair + 1]
+    };
+
+    // In-process leg.
+    let mut service = OassisService::start(
+        Oassis::new(figure1_ontology()),
+        SessionRuntime::new(crowd()),
+    );
+    let inproc_start = Instant::now();
+    for i in 0..sessions {
+        let spec = SessionSpec::builder(QUERY)
+            .config(cfg.clone())
+            .roster(pair_roster(i))
+            .build();
+        service.submit(spec).expect("in-process session admits");
+    }
+    let reports = service.run();
+    let inproc_time = inproc_start.elapsed();
+    let mut inproc: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            assert_eq!(r.status, SessionStatus::Completed, "in-process leg failed");
+            let mut v: Vec<String> = r
+                .result
+                .answers
+                .iter()
+                .filter(|a| a.valid)
+                .map(|a| a.rendered.clone())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    inproc.sort();
+    assert!(
+        inproc.iter().all(|m| !m.is_empty()),
+        "vacuous baseline: the in-process run mined no valid MSPs"
+    );
+
+    // Served leg: server on this thread, protocol client on a spawned one.
+    let service = OassisService::start(
+        Oassis::new(figure1_ontology()),
+        SessionRuntime::new(crowd()),
+    );
+    let mut tcp =
+        TcpNetServer::bind("127.0.0.1:0", NetServer::new(service)).expect("bind loopback");
+    let addr = tcp.local_addr().expect("bound").to_string();
+    let done = Arc::new(AtomicBool::new(false));
+    let done_flag = Arc::clone(&done);
+    let cfg2 = cfg.clone();
+    let pairs = crowd_pairs as usize;
+    let handle = std::thread::spawn(move || {
+        let mut client = NetClient::new(TcpTransport::connect(addr).expect("connect"));
+        let mut requests = 0usize;
+        let served_start = Instant::now();
+        let hello = client
+            .call(&Request::Hello { version: PROTOCOL_VERSION })
+            .expect("hello");
+        requests += 1;
+        assert!(matches!(hello.last(), Some(Response::Welcome { .. })));
+        let mut ids = Vec::with_capacity(sessions);
+        for i in 0..sessions {
+            let pair = i % pairs;
+            let spec = SessionSpec::builder(QUERY)
+                .config(cfg2.clone())
+                .roster(vec![2 * pair, 2 * pair + 1])
+                .build()
+                .to_admit(Some(0xBE9C_0000 + i as u64));
+            match client.call(&Request::Submit { spec }).expect("submit").pop() {
+                Some(Response::Admitted { session }) => ids.push(session),
+                other => panic!("expected Admitted, got {other:?}"),
+            }
+            requests += 1;
+        }
+        let mut outcomes: Vec<Option<Vec<String>>> = vec![None; sessions];
+        while outcomes.iter().any(Option::is_none) {
+            for (i, &session) in ids.iter().enumerate() {
+                if outcomes[i].is_some() {
+                    continue;
+                }
+                let batch = client.call(&Request::Poll { session }).expect("poll");
+                requests += 1;
+                match batch.into_iter().last() {
+                    Some(Response::Update { status, msps, .. }) => {
+                        if status != WireStatus::Running {
+                            assert_eq!(status, WireStatus::Completed, "served leg failed");
+                            outcomes[i] = Some(msps);
+                        }
+                    }
+                    other => panic!("expected a terminal Update frame, got {other:?}"),
+                }
+            }
+        }
+        let served_time = served_start.elapsed();
+        let probe_start = Instant::now();
+        for _ in 0..rtt_probes {
+            client
+                .call(&Request::Hello { version: PROTOCOL_VERSION })
+                .expect("rtt probe");
+        }
+        let probe_time = probe_start.elapsed();
+        let _ = client.call(&Request::Close);
+        client.close();
+        done_flag.store(true, Ordering::Relaxed);
+        let served: Vec<Vec<String>> = outcomes.into_iter().map(Option::unwrap).collect();
+        (requests, served_time, probe_time, served)
+    });
+    tcp.serve_until(|| done.load(Ordering::Relaxed) || handle.is_finished())
+        .expect("serve");
+    let (requests, served_time, probe_time, mut served) = handle.join().expect("client thread");
+    served.sort();
+
+    NetRow {
+        sessions,
+        members: 2 * crowd_pairs as usize,
+        requests,
+        inproc_time,
+        served_time,
+        overhead_pct: 100.0 * (served_time.as_secs_f64() - inproc_time.as_secs_f64())
+            / inproc_time.as_secs_f64().max(f64::EPSILON),
+        rtt_mean: probe_time / (rtt_probes.max(1) as u32),
+        answers_match: served == inproc,
+    }
+}
+
+#[cfg(test)]
+mod net_tests {
+    use super::*;
+
+    /// Cheap smoke (the full grid lives in the figures binary's `net`
+    /// experiment): a served loopback run reproduces the in-process
+    /// outcomes and actually exchanged protocol frames.
+    #[test]
+    fn served_loopback_matches_in_process() {
+        let row = net_overhead(2, 2, 8, 7);
+        assert!(row.answers_match, "served run changed the answers");
+        // Hello + one Submit per session + at least one Poll each.
+        assert!(row.requests >= 1 + 2 * row.sessions, "too few round-trips");
+        assert!(row.rtt_mean > Duration::ZERO);
     }
 }
 

@@ -28,8 +28,8 @@ pub mod single;
 
 pub use multi::MultiUserMiner;
 pub use service::{
-    OassisService, RecoveredSession, SessionId, SessionReport, SessionSpec, SessionSpecBuilder,
-    SessionStatus,
+    ClosedOutcome, OassisService, RecoveredSession, SessionId, SessionReport, SessionSpec,
+    SessionSpecBuilder, SessionStatus,
 };
 pub use session::{Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent};
 pub use single::{replay_members, Oassis};
@@ -61,6 +61,10 @@ pub enum OassisError {
     /// The durability layer failed (log I/O or a corrupt record) while
     /// persisting or recovering service state.
     Durability(oassis_store_durable::DurableError),
+    /// A service session operation referenced a session that does not
+    /// exist (or is not in the required state), e.g. resuming an unknown
+    /// session id.
+    Session(String),
 }
 
 impl std::fmt::Display for OassisError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for OassisError {
             OassisError::Space(e) => write!(f, "{e}"),
             OassisError::Runtime(e) => write!(f, "{e}"),
             OassisError::Durability(e) => write!(f, "{e}"),
+            OassisError::Session(detail) => write!(f, "session error: {detail}"),
         }
     }
 }
@@ -81,6 +86,7 @@ impl std::error::Error for OassisError {
             OassisError::Space(e) => Some(e),
             OassisError::Runtime(e) => Some(e),
             OassisError::Durability(e) => Some(e),
+            OassisError::Session(_) => None,
         }
     }
 }

@@ -82,7 +82,7 @@ use super::session::{
     Answer, CrowdView, MiningSession, PendingQuestion, QuestionPayload, SessionEvent,
 };
 use super::single::Oassis;
-use super::{Handle, OassisError, QueryResult};
+use super::{Handle, OassisError, QueryAnswer, QueryResult};
 
 /// Service-assigned identifier of an admitted session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -156,6 +156,51 @@ impl SessionSpec {
     pub fn builder(query: impl Into<String>) -> SessionSpecBuilder {
         SessionSpecBuilder {
             spec: Self::base(query),
+        }
+    }
+
+    /// The durable/wire shape of this spec: the scalar subset that an
+    /// `Admit` WAL record (and the `oassis-net` `Submit` frame) carries.
+    /// `token` is the client idempotency token, if any.
+    pub fn to_admit(&self, token: Option<u64>) -> AdmitSpec {
+        AdmitSpec {
+            query: self.query.clone(),
+            threshold: self.threshold,
+            roster: self.roster.clone(),
+            priority: self.priority,
+            budget: self.budget.map(|b| b as u64),
+            seed: self.config.seed,
+            aggregator_sample: self.config.aggregator_sample,
+            specialization_ratio: self.config.specialization_ratio,
+            pruning_ratio: self.config.pruning_ratio,
+            max_questions: self.config.max_questions,
+            top_k: self.config.top_k,
+            use_indexes: self.config.use_indexes,
+            token,
+        }
+    }
+
+    /// Rebuild a spec from its durable/wire shape. Only the scalar config
+    /// subset survives the trip; runtime-only config (sink, clock, curve
+    /// tracking) is defaulted.
+    pub fn from_admit(admit: AdmitSpec) -> SessionSpec {
+        let mut config = EngineConfig::builder()
+            .seed(admit.seed)
+            .aggregator_sample(admit.aggregator_sample)
+            .specialization_ratio(admit.specialization_ratio)
+            .pruning_ratio(admit.pruning_ratio)
+            .max_questions(admit.max_questions)
+            .use_indexes(admit.use_indexes);
+        if let Some(k) = admit.top_k {
+            config = config.top_k(k);
+        }
+        SessionSpec {
+            query: admit.query,
+            threshold: admit.threshold,
+            config: config.build(),
+            roster: admit.roster,
+            priority: admit.priority,
+            budget: admit.budget.map(|b| b as usize),
         }
     }
 }
@@ -270,6 +315,10 @@ struct SessionSlot {
     cancel_requested: bool,
     finished: Option<SessionStatus>,
     result: Option<QueryResult>,
+    /// MSP answers confirmed since the last [`OassisService::take_partials`]
+    /// call — the stream a networked front-end forwards to its client as
+    /// the session mines.
+    partials: Vec<QueryAnswer>,
     /// The `Admit` record as appended to the WAL (durable services only);
     /// re-embedded into snapshots while the session is live so a recovery
     /// from the compacted log can still resume it.
@@ -281,7 +330,7 @@ struct SessionSlot {
 /// Pass it to [`OassisService::resume`] to re-admit it — the new session
 /// is seeded from the recovered [`AnswerStore`], so it re-asks only the
 /// questions whose answers were lost in flight.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RecoveredSession {
     /// The session's id in the interrupted run (the resumption gets a
     /// fresh id; the log links them).
@@ -295,6 +344,23 @@ pub struct RecoveredSession {
     /// last `Budget` watermark; includes any question that was in flight
     /// when the process died, so budget accounting stays conservative).
     pub spent: usize,
+    /// The client idempotency token the interrupted admission carried, if
+    /// any; the resumption re-admits under the same token.
+    pub token: Option<u64>,
+}
+
+/// The durable outcome of a session that closed *before* a crash,
+/// reconstructed from its `Close` WAL record by
+/// [`OassisService::recover`]. A client resuming such a session is
+/// answered from this — its report was final; nothing needs re-mining.
+#[derive(Debug, Clone)]
+pub struct ClosedOutcome {
+    /// How the session ended.
+    pub status: SessionStatus,
+    /// Crowd dispatches it paid for.
+    pub crowd_questions: usize,
+    /// Its final rendered valid MSPs.
+    pub msps: Vec<String>,
 }
 
 /// A session's view of the shared pool, restricted to its roster.
@@ -367,6 +433,23 @@ pub struct OassisService {
     wave_claims: HashMap<usize, u32>,
     /// Durability log shared with the answer store (`None` = volatile).
     persistence: Option<SharedPersistence>,
+    /// Interrupted sessions recovered from the log and not yet resumed,
+    /// keyed by original id — [`resume_by_id`](Self::resume_by_id) serves
+    /// a client's `Resume(session-id)` from here.
+    recoverable: BTreeMap<u64, RecoveredSession>,
+    /// Final outcomes of closed sessions, keyed by id — both those whose
+    /// `Close` record predates a crash and those closed by this
+    /// incarnation (with every superseded ancestor id aliased to the same
+    /// outcome). A `Resume` of any of them is answered from here, never
+    /// re-mined, and compaction re-emits them as `Close` records so the
+    /// answer survives snapshots.
+    recovered_closed: BTreeMap<u64, ClosedOutcome>,
+    /// Resumption links (original id → successor id), so a retransmitted
+    /// `Resume` lands on the successor instead of failing.
+    superseded: BTreeMap<u64, u64>,
+    /// Client idempotency tokens → the latest session id admitted under
+    /// each, rebuilt from `Admit` records on recovery.
+    tokens: BTreeMap<u64, u64>,
 }
 
 /// Snapshot interval (appended records) used by
@@ -399,6 +482,10 @@ impl OassisService {
             wave_size: 1,
             wave_claims: HashMap::new(),
             persistence: None,
+            recoverable: BTreeMap::new(),
+            recovered_closed: BTreeMap::new(),
+            superseded: BTreeMap::new(),
+            tokens: BTreeMap::new(),
         }
     }
 
@@ -486,7 +573,7 @@ impl OassisService {
         struct Lifecycle {
             spec: Option<AdmitSpec>,
             spent: u64,
-            closed: bool,
+            closed: Option<ClosedOutcome>,
             superseded: bool,
         }
         let mut sessions: BTreeMap<u64, Lifecycle> = BTreeMap::new();
@@ -499,30 +586,57 @@ impl OassisService {
                 } => {
                     if let Some(old) = resumes {
                         sessions.entry(*old).or_default().superseded = true;
+                        service.superseded.insert(*old, *session);
+                    }
+                    if let Some(token) = spec.token {
+                        service.tokens.insert(token, *session);
                     }
                     sessions.entry(*session).or_default().spec = Some(spec.clone());
                 }
                 WalRecord::Budget { session, spent } => {
                     sessions.entry(*session).or_default().spent = *spent;
                 }
-                WalRecord::Close { session, .. } => {
-                    sessions.entry(*session).or_default().closed = true;
+                WalRecord::Close {
+                    session,
+                    status,
+                    crowd_questions,
+                    msps,
+                } => {
+                    sessions.entry(*session).or_default().closed = Some(ClosedOutcome {
+                        status: match status {
+                            CloseStatus::Completed => SessionStatus::Completed,
+                            CloseStatus::Cancelled => SessionStatus::Cancelled,
+                            CloseStatus::BudgetExhausted => SessionStatus::BudgetExhausted,
+                        },
+                        crowd_questions: *crowd_questions as usize,
+                        msps: msps.clone(),
+                    });
                 }
                 WalRecord::Answer { .. } => {}
             }
         }
         service.next_id = sessions.keys().next_back().map_or(0, |id| id + 1);
-        let recovered = sessions
+        let recovered: Vec<RecoveredSession> = sessions
             .into_iter()
-            .filter(|(_, l)| !l.closed && !l.superseded)
-            .filter_map(|(id, l)| {
-                l.spec.map(|admit| RecoveredSession {
+            .filter_map(|(id, l)| match (l.closed, l.superseded) {
+                (Some(outcome), _) => {
+                    service.recovered_closed.insert(id, outcome);
+                    None
+                }
+                (None, true) => None,
+                (None, false) => l.spec.map(|admit| RecoveredSession {
                     original: SessionId(id),
-                    spec: spec_from_admit(admit),
+                    token: admit.token,
+                    spec: SessionSpec::from_admit(admit),
                     spent: l.spent as usize,
-                })
+                }),
             })
             .collect();
+        for session in &recovered {
+            service
+                .recoverable
+                .insert(session.original.0, session.clone());
+        }
         Ok((service, recovered))
     }
 
@@ -537,9 +651,52 @@ impl OassisService {
             original,
             mut spec,
             spent,
+            token,
         } = recovered;
         spec.budget = spec.budget.map(|b| b.saturating_sub(spent));
-        self.admit(spec, Some(original))
+        self.admit(spec, Some(original), token)
+    }
+
+    /// [`resume`](Self::resume) by the interrupted session's id — how a
+    /// networked client resumes after a server restart. Idempotent across
+    /// retransmits: a live or finished session id returns itself, an
+    /// already-resumed id returns its successor, an unresumed recovered id
+    /// is re-admitted. Sessions that closed before the crash are *not*
+    /// resumable (their outcome is final — see
+    /// [`recovered_closed`](Self::recovered_closed)); unknown ids error.
+    pub fn resume_by_id(&mut self, original: SessionId) -> Result<SessionId, OassisError> {
+        if self.slots.iter().any(|s| s.id == original) {
+            return Ok(original);
+        }
+        if let Some(&successor) = self.superseded.get(&original.0) {
+            return Ok(SessionId(successor));
+        }
+        match self.recoverable.remove(&original.0) {
+            Some(recovered) => self.resume(recovered),
+            None => Err(OassisError::Session(format!(
+                "session {} is not resumable (unknown, or closed before the crash)",
+                original.0
+            ))),
+        }
+    }
+
+    /// The latest session admitted under client idempotency token `token`
+    /// (live, recoverable, or closed) — how the networked front-end dedupes
+    /// a retransmitted `Submit` across reconnects and restarts.
+    pub fn session_for_token(&self, token: u64) -> Option<SessionId> {
+        self.tokens.get(&token).map(|&id| SessionId(id))
+    }
+
+    /// The durable outcome of a session that closed before the last crash,
+    /// if `id` is one (reconstructed from its `Close` WAL record).
+    pub fn recovered_closed(&self, id: SessionId) -> Option<&ClosedOutcome> {
+        self.recovered_closed.get(&id.0)
+    }
+
+    /// Whether `id` is an interrupted session awaiting
+    /// [`resume_by_id`](Self::resume_by_id).
+    pub fn is_recoverable(&self, id: SessionId) -> bool {
+        self.recoverable.contains_key(&id.0)
     }
 
     /// Number of crowd seats in the shared pool.
@@ -562,33 +719,35 @@ impl OassisService {
     /// from the answer store. The session does no crowd work until
     /// [`run`](Self::run).
     pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId, OassisError> {
-        self.admit(spec, None)
+        self.admit(spec, None, None)
+    }
+
+    /// [`submit`](Self::submit) with a client idempotency token: the token
+    /// is written into the durable `Admit` record, so a retransmitted
+    /// `Submit` — on a new connection, or after a server crash — maps back
+    /// to this admission via [`session_for_token`](Self::session_for_token)
+    /// instead of admitting a duplicate.
+    pub fn submit_with_token(
+        &mut self,
+        spec: SessionSpec,
+        token: u64,
+    ) -> Result<SessionId, OassisError> {
+        self.admit(spec, None, Some(token))
     }
 
     /// The shared admission path behind [`submit`](Self::submit) and
     /// [`resume`](Self::resume); `resumes` carries the superseded
-    /// session's id into the durable `Admit` record.
+    /// session's id into the durable `Admit` record, `token` the client's
+    /// idempotency token.
     fn admit(
         &mut self,
         spec: SessionSpec,
         resumes: Option<SessionId>,
+        token: Option<u64>,
     ) -> Result<SessionId, OassisError> {
         // Capture the durable shape of the spec before its pieces are
         // moved out below (only when a log is attached).
-        let admit_spec = self.persistence.as_ref().map(|_| AdmitSpec {
-            query: spec.query.clone(),
-            threshold: spec.threshold,
-            roster: spec.roster.clone(),
-            priority: spec.priority,
-            budget: spec.budget.map(|b| b as u64),
-            seed: spec.config.seed,
-            aggregator_sample: spec.config.aggregator_sample,
-            specialization_ratio: spec.config.specialization_ratio,
-            pruning_ratio: spec.config.pruning_ratio,
-            max_questions: spec.config.max_questions,
-            top_k: spec.config.top_k,
-            use_indexes: spec.config.use_indexes,
-        });
+        let admit_spec = self.persistence.as_ref().map(|_| spec.to_admit(token));
         let query = self.engine.parse(&spec.query)?;
         let threshold = spec.threshold.unwrap_or(query.satisfying.support);
         // Waves predict concrete questions only; a session that may draw
@@ -666,8 +825,18 @@ impl OassisService {
             cancel_requested: false,
             finished: None,
             result: None,
+            partials: Vec::new(),
             admit_record,
         });
+        if let Some(token) = token {
+            self.tokens.insert(token, id.0);
+        }
+        // Record the resumption link immediately (not only on WAL replay):
+        // a client that loses its connection right after resuming retries
+        // `Resume(original)` and must land on the successor.
+        if let Some(original) = resumes {
+            self.superseded.insert(original.0, id.0);
+        }
         self.sink.gauge(
             names::SERVICE_SESSIONS_ACTIVE,
             self.active_sessions() as f64,
@@ -700,42 +869,7 @@ impl OassisService {
     /// at most one crowd dispatch; store-served answers and question-free
     /// turns are processed inline.
     pub fn run(&mut self) -> Vec<SessionReport> {
-        while self.active_sessions() > 0 {
-            self.route_completed();
-            let order = self.cycle_order();
-            let mut any_inflight = false;
-            for i in order {
-                self.route_completed();
-                if self.slots[i].finished.is_some() {
-                    continue;
-                }
-                if self.slots[i].cancel_requested && self.slots[i].in_flight.is_none() {
-                    self.finalize_slot(i, SessionStatus::Cancelled);
-                    continue;
-                }
-                if self.slots[i].in_flight.is_some() {
-                    // Waiting on the crowd; top the wave back up and
-                    // revisit once the answer lands.
-                    self.stage_wave(i);
-                    any_inflight = true;
-                    continue;
-                }
-                if self.pump_slot(i) {
-                    // Pumping advanced the session's state machine, so
-                    // its predictions may have changed.
-                    self.slots[i].wave_dirty = true;
-                    self.stage_wave(i);
-                    any_inflight = true;
-                }
-            }
-            // Every live session is either finished or waiting on the
-            // crowd: block for one answer so the next cycle can progress.
-            if any_inflight && self.pool.pump_one() {
-                self.route_completed();
-            }
-            self.cycle += 1;
-            self.maybe_snapshot();
-        }
+        while self.run_cycle() {}
         self.slots
             .drain(..)
             .map(|slot| SessionReport {
@@ -746,6 +880,103 @@ impl OassisService {
                 store_hits: slot.store_hits,
             })
             .collect()
+    }
+
+    /// Drive **one** scheduling cycle and return whether any session is
+    /// still live (i.e. another cycle would make progress). This is the
+    /// incremental form of [`run`](Self::run), for drivers that interleave
+    /// mining with other work — the `oassis-net` server pumps one cycle
+    /// between protocol reads, streaming
+    /// [`take_partials`](Self::take_partials) and serving
+    /// [`take_report`](Self::take_report) as sessions finish.
+    pub fn run_cycle(&mut self) -> bool {
+        if self.active_sessions() == 0 {
+            return false;
+        }
+        self.route_completed();
+        let order = self.cycle_order();
+        let mut any_inflight = false;
+        for i in order {
+            self.route_completed();
+            if self.slots[i].finished.is_some() {
+                continue;
+            }
+            if self.slots[i].cancel_requested && self.slots[i].in_flight.is_none() {
+                self.finalize_slot(i, SessionStatus::Cancelled);
+                continue;
+            }
+            if self.slots[i].in_flight.is_some() {
+                // Waiting on the crowd; top the wave back up and
+                // revisit once the answer lands.
+                self.stage_wave(i);
+                any_inflight = true;
+                continue;
+            }
+            if self.pump_slot(i) {
+                // Pumping advanced the session's state machine, so
+                // its predictions may have changed.
+                self.slots[i].wave_dirty = true;
+                self.stage_wave(i);
+                any_inflight = true;
+            }
+        }
+        // Every live session is either finished or waiting on the
+        // crowd: block for one answer so the next cycle can progress.
+        if any_inflight && self.pool.pump_one() {
+            self.route_completed();
+        }
+        self.cycle += 1;
+        self.maybe_snapshot();
+        self.active_sessions() > 0
+    }
+
+    /// MSP answers confirmed for `id` since the last call — the stream a
+    /// networked front-end forwards to its client as the session mines.
+    /// Empty for unknown (or already-reported) sessions.
+    pub fn take_partials(&mut self, id: SessionId) -> Vec<QueryAnswer> {
+        match self.slots.iter_mut().find(|s| s.id == id) {
+            Some(slot) => std::mem::take(&mut slot.partials),
+            None => Vec::new(),
+        }
+    }
+
+    /// The end state of `id`: `None` while it is still mining (or unknown,
+    /// or its report was already taken).
+    pub fn session_status(&self, id: SessionId) -> Option<SessionStatus> {
+        self.slots.iter().find(|s| s.id == id).and_then(|s| s.finished)
+    }
+
+    /// Whether `id` currently holds a slot (live, or finished with its
+    /// report not yet taken).
+    pub fn is_admitted(&self, id: SessionId) -> bool {
+        self.slots.iter().any(|s| s.id == id)
+    }
+
+    /// `(crowd_questions, store_hits)` so far for an admitted session.
+    pub fn session_progress(&self, id: SessionId) -> Option<(usize, usize)> {
+        self.slots
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| (s.crowd_questions, s.store_hits))
+    }
+
+    /// Remove a *finished* session's slot and return its report — `None`
+    /// while it is still live (or unknown, or already taken).
+    /// [`run`](Self::run) drains reports in admission order; a networked
+    /// front-end takes them per session as clients poll.
+    pub fn take_report(&mut self, id: SessionId) -> Option<SessionReport> {
+        let i = self
+            .slots
+            .iter()
+            .position(|s| s.id == id && s.finished.is_some())?;
+        let slot = self.slots.remove(i);
+        Some(SessionReport {
+            id: slot.id,
+            status: slot.finished.expect("filtered on finished"),
+            result: slot.result.expect("finalized with its status"),
+            crowd_questions: slot.crowd_questions,
+            store_hits: slot.store_hits,
+        })
     }
 
     /// Live slot indices for this cycle: priority descending, equal
@@ -792,9 +1023,11 @@ impl OassisService {
                     return false;
                 }
                 SessionEvent::TurnEnded { .. } => {
-                    // Incremental MSP delivery is a per-session driver
-                    // concern; the service reports complete results.
-                    let _ = self.slots[i].session.take_new_answers();
+                    // Buffer freshly confirmed MSPs for streaming delivery
+                    // ([`take_partials`](Self::take_partials)); the final
+                    // report still carries the complete result.
+                    let fresh = self.slots[i].session.take_new_answers();
+                    self.slots[i].partials.extend(fresh);
                 }
                 SessionEvent::Ask(q) => {
                     // `gone()`'s sync may have absorbed other sessions'
@@ -1063,23 +1296,55 @@ impl OassisService {
     /// into the store, finalize the result for the query's SELECT form.
     fn finalize_slot(&mut self, i: usize, status: SessionStatus) {
         self.release_claim(i);
+        let fresh = self.slots[i].session.take_new_answers();
+        self.slots[i].partials.extend(fresh);
         let (result, cache) = self.slots[i].session.finish();
         self.store.absorb_cache(&cache);
         let result = self
             .engine
             .finalize(result, &self.slots[i].query, &self.slots[i].space);
+        // The durable Close record carries the final valid MSPs (sorted for
+        // a canonical encoding), so a post-crash `Resume` of this session
+        // is answered from the log without re-mining.
+        let mut msps: Vec<String> = result
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.clone())
+            .collect();
+        msps.sort();
         self.slots[i].result = Some(result);
         self.slots[i].finished = Some(status);
+        let outcome = ClosedOutcome {
+            status,
+            crowd_questions: self.slots[i].crowd_questions,
+            msps,
+        };
         if self.persistence.is_some() {
             self.append_wal(&WalRecord::Close {
                 session: self.slots[i].id.0,
-                status: match status {
-                    SessionStatus::Completed => CloseStatus::Completed,
-                    SessionStatus::Cancelled => CloseStatus::Cancelled,
-                    SessionStatus::BudgetExhausted => CloseStatus::BudgetExhausted,
-                },
-                crowd_questions: self.slots[i].crowd_questions as u64,
+                status: close_status(status),
+                crowd_questions: outcome.crowd_questions as u64,
+                msps: outcome.msps.clone(),
             });
+        }
+        // Remember the final outcome under this id *and* every superseded
+        // ancestor id, so a post-restart `Resume` by any id in the
+        // resumption chain is answered from here even after compaction
+        // drops the chain's `Admit` records.
+        let mut chain = vec![self.slots[i].id.0];
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for (&original, &successor) in &self.superseded {
+                if chain.contains(&successor) && !chain.contains(&original) {
+                    chain.push(original);
+                    grew = true;
+                }
+            }
+        }
+        for id in chain {
+            self.recovered_closed.insert(id, outcome.clone());
         }
         self.sink.gauge(
             names::SERVICE_SESSIONS_ACTIVE,
@@ -1099,9 +1364,10 @@ impl OassisService {
 
     /// Compact the log into a snapshot when the tail has outgrown the
     /// persistence's interval. The compacted sequence reproduces the full
-    /// live state: the answer store in canonical order, then an `Admit`
-    /// (+ latest `Budget` watermark) per live session. Closed sessions
-    /// need no recovery and are dropped by compaction.
+    /// live state: the answer store in canonical order, a `Close` per
+    /// closed session (a post-restart `Resume` is answered from that
+    /// outcome — dropping it would make the outcome unrecoverable), then
+    /// an `Admit` (+ latest `Budget` watermark) per live session.
     fn maybe_snapshot(&mut self) {
         let Some(p) = &self.persistence else {
             return;
@@ -1110,6 +1376,14 @@ impl OassisService {
             return;
         }
         let mut compacted = self.store.to_records();
+        for (id, outcome) in &self.recovered_closed {
+            compacted.push(WalRecord::Close {
+                session: *id,
+                status: close_status(outcome.status),
+                crowd_questions: outcome.crowd_questions as u64,
+                msps: outcome.msps.clone(),
+            });
+        }
         for slot in &self.slots {
             if slot.finished.is_some() {
                 continue;
@@ -1131,26 +1405,12 @@ impl OassisService {
     }
 }
 
-/// Rebuild a [`SessionSpec`] from a durable `Admit` record. Only the
-/// scalar config subset is durable; everything else is defaulted.
-fn spec_from_admit(admit: AdmitSpec) -> SessionSpec {
-    let mut config = EngineConfig::builder()
-        .seed(admit.seed)
-        .aggregator_sample(admit.aggregator_sample)
-        .specialization_ratio(admit.specialization_ratio)
-        .pruning_ratio(admit.pruning_ratio)
-        .max_questions(admit.max_questions)
-        .use_indexes(admit.use_indexes);
-    if let Some(k) = admit.top_k {
-        config = config.top_k(k);
-    }
-    SessionSpec {
-        query: admit.query,
-        threshold: admit.threshold,
-        config: config.build(),
-        roster: admit.roster,
-        priority: admit.priority,
-        budget: admit.budget.map(|b| b as usize),
+/// The durable encoding of a terminal [`SessionStatus`].
+fn close_status(status: SessionStatus) -> CloseStatus {
+    match status {
+        SessionStatus::Completed => CloseStatus::Completed,
+        SessionStatus::Cancelled => CloseStatus::Cancelled,
+        SessionStatus::BudgetExhausted => CloseStatus::BudgetExhausted,
     }
 }
 

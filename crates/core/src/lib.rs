@@ -48,10 +48,10 @@ pub use border::{ClassificationState, SharedBorder};
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use diversity::{diversify_answers, select_diverse};
 pub use engine::{
-    Answer, AnswerObserver, CrowdView, MiningSession, MultiUserMiner, Oassis, OassisError,
-    OassisService, PendingQuestion, QueryAnswer, QueryResult, QuestionPayload, RecoveredSession,
-    SessionEvent, SessionId, SessionReport, SessionSpec, SessionSpecBuilder, SessionStatus,
-    NODES_TOTAL_CAP,
+    Answer, AnswerObserver, ClosedOutcome, CrowdView, MiningSession, MultiUserMiner, Oassis,
+    OassisError, OassisService, PendingQuestion, QueryAnswer, QueryResult, QuestionPayload,
+    RecoveredSession, SessionEvent, SessionId, SessionReport, SessionSpec, SessionSpecBuilder,
+    SessionStatus, NODES_TOTAL_CAP,
 };
 pub use runtime::{
     Clock, QuestionId, RuntimeError, RuntimeErrorKind, RuntimeOptions, SessionRuntime, SimChaos,
@@ -79,8 +79,9 @@ pub use value::AValue;
 pub mod prelude {
     pub use crate::config::{EngineConfig, EngineConfigBuilder};
     pub use crate::engine::{
-        MultiUserMiner, Oassis, OassisError, OassisService, QueryAnswer, QueryResult,
-        RecoveredSession, SessionId, SessionReport, SessionSpec, SessionSpecBuilder, SessionStatus,
+        ClosedOutcome, MultiUserMiner, Oassis, OassisError, OassisService, QueryAnswer,
+        QueryResult, RecoveredSession, SessionId, SessionReport, SessionSpec, SessionSpecBuilder,
+        SessionStatus,
     };
     pub use crate::runtime::{SessionRuntime, SimConfig};
 }

@@ -1,0 +1,267 @@
+//! Real-socket glue: a non-blocking line-reader, the [`TcpTransport`]
+//! client endpoint, and [`TcpNetServer`] — the blocking single-threaded
+//! accept/read/respond/pump loop that drives a [`NetServer`] over
+//! `std::net`.
+//!
+//! The server loop deliberately stays single-threaded: the protocol
+//! state machine and the mining service are one mutable structure, and
+//! multiplexing N sockets through one loop (reads are non-blocking, the
+//! service is pumped between reads) keeps every interleaving the
+//! protocol can see identical to what the deterministic simulation
+//! explores — threads would add interleavings the oracle cannot.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::server::NetServer;
+use crate::transport::{NetError, Transport};
+
+/// Pull complete lines out of a non-blocking stream's buffered bytes.
+fn drain_lines(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<Vec<String>, std::io::Error> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::ConnectionAborted,
+                    "peer closed",
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut lines = Vec::new();
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buf.drain(..=pos).collect();
+        let text = String::from_utf8_lossy(&line[..line.len() - 1])
+            .trim_end_matches('\r')
+            .to_owned();
+        if !text.is_empty() {
+            lines.push(text);
+        }
+    }
+    Ok(lines)
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> Result<(), std::io::Error> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    let mut off = 0;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// A [`Transport`] over one TCP connection.
+pub struct TcpTransport {
+    addr: String,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7464"`).
+    pub fn connect(addr: impl Into<String>) -> Result<Self, NetError> {
+        let mut t = TcpTransport {
+            addr: addr.into(),
+            stream: None,
+            buf: Vec::new(),
+        };
+        t.reconnect()?;
+        Ok(t)
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, NetError> {
+        self.stream
+            .as_mut()
+            .ok_or_else(|| NetError::Closed("not connected".into()))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, line: &str) -> Result<(), NetError> {
+        let stream = self.stream()?;
+        write_line(stream, line).map_err(|e| {
+            self.stream = None;
+            NetError::Closed(e.to_string())
+        })
+    }
+
+    fn try_recv(&mut self) -> Result<Option<String>, NetError> {
+        // Buffered whole lines first, then poll the socket.
+        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1])
+                .trim_end_matches('\r')
+                .to_owned();
+            return Ok(Some(text));
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(NetError::Closed("not connected".into()));
+        };
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                self.stream = None;
+                Err(NetError::Closed("peer closed".into()))
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                self.try_recv()
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(None),
+            Err(e) => {
+                self.stream = None;
+                Err(NetError::Closed(e.to_string()))
+            }
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        self.stream = None;
+        self.buf.clear();
+        let stream = TcpStream::connect(&self.addr).map_err(|e| NetError::Closed(e.to_string()))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+    }
+}
+
+/// The blocking TCP front-end over a [`NetServer`].
+pub struct TcpNetServer {
+    listener: TcpListener,
+    server: NetServer,
+    conns: HashMap<u64, (TcpStream, Vec<u8>)>,
+    next_conn: u64,
+}
+
+impl TcpNetServer {
+    /// Bind `addr` (use port 0 to let the OS pick) around `server`.
+    pub fn bind(addr: impl ToSocketAddrs, server: NetServer) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpNetServer {
+            listener,
+            server,
+            conns: HashMap::new(),
+            next_conn: 0,
+        })
+    }
+
+    /// The bound address (for port-0 binds).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The wrapped protocol server.
+    pub fn server(&self) -> &NetServer {
+        &self.server
+    }
+
+    /// Unwrap (e.g. to recover the service after serving).
+    pub fn into_server(self) -> NetServer {
+        self.server
+    }
+
+    /// One scheduler turn: accept pending connections, read and answer
+    /// every complete request line, pump the mining service once.
+    /// Returns whether anything happened (connection, request, or live
+    /// mining work) — callers sleep briefly when idle.
+    pub fn poll_once(&mut self) -> std::io::Result<bool> {
+        let mut active = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    stream.set_nodelay(true).ok();
+                    let conn = self.next_conn;
+                    self.next_conn += 1;
+                    self.server.on_connect(conn);
+                    self.conns.insert(conn, (stream, Vec::new()));
+                    active = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut dead: Vec<u64> = Vec::new();
+        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn in conn_ids {
+            let (stream, buf) = self.conns.get_mut(&conn).expect("listed above");
+            let lines = match drain_lines(stream, buf) {
+                Ok(lines) => lines,
+                Err(_) => {
+                    dead.push(conn);
+                    continue;
+                }
+            };
+            for line in lines {
+                active = true;
+                let responses = self.server.on_line(conn, &line);
+                let closing = line_closes(&line);
+                let (stream, _) = self.conns.get_mut(&conn).expect("still present");
+                let mut failed = false;
+                for resp in &responses {
+                    if write_line(stream, resp).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed || closing {
+                    dead.push(conn);
+                    break;
+                }
+            }
+        }
+        for conn in dead {
+            self.server.on_disconnect(conn);
+            self.conns.remove(&conn);
+        }
+        if self.server.pump() {
+            active = true;
+        }
+        Ok(active)
+    }
+
+    /// Serve until `stop()` returns true, sleeping briefly when idle.
+    pub fn serve_until(&mut self, stop: impl Fn() -> bool) -> std::io::Result<()> {
+        while !stop() {
+            if !self.poll_once()? {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether a request line is a `Close` (the TCP loop drops the
+/// connection after answering it).
+fn line_closes(line: &str) -> bool {
+    matches!(
+        crate::frame::decode_request(line),
+        Ok((_, crate::frame::Request::Close))
+    )
+}

@@ -20,6 +20,14 @@
 //!                    rosters, full-outcome identity on disjoint rosters)
 //!                    over seeds 0..N (default 64; OASSIS_SIM_SEEDS
 //!                    overrides)
+//! sim net-sweep [N]
+//!                    run the wire-protocol oracles (served-run
+//!                    transparency vs the in-process service, replay,
+//!                    kill-the-server-at-every-protocol-event recovery
+//!                    with Resume/tokened-Submit reconnects, and the same
+//!                    under injected frame drop/dup/delay/sever faults)
+//!                    over seeds 0..N (default 64; OASSIS_SIM_SEEDS
+//!                    overrides)
 //! sim repro [SEED]   replay one seed (OASSIS_SIM_SEED or the argument),
 //!                    print its transcript tail, run every oracle, and on
 //!                    failure shrink the schedule to a minimal fault trace
@@ -31,9 +39,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use oassis_simtest::{
-    check_durability_seed, check_seed, check_service_seed, check_wave_seed,
-    diverges_from_reference, durability_sweep, repro_command, service_sweep, shrink, simulate,
-    sweep, wave_sweep, SimOptions, WAVE_SIZES,
+    check_durability_seed, check_net_seed, check_seed, check_service_seed, check_wave_seed,
+    diverges_from_reference, durability_sweep, net_sweep, repro_command, service_sweep, shrink,
+    simulate, sweep, wave_sweep, SimOptions, WAVE_SIZES,
 };
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -134,6 +142,31 @@ fn run_wave_sweep(n: u64) -> ExitCode {
     }
 }
 
+fn run_net_sweep(n: u64) -> ExitCode {
+    println!(
+        "sim net-sweep: {n} seeds, served-protocol oracles (transparency, replay, \
+         kill at every protocol event, frame faults + mid-run kill)"
+    );
+    let start = Instant::now();
+    let report = net_sweep(0..n);
+    let secs = start.elapsed().as_secs_f64();
+    for failure in &report.failures {
+        println!("FAIL {failure}");
+    }
+    println!(
+        "sim net-sweep: {}/{} seeds passed in {:.2}s ({:.1} seeds/s)",
+        report.passed,
+        n,
+        secs,
+        n as f64 / secs.max(1e-9),
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_repro(seed: u64) -> ExitCode {
     println!("sim repro: seed {seed}");
     let outcome = simulate(seed, &SimOptions::default());
@@ -157,9 +190,13 @@ fn run_repro(seed: u64) -> ExitCode {
         .and_then(|()| check_service_seed(seed))
         .and_then(|()| check_durability_seed(seed))
         .and_then(|()| check_wave_seed(seed))
+        .and_then(|()| check_net_seed(seed))
     {
         Ok(()) => {
-            println!("  all oracles passed (single-query, service, durability and waves)");
+            println!(
+                "  all oracles passed (single-query, service, durability, waves \
+                 and wire protocol)"
+            );
             ExitCode::SUCCESS
         }
         Err(failure) => {
@@ -250,6 +287,12 @@ fn main() -> ExitCode {
                 .unwrap_or(64);
             run_wave_sweep(n)
         }
+        "net-sweep" => {
+            let n = arg_u64(1)
+                .or_else(|| env_u64("OASSIS_SIM_SEEDS"))
+                .unwrap_or(64);
+            run_net_sweep(n)
+        }
         "repro" => match arg_u64(1).or_else(|| env_u64("OASSIS_SIM_SEED")) {
             Some(seed) => run_repro(seed),
             None => {
@@ -265,7 +308,8 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command `{other}`; use: sweep [N] | service-sweep [N] | \
-                 durability-sweep [N] | wave-sweep [N] | repro [SEED] | bench [N]"
+                 durability-sweep [N] | wave-sweep [N] | net-sweep [N] | \
+                 repro [SEED] | bench [N]"
             );
             ExitCode::FAILURE
         }

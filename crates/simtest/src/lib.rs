@@ -37,7 +37,11 @@ use oassis_core::{
     EngineConfig, MultiUserMiner, Oassis, OassisService, QueryResult, SessionRuntime, SessionSpec,
     SimChaos, SimConfig, SimTrace, VirtualClock,
 };
-use oassis_store_durable::{InMemory, SharedPersistence, WalRecord};
+use oassis_net::{
+    FaultConfig, NetClient, NetServer, Request, Response, SimNet, SimTransport, WireStatus,
+    PROTOCOL_VERSION,
+};
+use oassis_store_durable::{AdmitSpec, InMemory, SharedPersistence, WalRecord};
 use oassis_crowd::transaction::table3_dbs;
 use oassis_crowd::{CrowdMember, DbMember, MemberId, ResponseModel, UnreliableMember};
 use oassis_obs::{names, Event, EventKind, EventSink, InMemorySink, Snapshot};
@@ -384,6 +388,33 @@ impl std::fmt::Display for OracleFailure {
 /// The one-line command that replays `seed` locally.
 pub fn repro_command(seed: u64) -> String {
     format!("OASSIS_SIM_SEED={seed} cargo run --release -p oassis-simtest --bin sim -- repro")
+}
+
+/// Guard against vacuously-passing oracles: fail `oracle` if *every* MSP
+/// set it is about to compare is empty — "nothing equals nothing" proves
+/// nothing about crash recovery or equivalence. Every comparison oracle
+/// calls this on its baseline; an oracle that legitimately expects empty
+/// sets (none today) opts out by not calling it.
+pub fn require_nonvacuous<'a>(
+    seed: u64,
+    oracle: &'static str,
+    msp_sets: impl IntoIterator<Item = &'a Vec<String>>,
+) -> Result<(), OracleFailure> {
+    let mut any_set = false;
+    for set in msp_sets {
+        any_set = true;
+        if !set.is_empty() {
+            return Ok(());
+        }
+    }
+    if !any_set {
+        return Ok(()); // nothing to compare is the caller's bug, not vacuity
+    }
+    Err(OracleFailure {
+        seed,
+        oracle,
+        detail: "every MSP set is empty — the comparison would be vacuous".into(),
+    })
 }
 
 fn counter(snap: &Snapshot, name: &str, label: &str) -> u64 {
@@ -932,6 +963,7 @@ pub fn check_service_seed(seed: u64) -> Result<(), OracleFailure> {
     }
 
     let solo = simulate_service(seed, &service_plans(1), true);
+    require_nonvacuous(seed, "service-single-session", solo.sessions.iter().map(|s| &s.msps))?;
     let reference = service_reference(seed);
     let s = &solo.sessions[0];
     if s.msps != reference.msps || s.questions != reference.questions {
@@ -964,6 +996,9 @@ pub fn check_service_seed(seed: u64) -> Result<(), OracleFailure> {
     }
 
     let (plan_a, plan_b) = disjoint_plans();
+    // No vacuousness guard here: disjoint 2-seat rosters cannot fill the
+    // service-wide aggregator sample, so these MSP sets are legitimately
+    // empty — the oracle's point is outcome *identity*, not MSP content.
     let combined = simulate_service(seed, &[plan_a.clone(), plan_b.clone()], true);
     let alone_a = simulate_service(seed, &[plan_a], true);
     let alone_b = simulate_service(seed, &[plan_b], true);
@@ -1030,6 +1065,7 @@ pub fn check_wave_seed(seed: u64) -> Result<(), OracleFailure> {
 
     let plans = service_plans(3);
     let base = simulate_service(seed, &plans, true);
+    require_nonvacuous(seed, "wave-equivalence", base.sessions.iter().map(|s| &s.msps))?;
     for &wave in &WAVE_SIZES[1..] {
         let waved = simulate_service_waved(seed, &plans, true, wave);
         let again = simulate_service_waved(seed, &plans, true, wave);
@@ -1245,12 +1281,11 @@ pub fn check_durability_seed(seed: u64) -> Result<(), OracleFailure> {
             "attaching the WAL changed session outcomes".into(),
         ));
     }
-    if durable.outcome.sessions.iter().all(|s| s.msps.is_empty()) {
-        return Err(fail(
-            "durable-transparency",
-            "every MSP set is empty — the crash oracle would be vacuous".into(),
-        ));
-    }
+    require_nonvacuous(
+        seed,
+        "durable-transparency",
+        durable.outcome.sessions.iter().map(|s| &s.msps),
+    )?;
 
     let again = simulate_durable_service(seed, &plans, true, Some(SIM_SNAPSHOT_EVERY));
     {
@@ -1292,6 +1327,9 @@ pub fn check_durability_seed(seed: u64) -> Result<(), OracleFailure> {
 
     let (plan_a, plan_b) = disjoint_plans();
     let dplans = vec![plan_a, plan_b];
+    // Disjoint 2-seat rosters cannot fill the aggregator sample, so their
+    // MSP sets are legitimately empty — this oracle is about crowd-question
+    // *count* conservation, not MSP content; no vacuousness guard.
     let drun = simulate_durable_service(seed, &dplans, true, Some(SIM_SNAPSHOT_EVERY));
     let dlog = drun.log.lock().expect("wal");
     for k in kill_points(mix(seed, 1), dlog.history_len()) {
@@ -1328,6 +1366,566 @@ pub fn durability_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
     let mut report = SweepReport::default();
     for seed in seeds {
         match check_durability_seed(seed) {
+            Ok(()) => report.passed += 1,
+            Err(failure) => report.failures.push(failure),
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Protocol crash/partition oracle (PR 9): serve a durable service through the
+// `oassis-net` wire protocol over the deterministic `SimNet`, kill the server
+// at *every* protocol-event index (and once more under injected frame
+// faults), recover it from the live WAL image, reconnect the clients with
+// `Resume`/tokened `Submit`, and require the terminal valid-MSP sets and
+// crowd-question counts to match the uninterrupted run exactly.
+// ---------------------------------------------------------------------------
+
+/// Client steps between two `Poll`s of a running session — keeps the
+/// protocol-event count (and with it the kill sweep) small without
+/// starving the progress stream.
+pub const NET_POLL_BACKOFF: u32 = 8;
+
+/// Base for the per-plan `Submit` idempotency tokens (plan `i` uses
+/// `NET_TOKEN_BASE + i`), also how the oracle attributes WAL records to
+/// plans without trusting client-side session-id bookkeeping.
+pub const NET_TOKEN_BASE: u64 = 0x0A55_1500;
+
+/// Virtual-tick budget for one networked run; exceeded only by a genuine
+/// livelock, which the harness turns into a panic with context.
+const NET_MAX_TICKS: u64 = 200_000;
+
+/// Service scheduling cycles per tick, so mining outpaces polling and the
+/// event clock stays protocol-dominated.
+const NET_PUMPS_PER_TICK: u32 = 4;
+
+/// Ticks between a kill and the recovered server accepting connections.
+const NET_RESTART_DELAY: u64 = 3;
+
+/// Aggregator sample for the networked oracles' plans. They run the
+/// disjoint 2-seat rosters (for isolation-exact crowd-question counts),
+/// and [`SERVICE_AGGREGATOR_SAMPLE`] (4) could never fill from 2 seats —
+/// every MSP set would be vacuously empty and the MSP-identity oracles
+/// would compare nothing. Sampling both roster members reproduces the
+/// full-crowd aggregate exactly: the simulated crowd is two copies of the
+/// same member pair, so one copy's answers average to the whole crowd's.
+pub const NET_AGGREGATOR_SAMPLE: usize = 2;
+
+/// [`plan_spec`] with the roster-fillable [`NET_AGGREGATOR_SAMPLE`].
+fn net_plan_spec(seed: u64, plan: &ServicePlan) -> SessionSpec {
+    let mut spec = plan_spec(seed, plan);
+    spec.config.aggregator_sample = NET_AGGREGATOR_SAMPLE;
+    spec
+}
+
+/// The served runs' in-process twin: the same plans with the same
+/// [`net_plan_spec`] specs, submitted straight to an [`OassisService`]
+/// with no wire in between. [`check_net_seed`]'s transparency oracle
+/// compares against this (not [`simulate_service`], whose specs use the
+/// service-wide aggregator sample).
+fn run_net_inprocess(seed: u64, plans: &[ServicePlan]) -> Vec<ServiceSessionOutcome> {
+    let mut service = OassisService::start_with_sink(
+        Oassis::new(figure1_ontology()),
+        service_runtime(seed, false),
+        oassis_obs::null_sink(),
+    );
+    for plan in plans {
+        service
+            .submit(net_plan_spec(seed, plan))
+            .expect("net plan admits");
+    }
+    service.run().iter().map(session_outcome).collect()
+}
+
+/// What one networked client observed at its session's end (terminal
+/// `Update` frame): the authoritative valid-MSP set and the cost counter
+/// the crash oracle compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSessionOutcome {
+    /// Terminal status, rendered like [`ServiceSessionOutcome::status`].
+    pub status: String,
+    /// Crowd questions the terminal session paid for itself (a resumed
+    /// session counts only post-resume dispatches).
+    pub crowd_questions: u64,
+    /// Sorted rendered valid MSPs.
+    pub msps: Vec<String>,
+}
+
+/// Everything one networked run produced.
+pub struct NetRunOutcome {
+    /// Per-plan terminal outcomes, in plan order.
+    pub outcomes: Vec<NetSessionOutcome>,
+    /// Protocol events (processed request frames) the *first* server
+    /// incarnation saw — the kill-sweep domain for uninterrupted runs.
+    pub events: u64,
+    /// WAL length at the kill (`None` for uninterrupted runs).
+    pub kill_len: Option<usize>,
+    /// The WAL both server incarnations appended to.
+    pub log: Arc<Mutex<InMemory>>,
+    /// Unexpected `Error` frames any client received (empty on a healthy
+    /// run; the oracles fail on any entry).
+    pub protocol_errors: Vec<String>,
+}
+
+/// One simulated protocol client driving a plan end-to-end:
+/// `Hello → Submit(token) → Poll…` with reconnect-and-`Resume` (or
+/// re-`Submit` under the same token) whenever the connection dies.
+struct NetDriver {
+    spec: AdmitSpec,
+    client: NetClient<SimTransport>,
+    greeted: bool,
+    needs_reconnect: bool,
+    /// First session id this client was admitted as — the `Resume` target
+    /// (the server maps a superseded id to its successor).
+    original: Option<u64>,
+    /// Session id to `Poll` (updated by `Admitted`/`Resumed`).
+    current: Option<u64>,
+    /// Whether `current` is known to this *connection* (a fresh connection
+    /// re-attaches via `Resume` before polling).
+    attached: bool,
+    backoff: u32,
+    outcome: Option<NetSessionOutcome>,
+    protocol_errors: Vec<String>,
+}
+
+impl NetDriver {
+    fn new(spec: AdmitSpec, transport: SimTransport) -> Self {
+        NetDriver {
+            spec,
+            client: NetClient::new(transport),
+            greeted: false,
+            needs_reconnect: false,
+            original: None,
+            current: None,
+            attached: false,
+            backoff: 0,
+            outcome: None,
+            protocol_errors: Vec::new(),
+        }
+    }
+
+    /// One client step: reconnect if needed, issue the next request of the
+    /// conversation if idle, then drive the pending request.
+    fn step(&mut self) {
+        if self.outcome.is_some() {
+            return;
+        }
+        if self.needs_reconnect {
+            if self.client.reconnect().is_err() {
+                return; // server still down; retry next tick
+            }
+            self.needs_reconnect = false;
+            self.greeted = false;
+            self.attached = false;
+        }
+        if !self.client.is_pending() {
+            if self.backoff > 0 {
+                self.backoff -= 1;
+                return;
+            }
+            let req = if !self.greeted {
+                Request::Hello {
+                    version: PROTOCOL_VERSION,
+                }
+            } else if let (Some(original), false) = (self.original, self.attached) {
+                Request::Resume { session: original }
+            } else if let Some(current) = self.current {
+                Request::Poll { session: current }
+            } else {
+                Request::Submit {
+                    spec: self.spec.clone(),
+                }
+            };
+            if self.client.request(&req).is_err() {
+                self.needs_reconnect = true;
+                return;
+            }
+        }
+        match self.client.step() {
+            Ok(Some(batch)) => self.absorb(batch),
+            Ok(None) => {}
+            Err(_) => self.needs_reconnect = true,
+        }
+    }
+
+    fn absorb(&mut self, batch: Vec<Response>) {
+        for resp in batch {
+            match resp {
+                Response::Welcome { .. } => self.greeted = true,
+                Response::Admitted { session } => {
+                    if self.original.is_none() {
+                        self.original = Some(session);
+                    }
+                    self.current = Some(session);
+                    self.attached = true;
+                }
+                Response::Resumed { session, .. } => {
+                    self.current = Some(session);
+                    self.attached = true;
+                }
+                // The Answer stream is best-effort progress reporting; the
+                // terminal Update is what the oracles compare.
+                Response::Answer { .. } => {}
+                Response::Update {
+                    status,
+                    crowd_questions,
+                    msps,
+                    ..
+                } => {
+                    if status == WireStatus::Running {
+                        self.backoff = NET_POLL_BACKOFF;
+                    } else {
+                        self.outcome = Some(NetSessionOutcome {
+                            status: format!("{status:?}"),
+                            crowd_questions,
+                            msps,
+                        });
+                    }
+                }
+                Response::Error { detail } => {
+                    if detail.contains("awaits Resume") {
+                        // Raced a restart without noticing the disconnect:
+                        // re-attach before the next poll.
+                        self.attached = false;
+                    } else {
+                        self.protocol_errors.push(detail);
+                    }
+                }
+                Response::Bye => {}
+            }
+        }
+    }
+}
+
+/// Run `plans` as concurrent protocol clients of one durable served
+/// service over a seeded [`SimNet`]. With `kill_at = Some(k)` the server
+/// process dies immediately *after* processing its `k`-th request frame
+/// (`k = 0`: before its first) — state mutated and WAL appended, response
+/// discarded, every connection severed — and is restarted a few ticks
+/// later by recovering from the same WAL; clients reconnect and resume.
+pub fn run_net(
+    seed: u64,
+    plans: &[ServicePlan],
+    faults: FaultConfig,
+    kill_at: Option<u64>,
+) -> NetRunOutcome {
+    let net = SimNet::new(seed).with_faults(faults);
+    let log = Arc::new(Mutex::new(
+        InMemory::new().with_snapshot_every(SIM_SNAPSHOT_EVERY),
+    ));
+    let persistence: SharedPersistence = Arc::clone(&log) as SharedPersistence;
+    let mut server = Some(NetServer::new(OassisService::start_with_persistence(
+        Oassis::new(figure1_ontology()),
+        service_runtime(seed, false),
+        oassis_obs::null_sink(),
+        persistence,
+    )));
+
+    let mut drivers: Vec<NetDriver> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let spec = net_plan_spec(seed, plan).to_admit(Some(NET_TOKEN_BASE + i as u64));
+            NetDriver::new(spec, net.connect().expect("server starts alive"))
+        })
+        .collect();
+
+    let mut events = 0u64;
+    let mut kill_len: Option<usize> = None;
+    let mut killed = false;
+    let mut restart_at: Option<u64> = None;
+
+    if kill_at == Some(0) {
+        killed = true;
+        kill_len = Some(log.lock().expect("wal").history_len());
+        net.kill_server();
+        server = None;
+        restart_at = Some(NET_RESTART_DELAY);
+    }
+
+    for tick in 0..NET_MAX_TICKS {
+        if drivers.iter().all(|d| d.outcome.is_some()) {
+            break;
+        }
+        for driver in &mut drivers {
+            driver.step();
+        }
+        net.tick();
+
+        if server.is_none() && restart_at.is_some_and(|at| tick >= at) {
+            let persistence: SharedPersistence = Arc::clone(&log) as SharedPersistence;
+            // The recovered sessions are deliberately *not* auto-resumed:
+            // in the protocol world resumption is client-driven (`Resume`,
+            // or a retransmitted tokened `Submit`).
+            let (service, _recovered) = OassisService::recover_with(
+                Oassis::new(figure1_ontology()),
+                service_runtime(seed, false),
+                oassis_obs::null_sink(),
+                persistence,
+            )
+            .expect("recovery from the live WAL image succeeds");
+            server = Some(NetServer::new(service));
+            net.restart_server();
+            restart_at = None;
+        }
+
+        while server.is_some() {
+            let Some((conn, line)) = net.server_recv() else {
+                break;
+            };
+            let srv = server.as_mut().expect("checked above");
+            let before = srv.events_processed();
+            let batch = srv.on_line(conn, &line);
+            let after = srv.events_processed();
+            if !killed && after > before && kill_at == Some(after) {
+                // Die *after* the frame took effect, *before* answering —
+                // the client cannot tell a lost request from a lost
+                // response, and only idempotency keeps the retry safe.
+                killed = true;
+                kill_len = Some(log.lock().expect("wal").history_len());
+                net.kill_server();
+                server = None;
+                restart_at = Some(tick + NET_RESTART_DELAY);
+                break;
+            }
+            for resp in &batch {
+                net.server_send(conn, resp);
+            }
+        }
+        if let Some(srv) = server.as_mut() {
+            for _ in 0..NET_PUMPS_PER_TICK {
+                if !srv.pump() {
+                    break;
+                }
+            }
+            if !killed {
+                events = srv.events_processed();
+            }
+        }
+    }
+
+    let outcomes: Vec<NetSessionOutcome> = drivers
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            d.outcome.clone().unwrap_or_else(|| {
+                panic!(
+                    "seed {seed}: plan {i} never reached a terminal Update within \
+                     {NET_MAX_TICKS} ticks (kill_at {kill_at:?}, faults {faults:?})"
+                )
+            })
+        })
+        .collect();
+    let protocol_errors = drivers
+        .iter()
+        .flat_map(|d| d.protocol_errors.iter().cloned())
+        .collect();
+    NetRunOutcome {
+        outcomes,
+        events,
+        kill_len,
+        log,
+        protocol_errors,
+    }
+}
+
+/// Every session id the WAL's first `upto` records admitted under `token`
+/// (the original and any resumption successors).
+fn token_chain(log: &InMemory, upto: usize, token: u64) -> HashSet<u64> {
+    log.history()[..upto]
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Admit { session, spec, .. } if spec.token == Some(token) => Some(*session),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Check one killed run against the uninterrupted baseline: identical
+/// valid-MSP sets and statuses per plan, no unexpected protocol errors,
+/// and exact crowd-question conservation — answers committed to the WAL
+/// before the kill plus questions the resumed session paid equal the
+/// uninterrupted run's count (a session that closed *before* the kill
+/// must simply report the uninterrupted count).
+fn verify_net_crash(
+    seed: u64,
+    oracle: &'static str,
+    base: &NetRunOutcome,
+    killed: &NetRunOutcome,
+    k: u64,
+) -> Result<(), OracleFailure> {
+    let fail = |detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+    if let Some(e) = killed.protocol_errors.first() {
+        return Err(fail(format!("kill at event {k}: protocol error: {e}")));
+    }
+    let kill_len = killed
+        .kill_len
+        .expect("a killed run records its WAL length at the kill");
+    let log = killed.log.lock().expect("wal");
+    for (i, (expected, got)) in base.outcomes.iter().zip(&killed.outcomes).enumerate() {
+        if got.msps != expected.msps {
+            return Err(fail(format!(
+                "kill at event {k}: plan {i} recovered {} MSPs, expected {}",
+                got.msps.len(),
+                expected.msps.len()
+            )));
+        }
+        if got.status != expected.status {
+            return Err(fail(format!(
+                "kill at event {k}: plan {i} finished {}, expected {}",
+                got.status, expected.status
+            )));
+        }
+        let chain = token_chain(&log, kill_len, NET_TOKEN_BASE + i as u64);
+        let closed_pre = log.history()[..kill_len].iter().any(
+            |r| matches!(r, WalRecord::Close { session, .. } if chain.contains(session)),
+        );
+        let committed = log.history()[..kill_len]
+            .iter()
+            .filter(
+                |r| matches!(r, WalRecord::Answer { session: Some(s), .. } if chain.contains(s)),
+            )
+            .count() as u64;
+        let paid = if closed_pre {
+            // Closed before the kill: the terminal Update replays the
+            // durable Close record's full count; the committed answers
+            // *are* that count, not an addition to it.
+            got.crowd_questions
+        } else {
+            committed + got.crowd_questions
+        };
+        if paid != expected.crowd_questions {
+            return Err(fail(format!(
+                "kill at event {k} (wal {kill_len}): plan {i} paid {paid} crowd \
+                 questions ({committed} committed + {} resumed{}), uninterrupted \
+                 paid {}",
+                got.crowd_questions,
+                if closed_pre { ", closed pre-kill" } else { "" },
+                expected.crowd_questions
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Run every wire-protocol oracle for one seed, over the disjoint-roster
+/// plan pair (so crowd-question counts are isolation-exact):
+///
+/// 1. **net-transparency** — the uninterrupted served run produces exactly
+///    its in-process twin's outcomes (MSPs, crowd-question counts,
+///    statuses — see [`run_net_inprocess`]), with no stray `Error` frames,
+///    and the MSP sets are non-vacuous (the net plans' aggregator sample
+///    is roster-fillable precisely so this bites);
+/// 2. **net-replay** — the same seed twice yields identical outcomes,
+///    protocol-event counts and WAL histories;
+/// 3. **net-crash** — for every protocol-event index `k` in `0..=events`,
+///    killing the server right after frame `k` and recovering yields the
+///    uninterrupted outcomes, with crowd-question conservation;
+/// 4. **net-faults** — under injected frame drops, duplicates, delays and
+///    severs ([`FaultConfig::light`]), the run still converges to the
+///    uninterrupted outcomes — and so does a mid-run kill on top of the
+///    faults.
+pub fn check_net_seed(seed: u64) -> Result<(), OracleFailure> {
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+    let (plan_a, plan_b) = disjoint_plans();
+    let plans = vec![plan_a, plan_b];
+
+    let base = run_net(seed, &plans, FaultConfig::default(), None);
+    if let Some(e) = base.protocol_errors.first() {
+        return Err(fail("net-transparency", format!("protocol error: {e}")));
+    }
+    require_nonvacuous(
+        seed,
+        "net-transparency",
+        base.outcomes.iter().map(|o| &o.msps),
+    )?;
+    let inproc = run_net_inprocess(seed, &plans);
+    for (i, (n, p)) in base.outcomes.iter().zip(&inproc).enumerate() {
+        if n.msps != p.msps
+            || n.crowd_questions != p.crowd_questions as u64
+            || n.status != p.status
+        {
+            return Err(fail(
+                "net-transparency",
+                format!(
+                    "plan {i} served ({} MSPs, {} crowd, {}) vs in-process \
+                     ({} MSPs, {} crowd, {})",
+                    n.msps.len(),
+                    n.crowd_questions,
+                    n.status,
+                    p.msps.len(),
+                    p.crowd_questions,
+                    p.status
+                ),
+            ));
+        }
+    }
+
+    let again = run_net(seed, &plans, FaultConfig::default(), None);
+    if again.outcomes != base.outcomes || again.events != base.events {
+        return Err(fail(
+            "net-replay",
+            format!(
+                "two served runs of the same seed diverged ({} vs {} events)",
+                base.events, again.events
+            ),
+        ));
+    }
+    {
+        let a = base.log.lock().expect("wal");
+        let b = again.log.lock().expect("wal");
+        if a.history() != b.history() {
+            return Err(fail(
+                "net-replay",
+                format!(
+                    "two served runs appended different WAL histories \
+                     ({} vs {} records)",
+                    a.history_len(),
+                    b.history_len()
+                ),
+            ));
+        }
+    }
+
+    assert!(base.events > 0, "a served run must process protocol events");
+    for k in 0..=base.events {
+        let killed = run_net(seed, &plans, FaultConfig::default(), Some(k));
+        verify_net_crash(seed, "net-crash", &base, &killed, k)?;
+    }
+
+    let faulted = run_net(seed, &plans, FaultConfig::light(), None);
+    if let Some(e) = faulted.protocol_errors.first() {
+        return Err(fail("net-faults", format!("protocol error: {e}")));
+    }
+    for (i, (n, b)) in faulted.outcomes.iter().zip(&base.outcomes).enumerate() {
+        if n != b {
+            return Err(fail(
+                "net-faults",
+                format!("plan {i} diverged under frame faults: {n:?} vs {b:?}"),
+            ));
+        }
+    }
+    let mid = (faulted.events / 2).max(1);
+    let faulted_killed = run_net(seed, &plans, FaultConfig::light(), Some(mid));
+    verify_net_crash(seed, "net-faults", &base, &faulted_killed, mid)?;
+
+    Ok(())
+}
+
+/// Run [`check_net_seed`] over `seeds`.
+pub fn net_sweep(seeds: impl IntoIterator<Item = u64>) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check_net_seed(seed) {
             Ok(()) => report.passed += 1,
             Err(failure) => report.failures.push(failure),
         }

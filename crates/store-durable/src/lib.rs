@@ -33,7 +33,10 @@ mod record;
 
 pub use file::{FileBacked, Wal, SNAPSHOT_FILE, WAL_FILE};
 pub use persist::{shared, InMemory, Persistence, SharedPersistence};
-pub use record::{AdmitSpec, CloseStatus, WalRecord};
+pub use record::{
+    decode_list, encode_list, escape_field, fnv1a64, unescape_field, AdmitSpec, CloseStatus,
+    WalRecord, ADMIT_SPEC_FIELDS,
+};
 
 /// Why a durability operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -18,7 +18,9 @@ const SEP: char = '|';
 
 /// FNV-1a 64-bit: tiny, dependency-free, and plenty for torn-write and
 /// bit-rot *detection* (this is not a cryptographic integrity claim).
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Public so other line-framed formats (the `oassis-net` wire protocol)
+/// can checksum exactly like the WAL.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -28,8 +30,9 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Escape a free-text field so it cannot contain the separator or a
-/// newline: `%` → `%25`, `|` → `%7C`, LF → `%0A`, CR → `%0D`.
-fn escape(s: &str) -> String {
+/// newline: `%` → `%25`, `|` → `%7C`, LF → `%0A`, CR → `%0D`. Shared with
+/// the `oassis-net` frame codec, which uses the same line discipline.
+pub fn escape_field(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -43,7 +46,8 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+/// Invert [`escape_field`]. Errors on an unknown escape sequence.
+pub fn unescape_field(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -93,6 +97,10 @@ pub struct AdmitSpec {
     pub top_k: Option<usize>,
     /// Whether the index-backed inference layer is on.
     pub use_indexes: bool,
+    /// Client-chosen idempotency token (the `oassis-net` front-end dedupes
+    /// retransmitted `Submit`s by it, across crashes). `None` for
+    /// admissions made in-process.
+    pub token: Option<u64>,
 }
 
 /// How a closed session ended (the durable mirror of the service's
@@ -169,6 +177,10 @@ pub enum WalRecord {
         status: CloseStatus,
         /// Total crowd dispatches it paid for.
         crowd_questions: u64,
+        /// The session's final rendered valid MSPs, so a client resuming a
+        /// session that closed just before a crash can be answered from the
+        /// log without re-mining.
+        msps: Vec<String>,
     },
 }
 
@@ -228,6 +240,31 @@ where
     s.parse::<T>().map_err(|e| format!("bad {what}: {e}"))
 }
 
+/// Encode a list of free-text items into one field: each item is
+/// [`escape_field`]-escaped (which removes every literal `%`), then `;`
+/// — the item separator — is escaped as `%3B`. `-` encodes the empty
+/// list, mirroring the other optional fields.
+pub fn encode_list(items: &[String]) -> String {
+    if items.is_empty() {
+        return "-".to_owned();
+    }
+    items
+        .iter()
+        .map(|s| escape_field(s).replace(';', "%3B"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Invert [`encode_list`].
+pub fn decode_list(s: &str) -> Result<Vec<String>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|item| unescape_field(&item.replace("%3B", ";")))
+        .collect()
+}
+
 fn encode_roster(roster: &Option<Vec<usize>>) -> String {
     match roster {
         None => "-".to_owned(),
@@ -249,6 +286,59 @@ fn decode_roster(s: &str) -> Result<Option<Vec<usize>>, String> {
             .map(|x| x.parse::<usize>().map_err(|e| format!("bad roster: {e}")))
             .collect::<Result<Vec<_>, _>>()
             .map(Some),
+    }
+}
+
+/// Number of `|`-separated fields [`AdmitSpec::encode_fields`] emits.
+pub const ADMIT_SPEC_FIELDS: usize = 13;
+
+impl AdmitSpec {
+    /// Encode as [`ADMIT_SPEC_FIELDS`] `|`-separated fields — the layout
+    /// the `Admit` WAL record embeds, shared with the `oassis-net`
+    /// `Submit` frame so the wire and the log agree on the spec codec.
+    pub fn encode_fields(&self) -> String {
+        format!(
+            "{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}",
+            self.priority,
+            opt(&self.budget),
+            opt(&self.threshold),
+            self.seed,
+            self.aggregator_sample,
+            self.specialization_ratio,
+            self.pruning_ratio,
+            self.max_questions,
+            opt(&self.top_k),
+            u8::from(self.use_indexes),
+            opt(&self.token),
+            encode_roster(&self.roster),
+            escape_field(&self.query)
+        )
+    }
+
+    /// Invert [`encode_fields`](Self::encode_fields); `fields` must hold
+    /// exactly [`ADMIT_SPEC_FIELDS`] entries.
+    pub fn decode_fields(fields: &[&str]) -> Result<AdmitSpec, String> {
+        if fields.len() != ADMIT_SPEC_FIELDS {
+            return Err(format!(
+                "expected {ADMIT_SPEC_FIELDS} spec fields, got {}",
+                fields.len()
+            ));
+        }
+        Ok(AdmitSpec {
+            priority: parse(fields[0], "priority")?,
+            budget: parse_opt(fields[1], "budget")?,
+            threshold: parse_opt(fields[2], "threshold")?,
+            seed: parse(fields[3], "seed")?,
+            aggregator_sample: parse(fields[4], "aggregator sample")?,
+            specialization_ratio: parse(fields[5], "specialization ratio")?,
+            pruning_ratio: parse(fields[6], "pruning ratio")?,
+            max_questions: parse(fields[7], "max questions")?,
+            top_k: parse_opt(fields[8], "top-k")?,
+            use_indexes: parse::<u8>(fields[9], "use-indexes flag")? != 0,
+            token: parse_opt(fields[10], "token")?,
+            roster: decode_roster(fields[11])?,
+            query: unescape_field(fields[12])?,
+        })
     }
 }
 
@@ -281,29 +371,20 @@ impl WalRecord {
                 resumes,
                 spec,
             } => format!(
-                "s{SEP}{session}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}{SEP}{}",
+                "s{SEP}{session}{SEP}{}{SEP}{}",
                 opt(resumes),
-                spec.priority,
-                opt(&spec.budget),
-                opt(&spec.threshold),
-                spec.seed,
-                spec.aggregator_sample,
-                spec.specialization_ratio,
-                spec.pruning_ratio,
-                spec.max_questions,
-                opt(&spec.top_k),
-                u8::from(spec.use_indexes),
-                encode_roster(&spec.roster),
-                escape(&spec.query)
+                spec.encode_fields()
             ),
             WalRecord::Budget { session, spent } => format!("b{SEP}{session}{SEP}{spent}"),
             WalRecord::Close {
                 session,
                 status,
                 crowd_questions,
+                msps,
             } => format!(
-                "c{SEP}{session}{SEP}{}{SEP}{crowd_questions}",
-                status.code()
+                "c{SEP}{session}{SEP}{}{SEP}{crowd_questions}{SEP}{}",
+                status.code(),
+                encode_list(msps)
             ),
         };
         let payload = format!("{seq}{SEP}{body}");
@@ -344,24 +425,11 @@ impl WalRecord {
                 }
             }
             Some("s") => {
-                need(16)?;
+                need(4 + ADMIT_SPEC_FIELDS)?;
                 WalRecord::Admit {
                     session: parse(fields[2], "session id")?,
                     resumes: parse_opt(fields[3], "resumed id")?,
-                    spec: AdmitSpec {
-                        priority: parse(fields[4], "priority")?,
-                        budget: parse_opt(fields[5], "budget")?,
-                        threshold: parse_opt(fields[6], "threshold")?,
-                        seed: parse(fields[7], "seed")?,
-                        aggregator_sample: parse(fields[8], "aggregator sample")?,
-                        specialization_ratio: parse(fields[9], "specialization ratio")?,
-                        pruning_ratio: parse(fields[10], "pruning ratio")?,
-                        max_questions: parse(fields[11], "max questions")?,
-                        top_k: parse_opt(fields[12], "top-k")?,
-                        use_indexes: parse::<u8>(fields[13], "use-indexes flag")? != 0,
-                        roster: decode_roster(fields[14])?,
-                        query: unescape(fields[15])?,
-                    },
+                    spec: AdmitSpec::decode_fields(&fields[4..])?,
                 }
             }
             Some("b") => {
@@ -372,11 +440,12 @@ impl WalRecord {
                 }
             }
             Some("c") => {
-                need(5)?;
+                need(6)?;
                 WalRecord::Close {
                     session: parse(fields[2], "session id")?,
                     status: CloseStatus::from_code(fields[3])?,
                     crowd_questions: parse(fields[4], "crowd questions")?,
+                    msps: decode_list(fields[5])?,
                 }
             }
             other => return Err(format!("unknown record kind {other:?}")),
@@ -436,6 +505,7 @@ mod tests {
                     max_questions: 1_000_000,
                     top_k: None,
                     use_indexes: true,
+                    token: Some(0xFEED_F00D),
                 },
             },
             WalRecord::Budget {
@@ -446,6 +516,10 @@ mod tests {
                 session: 9,
                 status: CloseStatus::BudgetExhausted,
                 crowd_questions: 12,
+                msps: vec![
+                    "{Biking doAt Central Park}".into(),
+                    "odd; rendering | with %3B separators".into(),
+                ],
             },
         ]
     }
@@ -480,6 +554,7 @@ mod tests {
                     max_questions: 10,
                     top_k: Some(2),
                     use_indexes: false,
+                    token: None,
                 },
             };
             let (_, back) = WalRecord::decode(&rec.encode(1)).expect("roundtrip");
@@ -501,6 +576,20 @@ mod tests {
                 panic!("kind changed");
             };
             assert_eq!(s.to_bits(), support.to_bits(), "bit-exact float roundtrip");
+        }
+    }
+
+    #[test]
+    fn list_encoding_roundtrips() {
+        for items in [
+            vec![],
+            vec!["plain".to_owned()],
+            vec!["a;b".to_owned(), "c|d".to_owned(), "e%3Bf".to_owned()],
+            vec!["line\nbreak".to_owned(), "%".to_owned()],
+        ] {
+            let encoded = encode_list(&items);
+            assert!(!encoded.contains('|') && !encoded.contains('\n'), "{encoded:?}");
+            assert_eq!(decode_list(&encoded).expect("roundtrip"), items);
         }
     }
 

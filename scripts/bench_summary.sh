@@ -29,6 +29,9 @@ for f in "${files[@]}"; do
     crowdscale)
         jq -r '"\(input_filename): \(.rows | length) rows, up to \(.rows | map(.members) | max) members, shard gain \(.shard_gain)x (1->\(.rows | map(.shards) | max) shards), answers_match \(.rows | all(.answers_match))"' "$f"
         ;;
+    net)
+        jq -r '"\(input_filename): \(.rows | length) rows, overhead \(.rows | map(.overhead_pct) | min)-\(.rows | map(.overhead_pct) | max)%, hello rtt up to \(.rows | map(.hello_rtt_usecs) | max)us, answers_match \(.rows | all(.answers_match))"' "$f"
+        ;;
     *)
         echo "$f: experiment=$exp ($(jq -r '.rows | length // 0' "$f") rows)"
         ;;

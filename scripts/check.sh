@@ -39,4 +39,11 @@ cargo run --release -q -p oassis-simtest --bin sim -- wave-sweep 64
 echo "==> crowd-scale smoke: sharded + waved runs must match the 1-shard/1-wave reference"
 OASSIS_CROWDSCALE_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- crowd-scale
 
+echo "==> net smoke: served TCP-loopback sessions must match the in-process run"
+cargo test -q --release --test net
+OASSIS_NET_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- net
+
+echo "==> net simulation: 64-seed protocol sweep (transparency, replay, kill at every protocol event, frame faults)"
+cargo run --release -q -p oassis-simtest --bin sim -- net-sweep 64
+
 echo "==> all checks passed"

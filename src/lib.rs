@@ -22,6 +22,7 @@
 pub use oassis_core as core;
 pub use oassis_crowd as crowd;
 pub use oassis_datagen as datagen;
+pub use oassis_net as net;
 pub use oassis_obs as obs;
 pub use oassis_ql as ql;
 pub use oassis_sparql as sparql;

@@ -1,0 +1,212 @@
+//! End-to-end smoke tests for the wire protocol (`oassis-net`) over real
+//! TCP loopback: a served session must produce exactly the valid-MSP set
+//! of the in-process serial run, `Submit` tokens must deduplicate, and
+//! protocol-version mismatches must be refused.
+//!
+//! The adversarial cases — crashes, partitions, drops, duplicates — live
+//! in the deterministic protocol crash oracle (`oassis-simtest`, `sim
+//! net-sweep`); these tests only pin the happy path onto real sockets.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use oassis::core::{EngineConfig, Oassis, OassisService, QueryResult, SessionRuntime, SessionSpec};
+use oassis::crowd::transaction::table3_dbs;
+use oassis::crowd::{CrowdMember, DbMember, MemberId};
+use oassis::net::{
+    NetClient, NetServer, Request, Response, TcpNetServer, TcpTransport, WireStatus,
+    PROTOCOL_VERSION,
+};
+use oassis::store::ontology::figure1_ontology;
+
+const QUERY: &str = "SELECT FACT-SETS WHERE \
+      $x instanceOf $w. $w subClassOf* Attraction. \
+      $y subClassOf* Activity \
+    SATISFYING $y doAt $x WITH SUPPORT = 0.4";
+
+fn figure1_crowd(n_pairs: u32) -> Vec<Box<dyn CrowdMember>> {
+    let o = figure1_ontology();
+    let vocab = Arc::new(o.vocabulary().clone());
+    let (d1, d2) = table3_dbs(&vocab);
+    let mut members: Vec<Box<dyn CrowdMember>> = Vec::new();
+    for i in 0..n_pairs {
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i),
+            d1.clone(),
+            Arc::clone(&vocab),
+        )));
+        members.push(Box::new(DbMember::new(
+            MemberId(2 * i + 1),
+            d2.clone(),
+            Arc::clone(&vocab),
+        )));
+    }
+    members
+}
+
+/// A small aggregator sample keeps the figure-1 valid-MSP set non-empty
+/// (the whole-crowd default averages the two answer databases below the
+/// support threshold).
+fn test_config() -> EngineConfig {
+    EngineConfig::builder().aggregator_sample(4).build()
+}
+
+fn valid_msp_set(result: &QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = result
+        .answers
+        .iter()
+        .filter(|a| a.valid)
+        .map(|a| a.rendered.clone())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Spin up a served loopback service and hand the client side to `drive`.
+/// The service (and its boxed crowd) is not `Send`, so the *server* stays
+/// on this thread and the client runs on a spawned one; the server loop
+/// exits once the client is done, and a client panic is re-raised here.
+fn with_loopback_server(drive: impl FnOnce(&mut NetClient<TcpTransport>) + Send + 'static) {
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let service = OassisService::start(engine, runtime);
+    let mut tcp = TcpNetServer::bind("127.0.0.1:0", NetServer::new(service)).expect("bind");
+    let addr = tcp.local_addr().expect("bound").to_string();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let done_flag = Arc::clone(&done);
+    let handle = std::thread::spawn(move || {
+        let transport = TcpTransport::connect(addr).expect("connect");
+        let mut client = NetClient::new(transport);
+        drive(&mut client);
+        client.close();
+        done_flag.store(true, Ordering::Relaxed);
+    });
+
+    tcp.serve_until(|| done.load(Ordering::Relaxed) || handle.is_finished())
+        .expect("serve");
+    handle.join().expect("client thread");
+}
+
+/// One round-trip; panics unless exactly one response frame comes back.
+fn call_one(client: &mut NetClient<TcpTransport>, req: &Request) -> Response {
+    let mut batch = client.call(req).expect("call");
+    assert_eq!(batch.len(), 1, "expected a single-frame batch: {batch:?}");
+    batch.remove(0)
+}
+
+#[test]
+fn tcp_loopback_session_matches_in_process_run() {
+    // Serial in-process baseline.
+    let engine = Oassis::new(figure1_ontology());
+    let mut members = figure1_crowd(2);
+    let serial = engine.execute(QUERY, &mut members, &test_config()).unwrap();
+    let serial_msps = valid_msp_set(&serial);
+    assert!(!serial_msps.is_empty(), "vacuous baseline");
+
+    with_loopback_server(move |client| {
+        match call_one(client, &Request::Hello { version: PROTOCOL_VERSION }) {
+            Response::Welcome { version, crowd } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(crowd, 4);
+            }
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+
+        let spec = SessionSpec::builder(QUERY)
+            .config(test_config())
+            .build()
+            .to_admit(Some(17));
+        let session = match call_one(client, &Request::Submit { spec: spec.clone() }) {
+            Response::Admitted { session } => session,
+            other => panic!("expected Admitted, got {other:?}"),
+        };
+
+        // Token dedup: retrying the same Submit lands on the same session.
+        match call_one(client, &Request::Submit { spec }) {
+            Response::Admitted { session: again } => assert_eq!(again, session),
+            other => panic!("expected deduplicated Admitted, got {other:?}"),
+        }
+
+        // Poll until the terminal update; partial Answer frames stream in
+        // ahead of it and must never exceed the final valid set.
+        let mut streamed: Vec<String> = Vec::new();
+        let final_update = loop {
+            let batch = client.call(&Request::Poll { session }).expect("poll");
+            let (terminal, partials): (Vec<_>, Vec<_>) =
+                batch.into_iter().partition(Response::is_terminal);
+            for p in partials {
+                match p {
+                    Response::Answer { valid, rendered, .. } => {
+                        if valid {
+                            streamed.push(rendered);
+                        }
+                    }
+                    other => panic!("non-terminal frame must be Answer, got {other:?}"),
+                }
+            }
+            assert_eq!(terminal.len(), 1, "every batch ends in one terminal frame");
+            match terminal.into_iter().next().unwrap() {
+                Response::Update { status, msps, crowd_questions, .. }
+                    if status != WireStatus::Running =>
+                {
+                    assert_eq!(status, WireStatus::Completed);
+                    assert!(crowd_questions > 0, "the crowd was never asked");
+                    break msps;
+                }
+                Response::Update { .. } => {} // still running; poll again
+                other => panic!("expected Update, got {other:?}"),
+            }
+        };
+
+        assert_eq!(final_update, serial_msps, "served session diverged");
+        streamed.sort();
+        streamed.dedup();
+        assert!(
+            streamed.iter().all(|m| serial_msps.contains(m)),
+            "streamed partial outside the final valid set"
+        );
+
+        // A finished session's report replays identically on a re-poll.
+        let batch = client.call(&Request::Poll { session }).expect("re-poll");
+        match batch.last().expect("terminal") {
+            Response::Update { status, msps, .. } => {
+                assert_eq!(*status, WireStatus::Completed);
+                assert_eq!(*msps, serial_msps);
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+
+        assert!(matches!(call_one(client, &Request::Close), Response::Bye));
+    });
+}
+
+#[test]
+fn tcp_loopback_rejects_version_and_unknown_sessions() {
+    with_loopback_server(|client| {
+        match call_one(client, &Request::Hello { version: PROTOCOL_VERSION + 1 }) {
+            Response::Error { detail } => assert!(detail.contains("version")),
+            other => panic!("expected version Error, got {other:?}"),
+        }
+        // The connection survives a refused Hello.
+        match call_one(client, &Request::Hello { version: PROTOCOL_VERSION }) {
+            Response::Welcome { .. } => {}
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+        match client
+            .call(&Request::Poll { session: 999 })
+            .expect("poll")
+            .pop()
+            .expect("one frame")
+        {
+            Response::Error { detail } => assert!(detail.contains("unknown session")),
+            other => panic!("expected unknown-session Error, got {other:?}"),
+        }
+        // Submit without a token is refused outright.
+        let spec = SessionSpec::builder(QUERY).build().to_admit(None);
+        match call_one(client, &Request::Submit { spec }) {
+            Response::Error { detail } => assert!(detail.contains("token")),
+            other => panic!("expected token Error, got {other:?}"),
+        }
+    });
+}

@@ -16,6 +16,7 @@ use oassis::datagen::{
 };
 use oassis::obs::{names, EventSink, InMemorySink};
 use oassis::store::ontology::figure1_ontology;
+use oassis::store_durable::{InMemory, SharedPersistence, WalRecord};
 use oassis::vocab::{ElementId, FactSet};
 
 const QUERY: &str = "SELECT FACT-SETS WHERE \
@@ -223,6 +224,89 @@ fn budget_exhaustion_is_reported() {
     let report = service.run().remove(0);
     assert_eq!(report.status, SessionStatus::BudgetExhausted);
     assert!(report.crowd_questions <= 3, "{}", report.crowd_questions);
+}
+
+/// A question wave larger than the remaining budget must not overrun it:
+/// speculative prefetches count against the grant too, so the session
+/// still stops at the cap with the dedicated status and a partial result.
+#[test]
+fn waves_never_overrun_the_budget() {
+    let budget = 3usize;
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start(engine, runtime);
+    // Every wave asks for more questions than the whole grant allows.
+    service.set_wave_size(2 * budget);
+    let spec = SessionSpec::builder(QUERY).budget(budget).build();
+    service.submit(spec).unwrap();
+    let report = service.run().remove(0);
+    assert_eq!(report.status, SessionStatus::BudgetExhausted);
+    assert!(
+        report.crowd_questions <= budget,
+        "wave overran the budget: {} > {budget}",
+        report.crowd_questions
+    );
+    assert!(report.crowd_questions > 0, "the grant was never used");
+}
+
+/// Resuming a session whose budget was fully spent before the crash must
+/// not dispatch fresh crowd questions: the recovered grant is the original
+/// minus the watermarked spend — zero — so the resumed leg reports
+/// `BudgetExhausted` immediately as a partial result.
+#[test]
+fn resume_of_spent_budget_session_dispatches_nothing() {
+    let budget = 3usize;
+    let mem = Arc::new(Mutex::new(InMemory::new()));
+    let persistence: SharedPersistence = Arc::clone(&mem) as SharedPersistence;
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let mut service = OassisService::start_with_persistence(
+        engine,
+        runtime,
+        oassis::obs::null_sink(),
+        persistence,
+    );
+    service
+        .submit(SessionSpec::builder(QUERY).budget(budget).build())
+        .unwrap();
+    let report = service.run().remove(0);
+    assert_eq!(report.status, SessionStatus::BudgetExhausted);
+    drop(service);
+
+    // Crash right before the Close record: the last Budget watermark (the
+    // full grant) is durable, the session's end is not.
+    let crash: SharedPersistence = {
+        let log = mem.lock().unwrap();
+        let close_idx = log
+            .history()
+            .iter()
+            .position(|r| matches!(r, WalRecord::Close { .. }))
+            .expect("the run closed its session");
+        Arc::new(Mutex::new(log.crashed_at(close_idx)))
+    };
+
+    let engine = Oassis::new(figure1_ontology());
+    let runtime = SessionRuntime::new(figure1_crowd(2));
+    let (mut service, mut recovered) =
+        OassisService::recover_with(engine, runtime, oassis::obs::null_sink(), crash)
+            .expect("crash image replays");
+    assert_eq!(recovered.len(), 1, "the interrupted session is recovered");
+    let session = recovered.remove(0);
+    assert_eq!(
+        session.spent, budget,
+        "the watermark recorded the exhausted grant"
+    );
+    service.resume(session).unwrap();
+    let resumed = service.run().remove(0);
+    assert_eq!(
+        resumed.status,
+        SessionStatus::BudgetExhausted,
+        "a spent grant must resume straight into exhaustion"
+    );
+    assert_eq!(
+        resumed.crowd_questions, 0,
+        "a spent grant must not buy fresh dispatches"
+    );
 }
 
 /// Cancellation before `run` ends the session immediately; the other
