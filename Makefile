@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full gate (see scripts/check.sh).
 
-.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench crowdscale-bench net-bench bench-summary
+.PHONY: build test test-all clippy check figures bench sim service-bench durability-bench crowdscale-bench net-bench planner-bench bench-summary
 
 # Seed count for the deterministic-simulation sweep (`make sim SEEDS=10000`).
 SEEDS ?= 10000
@@ -50,6 +50,12 @@ crowdscale-bench:
 # sessions in-process, plus the raw Hello round-trip; writes BENCH_net.json.
 net-bench:
 	cargo run --release -p oassis-bench --bin figures -- net
+
+# Query-planner benchmark: canonical vs FILTER-constrained queries, planner
+# on vs off (identical answers asserted), pushdown's effect on seed
+# assignments and crowd questions; writes BENCH_planner.json.
+planner-bench:
+	cargo run --release -p oassis-bench --bin figures -- planner
 
 # One line per checked-in BENCH_*.json: headline numbers for quick diffing.
 bench-summary:

@@ -8,7 +8,9 @@ use std::hint::black_box;
 use oassis_crowd::transaction::table3_dbs;
 use oassis_datagen::{culinary_domain, travel_domain};
 use oassis_ql::parse_query;
-use oassis_sparql::{evaluate, parse_patterns, MatchMode, VarTable};
+use oassis_sparql::{
+    evaluate, evaluate_reference, evaluate_where, parse_patterns, plan, MatchMode, VarTable,
+};
 use oassis_store::ontology::figure1_ontology;
 use oassis_vocab::{Fact, FactSet};
 
@@ -63,14 +65,37 @@ fn bench_sparql(c: &mut Criterion) {
     c.bench_function("sparql/evaluate_travel_where", |b| {
         b.iter(|| {
             black_box(
-                evaluate(
+                evaluate_where(
                     &travel.ontology,
-                    &q.where_patterns,
+                    &q.where_clause,
                     &q.vars,
                     MatchMode::Semantic,
                 )
                 .len(),
             )
+        })
+    });
+    c.bench_function("sparql/evaluate_travel_where_reference", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate_reference(
+                    &travel.ontology,
+                    &q.where_clause,
+                    &q.vars,
+                    MatchMode::Semantic,
+                )
+                .len(),
+            )
+        })
+    });
+    c.bench_function("sparql/plan_compile_and_optimize", |b| {
+        b.iter(|| {
+            let compiled = plan::compile(&travel.ontology, &q.where_clause, MatchMode::Semantic);
+            black_box(plan::optimize_report(
+                &travel.ontology,
+                compiled,
+                MatchMode::Semantic,
+            ))
         })
     });
 }

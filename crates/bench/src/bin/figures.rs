@@ -7,7 +7,7 @@
 //!
 //! Available experiments: `fig4a fig4b fig4c fig4d fig4e fig4f fig5 shape
 //! dist mult crowdmix bounds growth runtime scale service durability
-//! crowd-scale net` (or `all`). The `scale` experiment writes
+//! crowd-scale net planner` (or `all`). The `scale` experiment writes
 //! `BENCH_scale.json` at the repo root (`OASSIS_SCALE_SMOKE=1` shrinks it
 //! for CI); `service` writes `BENCH_service.json` the same way
 //! (`OASSIS_SERVICE_SMOKE=1`), `durability` writes `BENCH_durability.json`
@@ -17,7 +17,10 @@
 //! over crowds up to 100k members (`OASSIS_CROWDSCALE_SMOKE=1`) — and
 //! `net` writes `BENCH_net.json`: wire-protocol round-trip overhead of
 //! serving sessions over TCP loopback versus running them in-process
-//! (`OASSIS_NET_SMOKE=1`).
+//! (`OASSIS_NET_SMOKE=1`) — and `planner` writes `BENCH_planner.json`:
+//! the query planner's constraint pushdown on a `FILTER`-constrained
+//! variant of each canonical query, asserting identical valid MSPs with
+//! the planner on and off (`OASSIS_PLANNER_SMOKE=1`).
 //!
 //! Alongside the tables, machine-readable telemetry is appended as JSON
 //! lines (one event object per line) to `$OASSIS_FIGURES_JSON`, default
@@ -32,9 +35,9 @@ use std::time::Duration;
 use oassis_bench::experiments::{
     algorithm_comparison, answer_type_effect, complexity_bounds, crowd_growth, crowd_mix,
     crowd_scale, crowd_statistics_observed, distribution_variation, multiplicity_variation,
-    net_overhead, pace_of_collection, recovery_scaling, runtime_speedup, scale_speedup,
-    service_reuse, shape_variation, CrowdScaleOutcome, CurveSeries, DurabilityRow, NetRow,
-    PaceResult, ScaleRow, ServiceRow,
+    net_overhead, pace_of_collection, planner_effect, recovery_scaling, runtime_speedup,
+    scale_speedup, service_reuse, shape_variation, CrowdScaleOutcome, CurveSeries, DurabilityRow,
+    NetRow, PaceResult, PlannerRow, ScaleRow, ServiceRow,
 };
 use oassis_bench::table::render;
 use oassis_obs::{null_sink, EventSink, JsonLinesSink, SinkExt};
@@ -770,13 +773,149 @@ fn run_net(sink: &Arc<dyn EventSink>, seed: u64) {
     }
 }
 
+/// Run the query-planner benchmark (PR 10) and write `BENCH_planner.json`
+/// at the repo root: each domain's canonical query plus a
+/// `FILTER`-constrained variant, mined with the planner on and off. The
+/// valid MSPs and question counts must be identical either way, and the
+/// pushed-down constraint must shrink both the seed space and the crowd
+/// traffic. `OASSIS_PLANNER_SMOKE=1` shrinks the crowd so CI can assert
+/// the invariants in seconds.
+fn run_planner(sink: &Arc<dyn EventSink>, seed: u64) {
+    let smoke = std::env::var("OASSIS_PLANNER_SMOKE").is_ok_and(|v| v == "1");
+    let members = if smoke { 6 } else { 24 };
+    println!(
+        "== planner: constraint pushdown ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let cases: [(Domain, &str); 3] = [
+        (
+            travel_domain(),
+            "FILTER($x IN (<Venue-0-0>, <Venue-0-1>, <Venue-1-0>, <Venue-1-1>))",
+        ),
+        (culinary_domain(), "FILTER($d IN (<Dish-0>, <Dish-1>))"),
+        (
+            self_treatment_domain(),
+            "FILTER($r IN (<Remedy-0>, <Remedy-1>))",
+        ),
+    ];
+    let rows: Vec<PlannerRow> = cases
+        .iter()
+        .map(|(d, filter)| {
+            let r = planner_effect(d, filter, members, 1_000_000, seed);
+            assert!(
+                r.answers_match,
+                "{}: planner on/off disagreed on valid MSPs or question count",
+                r.domain
+            );
+            assert!(
+                r.pushdowns >= 1,
+                "{}: the FILTER was not pushed into a scan",
+                r.domain
+            );
+            assert!(
+                r.filtered_seeds > 0 && r.filtered_seeds < r.base_seeds,
+                "{}: pushdown did not narrow the seed space ({} vs {})",
+                r.domain,
+                r.filtered_seeds,
+                r.base_seeds
+            );
+            assert!(
+                r.filtered_questions < r.base_questions,
+                "{}: pushdown did not reduce crowd questions ({} vs {})",
+                r.domain,
+                r.filtered_questions,
+                r.base_questions
+            );
+            sink.gauge_labeled("figures.planner.eval_speedup", &r.domain, r.eval_speedup);
+            r
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.clone(),
+                r.base_seeds.to_string(),
+                r.filtered_seeds.to_string(),
+                r.base_questions.to_string(),
+                r.filtered_questions.to_string(),
+                format!("{}/{}/{}", r.pushdowns, r.unfolds, r.pruned),
+                format!("{:.1}us", r.eval_planned.as_secs_f64() * 1e6),
+                format!("{:.1}us", r.eval_reference.as_secs_f64() * 1e6),
+                format!("{:.2}x", r.eval_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "domain",
+                "seeds",
+                "seeds+FILTER",
+                "questions",
+                "questions+FILTER",
+                "push/unfold/prune",
+                "eval planned",
+                "eval reference",
+                "eval speedup"
+            ],
+            &table
+        )
+    );
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"domain\": {:?}, \"members\": {}, \"filter\": {:?}, ",
+                    "\"base_seeds\": {}, \"filtered_seeds\": {}, ",
+                    "\"base_questions\": {}, \"filtered_questions\": {}, ",
+                    "\"pushdowns\": {}, \"unfolds\": {}, \"pruned\": {}, ",
+                    "\"eval_planned_secs\": {:.9}, \"eval_reference_secs\": {:.9}, ",
+                    "\"eval_speedup\": {:.3}, \"answers_match\": {}}}"
+                ),
+                r.domain,
+                r.members,
+                r.filter,
+                r.base_seeds,
+                r.filtered_seeds,
+                r.base_questions,
+                r.filtered_questions,
+                r.pushdowns,
+                r.unfolds,
+                r.pruned,
+                r.eval_planned.as_secs_f64(),
+                r.eval_reference.as_secs_f64(),
+                r.eval_speedup,
+                r.answers_match,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"experiment\": \"planner\",\n\"mode\": {:?},\n\"seed\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed,
+        json_rows.join(",\n")
+    );
+    let path = if smoke {
+        "target/BENCH_planner.smoke.json"
+    } else {
+        "BENCH_planner.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "shape", "dist", "mult",
             "crowdmix", "bounds", "growth", "runtime", "scale", "service", "durability",
-            "crowd-scale", "net",
+            "crowd-scale", "net", "planner",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -1006,6 +1145,7 @@ fn main() {
             "durability" => run_durability(&sink, seed),
             "crowd-scale" => run_crowd_scale(&sink, seed),
             "net" => run_net(&sink, seed),
+            "planner" => run_planner(&sink, seed),
             other => eprintln!("unknown experiment {other:?} (try: all)"),
         }
     }

@@ -15,7 +15,7 @@ use oassis_datagen::{
     MspDistribution, PlantedOracle, SynthConfig, SynthInstance,
 };
 use oassis_ql::parse_query;
-use oassis_sparql::MatchMode;
+use oassis_sparql::{plan, MatchMode};
 
 use crate::antichains::count_antichains_up_to;
 
@@ -1580,6 +1580,217 @@ mod speedup_tests {
             row.speedup > 1.2,
             "expected a speedup from latency hiding, got {:.2}x",
             row.speedup
+        );
+    }
+}
+
+/// One row of the query-planner benchmark (PR 10): the canonical query and
+/// a `FILTER`-constrained variant, each run with the planner on and off.
+#[derive(Debug, Clone)]
+pub struct PlannerRow {
+    /// Domain name.
+    pub domain: String,
+    /// Crowd size.
+    pub members: usize,
+    /// The injected constraint, as OASSIS-QL source.
+    pub filter: String,
+    /// WHERE seed assignments (space base tuples) of the canonical query.
+    pub base_seeds: usize,
+    /// Seed assignments after the `FILTER` is pushed into the scans.
+    pub filtered_seeds: usize,
+    /// Crowd questions mining the canonical query.
+    pub base_questions: usize,
+    /// Crowd questions mining the constrained variant.
+    pub filtered_questions: usize,
+    /// Scans that received a pushed-down restriction (constrained query).
+    pub pushdowns: usize,
+    /// Path scans switched to taxonomy reachability.
+    pub unfolds: usize,
+    /// Plan subtrees pruned as provably empty.
+    pub pruned: usize,
+    /// Mean WHERE-evaluation time through the optimized plan.
+    pub eval_planned: Duration,
+    /// Mean WHERE-evaluation time through the reference evaluator.
+    pub eval_reference: Duration,
+    /// `eval_reference / eval_planned`.
+    pub eval_speedup: f64,
+    /// Valid MSPs and question counts identical planner on/off, for both
+    /// the canonical and the constrained query.
+    pub answers_match: bool,
+}
+
+/// Inject `filter` as the last item of the query's WHERE clause.
+fn with_filter(query: &str, filter: &str) -> String {
+    query.replacen(
+        "SATISFYING",
+        &format!(".\n          {filter}\n        SATISFYING"),
+        1,
+    )
+}
+
+/// Run the query-planner benchmark on one domain: mine the canonical query
+/// and a `FILTER`-constrained variant, each twice — planner on
+/// (compile → pushdown/unfold/prune/reorder → interpret) and planner off
+/// (naive reference evaluator). The observable output must be identical
+/// either way; the constrained variant must seed fewer assignments and ask
+/// fewer crowd questions because the restriction is pushed into the scans.
+pub fn planner_effect(
+    domain: &Domain,
+    filter: &str,
+    members: usize,
+    max_questions: usize,
+    seed: u64,
+) -> PlannerRow {
+    let engine = Oassis::new(domain.ontology.clone());
+    let base = engine.parse(&domain.query).expect("canonical query parses");
+    let filtered_src = with_filter(&domain.query, filter);
+    let filtered = engine
+        .parse(&filtered_src)
+        .expect("constrained query parses");
+
+    let crowd_cfg = CrowdGenConfig {
+        members,
+        transactions_per_member: 20,
+        popular_patterns: 8,
+        popularity: 0.8,
+        zipf: 1.0,
+        facts_per_transaction: 1,
+        discretize: false,
+        seed,
+    };
+    let run = |query: &oassis_ql::Query, use_planner: bool| {
+        let cfg = EngineConfig::builder()
+            .seed(seed)
+            .max_questions(max_questions)
+            .use_query_planner(use_planner)
+            .build();
+        let mut crowd: Vec<Box<dyn CrowdMember>> = generate_crowd(domain, &crowd_cfg)
+            .members
+            .into_iter()
+            .map(|m| Box::new(m) as Box<dyn CrowdMember>)
+            .collect();
+        engine
+            .execute_parsed(query, 0.2, &mut crowd, &cfg)
+            .expect("execution succeeds")
+    };
+    let valid = |r: &oassis_core::QueryResult| {
+        let mut v: Vec<&str> = r
+            .answers
+            .iter()
+            .filter(|a| a.valid)
+            .map(|a| a.rendered.as_str())
+            .collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    let agree = |query: &oassis_ql::Query| {
+        let on = run(query, true);
+        let off = run(query, false);
+        let ok = valid(&on) == valid(&off)
+            && on.stats.total_questions == off.stats.total_questions;
+        (on, ok)
+    };
+    let (base_result, base_ok) = agree(&base);
+    let (filtered_result, filtered_ok) = agree(&filtered);
+
+    let seeds = |query: &oassis_ql::Query| {
+        AssignSpace::build(
+            Arc::new(domain.ontology.clone()),
+            query,
+            MatchMode::Semantic,
+            Vec::new(),
+        )
+        .expect("space builds")
+        .base_count()
+    };
+
+    // What the optimizer did to the constrained clause.
+    let compiled = plan::compile(&domain.ontology, &filtered.where_clause, MatchMode::Semantic);
+    let (_, report) = plan::optimize_report(&domain.ontology, compiled, MatchMode::Semantic);
+
+    // Pure WHERE-evaluation cost, optimized plan vs reference recursion,
+    // on the constrained clause (the engine runs above are dominated by
+    // crowd mining, not evaluation).
+    let timed = |f: &dyn Fn() -> usize| {
+        let reps = 20;
+        let start = Instant::now();
+        let mut total = 0;
+        for _ in 0..reps {
+            total += f();
+        }
+        let elapsed = start.elapsed() / reps;
+        (elapsed, total / reps as usize)
+    };
+    let (eval_planned, n_planned) = timed(&|| {
+        oassis_sparql::evaluate_where(
+            &domain.ontology,
+            &filtered.where_clause,
+            &filtered.vars,
+            MatchMode::Semantic,
+        )
+        .len()
+    });
+    let (eval_reference, n_reference) = timed(&|| {
+        oassis_sparql::evaluate_reference(
+            &domain.ontology,
+            &filtered.where_clause,
+            &filtered.vars,
+            MatchMode::Semantic,
+        )
+        .len()
+    });
+
+    PlannerRow {
+        domain: domain.name.to_owned(),
+        members,
+        filter: filter.to_owned(),
+        base_seeds: seeds(&base),
+        filtered_seeds: seeds(&filtered),
+        base_questions: base_result.stats.total_questions,
+        filtered_questions: filtered_result.stats.total_questions,
+        pushdowns: report.pushdowns,
+        unfolds: report.unfolds,
+        pruned: report.pruned,
+        eval_planned,
+        eval_reference,
+        eval_speedup: eval_reference.as_secs_f64() / eval_planned.as_secs_f64().max(f64::EPSILON),
+        answers_match: base_ok && filtered_ok && n_planned == n_reference,
+    }
+}
+
+#[cfg(test)]
+mod planner_tests {
+    use super::*;
+    use oassis_datagen::self_treatment_domain;
+
+    /// Cheap smoke (the full three-domain benchmark lives in the figures
+    /// binary's `planner` experiment): the planner changes nothing
+    /// observable, and the pushed-down `FILTER` shrinks the seed space and
+    /// the crowd traffic.
+    #[test]
+    fn pushdown_narrows_seeds_and_questions() {
+        let domain = self_treatment_domain();
+        let row = planner_effect(
+            &domain,
+            "FILTER($r IN (<Remedy-0>, <Remedy-1>))",
+            6,
+            100_000,
+            13,
+        );
+        assert!(row.answers_match, "planner changed observable output");
+        assert!(row.pushdowns >= 1, "FILTER was not pushed into a scan");
+        assert!(row.filtered_seeds > 0, "constrained query seeds nothing");
+        assert!(
+            row.filtered_seeds < row.base_seeds,
+            "pushdown did not narrow the seed space ({} vs {})",
+            row.filtered_seeds,
+            row.base_seeds
+        );
+        assert!(
+            row.filtered_questions < row.base_questions,
+            "pushdown did not reduce crowd questions ({} vs {})",
+            row.filtered_questions,
+            row.base_questions
         );
     }
 }

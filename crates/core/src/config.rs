@@ -46,6 +46,14 @@ pub struct EngineConfig {
     /// identical either way; only wall-clock differs. The `scale` benchmark
     /// flips this to measure the speedup.
     pub use_indexes: bool,
+    /// Evaluate the WHERE clause through the query planner: compile to a
+    /// logical plan, rewrite it (constraint pushdown into scans,
+    /// taxonomy-aware path unfolding, empty-branch pruning, join
+    /// reordering) and interpret the optimized plan. `false` runs the
+    /// naive reference evaluator instead — answers are identical either
+    /// way (the `planner` benchmark asserts it); only evaluation cost
+    /// differs.
+    pub use_query_planner: bool,
     /// Node capacity of the per-run [`SpaceCache`](crate::SpaceCache)
     /// arena. Past it the cache evicts least-recently-interned entries
     /// (counted on `space.cache.evicted`) instead of growing — relevant
@@ -80,6 +88,7 @@ impl Default for EngineConfig {
             more_domain: Vec::new(),
             top_k: None,
             use_indexes: true,
+            use_query_planner: true,
             space_cache_capacity: 1 << 16,
             sink: null_sink(),
             clock: Arc::new(SystemClock::new()),
@@ -189,6 +198,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Toggle the WHERE-clause query planner (default `true`; `false`
+    /// evaluates via the naive reference evaluator).
+    pub fn use_query_planner(mut self, on: bool) -> Self {
+        self.config.use_query_planner = on;
+        self
+    }
+
     /// Node capacity of the run's `SpaceCache` arena (values below 1 are
     /// clamped to 1; default `1 << 16`).
     pub fn space_cache_capacity(mut self, capacity: usize) -> Self {
@@ -234,6 +250,8 @@ mod tests {
         assert_eq!(built.more_domain, def.more_domain);
         assert_eq!(built.top_k, def.top_k);
         assert!(built.use_indexes, "indexes are on by default");
+        assert!(built.use_query_planner, "planner is on by default");
+        assert_eq!(built.use_query_planner, def.use_query_planner);
         assert_eq!(built.space_cache_capacity, 1 << 16);
         assert_eq!(built.space_cache_capacity, def.space_cache_capacity);
     }
@@ -242,6 +260,12 @@ mod tests {
     fn use_indexes_toggle_sticks() {
         let config = EngineConfig::builder().use_indexes(false).build();
         assert!(!config.use_indexes);
+    }
+
+    #[test]
+    fn use_query_planner_toggle_sticks() {
+        let config = EngineConfig::builder().use_query_planner(false).build();
+        assert!(!config.use_query_planner);
     }
 
     #[test]

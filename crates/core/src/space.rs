@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use oassis_obs::{names, null_sink, EventSink, SinkExt};
 use oassis_ql::{Multiplicity, QlRel, QlTerm, Query, SatPattern};
-use oassis_sparql::{evaluate_with_sink, MatchMode, Var};
+use oassis_sparql::{evaluate_reference, evaluate_where_with_sink, MatchMode, Var};
 use oassis_store::{Ontology, Term};
 use oassis_vocab::{Fact, FactSet};
 
@@ -103,14 +103,34 @@ impl AssignSpace {
     }
 
     /// [`build`](Self::build) with instrumentation: the WHERE-clause SPARQL
-    /// evaluation reports its pattern scans and path-expansion depths to
-    /// `sink` (see `sparql.pattern.scan` / `sparql.path.depth`).
+    /// evaluation reports its pattern scans, path-expansion depths and
+    /// plan-rewrite counts to `sink` (see `sparql.pattern.scan` /
+    /// `sparql.path.depth` / `sparql.plan.*`).
     pub fn build_with_sink(
         ontology: Arc<Ontology>,
         query: &Query,
         mode: MatchMode,
         more_domain: Vec<Fact>,
         sink: &Arc<dyn EventSink>,
+    ) -> Result<AssignSpace, SpaceError> {
+        Self::build_with_planner(ontology, query, mode, more_domain, sink, true)
+    }
+
+    /// [`build_with_sink`](Self::build_with_sink) with an explicit choice of
+    /// WHERE evaluator. With `use_planner` the clause is compiled to a
+    /// logical plan, rewritten (constraint pushdown, taxonomy unfolding,
+    /// empty-branch pruning, join reordering) and interpreted; without it
+    /// the naive reference evaluator runs the AST directly — the two agree
+    /// binding-for-binding, so this only trades evaluation cost, never
+    /// answers. The flag is threaded from
+    /// [`EngineConfig::use_query_planner`](crate::EngineConfig).
+    pub fn build_with_planner(
+        ontology: Arc<Ontology>,
+        query: &Query,
+        mode: MatchMode,
+        more_domain: Vec<Fact>,
+        sink: &Arc<dyn EventSink>,
+        use_planner: bool,
     ) -> Result<AssignSpace, SpaceError> {
         let sat_vars = query.satisfying_vars();
         let var_index: HashMap<Var, usize> =
@@ -163,8 +183,11 @@ impl AssignSpace {
         // Evaluate WHERE and project bindings onto the bound sat vars.
         let mut base_tuples: Vec<Vec<AValue>> = Vec::new();
         if !bound_positions.is_empty() {
-            let bindings =
-                evaluate_with_sink(&ontology, &query.where_patterns, &query.vars, mode, sink);
+            let bindings = if use_planner {
+                evaluate_where_with_sink(&ontology, &query.where_clause, &query.vars, mode, sink)
+            } else {
+                evaluate_reference(&ontology, &query.where_clause, &query.vars, mode)
+            };
             let mut seen = HashSet::new();
             'bind: for b in &bindings {
                 let mut tuple = Vec::with_capacity(bound_positions.len());
@@ -197,8 +220,15 @@ impl AssignSpace {
         let mut anchors: HashMap<Var, HashSet<oassis_vocab::ElementId>> = HashMap::new();
         loop {
             let mut changed = false;
-            for p in &query.where_patterns {
-                if !taxo_rels.contains(&p.path.relation()) {
+            // Anchors come from top-level (required) patterns only: a triple
+            // inside a UNION branch or OPTIONAL group does not bound every
+            // solution, so it must not cap the generation domain. Compound
+            // `/`-`|` paths carry no single relation and are skipped.
+            for p in query.where_clause.required_triples() {
+                let Some(rel) = p.path.relation() else {
+                    continue;
+                };
+                if !taxo_rels.contains(&rel) {
                     continue;
                 }
                 let Some(v) = p.subject.as_var() else {
@@ -1261,6 +1291,69 @@ mod tests {
             "free vars refuse enumeration"
         );
         assert!(!s.roots().is_empty());
+    }
+
+    #[test]
+    fn planner_and_reference_build_identical_spaces() {
+        let o = Arc::new(figure1_ontology());
+        let q = parse_query(FIG3_QUERY, &o).unwrap();
+        for mode in [MatchMode::Syntactic, MatchMode::Semantic] {
+            let planned = AssignSpace::build_with_planner(
+                Arc::clone(&o),
+                &q,
+                mode,
+                Vec::new(),
+                &null_sink(),
+                true,
+            )
+            .unwrap();
+            let reference = AssignSpace::build_with_planner(
+                Arc::clone(&o),
+                &q,
+                mode,
+                Vec::new(),
+                &null_sink(),
+                false,
+            )
+            .unwrap();
+            assert_eq!(planned.base_count(), reference.base_count(), "{mode:?}");
+            assert_eq!(planned.base_tuples, reference.base_tuples, "{mode:?}");
+            assert_eq!(planned.roots(), reference.roots(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_where_narrows_the_space() {
+        let o = Arc::new(figure1_ontology());
+        let base = parse_query(FIG3_QUERY, &o).unwrap();
+        let filtered = parse_query(
+            r#"
+            SELECT FACT-SETS
+            WHERE
+              $w subClassOf* Attraction.
+              $x instanceOf $w.
+              $x inside NYC.
+              $x hasLabel "child-friendly".
+              $y subClassOf* Activity.
+              FILTER($x IN (<Central Park>))
+            SATISFYING
+              $y+ doAt $x
+            WITH SUPPORT = 0.4
+            "#,
+            &o,
+        )
+        .unwrap();
+        let s_base =
+            AssignSpace::build(Arc::clone(&o), &base, MatchMode::Semantic, Vec::new()).unwrap();
+        let s_filt =
+            AssignSpace::build(Arc::clone(&o), &filtered, MatchMode::Semantic, Vec::new()).unwrap();
+        assert!(s_filt.base_count() < s_base.base_count());
+        assert!(s_filt.base_count() > 0);
+        // The filtered space only mentions Central Park on the $x side.
+        let cp = val(&s_filt, "Central Park");
+        for t in &s_filt.base_tuples {
+            assert_eq!(t[1], cp);
+        }
     }
 
     #[test]

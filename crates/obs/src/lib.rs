@@ -113,6 +113,14 @@ pub mod names {
     pub const SPARQL_PATTERN_SCAN: &str = "sparql.pattern.scan";
     /// Histogram: taxonomy depth reached by property-path expansion.
     pub const SPARQL_PATH_DEPTH: &str = "sparql.path.depth";
+    /// Counter: scans that received a pushed-down `FILTER` value
+    /// restriction during plan optimization.
+    pub const SPARQL_PLAN_PUSHDOWN: &str = "sparql.plan.pushdown";
+    /// Counter: `rel*`/`rel+` scans the planner unfolded into taxonomy
+    /// reachability checks (the stored edges mirror `≤E`).
+    pub const SPARQL_PLAN_UNFOLD: &str = "sparql.plan.unfold";
+    /// Counter: plan subtrees pruned as provably empty.
+    pub const SPARQL_PLAN_PRUNED: &str = "sparql.plan.pruned";
     /// Counter: a `SpaceCache` arena slot was reclaimed for a new
     /// assignment after the configured capacity was reached.
     pub const SPACE_CACHE_EVICTED: &str = "space.cache.evicted";

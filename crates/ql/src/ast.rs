@@ -1,6 +1,6 @@
 //! AST for OASSIS-QL queries.
 
-use oassis_sparql::{TriplePattern, Var, VarTable};
+use oassis_sparql::{Var, VarTable, WhereClause};
 use oassis_vocab::{ElementId, RelationId};
 
 /// The output form requested by the `SELECT` statement.
@@ -155,8 +155,9 @@ pub struct Query {
     pub select: SelectForm,
     /// Whether `ALL` significant patterns were requested (default: MSPs only).
     pub all: bool,
-    /// The WHERE basic graph pattern (over the ontology).
-    pub where_patterns: Vec<TriplePattern>,
+    /// The WHERE clause (group graph pattern plus solution modifiers,
+    /// evaluated over the ontology).
+    pub where_clause: WhereClause,
     /// The mining clause.
     pub satisfying: SatisfyingClause,
     /// The query's variable namespace (shared by both clauses).
@@ -178,11 +179,12 @@ impl Query {
         out
     }
 
-    /// Variables that appear in the `WHERE` clause.
+    /// Variables that appear in the `WHERE` clause (anywhere in the group
+    /// tree), in first-use order.
     pub fn where_vars(&self) -> Vec<Var> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for p in &self.where_patterns {
+        for p in self.where_clause.pattern.all_triples() {
             for v in p.vars() {
                 if seen.insert(v) {
                     out.push(v);

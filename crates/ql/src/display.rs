@@ -1,6 +1,14 @@
 //! Pretty-printing of queries back to OASSIS-QL source.
+//!
+//! The printer emits a canonical spelling: top-level WHERE items one per
+//! line, nested groups inline, `ASC` left implicit, `OFFSET 0` omitted.
+//! `tests/ql_roundtrip.rs` checks that parsing the printed text yields the
+//! same AST (parse ∘ display == id) for every grammar construct.
 
-use oassis_sparql::{PatTerm, PropPath, TriplePattern};
+use oassis_sparql::{
+    FilterExpr, FilterTerm, GraphPattern, GroupItem, PatTerm, PropPath, SortDir, TriplePattern,
+    WhereClause,
+};
 use oassis_store::{Ontology, Term};
 
 use crate::ast::{Multiplicity, QlRel, QlTerm, Query, SatPattern, SelectForm};
@@ -31,6 +39,18 @@ pub(crate) fn is_keyword_like(name: &str) -> bool {
             | "FACT-SETS"
             | "VARIABLES"
             | "ALL"
+            | "OPTIONAL"
+            | "UNION"
+            | "FILTER"
+            | "DISTINCT"
+            | "ORDER"
+            | "BY"
+            | "ASC"
+            | "DESC"
+            | "LIMIT"
+            | "OFFSET"
+            | "IN"
+            | "NOT"
     )
 }
 
@@ -57,14 +77,7 @@ impl Query {
             out.push_str(" ALL");
         }
         out.push_str("\nWHERE\n");
-        for (i, p) in self.where_patterns.iter().enumerate() {
-            out.push_str("  ");
-            out.push_str(&self.where_pattern_str(p, ontology));
-            if i + 1 < self.where_patterns.len() {
-                out.push('.');
-            }
-            out.push('\n');
-        }
+        out.push_str(&self.where_clause_str(&self.where_clause, ontology));
         out.push_str("SATISFYING\n");
         let n = self.satisfying.patterns.len();
         for (i, p) in self.satisfying.patterns.iter().enumerate() {
@@ -82,21 +95,127 @@ impl Query {
         out
     }
 
+    /// The WHERE section: one top-level group item per indented line,
+    /// `.`-separated, then a modifiers line if any modifier is set.
+    fn where_clause_str(&self, clause: &WhereClause, ontology: &Ontology) -> String {
+        let mut out = String::new();
+        let items = &clause.pattern.items;
+        for (i, item) in items.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&self.group_item_str(item, ontology));
+            if i + 1 < items.len() {
+                out.push('.');
+            }
+            out.push('\n');
+        }
+        if clause.has_modifiers() {
+            let mut mods: Vec<String> = Vec::new();
+            if clause.distinct {
+                mods.push("DISTINCT".into());
+            }
+            if !clause.order_by.is_empty() {
+                let keys: Vec<String> = clause
+                    .order_by
+                    .iter()
+                    .map(|(v, dir)| match dir {
+                        SortDir::Asc => format!("${}", self.vars.name(*v)),
+                        SortDir::Desc => format!("${} DESC", self.vars.name(*v)),
+                    })
+                    .collect();
+                mods.push(format!("ORDER BY {}", keys.join(" ")));
+            }
+            if let Some(l) = clause.limit {
+                mods.push(format!("LIMIT {l}"));
+            }
+            if clause.offset != 0 {
+                mods.push(format!("OFFSET {}", clause.offset));
+            }
+            out.push_str("  ");
+            out.push_str(&mods.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn group_item_str(&self, item: &GroupItem, ontology: &Ontology) -> String {
+        match item {
+            GroupItem::Triple(t) => self.where_pattern_str(t, ontology),
+            GroupItem::Optional(g) => format!("OPTIONAL {{ {} }}", self.group_str(g, ontology)),
+            GroupItem::Union(branches) => branches
+                .iter()
+                .map(|g| format!("{{ {} }}", self.group_str(g, ontology)))
+                .collect::<Vec<_>>()
+                .join(" UNION "),
+            GroupItem::Filter(e) => format!("FILTER({})", self.filter_str(e, ontology)),
+        }
+    }
+
+    /// A nested group, rendered inline with `.`-separated items.
+    fn group_str(&self, g: &GraphPattern, ontology: &Ontology) -> String {
+        g.items
+            .iter()
+            .map(|item| self.group_item_str(item, ontology))
+            .collect::<Vec<_>>()
+            .join(". ")
+    }
+
+    fn filter_str(&self, e: &FilterExpr, ontology: &Ontology) -> String {
+        let term = |t: &FilterTerm| match t {
+            FilterTerm::Var(v) => format!("${}", self.vars.name(*v)),
+            FilterTerm::Const(c) => self.term_str(*c, ontology),
+        };
+        let list = |ts: &[Term]| {
+            ts.iter()
+                .map(|t| self.term_str(*t, ontology))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match e {
+            FilterExpr::Eq(a, b) => format!("{} = {}", term(a), term(b)),
+            FilterExpr::Ne(a, b) => format!("{} != {}", term(a), term(b)),
+            FilterExpr::In(v, ts) => format!("${} IN ({})", self.vars.name(*v), list(ts)),
+            FilterExpr::NotIn(v, ts) => format!("${} NOT IN ({})", self.vars.name(*v), list(ts)),
+        }
+    }
+
+    fn term_str(&self, t: Term, ontology: &Ontology) -> String {
+        match t {
+            Term::Element(e) => quote_name(ontology.vocabulary().element_name(e)),
+            Term::Literal(l) => format!("{:?}", ontology.literal_str(l)),
+        }
+    }
+
+    fn path_str(&self, p: &PropPath, ontology: &Ontology) -> String {
+        let name = |r| quote_name(ontology.vocabulary().relation_name(r));
+        match p {
+            PropPath::Rel(r) => name(*r),
+            PropPath::Star(r) => format!("{}*", name(*r)),
+            PropPath::Plus(r) => format!("{}+", name(*r)),
+            PropPath::Opt(r) => format!("{}?", name(*r)),
+            PropPath::Seq(parts) => parts
+                .iter()
+                .map(|part| self.path_str(part, ontology))
+                .collect::<Vec<_>>()
+                .join("/"),
+            PropPath::Alt(parts) => parts
+                .iter()
+                .map(|part| self.path_str(part, ontology))
+                .collect::<Vec<_>>()
+                .join("|"),
+        }
+    }
+
     fn where_pattern_str(&self, p: &TriplePattern, ontology: &Ontology) -> String {
         let term = |t: &PatTerm| match t {
             PatTerm::Var(v) => format!("${}", self.vars.name(*v)),
-            PatTerm::Const(Term::Element(e)) => quote_name(ontology.vocabulary().element_name(*e)),
-            PatTerm::Const(Term::Literal(l)) => format!("{:?}", ontology.literal_str(*l)),
+            PatTerm::Const(c) => self.term_str(*c, ontology),
         };
-        let path = |p: &PropPath| {
-            let name = quote_name(ontology.vocabulary().relation_name(p.relation()));
-            match p {
-                PropPath::Rel(_) => name,
-                PropPath::Star(_) => format!("{name}*"),
-                PropPath::Plus(_) => format!("{name}+"),
-            }
-        };
-        format!("{} {} {}", term(&p.subject), path(&p.path), term(&p.object))
+        format!(
+            "{} {} {}",
+            term(&p.subject),
+            self.path_str(&p.path, ontology),
+            term(&p.object)
+        )
     }
 
     fn sat_pattern_str(&self, p: &SatPattern, ontology: &Ontology) -> String {
@@ -149,7 +268,7 @@ mod tests {
         let q2 = parse_query(&printed, &o).unwrap();
         assert_eq!(q.select, q2.select);
         assert_eq!(q.all, q2.all);
-        assert_eq!(q.where_patterns.len(), q2.where_patterns.len());
+        assert_eq!(q.where_clause, q2.where_clause);
         assert_eq!(q.satisfying.patterns.len(), q2.satisfying.patterns.len());
         assert_eq!(q.satisfying.more, q2.satisfying.more);
         assert_eq!(q.satisfying.support, q2.satisfying.support);
@@ -181,5 +300,38 @@ mod tests {
         assert!(printed.contains("$z?"), "{printed}");
         assert!(printed.contains("VARIABLES ALL"), "{printed}");
         assert!(parse_query(&printed, &o).is_ok());
+    }
+
+    #[test]
+    fn groups_filters_and_modifiers_roundtrip() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE \
+               { $x instanceOf Park. $x inside NYC } UNION { $x instanceOf Zoo }. \
+               OPTIONAL { $x nearBy $z. FILTER($z != <Central Park>) }. \
+               FILTER($x NOT IN (<Bronx Zoo>, <Central Park>)) \
+               DISTINCT ORDER BY $x DESC $z LIMIT 3 OFFSET 1 \
+             SATISFYING $y+ doAt $x WITH SUPPORT = 0.3",
+            &o,
+        )
+        .unwrap();
+        let printed = q.to_ql_string(&o);
+        let q2 = parse_query(&printed, &o).unwrap();
+        assert_eq!(q.where_clause, q2.where_clause, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn compound_paths_roundtrip() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE $z nearBy/inside|subClassOf? $c \
+             SATISFYING $y doAt $z WITH SUPPORT = 0.2",
+            &o,
+        )
+        .unwrap();
+        let printed = q.to_ql_string(&o);
+        assert!(printed.contains("nearBy/inside|subClassOf?"), "{printed}");
+        let q2 = parse_query(&printed, &o).unwrap();
+        assert_eq!(q.where_clause, q2.where_clause);
     }
 }

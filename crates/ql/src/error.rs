@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use oassis_sparql::SparqlError;
+use oassis_sparql::{Span, SparqlError};
 
 /// Errors raised while parsing or validating an OASSIS-QL query.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +13,8 @@ pub enum QlError {
     Parse {
         /// 1-based line.
         line: usize,
+        /// Byte range of the offending token in the source.
+        span: Span,
         /// Description.
         msg: String,
     },
@@ -20,11 +22,24 @@ pub enum QlError {
     Invalid(String),
 }
 
+impl QlError {
+    /// The source byte range the error points at, when known.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            QlError::Sparql(e) => Some(e.span()),
+            QlError::Parse { span, .. } => Some(*span),
+            QlError::Invalid(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for QlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QlError::Sparql(e) => write!(f, "{e}"),
-            QlError::Parse { line, msg } => write!(f, "query parse error at line {line}: {msg}"),
+            QlError::Parse { line, span, msg } => {
+                write!(f, "query parse error at line {line} ({span}): {msg}")
+            }
             QlError::Invalid(msg) => write!(f, "invalid query: {msg}"),
         }
     }
@@ -53,11 +68,15 @@ mod tests {
     fn display_variants() {
         let e = QlError::Parse {
             line: 2,
+            span: Span { start: 10, end: 15 },
             msg: "missing WHERE".into(),
         };
         assert!(e.to_string().contains("line 2"));
+        assert!(e.to_string().contains("bytes 10..15"));
+        assert_eq!(e.span(), Some(Span { start: 10, end: 15 }));
         assert!(QlError::Invalid("bad support".into())
             .to_string()
             .contains("bad support"));
+        assert_eq!(QlError::Invalid("x".into()).span(), None);
     }
 }

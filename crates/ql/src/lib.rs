@@ -22,8 +22,10 @@
 //! WITH SUPPORT = 0.4
 //! ```
 //!
-//! * the `WHERE` clause is a SPARQL basic graph pattern evaluated over the
-//!   ontology (delegated to `oassis-sparql`),
+//! * the `WHERE` clause is a SPARQL group graph pattern evaluated over the
+//!   ontology (delegated to `oassis-sparql`) — with `UNION` / `OPTIONAL` /
+//!   `FILTER`, property paths (`*`, `+`, `?`, `/`, `|`) and the solution
+//!   modifiers `DISTINCT` / `ORDER BY` / `LIMIT` / `OFFSET`,
 //! * the `SATISFYING` clause is a *meta–fact-set* whose instantiations are
 //!   mined from the crowd; variables may carry multiplicities (`+`, `*`,
 //!   `?`, `{n}`), relation positions may be variables or `[]`, and the

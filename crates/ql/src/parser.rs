@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! query      := SELECT (FACT-SETS | VARIABLES) ALL?
-//!               WHERE patterns?
+//!               WHERE where-clause?
 //!               SATISFYING satpattern (DOT satpattern)* (DOT MORE)? DOT?
 //!               WITH SUPPORT = number
 //! satpattern := term mult? relpos term mult?
@@ -11,12 +11,18 @@
 //! mult       := '+' | '*' | '?' | '{' INT '}'
 //! ```
 //!
+//! The `where-clause` production is the full SPARQL fragment of
+//! `oassis-sparql` — group patterns with `UNION` / `OPTIONAL` / `FILTER`,
+//! property paths (`*`, `+`, `?`, `/`, `|`), and the solution modifiers
+//! `DISTINCT` / `ORDER BY` / `LIMIT` / `OFFSET` — delegated to
+//! [`PatternParser::where_clause`].
+//!
 //! Keywords are uppercase and reserved; element names that collide with a
 //! keyword must be written in `<angle brackets>`.
 
 use oassis_sparql::lexer::TokenKind;
 use oassis_sparql::parser::PatternParser;
-use oassis_sparql::{tokenize, Token, VarTable};
+use oassis_sparql::{tokenize, Span, Token, VarTable};
 use oassis_store::Ontology;
 
 use crate::ast::{Multiplicity, QlRel, QlTerm, Query, SatPattern, SatisfyingClause, SelectForm};
@@ -33,6 +39,20 @@ const KEYWORDS: &[&str] = &[
     "FACT-SETS",
     "VARIABLES",
     "ALL",
+    // Reserved by the WHERE grammar; quarantined here too so that
+    // `SATISFYING` meta-facts cannot shadow them with bare names.
+    "OPTIONAL",
+    "UNION",
+    "FILTER",
+    "DISTINCT",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "IN",
+    "NOT",
 ];
 
 fn is_keyword(name: &str) -> bool {
@@ -52,7 +72,7 @@ fn is_keyword(name: &str) -> bool {
 ///     &o,
 /// ).unwrap();
 /// assert_eq!(q.satisfying.support, 0.4);
-/// assert_eq!(q.where_patterns.len(), 1);
+/// assert_eq!(q.where_clause.required_triples().len(), 1);
 /// ```
 pub fn parse_query(src: &str, ontology: &Ontology) -> Result<Query, QlError> {
     let tokens = tokenize(src)?;
@@ -77,10 +97,10 @@ impl<'a> QueryParser<'a> {
         self.tokens.get(self.pos).map(|t| &t.kind)
     }
 
-    fn line(&self) -> usize {
+    fn here(&self) -> (usize, Span) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or(0, |t| t.line)
+            .map_or((0, Span { start: 0, end: 0 }), |t| (t.line, t.span))
     }
 
     fn bump(&mut self) -> Option<&'a TokenKind> {
@@ -89,17 +109,31 @@ impl<'a> QueryParser<'a> {
         t
     }
 
+    /// Error at the *previous* token if one was just consumed, else at the
+    /// current position — `bump()`-then-`err()` is the dominant pattern.
     fn err(&self, msg: impl Into<String>) -> QlError {
+        let (line, span) = self.here();
         QlError::Parse {
-            line: self.line(),
+            line,
+            span,
             msg: msg.into(),
         }
+    }
+
+    /// Error pinned to the token just consumed by `bump()`.
+    fn err_prev(&self, msg: impl Into<String>) -> QlError {
+        let at = QueryParser {
+            tokens: self.tokens,
+            pos: self.pos.saturating_sub(1),
+            ontology: self.ontology,
+        };
+        at.err(msg)
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), QlError> {
         match self.bump() {
             Some(TokenKind::Name(n)) if n == kw => Ok(()),
-            other => Err(self.err(format!("expected {kw}, got {other:?}"))),
+            other => Err(self.err_prev(format!("expected {kw}, got {other:?}"))),
         }
     }
 
@@ -116,7 +150,7 @@ impl<'a> QueryParser<'a> {
             Some(TokenKind::Name(n)) if n == "FACT-SETS" => SelectForm::FactSets,
             Some(TokenKind::Name(n)) if n == "VARIABLES" => SelectForm::Variables,
             other => {
-                return Err(self.err(format!("expected FACT-SETS or VARIABLES, got {other:?}")))
+                return Err(self.err_prev(format!("expected FACT-SETS or VARIABLES, got {other:?}")))
             }
         };
         let all = if self.at_keyword("ALL") {
@@ -127,8 +161,10 @@ impl<'a> QueryParser<'a> {
         };
 
         // WHERE clause: hand the token range up to SATISFYING to the SPARQL
-        // pattern parser. Keywords cannot appear inside patterns (collision
-        // requires <angle brackets>), so scanning for SATISFYING is safe.
+        // where-clause parser (groups, UNION/OPTIONAL/FILTER, paths and
+        // solution modifiers). Keywords cannot appear inside patterns
+        // (collision requires <angle brackets>), so scanning for SATISFYING
+        // is safe.
         self.expect_keyword("WHERE")?;
         let where_start = self.pos;
         let sat_pos = (where_start..self.tokens.len())
@@ -144,7 +180,7 @@ impl<'a> QueryParser<'a> {
             pos: 0,
             ontology: self.ontology,
         };
-        let where_patterns = pp.patterns(&mut vars)?;
+        let where_clause = pp.where_clause(&mut vars)?;
         self.pos = sat_pos;
 
         // SATISFYING clause.
@@ -171,7 +207,7 @@ impl<'a> QueryParser<'a> {
         Ok(Query {
             select,
             all,
-            where_patterns,
+            where_clause,
             satisfying: SatisfyingClause {
                 patterns,
                 more,
@@ -238,10 +274,10 @@ impl<'a> QueryParser<'a> {
                     .ontology
                     .vocabulary()
                     .element(name)
-                    .ok_or_else(|| self.err(format!("unknown element {name:?}")))?;
+                    .ok_or_else(|| self.err_prev(format!("unknown element {name:?}")))?;
                 QlTerm::Element(e)
             }
-            other => return Err(self.err(format!("expected term, got {other:?}"))),
+            other => return Err(self.err_prev(format!("expected term, got {other:?}"))),
         };
         let mult = self.multiplicity()?;
         if mult != Multiplicity::One && term.as_var().is_none() {
@@ -259,10 +295,10 @@ impl<'a> QueryParser<'a> {
                     .ontology
                     .vocabulary()
                     .relation(name)
-                    .ok_or_else(|| self.err(format!("unknown relation {name:?}")))?;
+                    .ok_or_else(|| self.err_prev(format!("unknown relation {name:?}")))?;
                 Ok(QlRel::Relation(r))
             }
-            other => Err(self.err(format!("expected relation, got {other:?}"))),
+            other => Err(self.err_prev(format!("expected relation, got {other:?}"))),
         }
     }
 
@@ -329,7 +365,7 @@ mod tests {
         let q = parse_query(FIGURE2, &o).unwrap();
         assert_eq!(q.select, SelectForm::FactSets);
         assert!(!q.all);
-        assert_eq!(q.where_patterns.len(), 7);
+        assert_eq!(q.where_clause.required_triples().len(), 7);
         assert_eq!(q.satisfying.patterns.len(), 2);
         assert!(q.satisfying.more);
         assert_eq!(q.satisfying.support, 0.4);
@@ -363,7 +399,7 @@ mod tests {
             &o,
         )
         .unwrap();
-        assert!(q.where_patterns.is_empty());
+        assert!(q.where_clause.pattern.items.is_empty());
         let p = &q.satisfying.patterns[0];
         assert!(p.relation.as_var().is_some(), "blank relation is a var");
         assert!(p.object.as_var().is_some());
@@ -402,7 +438,66 @@ mod tests {
             &o,
         )
         .unwrap();
-        assert_eq!(q.where_patterns.len(), 1);
+        assert_eq!(q.where_clause.required_triples().len(), 1);
+    }
+
+    #[test]
+    fn where_accepts_the_full_sparql_fragment() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE \
+               { $x instanceOf Park } UNION { $x instanceOf Zoo }. \
+               OPTIONAL { $x nearBy $z }. \
+               FILTER($x NOT IN (<Bronx Zoo>)) \
+               ORDER BY $x LIMIT 5 \
+             SATISFYING $y+ doAt $x WITH SUPPORT = 0.3",
+            &o,
+        )
+        .unwrap();
+        assert_eq!(q.where_clause.limit, Some(5));
+        assert_eq!(q.where_clause.order_by.len(), 1);
+        // UNION branches + OPTIONAL body all contribute triples.
+        assert_eq!(q.where_clause.pattern.all_triples().len(), 3);
+        // Top-level required triples: none (both patterns sit in sub-groups).
+        assert!(q.where_clause.required_triples().is_empty());
+    }
+
+    #[test]
+    fn compound_paths_parse_inside_queries() {
+        let o = figure1_ontology();
+        let q = parse_query(
+            "SELECT FACT-SETS WHERE $z nearBy/inside $c. $w subClassOf? Attraction \
+             SATISFYING $y doAt $z WITH SUPPORT = 0.2",
+            &o,
+        )
+        .unwrap();
+        let triples = q.where_clause.required_triples();
+        assert!(triples[0].path.is_path());
+        assert!(triples[1].path.is_path());
+    }
+
+    #[test]
+    fn errors_carry_the_offending_span() {
+        let o = figure1_ontology();
+        let src =
+            "SELECT FACT-SETS WHERE SATISFYING $x orbits $y WITH SUPPORT = 0.1";
+        let err = parse_query(src, &o).unwrap_err();
+        let span = err.span().expect("parse errors carry spans");
+        assert_eq!(&src[span.start..span.end], "orbits");
+        let msg = err.to_string();
+        assert!(msg.contains("orbits"), "{msg}");
+        assert!(msg.contains(&format!("bytes {}..{}", span.start, span.end)), "{msg}");
+    }
+
+    #[test]
+    fn where_errors_surface_as_sparql_errors_with_spans() {
+        let o = figure1_ontology();
+        let src = "SELECT FACT-SETS WHERE $x instanceOf Nonexistent \
+                   SATISFYING $y doAt $x WITH SUPPORT = 0.1";
+        let err = parse_query(src, &o).unwrap_err();
+        assert!(matches!(err, QlError::Sparql(_)));
+        let span = err.span().unwrap();
+        assert_eq!(&src[span.start..span.end], "Nonexistent");
     }
 
     #[test]

@@ -2,6 +2,46 @@
 
 use std::fmt;
 
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// Every lexer/parser error carries one, so callers can underline the
+/// offending token instead of hunting by line number alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn at(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
 /// Errors raised by the SPARQL subsystem.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SparqlError {
@@ -9,6 +49,8 @@ pub enum SparqlError {
     Lex {
         /// 1-based line.
         line: usize,
+        /// Byte range of the offending text.
+        span: Span,
         /// Description.
         msg: String,
     },
@@ -16,6 +58,8 @@ pub enum SparqlError {
     Parse {
         /// 1-based line.
         line: usize,
+        /// Byte range of the offending token.
+        span: Span,
         /// Description.
         msg: String,
     },
@@ -23,23 +67,57 @@ pub enum SparqlError {
     UnknownName {
         /// 1-based line.
         line: usize,
+        /// Byte range of the unresolved name.
+        span: Span,
         /// The unresolved name.
         name: String,
         /// What kind of name was expected (element/relation/literal).
         expected: &'static str,
     },
+    /// A `FILTER` references a variable no triple pattern in its group
+    /// binds. The name is the variable's *source* name, not its dense id.
+    UnboundFilterVar {
+        /// 1-based line.
+        line: usize,
+        /// Byte range of the variable reference.
+        span: Span,
+        /// The variable's original name (without the `$` sigil).
+        name: String,
+    },
+}
+
+impl SparqlError {
+    /// The byte range this error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            SparqlError::Lex { span, .. }
+            | SparqlError::Parse { span, .. }
+            | SparqlError::UnknownName { span, .. }
+            | SparqlError::UnboundFilterVar { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for SparqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparqlError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
-            SparqlError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparqlError::Lex { line, span, msg } => {
+                write!(f, "lex error at line {line} ({span}): {msg}")
+            }
+            SparqlError::Parse { line, span, msg } => {
+                write!(f, "parse error at line {line} ({span}): {msg}")
+            }
             SparqlError::UnknownName {
                 line,
+                span,
                 name,
                 expected,
-            } => write!(f, "unknown {expected} {name:?} at line {line}"),
+            } => write!(f, "unknown {expected} {name:?} at line {line} ({span})"),
+            SparqlError::UnboundFilterVar { line, span, name } => write!(
+                f,
+                "FILTER references ${name} at line {line} ({span}), but no \
+                 triple pattern in its group binds ${name}"
+            ),
         }
     }
 }
@@ -54,10 +132,33 @@ mod tests {
     fn display() {
         let e = SparqlError::UnknownName {
             line: 4,
+            span: Span::new(10, 16),
             name: "Skiing".into(),
             expected: "element",
         };
         assert!(e.to_string().contains("Skiing"));
         assert!(e.to_string().contains("line 4"));
+        assert!(e.to_string().contains("bytes 10..16"));
+    }
+
+    #[test]
+    fn unbound_filter_var_names_the_variable() {
+        let e = SparqlError::UnboundFilterVar {
+            line: 2,
+            span: Span::new(7, 12),
+            name: "whom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("$whom"), "{s}");
+        assert!(s.contains("bytes 7..12"), "{s}");
+        assert_eq!(e.span(), Span::new(7, 12));
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = Span::new(3, 8);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(Span::at(4).is_empty());
     }
 }

@@ -1,6 +1,10 @@
-//! Backtracking join evaluation of graph patterns over an [`Ontology`].
+//! Plan-driven evaluation of WHERE clauses over an [`Ontology`].
 //!
-//! The evaluator supports two matching modes:
+//! Evaluation is a two-step compiler: [`crate::plan::compile`] lowers a
+//! [`WhereClause`] to a logical [`Plan`], [`crate::plan::optimize`] rewrites
+//! it (filter pushdown, taxonomy unfolding, empty-branch pruning, greedy
+//! deterministic join ordering), and the interpreter here executes the
+//! optimized tree. The evaluator supports two matching modes:
 //!
 //! * [`MatchMode::Syntactic`] — standard SPARQL: a pattern relation matches
 //!   only triples with exactly that relation.
@@ -14,18 +18,20 @@
 //!   Figure 3 uses when it lists `Feed a Monkey` as an assignment for
 //!   `$y subClassOf* Activity`).
 //!
-//! Patterns are joined most-selective-first; `rel*`/`rel+` paths are
-//! evaluated by memoized BFS over the stored edges of the matching
-//! relation(s).
+//! `rel*`/`rel+` paths are evaluated by memoized BFS over the stored edges
+//! of the matching relation(s) — or, when the optimizer proved the stored
+//! edges mirror the element taxonomy, by direct `≤E` reachability.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use oassis_obs::{names, null_sink, EventSink, SinkExt};
 use oassis_store::{Ontology, Term};
 use oassis_vocab::RelationId;
 
-use crate::ast::{PatTerm, PropPath, TriplePattern, Var, VarTable};
+use crate::ast::{PatTerm, PropPath, SortDir, TriplePattern, Var, VarTable, WhereClause};
+use crate::plan::{self, Plan, PlanOp};
 
 /// How pattern relations match stored relations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,7 +44,7 @@ pub enum MatchMode {
 }
 
 /// A (partial) assignment of query variables to terms.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Binding {
     values: Vec<Option<Term>>,
 }
@@ -80,7 +86,9 @@ impl Binding {
     }
 }
 
-/// Evaluate `patterns` over `ontology`, returning all distinct bindings.
+/// Evaluate plain triple `patterns` over `ontology`, returning all
+/// distinct bindings (the pre-algebra conjunctive entry point; the
+/// patterns run through the same planner as [`evaluate_where`]).
 ///
 /// ```
 /// use oassis_sparql::{evaluate, parse_patterns, MatchMode, VarTable};
@@ -101,12 +109,7 @@ pub fn evaluate(
     evaluate_with_sink(ontology, patterns, vars, mode, &null_sink())
 }
 
-/// [`evaluate`] with instrumentation: every triple-pattern index scan is
-/// counted on `sparql.pattern.scan` labeled by its binding shape (`?`
-/// marks an unbound endpoint, e.g. `sp?` for bound-subject scans), and
-/// each property-path closure computation records the BFS depth it
-/// reached on the `sparql.path.depth` histogram. Memoized closures are
-/// observed once, when first computed.
+/// [`evaluate`] with instrumentation (see [`evaluate_where_with_sink`]).
 pub fn evaluate_with_sink(
     ontology: &Ontology,
     patterns: &[TriplePattern],
@@ -114,82 +117,95 @@ pub fn evaluate_with_sink(
     mode: MatchMode,
     sink: &Arc<dyn EventSink>,
 ) -> Vec<Binding> {
-    // Relation match-lists are query-invariant: compute each pattern
-    // relation's list once instead of re-collecting `descendants` on every
-    // candidate scan and closure step.
-    let mut rel_matches: HashMap<RelationId, Vec<RelationId>> = HashMap::new();
-    for p in patterns {
-        let r = p.path.relation();
-        rel_matches.entry(r).or_insert_with(|| match mode {
-            MatchMode::Syntactic => vec![r],
-            MatchMode::Semantic => ontology
-                .vocabulary()
-                .relations_order()
-                .descendants(r)
-                .collect(),
-        });
+    let clause = WhereClause::from_triples(patterns.to_vec());
+    evaluate_where_with_sink(ontology, &clause, vars, mode, sink)
+}
+
+/// Evaluate a full WHERE clause (groups, `UNION`, `OPTIONAL`, `FILTER`,
+/// property paths, solution modifiers) over `ontology`.
+///
+/// Results are set-semantic: sorted by binding value and deduplicated.
+/// With `ORDER BY`, the sort keys take precedence (ties stay in canonical
+/// order, so output is still deterministic); `LIMIT`/`OFFSET` slice the
+/// ordered list.
+pub fn evaluate_where(
+    ontology: &Ontology,
+    clause: &WhereClause,
+    vars: &VarTable,
+    mode: MatchMode,
+) -> Vec<Binding> {
+    evaluate_where_with_sink(ontology, clause, vars, mode, &null_sink())
+}
+
+/// [`evaluate_where`] with instrumentation: every triple-pattern scan is
+/// counted on `sparql.pattern.scan` labeled by its binding shape (`?`
+/// marks an unbound endpoint, e.g. `sp?` for bound-subject scans), each
+/// property-path closure computation records its BFS depth on the
+/// `sparql.path.depth` histogram (memoized closures are observed once),
+/// and the optimizer reports `sparql.plan.pushdown` / `sparql.plan.unfold`
+/// / `sparql.plan.pruned` rewrite counts.
+pub fn evaluate_where_with_sink(
+    ontology: &Ontology,
+    clause: &WhereClause,
+    vars: &VarTable,
+    mode: MatchMode,
+    sink: &Arc<dyn EventSink>,
+) -> Vec<Binding> {
+    let compiled = plan::compile(ontology, clause, mode);
+    let (optimized, report) = plan::optimize_report(ontology, compiled, mode);
+    if report.pushdowns > 0 {
+        sink.count(names::SPARQL_PLAN_PUSHDOWN, report.pushdowns as u64);
     }
-    let mut ev = Evaluator {
+    if report.unfolds > 0 {
+        sink.count(names::SPARQL_PLAN_UNFOLD, report.unfolds as u64);
+    }
+    if report.pruned > 0 {
+        sink.count(names::SPARQL_PLAN_PRUNED, report.pruned as u64);
+    }
+    run_plan_with_sink(ontology, &optimized, vars, mode, sink)
+}
+
+/// Interpret an explicit [`Plan`] (optimized or not) over `ontology`.
+///
+/// This is the differential-testing entry point: the same clause can be
+/// run through [`plan::compile`] alone (source order, no pushdown, no
+/// unfolding — but still index-backed scans) and through the optimizer,
+/// and the results compared binding-for-binding.
+pub fn run_plan(
+    ontology: &Ontology,
+    plan: &Plan,
+    vars: &VarTable,
+    mode: MatchMode,
+) -> Vec<Binding> {
+    run_plan_with_sink(ontology, plan, vars, mode, &null_sink())
+}
+
+/// [`run_plan`] with instrumentation.
+pub fn run_plan_with_sink(
+    ontology: &Ontology,
+    plan: &Plan,
+    vars: &VarTable,
+    mode: MatchMode,
+    sink: &Arc<dyn EventSink>,
+) -> Vec<Binding> {
+    let mut interp = Interp {
         ontology,
         sink,
-        rel_matches,
+        mode,
+        rel_matches: HashMap::new(),
         fwd_closure: HashMap::new(),
         bwd_closure: HashMap::new(),
     };
-    let order = plan(ontology, patterns);
-    let mut results = Vec::new();
-    let mut binding = Binding::new(vars.len());
-    ev.join(&order, 0, &mut binding, &mut results);
-    results.sort_by(|a, b| a.values.cmp(&b.values));
-    results.dedup();
-    results
+    let ctx = Binding::new(vars.len());
+    interp.eval_plan(plan, &ctx)
 }
 
-/// Greedy join order: repeatedly pick the pattern with the most positions
-/// bound (constants or already-chosen variables), preferring non-path
-/// patterns, breaking ties by store selectivity.
-fn plan(ontology: &Ontology, patterns: &[TriplePattern]) -> Vec<TriplePattern> {
-    // Selectivity estimates are loop-invariant: count each relation's
-    // stored triples once up front rather than re-scanning the store for
-    // every remaining pattern on every greedy pick (O(n²) store scans).
-    let mut est_by_rel: HashMap<RelationId, usize> = HashMap::new();
-    for p in patterns {
-        let r = p.path.relation();
-        est_by_rel
-            .entry(r)
-            .or_insert_with(|| ontology.store().count_matching(None, Some(r), None));
-    }
-    let mut remaining: Vec<TriplePattern> = patterns.to_vec();
-    let mut bound: HashSet<Var> = HashSet::new();
-    let mut order = Vec::with_capacity(remaining.len());
-    while !remaining.is_empty() {
-        let score = |p: &TriplePattern| -> (usize, usize, usize) {
-            let pos_bound = |t: &PatTerm| match t {
-                PatTerm::Const(_) => true,
-                PatTerm::Var(v) => bound.contains(v),
-            };
-            let n_bound = pos_bound(&p.subject) as usize + pos_bound(&p.object) as usize;
-            let path_penalty = p.path.is_path() as usize;
-            let est = est_by_rel[&p.path.relation()];
-            (2 - n_bound, path_penalty, est)
-        };
-        let (i, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, p)| score(p))
-            .expect("remaining is non-empty");
-        let p = remaining.swap_remove(i);
-        bound.extend(p.vars());
-        order.push(p);
-    }
-    order
-}
-
-struct Evaluator<'a> {
+struct Interp<'a> {
     ontology: &'a Ontology,
     sink: &'a Arc<dyn EventSink>,
+    mode: MatchMode,
     /// Per pattern-relation match-list under the evaluation's mode,
-    /// computed once in [`evaluate_with_sink`].
+    /// computed lazily once per relation.
     rel_matches: HashMap<RelationId, Vec<RelationId>>,
     /// Memoized forward path closure per (relation, source).
     fwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
@@ -197,63 +213,136 @@ struct Evaluator<'a> {
     bwd_closure: HashMap<(RelationId, Term), Vec<Term>>,
 }
 
-impl<'a> Evaluator<'a> {
-    fn join(
-        &mut self,
-        patterns: &[TriplePattern],
-        idx: usize,
-        binding: &mut Binding,
-        out: &mut Vec<Binding>,
-    ) {
-        if idx == patterns.len() {
-            out.push(binding.clone());
-            return;
-        }
-        let p = &patterns[idx];
-        let s_bound = resolve(&p.subject, binding);
-        let o_bound = resolve(&p.object, binding);
-        for (s, o) in self.candidates(p, s_bound, o_bound) {
-            let mut saved = Vec::with_capacity(2);
-            let mut ok = true;
-            for (term, pos) in [(s, &p.subject), (o, &p.object)] {
-                if let PatTerm::Var(v) = pos {
-                    match binding.get(*v) {
-                        Some(existing) if existing != term => {
-                            ok = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => {
-                            binding.set(*v, term);
-                            saved.push(*v);
+impl<'a> Interp<'a> {
+    /// Relations a pattern relation matches under the evaluation's mode.
+    fn rels(&mut self, r: RelationId) -> Vec<RelationId> {
+        let ontology = self.ontology;
+        let mode = self.mode;
+        self.rel_matches
+            .entry(r)
+            .or_insert_with(|| match mode {
+                MatchMode::Syntactic => vec![r],
+                MatchMode::Semantic => ontology
+                    .vocabulary()
+                    .relations_order()
+                    .descendants(r)
+                    .collect(),
+            })
+            .clone()
+    }
+
+    /// Evaluate `plan` under the partial binding `ctx`, returning every
+    /// extension of `ctx` the subtree admits.
+    fn eval_plan(&mut self, plan: &Plan, ctx: &Binding) -> Vec<Binding> {
+        match &plan.op {
+            PlanOp::Empty => Vec::new(),
+            PlanOp::Scan {
+                pattern,
+                subject_in,
+                object_in,
+                taxo_unfold,
+            } => self.scan(
+                pattern,
+                subject_in.as_deref(),
+                object_in.as_deref(),
+                *taxo_unfold,
+                ctx,
+            ),
+            PlanOp::Join(children) => {
+                let mut acc = vec![ctx.clone()];
+                for c in children {
+                    let mut next = Vec::new();
+                    for b in &acc {
+                        next.extend(self.eval_plan(c, b));
+                    }
+                    acc = next;
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            PlanOp::LeftJoin(l, r) => {
+                let mut out = Vec::new();
+                for b in self.eval_plan(l, ctx) {
+                    let rs = self.eval_plan(r, &b);
+                    if rs.is_empty() {
+                        out.push(b);
+                    } else {
+                        out.extend(rs);
+                    }
+                }
+                out
+            }
+            PlanOp::Union(branches) => {
+                let mut out = Vec::new();
+                for b in branches {
+                    out.extend(self.eval_plan(b, ctx));
+                }
+                out
+            }
+            PlanOp::Filter(input, exprs) => {
+                let mut rows = self.eval_plan(input, ctx);
+                rows.retain(|b| exprs.iter().all(|e| e.eval(|v| b.get(v))));
+                rows
+            }
+            PlanOp::Project(input, keep) => {
+                let keep: HashSet<Var> = keep.iter().copied().collect();
+                let mut rows = self.eval_plan(input, ctx);
+                for b in &mut rows {
+                    for i in 0..b.values.len() {
+                        if !keep.contains(&Var(i as u32)) {
+                            b.values[i] = None;
                         }
                     }
                 }
+                rows
             }
-            if ok {
-                self.join(patterns, idx + 1, binding, out);
+            PlanOp::Distinct(input) => {
+                let mut rows = self.eval_plan(input, ctx);
+                rows.sort_by(|a, b| a.values.cmp(&b.values));
+                rows.dedup();
+                rows
             }
-            for v in saved {
-                binding.values[v.index()] = None;
+            PlanOp::Sort(input, keys) => {
+                let mut rows = self.eval_plan(input, ctx);
+                // Stable: equal keys keep the canonical (distinct) order.
+                rows.sort_by(|a, b| compare_by_keys(a, b, keys));
+                rows
+            }
+            PlanOp::Slice(input, offset, limit) => {
+                let rows = self.eval_plan(input, ctx);
+                let offset = usize::try_from(*offset).unwrap_or(usize::MAX);
+                let limit = limit
+                    .map(|l| usize::try_from(l).unwrap_or(usize::MAX))
+                    .unwrap_or(usize::MAX);
+                rows.into_iter().skip(offset).take(limit).collect()
             }
         }
     }
 
-    /// Relations a pattern relation matches under the evaluation's mode.
-    /// Every relation reaching here came from a pattern, so the map always
-    /// has an entry; the empty fallback keeps a miss safe regardless.
-    fn match_relations(&self, r: RelationId) -> &[RelationId] {
-        self.rel_matches.get(&r).map_or(&[], Vec::as_slice)
-    }
-
-    /// Enumerate `(subject, object)` term pairs matching `p` given the
-    /// already-bound endpoint constraints.
-    fn candidates(
+    /// Enumerate matches of one scan under `ctx`, extending the binding.
+    fn scan(
         &mut self,
-        p: &TriplePattern,
-        s: Option<Term>,
-        o: Option<Term>,
-    ) -> Vec<(Term, Term)> {
+        pattern: &TriplePattern,
+        subject_in: Option<&[Term]>,
+        object_in: Option<&[Term]>,
+        taxo_unfold: bool,
+        ctx: &Binding,
+    ) -> Vec<Binding> {
+        let s = resolve(&pattern.subject, ctx);
+        let o = resolve(&pattern.object, ctx);
+        // A bound endpoint outside its pushed-down value set cannot match.
+        if let (Some(sv), Some(list)) = (s, subject_in) {
+            if !list.contains(&sv) {
+                return Vec::new();
+            }
+        }
+        if let (Some(ov), Some(list)) = (o, object_in) {
+            if !list.contains(&ov) {
+                return Vec::new();
+            }
+        }
         let shape = match (s.is_some(), o.is_some()) {
             (true, true) => "spo",
             (true, false) => "sp?",
@@ -261,26 +350,159 @@ impl<'a> Evaluator<'a> {
             (false, false) => "?p?",
         };
         self.sink.count_labeled(names::SPARQL_PATTERN_SCAN, shape, 1);
-        match p.path {
-            PropPath::Rel(r) => {
-                let mut pairs = Vec::new();
-                for &r in self.match_relations(r) {
-                    pairs.extend(
-                        self.ontology
-                            .store()
-                            .matching(s, Some(r), o)
-                            .map(|t| (t.subject, t.object)),
-                    );
+        let narrowable = matches!(pattern.path, PropPath::Rel(_))
+            && ((s.is_none() && subject_in.is_some())
+                || (o.is_none() && object_in.is_some()));
+        let pairs = if narrowable {
+            // Plain edge scans probe the pushed-down values directly
+            // instead of enumerating the full relation. (Path scans keep
+            // the full enumeration + post-filter: their reflexive pairs
+            // range over vocabulary elements, which value probing would
+            // silently widen to arbitrary pushed-down terms.)
+            let expand = |bound: Option<Term>, list: Option<&[Term]>| -> Vec<Option<Term>> {
+                match (bound, list) {
+                    (None, Some(l)) => {
+                        let mut l = l.to_vec();
+                        l.sort();
+                        l.dedup();
+                        l.into_iter().map(Some).collect()
+                    }
+                    (b, _) => vec![b],
                 }
-                pairs
+            };
+            let svs = expand(s, subject_in);
+            let ovs = expand(o, object_in);
+            let mut out = Vec::new();
+            for &sv in &svs {
+                for &ov in &ovs {
+                    out.extend(self.pairs(&pattern.path, sv, ov, false));
+                }
             }
-            PropPath::Star(r) => self.path_pairs(r, s, o, true),
-            PropPath::Plus(r) => self.path_pairs(r, s, o, false),
+            out
+        } else {
+            let mut out = self.pairs(&pattern.path, s, o, taxo_unfold);
+            if s.is_none() {
+                if let Some(list) = subject_in {
+                    out.retain(|(a, _)| list.contains(a));
+                }
+            }
+            if o.is_none() {
+                if let Some(list) = object_in {
+                    out.retain(|(_, b)| list.contains(b));
+                }
+            }
+            out
+        };
+        let mut rows = Vec::with_capacity(pairs.len());
+        for (sv, ov) in pairs {
+            let mut b = ctx.clone();
+            if extend(&mut b, &pattern.subject, sv) && extend(&mut b, &pattern.object, ov) {
+                rows.push(b);
+            }
+        }
+        rows
+    }
+
+    /// Pairs `(a, b)` matching `path` given the endpoint constraints.
+    fn pairs(
+        &mut self,
+        path: &PropPath,
+        s: Option<Term>,
+        o: Option<Term>,
+        taxo_unfold: bool,
+    ) -> Vec<(Term, Term)> {
+        match path {
+            PropPath::Rel(r) => self.direct(*r, s, o),
+            PropPath::Star(r) => {
+                if taxo_unfold {
+                    self.taxo_pairs(s, o, true)
+                } else {
+                    self.closure_pairs(*r, s, o, true)
+                }
+            }
+            PropPath::Plus(r) => {
+                if taxo_unfold {
+                    self.taxo_pairs(s, o, false)
+                } else {
+                    self.closure_pairs(*r, s, o, false)
+                }
+            }
+            PropPath::Opt(r) => {
+                let mut v = self.direct(*r, s, o);
+                // Zero-step pairs, mirroring `*`'s reflexive universe.
+                match (s, o) {
+                    (Some(a), Some(b)) => {
+                        if a == b {
+                            v.push((a, b));
+                        }
+                    }
+                    (Some(a), None) => v.push((a, a)),
+                    (None, Some(b)) => v.push((b, b)),
+                    (None, None) => {
+                        for (e, _) in self.ontology.vocabulary().elements() {
+                            v.push((Term::Element(e), Term::Element(e)));
+                        }
+                    }
+                }
+                v.sort();
+                v.dedup();
+                v
+            }
+            PropPath::Seq(parts) => {
+                let last_only = parts.len() == 1;
+                let mut frontier =
+                    self.pairs(&parts[0], s, if last_only { o } else { None }, false);
+                frontier.sort();
+                frontier.dedup();
+                for (i, part) in parts.iter().enumerate().skip(1) {
+                    let last = i == parts.len() - 1;
+                    let mut next = Vec::new();
+                    for &(start, mid) in &frontier {
+                        for (_, end) in
+                            self.pairs(part, Some(mid), if last { o } else { None }, false)
+                        {
+                            next.push((start, end));
+                        }
+                    }
+                    next.sort();
+                    next.dedup();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            }
+            PropPath::Alt(parts) => {
+                let mut v = Vec::new();
+                for p in parts {
+                    v.extend(self.pairs(p, s, o, false));
+                }
+                v.sort();
+                v.dedup();
+                v
+            }
         }
     }
 
-    /// Pairs `(a, b)` with `a —r→* b` (or `+` when `reflexive` is false).
-    fn path_pairs(
+    /// Single-edge matches under the mode's relation match-list.
+    fn direct(&mut self, r: RelationId, s: Option<Term>, o: Option<Term>) -> Vec<(Term, Term)> {
+        let rels = self.rels(r);
+        let mut pairs = Vec::new();
+        for rel in rels {
+            pairs.extend(
+                self.ontology
+                    .store()
+                    .matching(s, Some(rel), o)
+                    .map(|t| (t.subject, t.object)),
+            );
+        }
+        pairs
+    }
+
+    /// Pairs `(a, b)` with `a —r→* b` (or `+` when `reflexive` is false),
+    /// via memoized BFS over stored edges.
+    fn closure_pairs(
         &mut self,
         r: RelationId,
         s: Option<Term>,
@@ -302,7 +524,8 @@ impl<'a> Evaluator<'a> {
                 }
             }
             (Some(s), None) => {
-                let mut v: Vec<(Term, Term)> = self.forward(r, s).iter().map(|&t| (s, t)).collect();
+                let mut v: Vec<(Term, Term)> =
+                    self.forward(r, s).iter().map(|&t| (s, t)).collect();
                 if reflexive {
                     v.push((s, s));
                 }
@@ -320,7 +543,7 @@ impl<'a> Evaluator<'a> {
                 // Unconstrained path: enumerate from every node incident to a
                 // matching edge; reflexive pairs over all vocabulary elements.
                 let mut nodes: HashSet<Term> = HashSet::new();
-                for &rel in self.match_relations(r) {
+                for rel in self.rels(r) {
                     for t in self.ontology.store().matching(None, Some(rel), None) {
                         nodes.insert(t.subject);
                         nodes.insert(t.object);
@@ -343,16 +566,83 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Path pairs answered by `≤E` reachability — only reached when the
+    /// optimizer's mirror check proved edge-reachability equals taxonomy
+    /// reachability (see `plan::Planner::taxo_unfoldable`).
+    fn taxo_pairs(&self, s: Option<Term>, o: Option<Term>, reflexive: bool) -> Vec<(Term, Term)> {
+        let vocab = self.ontology.vocabulary();
+        let taxo = vocab.elements_order();
+        match (s, o) {
+            (Some(s), Some(o)) => {
+                let hit = if s == o {
+                    reflexive
+                } else {
+                    match (s.as_element(), o.as_element()) {
+                        (Some(se), Some(oe)) => taxo.lt(oe, se),
+                        _ => false,
+                    }
+                };
+                if hit {
+                    vec![(s, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), None) => {
+                let mut v = Vec::new();
+                if let Some(se) = s.as_element() {
+                    for a in taxo.ancestors(se) {
+                        if a != se {
+                            v.push((s, Term::Element(a)));
+                        }
+                    }
+                }
+                if reflexive {
+                    v.push((s, s));
+                }
+                v
+            }
+            (None, Some(o)) => {
+                let mut v = Vec::new();
+                if let Some(oe) = o.as_element() {
+                    for d in taxo.descendants(oe) {
+                        if d != oe {
+                            v.push((Term::Element(d), o));
+                        }
+                    }
+                }
+                if reflexive {
+                    v.push((o, o));
+                }
+                v
+            }
+            (None, None) => {
+                let mut v = Vec::new();
+                for (e, _) in vocab.elements() {
+                    if reflexive {
+                        v.push((Term::Element(e), Term::Element(e)));
+                    }
+                    for a in taxo.ancestors(e) {
+                        if a != e {
+                            v.push((Term::Element(e), Term::Element(a)));
+                        }
+                    }
+                }
+                v
+            }
+        }
+    }
+
     /// Nodes strictly reachable from `from` via matching edges (excludes
     /// `from` unless it lies on a cycle).
     fn forward(&mut self, r: RelationId, from: Term) -> Vec<Term> {
         if let Some(v) = self.fwd_closure.get(&(r, from)) {
             return v.clone();
         }
-        let rels = self.match_relations(r);
+        let rels = self.rels(r);
         let (set, depth) = bfs(from, |n| {
             let mut next = Vec::new();
-            for &rel in rels {
+            for &rel in &rels {
                 next.extend(self.ontology.store().objects(n, rel));
             }
             next
@@ -367,10 +657,10 @@ impl<'a> Evaluator<'a> {
         if let Some(v) = self.bwd_closure.get(&(r, to)) {
             return v.clone();
         }
-        let rels = self.match_relations(r);
+        let rels = self.rels(r);
         let (set, depth) = bfs(to, |n| {
             let mut next = Vec::new();
-            for &rel in rels {
+            for &rel in &rels {
                 next.extend(self.ontology.store().subjects(rel, n));
             }
             next
@@ -378,6 +668,38 @@ impl<'a> Evaluator<'a> {
         self.sink.observe(names::SPARQL_PATH_DEPTH, depth as f64);
         self.bwd_closure.insert((r, to), set.clone());
         set
+    }
+}
+
+/// Compare two bindings by `ORDER BY` keys, falling back to equal
+/// (callers rely on stable sorting for deterministic ties).
+pub(crate) fn compare_by_keys(a: &Binding, b: &Binding, keys: &[(Var, SortDir)]) -> Ordering {
+    for (v, dir) in keys {
+        let ord = a.get(*v).cmp(&b.get(*v));
+        let ord = if *dir == SortDir::Desc {
+            ord.reverse()
+        } else {
+            ord
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Bind `t` to `val` in `b`; false when `t` is a conflicting constant or
+/// an already-bound variable with a different value.
+fn extend(b: &mut Binding, t: &PatTerm, val: Term) -> bool {
+    match t {
+        PatTerm::Const(c) => *c == val,
+        PatTerm::Var(v) => match b.get(*v) {
+            Some(existing) => existing == val,
+            None => {
+                b.set(*v, val);
+                true
+            }
+        },
     }
 }
 
@@ -414,7 +736,7 @@ fn resolve(t: &PatTerm, binding: &Binding) -> Option<Term> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_patterns;
+    use crate::parser::{parse_patterns, parse_where};
     use oassis_store::ontology::figure1_ontology;
 
     fn eval(src: &str, mode: MatchMode) -> (Vec<Binding>, VarTable, oassis_store::Ontology) {
@@ -422,6 +744,14 @@ mod tests {
         let mut vars = VarTable::new();
         let pats = parse_patterns(src, &o, &mut vars).unwrap();
         let res = evaluate(&o, &pats, &vars, mode);
+        (res, vars, o)
+    }
+
+    fn eval_where(src: &str, mode: MatchMode) -> (Vec<Binding>, VarTable, oassis_store::Ontology) {
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let clause = parse_where(src, &o, &mut vars).unwrap();
+        let res = evaluate_where(&o, &clause, &vars, mode);
         (res, vars, o)
     }
 
@@ -583,5 +913,169 @@ mod tests {
         for b in &res {
             assert!(seen.insert(b.clone()), "duplicate binding {b:?}");
         }
+    }
+
+    // ---- WHERE-clause algebra ------------------------------------------
+
+    #[test]
+    fn union_merges_branch_solutions() {
+        let (res, vars, o) = eval_where(
+            "{ $x instanceOf Park } UNION { $x instanceOf Zoo }",
+            MatchMode::Syntactic,
+        );
+        let xs = names(&res, &vars, &o, "x");
+        assert_eq!(xs, ["Bronx Zoo", "Central Park", "Madison Square"]);
+    }
+
+    #[test]
+    fn union_branches_join_with_outer_patterns() {
+        let (res, vars, o) = eval_where(
+            "$x inside NYC. { $x instanceOf Park } UNION { $x instanceOf Zoo }",
+            MatchMode::Syntactic,
+        );
+        let xs = names(&res, &vars, &o, "x");
+        assert_eq!(xs, ["Bronx Zoo", "Central Park", "Madison Square"]);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched_left_rows() {
+        let (res, vars, o) = eval_where(
+            "$z instanceOf Restaurant. OPTIONAL { $z nearBy <Bronx Zoo> }",
+            MatchMode::Syntactic,
+        );
+        // Pine matches the optional; Maoz Veg. survives without it.
+        let zs = names(&res, &vars, &o, "z");
+        assert_eq!(zs, ["Maoz Veg.", "Pine"]);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn optional_binds_when_present() {
+        let (res, vars, o) = eval_where(
+            "$z instanceOf Restaurant. OPTIONAL { $z nearBy $x }",
+            MatchMode::Syntactic,
+        );
+        let x = vars.get("x").unwrap();
+        let z = vars.get("z").unwrap();
+        let v = o.vocabulary();
+        let pine: Term = v.element("Pine").unwrap().into();
+        let zoo: Term = v.element("Bronx Zoo").unwrap().into();
+        assert!(res
+            .iter()
+            .any(|b| b.get(z) == Some(pine) && b.get(x) == Some(zoo)));
+        // Every restaurant is nearBy something, so no row has x unbound.
+        assert!(res.iter().all(|b| b.get(x).is_some()));
+    }
+
+    #[test]
+    fn filter_restricts_solutions() {
+        let (res, vars, o) = eval_where(
+            "$x instanceOf Park. FILTER($x != <Central Park>)",
+            MatchMode::Syntactic,
+        );
+        assert_eq!(names(&res, &vars, &o, "x"), ["Madison Square"]);
+        let (res, vars, o) = eval_where(
+            "$x inside NYC. FILTER($x IN (<Central Park>, <Bronx Zoo>))",
+            MatchMode::Syntactic,
+        );
+        assert_eq!(names(&res, &vars, &o, "x"), ["Bronx Zoo", "Central Park"]);
+        let (res, vars, o) = eval_where(
+            "$x inside NYC. FILTER($x NOT IN (<Central Park>))",
+            MatchMode::Syntactic,
+        );
+        assert_eq!(names(&res, &vars, &o, "x"), ["Bronx Zoo", "Madison Square"]);
+    }
+
+    #[test]
+    fn order_limit_offset_slice_the_ordered_list() {
+        let (all, vars, _) = eval_where("$x inside NYC ORDER BY $x", MatchMode::Syntactic);
+        assert_eq!(all.len(), 3);
+        let x = vars.get("x").unwrap();
+        let mut sorted = all.clone();
+        sorted.sort_by(|a, b| a.get(x).cmp(&b.get(x)));
+        assert_eq!(all, sorted, "ORDER BY $x yields key-sorted rows");
+        let (page, _, _) = eval_where(
+            "$x inside NYC ORDER BY $x LIMIT 2 OFFSET 1",
+            MatchMode::Syntactic,
+        );
+        assert_eq!(page, all[1..3].to_vec());
+        let (desc, _, _) = eval_where("$x inside NYC ORDER BY $x DESC", MatchMode::Syntactic);
+        assert_eq!(desc, all.iter().rev().cloned().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequence_path_composes_edges() {
+        // $z nearBy $x and $x inside NYC ⇒ $z nearBy/inside NYC.
+        let (res, vars, o) = eval_where("$z nearBy/inside $c", MatchMode::Syntactic);
+        let cs = names(&res, &vars, &o, "c");
+        assert_eq!(cs, ["NYC"]);
+        let zs = names(&res, &vars, &o, "z");
+        assert_eq!(zs, ["Maoz Veg.", "Pine"]);
+    }
+
+    #[test]
+    fn alternation_path_unions_edge_sets() {
+        let (res, vars, o) = eval_where("$a inside|nearBy $b", MatchMode::Syntactic);
+        let v = o.vocabulary();
+        let a = vars.get("a").unwrap();
+        let b = vars.get("b").unwrap();
+        let pine: Term = v.element("Pine").unwrap().into();
+        let zoo: Term = v.element("Bronx Zoo").unwrap().into();
+        let cp: Term = v.element("Central Park").unwrap().into();
+        let nyc: Term = v.element("NYC").unwrap().into();
+        assert!(res.iter().any(|r| r.get(a) == Some(pine) && r.get(b) == Some(zoo)));
+        assert!(res.iter().any(|r| r.get(a) == Some(cp) && r.get(b) == Some(nyc)));
+    }
+
+    #[test]
+    fn optional_step_path_is_zero_or_one_edges() {
+        let (res, vars, o) = eval_where("<Central Park> inside? $y", MatchMode::Syntactic);
+        let ys = names(&res, &vars, &o, "y");
+        assert_eq!(ys, ["Central Park", "NYC"]);
+        // Fully-bound reflexive check.
+        let (res, _, _) = eval_where("NYC nearBy? NYC", MatchMode::Syntactic);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn optimized_plan_matches_unoptimized_plan() {
+        let o = figure1_ontology();
+        for mode in [MatchMode::Syntactic, MatchMode::Semantic] {
+            for src in [
+                "$w subClassOf* Attraction",
+                "$w subClassOf+ $v",
+                "$x inside NYC. $x instanceOf $w. FILTER($w != Park)",
+                "{ $x instanceOf Park } UNION { $x instanceOf Zoo }. \
+                 OPTIONAL { $x hasLabel \"child-friendly\" }",
+            ] {
+                let mut vars = VarTable::new();
+                let clause = parse_where(src, &o, &mut vars).unwrap();
+                let optimized = evaluate_where(&o, &clause, &vars, mode);
+                let naive_plan = plan::compile(&o, &clause, mode);
+                let unoptimized = run_plan(&o, &naive_plan, &vars, mode);
+                assert_eq!(optimized, unoptimized, "{src} under {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn planner_events_reach_the_sink() {
+        use oassis_obs::InMemorySink;
+        let o = figure1_ontology();
+        let mut vars = VarTable::new();
+        let clause = parse_where(
+            "$w subClassOf* Attraction. FILTER($w IN (Park, Zoo))",
+            &o,
+            &mut vars,
+        )
+        .unwrap();
+        let mem = InMemorySink::shared();
+        let sink: Arc<dyn EventSink> = Arc::clone(&mem) as Arc<dyn EventSink>;
+        let res = evaluate_where_with_sink(&o, &clause, &vars, MatchMode::Semantic, &sink);
+        assert_eq!(res.len(), 2);
+        let snap = mem.snapshot();
+        assert!(snap.counter(names::SPARQL_PLAN_PUSHDOWN) >= 1);
+        assert!(snap.counter(names::SPARQL_PLAN_UNFOLD) >= 1);
+        assert!(snap.counter_across_labels(names::SPARQL_PATTERN_SCAN) >= 1);
     }
 }

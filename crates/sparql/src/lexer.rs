@@ -5,17 +5,21 @@
 //! Variables are `$ident`; string literals are double-quoted; `[]` is the
 //! blank term; `*`, `+`, `?` modify paths or multiplicities; `.` separates
 //! patterns; `=` and numbers appear in `WITH SUPPORT = 0.4`; `{`/`}` delimit
-//! explicit multiplicities.
+//! explicit multiplicities and group graph patterns; `(`/`)`, `,` and `!=`
+//! appear in `FILTER` expressions; `/` and `|` build property paths.
 
-use crate::error::SparqlError;
+use crate::error::{Span, SparqlError};
 
-/// A lexical token with its 1-based source line (for error messages).
+/// A lexical token with its 1-based source line and byte span (for error
+/// messages that can point back into the source text).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// 1-based line number where the token starts.
     pub line: usize,
+    /// Byte range the token occupies in the source.
+    pub span: Span,
 }
 
 /// Token kinds.
@@ -39,10 +43,22 @@ pub enum TokenKind {
     Question,
     /// `=`
     Equals,
+    /// `!=`
+    NotEquals,
     /// `{`
     LBrace,
     /// `}`
     RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `/` — property-path sequence.
+    Slash,
+    /// `|` — property-path alternation.
+    Pipe,
+    /// `,` — list separator inside `FILTER (... IN (a, b))`.
+    Comma,
     /// An unsigned decimal number, kept as text (`0.4`, `12`).
     Number(String),
 }
@@ -65,8 +81,24 @@ fn is_name_char(c: char) -> bool {
 pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
     let mut out = Vec::new();
     let mut line = 1usize;
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = src.char_indices().peekable();
+    // Byte offset at the cursor (== src.len() when exhausted).
+    macro_rules! at {
+        () => {
+            chars.peek().map_or(src.len(), |&(i, _)| i)
+        };
+    }
+    while let Some(&(start, c)) = chars.peek() {
+        // Single-character punctuation shares one emission path.
+        let mut punct = |kind: TokenKind, chars: &mut std::iter::Peekable<std::str::CharIndices>| {
+            chars.next();
+            let end = chars.peek().map_or(src.len(), |&(i, _)| i);
+            out.push(Token {
+                kind,
+                line,
+                span: Span::new(start, end),
+            });
+        };
         match c {
             '\n' => {
                 line += 1;
@@ -76,7 +108,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 chars.next();
             }
             '#' => {
-                for c in chars.by_ref() {
+                for (_, c) in chars.by_ref() {
                     if c == '\n' {
                         line += 1;
                         break;
@@ -86,7 +118,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
             '$' => {
                 chars.next();
                 let mut name = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if is_name_char(c) {
                         name.push(c);
                         chars.next();
@@ -97,19 +129,21 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 if name.is_empty() {
                     return Err(SparqlError::Lex {
                         line,
+                        span: Span::new(start, at!()),
                         msg: "expected variable name after `$`".into(),
                     });
                 }
                 out.push(Token {
                     kind: TokenKind::Var(name),
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
             '"' => {
                 chars.next();
                 let mut s = String::new();
                 let mut closed = false;
-                for c in chars.by_ref() {
+                for (_, c) in chars.by_ref() {
                     if c == '"' {
                         closed = true;
                         break;
@@ -122,19 +156,21 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 if !closed {
                     return Err(SparqlError::Lex {
                         line,
+                        span: Span::new(start, at!()),
                         msg: "unterminated string literal".into(),
                     });
                 }
                 out.push(Token {
                     kind: TokenKind::Literal(s),
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
             '<' => {
                 chars.next();
                 let mut s = String::new();
                 let mut closed = false;
-                for c in chars.by_ref() {
+                for (_, c) in chars.by_ref() {
                     if c == '>' {
                         closed = true;
                         break;
@@ -147,79 +183,63 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 if !closed || s.trim().is_empty() {
                     return Err(SparqlError::Lex {
                         line,
+                        span: Span::new(start, at!()),
                         msg: "unterminated or empty `<...>` name".into(),
                     });
                 }
                 out.push(Token {
                     kind: TokenKind::Name(s.trim().to_owned()),
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
             '[' => {
                 chars.next();
-                if chars.next() != Some(']') {
+                if chars.next().map(|(_, c)| c) != Some(']') {
                     return Err(SparqlError::Lex {
                         line,
+                        span: Span::new(start, at!()),
                         msg: "expected `]` after `[`".into(),
                     });
                 }
                 out.push(Token {
                     kind: TokenKind::Blank,
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
-            '.' => {
+            '!' => {
                 chars.next();
-                out.push(Token {
-                    kind: TokenKind::Dot,
-                    line,
-                });
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token {
+                        kind: TokenKind::NotEquals,
+                        line,
+                        span: Span::new(start, at!()),
+                    });
+                } else {
+                    return Err(SparqlError::Lex {
+                        line,
+                        span: Span::new(start, at!()),
+                        msg: "expected `=` after `!`".into(),
+                    });
+                }
             }
-            '*' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::Star,
-                    line,
-                });
-            }
-            '+' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::Plus,
-                    line,
-                });
-            }
-            '?' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::Question,
-                    line,
-                });
-            }
-            '=' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::Equals,
-                    line,
-                });
-            }
-            '{' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::LBrace,
-                    line,
-                });
-            }
-            '}' => {
-                chars.next();
-                out.push(Token {
-                    kind: TokenKind::RBrace,
-                    line,
-                });
-            }
+            '.' => punct(TokenKind::Dot, &mut chars),
+            '*' => punct(TokenKind::Star, &mut chars),
+            '+' => punct(TokenKind::Plus, &mut chars),
+            '?' => punct(TokenKind::Question, &mut chars),
+            '=' => punct(TokenKind::Equals, &mut chars),
+            '{' => punct(TokenKind::LBrace, &mut chars),
+            '}' => punct(TokenKind::RBrace, &mut chars),
+            '(' => punct(TokenKind::LParen, &mut chars),
+            ')' => punct(TokenKind::RParen, &mut chars),
+            '/' => punct(TokenKind::Slash, &mut chars),
+            '|' => punct(TokenKind::Pipe, &mut chars),
+            ',' => punct(TokenKind::Comma, &mut chars),
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if c.is_ascii_digit() {
                         s.push(c);
                         chars.next();
@@ -230,12 +250,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 // A fractional part: only consume the `.` if a digit follows,
                 // so `5.` still lexes as number-then-separator.
                 let mut look = chars.clone();
-                if look.next() == Some('.') {
-                    if let Some(d) = look.next() {
+                if look.next().map(|(_, c)| c) == Some('.') {
+                    if let Some((_, d)) = look.next() {
                         if d.is_ascii_digit() {
                             s.push('.');
                             chars.next();
-                            while let Some(&c) = chars.peek() {
+                            while let Some(&(_, c)) = chars.peek() {
                                 if c.is_ascii_digit() {
                                     s.push(c);
                                     chars.next();
@@ -249,11 +269,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 out.push(Token {
                     kind: TokenKind::Number(s),
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
             c if is_name_char(c) => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if is_name_char(c) {
                         s.push(c);
                         chars.next();
@@ -264,11 +285,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SparqlError> {
                 out.push(Token {
                     kind: TokenKind::Name(s),
                     line,
+                    span: Span::new(start, at!()),
                 });
             }
             other => {
                 return Err(SparqlError::Lex {
                     line,
+                    span: Span::new(start, start + other.len_utf8()),
                     msg: format!("unexpected character {other:?}"),
                 });
             }
@@ -351,6 +374,41 @@ mod tests {
     }
 
     #[test]
+    fn filter_and_path_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("FILTER($x != Biking). $a inside/nearBy|doAt $b"),
+            vec![
+                Name("FILTER".into()),
+                LParen,
+                Var("x".into()),
+                NotEquals,
+                Name("Biking".into()),
+                RParen,
+                Dot,
+                Var("a".into()),
+                Name("inside".into()),
+                Slash,
+                Name("nearBy".into()),
+                Pipe,
+                Name("doAt".into()),
+                Var("b".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("IN (NYC, Park)"),
+            vec![
+                Name("IN".into()),
+                LParen,
+                Name("NYC".into()),
+                Comma,
+                Name("Park".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
     fn integer_followed_by_dot_separator() {
         use TokenKind::*;
         assert_eq!(
@@ -367,6 +425,18 @@ mod tests {
     }
 
     #[test]
+    fn byte_spans_point_into_the_source() {
+        let src = "$x doAt <Central Park>";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(&src[toks[0].span.start..toks[0].span.end], "$x");
+        assert_eq!(&src[toks[1].span.start..toks[1].span.end], "doAt");
+        assert_eq!(
+            &src[toks[2].span.start..toks[2].span.end],
+            "<Central Park>"
+        );
+    }
+
+    #[test]
     fn lex_errors() {
         assert!(tokenize("$ x").is_err());
         assert!(tokenize("\"unterminated").is_err());
@@ -374,5 +444,6 @@ mod tests {
         assert!(tokenize("[x]").is_err());
         assert!(tokenize("%").is_err());
         assert!(tokenize("<  >").is_err());
+        assert!(tokenize("! x").is_err(), "lone `!` is not a token");
     }
 }

@@ -2,30 +2,52 @@
 
 //! # oassis-sparql
 //!
-//! A from-scratch evaluator for the SPARQL fragment that OASSIS-QL builds on
-//! (the paper's prototype delegated this part to RDFLIB's SPARQL engine):
+//! A from-scratch compiler and evaluator for the SPARQL fragment that
+//! OASSIS-QL builds on (the paper's prototype delegated this part to
+//! RDFLIB's SPARQL engine):
 //!
 //! * basic graph patterns over the ontology's triple store,
 //! * variables (`$x`), constants, string literals and the blank `[]`,
-//! * property paths `rel*` (reflexive-transitive) and `rel+` (transitive),
-//!   e.g. `$w subClassOf* Attraction`,
+//! * the group-pattern algebra: `{ ... } UNION { ... }`, `OPTIONAL { ... }`
+//!   and `FILTER (...)` with `=` / `!=` / `IN` / `NOT IN`,
+//! * generalized property paths: `rel*` (reflexive-transitive), `rel+`
+//!   (transitive), `rel?` (zero-or-one), sequences `p1/p2` and
+//!   alternations `p1|p2`,
+//! * solution modifiers `DISTINCT`, `ORDER BY`, `LIMIT`, `OFFSET`,
 //! * two matching modes: plain syntactic SPARQL matching, and *semantic*
 //!   matching where a pattern relation also matches its `≤R`-specializations
 //!   (`$z nearBy $x` matches a stored `inside` triple because
 //!   `nearBy ≤R inside`), which is what Definition 2.5's validity test
 //!   `φ(A_WHERE) ≤ O` requires.
 //!
-//! The evaluator performs a backtracking join with a greedy
-//! most-selective-pattern-first order, memoizing path closures per query.
+//! Evaluation is staged: [`parse_where`] builds a [`WhereClause`] AST,
+//! [`plan::compile`] lowers it to a logical [`plan::Plan`],
+//! [`plan::optimize`] rewrites the plan (constraint pushdown into scans,
+//! taxonomy-aware unfolding of `subClassOf*`-style paths, empty-branch
+//! pruning, deterministic greedy join ordering), and the interpreter in
+//! [`eval`] executes it with memoized path closures. A deliberately naive
+//! [`reference`] evaluator re-implements the same semantics by direct AST
+//! recursion for differential testing, and [`plan::Plan::explain`] renders
+//! plans as deterministic `EXPLAIN`-style trees.
 
 pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod reference;
 
-pub use ast::{PatTerm, PropPath, TriplePattern, Var, VarTable};
-pub use error::SparqlError;
-pub use eval::{evaluate, evaluate_with_sink, Binding, MatchMode};
+pub use ast::{
+    FilterExpr, FilterTerm, GraphPattern, GroupItem, PatTerm, PropPath, SortDir, TriplePattern,
+    Var, VarTable, WhereClause,
+};
+pub use error::{Span, SparqlError};
+pub use eval::{
+    evaluate, evaluate_where, evaluate_where_with_sink, evaluate_with_sink, run_plan,
+    run_plan_with_sink, Binding, MatchMode,
+};
 pub use lexer::{tokenize, Token};
-pub use parser::parse_patterns;
+pub use parser::{parse_patterns, parse_where};
+pub use plan::{Plan, PlanOp, PlanReport};
+pub use reference::evaluate_reference;

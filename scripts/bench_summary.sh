@@ -32,6 +32,9 @@ for f in "${files[@]}"; do
     net)
         jq -r '"\(input_filename): \(.rows | length) rows, overhead \(.rows | map(.overhead_pct) | min)-\(.rows | map(.overhead_pct) | max)%, hello rtt up to \(.rows | map(.hello_rtt_usecs) | max)us, answers_match \(.rows | all(.answers_match))"' "$f"
         ;;
+    planner)
+        jq -r '"\(input_filename): \(.rows | length) domains, seeds cut \(.rows | map(.base_seeds - .filtered_seeds) | min)-\(.rows | map(.base_seeds - .filtered_seeds) | max), questions cut \(.rows | map(.base_questions - .filtered_questions) | min)-\(.rows | map(.base_questions - .filtered_questions) | max), eval speedup \(.rows | map(.eval_speedup) | min)-\(.rows | map(.eval_speedup) | max)x, answers_match \(.rows | all(.answers_match))"' "$f"
+        ;;
     *)
         echo "$f: experiment=$exp ($(jq -r '.rows | length // 0' "$f") rows)"
         ;;

@@ -46,4 +46,10 @@ OASSIS_NET_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- net
 echo "==> net simulation: 64-seed protocol sweep (transparency, replay, kill at every protocol event, frame faults)"
 cargo run --release -q -p oassis-simtest --bin sim -- net-sweep 64
 
+echo "==> planner smoke: FILTER pushdown must shrink seeds + questions, answers identical planner on/off"
+OASSIS_PLANNER_SMOKE=1 cargo run --release -q -p oassis-bench --bin figures -- planner
+
+echo "==> query-language properties: display/parse roundtrip + 3-way evaluator oracle"
+cargo test -q --release --test ql_roundtrip --test planner_oracle
+
 echo "==> all checks passed"

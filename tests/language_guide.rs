@@ -2,6 +2,7 @@
 //! Figure 1 ontology, so the guide can never drift from the implementation.
 
 use oassis::ql::{parse_query, Multiplicity, SelectForm};
+use oassis::sparql::{evaluate_where, plan, MatchMode};
 use oassis::store::ontology::figure1_ontology;
 
 #[test]
@@ -27,12 +28,12 @@ fn section_1_query_anatomy() {
         &o,
     )
     .unwrap();
-    assert_eq!(q.where_patterns.len(), 7);
+    assert_eq!(q.where_clause.required_triples().len(), 7);
     assert!(q.satisfying.more);
 }
 
 #[test]
-fn section_3_where_clause() {
+fn section_3_where_grammar() {
     let o = figure1_ontology();
     let q = parse_query(
         r#"
@@ -47,11 +48,108 @@ fn section_3_where_clause() {
         &o,
     )
     .unwrap();
-    assert_eq!(q.where_patterns.len(), 2);
+    assert_eq!(q.where_clause.required_triples().len(), 2);
 }
 
 #[test]
-fn section_4_satisfying_clause() {
+fn section_4_property_paths() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE
+          $z nearBy/inside NYC.
+          $y subClassOf+ Activity
+        SATISFYING
+          $y doAt $z
+        WITH SUPPORT = 0.3
+        "#,
+        &o,
+    )
+    .unwrap();
+    // Compound paths have no single relation; elementary ones do.
+    let triples = q.where_clause.required_triples();
+    assert!(triples[0].path.relation().is_none());
+    assert!(triples[1].path.relation().is_some());
+    assert!(!evaluate_where(&o, &q.where_clause, &q.vars, MatchMode::Semantic).is_empty());
+}
+
+#[test]
+fn section_5_union_optional_filter() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE
+          $x instanceOf Park.
+          { $y subClassOf Sport } UNION { $y subClassOf Food }.
+          OPTIONAL { $x hasLabel "child-friendly" }.
+          FILTER($x != <Madison Square>)
+        SATISFYING
+          $y doAt $x
+        WITH SUPPORT = 0.3
+        "#,
+        &o,
+    )
+    .unwrap();
+    // UNION/OPTIONAL triples ride along but only the top-level triple is
+    // required (it alone seeds assignment domains).
+    assert_eq!(q.where_clause.required_triples().len(), 1);
+    assert!(q.where_clause.pattern.all_triples().len() >= 4);
+    let bindings = evaluate_where(&o, &q.where_clause, &q.vars, MatchMode::Semantic);
+    assert!(!bindings.is_empty());
+    let madison = q.vars.get("x").unwrap();
+    let excluded = o.vocabulary().element("Madison Square").unwrap();
+    assert!(bindings
+        .iter()
+        .all(|b| b.get(madison) != Some(excluded.into())));
+}
+
+#[test]
+fn section_6_solution_modifiers() {
+    let o = figure1_ontology();
+    let q = parse_query(
+        r#"
+        SELECT FACT-SETS
+        WHERE
+          $x instanceOf Park.
+          $y nearBy $x
+          ORDER BY $y DESC LIMIT 2
+        SATISFYING
+          $z doAt $x
+        WITH SUPPORT = 0.3
+        "#,
+        &o,
+    )
+    .unwrap();
+    assert!(q.where_clause.has_modifiers());
+    assert_eq!(q.where_clause.limit, Some(2));
+    let bindings = evaluate_where(&o, &q.where_clause, &q.vars, MatchMode::Semantic);
+    assert!(bindings.len() <= 2);
+}
+
+#[test]
+fn section_7_query_planner_explain() {
+    let o = figure1_ontology();
+    let mut vars = oassis::sparql::VarTable::new();
+    let clause = oassis::sparql::parse_where(
+        "$w subClassOf* Attraction. $x instanceOf $w. $x inside NYC. \
+         FILTER($x IN (<Central Park>, <Madison Square>))",
+        &o,
+        &mut vars,
+    )
+    .unwrap();
+    let compiled = plan::compile(&o, &clause, MatchMode::Semantic);
+    let (optimized, report) = plan::optimize_report(&o, compiled, MatchMode::Semantic);
+    assert!(report.pushdowns >= 1, "FILTER values push into the scans");
+    assert!(report.unfolds >= 1, "subClassOf* switches to taxo-unfold");
+    let rendered = optimized.explain(&o, &vars);
+    assert!(rendered.contains("subject∈{Central Park, Madison Square}"));
+    assert!(rendered.contains("[taxo-unfold]"));
+}
+
+#[test]
+fn section_8_satisfying_clause() {
     let o = figure1_ontology();
     let q = parse_query(
         r#"
@@ -68,7 +166,7 @@ fn section_4_satisfying_clause() {
 }
 
 #[test]
-fn section_5_multiplicities() {
+fn section_9_multiplicities() {
     let o = figure1_ontology();
     let q = parse_query(
         r#"
@@ -86,7 +184,7 @@ fn section_5_multiplicities() {
 }
 
 #[test]
-fn section_6_more() {
+fn section_10_more() {
     let o = figure1_ontology();
     let q = parse_query(
         r#"
@@ -104,20 +202,20 @@ fn section_6_more() {
 }
 
 #[test]
-fn section_7_frequent_itemsets() {
+fn section_11_frequent_itemsets() {
     let o = figure1_ontology();
     let q = parse_query(
         "SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.6",
         &o,
     )
     .unwrap();
-    assert!(q.where_patterns.is_empty());
+    assert!(q.where_clause.pattern.items.is_empty());
     let x = q.vars.get("x").unwrap();
     assert_eq!(q.multiplicity_of(x), Multiplicity::AtLeastOne);
 }
 
 #[test]
-fn section_8_select_forms() {
+fn section_12_select_forms() {
     let o = figure1_ontology();
     let q = parse_query(
         "SELECT VARIABLES ALL WHERE SATISFYING $y doAt <Central Park> WITH SUPPORT = 0.3",
@@ -129,7 +227,7 @@ fn section_8_select_forms() {
 }
 
 #[test]
-fn section_9_relation_variables() {
+fn section_13_relation_variables() {
     let o = figure1_ontology();
     let q = parse_query(
         "SELECT VARIABLES WHERE SATISFYING $x $p $z WITH SUPPORT = 0.5",
@@ -140,7 +238,7 @@ fn section_9_relation_variables() {
 }
 
 #[test]
-fn section_11_rejections() {
+fn section_15_rejections() {
     let o = figure1_ontology();
     let bad = [
         // Missing WITH SUPPORT value.
@@ -157,8 +255,24 @@ fn section_11_rejections() {
         "SELECT FACT-SETS WHERE SATISFYING $y+ doAt $x. $y? eatAt $x WITH SUPPORT = 0.2",
         // Unknown name.
         "SELECT FACT-SETS WHERE SATISFYING $y orbits $x WITH SUPPORT = 0.2",
+        // FILTER over a variable its group never binds.
+        "SELECT FACT-SETS WHERE $x inside NYC. FILTER($y = Biking) \
+         SATISFYING $x doAt $y WITH SUPPORT = 0.2",
+        // Unbalanced group braces.
+        "SELECT FACT-SETS WHERE { $x inside NYC SATISFYING $y doAt $x WITH SUPPORT = 0.2",
+        // LIMIT without an integer.
+        "SELECT FACT-SETS WHERE $x inside NYC LIMIT SATISFYING $y doAt $x WITH SUPPORT = 0.2",
     ];
     for src in bad {
         assert!(parse_query(src, &o).is_err(), "should reject: {src}");
     }
+}
+
+#[test]
+fn section_15_errors_carry_spans() {
+    let o = figure1_ontology();
+    let src = "SELECT FACT-SETS WHERE SATISFYING $y orbits $x WITH SUPPORT = 0.2";
+    let err = parse_query(src, &o).unwrap_err();
+    let span = err.span().expect("parse errors carry a span");
+    assert_eq!(&src[span.start..span.end], "orbits");
 }

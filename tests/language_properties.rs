@@ -120,7 +120,7 @@ proptest! {
         });
         prop_assert_eq!(q.select, q2.select);
         prop_assert_eq!(q.all, q2.all);
-        prop_assert_eq!(q.where_patterns.len(), q2.where_patterns.len());
+        prop_assert_eq!(&q.where_clause, &q2.where_clause);
         prop_assert_eq!(q.satisfying.patterns.len(), q2.satisfying.patterns.len());
         prop_assert_eq!(q.satisfying.more, q2.satisfying.more);
         prop_assert!((q.satisfying.support - q2.satisfying.support).abs() < 1e-12);

@@ -143,13 +143,19 @@ fn multiuser_run_snapshot_matches_execution_stats() {
         assert_eq!(span.open, 0, "{name} must be closed");
     }
 
-    // The WHERE clause's SPARQL evaluation reported its scans and path
-    // expansions.
+    // The WHERE clause's SPARQL evaluation reported its scans, and the
+    // planner reported unfolding the `subClassOf*` scans to taxonomy
+    // reachability (which is exactly why no per-binding path BFS — and
+    // hence no `sparql.path.depth` histogram — happens on this query).
     assert!(snap.counter_across_labels(names::SPARQL_PATTERN_SCAN) > 0);
-    let depth = snap
-        .histogram(names::SPARQL_PATH_DEPTH)
-        .expect("subClassOf* paths were expanded");
-    assert!(depth.max >= 1.0, "taxonomy paths reach depth >= 1");
+    assert!(
+        snap.counter(names::SPARQL_PLAN_UNFOLD) >= 1,
+        "subClassOf* scans switch to precomputed reachability"
+    );
+    assert!(
+        snap.histogram(names::SPARQL_PATH_DEPTH).is_none(),
+        "unfolded paths skip the per-binding BFS entirely"
+    );
 }
 
 /// On the paper's Figure 3 fragment the space is small enough to count
